@@ -1,0 +1,189 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//!
+//! * DPsize optimized vs literal Fig. 1 pseudocode (`s₁ = s₂` dedup);
+//! * DPsub with vs without the `*` connectedness pre-check;
+//! * cross-product search space (Vance/Maier) vs connected-only;
+//! * greedy (GOO) vs exact DP;
+//! * cost-model overhead (C_out vs min-over-physical-operators).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use joinopt_core::greedy::Goo;
+use joinopt_core::{
+    DpCcp, DpHyp, DpSize, DpSizeLeftDeep, DpSizeNaive, DpSub, DpSubCrossProducts,
+    DpSubUnfiltered, JoinOrderer, TopDown,
+};
+use joinopt_qgraph::hypergraph::Hypergraph;
+use joinopt_cost::{workload::family_workload, Cout, MinOverPhysical};
+use joinopt_qgraph::GraphKind;
+use std::hint::black_box;
+
+fn bench_pair(
+    c: &mut Criterion,
+    group_name: &str,
+    kind: GraphKind,
+    n: usize,
+    algs: &[&dyn JoinOrderer],
+) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    let w = family_workload(kind, n, 7);
+    for alg in algs {
+        group.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, _| {
+            b.iter(|| {
+                let r = alg
+                    .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                    .expect("valid workload");
+                black_box(r.cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn dpsize_pair_dedup(c: &mut Criterion) {
+    // The s₁ = s₂ optimization halves equal-size pair probes.
+    bench_pair(
+        c,
+        "ablation_dpsize_dedup_chain",
+        GraphKind::Chain,
+        14,
+        &[&DpSize, &DpSizeNaive],
+    );
+    bench_pair(
+        c,
+        "ablation_dpsize_dedup_clique",
+        GraphKind::Clique,
+        10,
+        &[&DpSize, &DpSizeNaive],
+    );
+}
+
+fn dpsub_connectedness_filter(c: &mut Criterion) {
+    // The `*` check skips the inner loop for disconnected outer sets —
+    // a large win on chains, a no-op on cliques.
+    bench_pair(
+        c,
+        "ablation_dpsub_filter_chain",
+        GraphKind::Chain,
+        14,
+        &[&DpSub, &DpSubUnfiltered],
+    );
+    bench_pair(
+        c,
+        "ablation_dpsub_filter_clique",
+        GraphKind::Clique,
+        10,
+        &[&DpSub, &DpSubUnfiltered],
+    );
+}
+
+fn cross_products_search_space(c: &mut Criterion) {
+    // Excluding cross products shrinks the chain search space from 3ⁿ to
+    // O(n³)-ish pairs (the paper's Section 1 motivation).
+    bench_pair(
+        c,
+        "ablation_cross_products_chain",
+        GraphKind::Chain,
+        12,
+        &[&DpCcp, &DpSubCrossProducts],
+    );
+}
+
+fn greedy_vs_exact(c: &mut Criterion) {
+    bench_pair(
+        c,
+        "ablation_greedy_vs_exact_star",
+        GraphKind::Star,
+        12,
+        &[&Goo, &DpCcp],
+    );
+}
+
+fn cost_model_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cost_model");
+    group.sample_size(10);
+    let w = family_workload(GraphKind::Star, 12, 7);
+    group.bench_function("DPccp/Cout", |b| {
+        b.iter(|| {
+            black_box(DpCcp.optimize(black_box(&w.graph), &w.catalog, &Cout).unwrap().cost)
+        })
+    });
+    group.bench_function("DPccp/MinOverPhysical", |b| {
+        b.iter(|| {
+            black_box(
+                DpCcp
+                    .optimize(black_box(&w.graph), &w.catalog, &MinOverPhysical)
+                    .unwrap()
+                    .cost,
+            )
+        })
+    });
+    group.finish();
+}
+
+fn leftdeep_vs_bushy(c: &mut Criterion) {
+    bench_pair(
+        c,
+        "ablation_leftdeep_vs_bushy_cycle",
+        GraphKind::Cycle,
+        14,
+        &[&DpSizeLeftDeep, &DpCcp],
+    );
+}
+
+fn dphyp_generality_overhead(c: &mut Criterion) {
+    // DPhyp run on a lifted simple graph enumerates exactly the same
+    // pairs as DPccp; the delta is the price of hypergraph generality.
+    let mut group = c.benchmark_group("ablation_dphyp_overhead");
+    group.sample_size(10);
+    for kind in [GraphKind::Chain, GraphKind::Star] {
+        let n = 13;
+        let w = family_workload(kind, n, 7);
+        let h = Hypergraph::from_query_graph(&w.graph);
+        group.bench_function(format!("DPccp/{}{n}", kind.name()), |b| {
+            b.iter(|| {
+                black_box(DpCcp.optimize(black_box(&w.graph), &w.catalog, &Cout).unwrap().cost)
+            })
+        });
+        group.bench_function(format!("DPhyp/{}{n}", kind.name()), |b| {
+            b.iter(|| {
+                black_box(DpHyp.optimize(black_box(&h), &w.catalog, &Cout).unwrap().cost)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn topdown_pruning(c: &mut Criterion) {
+    // Branch-and-bound pruning vs exhaustive memoized top-down, and both
+    // vs DPccp (the bottom-up reference over the same pair space).
+    static WITH: TopDown = TopDown { pruning: true };
+    static WITHOUT: TopDown = TopDown { pruning: false };
+    bench_pair(
+        c,
+        "ablation_topdown_pruning_chain",
+        GraphKind::Chain,
+        14,
+        &[&WITH, &WITHOUT, &DpCcp],
+    );
+    bench_pair(
+        c,
+        "ablation_topdown_pruning_star",
+        GraphKind::Star,
+        12,
+        &[&WITH, &WITHOUT, &DpCcp],
+    );
+}
+
+criterion_group!(
+    benches,
+    dpsize_pair_dedup,
+    dpsub_connectedness_filter,
+    cross_products_search_space,
+    greedy_vs_exact,
+    cost_model_overhead,
+    leftdeep_vs_bushy,
+    dphyp_generality_overhead,
+    topdown_pruning
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks behind Figures 8–11: statistical timings of
+//! DPsize, DPsub and DPccp per graph family at representative sizes.
+//!
+//! Sizes are chosen so a full `cargo bench` stays in the minutes range
+//! while still showing each algorithm's asymptotic separation; the
+//! `figures` binary sweeps the full n = 2..=20 range of the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use joinopt_core::{DpCcp, DpSize, DpSub, JoinOrderer};
+use joinopt_cost::{workload::family_workload, Cout};
+use joinopt_qgraph::GraphKind;
+use std::hint::black_box;
+
+/// Per-family sizes: large enough to show separation, small enough for CI.
+fn sizes(kind: GraphKind) -> &'static [usize] {
+    match kind {
+        GraphKind::Chain | GraphKind::Cycle => &[5, 10, 15],
+        GraphKind::Star => &[5, 10, 13],
+        GraphKind::Clique => &[5, 8, 11],
+    }
+}
+
+fn bench_family(c: &mut Criterion, kind: GraphKind, figure: u32) {
+    let mut group = c.benchmark_group(format!("figure{figure}_{}", kind.name()));
+    group.sample_size(10);
+    for &n in sizes(kind) {
+        let w = family_workload(kind, n, 2006);
+        let algorithms: [&dyn JoinOrderer; 3] = [&DpSize, &DpSub, &DpCcp];
+        for alg in algorithms {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), n),
+                &n,
+                |b, _| {
+                    b.iter(|| {
+                        let r = alg
+                            .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                            .expect("valid workload");
+                        black_box(r.cost)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn chain(c: &mut Criterion) {
+    bench_family(c, GraphKind::Chain, 8);
+}
+
+fn cycle(c: &mut Criterion) {
+    bench_family(c, GraphKind::Cycle, 9);
+}
+
+fn star(c: &mut Criterion) {
+    bench_family(c, GraphKind::Star, 10);
+}
+
+fn clique(c: &mut Criterion) {
+    bench_family(c, GraphKind::Clique, 11);
+}
+
+criterion_group!(benches, chain, cycle, star, clique);
+criterion_main!(benches);

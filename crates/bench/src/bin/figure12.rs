@@ -1,0 +1,79 @@
+//! Regenerates **Figure 12** of the paper: sample absolute running
+//! times (seconds) of DPsize, DPsub and DPccp for chain, cycle, star and
+//! clique queries with n ∈ {5, 10, 15, 20}.
+//!
+//! Absolute numbers will differ from the paper's 2006 hardware, but the
+//! *shape* must match: DPsize ≈ DPccp ≪ DPsub on chains/cycles;
+//! DPccp ≪ DPsub ≪ DPsize on stars; DPsub ≲ DPccp ≪ DPsize on cliques.
+//! Cells predicted to exceed the budget are extrapolated and marked `~`
+//! (in 2006 the two worst cells took 4 791 s and 21 294 s).
+//!
+//! Usage:
+//!   cargo run --release -p joinopt-bench --bin figure12 [--full] [--budget SECS]
+
+use std::time::Duration;
+
+use joinopt_bench::{
+    format_seconds, measure_cell, paper_algorithms, write_results, HarnessConfig, Table,
+};
+use joinopt_qgraph::GraphKind;
+
+const SIZES: [usize; 4] = [5, 10, 15, 20];
+
+fn main() {
+    let mut config = HarnessConfig::default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config.budget = None,
+            "--budget" => {
+                i += 1;
+                let secs: f64 = args[i].parse().expect("--budget takes seconds");
+                config.budget = Some(Duration::from_secs_f64(secs));
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    println!("Figure 12: sample absolute running times (s)\n");
+    let mut csv = Table::new(vec!["graph", "n", "dpsize_s", "dpsub_s", "dpccp_s"]);
+    for kind in GraphKind::ALL {
+        println!("{} queries", kind.name());
+        let mut table = Table::new(vec!["n", "DPsize", "DPsub", "DPccp"]);
+        for n in SIZES {
+            let mut cells = Vec::with_capacity(3);
+            let mut raw = Vec::with_capacity(3);
+            for (alg, id) in paper_algorithms() {
+                let m = measure_cell(alg, id, kind, n, &config);
+                let text = if m.extrapolated {
+                    format!("~{}", format_seconds(m.seconds))
+                } else {
+                    format_seconds(m.seconds)
+                };
+                cells.push(text);
+                raw.push(m.seconds);
+            }
+            table.row(vec![
+                n.to_string(),
+                cells[0].clone(),
+                cells[1].clone(),
+                cells[2].clone(),
+            ]);
+            csv.row(vec![
+                kind.name().to_string(),
+                n.to_string(),
+                format!("{}", raw[0]),
+                format!("{}", raw[1]),
+                format!("{}", raw[2]),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    match write_results("figure12.csv", &csv.to_csv()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    println!("cells marked ~ were extrapolated (counter formula × calibrated ns/iter).");
+}

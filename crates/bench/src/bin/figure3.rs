@@ -1,0 +1,81 @@
+//! Regenerates **Figure 3** of the paper: "Size of the search space for
+//! different graph structures" — `#ccp`, and the `InnerCounter` values
+//! of DPsub and DPsize, for chain/cycle/star/clique queries with
+//! n ∈ {2, 5, 10, 15, 20}.
+//!
+//! The table is computed from the exact closed forms (Sections 2.1, 2.2
+//! and 2.3.2, with the published typos corrected — see DESIGN.md §5) and
+//! verified against instrumented algorithm runs for every cell that is
+//! cheap enough to execute (`--verify-budget` iterations, default 10⁷).
+//!
+//! Usage: `cargo run --release -p joinopt-bench --bin figure3 [--no-verify]`
+
+use joinopt_bench::{write_results, Table};
+use joinopt_core::formulas::{dpsize_inner, dpsub_inner};
+use joinopt_core::{DpSize, DpSub, JoinOrderer};
+use joinopt_cost::{workload::family_workload, Cout};
+use joinopt_qgraph::formulas::ccp_distinct;
+use joinopt_qgraph::GraphKind;
+
+const SIZES: [u64; 5] = [2, 5, 10, 15, 20];
+const VERIFY_BUDGET: u128 = 10_000_000;
+
+fn main() {
+    let verify = !std::env::args().any(|a| a == "--no-verify");
+    let mut csv = Table::new(vec!["graph", "n", "ccp", "dpsub_inner", "dpsize_inner"]);
+
+    println!("Figure 3: size of the search space for different graph structures");
+    println!("(#ccp = csg-cmp-pairs, symmetric pairs excluded — the Ono/Lohman count)\n");
+
+    for kind in GraphKind::ALL {
+        let mut table = Table::new(vec!["n", "#ccp", "DPsub", "DPsize"]);
+        for n in SIZES {
+            let ccp = ccp_distinct(kind, n);
+            let sub = dpsub_inner(kind, n);
+            let size = dpsize_inner(kind, n);
+            table.row(vec![
+                n.to_string(),
+                ccp.to_string(),
+                sub.to_string(),
+                size.to_string(),
+            ]);
+            csv.row(vec![
+                kind.name().to_string(),
+                n.to_string(),
+                ccp.to_string(),
+                sub.to_string(),
+                size.to_string(),
+            ]);
+            if verify {
+                verify_cell(kind, n, ccp, sub, size);
+            }
+        }
+        println!("{}\n{}", kind.name(), table.render());
+    }
+
+    match write_results("figure3.csv", &csv.to_csv()) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    if verify {
+        println!(
+            "all cells under {VERIFY_BUDGET} iterations verified against instrumented runs ✓"
+        );
+    }
+}
+
+/// Runs the instrumented algorithms where feasible and asserts the
+/// measured counters equal the closed forms.
+fn verify_cell(kind: GraphKind, n: u64, ccp: u128, sub: u128, size: u128) {
+    let w = family_workload(kind, n as usize, 0);
+    if size <= VERIFY_BUDGET {
+        let r = DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(u128::from(r.counters.inner), size, "DPsize {kind} n={n}");
+        assert_eq!(u128::from(r.counters.ono_lohman), ccp, "#ccp {kind} n={n}");
+    }
+    if sub <= VERIFY_BUDGET {
+        let r = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(u128::from(r.counters.inner), sub, "DPsub {kind} n={n}");
+        assert_eq!(u128::from(r.counters.ono_lohman), ccp, "#ccp {kind} n={n}");
+    }
+}

@@ -1,0 +1,115 @@
+//! Regenerates **Figures 8–11** of the paper: runtime of DPsize and
+//! DPsub *relative to DPccp* (DPccp ≡ 1.0) as the number of relations
+//! grows from 2 to 20, one figure per graph family:
+//!
+//! * Figure 8 — chain queries
+//! * Figure 9 — cycle queries
+//! * Figure 10 — star queries
+//! * Figure 11 — clique queries
+//!
+//! Cells whose predicted runtime exceeds the per-cell budget are
+//! extrapolated from calibrated per-iteration costs and marked `~`
+//! (the exact counter formulas make the extrapolation principled; see
+//! the harness docs). Use `--full` to really run everything — DPsize on
+//! star/clique n = 20 needs ~10¹¹ iterations, so expect minutes to hours.
+//!
+//! Usage:
+//!   cargo run --release -p joinopt-bench --bin figures [family…] [--full] [--budget SECS] [--max-n N]
+
+use std::time::Duration;
+
+use joinopt_bench::{measure_cell, paper_algorithms, write_results, HarnessConfig, Table};
+use joinopt_qgraph::GraphKind;
+
+fn main() {
+    let mut config = HarnessConfig::default();
+    let mut kinds: Vec<GraphKind> = Vec::new();
+    let mut max_n: usize = 20;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => config.budget = None,
+            "--budget" => {
+                i += 1;
+                let secs: f64 = args[i].parse().expect("--budget takes seconds");
+                config.budget = Some(Duration::from_secs_f64(secs));
+            }
+            "--max-n" => {
+                i += 1;
+                max_n = args[i].parse().expect("--max-n takes an integer");
+            }
+            other => {
+                kinds.push(
+                    GraphKind::parse(other)
+                        .unwrap_or_else(|| panic!("unknown graph family: {other}")),
+                );
+            }
+        }
+        i += 1;
+    }
+    if kinds.is_empty() {
+        kinds = GraphKind::ALL.to_vec();
+    }
+
+    for kind in kinds {
+        let figure = match kind {
+            GraphKind::Chain => 8,
+            GraphKind::Cycle => 9,
+            GraphKind::Star => 10,
+            GraphKind::Clique => 11,
+        };
+        println!(
+            "Figure {figure}: relative performance for {} queries (DPccp = 1.0)",
+            kind.name()
+        );
+        let mut table = Table::new(vec![
+            "n",
+            "DPsize/DPccp",
+            "DPsub/DPccp",
+            "DPccp",
+            "DPccp secs",
+        ]);
+        let mut csv = Table::new(vec!["n", "dpsize_rel", "dpsub_rel", "dpccp_secs"]);
+        for n in 2..=max_n {
+            let algs = paper_algorithms();
+            let mut secs = [0.0f64; 3];
+            let mut extrapolated = [false; 3];
+            for (slot, (alg, id)) in algs.iter().enumerate() {
+                let m = measure_cell(*alg, *id, kind, n, &config);
+                secs[slot] = m.seconds;
+                extrapolated[slot] = m.extrapolated;
+            }
+            let base = secs[2].max(1e-12);
+            let mark = |v: f64, e: bool| {
+                if e {
+                    format!("~{v:.2}")
+                } else {
+                    format!("{v:.2}")
+                }
+            };
+            table.row(vec![
+                n.to_string(),
+                mark(secs[0] / base, extrapolated[0]),
+                mark(secs[1] / base, extrapolated[1]),
+                "1.00".to_string(),
+                format!("{:.3e}", secs[2]),
+            ]);
+            csv.row(vec![
+                n.to_string(),
+                format!("{}", secs[0] / base),
+                format!("{}", secs[1] / base),
+                format!("{}", secs[2]),
+            ]);
+        }
+        println!("{}", table.render());
+        let file = format!("figure{figure}_{}.csv", kind.name());
+        match write_results(&file, &csv.to_csv()) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write CSV: {e}\n"),
+        }
+    }
+    println!("cells marked ~ were extrapolated from calibrated per-iteration cost");
+    println!("(exact counter formulas × measured ns/iteration); use --full to run them.");
+}

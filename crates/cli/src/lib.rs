@@ -1,0 +1,365 @@
+//! Implementation of the `joinopt` command-line tool.
+//!
+//! The binary (`src/main.rs`) is a thin wrapper around [`run`], which
+//! writes to any `io::Write` so the integration tests can drive every
+//! command end-to-end without spawning processes.
+//!
+//! ```text
+//! joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
+//! joinopt compare  <query-file> [--cost-model NAME]
+//! joinopt generate <family> <n> [--seed S]
+//! joinopt counters <family> <max-n>
+//! joinopt help
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::io::Write;
+use std::time::Instant;
+
+use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
+use joinopt_core::greedy::Goo;
+use joinopt_core::{Algorithm, DpCcp, DpHyp, DpSize, DpSub, JoinOrderer};
+use joinopt_cost::{
+    workload, CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin, SortMergeJoin,
+};
+use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
+use joinopt_qgraph::GraphKind;
+use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
+
+/// Errors surfaced to the CLI user (exit code 1 + message).
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong invocation (unknown command, missing/invalid arguments).
+    Usage(String),
+    /// A file could not be read.
+    Io(std::io::Error),
+    /// The query file did not parse.
+    Parse(joinopt_query::ParseError),
+    /// The SQL query file did not parse.
+    Sql(joinopt_query::SqlError),
+    /// Optimization failed (disconnected graph, …).
+    Optimize(joinopt_core::OptimizeError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(e) => write!(f, "io error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Sql(e) => write!(f, "SQL parse error: {e}"),
+            CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<joinopt_query::ParseError> for CliError {
+    fn from(e: joinopt_query::ParseError) -> Self {
+        CliError::Parse(e)
+    }
+}
+
+impl From<joinopt_query::SqlError> for CliError {
+    fn from(e: joinopt_query::SqlError) -> Self {
+        CliError::Sql(e)
+    }
+}
+
+impl From<joinopt_core::OptimizeError> for CliError {
+    fn from(e: joinopt_core::OptimizeError) -> Self {
+        CliError::Optimize(e)
+    }
+}
+
+/// The usage text printed by `joinopt help` and on usage errors.
+pub const USAGE: &str = "\
+joinopt — optimal bushy join trees without cross products (VLDB 2006)
+
+USAGE:
+  joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
+  joinopt compare  <query-file> [--cost-model NAME]
+  joinopt generate <family> <n> [--seed S]
+  joinopt counters <family> <max-n>
+  joinopt help
+
+ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
+             dpsize-naive, dpsub-nofilter, dpsub-cp
+COST MODELS: cout (default), nlj, hash, smj, min
+FAMILIES:    chain, cycle, star, clique
+
+Query files are either the native DSL:
+  relation <name> <cardinality>
+  join <name> <name> [<selectivity>]     # default selectivity 0.1
+  join <a>,<b> <c> [<selectivity>]       # complex predicate -> DPhyp
+or conjunctive SQL (detected by a leading SELECT):
+  SELECT * FROM t /*+ rows=N */ a, ...
+  WHERE a.x = b.y /*+ sel=F */ AND ...
+";
+
+/// Entry point shared by the binary and the tests.
+///
+/// `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for bad usage, unreadable files, parse failures
+/// and optimizer rejections.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match command.as_str() {
+        "optimize" => cmd_optimize(&args[1..], out),
+        "compare" => cmd_compare(&args[1..], out),
+        "generate" => cmd_generate(&args[1..], out),
+        "counters" => cmd_counters(&args[1..], out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn parse_cost_model(name: &str) -> Result<Box<dyn CostModel>, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "cout" => Ok(Box::new(Cout)),
+        "nlj" => Ok(Box::new(NestedLoopJoin)),
+        "hash" => Ok(Box::new(HashJoin)),
+        "smj" => Ok(Box::new(SortMergeJoin)),
+        "min" => Ok(Box::new(MinOverPhysical)),
+        other => Err(CliError::Usage(format!("unknown cost model `{other}`"))),
+    }
+}
+
+fn parse_family(name: &str) -> Result<GraphKind, CliError> {
+    GraphKind::parse(name)
+        .ok_or_else(|| CliError::Usage(format!("unknown graph family `{name}`")))
+}
+
+/// Positional arguments and `--key value` option pairs.
+type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
+
+/// Splits `args` into positionals and `--key value` options.
+fn split_options(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
+    let mut positional = Vec::new();
+    let mut options = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if let Some(key) = a.strip_prefix("--") {
+            let Some(value) = args.get(i + 1) else {
+                return Err(CliError::Usage(format!("option --{key} needs a value")));
+            };
+            options.push((key, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(a);
+            i += 1;
+        }
+    }
+    Ok((positional, options))
+}
+
+fn load_query(path: &str) -> Result<ParsedQuery, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    // Dispatch on content: conjunctive SQL vs the native DSL. SQL files
+    // may lead with `--` comments; DSL files with `#` comments.
+    let looks_like_sql = text
+        .lines()
+        .map(str::trim_start)
+        .find(|l| !l.is_empty() && !l.starts_with("--"))
+        .is_some_and(|l| l.len() >= 6 && l[..6].eq_ignore_ascii_case("select"));
+    if looks_like_sql {
+        Ok(parse_sql(&text)?)
+    } else {
+        Ok(parse(&text)?)
+    }
+}
+
+fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage("optimize expects one query file".into()));
+    };
+    let mut algorithm = Algorithm::Auto;
+    let mut model: Box<dyn CostModel> = Box::new(Cout);
+    for (key, value) in options {
+        match key {
+            "algorithm" => {
+                algorithm = Algorithm::parse(value).ok_or_else(|| {
+                    CliError::Usage(format!("unknown algorithm `{value}`"))
+                })?;
+            }
+            "cost-model" => model = parse_cost_model(value)?,
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+
+    let q = load_query(path)?;
+    let (name, result, elapsed) = match q.graph() {
+        Some(graph) => {
+            let orderer = algorithm.orderer(graph);
+            let start = Instant::now();
+            let result = orderer.optimize(graph, &q.catalog, model.as_ref())?;
+            (orderer.name(), result, start.elapsed())
+        }
+        None => {
+            // Complex (hyper) predicates: DPhyp is the only applicable
+            // algorithm.
+            if !matches!(algorithm, Algorithm::Auto) {
+                return Err(CliError::Usage(
+                    "this query has complex (multi-relation) predicates; only DPhyp                      applies — drop --algorithm"
+                        .into(),
+                ));
+            }
+            let start = Instant::now();
+            let result = DpHyp.optimize(&q.hypergraph, &q.catalog, model.as_ref())?;
+            (DpHyp.name(), result, start.elapsed())
+        }
+    };
+
+    writeln!(out, "algorithm:   {name}")?;
+    writeln!(out, "cost model:  {}", model.name())?;
+    writeln!(out, "plan:        {}", q.render_tree(&result.tree))?;
+    writeln!(out, "cost:        {:.6e}", result.cost)?;
+    writeln!(out, "cardinality: {:.6e}", result.cardinality)?;
+    writeln!(out, "counters:    {}", result.counters)?;
+    writeln!(out, "time:        {elapsed:.2?}")?;
+    writeln!(out)?;
+    writeln!(out, "{}", result.tree.explain())?;
+    Ok(())
+}
+
+fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage("compare expects one query file".into()));
+    };
+    let mut model: Box<dyn CostModel> = Box::new(Cout);
+    for (key, value) in options {
+        match key {
+            "cost-model" => model = parse_cost_model(value)?,
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let q = load_query(path)?;
+    writeln!(
+        out,
+        "{:<10} {:>12} {:>14} {:>14} {:>14}",
+        "algorithm", "time", "inner", "csg-cmp-pairs", "cost"
+    )?;
+    let mut print_row = |name: &str,
+                         elapsed: std::time::Duration,
+                         result: &joinopt_core::DpResult|
+     -> Result<(), CliError> {
+        writeln!(
+            out,
+            "{:<10} {:>12} {:>14} {:>14} {:>14.6e}",
+            name,
+            format!("{elapsed:.2?}"),
+            result.counters.inner,
+            result.counters.csg_cmp_pairs,
+            result.cost
+        )?;
+        Ok(())
+    };
+    match q.graph() {
+        Some(graph) => {
+            let algorithms: [&dyn JoinOrderer; 4] = [&DpSize, &DpSub, &DpCcp, &Goo];
+            for alg in algorithms {
+                let start = Instant::now();
+                let result = alg.optimize(graph, &q.catalog, model.as_ref())?;
+                print_row(alg.name(), start.elapsed(), &result)?;
+            }
+        }
+        None => {
+            let start = Instant::now();
+            let result = DpHyp.optimize(&q.hypergraph, &q.catalog, model.as_ref())?;
+            print_row(DpHyp.name(), start.elapsed(), &result)?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    let [family, n_text] = positional.as_slice() else {
+        return Err(CliError::Usage("generate expects a family and a size".into()));
+    };
+    let kind = parse_family(family)?;
+    let n: usize = n_text
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid size `{n_text}`")))?;
+    if n == 0 || n > 64 {
+        return Err(CliError::Usage(format!("size {n} out of range 1..=64")));
+    }
+    let mut seed = 2006u64;
+    for (key, value) in options {
+        match key {
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid seed `{value}`")))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let w = workload::family_workload(kind, n, seed);
+    // Reuse the writer by going through the text format: name relations R0….
+    use core::fmt::Write as _;
+    let mut src = String::new();
+    for i in 0..n {
+        let _ = writeln!(src, "relation R{i} {}", w.catalog.cardinality(i));
+    }
+    for (edge_id, e) in w.graph.edges().iter().enumerate() {
+        let _ = writeln!(src, "join R{} R{} {}", e.u, e.v, w.catalog.selectivity(edge_id));
+    }
+    let q = parse(&src).expect("generated workloads are valid");
+    writeln!(out, "# {kind} query, n = {n}, seed = {seed}")?;
+    write!(out, "{}", write_query(&q))?;
+    Ok(())
+}
+
+fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, _) = split_options(args)?;
+    let [family, max_text] = positional.as_slice() else {
+        return Err(CliError::Usage("counters expects a family and a maximum size".into()));
+    };
+    let kind = parse_family(family)?;
+    let max_n: u64 = max_text
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid size `{max_text}`")))?;
+    if max_n == 0 || max_n > 40 {
+        return Err(CliError::Usage(format!("size {max_n} out of range 1..=40")));
+    }
+    writeln!(
+        out,
+        "{:<4} {:>16} {:>16} {:>20} {:>20} {:>16}",
+        "n", "#csg", "#ccp", "I_DPsize", "I_DPsub", "I_DPccp"
+    )?;
+    for n in 2..=max_n {
+        writeln!(
+            out,
+            "{:<4} {:>16} {:>16} {:>20} {:>20} {:>16}",
+            n,
+            csg_count(kind, n),
+            ccp_distinct(kind, n),
+            dpsize_inner(kind, n),
+            dpsub_inner(kind, n),
+            dpccp_inner(kind, n)
+        )?;
+    }
+    Ok(())
+}

@@ -1,0 +1,290 @@
+//! End-to-end tests of every CLI command, driven through
+//! [`joinopt_cli::run`] with captured output.
+
+use joinopt_cli::{run, CliError};
+
+fn run_ok(args: &[&str]) -> String {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run(&args, &mut out).unwrap_or_else(|e| panic!("command {args:?} failed: {e}"));
+    String::from_utf8(out).expect("utf8 output")
+}
+
+fn run_err(args: &[&str]) -> CliError {
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let mut out = Vec::new();
+    run(&args, &mut out).expect_err("command should fail")
+}
+
+fn write_query_file(content: &str) -> tempfile::TempPath {
+    use std::io::Write as _;
+    let mut f = tempfile::Builder::new()
+        .suffix(".query")
+        .tempfile()
+        .expect("create temp file");
+    f.write_all(content.as_bytes()).unwrap();
+    f.into_temp_path()
+}
+
+/// Minimal stand-in for the `tempfile` crate (not in the offline set):
+/// writes to a unique path under the target tmp dir and removes it on
+/// drop.
+mod tempfile {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct Builder {
+        suffix: String,
+    }
+
+    impl Builder {
+        pub fn new() -> Builder {
+            Builder { suffix: String::new() }
+        }
+
+        pub fn suffix(mut self, s: &str) -> Builder {
+            self.suffix = s.to_string();
+            self
+        }
+
+        pub fn tempfile(self) -> std::io::Result<TempFile> {
+            let dir = std::env::temp_dir();
+            let unique = format!(
+                "joinopt-cli-test-{}-{}{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed),
+                self.suffix
+            );
+            let path = dir.join(unique);
+            let file = std::fs::File::create(&path)?;
+            Ok(TempFile { file, path })
+        }
+    }
+
+    pub struct TempFile {
+        file: std::fs::File,
+        path: PathBuf,
+    }
+
+    impl TempFile {
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath { path: self.path }
+        }
+    }
+
+    impl std::io::Write for TempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    pub struct TempPath {
+        path: PathBuf,
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+const CHAIN_QUERY: &str = "\
+relation customer 150000
+relation orders 1500000
+relation lineitem 6000000
+join customer orders 6.67e-6
+join orders lineitem 6.67e-7
+";
+
+#[test]
+fn help_prints_usage() {
+    let out = run_ok(&["help"]);
+    assert!(out.contains("USAGE"));
+    assert!(out.contains("optimize"));
+    assert!(out.contains("counters"));
+}
+
+#[test]
+fn optimize_defaults() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["optimize", path.to_str().unwrap()]);
+    assert!(out.contains("algorithm:   DPccp"), "{out}");
+    assert!(out.contains("cost model:  Cout"));
+    assert!(out.contains("customer"));
+    assert!(out.contains('⋈'));
+    assert!(out.contains("Scan R0"));
+}
+
+#[test]
+fn optimize_with_explicit_algorithm_and_model() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--algorithm",
+        "dpsize",
+        "--cost-model",
+        "hash",
+    ]);
+    assert!(out.contains("algorithm:   DPsize"), "{out}");
+    assert!(out.contains("cost model:  HashJoin"));
+}
+
+#[test]
+fn optimize_rejects_unknowns() {
+    let path = write_query_file(CHAIN_QUERY);
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--algorithm", "magic"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--cost-model", "magic"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--bogus", "1"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn optimize_propagates_parse_errors_with_lines() {
+    let path = write_query_file("relation a ten\n");
+    match run_err(&["optimize", path.to_str().unwrap()]) {
+        CliError::Parse(e) => assert_eq!(e.line(), Some(1)),
+        other => panic!("expected parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn optimize_rejects_disconnected_queries() {
+    let path = write_query_file("relation a 10\nrelation b 10\n");
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap()]),
+        CliError::Optimize(_)
+    ));
+}
+
+#[test]
+fn optimize_missing_file_is_io_error() {
+    assert!(matches!(
+        run_err(&["optimize", "/nonexistent/query.txt"]),
+        CliError::Io(_)
+    ));
+}
+
+#[test]
+fn compare_lists_all_algorithms() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["compare", path.to_str().unwrap()]);
+    for name in ["DPsize", "DPsub", "DPccp", "GOO"] {
+        assert!(out.contains(name), "missing {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn generate_emits_parseable_queries() {
+    for family in ["chain", "cycle", "star", "clique"] {
+        let out = run_ok(&["generate", family, "6", "--seed", "9"]);
+        let body: String = out
+            .lines()
+            .filter(|l| !l.trim_start().starts_with('#'))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let q = joinopt_query::parse(&body).expect("generated output must parse");
+        assert_eq!(q.hypergraph.num_relations(), 6);
+        // Determinism: same seed, same output.
+        let again = run_ok(&["generate", family, "6", "--seed", "9"]);
+        assert_eq!(out, again);
+    }
+}
+
+#[test]
+fn generate_validates_arguments() {
+    assert!(matches!(run_err(&["generate", "moebius", "5"]), CliError::Usage(_)));
+    assert!(matches!(run_err(&["generate", "chain", "zero"]), CliError::Usage(_)));
+    assert!(matches!(run_err(&["generate", "chain", "0"]), CliError::Usage(_)));
+    assert!(matches!(run_err(&["generate", "chain", "65"]), CliError::Usage(_)));
+}
+
+#[test]
+fn counters_reproduce_figure3_values() {
+    let out = run_ok(&["counters", "star", "20"]);
+    // Figure 3 star row n=20: ccp 4980736, DPsub 2323474358, DPsize 59892991338.
+    let row = out.lines().find(|l| l.starts_with("20")).expect("row for n=20");
+    assert!(row.contains("4980736"), "{row}");
+    assert!(row.contains("2323474358"), "{row}");
+    assert!(row.contains("59892991338"), "{row}");
+}
+
+#[test]
+fn optimize_routes_complex_queries_to_dphyp() {
+    let path = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin a,b c 0.05\n",
+    );
+    let out = run_ok(&["optimize", path.to_str().unwrap()]);
+    assert!(out.contains("algorithm:   DPhyp"), "{out}");
+    assert!(out.contains("(a ⋈ b) ⋈ c") || out.contains("c ⋈ (a ⋈ b)"), "{out}");
+    // Explicit simple-graph algorithms are rejected for complex queries.
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--algorithm", "dpsize"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn compare_runs_dphyp_for_complex_queries() {
+    let path = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin a,b c 0.05\n",
+    );
+    let out = run_ok(&["compare", path.to_str().unwrap()]);
+    assert!(out.contains("DPhyp"), "{out}");
+    assert!(!out.contains("DPsize"), "{out}");
+}
+
+#[test]
+fn optimize_accepts_sql_files() {
+    let path = write_query_file(
+        "SELECT *\nFROM customer /*+ rows=150000 */ c, orders /*+ rows=1500000 */ o\n\
+         WHERE c.ck = o.ck /*+ sel=6.7e-6 */\n",
+    );
+    let out = run_ok(&["optimize", path.to_str().unwrap()]);
+    assert!(out.contains('⋈'), "{out}");
+    assert!(out.contains("c") && out.contains("o"));
+    assert!(out.contains("cost:"), "{out}");
+}
+
+#[test]
+fn sql_parse_errors_are_reported() {
+    let path = write_query_file("SELECT * FROM a WHERE ghost.x = a.y\n");
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap()]),
+        CliError::Sql(_)
+    ));
+}
+
+#[test]
+fn sql_with_leading_comment_detected() {
+    let path = write_query_file("-- a comment\nSELECT * FROM a, b WHERE a.x = b.y\n");
+    let out = run_ok(&["compare", path.to_str().unwrap()]);
+    assert!(out.contains("DPccp"), "{out}");
+}
+
+#[test]
+fn unknown_command_is_usage_error() {
+    assert!(matches!(run_err(&["explode"]), CliError::Usage(_)));
+    assert!(matches!(run_err(&[]), CliError::Usage(_)));
+}

@@ -1,0 +1,390 @@
+//! Simulated annealing over bushy join trees — the classical randomized
+//! rival of dynamic programming (Ioannidis & Kang; Steinbrunn, Moerkotte
+//! & Kemper's comparative study).
+//!
+//! Where the paper's DP algorithms guarantee the optimum at exponential
+//! worst-case cost, simulated annealing walks the space of valid
+//! cross-product-free bushy trees with the textbook move set —
+//! commutativity swaps, associativity rotations and subtree exchanges —
+//! accepting uphill moves with probability `exp(−Δ/T)` under a geometric
+//! cooling schedule. It provides a tunable any-time baseline against
+//! which the DP guarantees can be appreciated (see the `quality`
+//! benchmark binary).
+//!
+//! All randomness is seeded, so runs are reproducible.
+
+use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_plan::PlanArena;
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::RelSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::counters::Counters;
+use crate::error::OptimizeError;
+use crate::result::{DpResult, JoinOrderer};
+
+/// Simulated annealing join orderer.
+#[derive(Debug, Clone, Copy)]
+pub struct SimulatedAnnealing {
+    /// Number of proposed moves.
+    pub iterations: u32,
+    /// Starting temperature, as a fraction of the initial cost.
+    pub initial_temperature: f64,
+    /// Geometric cooling factor per iteration (0 < c < 1).
+    pub cooling: f64,
+    /// RNG seed (runs are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            iterations: 20_000,
+            initial_temperature: 0.5,
+            cooling: 0.9995,
+            seed: 2006,
+        }
+    }
+}
+
+impl SimulatedAnnealing {
+    /// A configuration with the given seed and defaults otherwise.
+    pub fn with_seed(seed: u64) -> SimulatedAnnealing {
+        SimulatedAnnealing { seed, ..SimulatedAnnealing::default() }
+    }
+}
+
+/// In-place tree representation: node 0..n-1 are the leaves.
+#[derive(Clone, Copy, Debug)]
+enum Node {
+    Leaf(usize),
+    Join(usize, usize),
+}
+
+#[derive(Clone)]
+struct Solution {
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+impl Solution {
+    /// Relation set per node (recomputed bottom-up).
+    fn rels(&self, g: &QueryGraph) -> Vec<RelSet> {
+        let _ = g;
+        let mut rels = vec![RelSet::EMPTY; self.nodes.len()];
+        // Nodes are created children-before-parents, so one forward pass
+        // after the initial build works; to stay robust under rewrites we
+        // recurse instead.
+        fn rec(nodes: &[Node], i: usize, rels: &mut [RelSet]) -> RelSet {
+            let r = match nodes[i] {
+                Node::Leaf(rel) => RelSet::single(rel),
+                Node::Join(l, rr) => rec(nodes, l, rels) | rec(nodes, rr, rels),
+            };
+            rels[i] = r;
+            r
+        }
+        rec(&self.nodes, self.root, &mut rels);
+        rels
+    }
+
+    /// `true` iff every join connects its operands.
+    fn is_valid(&self, g: &QueryGraph) -> bool {
+        let rels = self.rels(g);
+        self.nodes.iter().all(|n| match *n {
+            Node::Leaf(_) => true,
+            Node::Join(l, r) => g.sets_connected(rels[l], rels[r]),
+        })
+    }
+
+    /// Total cost under the model (both operand orders are *not*
+    /// explored here — the tree fixes the order; swaps are a move).
+    fn cost(&self, g: &QueryGraph, est: &CardinalityEstimator, model: &dyn CostModel) -> f64 {
+        let _ = g;
+        fn rec(
+            nodes: &[Node],
+            i: usize,
+            est: &CardinalityEstimator,
+            model: &dyn CostModel,
+        ) -> (RelSet, PlanStats) {
+            match nodes[i] {
+                Node::Leaf(rel) => {
+                    (RelSet::single(rel), PlanStats::base(est.base_cardinality(rel)))
+                }
+                Node::Join(l, r) => {
+                    let (ls, lp) = rec(nodes, l, est, model);
+                    let (rs, rp) = rec(nodes, r, est, model);
+                    let out = est.join_cardinality(lp.cardinality, rp.cardinality, ls, rs);
+                    let cost = model.join_cost(&lp, &rp, out);
+                    (ls | rs, PlanStats { cardinality: out, cost })
+                }
+            }
+        }
+        rec(&self.nodes, self.root, est, model).1.cost
+    }
+}
+
+/// A random valid bushy tree: repeatedly merge a uniformly random
+/// connected component pair.
+fn random_solution(g: &QueryGraph, rng: &mut StdRng) -> Solution {
+    let n = g.num_relations();
+    let mut nodes: Vec<Node> = (0..n).map(Node::Leaf).collect();
+    // (node index, relation set) per live component.
+    let mut comps: Vec<(usize, RelSet)> = (0..n).map(|i| (i, RelSet::single(i))).collect();
+    while comps.len() > 1 {
+        // Collect joinable pairs.
+        let mut pairs = Vec::new();
+        for i in 0..comps.len() {
+            for j in i + 1..comps.len() {
+                if g.sets_connected(comps[i].1, comps[j].1) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        let &(i, j) = &pairs[rng.gen_range(0..pairs.len())];
+        let (ni, ri) = comps[i];
+        let (nj, rj) = comps[j];
+        nodes.push(if rng.gen_bool(0.5) { Node::Join(ni, nj) } else { Node::Join(nj, ni) });
+        comps[i] = (nodes.len() - 1, ri | rj);
+        comps.swap_remove(j);
+    }
+    Solution { root: nodes.len() - 1, nodes }
+}
+
+/// Applies one random move; returns `None` when the move is invalid or
+/// inapplicable at the chosen site.
+fn propose(sol: &Solution, g: &QueryGraph, rng: &mut StdRng) -> Option<Solution> {
+    let joins: Vec<usize> = (0..sol.nodes.len())
+        .filter(|&i| matches!(sol.nodes[i], Node::Join(..)))
+        .collect();
+    let site = joins[rng.gen_range(0..joins.len())];
+    let Node::Join(l, r) = sol.nodes[site] else { unreachable!("filtered to joins") };
+    let mut next = sol.clone();
+    match rng.gen_range(0..4u8) {
+        // Commutativity: A ⋈ B → B ⋈ A (always valid).
+        0 => {
+            next.nodes[site] = Node::Join(r, l);
+            Some(next)
+        }
+        // Left rotation: (A ⋈ B) ⋈ C → A ⋈ (B ⋈ C).
+        1 => {
+            let Node::Join(a, b) = sol.nodes[l] else { return None };
+            next.nodes[l] = Node::Join(b, r);
+            next.nodes[site] = Node::Join(a, l);
+            next.is_valid(g).then_some(next)
+        }
+        // Right rotation: A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C.
+        2 => {
+            let Node::Join(b, c) = sol.nodes[r] else { return None };
+            next.nodes[r] = Node::Join(l, b);
+            next.nodes[site] = Node::Join(r, c);
+            next.is_valid(g).then_some(next)
+        }
+        // Exchange: (A ⋈ B) ⋈ (C ⋈ D) → (A ⋈ C) ⋈ (B ⋈ D).
+        _ => {
+            let Node::Join(a, b) = sol.nodes[l] else { return None };
+            let Node::Join(c, d) = sol.nodes[r] else { return None };
+            next.nodes[l] = Node::Join(a, c);
+            next.nodes[r] = Node::Join(b, d);
+            next.is_valid(g).then_some(next)
+        }
+    }
+}
+
+impl JoinOrderer for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SimulatedAnnealing"
+    }
+
+    fn optimize(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+    ) -> Result<DpResult, OptimizeError> {
+        if g.num_relations() == 0 {
+            return Err(OptimizeError::EmptyQuery);
+        }
+        g.require_connected()?;
+        let est = CardinalityEstimator::new(g, catalog)?;
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut counters = Counters::new();
+
+        let mut current = random_solution(g, &mut rng);
+        let mut current_cost = current.cost(g, &est, model);
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        let mut temperature = self.initial_temperature * current_cost.max(1.0);
+
+        if g.num_relations() > 1 {
+            for _ in 0..self.iterations {
+                counters.inner += 1;
+                temperature *= self.cooling;
+                let Some(candidate) = propose(&current, g, &mut rng) else {
+                    continue;
+                };
+                let cost = candidate.cost(g, &est, model);
+                let delta = cost - current_cost;
+                if delta <= 0.0
+                    || rng.gen_bool((-delta / temperature.max(1e-12)).exp().clamp(0.0, 1.0))
+                {
+                    current = candidate;
+                    current_cost = cost;
+                    if cost < best_cost {
+                        best = current.clone();
+                        best_cost = cost;
+                    }
+                }
+            }
+        }
+
+        // Materialize the best tree into a plan arena.
+        let mut arena = PlanArena::with_capacity(best.nodes.len());
+        fn build(
+            nodes: &[Node],
+            i: usize,
+            est: &CardinalityEstimator,
+            model: &dyn CostModel,
+            arena: &mut PlanArena,
+        ) -> (RelSet, joinopt_plan::PlanId, PlanStats) {
+            match nodes[i] {
+                Node::Leaf(rel) => {
+                    let card = est.base_cardinality(rel);
+                    (RelSet::single(rel), arena.add_scan(rel, card), PlanStats::base(card))
+                }
+                Node::Join(l, r) => {
+                    let (ls, lp, lstats) = build(nodes, l, est, model, arena);
+                    let (rs, rp, rstats) = build(nodes, r, est, model, arena);
+                    let out =
+                        est.join_cardinality(lstats.cardinality, rstats.cardinality, ls, rs);
+                    let cost = model.join_cost(&lstats, &rstats, out);
+                    let stats = PlanStats { cardinality: out, cost };
+                    (ls | rs, arena.add_join(lp, rp, stats), stats)
+                }
+            }
+        }
+        let (_, plan, stats) = build(&best.nodes, best.root, &est, model, &mut arena);
+        Ok(DpResult {
+            tree: arena.extract(plan),
+            cost: stats.cost,
+            cardinality: stats.cardinality,
+            counters,
+            table_size: 0,
+            plans_built: arena.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpCcp, JoinOrderer};
+    use joinopt_cost::{workload, Cout, HashJoin};
+    use joinopt_qgraph::GraphKind;
+
+    #[test]
+    fn never_beats_the_optimum() {
+        for seed in 0..10 {
+            let w = workload::random_workload(8, 0.3, seed);
+            let sa = SimulatedAnnealing::with_seed(seed)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
+            let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            assert!(
+                sa.cost >= opt.cost - 1e-9 * opt.cost.abs().max(1.0),
+                "seed {seed}: SA {} < optimal {}",
+                sa.cost,
+                opt.cost
+            );
+        }
+    }
+
+    #[test]
+    fn finds_optimum_on_small_queries() {
+        // With a generous budget on 6 relations, SA should land on the
+        // optimum for the large majority of seeds.
+        let mut hits = 0;
+        for seed in 0..10 {
+            let w = workload::random_workload(6, 0.4, seed + 50);
+            let sa = SimulatedAnnealing::with_seed(seed)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
+            let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            if (sa.cost - opt.cost).abs() <= 1e-6 * opt.cost.abs().max(1.0) {
+                hits += 1;
+            }
+        }
+        assert!(hits >= 7, "SA matched the optimum on only {hits}/10 small queries");
+    }
+
+    #[test]
+    fn produces_valid_trees_without_cross_products() {
+        for kind in GraphKind::ALL {
+            let w = workload::family_workload(kind, 9, 3);
+            let r = SimulatedAnnealing::with_seed(1)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
+            assert_eq!(r.tree.relations(), w.graph.all_relations(), "{kind}");
+            assert_eq!(r.tree.num_joins(), 8, "{kind}");
+            fn check(g: &QueryGraph, t: &joinopt_plan::JoinTree) {
+                if let joinopt_plan::JoinTree::Join { left, right, .. } = t {
+                    assert!(g.sets_connected(left.relations(), right.relations()));
+                    check(g, left);
+                    check(g, right);
+                }
+            }
+            check(&w.graph, &r.tree);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let w = workload::random_workload(8, 0.3, 7);
+        let a = SimulatedAnnealing::with_seed(42).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let b = SimulatedAnnealing::with_seed(42).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.tree, b.tree);
+    }
+
+    #[test]
+    fn works_with_asymmetric_models() {
+        let w = workload::random_workload(7, 0.4, 9);
+        let sa = SimulatedAnnealing::with_seed(3)
+            .optimize(&w.graph, &w.catalog, &HashJoin)
+            .unwrap();
+        let opt = DpCcp.optimize(&w.graph, &w.catalog, &HashJoin).unwrap();
+        assert!(sa.cost >= opt.cost - 1e-9 * opt.cost);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs_and_handles_tiny_queries() {
+        let g = QueryGraph::new(0).unwrap();
+        assert!(SimulatedAnnealing::default().optimize(&g, &Catalog::new(&g), &Cout).is_err());
+        let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(SimulatedAnnealing::default()
+            .optimize(&disc, &Catalog::new(&disc), &Cout)
+            .is_err());
+        let w = workload::family_workload(GraphKind::Chain, 1, 0);
+        let r = SimulatedAnnealing::default().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(r.tree.num_joins(), 0);
+    }
+
+    #[test]
+    fn more_iterations_do_not_hurt() {
+        let w = workload::random_workload(10, 0.3, 123);
+        let short = SimulatedAnnealing {
+            iterations: 200,
+            ..SimulatedAnnealing::with_seed(5)
+        }
+        .optimize(&w.graph, &w.catalog, &Cout)
+        .unwrap();
+        let long = SimulatedAnnealing {
+            iterations: 30_000,
+            ..SimulatedAnnealing::with_seed(5)
+        }
+        .optimize(&w.graph, &w.catalog, &Cout)
+        .unwrap();
+        assert!(long.cost <= short.cost + 1e-9 * short.cost.abs());
+    }
+}

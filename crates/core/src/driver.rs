@@ -1,0 +1,178 @@
+//! Shared plumbing for the DP algorithms: singleton initialization, the
+//! `CreateJoinTree` + `BestPlan` update step, and result extraction.
+
+use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_plan::PlanArena;
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::RelSet;
+
+use crate::counters::Counters;
+use crate::error::OptimizeError;
+use crate::result::DpResult;
+use crate::table::{DpTable, PlanTable, TableEntry};
+
+/// Mutable state threaded through one optimizer run, generic over the
+/// `BestPlan` storage (sparse hash table by default; DPsub swaps in the
+/// dense direct-addressed table for small `n`).
+pub(crate) struct Driver<'a, T: PlanTable = DpTable> {
+    pub g: &'a QueryGraph,
+    pub est: CardinalityEstimator,
+    pub model: &'a dyn CostModel,
+    pub arena: PlanArena,
+    pub table: T,
+    pub counters: Counters,
+}
+
+impl<'a> Driver<'a, DpTable> {
+    /// Validates inputs and initializes `BestPlan({R_i}) = R_i` for all
+    /// relations, with the default sparse table.
+    ///
+    /// `require_connected` is lifted only by the cross-product variant.
+    pub fn new(
+        g: &'a QueryGraph,
+        catalog: &Catalog,
+        model: &'a dyn CostModel,
+        require_connected: bool,
+    ) -> Result<Driver<'a, DpTable>, OptimizeError> {
+        let table = DpTable::with_capacity(4 * g.num_relations());
+        Driver::with_table(g, catalog, model, require_connected, table)
+    }
+}
+
+impl<'a, T: PlanTable> Driver<'a, T> {
+    /// [`Driver::new`] with caller-supplied `BestPlan` storage.
+    pub fn with_table(
+        g: &'a QueryGraph,
+        catalog: &Catalog,
+        model: &'a dyn CostModel,
+        require_connected: bool,
+        mut table: T,
+    ) -> Result<Driver<'a, T>, OptimizeError> {
+        let n = g.num_relations();
+        if n == 0 {
+            return Err(OptimizeError::EmptyQuery);
+        }
+        if require_connected {
+            g.require_connected()?;
+        }
+        let est = CardinalityEstimator::new(g, catalog)?;
+        let mut arena = PlanArena::with_capacity(4 * n);
+        for i in 0..n {
+            let card = est.base_cardinality(i);
+            let id = arena.add_scan(i, card);
+            table.insert(
+                RelSet::single(i),
+                TableEntry { plan: id, stats: PlanStats { cardinality: card, cost: 0.0 } },
+            );
+        }
+        Ok(Driver { g, est, model, arena, table, counters: Counters::new() })
+    }
+
+    /// `CreateJoinTree(p1, p2)` + `BestPlan` update for the oriented pair
+    /// `(s1, s2)`: computes the candidate's cost and registers it if it
+    /// improves the table. Returns `true` iff the union set was new.
+    ///
+    /// Both operands must already have table entries.
+    #[inline]
+    pub fn emit_pair_one_order(&mut self, s1: RelSet, s2: RelSet) -> bool {
+        let e1 = *self.table.get(s1).expect("BestPlan(S1) must exist");
+        let e2 = *self.table.get(s2).expect("BestPlan(S2) must exist");
+        self.emit_entries_one_order(e1, e2, s1, s2)
+    }
+
+    /// [`Driver::emit_pair_one_order`] with the operands' table entries
+    /// already fetched — lets DPsub reuse the lookups its connectedness
+    /// tests performed.
+    ///
+    /// The union's output cardinality is a property of the *set*, not of
+    /// the decomposition, so it is computed from the cut selectivities
+    /// only the first time the set is reached; later pairs for the same
+    /// set reuse the cached value (one table probe instead of an
+    /// O(cut-size) product).
+    #[inline]
+    pub fn emit_entries_one_order(
+        &mut self,
+        e1: TableEntry,
+        e2: TableEntry,
+        s1: RelSet,
+        s2: RelSet,
+    ) -> bool {
+        let union = s1 | s2;
+        match self.table.get(union) {
+            Some(existing) => {
+                let out_card = existing.stats.cardinality;
+                let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+                if cost < existing.stats.cost {
+                    let stats = PlanStats { cardinality: out_card, cost };
+                    let plan = self.arena.add_join(e1.plan, e2.plan, stats);
+                    self.table.insert(union, TableEntry { plan, stats });
+                }
+                false
+            }
+            None => {
+                let out_card = self
+                    .est
+                    .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2);
+                let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+                let stats = PlanStats { cardinality: out_card, cost };
+                let plan = self.arena.add_join(e1.plan, e2.plan, stats);
+                self.table.insert(union, TableEntry { plan, stats });
+                true
+            }
+        }
+    }
+
+    /// Like [`Driver::emit_pair_one_order`] but considers both operand
+    /// orders (DPccp's explicit commutativity handling; also used by the
+    /// optimized DPsize, which enumerates unordered pairs). For symmetric
+    /// cost models the second evaluation is skipped.
+    #[inline]
+    pub fn emit_pair_both_orders(&mut self, s1: RelSet, s2: RelSet) -> bool {
+        let e1 = *self.table.get(s1).expect("BestPlan(S1) must exist");
+        let e2 = *self.table.get(s2).expect("BestPlan(S2) must exist");
+        let union = s1 | s2;
+        let (out_card, incumbent) = match self.table.get(union) {
+            Some(existing) => (existing.stats.cardinality, Some(existing.stats.cost)),
+            None => (
+                self.est
+                    .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2),
+                None,
+            ),
+        };
+        let c12 = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+        let (cost, left, right) = if self.model.is_symmetric() {
+            (c12, &e1, &e2)
+        } else {
+            let c21 = self.model.join_cost(&e2.stats, &e1.stats, out_card);
+            if c21 < c12 {
+                (c21, &e2, &e1)
+            } else {
+                (c12, &e1, &e2)
+            }
+        };
+        if incumbent.is_none_or(|best| cost < best) {
+            let stats = PlanStats { cardinality: out_card, cost };
+            let plan = self.arena.add_join(left.plan, right.plan, stats);
+            self.table.insert(union, TableEntry { plan, stats });
+        }
+        incumbent.is_none()
+    }
+
+    /// Extracts the final result for the full relation set.
+    pub fn finish(self) -> Result<DpResult, OptimizeError> {
+        let full = self.g.all_relations();
+        let entry = self
+            .table
+            .get(full)
+            .expect("a connected graph always yields a full plan");
+        let tree = self.arena.extract(entry.plan);
+        Ok(DpResult {
+            cost: entry.stats.cost,
+            cardinality: entry.stats.cardinality,
+            tree,
+            counters: self.counters,
+            table_size: self.table.len(),
+            plans_built: self.arena.len(),
+        })
+    }
+}

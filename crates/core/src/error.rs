@@ -1,0 +1,73 @@
+//! Error type for optimizer runs.
+
+use core::fmt;
+
+use joinopt_cost::CostError;
+use joinopt_qgraph::QueryGraphError;
+
+/// Errors produced by the join-ordering algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizeError {
+    /// The query graph was invalid (disconnected, empty, …).
+    Graph(QueryGraphError),
+    /// The statistics catalog did not match the graph.
+    Cost(CostError),
+    /// A query with zero relations has no join tree.
+    EmptyQuery,
+    /// No cross-product-free join tree exists: the (hyper)graph is
+    /// reachability-connected, but some required sub-plan is not
+    /// buildable (e.g. the side of a complex predicate has no internal
+    /// predicates). Only produced by hypergraph optimization.
+    NoPlanWithoutCrossProducts,
+}
+
+impl fmt::Display for OptimizeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptimizeError::Graph(e) => write!(f, "invalid query graph: {e}"),
+            OptimizeError::Cost(e) => write!(f, "invalid statistics: {e}"),
+            OptimizeError::EmptyQuery => write!(f, "cannot optimize a query with no relations"),
+            OptimizeError::NoPlanWithoutCrossProducts => {
+                write!(f, "no cross-product-free join tree exists for this hypergraph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OptimizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptimizeError::Graph(e) => Some(e),
+            OptimizeError::Cost(e) => Some(e),
+            OptimizeError::EmptyQuery | OptimizeError::NoPlanWithoutCrossProducts => None,
+        }
+    }
+}
+
+impl From<QueryGraphError> for OptimizeError {
+    fn from(e: QueryGraphError) -> Self {
+        OptimizeError::Graph(e)
+    }
+}
+
+impl From<CostError> for OptimizeError {
+    fn from(e: CostError) -> Self {
+        OptimizeError::Cost(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn display_and_source() {
+        let e = OptimizeError::from(QueryGraphError::Disconnected);
+        assert!(e.to_string().contains("connected"));
+        assert!(e.source().is_some());
+        assert!(OptimizeError::EmptyQuery.source().is_none());
+        let c = OptimizeError::from(CostError::InvalidCardinality { relation: 0, value: 0.0 });
+        assert!(c.to_string().contains("statistics"));
+    }
+}

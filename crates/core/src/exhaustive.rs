@@ -1,0 +1,254 @@
+//! An independent brute-force oracle for the test suite.
+//!
+//! The three DP algorithms share the driver plumbing, so a bug there
+//! could make them agree *and* be wrong. This module computes optimal
+//! costs through a structurally different path — top-down memoized
+//! recursion over canonical splits, with connectivity checked directly
+//! against the graph — and is used by the integration tests as the
+//! ground truth for `n ≤ 10`.
+
+use std::collections::HashMap;
+
+use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::RelSet;
+
+use crate::error::OptimizeError;
+
+/// Computes the cost of an optimal bushy join tree for `g` without cross
+/// products, by top-down recursion.
+///
+/// # Errors
+///
+/// Fails for empty or disconnected graphs or mismatched catalogs.
+pub fn optimal_cost(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+) -> Result<f64, OptimizeError> {
+    optimal_cost_impl(g, catalog, model, false)
+}
+
+/// Like [`optimal_cost`] but allowing cross products (any disjoint split
+/// is a legal join). Defined for disconnected graphs too.
+///
+/// # Errors
+///
+/// Fails for empty graphs or mismatched catalogs.
+pub fn optimal_cost_with_cross_products(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+) -> Result<f64, OptimizeError> {
+    optimal_cost_impl(g, catalog, model, true)
+}
+
+/// Brute-force oracle for hypergraph workloads: returns `Ok(None)` when
+/// no cross-product-free bushy tree exists (the buildability gap the
+/// hypergraph module documents), otherwise the optimal cost.
+///
+/// # Errors
+///
+/// Fails for empty hypergraphs or mismatched catalogs.
+pub fn optimal_cost_hypergraph(
+    h: &joinopt_qgraph::hypergraph::Hypergraph,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+) -> Result<Option<f64>, OptimizeError> {
+    use joinopt_cost::HyperCardinalityEstimator;
+
+    if h.num_relations() == 0 {
+        return Err(OptimizeError::EmptyQuery);
+    }
+    let est = HyperCardinalityEstimator::new(h, catalog)?;
+
+    fn best_hyper(
+        h: &joinopt_qgraph::hypergraph::Hypergraph,
+        est: &HyperCardinalityEstimator,
+        model: &dyn CostModel,
+        s: RelSet,
+        memo: &mut HashMap<RelSet, PlanStats>,
+    ) -> Option<PlanStats> {
+        if let Some(&hit) = memo.get(&s) {
+            return (hit.cost < f64::INFINITY).then_some(hit);
+        }
+        if s.is_singleton() {
+            let stats = PlanStats::base(est.base_cardinality(s.min_index().unwrap()));
+            memo.insert(s, stats);
+            return Some(stats);
+        }
+        let anchor = s.lowest();
+        let rest = s - anchor;
+        let mut best_stats: Option<PlanStats> = None;
+        for sub in rest.subsets() {
+            let s1 = anchor | sub;
+            if s1 == s {
+                continue;
+            }
+            let s2 = s - s1;
+            if !h.connects(s1, s2) {
+                continue;
+            }
+            let Some(p1) = best_hyper(h, est, model, s1, memo) else {
+                continue;
+            };
+            let Some(p2) = best_hyper(h, est, model, s2, memo) else {
+                continue;
+            };
+            let out = est.join_cardinality(p1.cardinality, p2.cardinality, s1, s2);
+            let cost =
+                model.join_cost(&p1, &p2, out).min(model.join_cost(&p2, &p1, out));
+            if best_stats.is_none_or(|b| cost < b.cost) {
+                best_stats = Some(PlanStats { cardinality: out, cost });
+            }
+        }
+        memo.insert(
+            s,
+            best_stats.unwrap_or(PlanStats { cardinality: 0.0, cost: f64::INFINITY }),
+        );
+        best_stats
+    }
+
+    let mut memo = HashMap::new();
+    Ok(best_hyper(h, &est, model, h.all_relations(), &mut memo).map(|s| s.cost))
+}
+
+fn optimal_cost_impl(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+    allow_cross: bool,
+) -> Result<f64, OptimizeError> {
+    if g.num_relations() == 0 {
+        return Err(OptimizeError::EmptyQuery);
+    }
+    if !allow_cross {
+        g.require_connected()?;
+    }
+    let est = CardinalityEstimator::new(g, catalog)?;
+    let mut memo: HashMap<RelSet, PlanStats> = HashMap::new();
+    let full = g.all_relations();
+    let stats = best(g, &est, model, full, allow_cross, &mut memo);
+    Ok(stats.expect("full set of a connected graph is solvable").cost)
+}
+
+fn best(
+    g: &QueryGraph,
+    est: &CardinalityEstimator,
+    model: &dyn CostModel,
+    s: RelSet,
+    allow_cross: bool,
+    memo: &mut HashMap<RelSet, PlanStats>,
+) -> Option<PlanStats> {
+    if let Some(&hit) = memo.get(&s) {
+        return (hit.cost < f64::INFINITY).then_some(hit);
+    }
+    if s.is_singleton() {
+        let stats = PlanStats::base(est.base_cardinality(s.min_index().unwrap()));
+        memo.insert(s, stats);
+        return Some(stats);
+    }
+    if !allow_cross && !g.is_connected_set(s) {
+        memo.insert(s, PlanStats { cardinality: 0.0, cost: f64::INFINITY });
+        return None;
+    }
+    // Canonical split: s1 always contains the minimum element, so every
+    // unordered split is tried once; both operand orders are costed.
+    let anchor = s.lowest();
+    let rest = s - anchor;
+    let mut best_stats: Option<PlanStats> = None;
+    for sub in rest.subsets() {
+        let s1 = anchor | sub;
+        if s1 == s {
+            continue;
+        }
+        let s2 = s - s1;
+        if !allow_cross && !g.sets_connected(s1, s2) {
+            continue;
+        }
+        let Some(p1) = best(g, est, model, s1, allow_cross, memo) else {
+            continue;
+        };
+        let Some(p2) = best(g, est, model, s2, allow_cross, memo) else {
+            continue;
+        };
+        let out = est.join_cardinality(p1.cardinality, p2.cardinality, s1, s2);
+        let cost = model
+            .join_cost(&p1, &p2, out)
+            .min(model.join_cost(&p2, &p1, out));
+        if best_stats.is_none_or(|b| cost < b.cost) {
+            best_stats = Some(PlanStats { cardinality: out, cost });
+        }
+    }
+    memo.insert(
+        s,
+        best_stats.unwrap_or(PlanStats { cardinality: 0.0, cost: f64::INFINITY }),
+    );
+    best_stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpCcp, DpSize, DpSub, JoinOrderer};
+    use joinopt_cost::{workload, Cout, HashJoin};
+    use joinopt_qgraph::GraphKind;
+
+    #[test]
+    fn oracle_agrees_with_all_three_algorithms() {
+        for kind in GraphKind::ALL {
+            for seed in 0..4 {
+                let w = workload::family_workload(kind, 7, seed);
+                let want = optimal_cost(&w.graph, &w.catalog, &Cout).unwrap();
+                for alg in [&DpSize as &dyn JoinOrderer, &DpSub, &DpCcp] {
+                    let got = alg.optimize(&w.graph, &w.catalog, &Cout).unwrap().cost;
+                    let tol = 1e-9 * want.abs().max(1.0);
+                    assert!(
+                        (got - want).abs() <= tol,
+                        "{} on {kind} seed {seed}: {got} vs oracle {want}",
+                        alg.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_agrees_under_asymmetric_model() {
+        for seed in 0..5 {
+            let w = workload::random_workload(6, 0.4, seed);
+            let want = optimal_cost(&w.graph, &w.catalog, &HashJoin).unwrap();
+            let got = DpCcp.optimize(&w.graph, &w.catalog, &HashJoin).unwrap().cost;
+            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cross_products_never_hurt() {
+        for seed in 0..5 {
+            let w = workload::random_workload(6, 0.3, seed);
+            let without = optimal_cost(&w.graph, &w.catalog, &Cout).unwrap();
+            let with =
+                optimal_cost_with_cross_products(&w.graph, &w.catalog, &Cout).unwrap();
+            assert!(with <= without + 1e-9, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let g = QueryGraph::new(0).unwrap();
+        assert!(optimal_cost(&g, &Catalog::new(&g), &Cout).is_err());
+        let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(optimal_cost(&disc, &Catalog::new(&disc), &Cout).is_err());
+        // …but the cross-product oracle handles disconnected graphs.
+        assert!(
+            optimal_cost_with_cross_products(&disc, &Catalog::new(&disc), &Cout).is_ok()
+        );
+    }
+
+    #[test]
+    fn single_relation_costs_zero() {
+        let w = workload::family_workload(GraphKind::Chain, 1, 0);
+        assert_eq!(optimal_cost(&w.graph, &w.catalog, &Cout).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,300 @@
+//! Closed forms for the algorithms' `InnerCounter` values
+//! (paper, Sections 2.1 and 2.2), plus profile-based predictions that
+//! work for arbitrary query graphs.
+//!
+//! # Errata relative to the paper
+//!
+//! Verified against instrumented runs and Figure 3 (which is
+//! self-consistent):
+//!
+//! * `I_DPsize^chain`, odd case: the printed constant `+11` yields
+//!   non-integers (e.g. 3506/48 at n = 5); the correct constant is `+9`
+//!   (n = 5 → 73, n = 15 → 5628, matching Figure 3).
+//! * `I_DPsub^chain`, Eq. (1): the printed `n^n` is a typo for `n²`.
+//!
+//! The DPsize formulas describe the *optimized* variant ([`crate::DpSize`]),
+//! which enumerates unordered size splits and unordered plan pairs when
+//! `s₁ = s₂`.
+
+use joinopt_qgraph::formulas::{binomial, ccp_distinct, pow3};
+use joinopt_qgraph::profile::CsgProfile;
+use joinopt_qgraph::GraphKind;
+
+/// `I_DPsize(n)`: DPsize's `InnerCounter` after termination.
+pub fn dpsize_inner(kind: GraphKind, n: u64) -> u128 {
+    match kind {
+        GraphKind::Chain => dpsize_chain(n),
+        GraphKind::Cycle => {
+            if n <= 2 {
+                dpsize_chain(n)
+            } else {
+                dpsize_cycle(n)
+            }
+        }
+        GraphKind::Star => {
+            if n <= 2 {
+                dpsize_chain(n)
+            } else {
+                dpsize_star(n)
+            }
+        }
+        GraphKind::Clique => {
+            if n <= 2 {
+                dpsize_chain(n)
+            } else {
+                dpsize_clique(n)
+            }
+        }
+    }
+}
+
+fn dpsize_chain(n: u64) -> u128 {
+    let n = i128::from(n);
+    let v = if n % 2 == 0 {
+        5 * n.pow(4) + 6 * n.pow(3) - 14 * n.pow(2) - 12 * n
+    } else {
+        // Paper prints +11; the integer-exact constant is +9.
+        5 * n.pow(4) + 6 * n.pow(3) - 14 * n.pow(2) - 6 * n + 9
+    };
+    u128::try_from(v / 48).expect("non-negative for n ≥ 1")
+}
+
+fn dpsize_cycle(n: u64) -> u128 {
+    let n = i128::from(n);
+    let v = if n % 2 == 0 {
+        n.pow(4) - n.pow(3) - n.pow(2)
+    } else {
+        n.pow(4) - n.pow(3) - n.pow(2) + n
+    };
+    u128::try_from(v / 4).expect("non-negative for n ≥ 2")
+}
+
+fn dpsize_star(n: u64) -> u128 {
+    // All terms scaled by 8 to keep the arithmetic integral:
+    // I = 2^{2n−4} − C(2(n−1), n−1)/4 [+ C(n−1, (n−1)/2)/4 if odd] + q(n)
+    // q(n) = n·2^{n−1} − 5·2^{n−3} + (n² − 5n + 4)/2
+    let ni = i128::from(n);
+    let mut v8: i128 = 8 * (1i128 << (2 * n - 4));
+    v8 -= 2 * i128::try_from(binomial(2 * (n - 1), n - 1)).expect("fits");
+    if !n.is_multiple_of(2) {
+        v8 += 2 * i128::try_from(binomial(n - 1, (n - 1) / 2)).expect("fits");
+    }
+    v8 += ni * (1i128 << (n + 2)); // 8 · n·2^{n−1}
+    v8 -= 5 * (1i128 << n); // 8 · 5·2^{n−3}
+    v8 += 4 * (ni * ni - 5 * ni + 4); // 8 · (n²−5n+4)/2
+    u128::try_from(v8 / 8).expect("non-negative for n ≥ 3")
+}
+
+fn dpsize_clique(n: u64) -> u128 {
+    // Scaled by 4:
+    // I = 2^{2n−2} − 5·2^{n−2} + C(2n, n)/4 [− C(n, n/2)/4 if even] + 1
+    let mut v4: i128 = 4 * (1i128 << (2 * n - 2));
+    v4 -= 5 * (1i128 << n);
+    v4 += i128::try_from(binomial(2 * n, n)).expect("fits");
+    if n.is_multiple_of(2) {
+        v4 -= i128::try_from(binomial(n, n / 2)).expect("fits");
+    }
+    v4 += 4;
+    u128::try_from(v4 / 4).expect("non-negative for n ≥ 2")
+}
+
+/// `I_DPsub(n)`: DPsub's `InnerCounter` after termination
+/// (Eqs. (1)–(4), with Eq. (1)'s typo corrected).
+pub fn dpsub_inner(kind: GraphKind, n: u64) -> u128 {
+    let ni = i128::from(n);
+    let v: i128 = match kind {
+        // 2^{n+2} − n² − 3n − 4   [paper prints n^n]
+        GraphKind::Chain => (1i128 << (n + 2)) - ni * ni - 3 * ni - 4,
+        // n·2ⁿ + 2ⁿ − 2n² − 2
+        GraphKind::Cycle => {
+            if n <= 2 {
+                return dpsub_inner(GraphKind::Chain, n);
+            }
+            ni * (1i128 << n) + (1i128 << n) - 2 * ni * ni - 2
+        }
+        // 2·3^{n−1} − 2ⁿ
+        GraphKind::Star => {
+            if n == 0 {
+                return 0;
+            }
+            2 * i128::try_from(pow3(n - 1)).expect("fits") - (1i128 << n)
+        }
+        // 3ⁿ − 2^{n+1} + 1
+        GraphKind::Clique => {
+            i128::try_from(pow3(n)).expect("fits") - (1i128 << (n + 1)) + 1
+        }
+    };
+    u128::try_from(v).expect("non-negative for n ≥ 1")
+}
+
+/// `I_DPccp(n) = #ccp/2`: DPccp performs exactly one innermost iteration
+/// per unordered csg-cmp-pair.
+pub fn dpccp_inner(kind: GraphKind, n: u64) -> u128 {
+    ccp_distinct(kind, n)
+}
+
+/// `I_DPsub` for the variant without the `*` pre-check: graph-independent,
+/// `3ⁿ − 2^{n+1} + 1` (the inner loop runs for *every* non-singleton
+/// subset). Also the counter of the cross-product variant.
+pub fn dpsub_unfiltered_inner(n: u64) -> u128 {
+    pow3(n) + 1 - (1u128 << (n + 1))
+}
+
+/// DPsize's `InnerCounter` predicted from a csg size profile — works for
+/// arbitrary graphs. With `c_k` connected subsets of size `k`:
+///
+/// ```text
+/// I = Σ_{s=2}^{n} [ Σ_{s₁ < s/2} c_{s₁}·c_{s−s₁}  +  (s even) C(c_{s/2}, 2) ]
+/// ```
+pub fn dpsize_inner_from_profile(p: &CsgProfile) -> u128 {
+    let c = p.counts();
+    let n = p.num_relations();
+    let mut total: u128 = 0;
+    for s in 2..=n {
+        for s1 in 1..=s / 2 {
+            let s2 = s - s1;
+            if s1 != s2 {
+                total += u128::from(c[s1]) * u128::from(c[s2]);
+            } else {
+                let k = u128::from(c[s1]);
+                total += k * (k - 1) / 2;
+            }
+        }
+    }
+    total
+}
+
+/// The literal-Fig.-1 DPsize counter from a profile: every ordered pair,
+/// `Σ_s Σ_{s₁=1}^{s−1} c_{s₁}·c_{s−s₁}`.
+pub fn dpsize_naive_inner_from_profile(p: &CsgProfile) -> u128 {
+    let c = p.counts();
+    let n = p.num_relations();
+    let mut total: u128 = 0;
+    for s in 2..=n {
+        for s1 in 1..s {
+            total += u128::from(c[s1]) * u128::from(c[s - s1]);
+        }
+    }
+    total
+}
+
+/// DPsub's `InnerCounter` predicted from a profile:
+/// `Σ_k c_k · (2^k − 2)` — each connected set of size `k` pays its full
+/// inner subset loop.
+pub fn dpsub_inner_from_profile(p: &CsgProfile) -> u128 {
+    p.counts()
+        .iter()
+        .enumerate()
+        .map(|(k, &ck)| u128::from(ck) * (1u128 << k).saturating_sub(2))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_qgraph::generators;
+
+    #[test]
+    fn figure3_dpsize_column() {
+        let expect: &[(GraphKind, &[(u64, u128)])] = &[
+            (GraphKind::Chain, &[(2, 1), (5, 73), (10, 1135), (15, 5628), (20, 17_545)]),
+            (GraphKind::Cycle, &[(2, 1), (5, 120), (10, 2225), (15, 11_760), (20, 37_900)]),
+            (
+                GraphKind::Star,
+                &[(2, 1), (5, 110), (10, 57_888), (15, 57_305_929), (20, 59_892_991_338)],
+            ),
+            (
+                GraphKind::Clique,
+                &[(2, 1), (5, 280), (10, 306_991), (15, 307_173_877), (20, 309_338_182_241)],
+            ),
+        ];
+        for &(kind, rows) in expect {
+            for &(n, want) in rows {
+                assert_eq!(dpsize_inner(kind, n), want, "DPsize {kind} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_dpsub_column() {
+        let expect: &[(GraphKind, &[(u64, u128)])] = &[
+            (GraphKind::Chain, &[(2, 2), (5, 84), (10, 3962), (15, 130_798), (20, 4_193_840)]),
+            (
+                GraphKind::Cycle,
+                &[(2, 2), (5, 140), (10, 11_062), (15, 523_836), (20, 22_019_294)],
+            ),
+            (
+                GraphKind::Star,
+                &[(2, 2), (5, 130), (10, 38_342), (15, 9_533_170), (20, 2_323_474_358)],
+            ),
+            (
+                GraphKind::Clique,
+                &[(2, 2), (5, 180), (10, 57_002), (15, 14_283_372), (20, 3_484_687_250)],
+            ),
+        ];
+        for &(kind, rows) in expect {
+            for &(n, want) in rows {
+                assert_eq!(dpsub_inner(kind, n), want, "DPsub {kind} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn closed_forms_match_profile_predictions() {
+        for kind in GraphKind::ALL {
+            for n in 2..=14u64 {
+                let g = generators::generate(kind, n as usize);
+                let p = CsgProfile::compute(&g);
+                assert_eq!(
+                    dpsize_inner(kind, n),
+                    dpsize_inner_from_profile(&p),
+                    "DPsize {kind} n={n}"
+                );
+                assert_eq!(
+                    dpsub_inner(kind, n),
+                    dpsub_inner_from_profile(&p),
+                    "DPsub {kind} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unfiltered_formula() {
+        assert_eq!(dpsub_unfiltered_inner(2), 2);
+        // Equals the clique DPsub counter for every n.
+        for n in 2..=20 {
+            assert_eq!(dpsub_unfiltered_inner(n), dpsub_inner(GraphKind::Clique, n));
+        }
+    }
+
+    #[test]
+    fn dpccp_inner_is_ccp() {
+        for kind in GraphKind::ALL {
+            for n in 2..=20 {
+                assert_eq!(dpccp_inner(kind, n), ccp_distinct(kind, n));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_profile_counter_roughly_doubles_optimized() {
+        for kind in GraphKind::ALL {
+            let g = generators::generate(kind, 10);
+            let p = CsgProfile::compute(&g);
+            let opt = dpsize_inner_from_profile(&p);
+            let naive = dpsize_naive_inner_from_profile(&p);
+            assert!(naive > opt);
+            assert!(naive <= 2 * opt + 10_000, "{kind}: naive should be ≈ 2× optimized");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_relation() {
+        for kind in GraphKind::ALL {
+            assert_eq!(dpsize_inner(kind, 1), 0, "{kind}");
+            assert_eq!(dpsub_inner(kind, 1), 0, "{kind}");
+            assert_eq!(dpccp_inner(kind, 1), 0, "{kind}");
+        }
+    }
+}

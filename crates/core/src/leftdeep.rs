@@ -1,0 +1,186 @@
+//! Left-deep-only dynamic programming — the original Selinger search
+//! space, as a baseline quantifying what bushy enumeration buys.
+//!
+//! The paper generalizes Selinger's size-driven DP from left-deep to
+//! bushy trees; this module keeps the restriction (every join's right
+//! operand is a base relation) so experiments can measure the plan-cost
+//! gap between the optimal left-deep and the optimal bushy tree, and the
+//! much smaller search space the restriction leaves (`Σ c_k · n` pair
+//! probes instead of pairing all sizes).
+//!
+//! Like the paper's algorithms it excludes cross products, so it finds
+//! the optimal *connected* left-deep tree. Note that on some
+//! graph/statistics combinations the optimal bushy tree is strictly
+//! cheaper — that differential is the point of this baseline.
+
+use joinopt_cost::{Catalog, CostModel};
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::RelSet;
+
+use crate::driver::Driver;
+use crate::error::OptimizeError;
+use crate::result::{DpResult, JoinOrderer};
+
+/// Size-driven DP restricted to left-deep trees (Selinger-style,
+/// cross-product-free).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DpSizeLeftDeep;
+
+impl JoinOrderer for DpSizeLeftDeep {
+    fn name(&self) -> &'static str {
+        "DPsize-leftdeep"
+    }
+
+    fn optimize(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+    ) -> Result<DpResult, OptimizeError> {
+        let mut d = Driver::new(g, catalog, model, true)?;
+        let n = g.num_relations();
+
+        let mut plans_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
+        plans_by_size[1] = (0..n).map(RelSet::single).collect();
+
+        for s in 2..=n {
+            // Left operand: any plan of size s−1; right operand: a single
+            // relation — the left-deep restriction.
+            for i in 0..plans_by_size[s - 1].len() {
+                let left = plans_by_size[s - 1][i];
+                for rel in 0..n {
+                    let right = RelSet::single(rel);
+                    d.counters.inner += 1;
+                    if left.overlaps(right) {
+                        continue;
+                    }
+                    if !d.g.sets_connected(left, right) {
+                        continue;
+                    }
+                    d.counters.csg_cmp_pairs += 1;
+                    if d.emit_pair_one_order(left, right) {
+                        plans_by_size[s].push(left | right);
+                    }
+                }
+            }
+        }
+        // The pair counter here counts (composite, relation) extensions,
+        // which is NOT the #ccp graph invariant (left-deep explores a
+        // strict subset of the csg-cmp-pairs).
+        d.counters.ono_lohman = d.counters.csg_cmp_pairs;
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DpCcp, JoinOrderer};
+    use joinopt_cost::{workload, Cout};
+    use joinopt_qgraph::GraphKind;
+
+    #[test]
+    fn produces_left_deep_trees_only() {
+        for kind in GraphKind::ALL {
+            for seed in 0..5 {
+                let w = workload::family_workload(kind, 8, seed);
+                let r = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                assert!(r.tree.is_left_deep(), "{kind} seed {seed}: {}", r.tree);
+                assert_eq!(r.tree.relations(), w.graph.all_relations());
+            }
+        }
+    }
+
+    #[test]
+    fn never_beats_bushy_optimum() {
+        for seed in 0..20 {
+            let w = workload::random_workload(8, 0.3, seed);
+            let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let bushy = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            assert!(
+                ld.cost >= bushy.cost - 1e-9 * bushy.cost.abs().max(1.0),
+                "seed {seed}: left-deep {} < bushy {}?!",
+                ld.cost,
+                bushy.cost
+            );
+        }
+    }
+
+    #[test]
+    fn is_optimal_among_left_deep_trees() {
+        // Exhaustive check on small chains: enumerate all left-deep
+        // orders (permutations) without cross products and compare.
+        use joinopt_cost::{CardinalityEstimator, CostModel as _, PlanStats};
+        for seed in 0..10 {
+            let w = workload::family_workload(GraphKind::Chain, 6, seed);
+            let est = CardinalityEstimator::new(&w.graph, &w.catalog).unwrap();
+            let mut best = f64::INFINITY;
+            let mut perm: Vec<usize> = (0..6).collect();
+            // Heap's algorithm over all 720 permutations.
+            fn heaps(k: usize, arr: &mut Vec<usize>, visit: &mut impl FnMut(&[usize])) {
+                if k == 1 {
+                    visit(arr);
+                    return;
+                }
+                for i in 0..k {
+                    heaps(k - 1, arr, visit);
+                    if k.is_multiple_of(2) {
+                        arr.swap(i, k - 1);
+                    } else {
+                        arr.swap(0, k - 1);
+                    }
+                }
+            }
+            let graph = &w.graph;
+            heaps(6, &mut perm, &mut |order: &[usize]| {
+                let mut set = RelSet::single(order[0]);
+                let mut stats = PlanStats::base(est.base_cardinality(order[0]));
+                for &rel in &order[1..] {
+                    let next = RelSet::single(rel);
+                    if !graph.sets_connected(set, next) {
+                        return; // cross product — outside the space
+                    }
+                    let out = est.join_cardinality(
+                        stats.cardinality,
+                        est.base_cardinality(rel),
+                        set,
+                        next,
+                    );
+                    let cost = Cout.join_cost(&stats, &PlanStats::base(est.base_cardinality(rel)), out);
+                    stats = PlanStats { cardinality: out, cost };
+                    set |= next;
+                }
+                if stats.cost < best {
+                    best = stats.cost;
+                }
+            });
+            let r = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            assert!(
+                (r.cost - best).abs() <= 1e-9 * best.abs().max(1.0),
+                "seed {seed}: DP {} vs exhaustive {}",
+                r.cost,
+                best
+            );
+        }
+    }
+
+    #[test]
+    fn bushy_strictly_wins_somewhere() {
+        let mut strict = false;
+        for seed in 0..40 {
+            let w = workload::random_workload(9, 0.25, seed);
+            let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let bushy = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            strict |= ld.cost > bushy.cost * 1.01;
+        }
+        assert!(strict, "left-deep matched bushy on all 40 seeds — suspicious");
+    }
+
+    #[test]
+    fn search_space_is_smaller() {
+        let w = workload::family_workload(GraphKind::Clique, 10, 0);
+        let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let bushy = crate::DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert!(ld.counters.inner < bushy.counters.inner / 10);
+    }
+}

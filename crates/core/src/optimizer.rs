@@ -1,0 +1,304 @@
+//! The [`Optimizer`] façade and adaptive algorithm selection.
+
+use joinopt_cost::{Catalog, CostModel, Cout};
+use joinopt_qgraph::QueryGraph;
+
+use crate::dpccp::DpCcp;
+use crate::dpsize::{DpSize, DpSizeNaive};
+use crate::dpsub::{DpSub, DpSubCrossProducts, DpSubUnfiltered};
+use crate::error::OptimizeError;
+use crate::greedy::Goo;
+use crate::annealing::SimulatedAnnealing;
+use crate::idp::Idp;
+use crate::leftdeep::DpSizeLeftDeep;
+use crate::topdown::TopDown;
+use crate::result::{DpResult, JoinOrderer};
+
+/// Selects which join-ordering algorithm runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Algorithm {
+    /// Size-driven DP (optimized variant).
+    DpSize,
+    /// Literal Fig. 1 pseudocode (ablation).
+    DpSizeNaive,
+    /// Subset-driven DP with the `*` pre-check.
+    DpSub,
+    /// Subset-driven DP without the pre-check (ablation).
+    DpSubUnfiltered,
+    /// Vance/Maier with cross products.
+    DpSubCrossProducts,
+    /// csg-cmp-pair driven DP (the paper's new algorithm).
+    DpCcp,
+    /// Size-driven DP restricted to left-deep trees (Selinger space).
+    DpSizeLeftDeep,
+    /// Iterative DP (IDP-1, Kossmann & Stocker): near-optimal plans for
+    /// queries too large for exact DP.
+    Idp,
+    /// Seeded simulated annealing over bushy trees (randomized baseline).
+    SimulatedAnnealing,
+    /// Top-down memoized partitioning with branch-and-bound pruning.
+    TopDown,
+    /// Greedy Operator Ordering (non-optimal baseline).
+    Goo,
+    /// Adapt to the query graph (see [`Algorithm::select_auto`]).
+    #[default]
+    Auto,
+}
+
+impl Algorithm {
+    /// All concrete (non-`Auto`) algorithms.
+    pub const CONCRETE: [Algorithm; 11] = [
+        Algorithm::DpSize,
+        Algorithm::DpSizeNaive,
+        Algorithm::DpSub,
+        Algorithm::DpSubUnfiltered,
+        Algorithm::DpSubCrossProducts,
+        Algorithm::DpCcp,
+        Algorithm::TopDown,
+        Algorithm::DpSizeLeftDeep,
+        Algorithm::Idp,
+        Algorithm::SimulatedAnnealing,
+        Algorithm::Goo,
+    ];
+
+    /// Resolves `Auto` for a given graph.
+    ///
+    /// The paper's evaluation shows DPccp is the best or near-best choice
+    /// everywhere; its only (bounded, ≤ 30 %) loss is against DPsub on
+    /// very dense graphs, where the subset enumeration's trivial inner
+    /// loop beats the more complex csg machinery. `Auto` therefore picks
+    /// DPsub when the graph is (near-)complete and DPccp otherwise.
+    pub fn select_auto(g: &QueryGraph) -> Algorithm {
+        let n = g.num_relations();
+        if n >= 2 {
+            let max_edges = n * (n - 1) / 2;
+            // "near-clique": ≥ 90 % of all possible predicates present.
+            if 10 * g.num_edges() >= 9 * max_edges {
+                return Algorithm::DpSub;
+            }
+        }
+        Algorithm::DpCcp
+    }
+
+    /// The underlying [`JoinOrderer`] (after `Auto` resolution).
+    pub fn orderer(self, g: &QueryGraph) -> &'static dyn JoinOrderer {
+        match self {
+            Algorithm::DpSize => &DpSize,
+            Algorithm::DpSizeNaive => &DpSizeNaive,
+            Algorithm::DpSub => &DpSub,
+            Algorithm::DpSubUnfiltered => &DpSubUnfiltered,
+            Algorithm::DpSubCrossProducts => &DpSubCrossProducts,
+            Algorithm::DpCcp => &DpCcp,
+            Algorithm::DpSizeLeftDeep => &DpSizeLeftDeep,
+            Algorithm::Idp => {
+                const DEFAULT_IDP: Idp = Idp::with_block_size(10);
+                &DEFAULT_IDP
+            }
+            Algorithm::SimulatedAnnealing => {
+                const DEFAULT_SA: SimulatedAnnealing = SimulatedAnnealing {
+                    iterations: 20_000,
+                    initial_temperature: 0.5,
+                    cooling: 0.9995,
+                    seed: 2006,
+                };
+                &DEFAULT_SA
+            }
+            Algorithm::TopDown => {
+                const DEFAULT_TD: TopDown = TopDown { pruning: true };
+                &DEFAULT_TD
+            }
+            Algorithm::Goo => &Goo,
+            Algorithm::Auto => Algorithm::select_auto(g).orderer(g),
+        }
+    }
+
+    /// Parses an algorithm name (case-insensitive; the names of
+    /// [`JoinOrderer::name`] plus `"auto"`).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        match s.to_ascii_lowercase().as_str() {
+            "dpsize" => Some(Algorithm::DpSize),
+            "dpsize-naive" => Some(Algorithm::DpSizeNaive),
+            "dpsub" => Some(Algorithm::DpSub),
+            "dpsub-nofilter" => Some(Algorithm::DpSubUnfiltered),
+            "dpsub-cp" => Some(Algorithm::DpSubCrossProducts),
+            "dpccp" => Some(Algorithm::DpCcp),
+            "dpsize-leftdeep" => Some(Algorithm::DpSizeLeftDeep),
+            "idp" => Some(Algorithm::Idp),
+            "simulatedannealing" | "sa" => Some(Algorithm::SimulatedAnnealing),
+            "topdown" => Some(Algorithm::TopDown),
+            "goo" => Some(Algorithm::Goo),
+            "auto" => Some(Algorithm::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// High-level entry point: pick an algorithm (or let `Auto` adapt) and a
+/// cost model, then optimize queries.
+///
+/// ```
+/// use joinopt_core::Optimizer;
+/// use joinopt_cost::workload;
+/// use joinopt_qgraph::GraphKind;
+///
+/// let w = workload::family_workload(GraphKind::Chain, 6, 0);
+/// let result = Optimizer::new().optimize(&w.graph, &w.catalog).unwrap();
+/// assert_eq!(result.tree.num_relations(), 6);
+/// ```
+pub struct Optimizer {
+    algorithm: Algorithm,
+    model: Box<dyn CostModel>,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::new()
+    }
+}
+
+impl Optimizer {
+    /// An optimizer with `Auto` algorithm selection and the `C_out`
+    /// cost model.
+    pub fn new() -> Optimizer {
+        Optimizer { algorithm: Algorithm::Auto, model: Box::new(Cout) }
+    }
+
+    /// Chooses a specific algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Optimizer {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Chooses a cost model.
+    #[must_use]
+    pub fn with_cost_model(mut self, model: impl CostModel + 'static) -> Optimizer {
+        self.model = Box::new(model);
+        self
+    }
+
+    /// The configured algorithm (possibly `Auto`).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Optimizes one query.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's validation errors.
+    pub fn optimize(&self, g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptimizeError> {
+        self.algorithm.orderer(g).optimize(g, catalog, self.model.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_cost::{workload, HashJoin};
+    use joinopt_qgraph::{generators, GraphKind};
+
+    #[test]
+    fn auto_picks_dpsub_on_cliques_and_dpccp_elsewhere() {
+        assert_eq!(
+            Algorithm::select_auto(&generators::clique(8).unwrap()),
+            Algorithm::DpSub
+        );
+        for kind in [GraphKind::Chain, GraphKind::Cycle, GraphKind::Star] {
+            assert_eq!(
+                Algorithm::select_auto(&generators::generate(kind, 8)),
+                Algorithm::DpCcp,
+                "{kind}"
+            );
+        }
+        // Near-clique (one edge removed) still counts as dense.
+        let mut h = QueryGraph::new(6).unwrap();
+        for i in 0..6 {
+            for j in i + 1..6 {
+                if !(i == 0 && j == 5) {
+                    h.add_edge(i, j).unwrap();
+                }
+            }
+        }
+        assert_eq!(Algorithm::select_auto(&h), Algorithm::DpSub);
+    }
+
+    #[test]
+    fn auto_handles_tiny_graphs() {
+        assert_eq!(
+            Algorithm::select_auto(&generators::chain(1).unwrap()),
+            Algorithm::DpCcp
+        );
+        // n=2 chain IS the 2-clique.
+        assert_eq!(
+            Algorithm::select_auto(&generators::chain(2).unwrap()),
+            Algorithm::DpSub
+        );
+    }
+
+    #[test]
+    fn facade_matches_direct_invocation() {
+        let w = workload::family_workload(GraphKind::Star, 7, 9);
+        let direct = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let facade = Optimizer::new()
+            .with_algorithm(Algorithm::DpCcp)
+            .optimize(&w.graph, &w.catalog)
+            .unwrap();
+        assert_eq!(direct.cost, facade.cost);
+        assert_eq!(direct.counters, facade.counters);
+    }
+
+    #[test]
+    fn facade_cost_model_is_respected() {
+        let w = workload::family_workload(GraphKind::Chain, 6, 2);
+        let cout = Optimizer::new().optimize(&w.graph, &w.catalog).unwrap();
+        let hash = Optimizer::new()
+            .with_cost_model(HashJoin)
+            .optimize(&w.graph, &w.catalog)
+            .unwrap();
+        assert_ne!(cout.cost, hash.cost);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for alg in Algorithm::CONCRETE {
+            let g = generators::chain(4).unwrap();
+            let name = alg.orderer(&g).name();
+            assert_eq!(Algorithm::parse(name), Some(alg), "{name}");
+        }
+        assert_eq!(Algorithm::parse("AUTO"), Some(Algorithm::Auto));
+        assert_eq!(Algorithm::parse("simulated-annealing"), None);
+    }
+
+    #[test]
+    fn all_concrete_algorithms_agree_on_optimal_cost() {
+        // Except GOO (heuristic), every algorithm is exact; cross-product
+        // DP can only be ≤.
+        let w = workload::random_workload(7, 0.5, 33);
+        let reference = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap().cost;
+        for alg in [
+            Algorithm::DpSize,
+            Algorithm::DpSizeNaive,
+            Algorithm::DpSub,
+            Algorithm::DpSubUnfiltered,
+        ] {
+            let r = alg.orderer(&w.graph).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            assert!(
+                (r.cost - reference).abs() <= 1e-9 * reference.max(1.0),
+                "{alg:?}: {} vs {}",
+                r.cost,
+                reference
+            );
+        }
+        let cp = Algorithm::DpSubCrossProducts
+            .orderer(&w.graph)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
+        assert!(cp.cost <= reference + 1e-9);
+        let goo = Algorithm::Goo
+            .orderer(&w.graph)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
+        assert!(goo.cost >= reference - 1e-9);
+    }
+}

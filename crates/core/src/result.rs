@@ -1,0 +1,49 @@
+//! Optimization results and the [`JoinOrderer`] interface.
+
+use joinopt_cost::{Catalog, CostModel};
+use joinopt_plan::JoinTree;
+use joinopt_qgraph::QueryGraph;
+
+use crate::counters::Counters;
+use crate::error::OptimizeError;
+
+/// The outcome of one optimizer run.
+#[derive(Debug, Clone)]
+pub struct DpResult {
+    /// The optimal bushy join tree.
+    pub tree: JoinTree,
+    /// Total cost of `tree` under the cost model used.
+    pub cost: f64,
+    /// Estimated output cardinality of the full join.
+    pub cardinality: f64,
+    /// The paper's instrumentation counters.
+    pub counters: Counters,
+    /// Number of relation sets with a registered plan (DP table size).
+    pub table_size: usize,
+    /// Number of plan nodes materialized (scans + accepted joins).
+    pub plans_built: usize,
+}
+
+/// A join-ordering algorithm: everything the benchmark harness and the
+/// façade need to drive DPsize, DPsub, DPccp and their variants
+/// uniformly.
+pub trait JoinOrderer {
+    /// Short algorithm name as used in the paper's figures
+    /// (`"DPsize"`, `"DPsub"`, `"DPccp"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Computes an optimal bushy join tree for `g` under `model`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for empty or disconnected graphs (cross-product-free join
+    /// trees only exist for connected query graphs) and for catalogs not
+    /// matching `g`'s shape. [`crate::DpSubCrossProducts`] lifts the
+    /// connectivity requirement.
+    fn optimize(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+    ) -> Result<DpResult, OptimizeError>;
+}

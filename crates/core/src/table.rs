@@ -1,0 +1,366 @@
+//! The dynamic-programming table `BestPlan(S)`.
+//!
+//! Keys are [`RelSet`]s — single `u64`s — so the table is a hash map with
+//! a fast multiplicative hasher written here (the standard-library
+//! SipHash is a poor fit for hot integer keys; see the workspace design
+//! notes). The table stores, per relation set, the best plan found so
+//! far and its statistics.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use joinopt_cost::PlanStats;
+use joinopt_plan::PlanId;
+use joinopt_relset::RelSet;
+
+/// A Fibonacci-style multiplicative hasher for `u64` keys.
+///
+/// Equivalent in spirit to `rustc-hash`'s `FxHasher` for single-word
+/// keys; written in-repo to keep the dependency set minimal.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FxHasher64 {
+    state: u64,
+}
+
+/// 64-bit golden-ratio constant (`floor(2^64 / φ)`, forced odd).
+const SEED: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic path (not used by RelSet keys, which hash via write_u64):
+        // fold 8-byte chunks.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        self.state = (self.state.rotate_left(5) ^ x).wrapping_mul(SEED);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher64`].
+pub type BuildFxHasher = BuildHasherDefault<FxHasher64>;
+
+/// One `BestPlan(S)` entry: the plan and its statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TableEntry {
+    /// Arena id of the best plan for the set.
+    pub plan: PlanId,
+    /// Cardinality and cost of that plan.
+    pub stats: PlanStats,
+}
+
+/// Storage interface for `BestPlan(S)` — implemented by the sparse
+/// hash-based [`DpTable`] (default) and the dense direct-addressed
+/// [`DenseDpTable`] DPsub uses for small `n` (the Vance/Maier original
+/// indexes an array by the subset integer, which is what makes DPsub's
+/// inner loop so cheap on dense search spaces).
+pub trait PlanTable {
+    /// Looks up `BestPlan(s)`.
+    fn get(&self, s: RelSet) -> Option<&TableEntry>;
+
+    /// Unconditionally registers `entry` as the plan for `s`.
+    fn insert(&mut self, s: RelSet, entry: TableEntry);
+
+    /// Registers lazily-built `entry` if `s` has no plan yet or `cost`
+    /// improves on the registered one. Returns `true` iff `s` was
+    /// previously absent.
+    fn insert_if_better(&mut self, s: RelSet, cost: f64, entry: impl FnOnce() -> TableEntry)
+        -> bool;
+
+    /// `true` iff a plan for `s` is registered.
+    fn contains(&self, s: RelSet) -> bool {
+        self.get(s).is_some()
+    }
+
+    /// Number of sets with a registered plan.
+    fn len(&self) -> usize;
+
+    /// `true` iff no plan is registered.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The DP table mapping relation sets to their best plans.
+#[derive(Debug, Clone, Default)]
+pub struct DpTable {
+    map: HashMap<RelSet, TableEntry, BuildFxHasher>,
+}
+
+impl DpTable {
+    /// Creates an empty table.
+    pub fn new() -> DpTable {
+        DpTable::default()
+    }
+
+    /// Creates a table pre-sized for `cap` entries.
+    pub fn with_capacity(cap: usize) -> DpTable {
+        DpTable { map: HashMap::with_capacity_and_hasher(cap, BuildFxHasher::default()) }
+    }
+
+    /// Iterates over all `(set, entry)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelSet, &TableEntry)> {
+        self.map.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+impl PlanTable for DpTable {
+    #[inline]
+    fn get(&self, s: RelSet) -> Option<&TableEntry> {
+        self.map.get(&s)
+    }
+
+    /// `true` iff a plan for `s` is registered. Because the algorithms
+    /// only register connected sets, this doubles as an O(1)
+    /// connectedness test for already-enumerated sets (the standard
+    /// DPsub implementation trick).
+    #[inline]
+    fn contains(&self, s: RelSet) -> bool {
+        self.map.contains_key(&s)
+    }
+
+    #[inline]
+    fn insert(&mut self, s: RelSet, entry: TableEntry) {
+        self.map.insert(s, entry);
+    }
+
+    #[inline]
+    fn insert_if_better(
+        &mut self,
+        s: RelSet,
+        cost: f64,
+        entry: impl FnOnce() -> TableEntry,
+    ) -> bool {
+        match self.map.entry(s) {
+            std::collections::hash_map::Entry::Occupied(mut occ) => {
+                if cost < occ.get().stats.cost {
+                    *occ.get_mut() = entry();
+                }
+                false
+            }
+            std::collections::hash_map::Entry::Vacant(vac) => {
+                vac.insert(entry());
+                true
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A dense, direct-addressed DP table: slot `s.bits()` holds the entry
+/// for set `s`. This is the layout of the original Vance/Maier
+/// implementation and what makes DPsub's innermost loop a handful of
+/// instructions on dense search spaces — no hashing, no probing.
+///
+/// Memory is `Θ(2ⁿ)`, so it is only constructed for small `n`
+/// ([`DenseDpTable::MAX_RELATIONS`]); DPsub falls back to the sparse
+/// [`DpTable`] above that size (where DPsub is infeasible anyway).
+#[derive(Debug, Clone)]
+pub struct DenseDpTable {
+    slots: Vec<TableEntry>,
+    present: Vec<u64>,
+    len: usize,
+}
+
+/// Sentinel for empty slots (never read while absent).
+const VACANT: TableEntry = TableEntry {
+    plan: PlanId::SENTINEL,
+    stats: PlanStats { cardinality: 0.0, cost: f64::INFINITY },
+};
+
+impl DenseDpTable {
+    /// Largest `n` for which a dense table is reasonable
+    /// (2²² entries ≈ 100 MiB).
+    pub const MAX_RELATIONS: usize = 22;
+
+    /// Creates a table for subsets of `n` relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > Self::MAX_RELATIONS`.
+    pub fn new(n: usize) -> DenseDpTable {
+        assert!(
+            n <= Self::MAX_RELATIONS,
+            "dense DP table limited to {} relations",
+            Self::MAX_RELATIONS
+        );
+        let size = 1usize << n;
+        DenseDpTable {
+            slots: vec![VACANT; size],
+            present: vec![0u64; size.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn is_present(&self, idx: usize) -> bool {
+        (self.present[idx >> 6] >> (idx & 63)) & 1 == 1
+    }
+
+    #[inline]
+    fn mark_present(&mut self, idx: usize) {
+        self.present[idx >> 6] |= 1u64 << (idx & 63);
+    }
+}
+
+impl PlanTable for DenseDpTable {
+    #[inline]
+    fn get(&self, s: RelSet) -> Option<&TableEntry> {
+        let idx = s.bits() as usize;
+        if self.is_present(idx) {
+            Some(&self.slots[idx])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn contains(&self, s: RelSet) -> bool {
+        self.is_present(s.bits() as usize)
+    }
+
+    #[inline]
+    fn insert(&mut self, s: RelSet, entry: TableEntry) {
+        let idx = s.bits() as usize;
+        if !self.is_present(idx) {
+            self.mark_present(idx);
+            self.len += 1;
+        }
+        self.slots[idx] = entry;
+    }
+
+    #[inline]
+    fn insert_if_better(
+        &mut self,
+        s: RelSet,
+        cost: f64,
+        entry: impl FnOnce() -> TableEntry,
+    ) -> bool {
+        let idx = s.bits() as usize;
+        if self.is_present(idx) {
+            if cost < self.slots[idx].stats.cost {
+                self.slots[idx] = entry();
+            }
+            false
+        } else {
+            self.mark_present(idx);
+            self.len += 1;
+            self.slots[idx] = entry();
+            true
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(cost: f64) -> TableEntry {
+        // PlanId has no public constructor; fabricate one through an arena.
+        let mut arena = joinopt_plan::PlanArena::new();
+        let id = arena.add_scan(0, 1.0);
+        TableEntry { plan: id, stats: PlanStats { cardinality: 1.0, cost } }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut t = DpTable::new();
+        assert!(t.is_empty());
+        let s = RelSet::from_indices([0, 1]);
+        assert!(t.insert_if_better(s, 10.0, || entry(10.0)));
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(s));
+        assert_eq!(t.get(s).unwrap().stats.cost, 10.0);
+    }
+
+    #[test]
+    fn better_cost_replaces() {
+        let mut t = DpTable::new();
+        let s = RelSet::single(0);
+        t.insert(s, entry(10.0));
+        assert!(!t.insert_if_better(s, 5.0, || entry(5.0)));
+        assert_eq!(t.get(s).unwrap().stats.cost, 5.0);
+    }
+
+    #[test]
+    fn worse_cost_ignored_and_not_materialized() {
+        let mut t = DpTable::new();
+        let s = RelSet::single(0);
+        t.insert(s, entry(10.0));
+        let mut called = false;
+        assert!(!t.insert_if_better(s, 20.0, || {
+            called = true;
+            entry(20.0)
+        }));
+        assert!(!called, "losing candidate must not be materialized");
+        assert_eq!(t.get(s).unwrap().stats.cost, 10.0);
+    }
+
+    #[test]
+    fn equal_cost_keeps_first() {
+        let mut t = DpTable::new();
+        let s = RelSet::single(0);
+        t.insert(s, entry(10.0));
+        let mut called = false;
+        t.insert_if_better(s, 10.0, || {
+            called = true;
+            entry(10.0)
+        });
+        assert!(!called, "ties must keep the incumbent (strict <)");
+    }
+
+    #[test]
+    fn iter_sees_all_entries() {
+        let mut t = DpTable::with_capacity(4);
+        t.insert(RelSet::single(0), entry(1.0));
+        t.insert(RelSet::single(1), entry(2.0));
+        let mut sets: Vec<RelSet> = t.iter().map(|(s, _)| s).collect();
+        sets.sort();
+        assert_eq!(sets, vec![RelSet::single(0), RelSet::single(1)]);
+    }
+
+    #[test]
+    fn hasher_distributes_dense_keys() {
+        // Dense small bitsets (the DP workload) should not collide
+        // pathologically: inserting 2^14 distinct keys must keep the map
+        // at full size (correctness) — and this exercises write_u64.
+        let mut t = DpTable::new();
+        for bits in 1u64..(1 << 14) {
+            t.insert(RelSet::from_bits(bits), entry(bits as f64));
+        }
+        assert_eq!(t.len(), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn fxhasher_generic_write_path() {
+        use std::hash::Hasher as _;
+        let mut h1 = FxHasher64::default();
+        h1.write(b"hello world!");
+        let mut h2 = FxHasher64::default();
+        h2.write(b"hello world?");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

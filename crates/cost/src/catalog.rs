@@ -1,0 +1,197 @@
+//! The statistics [`Catalog`]: base cardinalities and join selectivities.
+
+use joinopt_qgraph::{EdgeId, QueryGraph};
+use joinopt_relset::RelIdx;
+
+use crate::error::CostError;
+
+/// Base-table cardinalities and per-join-predicate selectivities for a
+/// query graph.
+///
+/// A catalog is created *for* a specific graph shape and indexes
+/// selectivities by the graph's [`EdgeId`]s. Defaults are a cardinality
+/// of 1 000 rows per relation and a selectivity of 0.1 per predicate, so
+/// a freshly created catalog is immediately usable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    cardinalities: Vec<f64>,
+    selectivities: Vec<f64>,
+}
+
+/// Default base-table cardinality.
+pub const DEFAULT_CARDINALITY: f64 = 1_000.0;
+/// Default join-predicate selectivity.
+pub const DEFAULT_SELECTIVITY: f64 = 0.1;
+
+impl Catalog {
+    /// Creates a catalog matching `g`'s shape, with default statistics.
+    pub fn new(g: &QueryGraph) -> Catalog {
+        Catalog::with_shape(g.num_relations(), g.num_edges())
+    }
+
+    /// Creates a catalog for an explicit shape (`n` relations, `m` join
+    /// predicates) — used for hypergraph workloads, whose edges are not
+    /// [`QueryGraph`] edges.
+    pub fn with_shape(n: usize, m: usize) -> Catalog {
+        Catalog {
+            cardinalities: vec![DEFAULT_CARDINALITY; n],
+            selectivities: vec![DEFAULT_SELECTIVITY; m],
+        }
+    }
+
+    /// Number of relations covered.
+    pub fn num_relations(&self) -> usize {
+        self.cardinalities.len()
+    }
+
+    /// Number of join predicates covered.
+    pub fn num_edges(&self) -> usize {
+        self.selectivities.len()
+    }
+
+    /// Sets the base cardinality of relation `i`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range relations and non-finite or `< 1` values.
+    pub fn set_cardinality(&mut self, i: RelIdx, value: f64) -> Result<(), CostError> {
+        if i >= self.cardinalities.len() {
+            return Err(CostError::RelationOutOfRange { relation: i, n: self.cardinalities.len() });
+        }
+        if !value.is_finite() || value < 1.0 {
+            return Err(CostError::InvalidCardinality { relation: i, value });
+        }
+        self.cardinalities[i] = value;
+        Ok(())
+    }
+
+    /// Sets the selectivity of join predicate `e`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects out-of-range edges and values outside `(0, 1]`.
+    pub fn set_selectivity(&mut self, e: EdgeId, value: f64) -> Result<(), CostError> {
+        if e >= self.selectivities.len() {
+            return Err(CostError::EdgeOutOfRange { edge: e, m: self.selectivities.len() });
+        }
+        if !value.is_finite() || value <= 0.0 || value > 1.0 {
+            return Err(CostError::InvalidSelectivity { edge: e, value });
+        }
+        self.selectivities[e] = value;
+        Ok(())
+    }
+
+    /// The base cardinality of relation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn cardinality(&self, i: RelIdx) -> f64 {
+        self.cardinalities[i]
+    }
+
+    /// The selectivity of join predicate `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    pub fn selectivity(&self, e: EdgeId) -> f64 {
+        self.selectivities[e]
+    }
+
+    /// All cardinalities, indexable by relation.
+    pub fn cardinalities(&self) -> &[f64] {
+        &self.cardinalities
+    }
+
+    /// All selectivities, indexable by edge id.
+    pub fn selectivities(&self) -> &[f64] {
+        &self.selectivities
+    }
+
+    /// Validates that this catalog matches `g`'s shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::ShapeMismatch`] otherwise.
+    pub fn check_shape(&self, g: &QueryGraph) -> Result<(), CostError> {
+        let catalog = (self.num_relations(), self.num_edges());
+        let graph = (g.num_relations(), g.num_edges());
+        if catalog == graph {
+            Ok(())
+        } else {
+            Err(CostError::ShapeMismatch { catalog, graph })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_qgraph::generators;
+
+    #[test]
+    fn defaults_are_usable() {
+        let g = generators::chain(4).unwrap();
+        let cat = Catalog::new(&g);
+        assert_eq!(cat.num_relations(), 4);
+        assert_eq!(cat.num_edges(), 3);
+        assert_eq!(cat.cardinality(2), DEFAULT_CARDINALITY);
+        assert_eq!(cat.selectivity(0), DEFAULT_SELECTIVITY);
+        assert!(cat.check_shape(&g).is_ok());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let g = generators::chain(3).unwrap();
+        let mut cat = Catalog::new(&g);
+        cat.set_cardinality(1, 42.0).unwrap();
+        cat.set_selectivity(0, 0.25).unwrap();
+        assert_eq!(cat.cardinality(1), 42.0);
+        assert_eq!(cat.selectivity(0), 0.25);
+        assert_eq!(cat.cardinalities()[1], 42.0);
+        assert_eq!(cat.selectivities()[0], 0.25);
+    }
+
+    #[test]
+    fn rejects_bad_cardinalities() {
+        let g = generators::chain(2).unwrap();
+        let mut cat = Catalog::new(&g);
+        assert!(matches!(
+            cat.set_cardinality(5, 10.0),
+            Err(CostError::RelationOutOfRange { relation: 5, n: 2 })
+        ));
+        for bad in [0.5, 0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(cat.set_cardinality(0, bad), Err(CostError::InvalidCardinality { .. })),
+                "accepted {bad}"
+            );
+        }
+        assert!(cat.set_cardinality(0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_selectivities() {
+        let g = generators::chain(2).unwrap();
+        let mut cat = Catalog::new(&g);
+        assert!(matches!(
+            cat.set_selectivity(3, 0.5),
+            Err(CostError::EdgeOutOfRange { edge: 3, m: 1 })
+        ));
+        for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
+            assert!(
+                matches!(cat.set_selectivity(0, bad), Err(CostError::InvalidSelectivity { .. })),
+                "accepted {bad}"
+            );
+        }
+        assert!(cat.set_selectivity(0, 1.0).is_ok()); // cross-product-like predicate allowed
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let g3 = generators::chain(3).unwrap();
+        let g4 = generators::chain(4).unwrap();
+        let cat = Catalog::new(&g3);
+        assert!(matches!(cat.check_shape(&g4), Err(CostError::ShapeMismatch { .. })));
+    }
+}

@@ -1,0 +1,96 @@
+//! Error type for catalog and estimator construction.
+
+use core::fmt;
+
+use joinopt_qgraph::EdgeId;
+use joinopt_relset::RelIdx;
+
+/// Errors produced by catalog validation and estimator construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostError {
+    /// A relation index does not exist in the catalog.
+    RelationOutOfRange {
+        /// The offending relation index.
+        relation: RelIdx,
+        /// Number of relations in the catalog.
+        n: usize,
+    },
+    /// An edge id does not exist in the catalog.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Number of edges in the catalog.
+        m: usize,
+    },
+    /// A cardinality was not a finite value ≥ 1.
+    InvalidCardinality {
+        /// The offending relation.
+        relation: RelIdx,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A selectivity was not a finite value in `(0, 1]`.
+    InvalidSelectivity {
+        /// The offending edge.
+        edge: EdgeId,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The catalog was built against a graph of a different shape.
+    ShapeMismatch {
+        /// Relations/edges expected by the catalog.
+        catalog: (usize, usize),
+        /// Relations/edges of the supplied graph.
+        graph: (usize, usize),
+    },
+}
+
+impl fmt::Display for CostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CostError::RelationOutOfRange { relation, n } => {
+                write!(f, "relation R{relation} out of range (catalog has {n} relations)")
+            }
+            CostError::EdgeOutOfRange { edge, m } => {
+                write!(f, "edge {edge} out of range (catalog has {m} edges)")
+            }
+            CostError::InvalidCardinality { relation, value } => {
+                write!(f, "cardinality {value} for R{relation} must be finite and ≥ 1")
+            }
+            CostError::InvalidSelectivity { edge, value } => {
+                write!(f, "selectivity {value} for edge {edge} must be finite and in (0, 1]")
+            }
+            CostError::ShapeMismatch { catalog, graph } => {
+                write!(
+                    f,
+                    "catalog shape (n={}, m={}) does not match graph (n={}, m={})",
+                    catalog.0, catalog.1, graph.0, graph.1
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CostError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CostError::RelationOutOfRange { relation: 7, n: 3 }
+            .to_string()
+            .contains("R7"));
+        assert!(CostError::EdgeOutOfRange { edge: 9, m: 2 }.to_string().contains('9'));
+        assert!(CostError::InvalidCardinality { relation: 0, value: -1.0 }
+            .to_string()
+            .contains("-1"));
+        assert!(CostError::InvalidSelectivity { edge: 1, value: 2.0 }
+            .to_string()
+            .contains('2'));
+        assert!(CostError::ShapeMismatch { catalog: (3, 2), graph: (4, 3) }
+            .to_string()
+            .contains("n=4"));
+    }
+}

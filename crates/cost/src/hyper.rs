@@ -1,0 +1,175 @@
+//! Cardinality estimation over hypergraphs (complex join predicates).
+//!
+//! A complex predicate `(u, w)` — e.g. `R1.a + R2.b = R3.c` as
+//! `({R1,R2}, {R3})` — can only be evaluated once **all** relations it
+//! references are joined. Under the independence assumption its
+//! selectivity therefore applies at the first join whose result covers
+//! `u ∪ w`, which makes the estimate a pure set function:
+//!
+//! ```text
+//! |S| = ∏_{R ∈ S} |R| · ∏ { f_e : e.as_set() ⊆ S }
+//! ```
+//!
+//! exactly as in the simple-graph case (where `e.as_set()` has two
+//! elements). The incremental form used in the DP hot path multiplies
+//! the selectivities of the predicates that become covered by the union
+//! but were covered by neither operand.
+
+use joinopt_qgraph::hypergraph::Hypergraph;
+use joinopt_relset::{RelIdx, RelSet};
+
+use crate::catalog::Catalog;
+use crate::error::CostError;
+
+/// Independence-assumption estimator for hypergraph workloads.
+#[derive(Debug, Clone)]
+pub struct HyperCardinalityEstimator {
+    cards: Vec<f64>,
+    /// Per edge: (all referenced relations, selectivity).
+    edges: Vec<(RelSet, f64)>,
+}
+
+impl HyperCardinalityEstimator {
+    /// Builds an estimator for `h` with statistics from `cat`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::ShapeMismatch`] if `cat`'s shape does not
+    /// match `h` (one cardinality per relation, one selectivity per
+    /// hyperedge).
+    pub fn new(h: &Hypergraph, cat: &Catalog) -> Result<HyperCardinalityEstimator, CostError> {
+        let catalog = (cat.num_relations(), cat.num_edges());
+        let graph = (h.num_relations(), h.num_edges());
+        if catalog != graph {
+            return Err(CostError::ShapeMismatch { catalog, graph });
+        }
+        let edges = h
+            .edges()
+            .iter()
+            .enumerate()
+            .map(|(id, e)| (e.as_set(), cat.selectivity(id)))
+            .collect();
+        Ok(HyperCardinalityEstimator { cards: cat.cardinalities().to_vec(), edges })
+    }
+
+    /// Number of relations covered.
+    pub fn num_relations(&self) -> usize {
+        self.cards.len()
+    }
+
+    /// Base cardinality of a single relation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn base_cardinality(&self, i: RelIdx) -> f64 {
+        self.cards[i]
+    }
+
+    /// Estimated cardinality of the join of two disjoint sets with known
+    /// cardinalities: applies the selectivity of every predicate newly
+    /// covered by the union.
+    #[inline]
+    pub fn join_cardinality(&self, card1: f64, card2: f64, s1: RelSet, s2: RelSet) -> f64 {
+        let union = s1 | s2;
+        let mut card = card1 * card2;
+        for &(refs, sel) in &self.edges {
+            if refs.is_subset(union) && !refs.is_subset(s1) && !refs.is_subset(s2) {
+                card *= sel;
+            }
+        }
+        card
+    }
+
+    /// Estimated cardinality of an arbitrary set from scratch.
+    pub fn set_cardinality(&self, s: RelSet) -> f64 {
+        let mut card = 1.0;
+        for v in s.iter() {
+            card *= self.cards[v];
+        }
+        for &(refs, sel) in &self.edges {
+            if refs.is_subset(s) {
+                card *= sel;
+            }
+        }
+        card
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ix: impl IntoIterator<Item = usize>) -> RelSet {
+        RelSet::from_indices(ix)
+    }
+
+    fn sample() -> (Hypergraph, Catalog) {
+        let mut h = Hypergraph::new(3).unwrap();
+        h.add_edge(set([0]), set([1])).unwrap(); // simple
+        h.add_edge(set([0, 1]), set([2])).unwrap(); // complex
+        let mut cat = Catalog::with_shape(3, 2);
+        cat.set_cardinality(0, 100.0).unwrap();
+        cat.set_cardinality(1, 200.0).unwrap();
+        cat.set_cardinality(2, 50.0).unwrap();
+        cat.set_selectivity(0, 0.01).unwrap();
+        cat.set_selectivity(1, 0.1).unwrap();
+        (h, cat)
+    }
+
+    #[test]
+    fn set_cardinalities() {
+        let (h, cat) = sample();
+        let est = HyperCardinalityEstimator::new(&h, &cat).unwrap();
+        assert_eq!(est.base_cardinality(2), 50.0);
+        // {0,1}: 100·200·0.01 = 200
+        assert_eq!(est.set_cardinality(set([0, 1])), 200.0);
+        // {1,2}: no fully-covered predicate → cross-product style 10000
+        assert_eq!(est.set_cardinality(set([1, 2])), 10_000.0);
+        // Full: 100·200·50·0.01·0.1 = 1000
+        assert_eq!(est.set_cardinality(set([0, 1, 2])), 1_000.0);
+    }
+
+    #[test]
+    fn join_matches_set_function() {
+        let (h, cat) = sample();
+        let est = HyperCardinalityEstimator::new(&h, &cat).unwrap();
+        let full = set([0, 1, 2]);
+        for s1 in full.non_empty_proper_subsets() {
+            let s2 = full - s1;
+            let via = est.join_cardinality(
+                est.set_cardinality(s1),
+                est.set_cardinality(s2),
+                s1,
+                s2,
+            );
+            let direct = est.set_cardinality(full);
+            assert!(
+                (via - direct).abs() <= 1e-9 * direct,
+                "split {s1}/{s2}: {via} vs {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn complex_predicate_applies_only_when_covered() {
+        let (h, cat) = sample();
+        let est = HyperCardinalityEstimator::new(&h, &cat).unwrap();
+        // Joining {0} with {2} covers neither predicate fully.
+        let c = est.join_cardinality(100.0, 50.0, set([0]), set([2]));
+        assert_eq!(c, 5_000.0);
+        // Joining {0,1} with {2} covers the complex predicate.
+        let c = est.join_cardinality(200.0, 50.0, set([0, 1]), set([2]));
+        assert_eq!(c, 1_000.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let (h, _) = sample();
+        let bad = Catalog::with_shape(3, 1);
+        assert!(matches!(
+            HyperCardinalityEstimator::new(&h, &bad),
+            Err(CostError::ShapeMismatch { .. })
+        ));
+    }
+}

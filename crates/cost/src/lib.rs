@@ -1,0 +1,63 @@
+//! Statistics, cardinality estimation and cost models.
+//!
+//! The dynamic-programming algorithms of the paper are *enumeration*
+//! strategies; to turn an enumerated csg-cmp-pair into a plan decision
+//! they need `cost(CreateJoinTree(p1, p2))`, which in turn needs
+//! cardinalities. This crate supplies that substrate:
+//!
+//! * [`Catalog`] — base-table cardinalities and per-join-predicate
+//!   selectivities, validated on construction;
+//! * [`CardinalityEstimator`] — the classical independence-assumption
+//!   estimator: `|S₁ ⋈ S₂| = |S₁| · |S₂| · ∏ f_e` over the predicates
+//!   `e` crossing the cut, computed incrementally so a DP step is O(cut);
+//! * [`CostModel`] implementations — [`Cout`] (sum of intermediate result
+//!   sizes, the standard model in the join-ordering literature),
+//!   [`NestedLoopJoin`], [`HashJoin`], [`SortMergeJoin`] and
+//!   [`MinOverPhysical`] (cheapest physical operator per join);
+//! * [`workload`] — seeded random workload generation so experiments are
+//!   reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use joinopt_qgraph::generators;
+//! use joinopt_cost::{Catalog, CardinalityEstimator, CostModel, Cout, PlanStats};
+//! use joinopt_relset::RelSet;
+//!
+//! let g = generators::chain(3).unwrap();
+//! let mut cat = Catalog::new(&g);
+//! cat.set_cardinality(0, 1000.0).unwrap();
+//! cat.set_cardinality(1, 100.0).unwrap();
+//! cat.set_cardinality(2, 10.0).unwrap();
+//! cat.set_selectivity(0, 0.01).unwrap(); // R0 ⋈ R1
+//! cat.set_selectivity(1, 0.5).unwrap();  // R1 ⋈ R2
+//!
+//! let est = CardinalityEstimator::new(&g, &cat).unwrap();
+//! let s01 = est.join_cardinality(
+//!     1000.0, 100.0, RelSet::single(0), RelSet::single(1));
+//! assert_eq!(s01, 1000.0); // 1000 · 100 · 0.01
+//! let cost = Cout.join_cost(
+//!     &PlanStats { cardinality: 1000.0, cost: 0.0 },
+//!     &PlanStats { cardinality: 10.0, cost: 0.0 },
+//!     5000.0,
+//! );
+//! assert_eq!(cost, 5000.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod error;
+mod estimator;
+pub mod hyper;
+mod models;
+pub mod workload;
+
+pub use catalog::Catalog;
+pub use error::CostError;
+pub use estimator::CardinalityEstimator;
+pub use hyper::HyperCardinalityEstimator;
+pub use models::{
+    CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin, PlanStats, SortMergeJoin,
+};

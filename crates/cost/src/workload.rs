@@ -1,0 +1,133 @@
+//! Seeded random workload generation.
+//!
+//! The paper's experiments time the *enumeration*, so any statistics do;
+//! but plan-quality comparisons (and the test suite's optimality
+//! cross-checks) need realistic, reproducible inputs. Cardinalities are
+//! drawn log-uniformly from `[10, 10⁶]` and selectivities log-uniformly
+//! from `[10⁻⁴, 1]`, the conventional ranges in the join-ordering
+//! literature.
+
+use joinopt_qgraph::{generators, GraphKind, QueryGraph};
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::catalog::Catalog;
+
+/// A query graph together with its statistics — everything an optimizer
+/// run needs.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// Statistics for `graph`.
+    pub catalog: Catalog,
+}
+
+/// Bounds for random statistics generation.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsRanges {
+    /// Inclusive log-uniform cardinality range.
+    pub cardinality: (f64, f64),
+    /// Inclusive log-uniform selectivity range.
+    pub selectivity: (f64, f64),
+}
+
+impl Default for StatsRanges {
+    fn default() -> Self {
+        StatsRanges { cardinality: (10.0, 1e6), selectivity: (1e-4, 1.0) }
+    }
+}
+
+/// Draws a log-uniform sample from `[lo, hi]`.
+fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(lo > 0.0 && hi >= lo, "log-uniform bounds must satisfy 0 < lo ≤ hi");
+    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+}
+
+/// Fills a catalog for `g` with random statistics.
+pub fn random_catalog<R: Rng + ?Sized>(g: &QueryGraph, ranges: StatsRanges, rng: &mut R) -> Catalog {
+    let mut cat = Catalog::new(g);
+    for i in 0..g.num_relations() {
+        let (lo, hi) = ranges.cardinality;
+        cat.set_cardinality(i, log_uniform(rng, lo, hi).max(1.0))
+            .expect("generated cardinality in range");
+    }
+    for e in 0..g.num_edges() {
+        let (lo, hi) = ranges.selectivity;
+        cat.set_selectivity(e, log_uniform(rng, lo, hi).min(1.0))
+            .expect("generated selectivity in range");
+    }
+    cat
+}
+
+/// A reproducible workload for one of the paper's graph families.
+pub fn family_workload(kind: GraphKind, n: usize, seed: u64) -> Workload {
+    let graph = generators::generate(kind, n);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let catalog = random_catalog(&graph, StatsRanges::default(), &mut rng);
+    Workload { graph, catalog }
+}
+
+/// A reproducible workload over a random connected graph.
+pub fn random_workload(n: usize, extra_edge_prob: f64, seed: u64) -> Workload {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let graph = generators::random_connected(n, extra_edge_prob, &mut rng)
+        .expect("valid size for random graph");
+    let catalog = random_catalog(&graph, StatsRanges::default(), &mut rng);
+    Workload { graph, catalog }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn log_uniform_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = log_uniform(&mut rng, 10.0, 1e6);
+            assert!((10.0..=1e6).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds")]
+    fn log_uniform_rejects_zero_lower_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = log_uniform(&mut rng, 0.0, 1.0);
+    }
+
+    #[test]
+    fn family_workload_is_deterministic() {
+        let w1 = family_workload(GraphKind::Star, 6, 99);
+        let w2 = family_workload(GraphKind::Star, 6, 99);
+        assert_eq!(w1.graph, w2.graph);
+        assert_eq!(w1.catalog, w2.catalog);
+        let w3 = family_workload(GraphKind::Star, 6, 100);
+        assert_ne!(w1.catalog, w3.catalog);
+    }
+
+    #[test]
+    fn random_workload_valid() {
+        let w = random_workload(10, 0.3, 7);
+        assert!(w.graph.is_connected());
+        assert!(w.catalog.check_shape(&w.graph).is_ok());
+        for &c in w.catalog.cardinalities() {
+            assert!((1.0..=1e6).contains(&c));
+        }
+        for &f in w.catalog.selectivities() {
+            assert!(f > 0.0 && f <= 1.0);
+        }
+    }
+
+    #[test]
+    fn catalog_covers_custom_ranges() {
+        let g = generators::clique(5).unwrap();
+        let ranges = StatsRanges { cardinality: (100.0, 100.0), selectivity: (0.5, 0.5) };
+        let mut rng = StdRng::seed_from_u64(0);
+        let cat = random_catalog(&g, ranges, &mut rng);
+        assert!(cat.cardinalities().iter().all(|&c| (c - 100.0).abs() < 1e-9));
+        assert!(cat.selectivities().iter().all(|&f| (f - 0.5).abs() < 1e-9));
+    }
+}

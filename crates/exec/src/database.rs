@@ -1,0 +1,179 @@
+//! Synthetic data generation matching a statistics catalog.
+
+use core::fmt;
+
+use joinopt_cost::Catalog;
+use joinopt_qgraph::{EdgeId, QueryGraph};
+use joinopt_relset::RelIdx;
+use rand::Rng;
+
+/// Safety cap on synthesized rows per relation (this is a validation
+/// engine, not a warehouse).
+pub const MAX_SYNTH_ROWS: usize = 100_000;
+
+/// Errors from data synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// A relation's catalog cardinality exceeds [`MAX_SYNTH_ROWS`].
+    TooManyRows {
+        /// The relation.
+        relation: RelIdx,
+        /// Its catalog cardinality.
+        cardinality: f64,
+    },
+    /// Catalog and graph shapes differ.
+    ShapeMismatch,
+}
+
+impl fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthesisError::TooManyRows { relation, cardinality } => write!(
+                f,
+                "relation R{relation} has {cardinality} rows; synthesis is capped at \
+                 {MAX_SYNTH_ROWS}"
+            ),
+            SynthesisError::ShapeMismatch => {
+                write!(f, "catalog shape does not match the query graph")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+/// A synthesized database: one key column per (relation, incident
+/// predicate) pair.
+#[derive(Debug, Clone)]
+pub struct Database {
+    rows: Vec<usize>,
+    /// `keys[edge_id]` = (keys of the edge's `u` relation, keys of `v`).
+    keys: Vec<(Vec<u32>, Vec<u32>)>,
+    /// Domain size used per edge (`⌈1/selectivity⌉`).
+    domains: Vec<u32>,
+}
+
+impl Database {
+    /// Synthesizes data for `g` whose join statistics match `cat` in
+    /// expectation: each predicate's two key columns are uniform over a
+    /// domain of size `⌈1/f⌉`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects mismatched shapes and cardinalities above
+    /// [`MAX_SYNTH_ROWS`].
+    pub fn synthesize<R: Rng + ?Sized>(
+        g: &QueryGraph,
+        cat: &Catalog,
+        rng: &mut R,
+    ) -> Result<Database, SynthesisError> {
+        if cat.num_relations() != g.num_relations() || cat.num_edges() != g.num_edges() {
+            return Err(SynthesisError::ShapeMismatch);
+        }
+        let mut rows = Vec::with_capacity(g.num_relations());
+        for i in 0..g.num_relations() {
+            let card = cat.cardinality(i);
+            if card > MAX_SYNTH_ROWS as f64 {
+                return Err(SynthesisError::TooManyRows { relation: i, cardinality: card });
+            }
+            rows.push(card.round().max(1.0) as usize);
+        }
+        let mut keys = Vec::with_capacity(g.num_edges());
+        let mut domains = Vec::with_capacity(g.num_edges());
+        for (id, e) in g.edges().iter().enumerate() {
+            let f = cat.selectivity(id);
+            let domain = (1.0 / f).round().max(1.0).min(u32::MAX as f64) as u32;
+            let u_keys = (0..rows[e.u]).map(|_| rng.gen_range(0..domain)).collect();
+            let v_keys = (0..rows[e.v]).map(|_| rng.gen_range(0..domain)).collect();
+            keys.push((u_keys, v_keys));
+            domains.push(domain);
+        }
+        Ok(Database { rows, keys, domains })
+    }
+
+    /// Number of rows in relation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn rows(&self, i: RelIdx) -> usize {
+        self.rows[i]
+    }
+
+    /// The key of `row` of the given endpoint (`u` side iff `u_side`) of
+    /// predicate `edge`.
+    pub(crate) fn key(&self, edge: EdgeId, u_side: bool, row: usize) -> u32 {
+        let (u, v) = &self.keys[edge];
+        if u_side {
+            u[row]
+        } else {
+            v[row]
+        }
+    }
+
+    /// The key domain size of predicate `edge` (`⌈1/selectivity⌉`).
+    pub fn domain(&self, edge: EdgeId) -> u32 {
+        self.domains[edge]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_qgraph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesis_respects_catalog() {
+        let g = generators::chain(3).unwrap();
+        let mut cat = Catalog::new(&g);
+        cat.set_cardinality(0, 100.0).unwrap();
+        cat.set_cardinality(1, 50.0).unwrap();
+        cat.set_cardinality(2, 10.0).unwrap();
+        cat.set_selectivity(0, 0.02).unwrap();
+        cat.set_selectivity(1, 1.0).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(1)).unwrap();
+        assert_eq!(db.rows(0), 100);
+        assert_eq!(db.rows(2), 10);
+        assert_eq!(db.domain(0), 50); // 1/0.02
+        assert_eq!(db.domain(1), 1); // selectivity 1 → always matches
+        // Keys are within the domain.
+        for row in 0..100 {
+            assert!(db.key(0, true, row) < 50);
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_relations() {
+        let g = generators::chain(2).unwrap();
+        let mut cat = Catalog::new(&g);
+        cat.set_cardinality(0, 1e9).unwrap();
+        let err = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(1)).unwrap_err();
+        assert!(matches!(err, SynthesisError::TooManyRows { relation: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let g2 = generators::chain(2).unwrap();
+        let g3 = generators::chain(3).unwrap();
+        let cat = Catalog::new(&g2);
+        assert_eq!(
+            Database::synthesize(&g3, &cat, &mut StdRng::seed_from_u64(1)).unwrap_err(),
+            SynthesisError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g = generators::star(4).unwrap();
+        let cat = Catalog::new(&g);
+        let a = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(9)).unwrap();
+        let b = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(9)).unwrap();
+        for e in 0..g.num_edges() {
+            for row in 0..a.rows(0) {
+                assert_eq!(a.key(e, true, row), b.key(e, true, row));
+            }
+        }
+    }
+}

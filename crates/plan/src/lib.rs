@@ -1,0 +1,36 @@
+//! Join-tree (plan) representation.
+//!
+//! Dynamic programming builds millions of candidate sub-plans; allocating
+//! a boxed tree per candidate would dominate runtime. This crate
+//! therefore separates:
+//!
+//! * [`PlanArena`] — append-only storage of plan nodes (`CreateJoinTree`
+//!   in the paper is [`PlanArena::add_join`]); a sub-plan is just a
+//!   [`PlanId`], and DP tables map relation sets to ids;
+//! * [`JoinTree`] — an owned recursive tree extracted from the arena once
+//!   optimization finishes, with shape predicates (left-deep / bushy),
+//!   traversal helpers and human-readable [`JoinTree::explain`] output.
+//!
+//! # Example
+//!
+//! ```
+//! use joinopt_plan::PlanArena;
+//! use joinopt_cost::PlanStats;
+//!
+//! let mut arena = PlanArena::new();
+//! let r0 = arena.add_scan(0, 1000.0);
+//! let r1 = arena.add_scan(1, 200.0);
+//! let top = arena.add_join(r0, r1, PlanStats { cardinality: 500.0, cost: 500.0 });
+//! let tree = arena.extract(top);
+//! assert_eq!(tree.num_joins(), 1);
+//! assert_eq!(tree.to_string(), "(R0 ⋈ R1)");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod tree;
+
+pub use arena::{PlanArena, PlanId, PlanNodeKind};
+pub use tree::JoinTree;

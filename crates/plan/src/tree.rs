@@ -1,0 +1,241 @@
+//! Owned [`JoinTree`] values and their inspection helpers.
+
+use core::fmt;
+
+use joinopt_relset::{RelIdx, RelSet};
+
+/// An owned bushy join tree with per-node estimates.
+///
+/// Extracted from a [`PlanArena`](crate::PlanArena) after optimization;
+/// the in-flight representation used by the DP algorithms is the arena.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JoinTree {
+    /// A base-table scan.
+    Scan {
+        /// The scanned relation.
+        relation: RelIdx,
+        /// Estimated base cardinality.
+        cardinality: f64,
+    },
+    /// A binary join.
+    Join {
+        /// Left operand.
+        left: Box<JoinTree>,
+        /// Right operand.
+        right: Box<JoinTree>,
+        /// Estimated output cardinality.
+        cardinality: f64,
+        /// Accumulated cost up to and including this join.
+        cost: f64,
+    },
+}
+
+impl JoinTree {
+    /// The set of relations joined by this (sub-)tree.
+    pub fn relations(&self) -> RelSet {
+        match self {
+            JoinTree::Scan { relation, .. } => RelSet::single(*relation),
+            JoinTree::Join { left, right, .. } => left.relations() | right.relations(),
+        }
+    }
+
+    /// Number of relations (leaves).
+    pub fn num_relations(&self) -> usize {
+        match self {
+            JoinTree::Scan { .. } => 1,
+            JoinTree::Join { left, right, .. } => left.num_relations() + right.num_relations(),
+        }
+    }
+
+    /// Number of join operators (inner nodes); always `leaves − 1`.
+    pub fn num_joins(&self) -> usize {
+        match self {
+            JoinTree::Scan { .. } => 0,
+            JoinTree::Join { left, right, .. } => 1 + left.num_joins() + right.num_joins(),
+        }
+    }
+
+    /// Height of the tree (a single scan has depth 0).
+    pub fn depth(&self) -> usize {
+        match self {
+            JoinTree::Scan { .. } => 0,
+            JoinTree::Join { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+
+    /// Estimated output cardinality at the root.
+    pub fn cardinality(&self) -> f64 {
+        match self {
+            JoinTree::Scan { cardinality, .. } | JoinTree::Join { cardinality, .. } => {
+                *cardinality
+            }
+        }
+    }
+
+    /// Total accumulated cost (0 for a bare scan, by the C_out
+    /// convention that scans are free).
+    pub fn cost(&self) -> f64 {
+        match self {
+            JoinTree::Scan { .. } => 0.0,
+            JoinTree::Join { cost, .. } => *cost,
+        }
+    }
+
+    /// `true` iff every join's right operand is a base relation — the
+    /// classical System-R "left-deep" shape.
+    pub fn is_left_deep(&self) -> bool {
+        match self {
+            JoinTree::Scan { .. } => true,
+            JoinTree::Join { left, right, .. } => {
+                matches!(**right, JoinTree::Scan { .. }) && left.is_left_deep()
+            }
+        }
+    }
+
+    /// `true` iff every join's left operand is a base relation.
+    pub fn is_right_deep(&self) -> bool {
+        match self {
+            JoinTree::Scan { .. } => true,
+            JoinTree::Join { left, right, .. } => {
+                matches!(**left, JoinTree::Scan { .. }) && right.is_right_deep()
+            }
+        }
+    }
+
+    /// `true` iff some join has two composite operands — a properly
+    /// bushy tree, the shape only bushy enumeration can produce.
+    pub fn is_properly_bushy(&self) -> bool {
+        match self {
+            JoinTree::Scan { .. } => false,
+            JoinTree::Join { left, right, .. } => {
+                (matches!(**left, JoinTree::Join { .. })
+                    && matches!(**right, JoinTree::Join { .. }))
+                    || left.is_properly_bushy()
+                    || right.is_properly_bushy()
+            }
+        }
+    }
+
+    /// The leaves in left-to-right order.
+    pub fn leaf_order(&self) -> Vec<RelIdx> {
+        let mut out = Vec::with_capacity(self.num_relations());
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<RelIdx>) {
+        match self {
+            JoinTree::Scan { relation, .. } => out.push(*relation),
+            JoinTree::Join { left, right, .. } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Multi-line `EXPLAIN`-style rendering with cardinalities and costs.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, indent: usize) {
+        use core::fmt::Write as _;
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+        match self {
+            JoinTree::Scan { relation, cardinality } => {
+                let _ = writeln!(out, "Scan R{relation}  (card={cardinality:.0})");
+            }
+            JoinTree::Join { left, right, cardinality, cost } => {
+                let _ = writeln!(out, "Join  (card={cardinality:.0}, cost={cost:.0})");
+                left.explain_into(out, indent + 1);
+                right.explain_into(out, indent + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for JoinTree {
+    /// One-line infix rendering, e.g. `((R0 ⋈ R1) ⋈ R2)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Scan { relation, .. } => write!(f, "R{relation}"),
+            JoinTree::Join { left, right, .. } => write!(f, "({left} ⋈ {right})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(r: RelIdx, card: f64) -> JoinTree {
+        JoinTree::Scan { relation: r, cardinality: card }
+    }
+
+    fn join(l: JoinTree, r: JoinTree, card: f64, cost: f64) -> JoinTree {
+        JoinTree::Join { left: Box::new(l), right: Box::new(r), cardinality: card, cost }
+    }
+
+    fn left_deep3() -> JoinTree {
+        join(join(scan(0, 10.0), scan(1, 20.0), 5.0, 5.0), scan(2, 30.0), 2.0, 7.0)
+    }
+
+    fn bushy4() -> JoinTree {
+        join(
+            join(scan(0, 10.0), scan(1, 20.0), 5.0, 5.0),
+            join(scan(2, 30.0), scan(3, 40.0), 6.0, 6.0),
+            3.0,
+            14.0,
+        )
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let t = bushy4();
+        assert_eq!(t.num_relations(), 4);
+        assert_eq!(t.num_joins(), 3);
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.relations(), RelSet::full(4));
+        assert_eq!(t.leaf_order(), vec![0, 1, 2, 3]);
+        assert_eq!(t.cardinality(), 3.0);
+        assert_eq!(t.cost(), 14.0);
+    }
+
+    #[test]
+    fn shape_predicates() {
+        let ld = left_deep3();
+        assert!(ld.is_left_deep());
+        assert!(!ld.is_right_deep());
+        assert!(!ld.is_properly_bushy());
+
+        let b = bushy4();
+        assert!(!b.is_left_deep());
+        assert!(!b.is_right_deep());
+        assert!(b.is_properly_bushy());
+
+        let s = scan(0, 1.0);
+        assert!(s.is_left_deep() && s.is_right_deep() && !s.is_properly_bushy());
+        assert_eq!(s.cost(), 0.0);
+    }
+
+    #[test]
+    fn display_infix() {
+        assert_eq!(left_deep3().to_string(), "((R0 ⋈ R1) ⋈ R2)");
+        assert_eq!(bushy4().to_string(), "((R0 ⋈ R1) ⋈ (R2 ⋈ R3))");
+    }
+
+    #[test]
+    fn explain_structure() {
+        let e = left_deep3().explain();
+        let lines: Vec<&str> = e.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("Join"));
+        assert!(lines[1].trim_start().starts_with("Join"));
+        assert!(lines[4].trim_start().starts_with("Scan R2"));
+        assert!(e.contains("cost=7"));
+    }
+}

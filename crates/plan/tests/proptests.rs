@@ -1,0 +1,121 @@
+//! Property tests for the plan substrate: arena/tree extraction
+//! roundtrips and structural invariants of random bushy trees.
+
+use joinopt_cost::PlanStats;
+use joinopt_plan::{PlanArena, PlanId};
+use proptest::prelude::*;
+
+/// A random bushy tree over relations `0..n`, built bottom-up in the
+/// arena: repeatedly merge two random components.
+fn random_tree(n: usize, picks: &[usize]) -> (PlanArena, PlanId) {
+    let mut arena = PlanArena::new();
+    let mut roots: Vec<PlanId> =
+        (0..n).map(|i| arena.add_scan(i, (i as f64 + 1.0) * 10.0)).collect();
+    let mut pick_iter = picks.iter().cycle();
+    while roots.len() > 1 {
+        let i = *pick_iter.next().expect("cycled") % roots.len();
+        let a = roots.swap_remove(i);
+        let j = *pick_iter.next().expect("cycled") % roots.len();
+        let b = roots.swap_remove(j);
+        let stats = PlanStats {
+            cardinality: (arena.stats(a).cardinality * arena.stats(b).cardinality).sqrt(),
+            cost: arena.stats(a).cost + arena.stats(b).cost + 1.0,
+        };
+        roots.push(arena.add_join(a, b, stats));
+    }
+    let root = roots[0];
+    (arena, root)
+}
+
+fn arb_inputs() -> impl Strategy<Value = (usize, Vec<usize>)> {
+    (2usize..=16).prop_flat_map(|n| {
+        (Just(n), proptest::collection::vec(any::<usize>(), 2 * n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn extraction_preserves_structure((n, picks) in arb_inputs()) {
+        let (arena, root) = random_tree(n, &picks);
+        let tree = arena.extract(root);
+        prop_assert_eq!(tree.num_relations(), n);
+        prop_assert_eq!(tree.num_joins(), n - 1);
+        prop_assert_eq!(tree.relations(), arena.set(root));
+        prop_assert_eq!(tree.cardinality(), arena.stats(root).cardinality);
+        prop_assert_eq!(tree.cost(), arena.stats(root).cost);
+    }
+
+    #[test]
+    fn leaf_order_is_a_permutation((n, picks) in arb_inputs()) {
+        let (arena, root) = random_tree(n, &picks);
+        let tree = arena.extract(root);
+        let mut leaves = tree.leaf_order();
+        leaves.sort_unstable();
+        prop_assert_eq!(leaves, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn depth_bounds((n, picks) in arb_inputs()) {
+        let (arena, root) = random_tree(n, &picks);
+        let tree = arena.extract(root);
+        // Depth between ⌈log₂ n⌉ (perfectly balanced) and n − 1 (deep).
+        let depth = tree.depth();
+        prop_assert!(depth < n);
+        prop_assert!((1usize << depth) >= n, "depth {} too small for {} leaves", depth, n);
+    }
+
+    #[test]
+    fn shape_predicates_are_mutually_consistent((n, picks) in arb_inputs()) {
+        let (arena, root) = random_tree(n, &picks);
+        let tree = arena.extract(root);
+        if tree.is_left_deep() && n > 2 {
+            prop_assert!(!tree.is_properly_bushy());
+            prop_assert_eq!(tree.depth(), n - 1);
+        }
+        if tree.is_properly_bushy() {
+            prop_assert!(!tree.is_left_deep());
+            prop_assert!(!tree.is_right_deep());
+        }
+    }
+
+    #[test]
+    fn display_and_explain_cover_all_relations((n, picks) in arb_inputs()) {
+        let (arena, root) = random_tree(n, &picks);
+        let tree = arena.extract(root);
+        let display = tree.to_string();
+        let explain = tree.explain();
+        for i in 0..n {
+            let label = format!("R{i}");
+            prop_assert!(display.contains(&label), "{display}");
+            prop_assert!(explain.contains(&format!("Scan {label}")), "{explain}");
+        }
+        // One ⋈ per join in the infix form.
+        prop_assert_eq!(display.matches('⋈').count(), n - 1);
+        // Explain has one line per node.
+        prop_assert_eq!(explain.lines().count(), 2 * n - 1);
+    }
+
+    #[test]
+    fn arena_accounts_every_node((n, picks) in arb_inputs()) {
+        let (arena, _) = random_tree(n, &picks);
+        prop_assert_eq!(arena.len(), 2 * n - 1);
+        prop_assert!(!arena.is_empty());
+    }
+}
+
+#[test]
+fn join_tree_equality_is_structural() {
+    let (arena, root) = random_tree(5, &[0, 1, 2]);
+    let a = arena.extract(root);
+    let b = arena.extract(root);
+    assert_eq!(a, b);
+    let (arena2, root2) = random_tree(5, &[2, 1, 0]);
+    let c = arena2.extract(root2);
+    // Different build order usually yields a different shape; equality
+    // must not be fooled by equal relation sets alone.
+    if c.leaf_order() != a.leaf_order() || c.depth() != a.depth() {
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,220 @@
+//! Breadth-first numbering — the precondition of `EnumerateCsg`.
+//!
+//! The paper (Section 3.4.1) requires the nodes to be labeled so that
+//! `v_0` has label 0 and the *k*-th generation of neighbors
+//! `𝒩_k(v_0)` occupies a contiguous label range after all earlier
+//! generations. Any visit order within a generation is acceptable; this
+//! module produces the ascending-index order for determinism.
+
+use joinopt_relset::{RelIdx, RelSet};
+
+use crate::error::QueryGraphError;
+use crate::graph::QueryGraph;
+
+/// Computes a BFS visit order starting from `start`.
+///
+/// `order[new_index] = old_index`: the node visited `i`-th receives the
+/// new label `i`.
+///
+/// # Errors
+///
+/// Returns [`QueryGraphError::Disconnected`] if not every node is
+/// reachable from `start`, and [`QueryGraphError::NodeOutOfRange`] for a
+/// bad start node.
+pub fn bfs_order(g: &QueryGraph, start: RelIdx) -> Result<Vec<RelIdx>, QueryGraphError> {
+    let n = g.num_relations();
+    if start >= n {
+        return Err(QueryGraphError::NodeOutOfRange { node: start, n });
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut seen = RelSet::single(start);
+    let mut frontier = seen;
+    order.push(start);
+    while !frontier.is_empty() {
+        // Next generation: 𝒩(frontier) \ seen, visited in ascending index
+        // order for determinism.
+        let next = g.neighborhood(frontier) - seen;
+        for v in next.iter() {
+            order.push(v);
+        }
+        seen |= next;
+        frontier = next;
+    }
+    if order.len() != n {
+        return Err(QueryGraphError::Disconnected);
+    }
+    Ok(order)
+}
+
+/// Rebuilds `g` with nodes relabeled according to `order`
+/// (`order[new] = old`, as produced by [`bfs_order`]).
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of `0..n`.
+pub fn renumber(g: &QueryGraph, order: &[RelIdx]) -> QueryGraph {
+    let n = g.num_relations();
+    assert_eq!(order.len(), n, "order must be a permutation of 0..n");
+    let mut new_of_old = vec![usize::MAX; n];
+    for (new, &old) in order.iter().enumerate() {
+        assert!(old < n && new_of_old[old] == usize::MAX, "order must be a permutation of 0..n");
+        new_of_old[old] = new;
+    }
+    let mut out = QueryGraph::new(n).expect("same size as validated input");
+    for e in g.edges() {
+        out.add_edge(new_of_old[e.u], new_of_old[e.v])
+            .expect("permuted edges stay valid");
+    }
+    out
+}
+
+/// Convenience: BFS-renumbers `g` starting at node 0.
+///
+/// Returns the renumbered graph together with the order
+/// (`order[new] = old`) so results can be mapped back.
+///
+/// # Errors
+///
+/// Returns [`QueryGraphError::Disconnected`] for disconnected input.
+pub fn bfs_renumber(g: &QueryGraph) -> Result<(QueryGraph, Vec<RelIdx>), QueryGraphError> {
+    let order = bfs_order(g, 0)?;
+    Ok((renumber(g, &order), order))
+}
+
+/// Checks the paper's BFS-numbering precondition: node 0 exists and the
+/// `k`-th neighbor generation of node 0 occupies labels
+/// `[Σ_{i<k} |𝒩_i|, Σ_{i≤k} |𝒩_i|)`.
+pub fn is_bfs_numbering(g: &QueryGraph) -> bool {
+    let n = g.num_relations();
+    if n == 0 {
+        return false;
+    }
+    let mut seen = RelSet::single(0);
+    let mut frontier = seen;
+    let mut next_label = 1usize;
+    while !frontier.is_empty() {
+        let gen = g.neighborhood(frontier) - seen;
+        let count = gen.len();
+        // The generation must be exactly the labels [next_label, next_label+count).
+        for (offset, v) in gen.iter().enumerate() {
+            if v != next_label + offset {
+                return false;
+            }
+        }
+        next_label += count;
+        seen |= gen;
+        frontier = gen;
+    }
+    next_label == n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn families_bfs_numbering_status() {
+        // Chains, stars and cliques are BFS-numbered by construction.
+        // Cycles are NOT for n ≥ 4 (node n−1 is adjacent to node 0 but
+        // carries the last label); the enumeration algorithms do not
+        // actually depend on the BFS property (see csg module tests on
+        // arbitrarily renumbered graphs), so this is fine.
+        for kind in [GraphKind::Chain, GraphKind::Star, GraphKind::Clique] {
+            for n in 1..=10 {
+                let g = generators::generate(kind, n);
+                assert!(is_bfs_numbering(&g), "{kind} n={n} not BFS-numbered");
+            }
+        }
+        assert!(is_bfs_numbering(&generators::cycle(3).unwrap()));
+        assert!(!is_bfs_numbering(&generators::cycle(4).unwrap()));
+        // Renumbering repairs cycles.
+        let (g, _) = bfs_renumber(&generators::cycle(6).unwrap()).unwrap();
+        assert!(is_bfs_numbering(&g));
+    }
+
+    #[test]
+    fn grid_is_not_necessarily_bfs_but_renumber_fixes_it() {
+        let g = generators::grid(3, 3).unwrap();
+        let (renumbered, order) = bfs_renumber(&g).unwrap();
+        assert!(is_bfs_numbering(&renumbered));
+        assert_eq!(order.len(), 9);
+        // Renumbering preserves the edge count and connectivity.
+        assert_eq!(renumbered.num_edges(), g.num_edges());
+        assert!(renumbered.is_connected());
+    }
+
+    #[test]
+    fn bfs_order_on_path_from_middle() {
+        let g = generators::chain(5).unwrap();
+        let order = bfs_order(&g, 2).unwrap();
+        assert_eq!(order[0], 2);
+        // First generation: {1, 3}; second: {0, 4}.
+        assert_eq!(&order[1..3], &[1, 3]);
+        assert_eq!(&order[3..5], &[0, 4]);
+    }
+
+    #[test]
+    fn bfs_order_rejects_disconnected() {
+        let g = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert_eq!(bfs_order(&g, 0), Err(QueryGraphError::Disconnected));
+    }
+
+    #[test]
+    fn bfs_order_rejects_bad_start() {
+        let g = generators::chain(3).unwrap();
+        assert!(matches!(
+            bfs_order(&g, 5),
+            Err(QueryGraphError::NodeOutOfRange { node: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn renumber_is_an_isomorphism() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let g = generators::random_connected(10, 0.3, &mut rng).unwrap();
+            let (h, order) = bfs_renumber(&g).unwrap();
+            assert!(is_bfs_numbering(&h));
+            assert_eq!(h.num_edges(), g.num_edges());
+            // Every edge of h maps back to an edge of g.
+            for e in h.edges() {
+                assert!(
+                    g.edge_between(order[e.u], order[e.v]).is_some(),
+                    "edge {e:?} has no preimage"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn renumber_rejects_non_permutation() {
+        let g = generators::chain(3).unwrap();
+        let _ = renumber(&g, &[0, 0, 2]);
+    }
+
+    #[test]
+    fn shuffled_labels_detected_as_non_bfs() {
+        // Chain 0-2-1: node numbering skips a generation.
+        let g = QueryGraph::from_edges(3, [(0, 2), (2, 1)]).unwrap();
+        assert!(!is_bfs_numbering(&g));
+        let (h, _) = bfs_renumber(&g).unwrap();
+        assert!(is_bfs_numbering(&h));
+    }
+
+    #[test]
+    fn empty_graph_is_not_bfs_numbered() {
+        let g = QueryGraph::new(0).unwrap();
+        assert!(!is_bfs_numbering(&g));
+    }
+
+    #[test]
+    fn single_node_is_bfs_numbered() {
+        let g = QueryGraph::new(1).unwrap();
+        assert!(is_bfs_numbering(&g));
+    }
+}

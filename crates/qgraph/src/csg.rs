@@ -1,0 +1,324 @@
+//! Enumeration of connected subgraphs and csg-cmp-pairs
+//! (paper, Section 3: `EnumerateCsg`, `EnumerateCsgRec`, `EnumerateCmp`).
+//!
+//! These are the routines that make DPccp hit the Ono/Lohman lower bound:
+//! every csg-cmp-pair is produced exactly once, in an order valid for
+//! dynamic programming, with at most linear overhead per pair.
+//!
+//! # Erratum in the published pseudocode
+//!
+//! The paper defines `B_i(W) := {v_j ∈ W | j ≤ i}` in Section 3.3 but the
+//! printed `EnumerateCmp` never uses it — it recurses with the exclusion
+//! set `X ∪ N`. That version is incomplete: on a 4-cycle
+//! `0—1—2—3—0` with `S₁ = {R0}` the complement `{R1,R2,R3}` is never
+//! emitted (from start `R1` the other hub neighbor `R3` is excluded, and
+//! vice versa), and the pair is not recovered commutatively either.
+//! The correct recursion — consistent with the definition the paper
+//! introduces and with the successor DPhyp paper — excludes only the
+//! *already-tried* neighbors: `X ∪ B_i(N)`. We implement that version;
+//! the tests verify exact agreement with the `#ccp` closed forms and
+//! exactly-once emission on randomized graphs.
+//!
+//! # On the BFS-numbering precondition
+//!
+//! The paper states breadth-first numbering
+//! ([`crate::bfs::is_bfs_numbering`]) as a precondition — it is the device
+//! its correctness proofs are built on. The algorithms are in fact correct
+//! for **any** node numbering (the uniqueness/completeness arguments only
+//! use the total order of labels, as the successor DPhyp paper makes
+//! explicit), and the natural numbering of cycle graphs with `n ≥ 4` is
+//! not BFS. The tests in this module therefore verify the enumeration on
+//! arbitrarily renumbered random graphs as well as on the raw families;
+//! [`crate::bfs::bfs_renumber`] remains available for strict fidelity.
+
+use joinopt_relset::RelSet;
+
+use crate::graph::QueryGraph;
+
+/// Calls `f` for every non-empty connected subset of `g`'s nodes,
+/// in an order where every set appears after all of its connected
+/// subsets (`EnumerateCsg`, Fig. in Section 3.2).
+pub fn for_each_csg<F: FnMut(RelSet)>(g: &QueryGraph, mut f: F) {
+    let n = g.num_relations();
+    for i in (0..n).rev() {
+        let s = RelSet::single(i);
+        f(s);
+        csg_rec(g, s, RelSet::prefix_through(i), g.neighborhood(s), &mut f);
+    }
+}
+
+/// `EnumerateCsgRec`: extends the connected set `s` by non-empty subsets
+/// of its neighborhood, excluding `x`, emitting each extension and then
+/// recursing ("subsets first").
+///
+/// `nb_s` must be `g.neighborhood(s)`; it is threaded through the
+/// recursion so neighborhoods are maintained incrementally via
+/// `𝒩(S ∪ S') = (𝒩(S) ∪ 𝒩(S')) \ (S ∪ S')`.
+fn csg_rec<F: FnMut(RelSet)>(g: &QueryGraph, s: RelSet, x: RelSet, nb_s: RelSet, f: &mut F) {
+    let n = nb_s - x;
+    if n.is_empty() {
+        return;
+    }
+    for sp in n.non_empty_subsets() {
+        f(s | sp);
+    }
+    for sp in n.non_empty_subsets() {
+        let s2 = s | sp;
+        let mut nb2 = nb_s;
+        for v in sp.iter() {
+            nb2 |= g.neighbors(v);
+        }
+        csg_rec(g, s2, x | n, nb2 - s2, f);
+    }
+}
+
+/// `EnumerateCmp`: calls `f` for every set `s2` such that `(s1, s2)` is a
+/// csg-cmp-pair and `min(s2) > min(s1)` — i.e. the canonical
+/// representative of each commutative pair.
+///
+/// `s1` must be a non-empty connected subset of `g`.
+pub fn for_each_cmp<F: FnMut(RelSet)>(g: &QueryGraph, s1: RelSet, mut f: F) {
+    let min = s1.min_index().expect("s1 must be non-empty");
+    let x = RelSet::prefix_through(min) | s1;
+    let n = g.neighborhood(s1) - x;
+    for i in n.iter_descending() {
+        let s2 = RelSet::single(i);
+        f(s2);
+        // Erratum fix: exclude only the neighbors of s1 already tried as
+        // start vertices (B_i(N)), not all of N.
+        let x2 = x | (n & RelSet::prefix_through(i));
+        csg_rec(g, s2, x2, g.neighborhood(s2), &mut f);
+    }
+}
+
+/// Calls `f(s1, s2)` for every csg-cmp-pair of `g`, each unordered pair
+/// exactly once, in an order valid for dynamic programming: when
+/// `(s1, s2)` is produced, every decomposition of `s1` and of `s2` has
+/// been produced earlier.
+pub fn for_each_ccp<F: FnMut(RelSet, RelSet)>(g: &QueryGraph, mut f: F) {
+    for_each_csg(g, |s1| {
+        for_each_cmp(g, s1, |s2| f(s1, s2));
+    });
+}
+
+/// Counts the non-empty connected subsets (`#csg`) by enumeration.
+pub fn count_csg(g: &QueryGraph) -> u64 {
+    let mut count = 0u64;
+    for_each_csg(g, |_| count += 1);
+    count
+}
+
+/// Counts csg-cmp-pairs by enumeration, symmetric pairs **excluded**
+/// (the Ono/Lohman convention; `#ccp / 2` in the paper's notation).
+pub fn count_ccp_distinct(g: &QueryGraph) -> u64 {
+    let mut count = 0u64;
+    for_each_ccp(g, |_, _| count += 1);
+    count
+}
+
+/// Collects all non-empty connected subsets in emission order.
+pub fn collect_csgs(g: &QueryGraph) -> Vec<RelSet> {
+    let mut out = Vec::new();
+    for_each_csg(g, |s| out.push(s));
+    out
+}
+
+/// Collects all csg-cmp-pairs (canonical orientation) in emission order.
+pub fn collect_ccps(g: &QueryGraph) -> Vec<(RelSet, RelSet)> {
+    let mut out = Vec::new();
+    for_each_ccp(g, |a, b| out.push((a, b)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphKind;
+    use joinopt_relset::RelSet;
+    use std::collections::HashSet;
+
+    /// Brute-force reference: all connected subsets by subset scan.
+    fn brute_csgs(g: &QueryGraph) -> HashSet<RelSet> {
+        let n = g.num_relations();
+        let mut out = HashSet::new();
+        for bits in 1..(1u64 << n) {
+            let s = RelSet::from_bits(bits);
+            if g.is_connected_set(s) {
+                out.insert(s);
+            }
+        }
+        out
+    }
+
+    /// Brute-force reference: all csg-cmp-pairs, canonicalized with the
+    /// smaller min-index component first.
+    fn brute_ccps(g: &QueryGraph) -> HashSet<(RelSet, RelSet)> {
+        let mut out = HashSet::new();
+        let csgs: Vec<RelSet> = brute_csgs(g).into_iter().collect();
+        for &s1 in &csgs {
+            for &s2 in &csgs {
+                if s1.is_disjoint(s2)
+                    && g.sets_connected(s1, s2)
+                    && s1.min_index() < s2.min_index()
+                {
+                    out.insert((s1, s2));
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn csg_enumeration_matches_brute_force_on_families() {
+        for kind in GraphKind::ALL {
+            for n in 1..=8 {
+                let g = generators::generate(kind, n);
+                let fast: Vec<RelSet> = collect_csgs(&g);
+                let fast_set: HashSet<RelSet> = fast.iter().copied().collect();
+                assert_eq!(fast.len(), fast_set.len(), "{kind} n={n}: duplicate emission");
+                assert_eq!(fast_set, brute_csgs(&g), "{kind} n={n}: wrong csg set");
+            }
+        }
+    }
+
+    #[test]
+    fn csg_emission_order_is_dp_valid() {
+        for kind in GraphKind::ALL {
+            let g = generators::generate(kind, 7);
+            let order = collect_csgs(&g);
+            for (i, s) in order.iter().enumerate() {
+                for t in &order[i + 1..] {
+                    assert!(
+                        !t.is_strict_subset(*s),
+                        "{kind}: {t} emitted after its superset {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ccp_enumeration_matches_brute_force_on_families() {
+        for kind in GraphKind::ALL {
+            for n in 2..=8 {
+                let g = generators::generate(kind, n);
+                let pairs = collect_ccps(&g);
+                let canon: HashSet<(RelSet, RelSet)> = pairs
+                    .iter()
+                    .map(|&(a, b)| if a.min_index() < b.min_index() { (a, b) } else { (b, a) })
+                    .collect();
+                assert_eq!(pairs.len(), canon.len(), "{kind} n={n}: duplicate pair");
+                assert_eq!(canon, brute_ccps(&g), "{kind} n={n}: wrong pair set");
+            }
+        }
+    }
+
+    #[test]
+    fn ccp_pairs_are_valid() {
+        for kind in GraphKind::ALL {
+            let g = generators::generate(kind, 8);
+            for_each_ccp(&g, |s1, s2| {
+                assert!(!s1.is_empty() && !s2.is_empty());
+                assert!(s1.is_disjoint(s2));
+                assert!(g.is_connected_set(s1), "{kind}: {s1} not connected");
+                assert!(g.is_connected_set(s2), "{kind}: {s2} not connected");
+                assert!(g.sets_connected(s1, s2), "{kind}: {s1} ⊮ {s2}");
+            });
+        }
+    }
+
+    #[test]
+    fn ccp_order_is_dp_valid() {
+        // When (s1, s2) is emitted, every proper decomposition of s1 and
+        // s2 must already have been emitted (as a pair covering it).
+        for kind in GraphKind::ALL {
+            let g = generators::generate(kind, 7);
+            let mut built: HashSet<RelSet> = (0..7).map(RelSet::single).collect();
+            for_each_ccp(&g, |s1, s2| {
+                assert!(built.contains(&s1), "{kind}: BestPlan({s1}) not yet built");
+                assert!(built.contains(&s2), "{kind}: BestPlan({s2}) not yet built");
+                built.insert(s1 | s2);
+            });
+            assert!(built.contains(&g.all_relations()), "{kind}: final plan never built");
+        }
+    }
+
+    #[test]
+    fn erratum_regression_four_cycle() {
+        // With the paper's printed `X ∪ N` exclusion, the pair
+        // ({R0}, {R1,R2,R3}) on the 4-cycle is lost. Guard against it.
+        let g = generators::cycle(4).unwrap();
+        let pairs = collect_ccps(&g);
+        let want = (RelSet::single(0), RelSet::from_indices([1, 2, 3]));
+        assert!(
+            pairs.contains(&want),
+            "corrected EnumerateCmp must emit ({}, {})",
+            want.0,
+            want.1
+        );
+    }
+
+    #[test]
+    fn paper_example_enumerate_cmp() {
+        // Section 3.3 example: graph of Fig. 6, S1 = {R1} →
+        // complements {R4}, {R2,R4}, {R3,R4}, {R2,R3,R4}.
+        let g = QueryGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+            .unwrap();
+        let mut got = Vec::new();
+        for_each_cmp(&g, RelSet::single(1), |s2| got.push(s2));
+        let got: HashSet<RelSet> = got.into_iter().collect();
+        let want: HashSet<RelSet> = [
+            RelSet::single(4),
+            RelSet::from_indices([2, 4]),
+            RelSet::from_indices([3, 4]),
+            RelSet::from_indices([2, 3, 4]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn paper_example_enumerate_csg_first_steps() {
+        // Fig. 7: starting nodes emit in descending order; {4} first,
+        // then {3}, {3,4}, then {2}, {2,3}, {2,4}, {2,3,4}, …
+        let g = QueryGraph::from_edges(5, [(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 4)])
+            .unwrap();
+        let order = collect_csgs(&g);
+        assert_eq!(order[0], RelSet::single(4));
+        assert_eq!(order[1], RelSet::single(3));
+        assert_eq!(order[2], RelSet::from_indices([3, 4]));
+        assert_eq!(order[3], RelSet::single(2));
+        // total #csg for this graph: count by brute force
+        assert_eq!(order.len(), brute_csgs(&g).len());
+    }
+
+    #[test]
+    fn counts_on_singleton_graph() {
+        let g = QueryGraph::new(1).unwrap();
+        assert_eq!(count_csg(&g), 1);
+        assert_eq!(count_ccp_distinct(&g), 0);
+    }
+
+    #[test]
+    fn random_graphs_match_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(2006);
+        for trial in 0..30 {
+            // Deliberately do NOT renumber: the enumeration must be
+            // correct for arbitrary numberings (see module docs).
+            let g = generators::random_connected(8, 0.3, &mut rng).unwrap();
+            let fast: HashSet<RelSet> = collect_csgs(&g).into_iter().collect();
+            assert_eq!(fast, brute_csgs(&g), "trial {trial}: csg mismatch");
+            let pairs = collect_ccps(&g);
+            let canon: HashSet<(RelSet, RelSet)> = pairs
+                .iter()
+                .map(|&(a, b)| if a.min_index() < b.min_index() { (a, b) } else { (b, a) })
+                .collect();
+            assert_eq!(pairs.len(), canon.len(), "trial {trial}: duplicate pair");
+            assert_eq!(canon, brute_ccps(&g), "trial {trial}: ccp mismatch");
+        }
+    }
+}

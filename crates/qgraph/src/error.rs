@@ -1,0 +1,89 @@
+//! Error type for query-graph construction.
+
+use core::fmt;
+
+use joinopt_relset::RelIdx;
+
+/// Errors produced when building or validating a [`QueryGraph`](crate::QueryGraph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryGraphError {
+    /// More relations requested than the bitset representation supports.
+    TooManyRelations {
+        /// Requested relation count.
+        n: usize,
+    },
+    /// An edge endpoint does not name an existing relation.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: RelIdx,
+        /// Number of relations in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; query graphs have none.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: RelIdx,
+    },
+    /// The same edge was supplied twice.
+    DuplicateEdge {
+        /// One endpoint.
+        u: RelIdx,
+        /// Other endpoint.
+        v: RelIdx,
+    },
+    /// The graph is not connected, but the operation requires it.
+    Disconnected,
+    /// A graph family generator was asked for an unsupported size.
+    InvalidSize {
+        /// Requested size.
+        n: usize,
+        /// What was being generated.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for QueryGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueryGraphError::TooManyRelations { n } => {
+                write!(f, "{n} relations exceed the supported maximum of 64")
+            }
+            QueryGraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node R{node} out of range for a graph with {n} relations")
+            }
+            QueryGraphError::SelfLoop { node } => {
+                write!(f, "self-loop on R{node} is not a valid join predicate")
+            }
+            QueryGraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between R{u} and R{v}")
+            }
+            QueryGraphError::Disconnected => {
+                write!(f, "query graph is not connected")
+            }
+            QueryGraphError::InvalidSize { n, what } => {
+                write!(f, "cannot generate {what} with {n} relations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(QueryGraphError::TooManyRelations { n: 70 }.to_string().contains("70"));
+        assert!(QueryGraphError::NodeOutOfRange { node: 9, n: 5 }
+            .to_string()
+            .contains("R9"));
+        assert!(QueryGraphError::SelfLoop { node: 1 }.to_string().contains("R1"));
+        assert!(QueryGraphError::DuplicateEdge { u: 1, v: 2 }.to_string().contains("R2"));
+        assert!(QueryGraphError::Disconnected.to_string().contains("connected"));
+        assert!(QueryGraphError::InvalidSize { n: 0, what: "cycle" }
+            .to_string()
+            .contains("cycle"));
+    }
+}

@@ -1,0 +1,212 @@
+//! Closed forms for `#csg` and `#ccp` (paper, Section 2.3.2).
+//!
+//! All formulas are exact integer computations in `u128`. Conventions:
+//!
+//! * [`csg_count`] — number of non-empty connected subsets;
+//! * [`ccp_distinct`] — csg-cmp-pairs with symmetric pairs **excluded**
+//!   (the Ono/Lohman convention; this is what Figure 3's `#ccp` column
+//!   lists and what `OnoLohmanCounter` reports);
+//! * [`ccp_total`] — symmetric pairs included (`CsgCmpPairCounter`),
+//!   always `2 × ccp_distinct`.
+//!
+//! # Errata relative to the paper
+//!
+//! * Eq. (6) for chains, as printed, evaluates to 64 at `n = 5`, while
+//!   Figure 3 (and enumeration) give 20. The correct distinct count is
+//!   `(n³ − n) / 6`.
+//! * Eqs. (8) and (12) (cycle, clique) are the *total* counts; Figure 3's
+//!   column lists them halved. We expose both so there is no ambiguity.
+//!
+//! Every formula here is verified by the test suite against exhaustive
+//! enumeration ([`crate::csg::count_ccp_distinct`]) for `n ≤ 14`.
+
+use crate::generators::GraphKind;
+
+/// Binomial coefficient `C(n, k)` in `u128`.
+///
+/// # Panics
+///
+/// Panics on internal overflow, which cannot occur for the `n ≤ 64`
+/// range this workspace supports.
+pub fn binomial(n: u64, k: u64) -> u128 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 0..k {
+        acc = acc * u128::from(n - i) / u128::from(i + 1);
+    }
+    acc
+}
+
+/// `#csg(n)` for a graph family (Eqs. (5), (7), (9), (11)).
+pub fn csg_count(kind: GraphKind, n: u64) -> u128 {
+    let n128 = u128::from(n);
+    match kind {
+        // n(n+1)/2
+        GraphKind::Chain => n128 * (n128 + 1) / 2,
+        // n² − n + 1; degenerate small cycles are chains.
+        GraphKind::Cycle => {
+            if n <= 2 {
+                csg_count(GraphKind::Chain, n)
+            } else {
+                n128 * n128 - n128 + 1
+            }
+        }
+        // 2^{n−1} + n − 1
+        GraphKind::Star => {
+            if n == 0 {
+                0
+            } else {
+                (1u128 << (n - 1)) + n128 - 1
+            }
+        }
+        // 2^n − 1
+        GraphKind::Clique => (1u128 << n) - 1,
+    }
+}
+
+/// `#ccp(n)`, symmetric pairs excluded (Ono/Lohman; Figure 3's column).
+pub fn ccp_distinct(kind: GraphKind, n: u64) -> u128 {
+    let n128 = u128::from(n);
+    match kind {
+        // (n³ − n) / 6   [paper's Eq. (6) is misprinted]
+        GraphKind::Chain => (n128 * n128 * n128 - n128) / 6,
+        // (n³ − 2n² + n) / 2
+        GraphKind::Cycle => {
+            if n <= 2 {
+                ccp_distinct(GraphKind::Chain, n)
+            } else {
+                (n128 * n128 * n128 - 2 * n128 * n128 + n128) / 2
+            }
+        }
+        // (n − 1) · 2^{n−2}
+        GraphKind::Star => {
+            if n < 2 {
+                0
+            } else {
+                (n128 - 1) * (1u128 << (n - 2))
+            }
+        }
+        // (3^n − 2^{n+1} + 1) / 2, reordered to stay non-negative at n = 1.
+        GraphKind::Clique => (pow3(n) + 1 - (1u128 << (n + 1))) / 2,
+    }
+}
+
+/// `#ccp(n)` with symmetric pairs included (`CsgCmpPairCounter` after any
+/// of the three algorithms terminates).
+pub fn ccp_total(kind: GraphKind, n: u64) -> u128 {
+    2 * ccp_distinct(kind, n)
+}
+
+/// `3^n` in `u128`.
+pub fn pow3(n: u64) -> u128 {
+    3u128.pow(u32::try_from(n).expect("n fits in u32"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csg;
+    use crate::generators;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(0, 0), 1);
+        assert_eq!(binomial(5, 0), 1);
+        assert_eq!(binomial(5, 5), 1);
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(5, 6), 0);
+        assert_eq!(binomial(40, 20), 137_846_528_820);
+        assert_eq!(binomial(64, 32), 1_832_624_140_942_590_534);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..=30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_pascal() {
+        for n in 1..=40u64 {
+            for k in 1..=n {
+                assert_eq!(binomial(n, k), binomial(n - 1, k - 1) + binomial(n - 1, k));
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_ccp_column() {
+        // Figure 3's #ccp values, verbatim from the paper.
+        let expect: &[(GraphKind, &[(u64, u128)])] = &[
+            (GraphKind::Chain, &[(2, 1), (5, 20), (10, 165), (15, 560), (20, 1330)]),
+            (GraphKind::Cycle, &[(2, 1), (5, 40), (10, 405), (15, 1470), (20, 3610)]),
+            (GraphKind::Star, &[(2, 1), (5, 32), (10, 2304), (15, 114_688), (20, 4_980_736)]),
+            (
+                GraphKind::Clique,
+                &[(2, 1), (5, 90), (10, 28_501), (15, 7_141_686), (20, 1_742_343_625)],
+            ),
+        ];
+        for &(kind, rows) in expect {
+            for &(n, want) in rows {
+                assert_eq!(ccp_distinct(kind, n), want, "{kind} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn csg_formulas_match_enumeration() {
+        for kind in GraphKind::ALL {
+            for n in 1..=12u64 {
+                let g = generators::generate(kind, n as usize);
+                assert_eq!(
+                    csg_count(kind, n),
+                    u128::from(csg::count_csg(&g)),
+                    "{kind} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ccp_formulas_match_enumeration() {
+        for kind in GraphKind::ALL {
+            for n in 1..=12u64 {
+                let g = generators::generate(kind, n as usize);
+                assert_eq!(
+                    ccp_distinct(kind, n),
+                    u128::from(csg::count_ccp_distinct(&g)),
+                    "{kind} n={n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ccp_total_is_twice_distinct() {
+        for kind in GraphKind::ALL {
+            for n in 2..=20u64 {
+                assert_eq!(ccp_total(kind, n), 2 * ccp_distinct(kind, n));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        for kind in GraphKind::ALL {
+            assert_eq!(csg_count(kind, 1), 1, "{kind}");
+            assert_eq!(ccp_distinct(kind, 1), 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn pow3_values() {
+        assert_eq!(pow3(0), 1);
+        assert_eq!(pow3(20), 3_486_784_401);
+    }
+}

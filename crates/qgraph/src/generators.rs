@@ -1,0 +1,375 @@
+//! Query-graph family generators.
+//!
+//! The paper evaluates on four families — chain, cycle, star and clique —
+//! because they are the canonical extreme points of the search-space
+//! spectrum: chains are the sparsest connected graphs, cliques the
+//! densest, stars the data-warehouse shape, and cycles add one edge to a
+//! chain. This module generates all four, plus trees, grids and seeded
+//! random connected graphs used by the test suite and the extension
+//! benchmarks.
+//!
+//! All generators number nodes such that the natural order is already a
+//! valid BFS numbering for the family (verified by tests), so DPccp can
+//! run on them without renumbering.
+
+use joinopt_relset::RelIdx;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::error::QueryGraphError;
+use crate::graph::QueryGraph;
+
+/// The four query-graph families of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphKind {
+    /// `R_0 — R_1 — … — R_{n-1}`.
+    Chain,
+    /// Chain plus the closing edge `R_{n-1} — R_0`.
+    Cycle,
+    /// Hub `R_0` joined to every satellite `R_1 … R_{n-1}`.
+    Star,
+    /// Every pair of relations joined.
+    Clique,
+}
+
+impl GraphKind {
+    /// All four families, in the order the paper presents them.
+    pub const ALL: [GraphKind; 4] = [
+        GraphKind::Chain,
+        GraphKind::Cycle,
+        GraphKind::Star,
+        GraphKind::Clique,
+    ];
+
+    /// Lower-case name as used in tables and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphKind::Chain => "chain",
+            GraphKind::Cycle => "cycle",
+            GraphKind::Star => "star",
+            GraphKind::Clique => "clique",
+        }
+    }
+
+    /// Parses a family name (case-insensitive).
+    pub fn parse(s: &str) -> Option<GraphKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "chain" => Some(GraphKind::Chain),
+            "cycle" => Some(GraphKind::Cycle),
+            "star" => Some(GraphKind::Star),
+            "clique" => Some(GraphKind::Clique),
+            _ => None,
+        }
+    }
+}
+
+impl core::fmt::Display for GraphKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generates a graph of the given family with `n` relations.
+///
+/// # Panics
+///
+/// Panics if `n` is invalid for the family (`n == 0`, or `n > 64`).
+/// Use [`try_generate`] for a fallible version.
+pub fn generate(kind: GraphKind, n: usize) -> QueryGraph {
+    try_generate(kind, n).expect("invalid size for graph family")
+}
+
+/// Fallible version of [`generate`].
+///
+/// # Errors
+///
+/// Returns an error for `n == 0` or `n > 64`.
+pub fn try_generate(kind: GraphKind, n: usize) -> Result<QueryGraph, QueryGraphError> {
+    match kind {
+        GraphKind::Chain => chain(n),
+        GraphKind::Cycle => cycle(n),
+        GraphKind::Star => star(n),
+        GraphKind::Clique => clique(n),
+    }
+}
+
+/// Chain query graph `R_0 — R_1 — … — R_{n-1}`.
+///
+/// # Errors
+///
+/// `n == 0` and `n > 64` are rejected.
+pub fn chain(n: usize) -> Result<QueryGraph, QueryGraphError> {
+    if n == 0 {
+        return Err(QueryGraphError::InvalidSize { n, what: "chain" });
+    }
+    let mut g = QueryGraph::new(n)?;
+    for i in 1..n {
+        g.add_edge(i - 1, i)?;
+    }
+    Ok(g)
+}
+
+/// Cycle query graph: a chain plus the closing edge.
+///
+/// For `n ≤ 2` the closing edge would duplicate an existing one, so the
+/// result degenerates to the chain (matching the formulas' conventions).
+///
+/// # Errors
+///
+/// `n == 0` and `n > 64` are rejected.
+pub fn cycle(n: usize) -> Result<QueryGraph, QueryGraphError> {
+    let mut g = chain(n)?;
+    if n >= 3 {
+        g.add_edge(n - 1, 0)?;
+    }
+    Ok(g)
+}
+
+/// Star query graph: hub `R_0` joined to each of `R_1 … R_{n-1}`.
+///
+/// # Errors
+///
+/// `n == 0` and `n > 64` are rejected.
+pub fn star(n: usize) -> Result<QueryGraph, QueryGraphError> {
+    if n == 0 {
+        return Err(QueryGraphError::InvalidSize { n, what: "star" });
+    }
+    let mut g = QueryGraph::new(n)?;
+    for i in 1..n {
+        g.add_edge(0, i)?;
+    }
+    Ok(g)
+}
+
+/// Clique query graph: all `n(n−1)/2` edges.
+///
+/// # Errors
+///
+/// `n == 0` and `n > 64` are rejected.
+pub fn clique(n: usize) -> Result<QueryGraph, QueryGraphError> {
+    if n == 0 {
+        return Err(QueryGraphError::InvalidSize { n, what: "clique" });
+    }
+    let mut g = QueryGraph::new(n)?;
+    for i in 0..n {
+        for j in i + 1..n {
+            g.add_edge(i, j)?;
+        }
+    }
+    Ok(g)
+}
+
+/// Grid query graph with `rows × cols` relations; node `(r, c)` has index
+/// `r * cols + c` and is joined to its right and down neighbors.
+///
+/// # Errors
+///
+/// Empty dimensions and `rows*cols > 64` are rejected.
+pub fn grid(rows: usize, cols: usize) -> Result<QueryGraph, QueryGraphError> {
+    let n = rows * cols;
+    if rows == 0 || cols == 0 {
+        return Err(QueryGraphError::InvalidSize { n, what: "grid" });
+    }
+    let mut g = QueryGraph::new(n)?;
+    for r in 0..rows {
+        for c in 0..cols {
+            let v = r * cols + c;
+            if c + 1 < cols {
+                g.add_edge(v, v + 1)?;
+            }
+            if r + 1 < rows {
+                g.add_edge(v, v + cols)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// A random tree over `n` relations built by random attachment: node `i`
+/// joins a uniformly random earlier node. The result is connected, and the
+/// natural numbering is **not** necessarily BFS — renumber before DPccp.
+///
+/// # Errors
+///
+/// `n == 0` and `n > 64` are rejected.
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<QueryGraph, QueryGraphError> {
+    if n == 0 {
+        return Err(QueryGraphError::InvalidSize { n, what: "random tree" });
+    }
+    let mut g = QueryGraph::new(n)?;
+    for i in 1..n {
+        let parent = rng.gen_range(0..i);
+        g.add_edge(parent, i)?;
+    }
+    Ok(g)
+}
+
+/// A random connected graph: a random tree plus each remaining pair joined
+/// independently with probability `extra_edge_prob`.
+///
+/// # Errors
+///
+/// `n == 0`, `n > 64` and probabilities outside `[0, 1]` are rejected.
+///
+/// # Panics
+///
+/// Never panics for valid inputs.
+pub fn random_connected<R: Rng + ?Sized>(
+    n: usize,
+    extra_edge_prob: f64,
+    rng: &mut R,
+) -> Result<QueryGraph, QueryGraphError> {
+    if !(0.0..=1.0).contains(&extra_edge_prob) {
+        return Err(QueryGraphError::InvalidSize { n, what: "random graph (bad probability)" });
+    }
+    let mut g = random_tree(n, rng)?;
+    let mut candidates: Vec<(RelIdx, RelIdx)> = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            if g.edge_between(i, j).is_none() {
+                candidates.push((i, j));
+            }
+        }
+    }
+    candidates.shuffle(rng);
+    for (i, j) in candidates {
+        if rng.gen_bool(extra_edge_prob) {
+            g.add_edge(i, j)?;
+        }
+    }
+    Ok(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5).unwrap();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(4), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn chain_of_one() {
+        let g = chain(1).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(5).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn small_cycles_degenerate_to_chains() {
+        assert_eq!(cycle(1).unwrap().num_edges(), 0);
+        assert_eq!(cycle(2).unwrap().num_edges(), 1);
+        assert_eq!(cycle(3).unwrap().num_edges(), 3);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6).unwrap();
+        assert_eq!(g.num_edges(), 5);
+        assert_eq!(g.degree(0), 5);
+        for v in 1..6 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn clique_shape() {
+        let g = clique(5).unwrap();
+        assert_eq!(g.num_edges(), 10);
+        for v in 0..5 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn zero_size_rejected_for_all_kinds() {
+        for kind in GraphKind::ALL {
+            assert!(try_generate(kind, 0).is_err(), "{kind} accepted n=0");
+        }
+    }
+
+    #[test]
+    fn oversized_rejected() {
+        for kind in GraphKind::ALL {
+            assert!(try_generate(kind, 65).is_err(), "{kind} accepted n=65");
+        }
+        assert!(try_generate(GraphKind::Chain, 64).is_ok());
+    }
+
+    #[test]
+    fn generate_dispatches() {
+        assert_eq!(generate(GraphKind::Chain, 4).num_edges(), 3);
+        assert_eq!(generate(GraphKind::Cycle, 4).num_edges(), 4);
+        assert_eq!(generate(GraphKind::Star, 4).num_edges(), 3);
+        assert_eq!(generate(GraphKind::Clique, 4).num_edges(), 6);
+    }
+
+    #[test]
+    fn kind_name_roundtrip() {
+        for kind in GraphKind::ALL {
+            assert_eq!(GraphKind::parse(kind.name()), Some(kind));
+            assert_eq!(GraphKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(GraphKind::parse("hypercube"), None);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4).unwrap();
+        assert_eq!(g.num_relations(), 12);
+        // edges: rows*(cols-1) + (rows-1)*cols = 9 + 8 = 17
+        assert_eq!(g.num_edges(), 17);
+        assert!(g.is_connected());
+        assert!(grid(0, 4).is_err());
+    }
+
+    #[test]
+    fn random_tree_is_connected_spanning() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in 1..20 {
+            let g = random_tree(n, &mut rng).unwrap();
+            assert_eq!(g.num_edges(), n - 1);
+            assert!(g.is_connected());
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for &p in &[0.0, 0.3, 1.0] {
+            let g = random_connected(10, p, &mut rng).unwrap();
+            assert!(g.is_connected());
+            if p == 1.0 {
+                assert_eq!(g.num_edges(), 45); // full clique
+            }
+            if p == 0.0 {
+                assert_eq!(g.num_edges(), 9); // just the tree
+            }
+        }
+        assert!(random_connected(5, 1.5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_generation_is_seed_deterministic() {
+        let g1 = random_connected(12, 0.25, &mut StdRng::seed_from_u64(99)).unwrap();
+        let g2 = random_connected(12, 0.25, &mut StdRng::seed_from_u64(99)).unwrap();
+        assert_eq!(g1, g2);
+    }
+}

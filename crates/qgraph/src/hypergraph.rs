@@ -1,0 +1,411 @@
+//! Query **hypergraphs**: join predicates that reference more than two
+//! relations.
+//!
+//! The paper's closing direction (realized in Moerkotte & Neumann's 2008
+//! follow-up, "Dynamic Programming Strikes Back") is to generalize DPccp
+//! from graphs to hypergraphs, where a predicate like
+//! `R1.a + R2.b = R3.c` becomes a *hyperedge* `({R1,R2}, {R3})`: the
+//! join of the two sides is only possible once all of `{R1,R2}` are on
+//! one side. This module provides that substrate:
+//!
+//! * [`Hyperedge`] — an unordered pair of disjoint, non-empty relation
+//!   sets; simple binary predicates are the `|u| = |v| = 1` special case;
+//! * [`Hypergraph`] — edge storage plus the neighborhood/connection
+//!   operations the DPhyp enumeration needs, with simple edges kept in
+//!   an adjacency-bitset fast path.
+//!
+//! Connectivity on hypergraphs is subtle: the standard blob notion
+//! implemented by [`Hypergraph::is_connected_set`] (an edge whose
+//! referenced relations all lie inside the set connects them as a unit)
+//! is necessary but **not** sufficient for a cross-product-free join
+//! tree to exist — e.g. with the single edge `({R0}, {R1,R2})` the set
+//! `{R0,R1,R2}` is blob-connected, yet `{R1,R2}` cannot be built as a
+//! sub-plan. The DP algorithms therefore
+//! treat "has a table entry" as the authoritative buildability test, and
+//! report a dedicated "no plan without cross products" error when
+//! the full set is unbuildable.
+
+use core::fmt;
+
+use joinopt_relset::{RelSet, MAX_RELATIONS};
+
+use crate::error::QueryGraphError;
+use crate::graph::QueryGraph;
+
+/// Identifier of a hyperedge within a [`Hypergraph`].
+pub type HyperEdgeId = usize;
+
+/// An undirected hyperedge between two disjoint, non-empty relation
+/// sets. Stored with `min(u) < min(v)` for a canonical orientation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hyperedge {
+    /// Side containing the smaller minimum index.
+    pub u: RelSet,
+    /// The other side.
+    pub v: RelSet,
+}
+
+impl Hyperedge {
+    /// Normalizes two sides into a canonical hyperedge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is empty or the sides overlap; use
+    /// [`Hypergraph::add_edge`] for validated construction.
+    pub fn new(a: RelSet, b: RelSet) -> Hyperedge {
+        assert!(!a.is_empty() && !b.is_empty(), "hyperedge sides must be non-empty");
+        assert!(a.is_disjoint(b), "hyperedge sides must be disjoint");
+        if a.min_index() < b.min_index() {
+            Hyperedge { u: a, v: b }
+        } else {
+            Hyperedge { u: b, v: a }
+        }
+    }
+
+    /// `true` iff both sides are singletons (an ordinary binary
+    /// predicate).
+    pub fn is_simple(self) -> bool {
+        self.u.is_singleton() && self.v.is_singleton()
+    }
+
+    /// All relations referenced by the predicate.
+    pub fn as_set(self) -> RelSet {
+        self.u | self.v
+    }
+}
+
+impl fmt::Display for Hyperedge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} — {}", self.u, self.v)
+    }
+}
+
+/// A query hypergraph over relations `R_0 … R_{n-1}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hypergraph {
+    n: usize,
+    /// Adjacency bitsets from the **simple** edges only (fast path).
+    simple_adj: Vec<RelSet>,
+    /// All edges, simple and complex, in insertion order.
+    edges: Vec<Hyperedge>,
+    /// Indices into `edges` of the complex (non-simple) ones.
+    complex: Vec<HyperEdgeId>,
+}
+
+impl Hypergraph {
+    /// Creates an edgeless hypergraph with `n` relations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryGraphError::TooManyRelations`] if `n > 64`.
+    pub fn new(n: usize) -> Result<Hypergraph, QueryGraphError> {
+        if n > MAX_RELATIONS {
+            return Err(QueryGraphError::TooManyRelations { n });
+        }
+        Ok(Hypergraph {
+            n,
+            simple_adj: vec![RelSet::EMPTY; n],
+            edges: Vec::new(),
+            complex: Vec::new(),
+        })
+    }
+
+    /// Lifts an ordinary query graph (all edges simple).
+    pub fn from_query_graph(g: &QueryGraph) -> Hypergraph {
+        let mut h = Hypergraph::new(g.num_relations()).expect("same validated size");
+        for e in g.edges() {
+            h.add_edge(RelSet::single(e.u), RelSet::single(e.v))
+                .expect("validated edges stay valid");
+        }
+        h
+    }
+
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges (simple + complex).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of complex (hyper) edges.
+    pub fn num_complex_edges(&self) -> usize {
+        self.complex.len()
+    }
+
+    /// The set of all relations.
+    pub fn all_relations(&self) -> RelSet {
+        RelSet::full(self.n)
+    }
+
+    /// All edges, indexable by [`HyperEdgeId`].
+    pub fn edges(&self) -> &[Hyperedge] {
+        &self.edges
+    }
+
+    /// Adds a hyperedge between `a` and `b`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty sides, overlapping sides, out-of-range members and
+    /// exact duplicates.
+    pub fn add_edge(&mut self, a: RelSet, b: RelSet) -> Result<HyperEdgeId, QueryGraphError> {
+        let all = self.all_relations();
+        if a.is_empty() || b.is_empty() {
+            return Err(QueryGraphError::InvalidSize { n: 0, what: "hyperedge side" });
+        }
+        for side in [a, b] {
+            if !side.is_subset(all) {
+                return Err(QueryGraphError::NodeOutOfRange {
+                    node: side.max_index().unwrap_or(0),
+                    n: self.n,
+                });
+            }
+        }
+        if a.overlaps(b) {
+            return Err(QueryGraphError::SelfLoop {
+                node: (a & b).min_index().expect("overlap is non-empty"),
+            });
+        }
+        let edge = Hyperedge::new(a, b);
+        if self.edges.contains(&edge) {
+            return Err(QueryGraphError::DuplicateEdge {
+                u: edge.u.min_index().expect("non-empty"),
+                v: edge.v.min_index().expect("non-empty"),
+            });
+        }
+        let id = self.edges.len();
+        if edge.is_simple() {
+            let (x, y) = (
+                edge.u.min_index().expect("singleton"),
+                edge.v.min_index().expect("singleton"),
+            );
+            self.simple_adj[x].insert(y);
+            self.simple_adj[y].insert(x);
+        } else {
+            self.complex.push(id);
+        }
+        self.edges.push(edge);
+        Ok(id)
+    }
+
+    /// The DPhyp neighborhood `𝒩(S, X)`: representative (minimum) nodes
+    /// of edge sides reachable from `S`, excluding anything in `S ∪ X`.
+    ///
+    /// For a simple edge the representative is the neighbor itself; for
+    /// a complex edge `(u, w)` with `u ⊆ S` and `w ∩ (S ∪ X) = ∅` it is
+    /// `min(w)`.
+    pub fn neighborhood(&self, s: RelSet, x: RelSet) -> RelSet {
+        let forbidden = s | x;
+        let mut nb = RelSet::EMPTY;
+        for v in s.iter() {
+            nb |= self.simple_adj[v];
+        }
+        nb -= forbidden;
+        for &id in &self.complex {
+            let e = self.edges[id];
+            if e.u.is_subset(s) && e.v.is_disjoint(forbidden) {
+                nb.insert(e.v.min_index().expect("non-empty side"));
+            } else if e.v.is_subset(s) && e.u.is_disjoint(forbidden) {
+                nb.insert(e.u.min_index().expect("non-empty side"));
+            }
+        }
+        nb
+    }
+
+    /// `true` iff some edge has one side inside `s1` and the other
+    /// inside `s2` — the DPhyp applicability test for joining the two.
+    pub fn connects(&self, s1: RelSet, s2: RelSet) -> bool {
+        // Simple-edge fast path.
+        let (small, big) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        if small.iter().any(|v| self.simple_adj[v].overlaps(big)) {
+            return true;
+        }
+        self.complex.iter().any(|&id| {
+            let e = self.edges[id];
+            (e.u.is_subset(s1) && e.v.is_subset(s2))
+                || (e.u.is_subset(s2) && e.v.is_subset(s1))
+        })
+    }
+
+    /// Connectivity of the induced sub-hypergraph, in the standard
+    /// hypergraph sense: every edge whose referenced relations all lie
+    /// inside `s` acts as a blob connecting those relations; `s` is
+    /// connected iff the blobs and singletons form one component.
+    ///
+    /// This is a *necessary* condition for a cross-product-free join
+    /// tree over `s` to exist, but not sufficient (see module docs);
+    /// the DP table is the authoritative buildability test.
+    pub fn is_connected_set(&self, s: RelSet) -> bool {
+        if s.is_empty() {
+            return false;
+        }
+        // Grow one component until stable (edge counts are small; no
+        // union-find machinery needed).
+        let mut component = s.lowest();
+        loop {
+            let mut grew = false;
+            // Simple edges: absorb adjacent members of s in bulk.
+            let mut nb = RelSet::EMPTY;
+            for v in component.iter() {
+                nb |= self.simple_adj[v];
+            }
+            let grow = (nb & s) - component;
+            if !grow.is_empty() {
+                component |= grow;
+                grew = true;
+            }
+            for &id in &self.complex {
+                let refs = self.edges[id].as_set();
+                if refs.is_subset(s)
+                    && refs.overlaps(component)
+                    && !refs.is_subset(component)
+                {
+                    component |= refs;
+                    grew = true;
+                }
+            }
+            if component == s {
+                return true;
+            }
+            if !grew {
+                return false;
+            }
+        }
+    }
+
+    /// `true` iff the whole hypergraph is connected (in the blob sense
+    /// of [`Hypergraph::is_connected_set`]).
+    pub fn is_connected(&self) -> bool {
+        self.n > 0 && self.is_connected_set(self.all_relations())
+    }
+}
+
+impl fmt::Display for Hypergraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Hypergraph(n={}, m={} [{} complex])",
+            self.n,
+            self.edges.len(),
+            self.complex.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use joinopt_relset::RelIdx;
+
+    fn set(indices: impl IntoIterator<Item = RelIdx>) -> RelSet {
+        RelSet::from_indices(indices)
+    }
+
+    #[test]
+    fn edge_normalization() {
+        let e = Hyperedge::new(set([3, 4]), set([0, 1]));
+        assert_eq!(e.u, set([0, 1]));
+        assert_eq!(e.v, set([3, 4]));
+        assert!(!e.is_simple());
+        assert_eq!(e.as_set(), set([0, 1, 3, 4]));
+        assert!(Hyperedge::new(set([0]), set([1])).is_simple());
+        assert!(e.to_string().contains("R0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_edge_panics() {
+        let _ = Hyperedge::new(set([0, 1]), set([1, 2]));
+    }
+
+    #[test]
+    fn add_edge_validation() {
+        let mut h = Hypergraph::new(4).unwrap();
+        assert!(h.add_edge(RelSet::EMPTY, set([1])).is_err());
+        assert!(h.add_edge(set([0]), set([0, 1])).is_err()); // overlap
+        assert!(h.add_edge(set([0]), set([9])).is_err()); // out of range
+        h.add_edge(set([0]), set([1])).unwrap();
+        assert!(h.add_edge(set([1]), set([0])).is_err()); // duplicate
+        h.add_edge(set([0, 1]), set([2, 3])).unwrap();
+        assert_eq!(h.num_edges(), 2);
+        assert_eq!(h.num_complex_edges(), 1);
+        assert!(Hypergraph::new(65).is_err());
+    }
+
+    #[test]
+    fn lifting_a_query_graph() {
+        let g = generators::cycle(5).unwrap();
+        let h = Hypergraph::from_query_graph(&g);
+        assert_eq!(h.num_relations(), 5);
+        assert_eq!(h.num_edges(), 5);
+        assert_eq!(h.num_complex_edges(), 0);
+        assert!(h.is_connected());
+        // Neighborhoods agree with the graph's on simple edges.
+        for v in 0..5 {
+            assert_eq!(
+                h.neighborhood(RelSet::single(v), RelSet::EMPTY),
+                g.neighborhood(RelSet::single(v))
+            );
+        }
+    }
+
+    #[test]
+    fn complex_neighborhood_uses_representatives() {
+        // ({0}, {1,2}): from {0}, the representative is min{1,2} = 1.
+        let mut h = Hypergraph::new(3).unwrap();
+        h.add_edge(set([0]), set([1, 2])).unwrap();
+        assert_eq!(h.neighborhood(set([0]), RelSet::EMPTY), set([1]));
+        // Excluding node 1 blocks the whole side.
+        assert_eq!(h.neighborhood(set([0]), set([1])), RelSet::EMPTY);
+        // From {1,2} the representative of {0} is 0.
+        assert_eq!(h.neighborhood(set([1, 2]), RelSet::EMPTY), set([0]));
+        // From {1} alone the edge does not fire (u ⊄ {1}).
+        assert_eq!(h.neighborhood(set([1]), RelSet::EMPTY), RelSet::EMPTY);
+    }
+
+    #[test]
+    fn connects_requires_full_sides() {
+        let mut h = Hypergraph::new(4).unwrap();
+        h.add_edge(set([0, 1]), set([2])).unwrap();
+        assert!(h.connects(set([0, 1]), set([2])));
+        assert!(h.connects(set([2]), set([0, 1, 3])));
+        assert!(!h.connects(set([0]), set([2]))); // u not fully inside
+        assert!(!h.connects(set([0, 1]), set([3])));
+    }
+
+    #[test]
+    fn reachability_connectivity() {
+        let mut h = Hypergraph::new(4).unwrap();
+        h.add_edge(set([0]), set([1])).unwrap();
+        h.add_edge(set([0, 1]), set([2, 3])).unwrap();
+        assert!(h.is_connected_set(set([0, 1])));
+        assert!(h.is_connected_set(RelSet::full(4)));
+        assert!(!h.is_connected_set(set([2, 3]))); // no internal edge
+        assert!(!h.is_connected_set(set([0, 2])));
+        assert!(!h.is_connected_set(RelSet::EMPTY));
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn reachable_but_not_buildable_documented_case() {
+        // ({R0}, {R1,R2}): the full set is blob-connected even though
+        // {R1,R2} alone is not buildable — the documented gap DPhyp
+        // resolves through table membership.
+        let mut h = Hypergraph::new(3).unwrap();
+        h.add_edge(set([0]), set([1, 2])).unwrap();
+        assert!(h.is_connected_set(RelSet::full(3)));
+        assert!(!h.is_connected_set(set([1, 2])));
+    }
+
+    #[test]
+    fn display_counts_edges() {
+        let mut h = Hypergraph::new(3).unwrap();
+        h.add_edge(set([0]), set([1])).unwrap();
+        h.add_edge(set([0, 1]), set([2])).unwrap();
+        assert_eq!(h.to_string(), "Hypergraph(n=3, m=2 [1 complex])");
+    }
+}

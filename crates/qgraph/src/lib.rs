@@ -1,0 +1,58 @@
+//! Query graphs and connected-subgraph machinery for join ordering.
+//!
+//! A *query graph* has one node per relation and one edge per join
+//! predicate. All three dynamic-programming algorithms of Moerkotte &
+//! Neumann (VLDB 2006) consume a connected query graph; DPccp additionally
+//! requires the nodes to be numbered in breadth-first order.
+//!
+//! This crate provides:
+//!
+//! * [`QueryGraph`] — adjacency-bitset representation with the set
+//!   operations the algorithms need: neighborhoods `𝒩(S)`, connectivity
+//!   of induced subgraphs, and connectivity *between* two sets;
+//! * [`generators`] — the four families the paper evaluates (chain,
+//!   cycle, star, clique) plus trees, grids and seeded random connected
+//!   graphs for testing and extension studies;
+//! * [`bfs`] — breadth-first numbering and graph renumbering, the
+//!   precondition of `EnumerateCsg` / `EnumerateCmp`;
+//! * [`csg`] — the paper's Section 3 enumeration algorithms:
+//!   `EnumerateCsg`, `EnumerateCsgRec` and `EnumerateCmp` (with the
+//!   published pseudocode's exclusion-set typo corrected, see module
+//!   docs), composed into a csg-cmp-pair driver;
+//! * [`profile`] — per-size connected-subset counts (`c_k`), through
+//!   which the paper's counter formulas factor;
+//! * [`formulas`] — closed forms for `#csg` and `#ccp` on the four
+//!   families (Section 2.3.2), with the published typos corrected and
+//!   documented.
+//!
+//! # Example
+//!
+//! ```
+//! use joinopt_qgraph::{generators, GraphKind};
+//!
+//! let g = generators::generate(GraphKind::Chain, 5);
+//! assert!(g.is_connected());
+//! // Count csg-cmp-pairs by enumeration and compare to the closed form.
+//! let by_enum = joinopt_qgraph::csg::count_ccp_distinct(&g);
+//! let by_formula = joinopt_qgraph::formulas::ccp_distinct(GraphKind::Chain, 5);
+//! assert_eq!(u128::from(by_enum), by_formula);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bfs;
+pub mod csg;
+mod error;
+pub mod formulas;
+pub mod generators;
+mod graph;
+pub mod hypergraph;
+pub mod profile;
+
+pub use error::QueryGraphError;
+pub use generators::GraphKind;
+pub use graph::{Edge, EdgeId, QueryGraph};
+pub use hypergraph::{HyperEdgeId, Hyperedge, Hypergraph};
+
+pub use joinopt_relset::{RelIdx, RelSet};

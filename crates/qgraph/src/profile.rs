@@ -1,0 +1,121 @@
+//! Per-size connected-subset counts (`c_k`).
+//!
+//! The paper's counter formulas for DPsize and DPsub factor through the
+//! *csg size profile*: the number `c_k` of connected subsets of each size
+//! `k`. Computing the profile by fast enumeration (`EnumerateCsg`) makes
+//! the counter predictions available for **arbitrary** query graphs, not
+//! just the four closed-form families — and provides the middle layer of
+//! the three-way cross-validation (closed form ⇔ profile ⇔ instrumented
+//! run) the test suite performs.
+
+use crate::csg;
+use crate::graph::QueryGraph;
+
+/// The csg size profile of a query graph: `counts()[k]` is the number of
+/// connected subsets with exactly `k` relations (index 0 unused, kept for
+/// direct size indexing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsgProfile {
+    counts: Vec<u64>,
+}
+
+impl CsgProfile {
+    /// Computes the profile of `g` by connected-subgraph enumeration.
+    ///
+    /// Cost is `O(#csg · n/64)` — fine for every graph on which dynamic
+    /// programming itself is feasible.
+    pub fn compute(g: &QueryGraph) -> CsgProfile {
+        let n = g.num_relations();
+        let mut counts = vec![0u64; n + 1];
+        csg::for_each_csg(g, |s| counts[s.len()] += 1);
+        CsgProfile { counts }
+    }
+
+    /// Builds a profile directly from per-size counts (`counts[k]` =
+    /// number of connected subsets of size `k`; `counts[0]` must be 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts[0] != 0`.
+    pub fn from_counts(counts: Vec<u64>) -> CsgProfile {
+        assert!(counts.first().copied().unwrap_or(0) == 0, "no connected subset has size 0");
+        CsgProfile { counts }
+    }
+
+    /// Per-size counts, indexable by subset size.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of relations of the underlying graph.
+    pub fn num_relations(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Total number of non-empty connected subsets (`#csg`).
+    pub fn csg_count(&self) -> u128 {
+        self.counts.iter().map(|&c| u128::from(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphKind;
+
+    #[test]
+    fn chain_profile() {
+        // Chains have n−k+1 connected subsets of size k.
+        let p = CsgProfile::compute(&generators::chain(6).unwrap());
+        assert_eq!(p.counts(), &[0, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(p.csg_count(), 21); // n(n+1)/2
+    }
+
+    #[test]
+    fn cycle_profile() {
+        // Cycles have n connected subsets (arcs) of every size k < n, one of size n.
+        let p = CsgProfile::compute(&generators::cycle(5).unwrap());
+        assert_eq!(p.counts(), &[0, 5, 5, 5, 5, 1]);
+    }
+
+    #[test]
+    fn star_profile() {
+        // Stars: singletons, plus C(n−1, k−1) hub-containing sets for k ≥ 2.
+        let p = CsgProfile::compute(&generators::star(5).unwrap());
+        assert_eq!(p.counts(), &[0, 5, 4, 6, 4, 1]);
+    }
+
+    #[test]
+    fn clique_profile() {
+        // Cliques: every subset is connected, C(n, k).
+        let p = CsgProfile::compute(&generators::clique(5).unwrap());
+        assert_eq!(p.counts(), &[0, 5, 10, 10, 5, 1]);
+        assert_eq!(p.csg_count(), 31); // 2^n − 1
+    }
+
+    #[test]
+    fn csg_count_matches_enumeration() {
+        for kind in GraphKind::ALL {
+            for n in 1..=10 {
+                let g = generators::generate(kind, n);
+                let p = CsgProfile::compute(&g);
+                assert_eq!(p.csg_count(), u128::from(crate::csg::count_csg(&g)));
+                assert_eq!(p.num_relations(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn from_counts_roundtrip() {
+        let p = CsgProfile::from_counts(vec![0, 3, 2, 1]);
+        assert_eq!(p.csg_count(), 6);
+        assert_eq!(p.num_relations(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "size 0")]
+    fn from_counts_rejects_size_zero_entries() {
+        let _ = CsgProfile::from_counts(vec![1, 3]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Line-numbered parse errors.
+
+use core::fmt;
+
+/// An error produced while parsing the query-description format.
+///
+/// Every variant carries the 1-based source line for tooling-friendly
+/// messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// A line did not start with a known directive.
+    UnknownDirective {
+        /// Source line.
+        line: usize,
+        /// The offending first word.
+        word: String,
+    },
+    /// A directive had the wrong number of arguments.
+    WrongArity {
+        /// Source line.
+        line: usize,
+        /// The directive.
+        directive: &'static str,
+        /// What the directive expects.
+        expected: &'static str,
+    },
+    /// A numeric field did not parse or was out of domain.
+    BadNumber {
+        /// Source line.
+        line: usize,
+        /// Which field.
+        what: &'static str,
+        /// The rejected text.
+        text: String,
+    },
+    /// The same relation name was declared twice.
+    DuplicateRelation {
+        /// Source line.
+        line: usize,
+        /// The duplicated name.
+        name: String,
+    },
+    /// A join referenced an undeclared relation.
+    UnknownRelation {
+        /// Source line.
+        line: usize,
+        /// The unknown name.
+        name: String,
+    },
+    /// The same join was declared twice (in either order).
+    DuplicateJoin {
+        /// Source line.
+        line: usize,
+        /// One endpoint.
+        left: String,
+        /// Other endpoint.
+        right: String,
+    },
+    /// A join's endpoints were the same relation.
+    SelfJoin {
+        /// Source line.
+        line: usize,
+        /// The relation name.
+        name: String,
+    },
+    /// No relations were declared.
+    EmptyQuery,
+    /// More than 64 relations were declared.
+    TooManyRelations {
+        /// How many were declared.
+        n: usize,
+    },
+    /// A cardinality or selectivity failed catalog validation.
+    InvalidStatistic {
+        /// Source line.
+        line: usize,
+        /// The underlying catalog error, as text.
+        message: String,
+    },
+}
+
+impl ParseError {
+    /// The 1-based source line the error refers to, when applicable.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ParseError::UnknownDirective { line, .. }
+            | ParseError::WrongArity { line, .. }
+            | ParseError::BadNumber { line, .. }
+            | ParseError::DuplicateRelation { line, .. }
+            | ParseError::UnknownRelation { line, .. }
+            | ParseError::DuplicateJoin { line, .. }
+            | ParseError::SelfJoin { line, .. }
+            | ParseError::InvalidStatistic { line, .. } => Some(*line),
+            ParseError::EmptyQuery | ParseError::TooManyRelations { .. } => None,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownDirective { line, word } => {
+                write!(f, "line {line}: unknown directive `{word}` (expected `relation` or `join`)")
+            }
+            ParseError::WrongArity { line, directive, expected } => {
+                write!(f, "line {line}: `{directive}` expects {expected}")
+            }
+            ParseError::BadNumber { line, what, text } => {
+                write!(f, "line {line}: invalid {what} `{text}`")
+            }
+            ParseError::DuplicateRelation { line, name } => {
+                write!(f, "line {line}: relation `{name}` declared twice")
+            }
+            ParseError::UnknownRelation { line, name } => {
+                write!(f, "line {line}: unknown relation `{name}`")
+            }
+            ParseError::DuplicateJoin { line, left, right } => {
+                write!(f, "line {line}: duplicate join between `{left}` and `{right}`")
+            }
+            ParseError::SelfJoin { line, name } => {
+                write!(f, "line {line}: self-join on `{name}` is not a join predicate")
+            }
+            ParseError::EmptyQuery => write!(f, "query declares no relations"),
+            ParseError::TooManyRelations { n } => {
+                write!(f, "{n} relations exceed the supported maximum of 64")
+            }
+            ParseError::InvalidStatistic { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_extraction() {
+        assert_eq!(
+            ParseError::UnknownDirective { line: 3, word: "x".into() }.line(),
+            Some(3)
+        );
+        assert_eq!(ParseError::EmptyQuery.line(), None);
+    }
+
+    #[test]
+    fn display_contains_context() {
+        let e = ParseError::DuplicateJoin { line: 9, left: "a".into(), right: "b".into() };
+        let s = e.to_string();
+        assert!(s.contains("line 9") && s.contains('a') && s.contains('b'));
+    }
+}

@@ -1,0 +1,419 @@
+//! Parser for the query-description format.
+
+use std::collections::HashMap;
+
+use joinopt_cost::Catalog;
+use joinopt_plan::JoinTree;
+use joinopt_qgraph::hypergraph::Hypergraph;
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::{RelIdx, RelSet};
+
+use crate::error::ParseError;
+
+/// Default selectivity when a `join` line omits it.
+pub const DEFAULT_SELECTIVITY: f64 = 0.1;
+
+/// A parsed query: graph, statistics and the name↔index mapping.
+///
+/// Every query parses to a [`Hypergraph`]; when all predicates are
+/// binary, an equivalent [`QueryGraph`] is also available (and the
+/// simple-graph algorithms apply). `join` endpoints may be
+/// comma-separated lists for complex predicates:
+///
+/// ```text
+/// join r1,r2 r3 0.05      # R1.a + R2.b = R3.c
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParsedQuery {
+    /// The query hypergraph (relation `i` is `names()[i]`).
+    pub hypergraph: Hypergraph,
+    /// Statistics (one cardinality per relation, one selectivity per
+    /// predicate, indexed by declaration order).
+    pub catalog: Catalog,
+    graph: Option<QueryGraph>,
+    names: Vec<String>,
+    index: HashMap<String, RelIdx>,
+}
+
+impl ParsedQuery {
+    /// Crate-internal constructor used by the SQL frontend.
+    pub(crate) fn from_parts(
+        hypergraph: Hypergraph,
+        graph: Option<QueryGraph>,
+        catalog: Catalog,
+        names: Vec<String>,
+    ) -> ParsedQuery {
+        let index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
+        ParsedQuery { hypergraph, graph, catalog, names, index }
+    }
+
+    /// The simple query graph — `Some` iff every predicate is binary.
+    pub fn graph(&self) -> Option<&QueryGraph> {
+        self.graph.as_ref()
+    }
+
+    /// `true` iff every predicate is binary (no hyperedges).
+    pub fn is_simple(&self) -> bool {
+        self.graph.is_some()
+    }
+
+    /// Relation names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The name of relation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn name_of(&self, i: RelIdx) -> &str {
+        &self.names[i]
+    }
+
+    /// Looks up a relation index by name.
+    pub fn index_of(&self, name: &str) -> Option<RelIdx> {
+        self.index.get(name).copied()
+    }
+
+    /// Renders a join tree with the original relation names, e.g.
+    /// `((customer ⋈ orders) ⋈ lineitem)`.
+    pub fn render_tree(&self, tree: &JoinTree) -> String {
+        match tree {
+            JoinTree::Scan { relation, .. } => self.names[*relation].clone(),
+            JoinTree::Join { left, right, .. } => {
+                format!("({} ⋈ {})", self.render_tree(left), self.render_tree(right))
+            }
+        }
+    }
+}
+
+/// Parses the query-description format (see the crate docs for the
+/// grammar).
+///
+/// # Errors
+///
+/// Returns a line-numbered [`ParseError`] on the first problem found.
+pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut cards: Vec<(usize, f64)> = Vec::new(); // (line, cardinality)
+    let mut index: HashMap<String, RelIdx> = HashMap::new();
+    let mut joins: Vec<(usize, RelSet, RelSet, f64)> = Vec::new();
+
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = lineno + 1;
+        let text = match raw.find('#') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let mut words = text.split_whitespace();
+        let Some(directive) = words.next() else {
+            continue; // blank or comment-only line
+        };
+        match directive {
+            "relation" => {
+                let (Some(name), Some(card_text), None) =
+                    (words.next(), words.next(), words.next())
+                else {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "relation",
+                        expected: "a name and a cardinality",
+                    });
+                };
+                let card: f64 = card_text.parse().map_err(|_| ParseError::BadNumber {
+                    line,
+                    what: "cardinality",
+                    text: card_text.to_string(),
+                })?;
+                if index.contains_key(name) {
+                    return Err(ParseError::DuplicateRelation { line, name: name.to_string() });
+                }
+                index.insert(name.to_string(), names.len());
+                names.push(name.to_string());
+                cards.push((line, card));
+            }
+            "join" => {
+                let (Some(left), Some(right)) = (words.next(), words.next()) else {
+                    return Err(ParseError::WrongArity {
+                        line,
+                        directive: "join",
+                        expected: "two (comma-separated) relation lists and an optional selectivity",
+                    });
+                };
+                let sel = match words.next() {
+                    None => DEFAULT_SELECTIVITY,
+                    Some(sel_text) => {
+                        if words.next().is_some() {
+                            return Err(ParseError::WrongArity {
+                                line,
+                                directive: "join",
+                                expected: "two (comma-separated) relation lists and an optional selectivity",
+                            });
+                        }
+                        sel_text.parse().map_err(|_| ParseError::BadNumber {
+                            line,
+                            what: "selectivity",
+                            text: sel_text.to_string(),
+                        })?
+                    }
+                };
+                let resolve = |token: &str| -> Result<RelSet, ParseError> {
+                    let mut side = RelSet::EMPTY;
+                    for name in token.split(',') {
+                        let i = *index.get(name).ok_or_else(|| {
+                            ParseError::UnknownRelation { line, name: name.to_string() }
+                        })?;
+                        side.insert(i);
+                    }
+                    Ok(side)
+                };
+                let ls = resolve(left)?;
+                let rs = resolve(right)?;
+                if ls.overlaps(rs) {
+                    let shared = (ls & rs).min_index().expect("overlap is non-empty");
+                    return Err(ParseError::SelfJoin { line, name: names[shared].clone() });
+                }
+                joins.push((line, ls, rs, sel));
+            }
+            other => {
+                return Err(ParseError::UnknownDirective { line, word: other.to_string() })
+            }
+        }
+    }
+
+    if names.is_empty() {
+        return Err(ParseError::EmptyQuery);
+    }
+    if names.len() > 64 {
+        return Err(ParseError::TooManyRelations { n: names.len() });
+    }
+
+    let mut hypergraph = Hypergraph::new(names.len()).map_err(|_| {
+        ParseError::TooManyRelations { n: names.len() }
+    })?;
+    for &(line, ls, rs, _) in &joins {
+        hypergraph.add_edge(ls, rs).map_err(|_| ParseError::DuplicateJoin {
+            line,
+            left: render_side(ls, &names),
+            right: render_side(rs, &names),
+        })?;
+    }
+    // A parallel simple graph when every predicate is binary.
+    let graph = if hypergraph.num_complex_edges() == 0 {
+        let mut g = QueryGraph::new(names.len()).expect("size already validated");
+        for e in hypergraph.edges() {
+            let (u, v) = (
+                e.u.min_index().expect("non-empty"),
+                e.v.min_index().expect("non-empty"),
+            );
+            g.add_edge(u, v).expect("hypergraph already deduplicated");
+        }
+        Some(g)
+    } else {
+        None
+    };
+
+    let mut catalog = Catalog::with_shape(names.len(), hypergraph.num_edges());
+    for (i, &(line, card)) in cards.iter().enumerate() {
+        catalog.set_cardinality(i, card).map_err(|e| ParseError::InvalidStatistic {
+            line,
+            message: e.to_string(),
+        })?;
+    }
+    for (edge_id, &(line, _, _, sel)) in joins.iter().enumerate() {
+        catalog.set_selectivity(edge_id, sel).map_err(|e| ParseError::InvalidStatistic {
+            line,
+            message: e.to_string(),
+        })?;
+    }
+
+    Ok(ParsedQuery { hypergraph, graph, catalog, names, index })
+}
+
+/// Renders one hyperedge side as the comma-joined relation names.
+fn render_side(side: RelSet, names: &[String]) -> String {
+    side.iter().map(|i| names[i].as_str()).collect::<Vec<_>>().join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHAIN: &str = "\
+# TPC-H-ish chain
+relation customer 150000
+relation orders   1500000
+relation lineitem 6000000
+
+join customer orders   6.67e-6
+join orders   lineitem 6.67e-7   # key join
+";
+
+    #[test]
+    fn parses_valid_query() {
+        let q = parse(CHAIN).unwrap();
+        assert_eq!(q.names(), &["customer", "orders", "lineitem"]);
+        assert!(q.is_simple());
+        let g = q.graph().unwrap();
+        assert_eq!(g.num_relations(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(q.hypergraph.num_edges(), 2);
+        assert_eq!(q.catalog.cardinality(1), 1_500_000.0);
+        assert!((q.catalog.selectivity(0) - 6.67e-6).abs() < 1e-12);
+        assert_eq!(q.index_of("lineitem"), Some(2));
+        assert_eq!(q.index_of("nation"), None);
+        assert_eq!(q.name_of(0), "customer");
+    }
+
+    #[test]
+    fn default_selectivity_applies() {
+        let q = parse("relation a 10\nrelation b 20\njoin a b\n").unwrap();
+        assert_eq!(q.catalog.selectivity(0), DEFAULT_SELECTIVITY);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let q = parse("\n# hi\nrelation a 10\n   # indented comment\n").unwrap();
+        assert_eq!(q.names(), &["a"]);
+    }
+
+    #[test]
+    fn error_unknown_directive() {
+        let e = parse("table a 10\n").unwrap_err();
+        assert!(matches!(e, ParseError::UnknownDirective { line: 1, .. }));
+    }
+
+    #[test]
+    fn error_wrong_arity() {
+        assert!(matches!(
+            parse("relation a\n").unwrap_err(),
+            ParseError::WrongArity { directive: "relation", .. }
+        ));
+        assert!(matches!(
+            parse("relation a 10 extra\n").unwrap_err(),
+            ParseError::WrongArity { .. }
+        ));
+        assert!(matches!(
+            parse("relation a 10\nrelation b 10\njoin a\n").unwrap_err(),
+            ParseError::WrongArity { directive: "join", line: 3, .. }
+        ));
+        assert!(matches!(
+            parse("relation a 10\nrelation b 10\njoin a b 0.5 extra\n").unwrap_err(),
+            ParseError::WrongArity { .. }
+        ));
+    }
+
+    #[test]
+    fn error_bad_numbers() {
+        assert!(matches!(
+            parse("relation a ten\n").unwrap_err(),
+            ParseError::BadNumber { what: "cardinality", .. }
+        ));
+        assert!(matches!(
+            parse("relation a 10\nrelation b 10\njoin a b half\n").unwrap_err(),
+            ParseError::BadNumber { what: "selectivity", .. }
+        ));
+    }
+
+    #[test]
+    fn error_duplicate_relation() {
+        let e = parse("relation a 10\nrelation a 20\n").unwrap_err();
+        assert!(matches!(e, ParseError::DuplicateRelation { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_unknown_relation_in_join() {
+        let e = parse("relation a 10\njoin a ghost 0.1\n").unwrap_err();
+        assert!(matches!(e, ParseError::UnknownRelation { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_self_join() {
+        let e = parse("relation a 10\njoin a a 0.1\n").unwrap_err();
+        assert!(matches!(e, ParseError::SelfJoin { .. }));
+    }
+
+    #[test]
+    fn error_duplicate_join_either_order() {
+        let src = "relation a 10\nrelation b 10\njoin a b 0.1\njoin b a 0.2\n";
+        let e = parse(src).unwrap_err();
+        assert!(matches!(e, ParseError::DuplicateJoin { line: 4, .. }));
+    }
+
+    #[test]
+    fn error_empty() {
+        assert_eq!(parse("# nothing here\n").unwrap_err(), ParseError::EmptyQuery);
+    }
+
+    #[test]
+    fn error_invalid_statistics() {
+        assert!(matches!(
+            parse("relation a 0.5\n").unwrap_err(),
+            ParseError::InvalidStatistic { line: 1, .. }
+        ));
+        assert!(matches!(
+            parse("relation a 10\nrelation b 10\njoin a b 1.5\n").unwrap_err(),
+            ParseError::InvalidStatistic { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn error_too_many_relations() {
+        let mut src = String::new();
+        for i in 0..65 {
+            src.push_str(&format!("relation r{i} 10\n"));
+        }
+        assert_eq!(parse(&src).unwrap_err(), ParseError::TooManyRelations { n: 65 });
+    }
+
+    #[test]
+    fn parses_hyperedges() {
+        let src = "\
+relation r1 100
+relation r2 200
+relation r3 50
+join r1 r2 0.01
+join r1,r2 r3 0.05
+";
+        let q = parse(src).unwrap();
+        assert!(!q.is_simple());
+        assert!(q.graph().is_none());
+        assert_eq!(q.hypergraph.num_edges(), 2);
+        assert_eq!(q.hypergraph.num_complex_edges(), 1);
+        assert_eq!(q.catalog.selectivity(1), 0.05);
+    }
+
+    #[test]
+    fn hyperedge_overlap_rejected() {
+        let src = "relation a 10\nrelation b 10\njoin a,b b 0.1\n";
+        assert!(matches!(parse(src).unwrap_err(), ParseError::SelfJoin { .. }));
+    }
+
+    #[test]
+    fn hyperedge_unknown_member_rejected() {
+        let src = "relation a 10\nrelation b 10\njoin a,ghost b 0.1\n";
+        assert!(matches!(parse(src).unwrap_err(), ParseError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn duplicate_hyperedge_rejected() {
+        let src = "relation a 10\nrelation b 10\nrelation c 10\n\
+join a,b c 0.1\njoin c a,b 0.2\n";
+        let e = parse(src).unwrap_err();
+        assert!(matches!(e, ParseError::DuplicateJoin { line: 5, .. }), "{e:?}");
+    }
+
+    #[test]
+    fn render_tree_uses_names() {
+        use joinopt_core::{DpCcp, JoinOrderer};
+        use joinopt_cost::Cout;
+        let q = parse(CHAIN).unwrap();
+        let r = DpCcp.optimize(q.graph().unwrap(), &q.catalog, &Cout).unwrap();
+        let rendered = q.render_tree(&r.tree);
+        for name in q.names() {
+            assert!(rendered.contains(name.as_str()), "{rendered}");
+        }
+        assert!(rendered.contains('⋈'));
+    }
+}

@@ -1,0 +1,85 @@
+//! Serializer for the query-description format (inverse of
+//! [`crate::parse`]).
+
+use core::fmt::Write as _;
+
+use crate::parser::ParsedQuery;
+
+/// Serializes a parsed query back to the textual format.
+///
+/// The output parses back to an equivalent query (same graph shape,
+/// names and statistics); the round trip is covered by property tests.
+pub fn write(query: &ParsedQuery) -> String {
+    let mut out = String::new();
+    for (i, name) in query.names().iter().enumerate() {
+        let _ = writeln!(out, "relation {name} {}", fmt_f64(query.catalog.cardinality(i)));
+    }
+    if query.hypergraph.num_edges() > 0 {
+        out.push('\n');
+    }
+    for (edge_id, e) in query.hypergraph.edges().iter().enumerate() {
+        let side = |s: joinopt_relset::RelSet| {
+            s.iter().map(|i| query.name_of(i)).collect::<Vec<_>>().join(",")
+        };
+        let _ = writeln!(
+            out,
+            "join {} {} {}",
+            side(e.u),
+            side(e.v),
+            fmt_f64(query.catalog.selectivity(edge_id))
+        );
+    }
+    out
+}
+
+/// Formats an `f64` so it parses back exactly (shortest round-trip repr).
+fn fmt_f64(x: f64) -> String {
+    let mut s = format!("{x}");
+    if !s.contains(['.', 'e', 'E', 'i', 'n']) {
+        // Keep integers readable; "150000" parses fine as f64.
+        return s;
+    }
+    // `{}` on f64 is already the shortest round-trippable form.
+    if s == "inf" || s == "NaN" {
+        s = "0".to_string(); // unreachable for validated catalogs
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let src = "\
+relation customer 150000
+relation orders 1500000
+
+join customer orders 6.67e-6
+";
+        let q1 = parse(src).unwrap();
+        let written = super::write(&q1);
+        let q2 = parse(&written).unwrap();
+        assert_eq!(q1.names(), q2.names());
+        assert_eq!(q1.hypergraph, q2.hypergraph);
+        assert_eq!(q1.catalog, q2.catalog);
+    }
+
+    #[test]
+    fn output_contains_all_directives() {
+        let q = parse("relation a 10\nrelation b 20\njoin a b 0.25\n").unwrap();
+        let out = super::write(&q);
+        assert!(out.contains("relation a 10"));
+        assert!(out.contains("relation b 20"));
+        assert!(out.contains("join a b 0.25"));
+    }
+
+    #[test]
+    fn edgeless_query_round_trips() {
+        let q = parse("relation lonely 42\n").unwrap();
+        let q2 = parse(&super::write(&q)).unwrap();
+        assert_eq!(q2.names(), &["lonely"]);
+        assert_eq!(q2.hypergraph.num_edges(), 0);
+    }
+}

@@ -1,0 +1,59 @@
+//! Property tests: write ∘ parse is the identity on query structure, and
+//! parsed random workloads optimize identically to their in-memory
+//! originals.
+
+use joinopt_core::{DpCcp, JoinOrderer};
+use joinopt_cost::{workload, Cout};
+use joinopt_query::{parse, write};
+use proptest::prelude::*;
+
+/// Builds source text for a random connected workload, naming relations
+/// `r0…r{n-1}`.
+fn workload_to_source(w: &workload::Workload) -> String {
+    use core::fmt::Write as _;
+    let mut src = String::new();
+    for i in 0..w.graph.num_relations() {
+        let _ = writeln!(src, "relation r{i} {}", w.catalog.cardinality(i));
+    }
+    for (edge_id, e) in w.graph.edges().iter().enumerate() {
+        let _ = writeln!(src, "join r{} r{} {}", e.u, e.v, w.catalog.selectivity(edge_id));
+    }
+    src
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn parse_write_parse_is_stable(n in 2usize..=10, density in 0u8..=10, seed in any::<u64>()) {
+        let w = workload::random_workload(n, f64::from(density) / 10.0, seed);
+        let q1 = parse(&workload_to_source(&w)).unwrap();
+        let q2 = parse(&write(&q1)).unwrap();
+        prop_assert_eq!(q1.names(), q2.names());
+        prop_assert_eq!(&q1.hypergraph, &q2.hypergraph);
+        prop_assert_eq!(q1.graph(), q2.graph());
+        prop_assert_eq!(&q1.catalog, &q2.catalog);
+    }
+
+    #[test]
+    fn parsed_query_optimizes_identically(n in 2usize..=9, seed in any::<u64>()) {
+        let w = workload::random_workload(n, 0.3, seed);
+        let q = parse(&workload_to_source(&w)).unwrap();
+        let direct = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let parsed = DpCcp.optimize(q.graph().unwrap(), &q.catalog, &Cout).unwrap();
+        let tol = 1e-9 * direct.cost.abs().max(1.0);
+        prop_assert!((direct.cost - parsed.cost).abs() <= tol);
+        prop_assert_eq!(direct.counters, parsed.counters);
+    }
+
+    #[test]
+    fn weird_whitespace_is_tolerated(extra_spaces in 0usize..5) {
+        let pad = " ".repeat(extra_spaces);
+        let src = format!(
+            "relation{pad} a {pad}10\r\nrelation b 20\n{pad}join a{pad} b 0.5{pad}# tail\n"
+        );
+        let q = parse(&src).unwrap();
+        prop_assert_eq!(q.names().len(), 2);
+        prop_assert_eq!(q.catalog.selectivity(0), 0.5);
+    }
+}

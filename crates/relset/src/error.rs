@@ -1,0 +1,60 @@
+//! Error type for fallible [`RelSet`](crate::RelSet) construction.
+
+use core::fmt;
+
+/// Errors produced by fallible `RelSet` constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelSetError {
+    /// A relation index was `>= MAX_RELATIONS` (64).
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+    },
+    /// A universe size was requested that exceeds `MAX_RELATIONS`.
+    UniverseTooLarge {
+        /// The requested number of relations.
+        n: usize,
+    },
+}
+
+impl fmt::Display for RelSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            RelSetError::IndexOutOfRange { index } => {
+                write!(
+                    f,
+                    "relation index {index} out of range (max {})",
+                    crate::MAX_RELATIONS - 1
+                )
+            }
+            RelSetError::UniverseTooLarge { n } => {
+                write!(
+                    f,
+                    "universe of {n} relations exceeds the supported maximum of {}",
+                    crate::MAX_RELATIONS
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RelSetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_index() {
+        let e = RelSetError::IndexOutOfRange { index: 99 };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("63"));
+    }
+
+    #[test]
+    fn display_mentions_universe() {
+        let e = RelSetError::UniverseTooLarge { n: 100 };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("64"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Bitset relation sets for join ordering.
+//!
+//! Every dynamic-programming join-ordering algorithm in this workspace
+//! manipulates *sets of relations*. Following the paper (Moerkotte &
+//! Neumann, VLDB 2006, Section 2.2) these sets are represented as machine
+//! words: relation `R_j` corresponds to bit `j`, so an `u64` covers up to
+//! [`MAX_RELATIONS`] relations — far beyond the reach of exact dynamic
+//! programming, which is limited by time/space to roughly 25 relations on
+//! dense graphs.
+//!
+//! The crate provides:
+//!
+//! * [`RelSet`] — a copyable, hashable set of relation indices with the
+//!   full set algebra (union, intersection, difference, subset tests) and
+//!   the bit-level helpers the algorithms need (lowest element, `B_i`
+//!   prefix masks, element iteration in both directions);
+//! * [`SubsetIter`] and friends — Vance/Maier fast subset enumeration
+//!   (`sub' = (sub − set) & set`), which visits the subsets of a set in an
+//!   order where every subset appears after all of its own subsets, the
+//!   property DPsub relies on;
+//! * [`RelSetError`] — fallible constructors for user-facing input paths.
+//!
+//! # Example
+//!
+//! ```
+//! use joinopt_relset::RelSet;
+//!
+//! let s1 = RelSet::from_indices([0, 2]);
+//! let s2 = RelSet::from_indices([1, 3]);
+//! assert!(s1.is_disjoint(s2));
+//! let s = s1 | s2;
+//! assert_eq!(s.len(), 4);
+//! // Enumerate all non-empty proper subsets of s (DPsub's inner loop):
+//! let n = s.non_empty_proper_subsets().count();
+//! assert_eq!(n, (1 << 4) - 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod relset;
+mod subsets;
+
+pub use error::RelSetError;
+pub use relset::{RelIdx, RelSet, MAX_RELATIONS};
+pub use subsets::{NonEmptyProperSubsets, NonEmptySubsets, SubsetIter};

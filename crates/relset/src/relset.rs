@@ -1,0 +1,621 @@
+//! The [`RelSet`] type: a set of relation indices packed into a `u64`.
+
+use core::fmt;
+use core::iter::FromIterator;
+use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, BitXor, BitXorAssign, Sub, SubAssign};
+
+use crate::error::RelSetError;
+use crate::subsets::{NonEmptyProperSubsets, NonEmptySubsets, SubsetIter};
+
+/// Index of a relation within a query (`R_j` in the paper).
+pub type RelIdx = usize;
+
+/// Maximum number of relations representable (bits in the backing word).
+pub const MAX_RELATIONS: usize = 64;
+
+/// A set of relation indices, represented as a 64-bit bitvector.
+///
+/// Bit `j` set means relation `R_j` is a member. `RelSet` is `Copy` and
+/// two words wide nowhere — it *is* the word — so it can be used freely as
+/// a hash-table key and passed by value through hot loops.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct RelSet(u64);
+
+impl RelSet {
+    /// The empty set.
+    pub const EMPTY: RelSet = RelSet(0);
+
+    /// Creates an empty set.
+    #[inline]
+    pub const fn empty() -> Self {
+        RelSet(0)
+    }
+
+    /// Creates a singleton set `{R_i}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= MAX_RELATIONS`.
+    #[inline]
+    pub const fn single(i: RelIdx) -> Self {
+        assert!(i < MAX_RELATIONS, "relation index out of range");
+        RelSet(1u64 << i)
+    }
+
+    /// Fallible version of [`RelSet::single`].
+    #[inline]
+    pub const fn try_single(i: RelIdx) -> Result<Self, RelSetError> {
+        if i < MAX_RELATIONS {
+            Ok(RelSet(1u64 << i))
+        } else {
+            Err(RelSetError::IndexOutOfRange { index: i })
+        }
+    }
+
+    /// Creates the full universe `{R_0, …, R_{n-1}}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_RELATIONS`.
+    #[inline]
+    pub const fn full(n: usize) -> Self {
+        assert!(n <= MAX_RELATIONS, "universe too large");
+        if n == MAX_RELATIONS {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << n) - 1)
+        }
+    }
+
+    /// Fallible version of [`RelSet::full`].
+    #[inline]
+    pub const fn try_full(n: usize) -> Result<Self, RelSetError> {
+        if n <= MAX_RELATIONS {
+            Ok(Self::full(n))
+        } else {
+            Err(RelSetError::UniverseTooLarge { n })
+        }
+    }
+
+    /// Builds a set from an iterator of indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is `>= MAX_RELATIONS`.
+    #[inline]
+    pub fn from_indices<I: IntoIterator<Item = RelIdx>>(indices: I) -> Self {
+        indices.into_iter().map(RelSet::single).fold(RelSet::EMPTY, RelSet::union)
+    }
+
+    /// Constructs a set directly from its bit representation.
+    ///
+    /// This is the inverse of [`RelSet::bits`] and mirrors the paper's
+    /// DPsub loop, where the loop counter `i` *is* the subset.
+    #[inline]
+    pub const fn from_bits(bits: u64) -> Self {
+        RelSet(bits)
+    }
+
+    /// Returns the raw bit representation.
+    #[inline]
+    pub const fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Number of relations in the set.
+    #[inline]
+    pub const fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` iff the set contains no relation.
+    #[inline]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` iff exactly one relation is contained.
+    #[inline]
+    pub const fn is_singleton(self) -> bool {
+        self.0 != 0 && (self.0 & (self.0 - 1)) == 0
+    }
+
+    /// Membership test for relation `i`.
+    #[inline]
+    pub const fn contains(self, i: RelIdx) -> bool {
+        i < MAX_RELATIONS && (self.0 >> i) & 1 == 1
+    }
+
+    /// Set union `self ∪ other`.
+    #[inline]
+    pub const fn union(self, other: RelSet) -> RelSet {
+        RelSet(self.0 | other.0)
+    }
+
+    /// Set intersection `self ∩ other`.
+    #[inline]
+    pub const fn intersect(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    #[inline]
+    pub const fn difference(self, other: RelSet) -> RelSet {
+        RelSet(self.0 & !other.0)
+    }
+
+    /// `true` iff the two sets share no relation.
+    #[inline]
+    pub const fn is_disjoint(self, other: RelSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// `true` iff the two sets share at least one relation.
+    #[inline]
+    pub const fn overlaps(self, other: RelSet) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// `true` iff `self ⊆ other`.
+    #[inline]
+    pub const fn is_subset(self, other: RelSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// `true` iff `self ⊂ other` (strict).
+    #[inline]
+    pub const fn is_strict_subset(self, other: RelSet) -> bool {
+        self.0 != other.0 && self.is_subset(other)
+    }
+
+    /// `true` iff `self ⊇ other`.
+    #[inline]
+    pub const fn is_superset(self, other: RelSet) -> bool {
+        other.is_subset(self)
+    }
+
+    /// Adds relation `i` to the set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= MAX_RELATIONS`.
+    #[inline]
+    pub fn insert(&mut self, i: RelIdx) {
+        assert!(i < MAX_RELATIONS, "relation index out of range");
+        self.0 |= 1u64 << i;
+    }
+
+    /// Removes relation `i` from the set (no-op if absent).
+    #[inline]
+    pub fn remove(&mut self, i: RelIdx) {
+        if i < MAX_RELATIONS {
+            self.0 &= !(1u64 << i);
+        }
+    }
+
+    /// Returns `self ∪ {i}` without mutating.
+    #[inline]
+    pub const fn with(self, i: RelIdx) -> RelSet {
+        assert!(i < MAX_RELATIONS, "relation index out of range");
+        RelSet(self.0 | (1u64 << i))
+    }
+
+    /// Returns `self \ {i}` without mutating.
+    #[inline]
+    pub const fn without(self, i: RelIdx) -> RelSet {
+        if i < MAX_RELATIONS {
+            RelSet(self.0 & !(1u64 << i))
+        } else {
+            self
+        }
+    }
+
+    /// The smallest relation index in the set (`min(S)` in the paper).
+    ///
+    /// Returns `None` for the empty set.
+    #[inline]
+    pub const fn min_index(self) -> Option<RelIdx> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// The largest relation index in the set.
+    #[inline]
+    pub const fn max_index(self) -> Option<RelIdx> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(63 - self.0.leading_zeros() as usize)
+        }
+    }
+
+    /// The singleton set containing only the smallest member.
+    ///
+    /// Returns the empty set when `self` is empty.
+    #[inline]
+    pub const fn lowest(self) -> RelSet {
+        RelSet(self.0 & self.0.wrapping_neg())
+    }
+
+    /// The prefix mask `B_i = {v_j | j ≤ i}` used by `EnumerateCsg`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= MAX_RELATIONS`.
+    #[inline]
+    pub const fn prefix_through(i: RelIdx) -> RelSet {
+        assert!(i < MAX_RELATIONS, "relation index out of range");
+        if i == MAX_RELATIONS - 1 {
+            RelSet(u64::MAX)
+        } else {
+            RelSet((1u64 << (i + 1)) - 1)
+        }
+    }
+
+    /// The complement of `self` within the universe of `n` relations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > MAX_RELATIONS`.
+    #[inline]
+    pub const fn complement_in(self, n: usize) -> RelSet {
+        RelSet(!self.0 & Self::full(n).0)
+    }
+
+    /// Iterates over the member indices in ascending order.
+    #[inline]
+    pub fn iter(self) -> RelIter {
+        RelIter(self.0)
+    }
+
+    /// Iterates over the member indices in descending order.
+    #[inline]
+    pub fn iter_descending(self) -> RelIterDesc {
+        RelIterDesc(self.0)
+    }
+
+    /// Enumerates **all** subsets of `self`, including the empty set and
+    /// `self` itself, in Vance/Maier order (every subset appears after all
+    /// of its own subsets).
+    #[inline]
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter::new(self)
+    }
+
+    /// Enumerates the non-empty subsets of `self` (including `self`).
+    #[inline]
+    pub fn non_empty_subsets(self) -> NonEmptySubsets {
+        NonEmptySubsets::new(self)
+    }
+
+    /// Enumerates the non-empty *proper* subsets of `self` — the inner
+    /// loop domain of DPsub.
+    #[inline]
+    pub fn non_empty_proper_subsets(self) -> NonEmptyProperSubsets {
+        NonEmptyProperSubsets::new(self)
+    }
+}
+
+/// Ascending iterator over the members of a [`RelSet`].
+#[derive(Debug, Clone)]
+pub struct RelIter(u64);
+
+impl Iterator for RelIter {
+    type Item = RelIdx;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelIdx> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelIter {}
+
+/// Descending iterator over the members of a [`RelSet`].
+#[derive(Debug, Clone)]
+pub struct RelIterDesc(u64);
+
+impl Iterator for RelIterDesc {
+    type Item = RelIdx;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelIdx> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = 63 - self.0.leading_zeros() as usize;
+            self.0 &= !(1u64 << i);
+            Some(i)
+        }
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RelIterDesc {}
+
+impl IntoIterator for RelSet {
+    type Item = RelIdx;
+    type IntoIter = RelIter;
+
+    #[inline]
+    fn into_iter(self) -> RelIter {
+        self.iter()
+    }
+}
+
+impl FromIterator<RelIdx> for RelSet {
+    fn from_iter<I: IntoIterator<Item = RelIdx>>(iter: I) -> Self {
+        RelSet::from_indices(iter)
+    }
+}
+
+impl BitOr for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitor(self, rhs: RelSet) -> RelSet {
+        self.union(rhs)
+    }
+}
+
+impl BitOrAssign for RelSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: RelSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitand(self, rhs: RelSet) -> RelSet {
+        self.intersect(rhs)
+    }
+}
+
+impl BitAndAssign for RelSet {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: RelSet) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl BitXor for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn bitxor(self, rhs: RelSet) -> RelSet {
+        RelSet(self.0 ^ rhs.0)
+    }
+}
+
+impl BitXorAssign for RelSet {
+    #[inline]
+    fn bitxor_assign(&mut self, rhs: RelSet) {
+        self.0 ^= rhs.0;
+    }
+}
+
+impl Sub for RelSet {
+    type Output = RelSet;
+    #[inline]
+    fn sub(self, rhs: RelSet) -> RelSet {
+        self.difference(rhs)
+    }
+}
+
+impl SubAssign for RelSet {
+    #[inline]
+    fn sub_assign(&mut self, rhs: RelSet) {
+        self.0 &= !rhs.0;
+    }
+}
+
+impl fmt::Debug for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for RelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        let mut first = true;
+        for i in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "R{i}")?;
+            first = false;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_properties() {
+        let e = RelSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.min_index(), None);
+        assert_eq!(e.max_index(), None);
+        assert_eq!(e.iter().count(), 0);
+        assert!(!e.is_singleton());
+    }
+
+    #[test]
+    fn singleton_properties() {
+        let s = RelSet::single(5);
+        assert!(s.is_singleton());
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert_eq!(s.min_index(), Some(5));
+        assert_eq!(s.max_index(), Some(5));
+    }
+
+    #[test]
+    fn single_bit63_works() {
+        let s = RelSet::single(63);
+        assert!(s.contains(63));
+        assert_eq!(s.max_index(), Some(63));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn single_out_of_range_panics() {
+        let _ = RelSet::single(64);
+    }
+
+    #[test]
+    fn try_single_errors() {
+        assert!(RelSet::try_single(63).is_ok());
+        assert_eq!(
+            RelSet::try_single(64),
+            Err(RelSetError::IndexOutOfRange { index: 64 })
+        );
+    }
+
+    #[test]
+    fn full_universe() {
+        assert_eq!(RelSet::full(0), RelSet::empty());
+        assert_eq!(RelSet::full(3).len(), 3);
+        assert_eq!(RelSet::full(64).len(), 64);
+        assert_eq!(RelSet::try_full(65), Err(RelSetError::UniverseTooLarge { n: 65 }));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = RelSet::from_indices([0, 1, 2]);
+        let b = RelSet::from_indices([2, 3]);
+        assert_eq!(a.union(b), RelSet::from_indices([0, 1, 2, 3]));
+        assert_eq!(a.intersect(b), RelSet::single(2));
+        assert_eq!(a.difference(b), RelSet::from_indices([0, 1]));
+        assert!(a.overlaps(b));
+        assert!(!a.is_disjoint(b));
+        assert!(RelSet::from_indices([0, 1]).is_disjoint(b));
+    }
+
+    #[test]
+    fn subset_relations() {
+        let a = RelSet::from_indices([1, 2]);
+        let b = RelSet::from_indices([0, 1, 2]);
+        assert!(a.is_subset(b));
+        assert!(a.is_strict_subset(b));
+        assert!(b.is_superset(a));
+        assert!(a.is_subset(a));
+        assert!(!a.is_strict_subset(a));
+        assert!(RelSet::EMPTY.is_subset(a));
+    }
+
+    #[test]
+    fn insert_remove_with_without() {
+        let mut s = RelSet::empty();
+        s.insert(3);
+        s.insert(7);
+        assert_eq!(s, RelSet::from_indices([3, 7]));
+        s.remove(3);
+        assert_eq!(s, RelSet::single(7));
+        s.remove(40); // absent: no-op
+        assert_eq!(s, RelSet::single(7));
+        assert_eq!(s.with(1), RelSet::from_indices([1, 7]));
+        assert_eq!(s.without(7), RelSet::EMPTY);
+        // original unchanged by with/without
+        assert_eq!(s, RelSet::single(7));
+    }
+
+    #[test]
+    fn min_max_lowest() {
+        let s = RelSet::from_indices([3, 9, 17]);
+        assert_eq!(s.min_index(), Some(3));
+        assert_eq!(s.max_index(), Some(17));
+        assert_eq!(s.lowest(), RelSet::single(3));
+        assert_eq!(RelSet::EMPTY.lowest(), RelSet::EMPTY);
+    }
+
+    #[test]
+    fn prefix_through_masks() {
+        assert_eq!(RelSet::prefix_through(0), RelSet::single(0));
+        assert_eq!(RelSet::prefix_through(2), RelSet::from_indices([0, 1, 2]));
+        assert_eq!(RelSet::prefix_through(63).len(), 64);
+    }
+
+    #[test]
+    fn complement() {
+        let s = RelSet::from_indices([0, 2]);
+        assert_eq!(s.complement_in(4), RelSet::from_indices([1, 3]));
+        assert_eq!(RelSet::EMPTY.complement_in(3), RelSet::full(3));
+        assert_eq!(RelSet::full(64).complement_in(64), RelSet::EMPTY);
+    }
+
+    #[test]
+    fn iteration_orders() {
+        let s = RelSet::from_indices([5, 1, 9]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 5, 9]);
+        assert_eq!(s.iter_descending().collect::<Vec<_>>(), vec![9, 5, 1]);
+        assert_eq!(s.iter().len(), 3);
+    }
+
+    #[test]
+    fn operators_match_methods() {
+        let a = RelSet::from_indices([0, 1]);
+        let b = RelSet::from_indices([1, 2]);
+        assert_eq!(a | b, a.union(b));
+        assert_eq!(a & b, a.intersect(b));
+        assert_eq!(a - b, a.difference(b));
+        assert_eq!(a ^ b, RelSet::from_indices([0, 2]));
+        let mut c = a;
+        c |= b;
+        assert_eq!(c, a | b);
+        let mut d = a;
+        d &= b;
+        assert_eq!(d, a & b);
+        let mut e = a;
+        e -= b;
+        assert_eq!(e, a - b);
+        let mut f = a;
+        f ^= b;
+        assert_eq!(f, a ^ b);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(RelSet::EMPTY.to_string(), "{}");
+        assert_eq!(RelSet::from_indices([0, 4]).to_string(), "{R0, R4}");
+    }
+
+    #[test]
+    fn from_iterator_and_bits_roundtrip() {
+        let s: RelSet = [2usize, 4, 6].into_iter().collect();
+        assert_eq!(s, RelSet::from_bits(0b1010100));
+        assert_eq!(RelSet::from_bits(s.bits()), s);
+    }
+
+    #[test]
+    fn contains_out_of_range_is_false() {
+        assert!(!RelSet::full(64).contains(64));
+        assert!(!RelSet::full(64).contains(usize::MAX));
+    }
+}

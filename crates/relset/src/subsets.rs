@@ -1,0 +1,213 @@
+//! Fast subset enumeration (Vance & Maier, SIGMOD 1996).
+//!
+//! The key code snippet the paper refers to steps through the subsets of a
+//! bitset `set` with
+//!
+//! ```text
+//! sub = (sub - set) & set
+//! ```
+//!
+//! starting from `sub = 0`. Interpreted as binary counting restricted to
+//! the bit positions of `set`, this visits all `2^|set|` subsets, and the
+//! visit order is *valid for dynamic programming*: every subset is visited
+//! only after all of its own subsets have been visited (numerically the
+//! masked counter only ever grows, and `A ⊆ B ⇒ mask-rank(A) ≤
+//! mask-rank(B)` restricted to the same mask).
+//!
+//! Three iterator flavours are provided, matching the loop domains of the
+//! algorithms in the paper:
+//!
+//! * [`SubsetIter`] — all subsets including `∅` and the set itself;
+//! * [`NonEmptySubsets`] — all subsets except `∅`;
+//! * [`NonEmptyProperSubsets`] — all subsets except `∅` and the set
+//!   itself; this is exactly the `S_1` domain of DPsub's inner loop.
+
+use crate::relset::RelSet;
+
+/// Iterator over **all** subsets of a set (including `∅` and the full set),
+/// in Vance/Maier order.
+#[derive(Debug, Clone)]
+pub struct SubsetIter {
+    set: u64,
+    /// Next subset to yield; `None` once exhausted.
+    next: Option<u64>,
+}
+
+impl SubsetIter {
+    #[inline]
+    pub(crate) fn new(set: RelSet) -> Self {
+        SubsetIter { set: set.bits(), next: Some(0) }
+    }
+}
+
+impl Iterator for SubsetIter {
+    type Item = RelSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelSet> {
+        let cur = self.next?;
+        // Advance: masked increment. When we wrap to 0 we are done.
+        let nxt = cur.wrapping_sub(self.set) & self.set;
+        self.next = if nxt == 0 { None } else { Some(nxt) };
+        Some(RelSet::from_bits(cur))
+    }
+
+    #[inline]
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self.next {
+            None => (0, Some(0)),
+            Some(_) => {
+                // Exact remaining count is expensive to compute in general;
+                // give the standard bound.
+                let total = 1usize.checked_shl(self.set.count_ones()).unwrap_or(usize::MAX);
+                (1, Some(total))
+            }
+        }
+    }
+}
+
+/// Iterator over the non-empty subsets of a set (including the set itself).
+#[derive(Debug, Clone)]
+pub struct NonEmptySubsets(SubsetIter);
+
+impl NonEmptySubsets {
+    #[inline]
+    pub(crate) fn new(set: RelSet) -> Self {
+        let mut inner = SubsetIter::new(set);
+        // Skip the empty set (always yielded first).
+        let _ = inner.next();
+        NonEmptySubsets(inner)
+    }
+}
+
+impl Iterator for NonEmptySubsets {
+    type Item = RelSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelSet> {
+        self.0.next()
+    }
+}
+
+/// Iterator over the non-empty **proper** subsets of a set — DPsub's inner
+/// loop domain (`S_1 ⊂ S, S_1 ≠ ∅, S_1 ≠ S`).
+#[derive(Debug, Clone)]
+pub struct NonEmptyProperSubsets {
+    set: u64,
+    inner: NonEmptySubsets,
+}
+
+impl NonEmptyProperSubsets {
+    #[inline]
+    pub(crate) fn new(set: RelSet) -> Self {
+        NonEmptyProperSubsets { set: set.bits(), inner: NonEmptySubsets::new(set) }
+    }
+}
+
+impl Iterator for NonEmptyProperSubsets {
+    type Item = RelSet;
+
+    #[inline]
+    fn next(&mut self) -> Option<RelSet> {
+        let s = self.inner.next()?;
+        if s.bits() == self.set {
+            // The full set is always yielded last; stop.
+            None
+        } else {
+            Some(s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::RelSet;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_subsets_of_empty() {
+        let subs: Vec<_> = RelSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![RelSet::EMPTY]);
+    }
+
+    #[test]
+    fn all_subsets_count_and_uniqueness() {
+        let set = RelSet::from_indices([1, 3, 4, 7]);
+        let subs: Vec<_> = set.subsets().collect();
+        assert_eq!(subs.len(), 16);
+        let uniq: HashSet<_> = subs.iter().copied().collect();
+        assert_eq!(uniq.len(), 16);
+        for s in &subs {
+            assert!(s.is_subset(set));
+        }
+        assert_eq!(subs[0], RelSet::EMPTY);
+        assert_eq!(*subs.last().unwrap(), set);
+    }
+
+    #[test]
+    fn dp_valid_order() {
+        // Every subset must appear after all of its own subsets.
+        let set = RelSet::from_indices([0, 2, 3, 5, 6]);
+        let subs: Vec<_> = set.subsets().collect();
+        for (i, a) in subs.iter().enumerate() {
+            for b in &subs[i + 1..] {
+                assert!(
+                    !b.is_strict_subset(*a),
+                    "{b} appears after its superset {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_empty_subsets_skips_empty() {
+        let set = RelSet::from_indices([2, 9]);
+        let subs: Vec<_> = set.non_empty_subsets().collect();
+        assert_eq!(subs.len(), 3);
+        assert!(!subs.contains(&RelSet::EMPTY));
+        assert!(subs.contains(&set));
+    }
+
+    #[test]
+    fn non_empty_proper_subsets_domain() {
+        let set = RelSet::from_indices([0, 1, 4]);
+        let subs: Vec<_> = set.non_empty_proper_subsets().collect();
+        assert_eq!(subs.len(), (1 << 3) - 2);
+        assert!(!subs.contains(&RelSet::EMPTY));
+        assert!(!subs.contains(&set));
+    }
+
+    #[test]
+    fn proper_subsets_of_singleton_is_empty() {
+        assert_eq!(RelSet::single(3).non_empty_proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn proper_subsets_of_empty_is_empty() {
+        assert_eq!(RelSet::EMPTY.non_empty_proper_subsets().count(), 0);
+    }
+
+    #[test]
+    fn subset_complement_pairing() {
+        // For each proper subset S1, S2 = S \ S1 is also a proper subset,
+        // and the pairing is an involution.
+        let set = RelSet::from_indices([1, 2, 5, 8]);
+        for s1 in set.non_empty_proper_subsets() {
+            let s2 = set - s1;
+            assert!(!s2.is_empty());
+            assert!(s2.is_strict_subset(set));
+            assert_eq!(s1 | s2, set);
+            assert!(s1.is_disjoint(s2));
+        }
+    }
+
+    #[test]
+    fn full_64_bit_set_subsets_terminate() {
+        // Don't enumerate 2^64 subsets; just verify the iterator advances
+        // correctly near the top of the range with a high-bit mask.
+        let set = RelSet::from_indices([62, 63]);
+        let subs: Vec<_> = set.subsets().collect();
+        assert_eq!(subs.len(), 4);
+        assert_eq!(*subs.last().unwrap(), set);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build a query graph, attach statistics, optimize with
+//! DPccp, and inspect the resulting plan.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use joinopt::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Query graph of
+    //   SELECT * FROM customer c, orders o, lineitem l, part p
+    //   WHERE c.ck = o.ck AND o.ok = l.ok AND l.pk = p.pk
+    // — a 4-relation chain: customer — orders — lineitem — part.
+    let mut graph = QueryGraph::new(4)?;
+    let c_o = graph.add_edge(0, 1)?; // customer ⋈ orders
+    let o_l = graph.add_edge(1, 2)?; // orders ⋈ lineitem
+    let l_p = graph.add_edge(2, 3)?; // lineitem ⋈ part
+
+    // Statistics: base cardinalities and join selectivities.
+    let mut catalog = Catalog::new(&graph);
+    catalog.set_cardinality(0, 150_000.0)?; // customer
+    catalog.set_cardinality(1, 1_500_000.0)?; // orders
+    catalog.set_cardinality(2, 6_000_000.0)?; // lineitem
+    catalog.set_cardinality(3, 200_000.0)?; // part
+    catalog.set_selectivity(c_o, 1.0 / 150_000.0)?;
+    catalog.set_selectivity(o_l, 1.0 / 1_500_000.0)?;
+    catalog.set_selectivity(l_p, 1.0 / 200_000.0)?;
+
+    // Optimize. `Optimizer::new()` uses automatic algorithm selection
+    // (DPccp here) and the C_out cost model.
+    let result = Optimizer::new().optimize(&graph, &catalog)?;
+
+    println!("optimal bushy join tree: {}", result.tree);
+    println!("estimated result size:   {:.0} rows", result.cardinality);
+    println!("plan cost (C_out):       {:.0}", result.cost);
+    println!("enumeration counters:    {}", result.counters);
+    println!();
+    println!("{}", result.tree.explain());
+
+    // The counters tell us how much work enumeration did: for DPccp the
+    // InnerCounter equals the number of csg-cmp-pairs of the query graph
+    // — the provable lower bound for dynamic programming.
+    assert_eq!(result.counters.inner, result.counters.ono_lohman);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! # joinopt — optimal bushy join trees without cross products
+//!
+//! A from-scratch Rust implementation of the three dynamic-programming
+//! join-ordering algorithms analyzed in Moerkotte & Neumann, *"Analysis
+//! of Two Existing and One New Dynamic Programming Algorithm for the
+//! Generation of Optimal Bushy Join Trees without Cross Products"*
+//! (VLDB 2006): **DPsize**, **DPsub** and the paper's new **DPccp** —
+//! plus the full substrate a plan generator needs (query graphs,
+//! statistics, cardinality estimation, cost models, plan trees) and the
+//! paper's analytical counter apparatus.
+//!
+//! This crate is a façade that re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`relset`] | bitset relation sets, Vance/Maier subset enumeration |
+//! | [`qgraph`] | query graphs, generators, BFS numbering, `EnumerateCsg`/`EnumerateCmp`, `#csg`/`#ccp` formulas |
+//! | [`cost`] | catalog, cardinality estimator, cost models, workloads |
+//! | [`plan`] | plan arena and join trees |
+//! | [`core`] | DPsize / DPsub / DPccp / DPhyp, counters, counter formulas, oracle, GOO, the [`Optimizer`](crate::prelude::Optimizer) façade |
+//! | [`query`] | textual query-description format and SQL frontend |
+//! | [`exec`] | toy execution engine: synthesize data, run plans, measure |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use joinopt::prelude::*;
+//!
+//! // A 5-relation star query (fact table R0, four dimensions).
+//! let graph = qgraph::generators::star(5).unwrap();
+//! let mut catalog = Catalog::new(&graph);
+//! catalog.set_cardinality(0, 1_000_000.0).unwrap();
+//! for dim in 1..5 {
+//!     catalog.set_cardinality(dim, 100.0).unwrap();
+//!     catalog.set_selectivity(dim - 1, 0.01).unwrap();
+//! }
+//!
+//! let result = Optimizer::new().optimize(&graph, &catalog).unwrap();
+//! println!("{}", result.tree.explain());
+//! assert_eq!(result.tree.num_relations(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use joinopt_core as core;
+pub use joinopt_cost as cost;
+pub use joinopt_exec as exec;
+pub use joinopt_plan as plan;
+pub use joinopt_qgraph as qgraph;
+pub use joinopt_query as query;
+pub use joinopt_relset as relset;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use joinopt_core::{
+        Algorithm, Counters, DpCcp, DpHyp, DpResult, DpSize, DpSizeLeftDeep, DpSub,
+        JoinOrderer, OptimizeError, Optimizer,
+    };
+    pub use joinopt_cost::{
+        Catalog, CardinalityEstimator, CostModel, Cout, HashJoin, MinOverPhysical,
+        NestedLoopJoin, PlanStats, SortMergeJoin,
+    };
+    pub use joinopt_plan::JoinTree;
+    pub use joinopt_qgraph::{self as qgraph, GraphKind, QueryGraph};
+    pub use joinopt_relset::{RelIdx, RelSet};
+}

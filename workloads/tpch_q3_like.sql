@@ -1,0 +1,10 @@
+-- Shipping-priority style query: 3-relation chain with a filter on
+-- each end (TPC-H Q3 flavored).
+SELECT *
+FROM customer /*+ rows=150000 */  c,
+     orders   /*+ rows=1500000 */ o,
+     lineitem /*+ rows=6000000 */ l
+WHERE c.custkey = o.custkey   /*+ sel=6.67e-6 */
+  AND o.orderkey = l.orderkey /*+ sel=6.67e-7 */
+  AND c.mktsegment = 1        /*+ sel=0.2 */
+  AND o.orderdate = 19950315  /*+ sel=0.48 */

@@ -1,0 +1,16 @@
+-- Local-supplier-volume style query: a 6-relation cycle (TPC-H Q5's
+-- famous shape: the region/nation predicates close the loop).
+SELECT *
+FROM customer /*+ rows=150000 */  c,
+     orders   /*+ rows=1500000 */ o,
+     lineitem /*+ rows=6000000 */ l,
+     supplier /*+ rows=10000 */   s,
+     nation   /*+ rows=25 */      n,
+     region   /*+ rows=5 */       r
+WHERE c.custkey = o.custkey    /*+ sel=6.67e-6 */
+  AND o.orderkey = l.orderkey  /*+ sel=6.67e-7 */
+  AND l.suppkey = s.suppkey    /*+ sel=1e-4 */
+  AND s.nationkey = n.nationkey /*+ sel=0.04 */
+  AND c.nationkey = n.nationkey /*+ sel=0.04 */
+  AND n.regionkey = r.regionkey /*+ sel=0.2 */
+  AND r.name = 2               /*+ sel=0.2 */
