@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full offline CI gate: formatting, lints, tests.
+#
+# The workspace has no external dependencies, so everything runs with
+# --offline; a network-less container must pass this script unchanged.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> cargo test"
+cargo test --workspace --offline -q
+
+echo "CI OK"

@@ -1,4 +1,5 @@
-//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! Ablation benchmarks for the design choices called out in DESIGN.md
+//! (in-repo harness — no external benchmark framework):
 //!
 //! * DPsize optimized vs literal Fig. 1 pseudocode (`s₁ = s₂` dedup);
 //! * DPsub with vs without the `*` connectedness pre-check;
@@ -6,51 +7,46 @@
 //! * greedy (GOO) vs exact DP;
 //! * cost-model overhead (C_out vs min-over-physical-operators).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use joinopt_bench::microbench::Runner;
 use joinopt_core::greedy::Goo;
 use joinopt_core::{
-    DpCcp, DpHyp, DpSize, DpSizeLeftDeep, DpSizeNaive, DpSub, DpSubCrossProducts,
-    DpSubUnfiltered, JoinOrderer, TopDown,
+    DpCcp, DpHyp, DpSize, DpSizeLeftDeep, DpSizeNaive, DpSub, DpSubCrossProducts, DpSubUnfiltered,
+    JoinOrderer, TopDown,
 };
-use joinopt_qgraph::hypergraph::Hypergraph;
 use joinopt_cost::{workload::family_workload, Cout, MinOverPhysical};
+use joinopt_qgraph::hypergraph::Hypergraph;
 use joinopt_qgraph::GraphKind;
 use std::hint::black_box;
 
 fn bench_pair(
-    c: &mut Criterion,
+    r: &mut Runner,
     group_name: &str,
     kind: GraphKind,
     n: usize,
     algs: &[&dyn JoinOrderer],
 ) {
-    let mut group = c.benchmark_group(group_name);
-    group.sample_size(10);
     let w = family_workload(kind, n, 7);
     for alg in algs {
-        group.bench_with_input(BenchmarkId::new(alg.name(), n), &n, |b, _| {
-            b.iter(|| {
-                let r = alg
-                    .optimize(black_box(&w.graph), &w.catalog, &Cout)
-                    .expect("valid workload");
-                black_box(r.cost)
-            })
+        r.bench(group_name, &format!("{}/{n}", alg.name()), || {
+            let res = alg
+                .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                .expect("valid workload");
+            black_box(res.cost)
         });
     }
-    group.finish();
 }
 
-fn dpsize_pair_dedup(c: &mut Criterion) {
+fn dpsize_pair_dedup(r: &mut Runner) {
     // The s₁ = s₂ optimization halves equal-size pair probes.
     bench_pair(
-        c,
+        r,
         "ablation_dpsize_dedup_chain",
         GraphKind::Chain,
         14,
         &[&DpSize, &DpSizeNaive],
     );
     bench_pair(
-        c,
+        r,
         "ablation_dpsize_dedup_clique",
         GraphKind::Clique,
         10,
@@ -58,18 +54,18 @@ fn dpsize_pair_dedup(c: &mut Criterion) {
     );
 }
 
-fn dpsub_connectedness_filter(c: &mut Criterion) {
+fn dpsub_connectedness_filter(r: &mut Runner) {
     // The `*` check skips the inner loop for disconnected outer sets —
     // a large win on chains, a no-op on cliques.
     bench_pair(
-        c,
+        r,
         "ablation_dpsub_filter_chain",
         GraphKind::Chain,
         14,
         &[&DpSub, &DpSubUnfiltered],
     );
     bench_pair(
-        c,
+        r,
         "ablation_dpsub_filter_clique",
         GraphKind::Clique,
         10,
@@ -77,11 +73,11 @@ fn dpsub_connectedness_filter(c: &mut Criterion) {
     );
 }
 
-fn cross_products_search_space(c: &mut Criterion) {
+fn cross_products_search_space(r: &mut Runner) {
     // Excluding cross products shrinks the chain search space from 3ⁿ to
     // O(n³)-ish pairs (the paper's Section 1 motivation).
     bench_pair(
-        c,
+        r,
         "ablation_cross_products_chain",
         GraphKind::Chain,
         12,
@@ -89,9 +85,9 @@ fn cross_products_search_space(c: &mut Criterion) {
     );
 }
 
-fn greedy_vs_exact(c: &mut Criterion) {
+fn greedy_vs_exact(r: &mut Runner) {
     bench_pair(
-        c,
+        r,
         "ablation_greedy_vs_exact_star",
         GraphKind::Star,
         12,
@@ -99,31 +95,29 @@ fn greedy_vs_exact(c: &mut Criterion) {
     );
 }
 
-fn cost_model_overhead(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_cost_model");
-    group.sample_size(10);
+fn cost_model_overhead(r: &mut Runner) {
     let w = family_workload(GraphKind::Star, 12, 7);
-    group.bench_function("DPccp/Cout", |b| {
-        b.iter(|| {
-            black_box(DpCcp.optimize(black_box(&w.graph), &w.catalog, &Cout).unwrap().cost)
-        })
+    r.bench("ablation_cost_model", "DPccp/Cout", || {
+        black_box(
+            DpCcp
+                .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                .unwrap()
+                .cost,
+        )
     });
-    group.bench_function("DPccp/MinOverPhysical", |b| {
-        b.iter(|| {
-            black_box(
-                DpCcp
-                    .optimize(black_box(&w.graph), &w.catalog, &MinOverPhysical)
-                    .unwrap()
-                    .cost,
-            )
-        })
+    r.bench("ablation_cost_model", "DPccp/MinOverPhysical", || {
+        black_box(
+            DpCcp
+                .optimize(black_box(&w.graph), &w.catalog, &MinOverPhysical)
+                .unwrap()
+                .cost,
+        )
     });
-    group.finish();
 }
 
-fn leftdeep_vs_bushy(c: &mut Criterion) {
+fn leftdeep_vs_bushy(r: &mut Runner) {
     bench_pair(
-        c,
+        r,
         "ablation_leftdeep_vs_bushy_cycle",
         GraphKind::Cycle,
         14,
@@ -131,43 +125,54 @@ fn leftdeep_vs_bushy(c: &mut Criterion) {
     );
 }
 
-fn dphyp_generality_overhead(c: &mut Criterion) {
+fn dphyp_generality_overhead(r: &mut Runner) {
     // DPhyp run on a lifted simple graph enumerates exactly the same
     // pairs as DPccp; the delta is the price of hypergraph generality.
-    let mut group = c.benchmark_group("ablation_dphyp_overhead");
-    group.sample_size(10);
     for kind in [GraphKind::Chain, GraphKind::Star] {
         let n = 13;
         let w = family_workload(kind, n, 7);
         let h = Hypergraph::from_query_graph(&w.graph);
-        group.bench_function(format!("DPccp/{}{n}", kind.name()), |b| {
-            b.iter(|| {
-                black_box(DpCcp.optimize(black_box(&w.graph), &w.catalog, &Cout).unwrap().cost)
-            })
-        });
-        group.bench_function(format!("DPhyp/{}{n}", kind.name()), |b| {
-            b.iter(|| {
-                black_box(DpHyp.optimize(black_box(&h), &w.catalog, &Cout).unwrap().cost)
-            })
-        });
+        r.bench(
+            "ablation_dphyp_overhead",
+            &format!("DPccp/{}{n}", kind.name()),
+            || {
+                black_box(
+                    DpCcp
+                        .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                        .unwrap()
+                        .cost,
+                )
+            },
+        );
+        r.bench(
+            "ablation_dphyp_overhead",
+            &format!("DPhyp/{}{n}", kind.name()),
+            || {
+                black_box(
+                    DpHyp
+                        .optimize(black_box(&h), &w.catalog, &Cout)
+                        .unwrap()
+                        .cost,
+                )
+            },
+        );
     }
-    group.finish();
 }
 
-fn topdown_pruning(c: &mut Criterion) {
+fn topdown_pruning(r: &mut Runner) {
     // Branch-and-bound pruning vs exhaustive memoized top-down, and both
     // vs DPccp (the bottom-up reference over the same pair space).
     static WITH: TopDown = TopDown { pruning: true };
     static WITHOUT: TopDown = TopDown { pruning: false };
     bench_pair(
-        c,
+        r,
         "ablation_topdown_pruning_chain",
         GraphKind::Chain,
         14,
         &[&WITH, &WITHOUT, &DpCcp],
     );
     bench_pair(
-        c,
+        r,
         "ablation_topdown_pruning_star",
         GraphKind::Star,
         12,
@@ -175,15 +180,15 @@ fn topdown_pruning(c: &mut Criterion) {
     );
 }
 
-criterion_group!(
-    benches,
-    dpsize_pair_dedup,
-    dpsub_connectedness_filter,
-    cross_products_search_space,
-    greedy_vs_exact,
-    cost_model_overhead,
-    leftdeep_vs_bushy,
-    dphyp_generality_overhead,
-    topdown_pruning
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    dpsize_pair_dedup(&mut r);
+    dpsub_connectedness_filter(&mut r);
+    cross_products_search_space(&mut r);
+    greedy_vs_exact(&mut r);
+    cost_model_overhead(&mut r);
+    leftdeep_vs_bushy(&mut r);
+    dphyp_generality_overhead(&mut r);
+    topdown_pruning(&mut r);
+    r.finish();
+}

@@ -1,11 +1,12 @@
-//! Criterion benchmarks behind Figures 8–11: statistical timings of
-//! DPsize, DPsub and DPccp per graph family at representative sizes.
+//! Benchmarks behind Figures 8–11: timings of DPsize, DPsub and DPccp
+//! per graph family at representative sizes (in-repo harness — no
+//! external benchmark framework).
 //!
 //! Sizes are chosen so a full `cargo bench` stays in the minutes range
 //! while still showing each algorithm's asymptotic separation; the
 //! `figures` binary sweeps the full n = 2..=20 range of the paper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use joinopt_bench::microbench::Runner;
 use joinopt_core::{DpCcp, DpSize, DpSub, JoinOrderer};
 use joinopt_cost::{workload::family_workload, Cout};
 use joinopt_qgraph::GraphKind;
@@ -20,45 +21,27 @@ fn sizes(kind: GraphKind) -> &'static [usize] {
     }
 }
 
-fn bench_family(c: &mut Criterion, kind: GraphKind, figure: u32) {
-    let mut group = c.benchmark_group(format!("figure{figure}_{}", kind.name()));
-    group.sample_size(10);
+fn bench_family(r: &mut Runner, kind: GraphKind, figure: u32) {
+    let group = format!("figure{figure}_{}", kind.name());
     for &n in sizes(kind) {
         let w = family_workload(kind, n, 2006);
         let algorithms: [&dyn JoinOrderer; 3] = [&DpSize, &DpSub, &DpCcp];
         for alg in algorithms {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), n),
-                &n,
-                |b, _| {
-                    b.iter(|| {
-                        let r = alg
-                            .optimize(black_box(&w.graph), &w.catalog, &Cout)
-                            .expect("valid workload");
-                        black_box(r.cost)
-                    })
-                },
-            );
+            r.bench(&group, &format!("{}/{n}", alg.name()), || {
+                let res = alg
+                    .optimize(black_box(&w.graph), &w.catalog, &Cout)
+                    .expect("valid workload");
+                black_box(res.cost)
+            });
         }
     }
-    group.finish();
 }
 
-fn chain(c: &mut Criterion) {
-    bench_family(c, GraphKind::Chain, 8);
+fn main() {
+    let mut r = Runner::default();
+    bench_family(&mut r, GraphKind::Chain, 8);
+    bench_family(&mut r, GraphKind::Cycle, 9);
+    bench_family(&mut r, GraphKind::Star, 10);
+    bench_family(&mut r, GraphKind::Clique, 11);
+    r.finish();
 }
-
-fn cycle(c: &mut Criterion) {
-    bench_family(c, GraphKind::Cycle, 9);
-}
-
-fn star(c: &mut Criterion) {
-    bench_family(c, GraphKind::Star, 10);
-}
-
-fn clique(c: &mut Criterion) {
-    bench_family(c, GraphKind::Clique, 11);
-}
-
-criterion_group!(benches, chain, cycle, star, clique);
-criterion_main!(benches);

@@ -1,86 +1,86 @@
 //! Microbenchmarks of the substrate the algorithms are built on:
 //! subset stepping, connected-subgraph enumeration, set connectivity
 //! tests and cardinality estimation. These are the constant factors
-//! behind every DP iteration.
+//! behind every DP iteration (in-repo harness — no external benchmark
+//! framework).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use joinopt_bench::microbench::Runner;
 use joinopt_cost::{workload::family_workload, CardinalityEstimator};
 use joinopt_qgraph::{csg, generators, GraphKind};
 use joinopt_relset::RelSet;
 use std::hint::black_box;
 
-fn subset_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_subsets");
+fn subset_enumeration(r: &mut Runner) {
     let set = RelSet::full(16);
-    group.bench_function("vance_maier_2^16", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for s in black_box(set).subsets() {
-                acc ^= s.bits();
-            }
-            black_box(acc)
-        })
+    r.bench("substrate_subsets", "vance_maier_2^16", || {
+        let mut acc = 0u64;
+        for s in black_box(set).subsets() {
+            acc ^= s.bits();
+        }
+        black_box(acc)
     });
-    group.finish();
 }
 
-fn csg_enumeration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_csg");
-    group.sample_size(10);
+fn csg_enumeration(r: &mut Runner) {
     for kind in GraphKind::ALL {
         let n = if kind == GraphKind::Clique { 14 } else { 16 };
         let g = generators::generate(kind, n);
-        group.bench_function(format!("enumerate_csg_{}_{n}", kind.name()), |b| {
-            b.iter(|| black_box(csg::count_csg(black_box(&g))))
-        });
-        group.bench_function(format!("enumerate_ccp_{}_{n}", kind.name()), |b| {
-            b.iter(|| black_box(csg::count_ccp_distinct(black_box(&g))))
-        });
+        r.bench(
+            "substrate_csg",
+            &format!("enumerate_csg_{}_{n}", kind.name()),
+            || black_box(csg::count_csg(black_box(&g))),
+        );
+        r.bench(
+            "substrate_csg",
+            &format!("enumerate_ccp_{}_{n}", kind.name()),
+            || black_box(csg::count_ccp_distinct(black_box(&g))),
+        );
     }
-    group.finish();
 }
 
-fn connectivity_tests(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_connectivity");
+fn connectivity_tests(r: &mut Runner) {
     let g = generators::generate(GraphKind::Cycle, 20);
     let connected = RelSet::from_indices(5..=14);
     let disconnected = RelSet::from_indices([0, 2, 4, 6, 8, 10]);
-    group.bench_function("is_connected_set/connected_arc", |b| {
-        b.iter(|| black_box(g.is_connected_set(black_box(connected))))
-    });
-    group.bench_function("is_connected_set/scattered", |b| {
-        b.iter(|| black_box(g.is_connected_set(black_box(disconnected))))
-    });
+    r.bench(
+        "substrate_connectivity",
+        "is_connected_set/connected_arc",
+        || black_box(g.is_connected_set(black_box(connected))),
+    );
+    r.bench(
+        "substrate_connectivity",
+        "is_connected_set/scattered",
+        || black_box(g.is_connected_set(black_box(disconnected))),
+    );
     let left = RelSet::from_indices(0..=9);
     let right = RelSet::from_indices(10..=19);
-    group.bench_function("sets_connected/cut", |b| {
-        b.iter(|| black_box(g.sets_connected(black_box(left), black_box(right))))
+    r.bench("substrate_connectivity", "sets_connected/cut", || {
+        black_box(g.sets_connected(black_box(left), black_box(right)))
     });
-    group.finish();
 }
 
-fn cardinality_estimation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("substrate_estimator");
+fn cardinality_estimation(r: &mut Runner) {
     let w = family_workload(GraphKind::Clique, 20, 3);
     let est = CardinalityEstimator::new(&w.graph, &w.catalog).unwrap();
     let s1 = RelSet::from_indices(0..=9);
     let s2 = RelSet::from_indices(10..=19);
-    group.bench_function("join_cardinality/clique20_cut", |b| {
-        b.iter(|| {
-            black_box(est.join_cardinality(1e6, 1e6, black_box(s1), black_box(s2)))
-        })
-    });
-    group.bench_function("set_cardinality/clique20_full", |b| {
-        b.iter(|| black_box(est.set_cardinality(black_box(w.graph.all_relations()))))
-    });
-    group.finish();
+    r.bench(
+        "substrate_estimator",
+        "join_cardinality/clique20_cut",
+        || black_box(est.join_cardinality(1e6, 1e6, black_box(s1), black_box(s2))),
+    );
+    r.bench(
+        "substrate_estimator",
+        "set_cardinality/clique20_full",
+        || black_box(est.set_cardinality(black_box(w.graph.all_relations()))),
+    );
 }
 
-criterion_group!(
-    benches,
-    subset_enumeration,
-    csg_enumeration,
-    connectivity_tests,
-    cardinality_estimation
-);
-criterion_main!(benches);
+fn main() {
+    let mut r = Runner::default();
+    subset_enumeration(&mut r);
+    csg_enumeration(&mut r);
+    connectivity_tests(&mut r);
+    cardinality_estimation(&mut r);
+    r.finish();
+}

@@ -14,7 +14,8 @@
 use std::time::Duration;
 
 use joinopt_bench::{
-    format_seconds, measure_cell, paper_algorithms, write_results, HarnessConfig, Table,
+    format_seconds, measure_cell, paper_algorithms, write_results, HarnessConfig, MetaSidecar,
+    Table,
 };
 use joinopt_qgraph::GraphKind;
 
@@ -39,6 +40,7 @@ fn main() {
 
     println!("Figure 12: sample absolute running times (s)\n");
     let mut csv = Table::new(vec!["graph", "n", "dpsize_s", "dpsub_s", "dpccp_s"]);
+    let mut meta = MetaSidecar::new("figure12", config.seed, config.budget);
     for kind in GraphKind::ALL {
         println!("{} queries", kind.name());
         let mut table = Table::new(vec!["n", "DPsize", "DPsub", "DPccp"]);
@@ -47,6 +49,7 @@ fn main() {
             let mut raw = Vec::with_capacity(3);
             for (alg, id) in paper_algorithms() {
                 let m = measure_cell(alg, id, kind, n, &config);
+                meta.cell(kind, n as u64, alg.name(), &m);
                 let text = if m.extrapolated {
                     format!("~{}", format_seconds(m.seconds))
                 } else {
@@ -72,7 +75,13 @@ fn main() {
         println!("{}", table.render());
     }
     match write_results("figure12.csv", &csv.to_csv()) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            match meta.write_next_to(&path) {
+                Ok(meta_path) => println!("wrote {}", meta_path.display()),
+                Err(e) => eprintln!("could not write run metadata: {e}"),
+            }
+        }
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
     println!("cells marked ~ were extrapolated (counter formula × calibrated ns/iter).");

@@ -10,7 +10,7 @@
 //!
 //! Usage: `cargo run --release -p joinopt-bench --bin figure3 [--no-verify]`
 
-use joinopt_bench::{write_results, Table};
+use joinopt_bench::{write_results, MetaSidecar, Table};
 use joinopt_core::formulas::{dpsize_inner, dpsub_inner};
 use joinopt_core::{DpSize, DpSub, JoinOrderer};
 use joinopt_cost::{workload::family_workload, Cout};
@@ -23,6 +23,9 @@ const VERIFY_BUDGET: u128 = 10_000_000;
 fn main() {
     let verify = !std::env::args().any(|a| a == "--no-verify");
     let mut csv = Table::new(vec!["graph", "n", "ccp", "dpsub_inner", "dpsize_inner"]);
+    // Counter formulas are seed- and budget-free; the sidecar records
+    // which cells were additionally verified by instrumented runs.
+    let mut meta = MetaSidecar::new("figure3", 0, None);
 
     println!("Figure 3: size of the search space for different graph structures");
     println!("(#ccp = csg-cmp-pairs, symmetric pairs excluded — the Ono/Lohman count)\n");
@@ -46,6 +49,12 @@ fn main() {
                 sub.to_string(),
                 size.to_string(),
             ]);
+            let verified = verify && (size <= VERIFY_BUDGET || sub <= VERIFY_BUDGET);
+            meta.push(format!(
+                "{{\"event\":\"cell\",\"graph\":\"{}\",\"n\":{n},\"ccp\":{ccp},\
+                 \"dpsub_inner\":{sub},\"dpsize_inner\":{size},\"verified\":{verified}}}",
+                kind.name()
+            ));
             if verify {
                 verify_cell(kind, n, ccp, sub, size);
             }
@@ -54,13 +63,17 @@ fn main() {
     }
 
     match write_results("figure3.csv", &csv.to_csv()) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            match meta.write_next_to(&path) {
+                Ok(meta_path) => println!("wrote {}", meta_path.display()),
+                Err(e) => eprintln!("could not write run metadata: {e}"),
+            }
+        }
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
     if verify {
-        println!(
-            "all cells under {VERIFY_BUDGET} iterations verified against instrumented runs ✓"
-        );
+        println!("all cells under {VERIFY_BUDGET} iterations verified against instrumented runs ✓");
     }
 }
 

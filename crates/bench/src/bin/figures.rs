@@ -18,7 +18,9 @@
 
 use std::time::Duration;
 
-use joinopt_bench::{measure_cell, paper_algorithms, write_results, HarnessConfig, Table};
+use joinopt_bench::{
+    measure_cell, paper_algorithms, write_results, HarnessConfig, MetaSidecar, Table,
+};
 use joinopt_qgraph::GraphKind;
 
 fn main() {
@@ -72,12 +74,14 @@ fn main() {
             "DPccp secs",
         ]);
         let mut csv = Table::new(vec!["n", "dpsize_rel", "dpsub_rel", "dpccp_secs"]);
+        let mut meta = MetaSidecar::new("figures", config.seed, config.budget);
         for n in 2..=max_n {
             let algs = paper_algorithms();
             let mut secs = [0.0f64; 3];
             let mut extrapolated = [false; 3];
             for (slot, (alg, id)) in algs.iter().enumerate() {
                 let m = measure_cell(*alg, *id, kind, n, &config);
+                meta.cell(kind, n as u64, alg.name(), &m);
                 secs[slot] = m.seconds;
                 extrapolated[slot] = m.extrapolated;
             }
@@ -106,7 +110,13 @@ fn main() {
         println!("{}", table.render());
         let file = format!("figure{figure}_{}.csv", kind.name());
         match write_results(&file, &csv.to_csv()) {
-            Ok(path) => println!("wrote {}\n", path.display()),
+            Ok(path) => {
+                println!("wrote {}", path.display());
+                match meta.write_next_to(&path) {
+                    Ok(meta_path) => println!("wrote {}\n", meta_path.display()),
+                    Err(e) => eprintln!("could not write run metadata: {e}\n"),
+                }
+            }
             Err(e) => eprintln!("could not write CSV: {e}\n"),
         }
     }

@@ -18,7 +18,7 @@ use joinopt_core::greedy::Goo;
 use joinopt_core::{DpCcp, DpSizeLeftDeep, Idp, IkkBz, JoinOrderer, SimulatedAnnealing};
 use joinopt_cost::{workload, Cout};
 
-use joinopt_bench::{write_results, Table};
+use joinopt_bench::{write_results, MetaSidecar, Table};
 
 struct Stats {
     ratios: Vec<f64>,
@@ -34,7 +34,8 @@ impl Stats {
     }
 
     fn row(&mut self, label: &str, density: f64) -> Vec<String> {
-        self.ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        self.ratios
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let q = |p: f64| -> f64 {
             if self.ratios.is_empty() {
                 f64::NAN
@@ -77,6 +78,12 @@ fn main() {
         "plan quality vs optimal bushy (DPccp), {trials} random workloads per density, n = {n}\n"
     );
     let mut table = Table::new(vec!["strategy", "density", "cases", "median", "p90", "max"]);
+    // Workload seeds are derived as `seed * 7 + 1`; the sidecar records
+    // the sweep configuration so the ratios are reproducible.
+    let mut meta = MetaSidecar::new("quality", 1, None);
+    meta.push(format!(
+        "{{\"event\":\"config\",\"trials\":{trials},\"n\":{n}}}"
+    ));
     for density in [0.0, 0.3, 0.6] {
         let mut leftdeep = Stats::new();
         let mut ikkbz = Stats::new();
@@ -95,18 +102,27 @@ fn main() {
             };
             record(
                 &mut leftdeep,
-                DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).expect("valid").cost,
+                DpSizeLeftDeep
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .expect("valid")
+                    .cost,
             );
             if let Ok(r) = IkkBz.optimize(&w.graph, &w.catalog) {
                 record(&mut ikkbz, r.cost);
             }
             record(
                 &mut idp3,
-                Idp::with_block_size(3).optimize(&w.graph, &w.catalog, &Cout).expect("valid").cost,
+                Idp::with_block_size(3)
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .expect("valid")
+                    .cost,
             );
             record(
                 &mut idp6,
-                Idp::with_block_size(6).optimize(&w.graph, &w.catalog, &Cout).expect("valid").cost,
+                Idp::with_block_size(6)
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .expect("valid")
+                    .cost,
             );
             record(
                 &mut sa,
@@ -115,7 +131,12 @@ fn main() {
                     .expect("valid")
                     .cost,
             );
-            record(&mut goo, Goo.optimize(&w.graph, &w.catalog, &Cout).expect("valid").cost);
+            record(
+                &mut goo,
+                Goo.optimize(&w.graph, &w.catalog, &Cout)
+                    .expect("valid")
+                    .cost,
+            );
         }
         for (label, stats) in [
             ("left-deep (exact)", &mut leftdeep),
@@ -125,13 +146,41 @@ fn main() {
             ("sim. annealing", &mut sa),
             ("GOO greedy", &mut goo),
         ] {
-            table.row(stats.row(label, density));
+            let row = stats.row(label, density);
+            // Empty distributions (e.g. IKKBZ with no tree-shaped
+            // graphs) quantize to NaN, which JSON cannot carry.
+            fn json_num(s: &str) -> &str {
+                if s == "NaN" {
+                    "null"
+                } else {
+                    s
+                }
+            }
+            meta.push(format!(
+                "{{\"event\":\"row\",\"strategy\":\"{}\",\"density\":{},\"cases\":{},\
+                 \"median\":{},\"p90\":{},\"max\":{}}}",
+                row[0],
+                row[1],
+                row[2],
+                json_num(&row[3]),
+                json_num(&row[4]),
+                json_num(&row[5])
+            ));
+            table.row(row);
         }
     }
     println!("{}", table.render());
     match write_results("quality.csv", &table.to_csv()) {
-        Ok(path) => println!("wrote {}", path.display()),
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            match meta.write_next_to(&path) {
+                Ok(meta_path) => println!("wrote {}", meta_path.display()),
+                Err(e) => eprintln!("could not write run metadata: {e}"),
+            }
+        }
         Err(e) => eprintln!("could not write CSV: {e}"),
     }
-    println!("(ratios: 1.000 = matched the bushy optimum; IKKBZ rows cover tree-shaped graphs only)");
+    println!(
+        "(ratios: 1.000 = matched the bushy optimum; IKKBZ rows cover tree-shaped graphs only)"
+    );
 }

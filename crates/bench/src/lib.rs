@@ -10,12 +10,15 @@
 //! nanoseconds-per-iteration factor is estimated. Extrapolated cells are
 //! marked `~`; `--full` runs everything honestly.
 
+pub mod microbench;
+
 use std::time::{Duration, Instant};
 
 use joinopt_core::formulas;
 use joinopt_core::{Counters, DpCcp, DpSize, DpSub, JoinOrderer};
 use joinopt_cost::{workload::family_workload, Cout};
 use joinopt_qgraph::GraphKind;
+use joinopt_telemetry::json::{write_escaped, write_f64};
 
 /// The three algorithms of the paper's evaluation, in figure order.
 pub fn paper_algorithms() -> [(&'static dyn JoinOrderer, AlgId); 3] {
@@ -71,7 +74,10 @@ pub struct HarnessConfig {
 
 impl Default for HarnessConfig {
     fn default() -> Self {
-        HarnessConfig { budget: Some(Duration::from_secs(5)), seed: 2006 }
+        HarnessConfig {
+            budget: Some(Duration::from_secs(5)),
+            seed: 2006,
+        }
     }
 }
 
@@ -170,7 +176,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(header: Vec<S>) -> Table {
-        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends one row (must match the header arity).
@@ -235,6 +244,73 @@ pub fn write_results(file: &str, content: &str) -> std::io::Result<std::path::Pa
     Ok(path)
 }
 
+/// JSONL run-metadata sidecar written next to each `bench_results/*.csv`.
+///
+/// Every figure CSV gets a `<name>.meta.jsonl` companion: a header line
+/// recording the producing binary and harness configuration, then one
+/// line per measured cell — so a plotted figure can always be traced back
+/// to what was actually run (seed, budget, which cells were
+/// extrapolated). Each line is a JSON object that parses with
+/// [`joinopt_telemetry::json::JsonValue`]; the schema is documented in
+/// `docs/observability.md`.
+pub struct MetaSidecar {
+    lines: Vec<String>,
+}
+
+impl MetaSidecar {
+    /// Starts a sidecar for `bin`, recording the harness seed and
+    /// per-cell budget in the `bench_start` header line.
+    pub fn new(bin: &str, seed: u64, budget: Option<Duration>) -> MetaSidecar {
+        let mut line = String::from("{\"event\":\"bench_start\",\"bin\":");
+        write_escaped(&mut line, bin);
+        line.push_str(&format!(",\"seed\":{seed},\"budget_secs\":"));
+        match budget {
+            Some(b) => write_f64(&mut line, b.as_secs_f64()),
+            None => line.push_str("null"),
+        }
+        line.push('}');
+        MetaSidecar { lines: vec![line] }
+    }
+
+    /// Records one measured (or extrapolated) figure cell.
+    pub fn cell(&mut self, kind: GraphKind, n: u64, algorithm: &str, m: &Measurement) {
+        let mut line = String::from("{\"event\":\"cell\",\"graph\":");
+        write_escaped(&mut line, kind.name());
+        line.push_str(&format!(",\"n\":{n},\"algorithm\":"));
+        write_escaped(&mut line, algorithm);
+        line.push_str(",\"seconds\":");
+        write_f64(&mut line, m.seconds);
+        line.push_str(&format!(
+            ",\"inner\":{},\"csg_cmp_pairs\":{},\"ono_lohman\":{},\"extrapolated\":{}}}",
+            m.counters.inner, m.counters.csg_cmp_pairs, m.counters.ono_lohman, m.extrapolated
+        ));
+        self.lines.push(line);
+    }
+
+    /// Appends a pre-rendered single-line JSON object (for binaries whose
+    /// rows are not [`Measurement`] cells).
+    pub fn push(&mut self, line: String) {
+        debug_assert!(
+            !line.contains('\n'),
+            "sidecar lines must be single-line JSON"
+        );
+        self.lines.push(line);
+    }
+
+    /// Writes the sidecar next to `csv_path` as `<name>.meta.jsonl` and
+    /// returns the path written.
+    pub fn write_next_to(&self, csv_path: &std::path::Path) -> std::io::Result<std::path::PathBuf> {
+        let path = csv_path.with_extension("meta.jsonl");
+        let mut content = String::with_capacity(self.lines.iter().map(|l| l.len() + 1).sum());
+        for line in &self.lines {
+            content.push_str(line);
+            content.push('\n');
+        }
+        std::fs::write(&path, content)?;
+        Ok(path)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,7 +332,10 @@ mod tests {
 
     #[test]
     fn huge_cells_are_extrapolated_under_budget() {
-        let config = HarnessConfig { budget: Some(Duration::from_millis(50)), seed: 1 };
+        let config = HarnessConfig {
+            budget: Some(Duration::from_millis(50)),
+            seed: 1,
+        };
         let m = measure_cell(&DpSize, AlgId::DpSize, GraphKind::Clique, 20, &config);
         assert!(m.extrapolated);
         assert!(m.seconds > 0.05);
@@ -298,5 +377,44 @@ mod tests {
     fn table_rejects_bad_rows() {
         let mut t = Table::new(vec!["a", "b"]);
         t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn sidecar_lines_parse_as_json() {
+        use joinopt_telemetry::json::JsonValue;
+
+        let mut meta = MetaSidecar::new("figure12", 2006, Some(Duration::from_secs(5)));
+        let m = run_timed(&DpCcp, GraphKind::Chain, 5, 2006);
+        meta.cell(GraphKind::Chain, 5, "DPccp", &m);
+        meta.push("{\"event\":\"config\",\"trials\":3}".to_string());
+
+        assert_eq!(meta.lines.len(), 3);
+        for line in &meta.lines {
+            JsonValue::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        }
+        let header = JsonValue::parse(&meta.lines[0]).unwrap();
+        assert_eq!(header.get("event").unwrap().as_str(), Some("bench_start"));
+        assert_eq!(header.get("bin").unwrap().as_str(), Some("figure12"));
+        assert_eq!(header.get("seed").unwrap().as_u64(), Some(2006));
+        let cell = JsonValue::parse(&meta.lines[1]).unwrap();
+        assert_eq!(cell.get("graph").unwrap().as_str(), Some("chain"));
+        assert_eq!(cell.get("inner").unwrap().as_u64(), Some(20));
+        assert_eq!(cell.get("extrapolated").unwrap().as_bool(), Some(false));
+        assert!(cell.get("seconds").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sidecar_path_replaces_csv_extension() {
+        let dir = std::env::temp_dir().join(format!("joinopt-meta-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let csv = dir.join("figure3.csv");
+        std::fs::write(&csv, "a,b\n").unwrap();
+        let meta = MetaSidecar::new("figure3", 0, None);
+        let path = meta.write_next_to(&csv).unwrap();
+        assert!(path.ends_with("figure3.meta.jsonl"), "{}", path.display());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"budget_secs\":null"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

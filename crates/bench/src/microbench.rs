@@ -1,0 +1,183 @@
+//! A minimal, dependency-free microbenchmark runner for the
+//! `[[bench]]` targets (`harness = false`).
+//!
+//! Each benchmark is a closure timed over batches: a short warm-up,
+//! then batches of iterations sized so one batch takes roughly a
+//! millisecond, repeated until the measurement budget is spent. The
+//! median batch gives ns/iter; min and max batches bound the spread.
+//!
+//! Filters work like the standard harness: `cargo bench -- substring`
+//! runs only benchmarks whose full name contains `substring`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench targets don't need their own `std::hint` import.
+pub use std::hint::black_box as bb;
+
+/// One timed benchmark result.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full benchmark name (`group/function`).
+    pub name: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest batch, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch, ns/iter.
+    pub max_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iters: u64,
+}
+
+/// Collects benchmarks, applies CLI filters, prints a report.
+pub struct Runner {
+    filters: Vec<String>,
+    budget: Duration,
+    samples: Vec<Sample>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::from_args(std::env::args().skip(1))
+    }
+}
+
+impl Runner {
+    /// Builds a runner from CLI-style arguments (filters; `--quick`
+    /// shrinks the per-benchmark budget).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Runner {
+        let mut filters = Vec::new();
+        let mut budget = Duration::from_millis(300);
+        for a in args {
+            match a.as_str() {
+                "--quick" => budget = Duration::from_millis(50),
+                "--bench" | "--test" => {} // flags cargo may pass through
+                _ if a.starts_with("--") => {}
+                _ => filters.push(a),
+            }
+        }
+        Runner {
+            filters,
+            budget,
+            samples: Vec::new(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
+    }
+
+    /// Times `f`, labeled `group/func`, unless filtered out.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, group: &str, func: &str, mut f: F) {
+        let name = format!("{group}/{func}");
+        if !self.selected(&name) {
+            return;
+        }
+        // Warm up and size a batch to ~1 ms.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let t = start.elapsed();
+            if t >= Duration::from_millis(1) || batch >= 1 << 30 {
+                break;
+            }
+            // Grow geometrically, aiming just past the millisecond.
+            let grow = (Duration::from_millis(1).as_nanos() as u64)
+                .checked_div(t.as_nanos().max(1) as u64)
+                .unwrap_or(2)
+                .clamp(2, 1024);
+            batch = batch.saturating_mul(grow);
+        }
+        let mut batches: Vec<f64> = Vec::new();
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || batches.len() < 3 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let t = start.elapsed();
+            batches.push(t.as_nanos() as f64 / batch as f64);
+            iters += batch;
+            if batches.len() >= 10_000 {
+                break;
+            }
+        }
+        batches.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let sample = Sample {
+            name,
+            median_ns: batches[batches.len() / 2],
+            min_ns: batches[0],
+            max_ns: batches[batches.len() - 1],
+            iters,
+        };
+        println!(
+            "{:<55} {:>12}/iter  (min {}, max {})",
+            sample.name,
+            fmt_ns(sample.median_ns),
+            fmt_ns(sample.min_ns),
+            fmt_ns(sample.max_ns),
+        );
+        self.samples.push(sample);
+    }
+
+    /// Finishes the run, printing a footer; returns all samples.
+    pub fn finish(self) -> Vec<Sample> {
+        println!("\n{} benchmarks run", self.samples.len());
+        self.samples
+    }
+}
+
+/// Formats nanoseconds with a magnitude-appropriate unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_select_by_substring() {
+        let r = Runner::from_args(vec!["chain".to_string()]);
+        assert!(r.selected("figure8_chain/DPsize"));
+        assert!(!r.selected("figure10_star/DPsize"));
+        let all = Runner::from_args(Vec::new());
+        assert!(all.selected("anything"));
+    }
+
+    #[test]
+    fn bench_produces_a_sample() {
+        let mut r = Runner::from_args(vec!["--quick".to_string()]);
+        let mut x = 0u64;
+        r.bench("g", "f", || {
+            x = x.wrapping_add(1);
+            x
+        });
+        let samples = r.finish();
+        assert_eq!(samples.len(), 1);
+        assert!(samples[0].median_ns > 0.0);
+        assert!(samples[0].min_ns <= samples[0].median_ns);
+        assert!(samples[0].median_ns <= samples[0].max_ns);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(4_500.0), "4.50 µs");
+        assert_eq!(fmt_ns(7_800_000.0), "7.80 ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500 s");
+    }
+}

@@ -16,7 +16,8 @@
 #![warn(missing_docs)]
 
 use std::fmt;
-use std::io::Write;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::time::Instant;
 
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
@@ -28,6 +29,7 @@ use joinopt_cost::{
 use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
 use joinopt_qgraph::GraphKind;
 use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
+use joinopt_telemetry::{MetricsCollector, NoopObserver, Observer, RunReport, Tee, TraceWriter};
 
 /// Errors surfaced to the CLI user (exit code 1 + message).
 #[derive(Debug)]
@@ -88,15 +90,22 @@ joinopt — optimal bushy join trees without cross products (VLDB 2006)
 
 USAGE:
   joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
+                                [--metrics] [--trace-json PATH]
   joinopt compare  <query-file> [--cost-model NAME]
+                                [--metrics] [--trace-json PATH]
   joinopt generate <family> <n> [--seed S]
-  joinopt counters <family> <max-n>
+  joinopt counters <family> <max-n> [--metrics] [--trace-json PATH]
   joinopt help
 
 ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
              dpsize-naive, dpsub-nofilter, dpsub-cp
 COST MODELS: cout (default), nlj, hash, smj, min
 FAMILIES:    chain, cycle, star, clique
+TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
+             arena statistics); --trace-json streams every telemetry
+             event to PATH as JSON lines. On `counters` (closed
+             formulas) they additionally run DPsize/DPsub/DPccp on
+             generated workloads, so max-n is capped at 12 there.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -144,14 +153,17 @@ fn parse_cost_model(name: &str) -> Result<Box<dyn CostModel>, CliError> {
 }
 
 fn parse_family(name: &str) -> Result<GraphKind, CliError> {
-    GraphKind::parse(name)
-        .ok_or_else(|| CliError::Usage(format!("unknown graph family `{name}`")))
+    GraphKind::parse(name).ok_or_else(|| CliError::Usage(format!("unknown graph family `{name}`")))
 }
 
 /// Positional arguments and `--key value` option pairs.
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
+/// Options that are boolean flags (no value argument).
+const FLAG_OPTIONS: [&str; 1] = ["metrics"];
+
 /// Splits `args` into positionals and `--key value` options.
+/// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
 fn split_options(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
     let mut positional = Vec::new();
     let mut options = Vec::new();
@@ -159,6 +171,11 @@ fn split_options(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
     while i < args.len() {
         let a = args[i].as_str();
         if let Some(key) = a.strip_prefix("--") {
+            if FLAG_OPTIONS.contains(&key) {
+                options.push((key, ""));
+                i += 1;
+                continue;
+            }
             let Some(value) = args.get(i + 1) else {
                 return Err(CliError::Usage(format!("option --{key} needs a value")));
             };
@@ -170,6 +187,53 @@ fn split_options(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
         }
     }
     Ok((positional, options))
+}
+
+/// The telemetry sinks a command was asked for (`--metrics`,
+/// `--trace-json PATH`), bundled so each command can run its
+/// optimizations observed and emit the report afterwards.
+struct Telemetry {
+    metrics: Option<MetricsCollector>,
+    trace: Option<TraceWriter<BufWriter<File>>>,
+}
+
+impl Telemetry {
+    fn new(metrics: bool, trace_path: Option<&str>) -> Result<Telemetry, CliError> {
+        Ok(Telemetry {
+            metrics: metrics.then(MetricsCollector::new),
+            trace: match trace_path {
+                Some(path) => Some(TraceWriter::new(BufWriter::new(File::create(path)?))),
+                None => None,
+            },
+        })
+    }
+
+    /// Runs `f` with the observer these sinks add up to ([`NoopObserver`]
+    /// when no telemetry was requested, so unobserved invocations stay on
+    /// the zero-overhead path).
+    fn observe<R>(&self, f: impl FnOnce(&dyn Observer) -> R) -> R {
+        match (&self.metrics, &self.trace) {
+            (Some(m), Some(t)) => f(&Tee::new(m, t)),
+            (Some(m), None) => f(m),
+            (None, Some(t)) => f(t),
+            (None, None) => f(&NoopObserver),
+        }
+    }
+
+    /// The metrics report of the most recent observed run, if `--metrics`
+    /// was given. Call once per run when a command runs several
+    /// algorithms — the collector resets on each `run_start`.
+    fn report(&self) -> Option<RunReport> {
+        self.metrics.as_ref().map(MetricsCollector::report)
+    }
+
+    /// Flushes and closes the trace file, surfacing deferred I/O errors.
+    fn close(self) -> Result<(), CliError> {
+        if let Some(trace) = self.trace {
+            trace.finish()?.flush()?;
+        }
+        Ok(())
+    }
 }
 
 fn load_query(path: &str) -> Result<ParsedQuery, CliError> {
@@ -195,24 +259,29 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let mut algorithm = Algorithm::Auto;
     let mut model: Box<dyn CostModel> = Box::new(Cout);
+    let mut metrics = false;
+    let mut trace_path = None;
     for (key, value) in options {
         match key {
             "algorithm" => {
-                algorithm = Algorithm::parse(value).ok_or_else(|| {
-                    CliError::Usage(format!("unknown algorithm `{value}`"))
-                })?;
+                algorithm = Algorithm::parse(value)
+                    .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{value}`")))?;
             }
             "cost-model" => model = parse_cost_model(value)?,
+            "metrics" => metrics = true,
+            "trace-json" => trace_path = Some(value),
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    let telemetry = Telemetry::new(metrics, trace_path)?;
 
     let q = load_query(path)?;
     let (name, result, elapsed) = match q.graph() {
         Some(graph) => {
             let orderer = algorithm.orderer(graph);
             let start = Instant::now();
-            let result = orderer.optimize(graph, &q.catalog, model.as_ref())?;
+            let result = telemetry
+                .observe(|obs| orderer.optimize_observed(graph, &q.catalog, model.as_ref(), obs))?;
             (orderer.name(), result, start.elapsed())
         }
         None => {
@@ -225,7 +294,9 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 ));
             }
             let start = Instant::now();
-            let result = DpHyp.optimize(&q.hypergraph, &q.catalog, model.as_ref())?;
+            let result = telemetry.observe(|obs| {
+                DpHyp.optimize_observed(&q.hypergraph, &q.catalog, model.as_ref(), obs)
+            })?;
             (DpHyp.name(), result, start.elapsed())
         }
     };
@@ -239,6 +310,11 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "time:        {elapsed:.2?}")?;
     writeln!(out)?;
     writeln!(out, "{}", result.tree.explain())?;
+    if let Some(report) = telemetry.report() {
+        writeln!(out)?;
+        write!(out, "{report}")?;
+    }
+    telemetry.close()?;
     Ok(())
 }
 
@@ -248,21 +324,29 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return Err(CliError::Usage("compare expects one query file".into()));
     };
     let mut model: Box<dyn CostModel> = Box::new(Cout);
+    let mut metrics = false;
+    let mut trace_path = None;
     for (key, value) in options {
         match key {
             "cost-model" => model = parse_cost_model(value)?,
+            "metrics" => metrics = true,
+            "trace-json" => trace_path = Some(value),
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    let telemetry = Telemetry::new(metrics, trace_path)?;
     let q = load_query(path)?;
     writeln!(
         out,
         "{:<10} {:>12} {:>14} {:>14} {:>14}",
         "algorithm", "time", "inner", "csg-cmp-pairs", "cost"
     )?;
-    let mut print_row = |name: &str,
-                         elapsed: std::time::Duration,
-                         result: &joinopt_core::DpResult|
+    // One report per algorithm run (the collector resets on `run_start`).
+    let mut reports: Vec<RunReport> = Vec::new();
+    let print_row = |out: &mut dyn Write,
+                     name: &str,
+                     elapsed: std::time::Duration,
+                     result: &joinopt_core::DpResult|
      -> Result<(), CliError> {
         writeln!(
             out,
@@ -280,23 +364,38 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let algorithms: [&dyn JoinOrderer; 4] = [&DpSize, &DpSub, &DpCcp, &Goo];
             for alg in algorithms {
                 let start = Instant::now();
-                let result = alg.optimize(graph, &q.catalog, model.as_ref())?;
-                print_row(alg.name(), start.elapsed(), &result)?;
+                let result = telemetry
+                    .observe(|obs| alg.optimize_observed(graph, &q.catalog, model.as_ref(), obs))?;
+                print_row(out, alg.name(), start.elapsed(), &result)?;
+                reports.extend(telemetry.report());
             }
         }
         None => {
             let start = Instant::now();
-            let result = DpHyp.optimize(&q.hypergraph, &q.catalog, model.as_ref())?;
-            print_row(DpHyp.name(), start.elapsed(), &result)?;
+            let result = telemetry.observe(|obs| {
+                DpHyp.optimize_observed(&q.hypergraph, &q.catalog, model.as_ref(), obs)
+            })?;
+            print_row(out, DpHyp.name(), start.elapsed(), &result)?;
+            reports.extend(telemetry.report());
         }
     }
+    if !reports.is_empty() {
+        writeln!(out)?;
+        writeln!(out, "{}", RunReport::csv_header())?;
+        for report in &reports {
+            writeln!(out, "{}", report.to_csv_row())?;
+        }
+    }
+    telemetry.close()?;
     Ok(())
 }
 
 fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
     let [family, n_text] = positional.as_slice() else {
-        return Err(CliError::Usage("generate expects a family and a size".into()));
+        return Err(CliError::Usage(
+            "generate expects a family and a size".into(),
+        ));
     };
     let kind = parse_family(family)?;
     let n: usize = n_text
@@ -324,7 +423,13 @@ fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let _ = writeln!(src, "relation R{i} {}", w.catalog.cardinality(i));
     }
     for (edge_id, e) in w.graph.edges().iter().enumerate() {
-        let _ = writeln!(src, "join R{} R{} {}", e.u, e.v, w.catalog.selectivity(edge_id));
+        let _ = writeln!(
+            src,
+            "join R{} R{} {}",
+            e.u,
+            e.v,
+            w.catalog.selectivity(edge_id)
+        );
     }
     let q = parse(&src).expect("generated workloads are valid");
     writeln!(out, "# {kind} query, n = {n}, seed = {seed}")?;
@@ -333,16 +438,33 @@ fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 }
 
 fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
-    let (positional, _) = split_options(args)?;
+    let (positional, options) = split_options(args)?;
     let [family, max_text] = positional.as_slice() else {
-        return Err(CliError::Usage("counters expects a family and a maximum size".into()));
+        return Err(CliError::Usage(
+            "counters expects a family and a maximum size".into(),
+        ));
     };
+    let mut metrics = false;
+    let mut trace_path = None;
+    for (key, value) in options {
+        match key {
+            "metrics" => metrics = true,
+            "trace-json" => trace_path = Some(value),
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
     let kind = parse_family(family)?;
     let max_n: u64 = max_text
         .parse()
         .map_err(|_| CliError::Usage(format!("invalid size `{max_text}`")))?;
     if max_n == 0 || max_n > 40 {
         return Err(CliError::Usage(format!("size {max_n} out of range 1..=40")));
+    }
+    let telemetry_requested = metrics || trace_path.is_some();
+    if telemetry_requested && max_n > 12 {
+        return Err(CliError::Usage(format!(
+            "--metrics/--trace-json run the real algorithms, which is only feasible up to n = 12 (got {max_n})"
+        )));
     }
     writeln!(
         out,
@@ -360,6 +482,31 @@ fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             dpsub_inner(kind, n),
             dpccp_inner(kind, n)
         )?;
+    }
+    if telemetry_requested {
+        // The table above is closed formulas; with telemetry requested
+        // the command also *measures*: each algorithm runs on a
+        // seed-2006 workload per size, streamed to the trace file and
+        // summarized as CSV rows (the `relations` column is n).
+        let telemetry = Telemetry::new(metrics, trace_path)?;
+        let mut reports: Vec<RunReport> = Vec::new();
+        for n in 2..=max_n {
+            let w = workload::family_workload(kind, n as usize, 2006);
+            let algorithms: [&dyn JoinOrderer; 3] = [&DpSize, &DpSub, &DpCcp];
+            for alg in algorithms {
+                telemetry.observe(|obs| alg.optimize_observed(&w.graph, &w.catalog, &Cout, obs))?;
+                reports.extend(telemetry.report());
+            }
+        }
+        if !reports.is_empty() {
+            writeln!(out)?;
+            writeln!(out, "measured (seed-2006 workloads):")?;
+            writeln!(out, "{}", RunReport::csv_header())?;
+            for report in &reports {
+                writeln!(out, "{}", report.to_csv_row())?;
+            }
+        }
+        telemetry.close()?;
     }
     Ok(())
 }

@@ -41,7 +41,9 @@ mod tempfile {
 
     impl Builder {
         pub fn new() -> Builder {
-            Builder { suffix: String::new() }
+            Builder {
+                suffix: String::new(),
+            }
         }
 
         pub fn suffix(mut self, s: &str) -> Builder {
@@ -214,17 +216,32 @@ fn generate_emits_parseable_queries() {
 
 #[test]
 fn generate_validates_arguments() {
-    assert!(matches!(run_err(&["generate", "moebius", "5"]), CliError::Usage(_)));
-    assert!(matches!(run_err(&["generate", "chain", "zero"]), CliError::Usage(_)));
-    assert!(matches!(run_err(&["generate", "chain", "0"]), CliError::Usage(_)));
-    assert!(matches!(run_err(&["generate", "chain", "65"]), CliError::Usage(_)));
+    assert!(matches!(
+        run_err(&["generate", "moebius", "5"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["generate", "chain", "zero"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["generate", "chain", "0"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["generate", "chain", "65"]),
+        CliError::Usage(_)
+    ));
 }
 
 #[test]
 fn counters_reproduce_figure3_values() {
     let out = run_ok(&["counters", "star", "20"]);
     // Figure 3 star row n=20: ccp 4980736, DPsub 2323474358, DPsize 59892991338.
-    let row = out.lines().find(|l| l.starts_with("20")).expect("row for n=20");
+    let row = out
+        .lines()
+        .find(|l| l.starts_with("20"))
+        .expect("row for n=20");
     assert!(row.contains("4980736"), "{row}");
     assert!(row.contains("2323474358"), "{row}");
     assert!(row.contains("59892991338"), "{row}");
@@ -237,7 +254,10 @@ fn optimize_routes_complex_queries_to_dphyp() {
     );
     let out = run_ok(&["optimize", path.to_str().unwrap()]);
     assert!(out.contains("algorithm:   DPhyp"), "{out}");
-    assert!(out.contains("(a ⋈ b) ⋈ c") || out.contains("c ⋈ (a ⋈ b)"), "{out}");
+    assert!(
+        out.contains("(a ⋈ b) ⋈ c") || out.contains("c ⋈ (a ⋈ b)"),
+        "{out}"
+    );
     // Explicit simple-graph algorithms are rejected for complex queries.
     assert!(matches!(
         run_err(&["optimize", path.to_str().unwrap(), "--algorithm", "dpsize"]),
@@ -287,4 +307,190 @@ fn sql_with_leading_comment_detected() {
 fn unknown_command_is_usage_error() {
     assert!(matches!(run_err(&["explode"]), CliError::Usage(_)));
     assert!(matches!(run_err(&[]), CliError::Usage(_)));
+}
+
+// ---------------------------------------------------------------------
+// Telemetry flags (--metrics / --trace-json).
+// ---------------------------------------------------------------------
+
+/// Replaces the value of the wall-clock `time:` line, the only
+/// nondeterministic bytes in `optimize` output.
+fn normalize_time(s: &str) -> String {
+    let mut result = String::new();
+    for line in s.lines() {
+        if line.starts_with("time:") {
+            result.push_str("time:        <normalized>");
+        } else {
+            result.push_str(line);
+        }
+        result.push('\n');
+    }
+    result
+}
+
+#[test]
+fn optimize_output_without_telemetry_flags_is_unchanged() {
+    let path = write_query_file(CHAIN_QUERY);
+    let plain = run_ok(&["optimize", path.to_str().unwrap()]);
+
+    // The pre-telemetry output skeleton: exactly these sections, in this
+    // order, with nothing appended after the explain block.
+    let lines: Vec<&str> = plain.lines().collect();
+    let expected_prefixes = [
+        "algorithm:",
+        "cost model:",
+        "plan:",
+        "cost:",
+        "cardinality:",
+        "counters:",
+        "time:",
+        "",
+    ];
+    for (i, prefix) in expected_prefixes.iter().enumerate() {
+        assert!(lines[i].starts_with(prefix), "line {i} = {:?}", lines[i]);
+    }
+    assert!(plain.contains("Scan R0"));
+    assert!(
+        !plain.contains("run:"),
+        "telemetry block leaked into plain output:\n{plain}"
+    );
+    assert!(
+        !plain.contains("phase "),
+        "telemetry block leaked into plain output:\n{plain}"
+    );
+
+    // With --metrics the report is strictly appended: everything before
+    // it is byte-identical to the plain run (modulo the time line).
+    let with_metrics = run_ok(&["optimize", path.to_str().unwrap(), "--metrics"]);
+    let head = with_metrics
+        .split("\nrun:")
+        .next()
+        .expect("report separator present");
+    assert_eq!(normalize_time(&plain), normalize_time(head));
+}
+
+#[test]
+fn optimize_metrics_appends_human_report() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["optimize", path.to_str().unwrap(), "--metrics"]);
+    assert!(out.contains("run:        DPccp on 3 relations"), "{out}");
+    assert!(out.contains("phase init"), "{out}");
+    assert!(out.contains("phase enumerate"), "{out}");
+    assert!(out.contains("phase extract"), "{out}");
+    assert!(out.contains("dp levels:"), "{out}");
+    assert!(out.contains("table:"), "{out}");
+    assert!(out.contains("arena:"), "{out}");
+    assert!(out.contains("counters:   inner="), "{out}");
+}
+
+#[test]
+fn optimize_trace_json_lines_parse_with_common_fields() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let path = write_query_file(CHAIN_QUERY);
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    assert!(!text.is_empty(), "trace file is empty");
+    let mut events = Vec::new();
+    let mut last_elapsed = 0u64;
+    for line in text.lines() {
+        let v = JsonValue::parse(line).unwrap_or_else(|e| panic!("bad JSONL line {line:?}: {e}"));
+        let event = v
+            .get("event")
+            .and_then(|e| e.as_str())
+            .expect("event field");
+        assert!(
+            v.get("phase").and_then(|p| p.as_str()).is_some(),
+            "missing phase field: {line}"
+        );
+        let elapsed = v
+            .get("elapsed_ns")
+            .and_then(|e| e.as_u64())
+            .expect("elapsed_ns field");
+        assert!(elapsed >= last_elapsed, "elapsed_ns went backwards: {line}");
+        last_elapsed = elapsed;
+        events.push(event.to_string());
+    }
+    assert_eq!(events.first().map(String::as_str), Some("run_start"));
+    assert_eq!(events.last().map(String::as_str), Some("run_end"));
+    assert!(events.iter().any(|e| e == "dp_level"), "{events:?}");
+    assert!(events.iter().any(|e| e == "final_counters"), "{events:?}");
+}
+
+#[test]
+fn compare_metrics_emits_csv_per_algorithm() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["compare", path.to_str().unwrap(), "--metrics"]);
+    assert!(out.contains("algorithm,relations,total_ns"), "{out}");
+    for name in ["DPsize,3", "DPsub,3", "DPccp,3", "GOO,3"] {
+        assert!(out.contains(name), "missing CSV row {name} in:\n{out}");
+    }
+}
+
+#[test]
+fn counters_metrics_appends_measured_rows() {
+    let out = run_ok(&["counters", "chain", "5", "--metrics"]);
+    assert!(out.contains("I_DPccp"), "{out}"); // formula table still there
+    assert!(out.contains("measured (seed-2006 workloads):"), "{out}");
+    assert!(out.contains("algorithm,relations,total_ns"), "{out}");
+    for n in 2..=5 {
+        assert!(
+            out.contains(&format!("DPccp,{n},")),
+            "missing DPccp row for n={n}:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn counters_telemetry_rejects_infeasible_sizes() {
+    assert!(matches!(
+        run_err(&["counters", "chain", "20", "--metrics"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["counters", "clique", "30", "--trace-json", "/tmp/t.jsonl"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn counters_trace_json_covers_all_runs() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    run_ok(&[
+        "counters",
+        "star",
+        "4",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    let starts = text
+        .lines()
+        .filter(|l| {
+            JsonValue::parse(l)
+                .ok()
+                .and_then(|v| v.get("event").and_then(|e| e.as_str()).map(String::from))
+                .as_deref()
+                == Some("run_start")
+        })
+        .count();
+    // 3 algorithms × sizes 2..=4.
+    assert_eq!(starts, 9, "{text}");
 }

@@ -16,12 +16,11 @@
 use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::PlanArena;
 use joinopt_qgraph::QueryGraph;
-use joinopt_relset::RelSet;
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use joinopt_relset::{RelSet, XorShift64};
+use joinopt_telemetry::Observer;
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
 
@@ -52,7 +51,10 @@ impl Default for SimulatedAnnealing {
 impl SimulatedAnnealing {
     /// A configuration with the given seed and defaults otherwise.
     pub fn with_seed(seed: u64) -> SimulatedAnnealing {
-        SimulatedAnnealing { seed, ..SimulatedAnnealing::default() }
+        SimulatedAnnealing {
+            seed,
+            ..SimulatedAnnealing::default()
+        }
     }
 }
 
@@ -109,15 +111,22 @@ impl Solution {
             model: &dyn CostModel,
         ) -> (RelSet, PlanStats) {
             match nodes[i] {
-                Node::Leaf(rel) => {
-                    (RelSet::single(rel), PlanStats::base(est.base_cardinality(rel)))
-                }
+                Node::Leaf(rel) => (
+                    RelSet::single(rel),
+                    PlanStats::base(est.base_cardinality(rel)),
+                ),
                 Node::Join(l, r) => {
                     let (ls, lp) = rec(nodes, l, est, model);
                     let (rs, rp) = rec(nodes, r, est, model);
                     let out = est.join_cardinality(lp.cardinality, rp.cardinality, ls, rs);
                     let cost = model.join_cost(&lp, &rp, out);
-                    (ls | rs, PlanStats { cardinality: out, cost })
+                    (
+                        ls | rs,
+                        PlanStats {
+                            cardinality: out,
+                            cost,
+                        },
+                    )
                 }
             }
         }
@@ -127,7 +136,7 @@ impl Solution {
 
 /// A random valid bushy tree: repeatedly merge a uniformly random
 /// connected component pair.
-fn random_solution(g: &QueryGraph, rng: &mut StdRng) -> Solution {
+fn random_solution(g: &QueryGraph, rng: &mut XorShift64) -> Solution {
     let n = g.num_relations();
     let mut nodes: Vec<Node> = (0..n).map(Node::Leaf).collect();
     // (node index, relation set) per live component.
@@ -145,23 +154,32 @@ fn random_solution(g: &QueryGraph, rng: &mut StdRng) -> Solution {
         let &(i, j) = &pairs[rng.gen_range(0..pairs.len())];
         let (ni, ri) = comps[i];
         let (nj, rj) = comps[j];
-        nodes.push(if rng.gen_bool(0.5) { Node::Join(ni, nj) } else { Node::Join(nj, ni) });
+        nodes.push(if rng.gen_bool(0.5) {
+            Node::Join(ni, nj)
+        } else {
+            Node::Join(nj, ni)
+        });
         comps[i] = (nodes.len() - 1, ri | rj);
         comps.swap_remove(j);
     }
-    Solution { root: nodes.len() - 1, nodes }
+    Solution {
+        root: nodes.len() - 1,
+        nodes,
+    }
 }
 
 /// Applies one random move; returns `None` when the move is invalid or
 /// inapplicable at the chosen site.
-fn propose(sol: &Solution, g: &QueryGraph, rng: &mut StdRng) -> Option<Solution> {
+fn propose(sol: &Solution, g: &QueryGraph, rng: &mut XorShift64) -> Option<Solution> {
     let joins: Vec<usize> = (0..sol.nodes.len())
         .filter(|&i| matches!(sol.nodes[i], Node::Join(..)))
         .collect();
     let site = joins[rng.gen_range(0..joins.len())];
-    let Node::Join(l, r) = sol.nodes[site] else { unreachable!("filtered to joins") };
+    let Node::Join(l, r) = sol.nodes[site] else {
+        unreachable!("filtered to joins")
+    };
     let mut next = sol.clone();
-    match rng.gen_range(0..4u8) {
+    match rng.gen_range(0..4) {
         // Commutativity: A ⋈ B → B ⋈ A (always valid).
         0 => {
             next.nodes[site] = Node::Join(r, l);
@@ -169,22 +187,30 @@ fn propose(sol: &Solution, g: &QueryGraph, rng: &mut StdRng) -> Option<Solution>
         }
         // Left rotation: (A ⋈ B) ⋈ C → A ⋈ (B ⋈ C).
         1 => {
-            let Node::Join(a, b) = sol.nodes[l] else { return None };
+            let Node::Join(a, b) = sol.nodes[l] else {
+                return None;
+            };
             next.nodes[l] = Node::Join(b, r);
             next.nodes[site] = Node::Join(a, l);
             next.is_valid(g).then_some(next)
         }
         // Right rotation: A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C.
         2 => {
-            let Node::Join(b, c) = sol.nodes[r] else { return None };
+            let Node::Join(b, c) = sol.nodes[r] else {
+                return None;
+            };
             next.nodes[r] = Node::Join(l, b);
             next.nodes[site] = Node::Join(r, c);
             next.is_valid(g).then_some(next)
         }
         // Exchange: (A ⋈ B) ⋈ (C ⋈ D) → (A ⋈ C) ⋈ (B ⋈ D).
         _ => {
-            let Node::Join(a, b) = sol.nodes[l] else { return None };
-            let Node::Join(c, d) = sol.nodes[r] else { return None };
+            let Node::Join(a, b) = sol.nodes[l] else {
+                return None;
+            };
+            let Node::Join(c, d) = sol.nodes[r] else {
+                return None;
+            };
             next.nodes[l] = Node::Join(a, c);
             next.nodes[r] = Node::Join(b, d);
             next.is_valid(g).then_some(next)
@@ -197,18 +223,21 @@ impl JoinOrderer for SimulatedAnnealing {
         "SimulatedAnnealing"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), g.num_relations());
+        spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
         let est = CardinalityEstimator::new(g, catalog)?;
-        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rng = XorShift64::seed_from_u64(self.seed);
         let mut counters = Counters::new();
 
         let mut current = random_solution(g, &mut rng);
@@ -216,7 +245,9 @@ impl JoinOrderer for SimulatedAnnealing {
         let mut best = current.clone();
         let mut best_cost = current_cost;
         let mut temperature = self.initial_temperature * current_cost.max(1.0);
+        spans.end("init");
 
+        spans.begin("enumerate");
         if g.num_relations() > 1 {
             for _ in 0..self.iterations {
                 counters.inner += 1;
@@ -238,8 +269,10 @@ impl JoinOrderer for SimulatedAnnealing {
                 }
             }
         }
+        spans.end("enumerate");
 
         // Materialize the best tree into a plan arena.
+        spans.begin("extract");
         let mut arena = PlanArena::with_capacity(best.nodes.len());
         fn build(
             nodes: &[Node],
@@ -251,22 +284,32 @@ impl JoinOrderer for SimulatedAnnealing {
             match nodes[i] {
                 Node::Leaf(rel) => {
                     let card = est.base_cardinality(rel);
-                    (RelSet::single(rel), arena.add_scan(rel, card), PlanStats::base(card))
+                    (
+                        RelSet::single(rel),
+                        arena.add_scan(rel, card),
+                        PlanStats::base(card),
+                    )
                 }
                 Node::Join(l, r) => {
                     let (ls, lp, lstats) = build(nodes, l, est, model, arena);
                     let (rs, rp, rstats) = build(nodes, r, est, model, arena);
-                    let out =
-                        est.join_cardinality(lstats.cardinality, rstats.cardinality, ls, rs);
+                    let out = est.join_cardinality(lstats.cardinality, rstats.cardinality, ls, rs);
                     let cost = model.join_cost(&lstats, &rstats, out);
-                    let stats = PlanStats { cardinality: out, cost };
+                    let stats = PlanStats {
+                        cardinality: out,
+                        cost,
+                    };
                     (ls | rs, arena.add_join(lp, rp, stats), stats)
                 }
             }
         }
         let (_, plan, stats) = build(&best.nodes, best.root, &est, model, &mut arena);
+        let tree = arena.extract(plan);
+        spans.end("extract");
+        spans.arena_stats(&arena);
+        spans.finish(&counters);
         Ok(DpResult {
-            tree: arena.extract(plan),
+            tree,
             cost: stats.cost,
             cardinality: stats.cardinality,
             counters,
@@ -315,7 +358,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits >= 7, "SA matched the optimum on only {hits}/10 small queries");
+        assert!(
+            hits >= 7,
+            "SA matched the optimum on only {hits}/10 small queries"
+        );
     }
 
     #[test]
@@ -341,8 +387,12 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let w = workload::random_workload(8, 0.3, 7);
-        let a = SimulatedAnnealing::with_seed(42).optimize(&w.graph, &w.catalog, &Cout).unwrap();
-        let b = SimulatedAnnealing::with_seed(42).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let a = SimulatedAnnealing::with_seed(42)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
+        let b = SimulatedAnnealing::with_seed(42)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(a.cost, b.cost);
         assert_eq!(a.tree, b.tree);
     }
@@ -360,13 +410,17 @@ mod tests {
     #[test]
     fn rejects_invalid_inputs_and_handles_tiny_queries() {
         let g = QueryGraph::new(0).unwrap();
-        assert!(SimulatedAnnealing::default().optimize(&g, &Catalog::new(&g), &Cout).is_err());
+        assert!(SimulatedAnnealing::default()
+            .optimize(&g, &Catalog::new(&g), &Cout)
+            .is_err());
         let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         assert!(SimulatedAnnealing::default()
             .optimize(&disc, &Catalog::new(&disc), &Cout)
             .is_err());
         let w = workload::family_workload(GraphKind::Chain, 1, 0);
-        let r = SimulatedAnnealing::default().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = SimulatedAnnealing::default()
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_joins(), 0);
     }
 

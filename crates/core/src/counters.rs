@@ -29,17 +29,21 @@ impl Counters {
         Counters::default()
     }
 
-    /// Ratio of useful innermost iterations (`#ccp / InnerCounter` with
-    /// symmetric pairs included): 1.0 means the algorithm performs no
-    /// wasted work, which is exactly DPccp's design goal.
+    /// Ratio of useful innermost iterations
+    /// (`OnoLohmanCounter / InnerCounter`): 1.0 means every innermost
+    /// iteration produced a distinct unordered csg-cmp-pair — no wasted
+    /// work, which is exactly DPccp's design goal. DPsize and DPsub
+    /// reject most iterations on non-clique graphs, so their rate drops
+    /// well below 1 there.
+    ///
+    /// Every enumerator fills `ono_lohman` with the count of distinct
+    /// unordered pairs it evaluated, so this is a plain quotient — no
+    /// convention-specific fallbacks.
     pub fn hit_rate(&self) -> f64 {
         if self.inner == 0 {
             0.0
         } else {
-            // DPccp counts unordered pairs in `inner`; for it the useful
-            // work per iteration is one unordered pair.
-            let useful = self.ono_lohman.max(self.csg_cmp_pairs / 2);
-            useful as f64 / self.inner as f64
+            self.ono_lohman as f64 / self.inner as f64
         }
     }
 }
@@ -69,17 +73,60 @@ mod tests {
 
     #[test]
     fn hit_rate_computation() {
-        let c = Counters { inner: 100, csg_cmp_pairs: 40, ono_lohman: 20 };
+        let c = Counters {
+            inner: 100,
+            csg_cmp_pairs: 40,
+            ono_lohman: 20,
+        };
         assert!((c.hit_rate() - 0.2).abs() < 1e-12);
         // DPccp-style counters: inner == ono_lohman.
-        let perfect = Counters { inner: 20, csg_cmp_pairs: 40, ono_lohman: 20 };
+        let perfect = Counters {
+            inner: 20,
+            csg_cmp_pairs: 40,
+            ono_lohman: 20,
+        };
         assert_eq!(perfect.hit_rate(), 1.0);
     }
 
     #[test]
     fn display_mentions_all_fields() {
-        let c = Counters { inner: 1, csg_cmp_pairs: 2, ono_lohman: 3 };
+        let c = Counters {
+            inner: 1,
+            csg_cmp_pairs: 2,
+            ono_lohman: 3,
+        };
         let s = c.to_string();
         assert!(s.contains("inner=1") && s.contains("csgCmpPairs=2") && s.contains("onoLohman=3"));
+    }
+
+    #[test]
+    fn hit_rate_is_one_for_dpccp_and_below_one_for_dpsize_dpsub() {
+        use crate::{DpCcp, DpSize, DpSub, JoinOrderer};
+        use joinopt_cost::{workload, Cout};
+        use joinopt_qgraph::GraphKind;
+
+        let w = workload::family_workload(GraphKind::Chain, 10, 0);
+        let ccp = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert!(
+            (ccp.counters.hit_rate() - 1.0).abs() < 1e-12,
+            "DPccp wastes no innermost iterations: {}",
+            ccp.counters.hit_rate()
+        );
+        for (name, r) in [
+            (
+                "DPsize",
+                DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap(),
+            ),
+            (
+                "DPsub",
+                DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap(),
+            ),
+        ] {
+            let rate = r.counters.hit_rate();
+            assert!(
+                rate > 0.0 && rate < 1.0,
+                "{name} on a 10-chain must reject some iterations (rate {rate})"
+            );
+        }
     }
 }

@@ -2,6 +2,7 @@
 
 use joinopt_cost::{Catalog, CostModel};
 use joinopt_qgraph::{csg, QueryGraph};
+use joinopt_telemetry::Observer;
 
 use crate::driver::Driver;
 use crate::error::OptimizeError;
@@ -26,13 +27,14 @@ impl JoinOrderer for DpCcp {
         "DPccp"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true)?;
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
         csg::for_each_ccp(g, |s1, s2| {
             d.counters.inner += 1;
             d.counters.ono_lohman += 1;
@@ -106,8 +108,12 @@ mod tests {
     fn min_over_physical_agreement() {
         for seed in 0..5 {
             let w = workload::random_workload(7, 0.3, seed + 100);
-            let ccp = DpCcp.optimize(&w.graph, &w.catalog, &MinOverPhysical).unwrap();
-            let sub = DpSub.optimize(&w.graph, &w.catalog, &MinOverPhysical).unwrap();
+            let ccp = DpCcp
+                .optimize(&w.graph, &w.catalog, &MinOverPhysical)
+                .unwrap();
+            let sub = DpSub
+                .optimize(&w.graph, &w.catalog, &MinOverPhysical)
+                .unwrap();
             let tol = 1e-9 * ccp.cost.abs().max(1.0);
             assert!((ccp.cost - sub.cost).abs() <= tol, "seed {seed}");
         }
@@ -126,7 +132,10 @@ mod tests {
             let r = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             bushy_seen |= r.tree.is_properly_bushy();
         }
-        assert!(bushy_seen, "no bushy optimum in 30 chain workloads — suspicious");
+        assert!(
+            bushy_seen,
+            "no bushy optimum in 30 chain workloads — suspicious"
+        );
     }
 
     #[test]
@@ -135,7 +144,9 @@ mod tests {
         let cat = Catalog::new(&g);
         assert!(DpCcp.optimize(&g, &cat, &Cout).is_err());
         let empty = QueryGraph::new(0).unwrap();
-        assert!(DpCcp.optimize(&empty, &Catalog::new(&empty), &Cout).is_err());
+        assert!(DpCcp
+            .optimize(&empty, &Catalog::new(&empty), &Cout)
+            .is_err());
     }
 
     #[test]

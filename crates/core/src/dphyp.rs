@@ -28,8 +28,10 @@ use joinopt_plan::PlanArena;
 use joinopt_qgraph::hypergraph::Hypergraph;
 use joinopt_qgraph::QueryGraphError;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::{Event, NoopObserver, Observer};
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::result::DpResult;
 use crate::table::{DpTable, PlanTable, TableEntry};
@@ -60,6 +62,21 @@ impl DpHyp {
         catalog: &Catalog,
         model: &dyn CostModel,
     ) -> Result<DpResult, OptimizeError> {
+        self.optimize_observed(h, catalog, model, &NoopObserver)
+    }
+
+    /// [`DpHyp::optimize`] with telemetry, mirroring the driver-based
+    /// algorithms' event sequence (phase spans, per-size DP levels,
+    /// table/arena statistics).
+    pub fn optimize_observed(
+        &self,
+        h: &Hypergraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+        obs: &dyn Observer,
+    ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), h.num_relations());
+        spans.begin("init");
         let n = h.num_relations();
         if n == 0 {
             return Err(OptimizeError::EmptyQuery);
@@ -68,6 +85,7 @@ impl DpHyp {
             return Err(OptimizeError::Graph(QueryGraphError::Disconnected));
         }
         let est = HyperCardinalityEstimator::new(h, catalog)?;
+        let observe = obs.enabled();
         let mut state = HypState {
             h,
             est,
@@ -75,32 +93,67 @@ impl DpHyp {
             arena: PlanArena::with_capacity(4 * n),
             table: DpTable::with_capacity(4 * n),
             counters: Counters::new(),
+            observe,
+            probes: 0,
+            hits: 0,
+            level_new: Vec::new(),
         };
         for i in 0..n {
             let card = state.est.base_cardinality(i);
             let id = state.arena.add_scan(i, card);
             state.table.insert(
                 RelSet::single(i),
-                TableEntry { plan: id, stats: PlanStats { cardinality: card, cost: 0.0 } },
+                TableEntry {
+                    plan: id,
+                    stats: PlanStats {
+                        cardinality: card,
+                        cost: 0.0,
+                    },
+                },
             );
         }
+        if observe {
+            state.level_new = vec![0u64; n + 1];
+            state.level_new[1] = n as u64;
+        }
+        spans.end("init");
 
         // Solve: primary connected subsets by descending start vertex.
+        spans.begin("enumerate");
         for i in (0..n).rev() {
             let v = RelSet::single(i);
             state.emit_csg(v);
             state.enumerate_csg_rec(v, RelSet::prefix_through(i));
         }
+        spans.end("enumerate");
 
         state.counters.csg_cmp_pairs = 2 * state.counters.ono_lohman;
         let full = h.all_relations();
         let Some(entry) = state.table.get(full) else {
             return Err(OptimizeError::NoPlanWithoutCrossProducts);
         };
+        spans.begin("extract");
+        let tree = state.arena.extract(entry.plan);
+        spans.end("extract");
+        if observe {
+            for (size, &new_entries) in state.level_new.iter().enumerate() {
+                if new_entries > 0 {
+                    obs.on_event(Event::DpLevel { size, new_entries });
+                }
+            }
+        }
+        spans.table_stats(
+            state.table.len(),
+            state.table.capacity(),
+            state.probes,
+            state.hits,
+        );
+        spans.arena_stats(&state.arena);
+        spans.finish(&state.counters);
         Ok(DpResult {
             cost: entry.stats.cost,
             cardinality: entry.stats.cardinality,
-            tree: state.arena.extract(entry.plan),
+            tree,
             counters: state.counters,
             table_size: state.table.len(),
             plans_built: state.arena.len(),
@@ -115,6 +168,10 @@ struct HypState<'a> {
     arena: PlanArena,
     table: DpTable,
     counters: Counters,
+    observe: bool,
+    probes: u64,
+    hits: u64,
+    level_new: Vec<u64>,
 }
 
 impl HypState<'_> {
@@ -178,7 +235,10 @@ impl HypState<'_> {
         self.counters.inner += 1;
         self.counters.ono_lohman += 1;
         let e1 = *self.table.get(s1).expect("emitted primaries are buildable");
-        let e2 = *self.table.get(s2).expect("emitted complements are buildable");
+        let e2 = *self
+            .table
+            .get(s2)
+            .expect("emitted complements are buildable");
         let union = s1 | s2;
         let (out_card, incumbent) = match self.table.get(union) {
             Some(existing) => (existing.stats.cardinality, Some(existing.stats.cost)),
@@ -188,6 +248,14 @@ impl HypState<'_> {
                 None,
             ),
         };
+        if self.observe {
+            self.probes += 1;
+            if incumbent.is_some() {
+                self.hits += 1;
+            } else {
+                self.level_new[union.len()] += 1;
+            }
+        }
         let c12 = self.model.join_cost(&e1.stats, &e2.stats, out_card);
         let (cost, left, right) = if self.model.is_symmetric() {
             (c12, &e1, &e2)
@@ -200,7 +268,10 @@ impl HypState<'_> {
             }
         };
         if incumbent.is_none_or(|best| cost < best) {
-            let stats = PlanStats { cardinality: out_card, cost };
+            let stats = PlanStats {
+                cardinality: out_card,
+                cost,
+            };
             let plan = self.arena.add_join(left.plan, right.plan, stats);
             self.table.insert(union, TableEntry { plan, stats });
         }
@@ -292,7 +363,10 @@ mod tests {
         let mut h = Hypergraph::new(2).unwrap();
         h.add_edge(set([0]), set([1])).unwrap();
         let cat = Catalog::with_shape(2, 5);
-        assert!(matches!(DpHyp.optimize(&h, &cat, &Cout), Err(OptimizeError::Cost(_))));
+        assert!(matches!(
+            DpHyp.optimize(&h, &cat, &Cout),
+            Err(OptimizeError::Cost(_))
+        ));
     }
 
     #[test]
@@ -335,7 +409,9 @@ mod tests {
     #[test]
     fn single_relation_hypergraph() {
         let h = Hypergraph::new(1).unwrap();
-        let r = DpHyp.optimize(&h, &Catalog::with_shape(1, 0), &Cout).unwrap();
+        let r = DpHyp
+            .optimize(&h, &Catalog::with_shape(1, 0), &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_joins(), 0);
         assert_eq!(r.counters.inner, 0);
     }

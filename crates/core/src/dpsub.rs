@@ -3,6 +3,7 @@
 use joinopt_cost::{Catalog, CostModel};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::Observer;
 
 use crate::driver::Driver;
 use crate::error::OptimizeError;
@@ -12,13 +13,15 @@ use crate::table::{DenseDpTable, PlanTable};
 /// Builds a DPsub driver with the Vance/Maier dense direct-addressed
 /// table when `n` permits, else the sparse hash table, and runs `body`.
 macro_rules! with_dpsub_driver {
-    ($g:expr, $catalog:expr, $model:expr, $require_connected:expr, $body:expr) => {{
+    ($g:expr, $catalog:expr, $model:expr, $require_connected:expr, $name:expr, $obs:expr,
+     $body:expr) => {{
         if $g.num_relations() <= DenseDpTable::MAX_RELATIONS {
             let table = DenseDpTable::new($g.num_relations());
-            let d = Driver::with_table($g, $catalog, $model, $require_connected, table)?;
+            let d =
+                Driver::with_table($g, $catalog, $model, $require_connected, table, $name, $obs)?;
             $body(d)
         } else {
-            let d = Driver::new($g, $catalog, $model, $require_connected)?;
+            let d = Driver::new($g, $catalog, $model, $require_connected, $name, $obs)?;
             $body(d)
         }
     }};
@@ -48,13 +51,14 @@ impl JoinOrderer for DpSub {
         "DPsub"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
-        with_dpsub_driver!(g, catalog, model, true, run_dpsub)
+        with_dpsub_driver!(g, catalog, model, true, self.name(), obs, run_dpsub)
     }
 }
 
@@ -77,10 +81,10 @@ fn run_dpsub<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResult, OptimizeErr
                 // "connected S1/S2" via table membership (see above); the
                 // fetched entries are reused for the join, so a successful
                 // iteration pays no further lookups on its operands.
-                let Some(&e1) = d.table.get(s1) else {
+                let Some(e1) = d.probe(s1) else {
                     continue; // S1 not connected
                 };
-                let Some(&e2) = d.table.get(s2) else {
+                let Some(e2) = d.probe(s2) else {
                     continue; // S2 not connected
                 };
                 if !d.g.sets_connected(s1, s2) {
@@ -110,13 +114,22 @@ impl JoinOrderer for DpSubUnfiltered {
         "DPsub-nofilter"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
-        with_dpsub_driver!(g, catalog, model, true, run_dpsub_unfiltered)
+        with_dpsub_driver!(
+            g,
+            catalog,
+            model,
+            true,
+            self.name(),
+            obs,
+            run_dpsub_unfiltered
+        )
     }
 }
 
@@ -132,7 +145,7 @@ fn run_dpsub_unfiltered<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResult, 
             for s1 in s.non_empty_proper_subsets() {
                 d.counters.inner += 1;
                 let s2 = s - s1;
-                let (Some(&e1), Some(&e2)) = (d.table.get(s1), d.table.get(s2)) else {
+                let (Some(e1), Some(e2)) = (d.probe(s1), d.probe(s2)) else {
                     continue;
                 };
                 if !d.g.sets_connected(s1, s2) {
@@ -162,20 +175,27 @@ impl JoinOrderer for DpSubCrossProducts {
         "DPsub-cp"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
         // Cross products make disconnected graphs optimizable.
-        with_dpsub_driver!(g, catalog, model, false, run_dpsub_cross_products)
+        with_dpsub_driver!(
+            g,
+            catalog,
+            model,
+            false,
+            self.name(),
+            obs,
+            run_dpsub_cross_products
+        )
     }
 }
 
-fn run_dpsub_cross_products<T: PlanTable>(
-    mut d: Driver<'_, T>,
-) -> Result<DpResult, OptimizeError> {
+fn run_dpsub_cross_products<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResult, OptimizeError> {
     {
         let full = d.g.all_relations();
 
@@ -240,7 +260,9 @@ mod tests {
         for kind in GraphKind::ALL {
             let n = 8u32;
             let w = workload::family_workload(kind, n as usize, 2);
-            let r = DpSubUnfiltered.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let r = DpSubUnfiltered
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let want = 3u64.pow(n) - (1 << (n + 1)) + 1;
             assert_eq!(r.counters.inner, want, "{kind}");
         }
@@ -250,7 +272,9 @@ mod tests {
     fn unfiltered_equals_filtered_on_cliques() {
         let w = workload::family_workload(GraphKind::Clique, 8, 3);
         let a = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
-        let b = DpSubUnfiltered.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let b = DpSubUnfiltered
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(a.counters.inner, b.counters.inner);
         assert_eq!(a.cost, b.cost);
     }
@@ -261,7 +285,9 @@ mod tests {
         for kind in GraphKind::ALL {
             let w = workload::family_workload(kind, 7, 11);
             let without = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
-            let with = DpSubCrossProducts.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let with = DpSubCrossProducts
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             assert!(with.cost <= without.cost + 1e-9, "{kind}");
             // And it explores the full 3ⁿ-ish space:
             let n = 7u32;
@@ -292,7 +318,10 @@ mod tests {
                 a.cost,
                 b.cost
             );
-            assert_eq!(a.counters.csg_cmp_pairs, b.counters.csg_cmp_pairs, "seed {seed}");
+            assert_eq!(
+                a.counters.csg_cmp_pairs, b.counters.csg_cmp_pairs,
+                "seed {seed}"
+            );
         }
     }
 

@@ -1,19 +1,103 @@
 //! Shared plumbing for the DP algorithms: singleton initialization, the
-//! `CreateJoinTree` + `BestPlan` update step, and result extraction.
+//! `CreateJoinTree` + `BestPlan` update step, result extraction, and the
+//! telemetry instrumentation every driver-based enumerator shares.
 
 use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::PlanArena;
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::{Event, Observer};
 
 use crate::counters::Counters;
 use crate::error::OptimizeError;
 use crate::result::DpResult;
 use crate::table::{DpTable, PlanTable, TableEntry};
 
+/// Lightweight span emitter for the algorithms that do not run on the
+/// [`Driver`] (heuristics, top-down search, DPhyp): produces the same
+/// `run_start` → `init`/`enumerate`/`extract` → statistics → `run_end`
+/// skeleton at span granularity. All methods are no-ops when the
+/// observer is disabled.
+pub(crate) struct Spans<'a> {
+    obs: &'a dyn Observer,
+    on: bool,
+}
+
+impl<'a> Spans<'a> {
+    /// Emits `run_start` (when observing) and returns the emitter.
+    ///
+    /// Call before validation so failed runs still leave a `run_start`
+    /// in the trace (with no matching `run_end`).
+    pub fn start(obs: &'a dyn Observer, algorithm: &'static str, relations: usize) -> Spans<'a> {
+        let on = obs.enabled();
+        if on {
+            obs.on_event(Event::RunStart {
+                algorithm,
+                relations,
+            });
+        }
+        Spans { obs, on }
+    }
+
+    /// Opens the named phase span.
+    pub fn begin(&self, phase: &'static str) {
+        if self.on {
+            self.obs.on_event(Event::PhaseStart { phase });
+        }
+    }
+
+    /// Closes the named phase span.
+    pub fn end(&self, phase: &'static str) {
+        if self.on {
+            self.obs.on_event(Event::PhaseEnd { phase });
+        }
+    }
+
+    /// Emits `table_stats` for algorithms with memo/DP storage.
+    pub fn table_stats(&self, entries: usize, capacity: usize, probes: u64, hits: u64) {
+        if self.on {
+            self.obs.on_event(Event::TableStats {
+                entries,
+                capacity,
+                probes,
+                hits,
+            });
+        }
+    }
+
+    /// Emits `arena_stats` for the given arena.
+    pub fn arena_stats(&self, arena: &PlanArena) {
+        if self.on {
+            self.obs.on_event(Event::ArenaStats {
+                nodes: arena.len(),
+                bytes: arena.bytes(),
+            });
+        }
+    }
+
+    /// Emits `final_counters` and `run_end`.
+    pub fn finish(&self, counters: &Counters) {
+        if self.on {
+            self.obs.on_event(Event::FinalCounters {
+                inner: counters.inner,
+                csg_cmp_pairs: counters.csg_cmp_pairs,
+                ono_lohman: counters.ono_lohman,
+            });
+            self.obs.on_event(Event::RunEnd);
+        }
+    }
+}
+
 /// Mutable state threaded through one optimizer run, generic over the
 /// `BestPlan` storage (sparse hash table by default; DPsub swaps in the
 /// dense direct-addressed table for small `n`).
+///
+/// The driver owns all telemetry emission for the span skeleton
+/// (`init` → `enumerate` → `extract`) and the end-of-run statistics
+/// events. All instrumentation is guarded by `observe`, cached once from
+/// [`Observer::enabled`]: with the no-op observer the whole machinery
+/// reduces to one predictable branch per probe and allocates nothing
+/// (`level_new` stays an empty `Vec`).
 pub(crate) struct Driver<'a, T: PlanTable = DpTable> {
     pub g: &'a QueryGraph,
     pub est: CardinalityEstimator,
@@ -21,6 +105,15 @@ pub(crate) struct Driver<'a, T: PlanTable = DpTable> {
     pub arena: PlanArena,
     pub table: T,
     pub counters: Counters,
+    obs: &'a dyn Observer,
+    observe: bool,
+    /// `BestPlan` lookups performed (union probes + operand fetches).
+    probes: u64,
+    /// Probes that found an existing entry.
+    hits: u64,
+    /// New table entries per relation-set size (index = popcount).
+    /// Empty when not observing.
+    level_new: Vec<u64>,
 }
 
 impl<'a> Driver<'a, DpTable> {
@@ -33,9 +126,11 @@ impl<'a> Driver<'a, DpTable> {
         catalog: &Catalog,
         model: &'a dyn CostModel,
         require_connected: bool,
+        algorithm: &'static str,
+        obs: &'a dyn Observer,
     ) -> Result<Driver<'a, DpTable>, OptimizeError> {
         let table = DpTable::with_capacity(4 * g.num_relations());
-        Driver::with_table(g, catalog, model, require_connected, table)
+        Driver::with_table(g, catalog, model, require_connected, table, algorithm, obs)
     }
 }
 
@@ -47,8 +142,20 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         model: &'a dyn CostModel,
         require_connected: bool,
         mut table: T,
+        algorithm: &'static str,
+        obs: &'a dyn Observer,
     ) -> Result<Driver<'a, T>, OptimizeError> {
+        let observe = obs.enabled();
         let n = g.num_relations();
+        if observe {
+            // Emitted before validation so failed runs still leave a
+            // `run_start` in the trace (with no matching `run_end`).
+            obs.on_event(Event::RunStart {
+                algorithm,
+                relations: n,
+            });
+            obs.on_event(Event::PhaseStart { phase: "init" });
+        }
         if n == 0 {
             return Err(OptimizeError::EmptyQuery);
         }
@@ -62,10 +169,62 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             let id = arena.add_scan(i, card);
             table.insert(
                 RelSet::single(i),
-                TableEntry { plan: id, stats: PlanStats { cardinality: card, cost: 0.0 } },
+                TableEntry {
+                    plan: id,
+                    stats: PlanStats {
+                        cardinality: card,
+                        cost: 0.0,
+                    },
+                },
             );
         }
-        Ok(Driver { g, est, model, arena, table, counters: Counters::new() })
+        let mut level_new = Vec::new();
+        if observe {
+            level_new = vec![0u64; n + 1];
+            level_new[1] = n as u64;
+            obs.on_event(Event::PhaseEnd { phase: "init" });
+            obs.on_event(Event::PhaseStart { phase: "enumerate" });
+        }
+        Ok(Driver {
+            g,
+            est,
+            model,
+            arena,
+            table,
+            counters: Counters::new(),
+            obs,
+            observe,
+            probes: 0,
+            hits: 0,
+            level_new,
+        })
+    }
+
+    /// Counted `BestPlan` lookup: like `table.get`, but feeds the
+    /// probe/hit statistics when observing. DPsub routes its operand
+    /// connectivity-by-membership tests through this.
+    #[inline]
+    pub fn probe(&mut self, s: RelSet) -> Option<TableEntry> {
+        let entry = self.table.get(s).copied();
+        if self.observe {
+            self.probes += 1;
+            self.hits += u64::from(entry.is_some());
+        }
+        entry
+    }
+
+    /// Records a probe of the union set and, when the probe missed (a
+    /// set reached for the first time), its size-histogram entry.
+    #[inline]
+    fn note_union_probe(&mut self, union: RelSet, hit: bool) {
+        if self.observe {
+            self.probes += 1;
+            if hit {
+                self.hits += 1;
+            } else {
+                self.level_new[union.len()] += 1;
+            }
+        }
     }
 
     /// `CreateJoinTree(p1, p2)` + `BestPlan` update for the oriented pair
@@ -100,21 +259,30 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         let union = s1 | s2;
         match self.table.get(union) {
             Some(existing) => {
+                let existing = *existing;
+                self.note_union_probe(union, true);
                 let out_card = existing.stats.cardinality;
                 let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
                 if cost < existing.stats.cost {
-                    let stats = PlanStats { cardinality: out_card, cost };
+                    let stats = PlanStats {
+                        cardinality: out_card,
+                        cost,
+                    };
                     let plan = self.arena.add_join(e1.plan, e2.plan, stats);
                     self.table.insert(union, TableEntry { plan, stats });
                 }
                 false
             }
             None => {
-                let out_card = self
-                    .est
-                    .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2);
+                self.note_union_probe(union, false);
+                let out_card =
+                    self.est
+                        .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2);
                 let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
-                let stats = PlanStats { cardinality: out_card, cost };
+                let stats = PlanStats {
+                    cardinality: out_card,
+                    cost,
+                };
                 let plan = self.arena.add_join(e1.plan, e2.plan, stats);
                 self.table.insert(union, TableEntry { plan, stats });
                 true
@@ -139,6 +307,7 @@ impl<'a, T: PlanTable> Driver<'a, T> {
                 None,
             ),
         };
+        self.note_union_probe(union, incumbent.is_some());
         let c12 = self.model.join_cost(&e1.stats, &e2.stats, out_card);
         let (cost, left, right) = if self.model.is_symmetric() {
             (c12, &e1, &e2)
@@ -151,7 +320,10 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             }
         };
         if incumbent.is_none_or(|best| cost < best) {
-            let stats = PlanStats { cardinality: out_card, cost };
+            let stats = PlanStats {
+                cardinality: out_card,
+                cost,
+            };
             let plan = self.arena.add_join(left.plan, right.plan, stats);
             self.table.insert(union, TableEntry { plan, stats });
         }
@@ -159,13 +331,47 @@ impl<'a, T: PlanTable> Driver<'a, T> {
     }
 
     /// Extracts the final result for the full relation set.
+    ///
+    /// When observing, closes the `enumerate` span, wraps extraction in
+    /// the `extract` span, then emits the end-of-run statistics events
+    /// (`dp_level` per non-empty size, `table_stats`, `arena_stats`,
+    /// `final_counters`) and `run_end` — so the caller must finalize its
+    /// counter conventions *before* calling this.
     pub fn finish(self) -> Result<DpResult, OptimizeError> {
+        if self.observe {
+            self.obs.on_event(Event::PhaseEnd { phase: "enumerate" });
+            self.obs.on_event(Event::PhaseStart { phase: "extract" });
+        }
         let full = self.g.all_relations();
         let entry = self
             .table
             .get(full)
             .expect("a connected graph always yields a full plan");
         let tree = self.arena.extract(entry.plan);
+        if self.observe {
+            self.obs.on_event(Event::PhaseEnd { phase: "extract" });
+            for (size, &new_entries) in self.level_new.iter().enumerate() {
+                if new_entries > 0 {
+                    self.obs.on_event(Event::DpLevel { size, new_entries });
+                }
+            }
+            self.obs.on_event(Event::TableStats {
+                entries: self.table.len(),
+                capacity: self.table.capacity(),
+                probes: self.probes,
+                hits: self.hits,
+            });
+            self.obs.on_event(Event::ArenaStats {
+                nodes: self.arena.len(),
+                bytes: self.arena.bytes(),
+            });
+            self.obs.on_event(Event::FinalCounters {
+                inner: self.counters.inner,
+                csg_cmp_pairs: self.counters.csg_cmp_pairs,
+                ono_lohman: self.counters.ono_lohman,
+            });
+            self.obs.on_event(Event::RunEnd);
+        }
         Ok(DpResult {
             cost: entry.stats.cost,
             cardinality: entry.stats.cardinality,

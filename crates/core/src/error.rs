@@ -28,7 +28,10 @@ impl fmt::Display for OptimizeError {
             OptimizeError::Cost(e) => write!(f, "invalid statistics: {e}"),
             OptimizeError::EmptyQuery => write!(f, "cannot optimize a query with no relations"),
             OptimizeError::NoPlanWithoutCrossProducts => {
-                write!(f, "no cross-product-free join tree exists for this hypergraph")
+                write!(
+                    f,
+                    "no cross-product-free join tree exists for this hypergraph"
+                )
             }
         }
     }
@@ -67,7 +70,10 @@ mod tests {
         assert!(e.to_string().contains("connected"));
         assert!(e.source().is_some());
         assert!(OptimizeError::EmptyQuery.source().is_none());
-        let c = OptimizeError::from(CostError::InvalidCardinality { relation: 0, value: 0.0 });
+        let c = OptimizeError::from(CostError::InvalidCardinality {
+            relation: 0,
+            value: 0.0,
+        });
         assert!(c.to_string().contains("statistics"));
     }
 }

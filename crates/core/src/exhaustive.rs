@@ -96,15 +96,22 @@ pub fn optimal_cost_hypergraph(
                 continue;
             };
             let out = est.join_cardinality(p1.cardinality, p2.cardinality, s1, s2);
-            let cost =
-                model.join_cost(&p1, &p2, out).min(model.join_cost(&p2, &p1, out));
+            let cost = model
+                .join_cost(&p1, &p2, out)
+                .min(model.join_cost(&p2, &p1, out));
             if best_stats.is_none_or(|b| cost < b.cost) {
-                best_stats = Some(PlanStats { cardinality: out, cost });
+                best_stats = Some(PlanStats {
+                    cardinality: out,
+                    cost,
+                });
             }
         }
         memo.insert(
             s,
-            best_stats.unwrap_or(PlanStats { cardinality: 0.0, cost: f64::INFINITY }),
+            best_stats.unwrap_or(PlanStats {
+                cardinality: 0.0,
+                cost: f64::INFINITY,
+            }),
         );
         best_stats
     }
@@ -129,7 +136,9 @@ fn optimal_cost_impl(
     let mut memo: HashMap<RelSet, PlanStats> = HashMap::new();
     let full = g.all_relations();
     let stats = best(g, &est, model, full, allow_cross, &mut memo);
-    Ok(stats.expect("full set of a connected graph is solvable").cost)
+    Ok(stats
+        .expect("full set of a connected graph is solvable")
+        .cost)
 }
 
 fn best(
@@ -149,7 +158,13 @@ fn best(
         return Some(stats);
     }
     if !allow_cross && !g.is_connected_set(s) {
-        memo.insert(s, PlanStats { cardinality: 0.0, cost: f64::INFINITY });
+        memo.insert(
+            s,
+            PlanStats {
+                cardinality: 0.0,
+                cost: f64::INFINITY,
+            },
+        );
         return None;
     }
     // Canonical split: s1 always contains the minimum element, so every
@@ -177,12 +192,18 @@ fn best(
             .join_cost(&p1, &p2, out)
             .min(model.join_cost(&p2, &p1, out));
         if best_stats.is_none_or(|b| cost < b.cost) {
-            best_stats = Some(PlanStats { cardinality: out, cost });
+            best_stats = Some(PlanStats {
+                cardinality: out,
+                cost,
+            });
         }
     }
     memo.insert(
         s,
-        best_stats.unwrap_or(PlanStats { cardinality: 0.0, cost: f64::INFINITY }),
+        best_stats.unwrap_or(PlanStats {
+            cardinality: 0.0,
+            cost: f64::INFINITY,
+        }),
     );
     best_stats
 }
@@ -218,8 +239,14 @@ mod tests {
         for seed in 0..5 {
             let w = workload::random_workload(6, 0.4, seed);
             let want = optimal_cost(&w.graph, &w.catalog, &HashJoin).unwrap();
-            let got = DpCcp.optimize(&w.graph, &w.catalog, &HashJoin).unwrap().cost;
-            assert!((got - want).abs() <= 1e-9 * want.abs().max(1.0), "seed {seed}");
+            let got = DpCcp
+                .optimize(&w.graph, &w.catalog, &HashJoin)
+                .unwrap()
+                .cost;
+            assert!(
+                (got - want).abs() <= 1e-9 * want.abs().max(1.0),
+                "seed {seed}"
+            );
         }
     }
 
@@ -228,8 +255,7 @@ mod tests {
         for seed in 0..5 {
             let w = workload::random_workload(6, 0.3, seed);
             let without = optimal_cost(&w.graph, &w.catalog, &Cout).unwrap();
-            let with =
-                optimal_cost_with_cross_products(&w.graph, &w.catalog, &Cout).unwrap();
+            let with = optimal_cost_with_cross_products(&w.graph, &w.catalog, &Cout).unwrap();
             assert!(with <= without + 1e-9, "seed {seed}");
         }
     }
@@ -241,9 +267,7 @@ mod tests {
         let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         assert!(optimal_cost(&disc, &Catalog::new(&disc), &Cout).is_err());
         // …but the cross-product oracle handles disconnected graphs.
-        assert!(
-            optimal_cost_with_cross_products(&disc, &Catalog::new(&disc), &Cout).is_ok()
-        );
+        assert!(optimal_cost_with_cross_products(&disc, &Catalog::new(&disc), &Cout).is_ok());
     }
 
     #[test]

@@ -120,9 +120,7 @@ pub fn dpsub_inner(kind: GraphKind, n: u64) -> u128 {
             2 * i128::try_from(pow3(n - 1)).expect("fits") - (1i128 << n)
         }
         // 3ⁿ − 2^{n+1} + 1
-        GraphKind::Clique => {
-            i128::try_from(pow3(n)).expect("fits") - (1i128 << (n + 1)) + 1
-        }
+        GraphKind::Clique => i128::try_from(pow3(n)).expect("fits") - (1i128 << (n + 1)) + 1,
     };
     u128::try_from(v).expect("non-negative for n ≥ 1")
 }
@@ -197,15 +195,33 @@ mod tests {
     #[test]
     fn figure3_dpsize_column() {
         let expect: &[(GraphKind, &[(u64, u128)])] = &[
-            (GraphKind::Chain, &[(2, 1), (5, 73), (10, 1135), (15, 5628), (20, 17_545)]),
-            (GraphKind::Cycle, &[(2, 1), (5, 120), (10, 2225), (15, 11_760), (20, 37_900)]),
+            (
+                GraphKind::Chain,
+                &[(2, 1), (5, 73), (10, 1135), (15, 5628), (20, 17_545)],
+            ),
+            (
+                GraphKind::Cycle,
+                &[(2, 1), (5, 120), (10, 2225), (15, 11_760), (20, 37_900)],
+            ),
             (
                 GraphKind::Star,
-                &[(2, 1), (5, 110), (10, 57_888), (15, 57_305_929), (20, 59_892_991_338)],
+                &[
+                    (2, 1),
+                    (5, 110),
+                    (10, 57_888),
+                    (15, 57_305_929),
+                    (20, 59_892_991_338),
+                ],
             ),
             (
                 GraphKind::Clique,
-                &[(2, 1), (5, 280), (10, 306_991), (15, 307_173_877), (20, 309_338_182_241)],
+                &[
+                    (2, 1),
+                    (5, 280),
+                    (10, 306_991),
+                    (15, 307_173_877),
+                    (20, 309_338_182_241),
+                ],
             ),
         ];
         for &(kind, rows) in expect {
@@ -218,18 +234,39 @@ mod tests {
     #[test]
     fn figure3_dpsub_column() {
         let expect: &[(GraphKind, &[(u64, u128)])] = &[
-            (GraphKind::Chain, &[(2, 2), (5, 84), (10, 3962), (15, 130_798), (20, 4_193_840)]),
+            (
+                GraphKind::Chain,
+                &[(2, 2), (5, 84), (10, 3962), (15, 130_798), (20, 4_193_840)],
+            ),
             (
                 GraphKind::Cycle,
-                &[(2, 2), (5, 140), (10, 11_062), (15, 523_836), (20, 22_019_294)],
+                &[
+                    (2, 2),
+                    (5, 140),
+                    (10, 11_062),
+                    (15, 523_836),
+                    (20, 22_019_294),
+                ],
             ),
             (
                 GraphKind::Star,
-                &[(2, 2), (5, 130), (10, 38_342), (15, 9_533_170), (20, 2_323_474_358)],
+                &[
+                    (2, 2),
+                    (5, 130),
+                    (10, 38_342),
+                    (15, 9_533_170),
+                    (20, 2_323_474_358),
+                ],
             ),
             (
                 GraphKind::Clique,
-                &[(2, 2), (5, 180), (10, 57_002), (15, 14_283_372), (20, 3_484_687_250)],
+                &[
+                    (2, 2),
+                    (5, 180),
+                    (10, 57_002),
+                    (15, 14_283_372),
+                    (20, 3_484_687_250),
+                ],
             ),
         ];
         for &(kind, rows) in expect {
@@ -285,7 +322,10 @@ mod tests {
             let opt = dpsize_inner_from_profile(&p);
             let naive = dpsize_naive_inner_from_profile(&p);
             assert!(naive > opt);
-            assert!(naive <= 2 * opt + 10_000, "{kind}: naive should be ≈ 2× optimized");
+            assert!(
+                naive <= 2 * opt + 10_000,
+                "{kind}: naive should be ≈ 2× optimized"
+            );
         }
     }
 

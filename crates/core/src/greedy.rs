@@ -10,8 +10,10 @@ use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::Observer;
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
 
@@ -24,12 +26,15 @@ impl JoinOrderer for Goo {
         "GOO"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), g.num_relations());
+        spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
         }
@@ -54,7 +59,9 @@ impl JoinOrderer for Goo {
                 }
             })
             .collect();
+        spans.end("init");
 
+        spans.begin("enumerate");
         while comps.len() > 1 {
             // Pick the connected pair with the smallest join result.
             let mut best: Option<(usize, usize, f64)> = None;
@@ -75,24 +82,35 @@ impl JoinOrderer for Goo {
                     }
                 }
             }
-            let (i, j, out) =
-                best.expect("a connected graph always has a joinable component pair");
+            let (i, j, out) = best.expect("a connected graph always has a joinable component pair");
             let (a, b) = (&comps[i], &comps[j]);
             let c_ab = model.join_cost(&a.stats, &b.stats, out);
             let c_ba = model.join_cost(&b.stats, &a.stats, out);
-            let (left, right, cost) =
-                if c_ba < c_ab { (j, i, c_ba) } else { (i, j, c_ab) };
-            let stats = PlanStats { cardinality: out, cost };
+            let (left, right, cost) = if c_ba < c_ab {
+                (j, i, c_ba)
+            } else {
+                (i, j, c_ab)
+            };
+            let stats = PlanStats {
+                cardinality: out,
+                cost,
+            };
             let plan = arena.add_join(comps[left].plan, comps[right].plan, stats);
             let set = comps[i].set | comps[j].set;
             // Replace component i, remove j (swap_remove keeps O(1)).
             comps[i] = Component { set, plan, stats };
             comps.swap_remove(j);
         }
+        spans.end("enumerate");
 
         let top = &comps[0];
+        spans.begin("extract");
+        let tree = arena.extract(top.plan);
+        spans.end("extract");
+        spans.arena_stats(&arena);
+        spans.finish(&counters);
         Ok(DpResult {
-            tree: arena.extract(top.plan),
+            tree,
             cost: top.stats.cost,
             cardinality: top.stats.cardinality,
             counters,
@@ -144,7 +162,10 @@ mod tests {
             let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             suboptimal_seen |= greedy.cost > opt.cost * 1.001;
         }
-        assert!(suboptimal_seen, "GOO matched the optimum on all 30 seeds — suspicious");
+        assert!(
+            suboptimal_seen,
+            "GOO matched the optimum on all 30 seeds — suspicious"
+        );
     }
 
     #[test]

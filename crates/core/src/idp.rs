@@ -18,8 +18,10 @@ use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::Observer;
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
 use crate::table::{DpTable, PlanTable, TableEntry};
@@ -40,7 +42,9 @@ impl Idp {
     /// Creates an IDP optimizer that runs exact DP over at most `k`
     /// components per round. Values below 2 are treated as 2.
     pub const fn with_block_size(k: usize) -> Idp {
-        Idp { block_size: if k < 2 { 2 } else { k } }
+        Idp {
+            block_size: if k < 2 { 2 } else { k },
+        }
     }
 
     /// The configured block size.
@@ -61,12 +65,15 @@ impl JoinOrderer for Idp {
         "IDP"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), g.num_relations());
+        spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
         }
@@ -87,7 +94,9 @@ impl JoinOrderer for Idp {
                 }
             })
             .collect();
+        spans.end("init");
 
+        spans.begin("enumerate");
         while comps.len() > 1 {
             let m = comps.len();
             let cap = self.block_size.min(m);
@@ -98,7 +107,13 @@ impl JoinOrderer for Idp {
             let mut by_size: Vec<Vec<(RelSet, RelSet)>> = vec![Vec::new(); cap + 1];
             for (ci, comp) in comps.iter().enumerate() {
                 let mask = RelSet::single(ci);
-                table.insert(mask, TableEntry { plan: comp.plan, stats: comp.stats });
+                table.insert(
+                    mask,
+                    TableEntry {
+                        plan: comp.plan,
+                        stats: comp.stats,
+                    },
+                );
                 by_size[1].push((mask, comp.rels));
             }
 
@@ -124,9 +139,7 @@ impl JoinOrderer for Idp {
                             let e2 = *table.get(b).expect("built in earlier size");
                             let union = a | b;
                             let (out, incumbent) = match table.get(union) {
-                                Some(ex) => {
-                                    (ex.stats.cardinality, Some(ex.stats.cost))
-                                }
+                                Some(ex) => (ex.stats.cardinality, Some(ex.stats.cost)),
                                 None => (
                                     est.join_cardinality(
                                         e1.stats.cardinality,
@@ -149,7 +162,10 @@ impl JoinOrderer for Idp {
                                 }
                             };
                             if incumbent.is_none_or(|best| cost < best) {
-                                let stats = PlanStats { cardinality: out, cost };
+                                let stats = PlanStats {
+                                    cardinality: out,
+                                    cost,
+                                };
                                 let plan = arena.add_join(l.plan, r.plan, stats);
                                 table.insert(union, TableEntry { plan, stats });
                             }
@@ -170,10 +186,17 @@ impl JoinOrderer for Idp {
                 .expect("size-1 level is never empty")
                 .iter()
                 .map(|&(mask, rels)| {
-                    (mask, rels, *table.get(mask).expect("listed masks have entries"))
+                    (
+                        mask,
+                        rels,
+                        *table.get(mask).expect("listed masks have entries"),
+                    )
                 })
                 .min_by(|a, b| {
-                    a.2.stats.cost.partial_cmp(&b.2.stats.cost).expect("finite costs")
+                    a.2.stats
+                        .cost
+                        .partial_cmp(&b.2.stats.cost)
+                        .expect("finite costs")
                 })
                 .expect("non-empty level");
             if best_mask.is_singleton() {
@@ -195,10 +218,16 @@ impl JoinOrderer for Idp {
             next.push(merged);
             comps = next;
         }
+        spans.end("enumerate");
 
         let top = comps[0];
+        spans.begin("extract");
+        let tree = arena.extract(top.plan);
+        spans.end("extract");
+        spans.arena_stats(&arena);
+        spans.finish(&counters);
         Ok(DpResult {
-            tree: arena.extract(top.plan),
+            tree,
             cost: top.stats.cost,
             cardinality: top.stats.cardinality,
             counters,
@@ -228,7 +257,9 @@ mod tests {
         for kind in GraphKind::ALL {
             for seed in 0..4 {
                 let w = workload::family_workload(kind, 8, seed);
-                let idp = Idp::with_block_size(8).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                let idp = Idp::with_block_size(8)
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .unwrap();
                 let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
                 let tol = 1e-9 * opt.cost.abs().max(1.0);
                 assert!(
@@ -245,9 +276,14 @@ mod tests {
     fn never_better_than_optimal_and_valid() {
         for seed in 0..15 {
             let w = workload::random_workload(10, 0.3, seed);
-            let idp = Idp::with_block_size(4).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let idp = Idp::with_block_size(4)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
-            assert!(idp.cost >= opt.cost - 1e-9 * opt.cost.abs().max(1.0), "seed {seed}");
+            assert!(
+                idp.cost >= opt.cost - 1e-9 * opt.cost.abs().max(1.0),
+                "seed {seed}"
+            );
             assert_eq!(idp.tree.relations(), w.graph.all_relations());
             assert_eq!(idp.tree.num_joins(), 9);
             // No cross products.
@@ -270,8 +306,12 @@ mod tests {
         let mut sum_large = 0.0;
         for seed in 0..20 {
             let w = workload::random_workload(12, 0.25, seed);
-            let small = Idp::with_block_size(3).optimize(&w.graph, &w.catalog, &Cout).unwrap();
-            let large = Idp::with_block_size(8).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let small = Idp::with_block_size(3)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
+            let large = Idp::with_block_size(8)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             sum_small += small.cost / opt.cost;
             sum_large += large.cost / opt.cost;
@@ -291,35 +331,47 @@ mod tests {
         // even unoptimized. (The release-mode benches push this to 40+.)
         let w = workload::family_workload(GraphKind::Clique, 25, 1);
         let start = Instant::now();
-        let r = Idp::with_block_size(3).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = Idp::with_block_size(3)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert!(start.elapsed().as_secs() < 20, "took {:?}", start.elapsed());
         assert_eq!(r.tree.num_relations(), 25);
         assert!(r.cost.is_finite());
         // And a 40-relation chain with a bigger block.
         let w = workload::family_workload(GraphKind::Chain, 40, 1);
-        let r = Idp::with_block_size(6).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = Idp::with_block_size(6)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_relations(), 40);
     }
 
     #[test]
     fn works_with_asymmetric_models() {
         let w = workload::random_workload(9, 0.4, 5);
-        let r = Idp::with_block_size(5).optimize(&w.graph, &w.catalog, &HashJoin).unwrap();
+        let r = Idp::with_block_size(5)
+            .optimize(&w.graph, &w.catalog, &HashJoin)
+            .unwrap();
         assert!(r.cost.is_finite() && r.cost > 0.0);
     }
 
     #[test]
     fn rejects_invalid_inputs() {
         let g = QueryGraph::new(0).unwrap();
-        assert!(Idp::default().optimize(&g, &Catalog::new(&g), &Cout).is_err());
+        assert!(Idp::default()
+            .optimize(&g, &Catalog::new(&g), &Cout)
+            .is_err());
         let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
-        assert!(Idp::default().optimize(&disc, &Catalog::new(&disc), &Cout).is_err());
+        assert!(Idp::default()
+            .optimize(&disc, &Catalog::new(&disc), &Cout)
+            .is_err());
     }
 
     #[test]
     fn single_relation() {
         let w = workload::family_workload(GraphKind::Chain, 1, 0);
-        let r = Idp::default().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = Idp::default()
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_joins(), 0);
     }
 }

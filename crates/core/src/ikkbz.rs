@@ -21,12 +21,14 @@
 //! giving a polynomial and an exponential implementation that
 //! cross-validate each other.
 
-use joinopt_cost::{CardinalityEstimator, Catalog, Cout, CostModel as _, PlanStats};
+use joinopt_cost::{CardinalityEstimator, Catalog, CostModel as _, Cout, PlanStats};
 use joinopt_plan::PlanArena;
 use joinopt_qgraph::{QueryGraph, QueryGraphError};
 use joinopt_relset::{RelIdx, RelSet};
+use joinopt_telemetry::{NoopObserver, Observer};
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::result::DpResult;
 
@@ -47,7 +49,11 @@ struct Module {
 
 impl Module {
     fn single(rel: RelIdx, t: f64) -> Module {
-        Module { rels: vec![rel], c: t, t }
+        Module {
+            rels: vec![rel],
+            c: t,
+            t,
+        }
     }
 
     fn rank(&self) -> f64 {
@@ -78,6 +84,18 @@ impl IkkBz {
     /// * [`OptimizeError::Graph`] for disconnected **or cyclic** graphs
     ///   (IKKBZ requires a tree).
     pub fn optimize(&self, g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptimizeError> {
+        self.optimize_observed(g, catalog, &NoopObserver)
+    }
+
+    /// [`IkkBz::optimize`] with telemetry (span granularity).
+    pub fn optimize_observed(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        obs: &dyn Observer,
+    ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), g.num_relations());
+        spans.begin("init");
         let n = g.num_relations();
         if n == 0 {
             return Err(OptimizeError::EmptyQuery);
@@ -91,7 +109,9 @@ impl IkkBz {
             }));
         }
         let est = CardinalityEstimator::new(g, catalog)?;
+        spans.end("init");
 
+        spans.begin("enumerate");
         let mut best_order: Option<(Vec<RelIdx>, f64)> = None;
         let mut counters = Counters::new();
         for root in 0..n {
@@ -102,8 +122,10 @@ impl IkkBz {
             }
         }
         let (order, _) = best_order.expect("n ≥ 1 yields at least one order");
+        spans.end("enumerate");
 
         // Materialize the plan.
+        spans.begin("extract");
         let mut arena = PlanArena::with_capacity(2 * n);
         let mut set = RelSet::single(order[0]);
         let mut plan = arena.add_scan(order[0], est.base_cardinality(order[0]));
@@ -118,13 +140,20 @@ impl IkkBz {
                 RelSet::single(rel),
             );
             let cost = Cout.join_cost(&stats, &right_stats, out);
-            stats = PlanStats { cardinality: out, cost };
+            stats = PlanStats {
+                cardinality: out,
+                cost,
+            };
             plan = arena.add_join(plan, right, stats);
             set.insert(rel);
         }
+        let tree = arena.extract(plan);
+        spans.end("extract");
+        spans.arena_stats(&arena);
+        spans.finish(&counters);
 
         Ok(DpResult {
-            tree: arena.extract(plan),
+            tree,
             cost: stats.cost,
             cardinality: stats.cardinality,
             counters,
@@ -228,9 +257,7 @@ fn merge_by_rank(chains: Vec<Vec<Module>>, counters: &mut Counters) -> Vec<Modul
         for (i, head) in heads.iter().enumerate() {
             if let Some(m) = head {
                 counters.inner += 1;
-                if best.is_none_or(|b| {
-                    m.rank() < heads[b].as_ref().expect("best is live").rank()
-                }) {
+                if best.is_none_or(|b| m.rank() < heads[b].as_ref().expect("best is live").rank()) {
                     best = Some(i);
                 }
             }
@@ -253,9 +280,17 @@ fn left_deep_cost(g: &QueryGraph, est: &CardinalityEstimator, order: &[RelIdx]) 
             "IKKBZ order introduced a cross product"
         );
         let right = PlanStats::base(est.base_cardinality(rel));
-        let out = est.join_cardinality(stats.cardinality, right.cardinality, set, RelSet::single(rel));
+        let out = est.join_cardinality(
+            stats.cardinality,
+            right.cardinality,
+            set,
+            RelSet::single(rel),
+        );
         let cost = Cout.join_cost(&stats, &right, out);
-        stats = PlanStats { cardinality: out, cost };
+        stats = PlanStats {
+            cardinality: out,
+            cost,
+        };
         set.insert(rel);
     }
     stats.cost
@@ -267,8 +302,7 @@ mod tests {
     use crate::{DpSizeLeftDeep, JoinOrderer};
     use joinopt_cost::{workload, Cout};
     use joinopt_qgraph::{generators, GraphKind};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use joinopt_relset::XorShift64;
 
     #[test]
     fn matches_leftdeep_dp_on_chains_and_stars() {
@@ -277,7 +311,9 @@ mod tests {
                 for seed in 0..3 {
                     let w = workload::family_workload(kind, n, seed);
                     let ik = IkkBz.optimize(&w.graph, &w.catalog).unwrap();
-                    let dp = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                    let dp = DpSizeLeftDeep
+                        .optimize(&w.graph, &w.catalog, &Cout)
+                        .unwrap();
                     let tol = 1e-9 * dp.cost.abs().max(1.0);
                     assert!(
                         (ik.cost - dp.cost).abs() <= tol,
@@ -292,7 +328,7 @@ mod tests {
 
     #[test]
     fn matches_leftdeep_dp_on_random_trees() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = XorShift64::seed_from_u64(9);
         for trial in 0..25 {
             let g = generators::random_tree(9, &mut rng).unwrap();
             let cat = workload::random_catalog(
@@ -314,13 +350,10 @@ mod tests {
 
     #[test]
     fn produces_valid_left_deep_trees() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = XorShift64::seed_from_u64(4);
         let g = generators::random_tree(12, &mut rng).unwrap();
-        let cat = workload::random_catalog(
-            &g,
-            joinopt_cost::workload::StatsRanges::default(),
-            &mut rng,
-        );
+        let cat =
+            workload::random_catalog(&g, joinopt_cost::workload::StatsRanges::default(), &mut rng);
         let r = IkkBz.optimize(&g, &cat).unwrap();
         assert!(r.tree.is_left_deep());
         assert_eq!(r.tree.relations(), g.all_relations());
@@ -331,7 +364,10 @@ mod tests {
     fn rejects_cyclic_graphs() {
         let g = generators::cycle(5).unwrap();
         let cat = Catalog::new(&g);
-        assert!(matches!(IkkBz.optimize(&g, &cat), Err(OptimizeError::Graph(_))));
+        assert!(matches!(
+            IkkBz.optimize(&g, &cat),
+            Err(OptimizeError::Graph(_))
+        ));
         let clique = generators::clique(4).unwrap();
         assert!(IkkBz.optimize(&clique, &Catalog::new(&clique)).is_err());
     }

@@ -16,6 +16,7 @@
 use joinopt_cost::{Catalog, CostModel};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::Observer;
 
 use crate::driver::Driver;
 use crate::error::OptimizeError;
@@ -31,13 +32,14 @@ impl JoinOrderer for DpSizeLeftDeep {
         "DPsize-leftdeep"
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true)?;
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
         let n = g.num_relations();
 
         let mut plans_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
@@ -66,7 +68,10 @@ impl JoinOrderer for DpSizeLeftDeep {
         }
         // The pair counter here counts (composite, relation) extensions,
         // which is NOT the #ccp graph invariant (left-deep explores a
-        // strict subset of the csg-cmp-pairs).
+        // strict subset of the csg-cmp-pairs). Each unordered pair is
+        // evaluated in exactly one orientation — the reverse would be a
+        // right-deep join, outside the search space — so the distinct
+        // unordered count equals the oriented count (no halving).
         d.counters.ono_lohman = d.counters.csg_cmp_pairs;
         d.finish()
     }
@@ -84,7 +89,9 @@ mod tests {
         for kind in GraphKind::ALL {
             for seed in 0..5 {
                 let w = workload::family_workload(kind, 8, seed);
-                let r = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                let r = DpSizeLeftDeep
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .unwrap();
                 assert!(r.tree.is_left_deep(), "{kind} seed {seed}: {}", r.tree);
                 assert_eq!(r.tree.relations(), w.graph.all_relations());
             }
@@ -95,7 +102,9 @@ mod tests {
     fn never_beats_bushy_optimum() {
         for seed in 0..20 {
             let w = workload::random_workload(8, 0.3, seed);
-            let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let ld = DpSizeLeftDeep
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let bushy = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             assert!(
                 ld.cost >= bushy.cost - 1e-9 * bushy.cost.abs().max(1.0),
@@ -146,15 +155,21 @@ mod tests {
                         set,
                         next,
                     );
-                    let cost = Cout.join_cost(&stats, &PlanStats::base(est.base_cardinality(rel)), out);
-                    stats = PlanStats { cardinality: out, cost };
+                    let cost =
+                        Cout.join_cost(&stats, &PlanStats::base(est.base_cardinality(rel)), out);
+                    stats = PlanStats {
+                        cardinality: out,
+                        cost,
+                    };
                     set |= next;
                 }
                 if stats.cost < best {
                     best = stats.cost;
                 }
             });
-            let r = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let r = DpSizeLeftDeep
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             assert!(
                 (r.cost - best).abs() <= 1e-9 * best.abs().max(1.0),
                 "seed {seed}: DP {} vs exhaustive {}",
@@ -169,17 +184,24 @@ mod tests {
         let mut strict = false;
         for seed in 0..40 {
             let w = workload::random_workload(9, 0.25, seed);
-            let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let ld = DpSizeLeftDeep
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let bushy = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             strict |= ld.cost > bushy.cost * 1.01;
         }
-        assert!(strict, "left-deep matched bushy on all 40 seeds — suspicious");
+        assert!(
+            strict,
+            "left-deep matched bushy on all 40 seeds — suspicious"
+        );
     }
 
     #[test]
     fn search_space_is_smaller() {
         let w = workload::family_workload(GraphKind::Clique, 10, 0);
-        let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let ld = DpSizeLeftDeep
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         let bushy = crate::DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
         assert!(ld.counters.inner < bushy.counters.inner / 10);
     }

@@ -53,11 +53,11 @@ mod dpsub;
 mod driver;
 mod error;
 pub mod exhaustive;
+pub mod formulas;
+pub mod greedy;
 mod idp;
 mod ikkbz;
 mod leftdeep;
-pub mod formulas;
-pub mod greedy;
 mod optimizer;
 mod result;
 pub mod table;

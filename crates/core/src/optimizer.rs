@@ -2,17 +2,18 @@
 
 use joinopt_cost::{Catalog, CostModel, Cout};
 use joinopt_qgraph::QueryGraph;
+use joinopt_telemetry::{NoopObserver, Observer};
 
+use crate::annealing::SimulatedAnnealing;
 use crate::dpccp::DpCcp;
 use crate::dpsize::{DpSize, DpSizeNaive};
 use crate::dpsub::{DpSub, DpSubCrossProducts, DpSubUnfiltered};
 use crate::error::OptimizeError;
 use crate::greedy::Goo;
-use crate::annealing::SimulatedAnnealing;
 use crate::idp::Idp;
 use crate::leftdeep::DpSizeLeftDeep;
-use crate::topdown::TopDown;
 use crate::result::{DpResult, JoinOrderer};
+use crate::topdown::TopDown;
 
 /// Selects which join-ordering algorithm runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -160,7 +161,10 @@ impl Optimizer {
     /// An optimizer with `Auto` algorithm selection and the `C_out`
     /// cost model.
     pub fn new() -> Optimizer {
-        Optimizer { algorithm: Algorithm::Auto, model: Box::new(Cout) }
+        Optimizer {
+            algorithm: Algorithm::Auto,
+            model: Box::new(Cout),
+        }
     }
 
     /// Chooses a specific algorithm.
@@ -188,7 +192,25 @@ impl Optimizer {
     ///
     /// Propagates the underlying algorithm's validation errors.
     pub fn optimize(&self, g: &QueryGraph, catalog: &Catalog) -> Result<DpResult, OptimizeError> {
-        self.algorithm.orderer(g).optimize(g, catalog, self.model.as_ref())
+        self.optimize_observed(g, catalog, &NoopObserver)
+    }
+
+    /// [`Optimizer::optimize`] with telemetry: the resolved algorithm
+    /// reports phase spans, DP-level progress and table/arena statistics
+    /// to `obs` (see [`joinopt_telemetry::Event`] for the vocabulary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying algorithm's validation errors.
+    pub fn optimize_observed(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        obs: &dyn Observer,
+    ) -> Result<DpResult, OptimizeError> {
+        self.algorithm
+            .orderer(g)
+            .optimize_observed(g, catalog, self.model.as_ref(), obs)
     }
 }
 
@@ -282,7 +304,10 @@ mod tests {
             Algorithm::DpSub,
             Algorithm::DpSubUnfiltered,
         ] {
-            let r = alg.orderer(&w.graph).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let r = alg
+                .orderer(&w.graph)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             assert!(
                 (r.cost - reference).abs() <= 1e-9 * reference.max(1.0),
                 "{alg:?}: {} vs {}",

@@ -3,6 +3,7 @@
 use joinopt_cost::{Catalog, CostModel};
 use joinopt_plan::JoinTree;
 use joinopt_qgraph::QueryGraph;
+use joinopt_telemetry::{NoopObserver, Observer};
 
 use crate::counters::Counters;
 use crate::error::OptimizeError;
@@ -32,7 +33,14 @@ pub trait JoinOrderer {
     /// (`"DPsize"`, `"DPsub"`, `"DPccp"`, …).
     fn name(&self) -> &'static str;
 
-    /// Computes an optimal bushy join tree for `g` under `model`.
+    /// Computes an optimal bushy join tree for `g` under `model`,
+    /// reporting progress and statistics to `obs`.
+    ///
+    /// With a disabled observer ([`Observer::enabled`] returning
+    /// `false`, e.g. [`NoopObserver`]) implementations must behave
+    /// bit-identically to an uninstrumented run — same plan, cost, and
+    /// counters. Failed runs may leave a `run_start` without a matching
+    /// `run_end` in the event stream.
     ///
     /// # Errors
     ///
@@ -40,10 +48,21 @@ pub trait JoinOrderer {
     /// trees only exist for connected query graphs) and for catalogs not
     /// matching `g`'s shape. [`crate::DpSubCrossProducts`] lifts the
     /// connectivity requirement.
+    fn optimize_observed(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+        obs: &dyn Observer,
+    ) -> Result<DpResult, OptimizeError>;
+
+    /// [`JoinOrderer::optimize_observed`] without telemetry.
     fn optimize(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
-    ) -> Result<DpResult, OptimizeError>;
+    ) -> Result<DpResult, OptimizeError> {
+        self.optimize_observed(g, catalog, model, &NoopObserver)
+    }
 }

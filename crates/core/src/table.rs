@@ -80,8 +80,12 @@ pub trait PlanTable {
     /// Registers lazily-built `entry` if `s` has no plan yet or `cost`
     /// improves on the registered one. Returns `true` iff `s` was
     /// previously absent.
-    fn insert_if_better(&mut self, s: RelSet, cost: f64, entry: impl FnOnce() -> TableEntry)
-        -> bool;
+    fn insert_if_better(
+        &mut self,
+        s: RelSet,
+        cost: f64,
+        entry: impl FnOnce() -> TableEntry,
+    ) -> bool;
 
     /// `true` iff a plan for `s` is registered.
     fn contains(&self, s: RelSet) -> bool {
@@ -90,6 +94,11 @@ pub trait PlanTable {
 
     /// Number of sets with a registered plan.
     fn len(&self) -> usize;
+
+    /// Number of entry slots currently allocated (bucket capacity for
+    /// the sparse table, `2ⁿ` slots for the dense one). `len / capacity`
+    /// is the occupancy telemetry reports.
+    fn capacity(&self) -> usize;
 
     /// `true` iff no plan is registered.
     fn is_empty(&self) -> bool {
@@ -111,7 +120,9 @@ impl DpTable {
 
     /// Creates a table pre-sized for `cap` entries.
     pub fn with_capacity(cap: usize) -> DpTable {
-        DpTable { map: HashMap::with_capacity_and_hasher(cap, BuildFxHasher::default()) }
+        DpTable {
+            map: HashMap::with_capacity_and_hasher(cap, BuildFxHasher::default()),
+        }
     }
 
     /// Iterates over all `(set, entry)` pairs in unspecified order.
@@ -164,6 +175,10 @@ impl PlanTable for DpTable {
     fn len(&self) -> usize {
         self.map.len()
     }
+
+    fn capacity(&self) -> usize {
+        self.map.capacity()
+    }
 }
 
 /// A dense, direct-addressed DP table: slot `s.bits()` holds the entry
@@ -184,7 +199,10 @@ pub struct DenseDpTable {
 /// Sentinel for empty slots (never read while absent).
 const VACANT: TableEntry = TableEntry {
     plan: PlanId::SENTINEL,
-    stats: PlanStats { cardinality: 0.0, cost: f64::INFINITY },
+    stats: PlanStats {
+        cardinality: 0.0,
+        cost: f64::INFINITY,
+    },
 };
 
 impl DenseDpTable {
@@ -272,6 +290,10 @@ impl PlanTable for DenseDpTable {
     fn len(&self) -> usize {
         self.len
     }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +304,13 @@ mod tests {
         // PlanId has no public constructor; fabricate one through an arena.
         let mut arena = joinopt_plan::PlanArena::new();
         let id = arena.add_scan(0, 1.0);
-        TableEntry { plan: id, stats: PlanStats { cardinality: 1.0, cost } }
+        TableEntry {
+            plan: id,
+            stats: PlanStats {
+                cardinality: 1.0,
+                cost,
+            },
+        }
     }
 
     #[test]

@@ -26,8 +26,10 @@ use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
+use joinopt_telemetry::Observer;
 
 use crate::counters::Counters;
+use crate::driver::Spans;
 use crate::error::OptimizeError;
 use crate::greedy::Goo;
 use crate::result::{DpResult, JoinOrderer};
@@ -73,6 +75,9 @@ struct Search<'a> {
     memo: std::collections::HashMap<RelSet, Memo, crate::table::BuildFxHasher>,
     counters: Counters,
     pruning: bool,
+    observe: bool,
+    probes: u64,
+    hits: u64,
 }
 
 impl JoinOrderer for TopDown {
@@ -84,19 +89,24 @@ impl JoinOrderer for TopDown {
         }
     }
 
-    fn optimize(
+    fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
+        obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
+        let spans = Spans::start(obs, self.name(), g.num_relations());
+        spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
         let est = CardinalityEstimator::new(g, catalog)?;
 
-        // Seed the upper bound with a greedy plan (only used when pruning).
+        // Seed the upper bound with a greedy plan (only used when
+        // pruning). Runs unobserved — a nested `run_start` would corrupt
+        // the event stream.
         let initial_upper = if self.pruning && g.num_relations() > 1 {
             let goo = Goo.optimize(g, catalog, model)?;
             goo.cost * (1.0 + 1e-9) + 1e-9
@@ -112,16 +122,33 @@ impl JoinOrderer for TopDown {
             memo: std::collections::HashMap::default(),
             counters: Counters::new(),
             pruning: self.pruning,
+            observe: obs.enabled(),
+            probes: 0,
+            hits: 0,
         };
+        spans.end("init");
+        spans.begin("enumerate");
         let full = g.all_relations();
         let result = search
             .solve(full, initial_upper)
             .expect("the greedy seed plan guarantees a solution under the initial bound");
+        spans.end("enumerate");
 
+        spans.begin("extract");
+        let tree = search.arena.extract(result.0);
+        spans.end("extract");
+        spans.table_stats(
+            search.memo.len(),
+            search.memo.capacity(),
+            search.probes,
+            search.hits,
+        );
+        spans.arena_stats(&search.arena);
+        spans.finish(&search.counters);
         Ok(DpResult {
             cost: result.1.cost,
             cardinality: result.1.cardinality,
-            tree: search.arena.extract(result.0),
+            tree,
             counters: search.counters,
             table_size: search.memo.len(),
             plans_built: search.arena.len(),
@@ -130,6 +157,15 @@ impl JoinOrderer for TopDown {
 }
 
 impl Search<'_> {
+    /// Memo probe/hit accounting (no-op when not observing).
+    #[inline]
+    fn note_probe(&mut self, hit: bool) {
+        if self.observe {
+            self.probes += 1;
+            self.hits += u64::from(hit);
+        }
+    }
+
     /// Best plan for `s` with cost `< upper`, or `None` if provably none
     /// exists below the budget.
     fn solve(&mut self, s: RelSet, upper: f64) -> Option<(PlanId, PlanStats)> {
@@ -137,14 +173,17 @@ impl Search<'_> {
             let rel = s.min_index().expect("singleton");
             let card = self.est.base_cardinality(rel);
             // Scans are free; materialize lazily but idempotently via memo.
-            if let Some(Memo::Exact { plan, stats }) = self.memo.get(&s) {
-                return Some((*plan, *stats));
+            let memoized = self.memo.get(&s).copied();
+            self.note_probe(memoized.is_some());
+            if let Some(Memo::Exact { plan, stats }) = memoized {
+                return Some((plan, stats));
             }
             let stats = PlanStats::base(card);
             let plan = self.arena.add_scan(rel, card);
             self.memo.insert(s, Memo::Exact { plan, stats });
             return Some((plan, stats));
         }
+        self.note_probe(self.memo.contains_key(&s));
         match self.memo.get(&s) {
             Some(Memo::Exact { plan, stats }) => {
                 return (stats.cost < upper).then_some((*plan, *stats));
@@ -167,17 +206,25 @@ impl Search<'_> {
             .partitions(s)
             .into_iter()
             .map(|(s1, s2)| {
-                let l0 =
-                    PlanStats { cardinality: self.est.set_cardinality(s1), cost: 0.0 };
-                let r0 =
-                    PlanStats { cardinality: self.est.set_cardinality(s2), cost: 0.0 };
+                let l0 = PlanStats {
+                    cardinality: self.est.set_cardinality(s1),
+                    cost: 0.0,
+                };
+                let r0 = PlanStats {
+                    cardinality: self.est.set_cardinality(s2),
+                    cost: 0.0,
+                };
                 let lb12 = self.model.join_cost(&l0, &r0, out_card);
                 let join_lb = if self.model.is_symmetric() {
                     lb12
                 } else {
                     lb12.min(self.model.join_cost(&r0, &l0, out_card))
                 };
-                (s1, s2, join_lb + self.child_lower(s1) + self.child_lower(s2))
+                (
+                    s1,
+                    s2,
+                    join_lb + self.child_lower(s1) + self.child_lower(s2),
+                )
             })
             .collect();
         if self.pruning {
@@ -193,8 +240,11 @@ impl Search<'_> {
             self.counters.csg_cmp_pairs += 2;
             self.counters.ono_lohman += 1;
             let lb_other2 = self.child_lower(s2);
-            let child_budget1 =
-                if self.pruning { bound - lb + self.child_lower(s1) } else { f64::INFINITY };
+            let child_budget1 = if self.pruning {
+                bound - lb + self.child_lower(s1)
+            } else {
+                f64::INFINITY
+            };
             let Some((p1, st1)) = self.solve(s1, child_budget1) else {
                 continue;
             };
@@ -218,9 +268,11 @@ impl Search<'_> {
                 }
             };
             let _ = (lst, rst);
-            if cost < bound || (!self.pruning && best.as_ref().is_none_or(|b| cost < b.1.cost))
-            {
-                let stats = PlanStats { cardinality: out_card, cost };
+            if cost < bound || (!self.pruning && best.as_ref().is_none_or(|b| cost < b.1.cost)) {
+                let stats = PlanStats {
+                    cardinality: out_card,
+                    cost,
+                };
                 let plan = self.arena.add_join(left, right, stats);
                 best = Some((plan, stats));
                 bound = bound.min(cost);
@@ -262,13 +314,7 @@ impl Search<'_> {
         let mut out = Vec::new();
         // Grow connected sets from the anchor within `s`, neighborhood
         // layer by layer (the EnumerateCsgRec discipline restricted to s).
-        fn rec(
-            g: &QueryGraph,
-            s: RelSet,
-            s1: RelSet,
-            x: RelSet,
-            out: &mut Vec<(RelSet, RelSet)>,
-        ) {
+        fn rec(g: &QueryGraph, s: RelSet, s1: RelSet, x: RelSet, out: &mut Vec<(RelSet, RelSet)>) {
             let nb = (g.neighborhood(s1) & s) - x;
             if nb.is_empty() {
                 return;
@@ -353,9 +399,12 @@ mod tests {
         let mut full_total = 0u64;
         for seed in 0..10 {
             let w = workload::random_workload(9, 0.3, seed);
-            let with = TopDown::with_pruning().optimize(&w.graph, &w.catalog, &Cout).unwrap();
-            let without =
-                TopDown::without_pruning().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let with = TopDown::with_pruning()
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
+            let without = TopDown::without_pruning()
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             assert!(
                 (with.cost - without.cost).abs() <= 1e-6 * without.cost.abs().max(1.0),
                 "seed {seed}"
@@ -377,7 +426,9 @@ mod tests {
         use joinopt_qgraph::csg;
         for kind in GraphKind::ALL {
             let w = workload::family_workload(kind, 8, 1);
-            let r = TopDown::without_pruning().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let r = TopDown::without_pruning()
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             assert_eq!(
                 r.counters.inner,
                 csg::count_ccp_distinct(&w.graph),
@@ -390,22 +441,30 @@ mod tests {
     fn memo_covers_exactly_connected_sets_when_unpruned() {
         use joinopt_qgraph::csg;
         let w = workload::family_workload(GraphKind::Cycle, 8, 2);
-        let r = TopDown::without_pruning().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = TopDown::without_pruning()
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.table_size as u64, csg::count_csg(&w.graph));
     }
 
     #[test]
     fn rejects_invalid_inputs() {
         let g = QueryGraph::new(0).unwrap();
-        assert!(TopDown::default().optimize(&g, &Catalog::new(&g), &Cout).is_err());
+        assert!(TopDown::default()
+            .optimize(&g, &Catalog::new(&g), &Cout)
+            .is_err());
         let disc = QueryGraph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
-        assert!(TopDown::default().optimize(&disc, &Catalog::new(&disc), &Cout).is_err());
+        assert!(TopDown::default()
+            .optimize(&disc, &Catalog::new(&disc), &Cout)
+            .is_err());
     }
 
     #[test]
     fn single_relation() {
         let w = workload::family_workload(GraphKind::Chain, 1, 0);
-        let r = TopDown::default().optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let r = TopDown::default()
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_joins(), 0);
         assert_eq!(r.counters.inner, 0);
     }

@@ -56,7 +56,10 @@ impl Catalog {
     /// Rejects out-of-range relations and non-finite or `< 1` values.
     pub fn set_cardinality(&mut self, i: RelIdx, value: f64) -> Result<(), CostError> {
         if i >= self.cardinalities.len() {
-            return Err(CostError::RelationOutOfRange { relation: i, n: self.cardinalities.len() });
+            return Err(CostError::RelationOutOfRange {
+                relation: i,
+                n: self.cardinalities.len(),
+            });
         }
         if !value.is_finite() || value < 1.0 {
             return Err(CostError::InvalidCardinality { relation: i, value });
@@ -72,7 +75,10 @@ impl Catalog {
     /// Rejects out-of-range edges and values outside `(0, 1]`.
     pub fn set_selectivity(&mut self, e: EdgeId, value: f64) -> Result<(), CostError> {
         if e >= self.selectivities.len() {
-            return Err(CostError::EdgeOutOfRange { edge: e, m: self.selectivities.len() });
+            return Err(CostError::EdgeOutOfRange {
+                edge: e,
+                m: self.selectivities.len(),
+            });
         }
         if !value.is_finite() || value <= 0.0 || value > 1.0 {
             return Err(CostError::InvalidSelectivity { edge: e, value });
@@ -163,7 +169,10 @@ mod tests {
         ));
         for bad in [0.5, 0.0, -3.0, f64::NAN, f64::INFINITY] {
             assert!(
-                matches!(cat.set_cardinality(0, bad), Err(CostError::InvalidCardinality { .. })),
+                matches!(
+                    cat.set_cardinality(0, bad),
+                    Err(CostError::InvalidCardinality { .. })
+                ),
                 "accepted {bad}"
             );
         }
@@ -180,7 +189,10 @@ mod tests {
         ));
         for bad in [0.0, -0.1, 1.5, f64::NAN, f64::INFINITY] {
             assert!(
-                matches!(cat.set_selectivity(0, bad), Err(CostError::InvalidSelectivity { .. })),
+                matches!(
+                    cat.set_selectivity(0, bad),
+                    Err(CostError::InvalidSelectivity { .. })
+                ),
                 "accepted {bad}"
             );
         }
@@ -192,6 +204,9 @@ mod tests {
         let g3 = generators::chain(3).unwrap();
         let g4 = generators::chain(4).unwrap();
         let cat = Catalog::new(&g3);
-        assert!(matches!(cat.check_shape(&g4), Err(CostError::ShapeMismatch { .. })));
+        assert!(matches!(
+            cat.check_shape(&g4),
+            Err(CostError::ShapeMismatch { .. })
+        ));
     }
 }

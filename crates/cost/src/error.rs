@@ -49,16 +49,25 @@ impl fmt::Display for CostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             CostError::RelationOutOfRange { relation, n } => {
-                write!(f, "relation R{relation} out of range (catalog has {n} relations)")
+                write!(
+                    f,
+                    "relation R{relation} out of range (catalog has {n} relations)"
+                )
             }
             CostError::EdgeOutOfRange { edge, m } => {
                 write!(f, "edge {edge} out of range (catalog has {m} edges)")
             }
             CostError::InvalidCardinality { relation, value } => {
-                write!(f, "cardinality {value} for R{relation} must be finite and ≥ 1")
+                write!(
+                    f,
+                    "cardinality {value} for R{relation} must be finite and ≥ 1"
+                )
             }
             CostError::InvalidSelectivity { edge, value } => {
-                write!(f, "selectivity {value} for edge {edge} must be finite and in (0, 1]")
+                write!(
+                    f,
+                    "selectivity {value} for edge {edge} must be finite and in (0, 1]"
+                )
             }
             CostError::ShapeMismatch { catalog, graph } => {
                 write!(
@@ -82,15 +91,26 @@ mod tests {
         assert!(CostError::RelationOutOfRange { relation: 7, n: 3 }
             .to_string()
             .contains("R7"));
-        assert!(CostError::EdgeOutOfRange { edge: 9, m: 2 }.to_string().contains('9'));
-        assert!(CostError::InvalidCardinality { relation: 0, value: -1.0 }
+        assert!(CostError::EdgeOutOfRange { edge: 9, m: 2 }
             .to_string()
-            .contains("-1"));
-        assert!(CostError::InvalidSelectivity { edge: 1, value: 2.0 }
-            .to_string()
-            .contains('2'));
-        assert!(CostError::ShapeMismatch { catalog: (3, 2), graph: (4, 3) }
-            .to_string()
-            .contains("n=4"));
+            .contains('9'));
+        assert!(CostError::InvalidCardinality {
+            relation: 0,
+            value: -1.0
+        }
+        .to_string()
+        .contains("-1"));
+        assert!(CostError::InvalidSelectivity {
+            edge: 1,
+            value: 2.0
+        }
+        .to_string()
+        .contains('2'));
+        assert!(CostError::ShapeMismatch {
+            catalog: (3, 2),
+            graph: (4, 3)
+        }
+        .to_string()
+        .contains("n=4"));
     }
 }

@@ -45,7 +45,10 @@ impl CardinalityEstimator {
             incident[e.u].push((e.v, f));
             incident[e.v].push((e.u, f));
         }
-        Ok(CardinalityEstimator { cards: cat.cardinalities().to_vec(), incident })
+        Ok(CardinalityEstimator {
+            cards: cat.cardinalities().to_vec(),
+            incident,
+        })
     }
 
     /// Number of relations covered.
@@ -77,7 +80,11 @@ impl CardinalityEstimator {
     /// `(s1, s2)` cut; 1.0 when no predicate crosses (a cross product).
     pub fn cut_selectivity(&self, s1: RelSet, s2: RelSet) -> f64 {
         // Iterate the smaller side.
-        let (small, big) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        let (small, big) = if s1.len() <= s2.len() {
+            (s1, s2)
+        } else {
+            (s2, s1)
+        };
         let mut factor = 1.0;
         for v in small.iter() {
             for &(u, f) in &self.incident[v] {
@@ -145,12 +152,7 @@ mod tests {
         let est = CardinalityEstimator::new(&g, &cat).unwrap();
         let s1 = RelSet::from_indices([0, 1]);
         let s2 = RelSet::single(2);
-        let joined = est.join_cardinality(
-            est.set_cardinality(s1),
-            est.set_cardinality(s2),
-            s1,
-            s2,
-        );
+        let joined = est.join_cardinality(est.set_cardinality(s1), est.set_cardinality(s2), s1, s2);
         assert_eq!(joined, est.set_cardinality(s1 | s2));
     }
 
@@ -158,8 +160,14 @@ mod tests {
     fn cut_selectivity_values() {
         let (g, cat) = chain3();
         let est = CardinalityEstimator::new(&g, &cat).unwrap();
-        assert_eq!(est.cut_selectivity(RelSet::single(0), RelSet::single(1)), 0.01);
-        assert_eq!(est.cut_selectivity(RelSet::single(0), RelSet::single(2)), 1.0);
+        assert_eq!(
+            est.cut_selectivity(RelSet::single(0), RelSet::single(1)),
+            0.01
+        );
+        assert_eq!(
+            est.cut_selectivity(RelSet::single(0), RelSet::single(2)),
+            1.0
+        );
         // Cut {1} vs {0,2} crosses both predicates: 0.01 · 0.5
         let f = est.cut_selectivity(RelSet::single(1), RelSet::from_indices([0, 2]));
         assert!((f - 0.005).abs() < 1e-12);
@@ -182,12 +190,8 @@ mod tests {
         let direct = est.set_cardinality(full);
         for s1 in full.non_empty_proper_subsets() {
             let s2 = full - s1;
-            let via_join = est.join_cardinality(
-                est.set_cardinality(s1),
-                est.set_cardinality(s2),
-                s1,
-                s2,
-            );
+            let via_join =
+                est.join_cardinality(est.set_cardinality(s1), est.set_cardinality(s2), s1, s2);
             assert!(
                 (via_join - direct).abs() <= 1e-9 * direct.abs(),
                 "decomposition {s1} / {s2}: {via_join} vs {direct}"

@@ -49,7 +49,10 @@ impl HyperCardinalityEstimator {
             .enumerate()
             .map(|(id, e)| (e.as_set(), cat.selectivity(id)))
             .collect();
-        Ok(HyperCardinalityEstimator { cards: cat.cardinalities().to_vec(), edges })
+        Ok(HyperCardinalityEstimator {
+            cards: cat.cardinalities().to_vec(),
+            edges,
+        })
     }
 
     /// Number of relations covered.
@@ -137,12 +140,8 @@ mod tests {
         let full = set([0, 1, 2]);
         for s1 in full.non_empty_proper_subsets() {
             let s2 = full - s1;
-            let via = est.join_cardinality(
-                est.set_cardinality(s1),
-                est.set_cardinality(s2),
-                s1,
-                s2,
-            );
+            let via =
+                est.join_cardinality(est.set_cardinality(s1), est.set_cardinality(s2), s1, s2);
             let direct = est.set_cardinality(full);
             assert!(
                 (via - direct).abs() <= 1e-9 * direct,

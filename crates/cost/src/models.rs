@@ -23,7 +23,10 @@ impl PlanStats {
     /// Stats of a base-table scan: its cardinality, at zero cost (the
     /// convention of the C_out model, where scans are free).
     pub fn base(cardinality: f64) -> PlanStats {
-        PlanStats { cardinality, cost: 0.0 }
+        PlanStats {
+            cardinality,
+            cost: 0.0,
+        }
     }
 }
 
@@ -157,7 +160,10 @@ mod tests {
     use super::*;
 
     fn stats(card: f64, cost: f64) -> PlanStats {
-        PlanStats { cardinality: card, cost }
+        PlanStats {
+            cardinality: card,
+            cost,
+        }
     }
 
     #[test]
@@ -217,8 +223,7 @@ mod tests {
         let cheap = stats(100.0, 10.0);
         let dear = stats(100.0, 99.0);
         let other = stats(50.0, 0.0);
-        let models: [&dyn CostModel; 4] =
-            [&Cout, &NestedLoopJoin, &HashJoin, &SortMergeJoin];
+        let models: [&dyn CostModel; 4] = [&Cout, &NestedLoopJoin, &HashJoin, &SortMergeJoin];
         for m in models {
             assert!(
                 m.join_cost(&cheap, &other, 25.0) < m.join_cost(&dear, &other, 25.0),

@@ -8,8 +8,7 @@
 //! literature.
 
 use joinopt_qgraph::{generators, GraphKind, QueryGraph};
-use rand::Rng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 
 use crate::catalog::Catalog;
 
@@ -34,18 +33,24 @@ pub struct StatsRanges {
 
 impl Default for StatsRanges {
     fn default() -> Self {
-        StatsRanges { cardinality: (10.0, 1e6), selectivity: (1e-4, 1.0) }
+        StatsRanges {
+            cardinality: (10.0, 1e6),
+            selectivity: (1e-4, 1.0),
+        }
     }
 }
 
 /// Draws a log-uniform sample from `[lo, hi]`.
-fn log_uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
-    assert!(lo > 0.0 && hi >= lo, "log-uniform bounds must satisfy 0 < lo ≤ hi");
-    (rng.gen_range(lo.ln()..=hi.ln())).exp()
+fn log_uniform(rng: &mut XorShift64, lo: f64, hi: f64) -> f64 {
+    assert!(
+        lo > 0.0 && hi >= lo,
+        "log-uniform bounds must satisfy 0 < lo ≤ hi"
+    );
+    rng.gen_range_f64(lo.ln(), hi.ln()).exp()
 }
 
 /// Fills a catalog for `g` with random statistics.
-pub fn random_catalog<R: Rng + ?Sized>(g: &QueryGraph, ranges: StatsRanges, rng: &mut R) -> Catalog {
+pub fn random_catalog(g: &QueryGraph, ranges: StatsRanges, rng: &mut XorShift64) -> Catalog {
     let mut cat = Catalog::new(g);
     for i in 0..g.num_relations() {
         let (lo, hi) = ranges.cardinality;
@@ -63,14 +68,14 @@ pub fn random_catalog<R: Rng + ?Sized>(g: &QueryGraph, ranges: StatsRanges, rng:
 /// A reproducible workload for one of the paper's graph families.
 pub fn family_workload(kind: GraphKind, n: usize, seed: u64) -> Workload {
     let graph = generators::generate(kind, n);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let catalog = random_catalog(&graph, StatsRanges::default(), &mut rng);
     Workload { graph, catalog }
 }
 
 /// A reproducible workload over a random connected graph.
 pub fn random_workload(n: usize, extra_edge_prob: f64, seed: u64) -> Workload {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let graph = generators::random_connected(n, extra_edge_prob, &mut rng)
         .expect("valid size for random graph");
     let catalog = random_catalog(&graph, StatsRanges::default(), &mut rng);
@@ -80,11 +85,10 @@ pub fn random_workload(n: usize, extra_edge_prob: f64, seed: u64) -> Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
 
     #[test]
     fn log_uniform_stays_in_bounds() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShift64::seed_from_u64(1);
         for _ in 0..1000 {
             let x = log_uniform(&mut rng, 10.0, 1e6);
             assert!((10.0..=1e6).contains(&x));
@@ -94,7 +98,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "bounds")]
     fn log_uniform_rejects_zero_lower_bound() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = XorShift64::seed_from_u64(1);
         let _ = log_uniform(&mut rng, 0.0, 1.0);
     }
 
@@ -124,10 +128,16 @@ mod tests {
     #[test]
     fn catalog_covers_custom_ranges() {
         let g = generators::clique(5).unwrap();
-        let ranges = StatsRanges { cardinality: (100.0, 100.0), selectivity: (0.5, 0.5) };
-        let mut rng = StdRng::seed_from_u64(0);
+        let ranges = StatsRanges {
+            cardinality: (100.0, 100.0),
+            selectivity: (0.5, 0.5),
+        };
+        let mut rng = XorShift64::seed_from_u64(0);
         let cat = random_catalog(&g, ranges, &mut rng);
-        assert!(cat.cardinalities().iter().all(|&c| (c - 100.0).abs() < 1e-9));
+        assert!(cat
+            .cardinalities()
+            .iter()
+            .all(|&c| (c - 100.0).abs() < 1e-9));
         assert!(cat.selectivities().iter().all(|&f| (f - 0.5).abs() < 1e-9));
     }
 }

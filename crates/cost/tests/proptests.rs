@@ -1,56 +1,68 @@
-//! Property tests for the statistics substrate: estimator consistency
-//! and cost-model laws on randomized workloads.
+//! Randomized property tests for the statistics substrate: estimator
+//! consistency and cost-model laws on seeded random workloads.
 
 use joinopt_cost::{
-    workload, CardinalityEstimator, CostModel, Cout, HashJoin, MinOverPhysical,
-    NestedLoopJoin, PlanStats, SortMergeJoin,
+    workload, CardinalityEstimator, CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin,
+    PlanStats, SortMergeJoin,
 };
-use joinopt_relset::RelSet;
-use proptest::prelude::*;
+use joinopt_relset::{RelSet, XorShift64};
+
+const CASES: usize = 64;
 
 fn models() -> [&'static dyn CostModel; 5] {
-    [&Cout, &NestedLoopJoin, &HashJoin, &SortMergeJoin, &MinOverPhysical]
+    [
+        &Cout,
+        &NestedLoopJoin,
+        &HashJoin,
+        &SortMergeJoin,
+        &MinOverPhysical,
+    ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn estimates_are_positive_and_finite(n in 2usize..=10, d in 0u8..=10, seed in any::<u64>()) {
-        let w = workload::random_workload(n, f64::from(d) / 10.0, seed);
+#[test]
+fn estimates_are_positive_and_finite() {
+    let mut rng = XorShift64::seed_from_u64(401);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..11);
+        let d = rng.gen_range(0..11) as f64 / 10.0;
+        let w = workload::random_workload(n, d, rng.next_u64());
         let est = CardinalityEstimator::new(&w.graph, &w.catalog).unwrap();
         for bits in 1..(1u64 << n) {
             let s = RelSet::from_bits(bits);
             let card = est.set_cardinality(s);
-            prop_assert!(card.is_finite() && card > 0.0, "card({s}) = {card}");
+            assert!(card.is_finite() && card > 0.0, "card({s}) = {card}");
         }
     }
+}
 
-    #[test]
-    fn estimator_is_decomposition_invariant(n in 2usize..=8, seed in any::<u64>()) {
-        let w = workload::random_workload(n, 0.4, seed);
+#[test]
+fn estimator_is_decomposition_invariant() {
+    let mut rng = XorShift64::seed_from_u64(402);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..9);
+        let w = workload::random_workload(n, 0.4, rng.next_u64());
         let est = CardinalityEstimator::new(&w.graph, &w.catalog).unwrap();
         let full = w.graph.all_relations();
         let direct = est.set_cardinality(full);
         for s1 in full.non_empty_proper_subsets() {
             let s2 = full - s1;
-            let via = est.join_cardinality(
-                est.set_cardinality(s1),
-                est.set_cardinality(s2),
-                s1,
-                s2,
+            let via =
+                est.join_cardinality(est.set_cardinality(s1), est.set_cardinality(s2), s1, s2);
+            assert!(
+                (via - direct).abs() <= 1e-6 * direct.abs(),
+                "split {s1}/{s2}: {via} vs {direct}"
             );
-            prop_assert!((via - direct).abs() <= 1e-6 * direct.abs(),
-                "split {}/{}: {} vs {}", s1, s2, via, direct);
         }
     }
+}
 
-    #[test]
-    fn adding_a_relation_multiplies_cardinality_correctly(
-        n in 3usize..=9, seed in any::<u64>()
-    ) {
-        // card(S ∪ {v}) = card(S) · |v| · ∏ selectivities of v's edges into S
-        let w = workload::random_workload(n, 0.4, seed);
+#[test]
+fn adding_a_relation_multiplies_cardinality_correctly() {
+    // card(S ∪ {v}) = card(S) · |v| · ∏ selectivities of v's edges into S
+    let mut rng = XorShift64::seed_from_u64(403);
+    for _ in 0..CASES {
+        let n = rng.gen_range(3..10);
+        let w = workload::random_workload(n, 0.4, rng.next_u64());
         let est = CardinalityEstimator::new(&w.graph, &w.catalog).unwrap();
         let s = RelSet::full(n - 1);
         let v = n - 1;
@@ -61,79 +73,124 @@ proptest! {
             }
         }
         let got = est.set_cardinality(RelSet::full(n));
-        prop_assert!((got - expected).abs() <= 1e-6 * expected.abs());
+        assert!((got - expected).abs() <= 1e-6 * expected.abs());
     }
+}
 
-    #[test]
-    fn cost_models_are_finite_positive_and_monotone(
-        lc in 1.0f64..1e6, rc in 1.0f64..1e6, out in 1.0f64..1e9,
-        lcost in 0.0f64..1e9, rcost in 0.0f64..1e9
-    ) {
-        let l = PlanStats { cardinality: lc, cost: lcost };
-        let r = PlanStats { cardinality: rc, cost: rcost };
+#[test]
+fn cost_models_are_finite_positive_and_monotone() {
+    let mut rng = XorShift64::seed_from_u64(404);
+    for _ in 0..CASES {
+        let lc = rng.gen_range_f64(1.0, 1e6);
+        let rc = rng.gen_range_f64(1.0, 1e6);
+        let out = rng.gen_range_f64(1.0, 1e9);
+        let lcost = rng.gen_range_f64(0.0, 1e9);
+        let rcost = rng.gen_range_f64(0.0, 1e9);
+        let l = PlanStats {
+            cardinality: lc,
+            cost: lcost,
+        };
+        let r = PlanStats {
+            cardinality: rc,
+            cost: rcost,
+        };
         for m in models() {
             let c = m.join_cost(&l, &r, out);
-            prop_assert!(c.is_finite() && c >= 0.0, "{}: {c}", m.name());
+            assert!(c.is_finite() && c >= 0.0, "{}: {c}", m.name());
             // Monotone in both children's accumulated cost.
-            let dearer = PlanStats { cost: lcost + 100.0, ..l };
-            prop_assert!(
+            let dearer = PlanStats {
+                cost: lcost + 100.0,
+                ..l
+            };
+            assert!(
                 m.join_cost(&dearer, &r, out) >= c,
-                "{} not monotone in left cost", m.name()
+                "{} not monotone in left cost",
+                m.name()
             );
-            let dearer_r = PlanStats { cost: rcost + 100.0, ..r };
-            prop_assert!(
+            let dearer_r = PlanStats {
+                cost: rcost + 100.0,
+                ..r
+            };
+            assert!(
                 m.join_cost(&l, &dearer_r, out) >= c,
-                "{} not monotone in right cost", m.name()
+                "{} not monotone in right cost",
+                m.name()
             );
         }
     }
+}
 
-    #[test]
-    fn symmetric_models_really_are_symmetric(
-        lc in 1.0f64..1e6, rc in 1.0f64..1e6, out in 1.0f64..1e9
-    ) {
-        let l = PlanStats { cardinality: lc, cost: 17.0 };
-        let r = PlanStats { cardinality: rc, cost: 39.0 };
+#[test]
+fn symmetric_models_really_are_symmetric() {
+    let mut rng = XorShift64::seed_from_u64(405);
+    for _ in 0..CASES {
+        let lc = rng.gen_range_f64(1.0, 1e6);
+        let rc = rng.gen_range_f64(1.0, 1e6);
+        let out = rng.gen_range_f64(1.0, 1e9);
+        let l = PlanStats {
+            cardinality: lc,
+            cost: 17.0,
+        };
+        let r = PlanStats {
+            cardinality: rc,
+            cost: 39.0,
+        };
         for m in models() {
             if m.is_symmetric() {
-                prop_assert_eq!(
+                assert_eq!(
                     m.join_cost(&l, &r, out),
                     m.join_cost(&r, &l, out),
-                    "{} claims symmetry but differs", m.name()
+                    "{} claims symmetry but differs",
+                    m.name()
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn min_over_physical_is_the_lower_envelope(
-        lc in 1.0f64..1e6, rc in 1.0f64..1e6, out in 1.0f64..1e9
-    ) {
-        let l = PlanStats { cardinality: lc, cost: 0.0 };
-        let r = PlanStats { cardinality: rc, cost: 0.0 };
+#[test]
+fn min_over_physical_is_the_lower_envelope() {
+    let mut rng = XorShift64::seed_from_u64(406);
+    for _ in 0..CASES {
+        let lc = rng.gen_range_f64(1.0, 1e6);
+        let rc = rng.gen_range_f64(1.0, 1e6);
+        let out = rng.gen_range_f64(1.0, 1e9);
+        let l = PlanStats {
+            cardinality: lc,
+            cost: 0.0,
+        };
+        let r = PlanStats {
+            cardinality: rc,
+            cost: 0.0,
+        };
         let min = MinOverPhysical.join_cost(&l, &r, out);
-        prop_assert!(min <= NestedLoopJoin.join_cost(&l, &r, out));
-        prop_assert!(min <= HashJoin.join_cost(&l, &r, out));
-        prop_assert!(min <= SortMergeJoin.join_cost(&l, &r, out));
+        assert!(min <= NestedLoopJoin.join_cost(&l, &r, out));
+        assert!(min <= HashJoin.join_cost(&l, &r, out));
+        assert!(min <= SortMergeJoin.join_cost(&l, &r, out));
         let reachable = [
             NestedLoopJoin.join_cost(&l, &r, out),
             HashJoin.join_cost(&l, &r, out),
             SortMergeJoin.join_cost(&l, &r, out),
         ];
-        prop_assert!(reachable.iter().any(|&c| (c - min).abs() < 1e-9));
+        assert!(reachable.iter().any(|&c| (c - min).abs() < 1e-9));
     }
+}
 
-    #[test]
-    fn workload_statistics_are_always_valid(n in 1usize..=12, d in 0u8..=10, seed in any::<u64>()) {
-        let w = workload::random_workload(n.max(1), f64::from(d) / 10.0, seed);
+#[test]
+fn workload_statistics_are_always_valid() {
+    let mut rng = XorShift64::seed_from_u64(407);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..13);
+        let d = rng.gen_range(0..11) as f64 / 10.0;
+        let w = workload::random_workload(n, d, rng.next_u64());
         for i in 0..w.graph.num_relations() {
             let c = w.catalog.cardinality(i);
-            prop_assert!(c >= 1.0 && c.is_finite());
+            assert!(c >= 1.0 && c.is_finite());
         }
         for e in 0..w.graph.num_edges() {
             let f = w.catalog.selectivity(e);
-            prop_assert!(f > 0.0 && f <= 1.0);
+            assert!(f > 0.0 && f <= 1.0);
         }
-        prop_assert!(w.graph.is_connected());
+        assert!(w.graph.is_connected());
     }
 }

@@ -4,8 +4,7 @@ use core::fmt;
 
 use joinopt_cost::Catalog;
 use joinopt_qgraph::{EdgeId, QueryGraph};
-use joinopt_relset::RelIdx;
-use rand::Rng;
+use joinopt_relset::{RelIdx, XorShift64};
 
 /// Safety cap on synthesized rows per relation (this is a validation
 /// engine, not a warehouse).
@@ -28,7 +27,10 @@ pub enum SynthesisError {
 impl fmt::Display for SynthesisError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SynthesisError::TooManyRows { relation, cardinality } => write!(
+            SynthesisError::TooManyRows {
+                relation,
+                cardinality,
+            } => write!(
                 f,
                 "relation R{relation} has {cardinality} rows; synthesis is capped at \
                  {MAX_SYNTH_ROWS}"
@@ -62,10 +64,10 @@ impl Database {
     ///
     /// Rejects mismatched shapes and cardinalities above
     /// [`MAX_SYNTH_ROWS`].
-    pub fn synthesize<R: Rng + ?Sized>(
+    pub fn synthesize(
         g: &QueryGraph,
         cat: &Catalog,
-        rng: &mut R,
+        rng: &mut XorShift64,
     ) -> Result<Database, SynthesisError> {
         if cat.num_relations() != g.num_relations() || cat.num_edges() != g.num_edges() {
             return Err(SynthesisError::ShapeMismatch);
@@ -74,7 +76,10 @@ impl Database {
         for i in 0..g.num_relations() {
             let card = cat.cardinality(i);
             if card > MAX_SYNTH_ROWS as f64 {
-                return Err(SynthesisError::TooManyRows { relation: i, cardinality: card });
+                return Err(SynthesisError::TooManyRows {
+                    relation: i,
+                    cardinality: card,
+                });
             }
             rows.push(card.round().max(1.0) as usize);
         }
@@ -83,12 +88,16 @@ impl Database {
         for (id, e) in g.edges().iter().enumerate() {
             let f = cat.selectivity(id);
             let domain = (1.0 / f).round().max(1.0).min(u32::MAX as f64) as u32;
-            let u_keys = (0..rows[e.u]).map(|_| rng.gen_range(0..domain)).collect();
-            let v_keys = (0..rows[e.v]).map(|_| rng.gen_range(0..domain)).collect();
+            let u_keys = (0..rows[e.u]).map(|_| rng.gen_range_u32(domain)).collect();
+            let v_keys = (0..rows[e.v]).map(|_| rng.gen_range_u32(domain)).collect();
             keys.push((u_keys, v_keys));
             domains.push(domain);
         }
-        Ok(Database { rows, keys, domains })
+        Ok(Database {
+            rows,
+            keys,
+            domains,
+        })
     }
 
     /// Number of rows in relation `i`.
@@ -121,8 +130,6 @@ impl Database {
 mod tests {
     use super::*;
     use joinopt_qgraph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn synthesis_respects_catalog() {
@@ -133,12 +140,12 @@ mod tests {
         cat.set_cardinality(2, 10.0).unwrap();
         cat.set_selectivity(0, 0.02).unwrap();
         cat.set_selectivity(1, 1.0).unwrap();
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(1)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(1)).unwrap();
         assert_eq!(db.rows(0), 100);
         assert_eq!(db.rows(2), 10);
         assert_eq!(db.domain(0), 50); // 1/0.02
         assert_eq!(db.domain(1), 1); // selectivity 1 → always matches
-        // Keys are within the domain.
+                                     // Keys are within the domain.
         for row in 0..100 {
             assert!(db.key(0, true, row) < 50);
         }
@@ -149,8 +156,11 @@ mod tests {
         let g = generators::chain(2).unwrap();
         let mut cat = Catalog::new(&g);
         cat.set_cardinality(0, 1e9).unwrap();
-        let err = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(1)).unwrap_err();
-        assert!(matches!(err, SynthesisError::TooManyRows { relation: 0, .. }));
+        let err = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(1)).unwrap_err();
+        assert!(matches!(
+            err,
+            SynthesisError::TooManyRows { relation: 0, .. }
+        ));
     }
 
     #[test]
@@ -159,7 +169,7 @@ mod tests {
         let g3 = generators::chain(3).unwrap();
         let cat = Catalog::new(&g2);
         assert_eq!(
-            Database::synthesize(&g3, &cat, &mut StdRng::seed_from_u64(1)).unwrap_err(),
+            Database::synthesize(&g3, &cat, &mut XorShift64::seed_from_u64(1)).unwrap_err(),
             SynthesisError::ShapeMismatch
         );
     }
@@ -168,8 +178,8 @@ mod tests {
     fn deterministic_under_seed() {
         let g = generators::star(4).unwrap();
         let cat = Catalog::new(&g);
-        let a = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(9)).unwrap();
-        let b = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(9)).unwrap();
+        let a = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(9)).unwrap();
+        let b = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(9)).unwrap();
         for e in 0..g.num_edges() {
             for row in 0..a.rows(0) {
                 assert_eq!(a.key(e, true, row), b.key(e, true, row));

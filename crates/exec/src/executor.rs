@@ -36,7 +36,10 @@ impl fmt::Display for ExecError {
                 write!(f, "plan references {relations}, outside the query graph")
             }
             ExecError::ResultTooLarge { relations, cap } => {
-                write!(f, "intermediate result for {relations} exceeded {cap} tuples")
+                write!(
+                    f,
+                    "intermediate result for {relations} exceeded {cap} tuples"
+                )
             }
         }
     }
@@ -80,9 +83,15 @@ struct Intermediate {
 /// exceeds the safety cap.
 pub fn execute(g: &QueryGraph, db: &Database, tree: &JoinTree) -> Result<Execution, ExecError> {
     if !tree.relations().is_subset(g.all_relations()) {
-        return Err(ExecError::PlanOutsideGraph { relations: tree.relations() });
+        return Err(ExecError::PlanOutsideGraph {
+            relations: tree.relations(),
+        });
     }
-    let mut exec = Execution { node_cards: Vec::new(), result_rows: 0, measured_cout: 0.0 };
+    let mut exec = Execution {
+        node_cards: Vec::new(),
+        result_rows: 0,
+        measured_cout: 0.0,
+    };
     let top = eval(g, db, tree, &mut exec)?;
     exec.result_rows = top.tuples.len();
     Ok(exec)
@@ -187,8 +196,7 @@ mod tests {
     use super::*;
     use joinopt_cost::Catalog;
     use joinopt_qgraph::generators;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use joinopt_relset::XorShift64;
 
     /// Brute-force reference: filter the full cross product.
     fn brute_force_count(g: &QueryGraph, db: &Database, rels: RelSet) -> usize {
@@ -230,16 +238,24 @@ mod tests {
         cat.set_cardinality(2, 10.0).unwrap();
         cat.set_selectivity(0, 0.1).unwrap();
         cat.set_selectivity(1, 0.25).unwrap();
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(seed)).unwrap();
         (g, cat, db)
     }
 
     fn scan(rel: usize) -> JoinTree {
-        JoinTree::Scan { relation: rel, cardinality: 0.0 }
+        JoinTree::Scan {
+            relation: rel,
+            cardinality: 0.0,
+        }
     }
 
     fn join(l: JoinTree, r: JoinTree) -> JoinTree {
-        JoinTree::Join { left: Box::new(l), right: Box::new(r), cardinality: 0.0, cost: 0.0 }
+        JoinTree::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            cardinality: 0.0,
+            cost: 0.0,
+        }
     }
 
     #[test]
@@ -287,9 +303,10 @@ mod tests {
         let want = brute_force_count(&g, &db, RelSet::full(3));
         assert_eq!(e.result_rows, want);
         // The first intermediate really was a cross product: 30·10 rows.
-        assert!(e.node_cards.iter().any(|&(s, c)| {
-            s == RelSet::from_indices([0, 2]) && c == 300
-        }));
+        assert!(e
+            .node_cards
+            .iter()
+            .any(|&(s, c)| { s == RelSet::from_indices([0, 2]) && c == 300 }));
     }
 
     #[test]
@@ -325,7 +342,7 @@ mod tests {
         cat.set_cardinality(0, 12.0).unwrap();
         cat.set_cardinality(1, 7.0).unwrap();
         cat.set_selectivity(0, 1.0).unwrap();
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(2)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(2)).unwrap();
         let e = execute(&g, &db, &join(scan(0), scan(1))).unwrap();
         assert_eq!(e.result_rows, 84); // full cross product: domain size 1
     }

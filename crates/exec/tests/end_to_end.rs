@@ -5,16 +5,15 @@
 
 use joinopt_core::greedy::Goo;
 use joinopt_core::{DpCcp, JoinOrderer};
-use joinopt_cost::{workload, Catalog, CardinalityEstimator, Cout};
+use joinopt_cost::{workload, CardinalityEstimator, Catalog, Cout};
 use joinopt_exec::{execute, Database};
 use joinopt_qgraph::{generators, GraphKind, QueryGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 
 /// A small workload whose data we can synthesize (rows ≤ ~100).
 fn small_workload(kind: GraphKind, n: usize, seed: u64) -> (QueryGraph, Catalog) {
     let graph = generators::generate(kind, n);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let ranges = workload::StatsRanges {
         cardinality: (20.0, 120.0),
         selectivity: (0.02, 0.5),
@@ -36,7 +35,7 @@ fn estimator_is_unbiased_on_synthesized_data() {
         if estimated < 5.0 {
             continue; // too few expected rows for a stable ratio
         }
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(seed ^ 99)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(seed ^ 99)).unwrap();
         let plan = DpCcp.optimize(&g, &cat, &Cout).unwrap().tree;
         let run = execute(&g, &db, &plan).unwrap();
         ratios.push(run.result_rows as f64 / estimated);
@@ -56,7 +55,7 @@ fn measured_cardinality_is_plan_invariant() {
     // correctness property of the executor.
     for seed in 0..10 {
         let (g, cat) = small_workload(GraphKind::Cycle, 5, seed);
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(seed)).unwrap();
         let optimal = DpCcp.optimize(&g, &cat, &Cout).unwrap().tree;
         let greedy = Goo.optimize(&g, &cat, &Cout).unwrap().tree;
         let a = execute(&g, &db, &optimal).unwrap();
@@ -77,7 +76,7 @@ fn optimal_plans_win_on_measured_cost_in_aggregate() {
     let mut comparisons = 0usize;
     for seed in 0..30 {
         let (g, cat) = small_workload(GraphKind::Star, 5, seed);
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(seed * 3)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(seed * 3)).unwrap();
         let optimal = DpCcp.optimize(&g, &cat, &Cout).unwrap().tree;
         let bad = pessimal_left_deep(&g, &cat);
         let run_opt = execute(&g, &db, &optimal).unwrap();
@@ -152,7 +151,10 @@ fn pessimal_left_deep(g: &QueryGraph, cat: &Catalog) -> joinopt_plan::JoinTree {
             &PlanStats::base(est.base_cardinality(candidate)),
             out,
         );
-        stats = PlanStats { cardinality: out, cost };
+        stats = PlanStats {
+            cardinality: out,
+            cost,
+        };
         plan = arena.add_join(plan, right, stats);
         set.insert(candidate);
     }
@@ -167,7 +169,7 @@ fn per_node_estimates_track_measurements() {
     for seed in 0..20 {
         let (g, cat) = small_workload(GraphKind::Chain, 4, seed + 500);
         let est = CardinalityEstimator::new(&g, &cat).unwrap();
-        let db = Database::synthesize(&g, &cat, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let db = Database::synthesize(&g, &cat, &mut XorShift64::seed_from_u64(seed)).unwrap();
         let plan = DpCcp.optimize(&g, &cat, &Cout).unwrap().tree;
         let run = execute(&g, &db, &plan).unwrap();
         for &(rels, measured) in &run.node_cards {

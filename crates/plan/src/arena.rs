@@ -59,7 +59,9 @@ impl PlanArena {
 
     /// Creates an arena pre-sized for `cap` nodes.
     pub fn with_capacity(cap: usize) -> PlanArena {
-        PlanArena { nodes: Vec::with_capacity(cap) }
+        PlanArena {
+            nodes: Vec::with_capacity(cap),
+        }
     }
 
     /// Number of stored nodes.
@@ -70,6 +72,12 @@ impl PlanArena {
     /// `true` iff no node has been stored.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Bytes of node storage currently allocated (capacity, not just the
+    /// occupied prefix) — the arena's memory footprint for telemetry.
+    pub fn bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node>()
     }
 
     /// Adds a base-table scan of `relation` with the given cardinality.
@@ -98,7 +106,11 @@ impl PlanArena {
             );
             l.set | r.set
         };
-        self.push(Node { kind: PlanNodeKind::Join(left, right), set, stats })
+        self.push(Node {
+            kind: PlanNodeKind::Join(left, right),
+            set,
+            stats,
+        })
     }
 
     fn push(&mut self, node: Node) -> PlanId {
@@ -161,7 +173,14 @@ mod tests {
         let mut a = PlanArena::with_capacity(8);
         let r0 = a.add_scan(0, 10.0);
         let r1 = a.add_scan(1, 20.0);
-        let j = a.add_join(r0, r1, PlanStats { cardinality: 15.0, cost: 15.0 });
+        let j = a.add_join(
+            r0,
+            r1,
+            PlanStats {
+                cardinality: 15.0,
+                cost: 15.0,
+            },
+        );
         assert_eq!(a.set(j), RelSet::from_indices([0, 1]));
         assert_eq!(a.kind(j), PlanNodeKind::Join(r0, r1));
         assert_eq!(a.stats(j).cost, 15.0);
@@ -174,7 +193,14 @@ mod tests {
         let mut a = PlanArena::new();
         let r0 = a.add_scan(0, 10.0);
         let r0b = a.add_scan(0, 10.0);
-        let _ = a.add_join(r0, r0b, PlanStats { cardinality: 1.0, cost: 1.0 });
+        let _ = a.add_join(
+            r0,
+            r0b,
+            PlanStats {
+                cardinality: 1.0,
+                cost: 1.0,
+            },
+        );
     }
 
     #[test]
@@ -183,8 +209,22 @@ mod tests {
         let r0 = a.add_scan(0, 10.0);
         let r1 = a.add_scan(1, 20.0);
         let r2 = a.add_scan(2, 30.0);
-        let j01 = a.add_join(r0, r1, PlanStats { cardinality: 5.0, cost: 5.0 });
-        let top = a.add_join(j01, r2, PlanStats { cardinality: 2.0, cost: 7.0 });
+        let j01 = a.add_join(
+            r0,
+            r1,
+            PlanStats {
+                cardinality: 5.0,
+                cost: 5.0,
+            },
+        );
+        let top = a.add_join(
+            j01,
+            r2,
+            PlanStats {
+                cardinality: 2.0,
+                cost: 7.0,
+            },
+        );
         let tree = a.extract(top);
         assert_eq!(tree.num_joins(), 2);
         assert_eq!(tree.relations(), RelSet::full(3));

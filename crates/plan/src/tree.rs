@@ -66,9 +66,7 @@ impl JoinTree {
     /// Estimated output cardinality at the root.
     pub fn cardinality(&self) -> f64 {
         match self {
-            JoinTree::Scan { cardinality, .. } | JoinTree::Join { cardinality, .. } => {
-                *cardinality
-            }
+            JoinTree::Scan { cardinality, .. } | JoinTree::Join { cardinality, .. } => *cardinality,
         }
     }
 
@@ -146,10 +144,18 @@ impl JoinTree {
             out.push_str("  ");
         }
         match self {
-            JoinTree::Scan { relation, cardinality } => {
+            JoinTree::Scan {
+                relation,
+                cardinality,
+            } => {
                 let _ = writeln!(out, "Scan R{relation}  (card={cardinality:.0})");
             }
-            JoinTree::Join { left, right, cardinality, cost } => {
+            JoinTree::Join {
+                left,
+                right,
+                cardinality,
+                cost,
+            } => {
                 let _ = writeln!(out, "Join  (card={cardinality:.0}, cost={cost:.0})");
                 left.explain_into(out, indent + 1);
                 right.explain_into(out, indent + 1);
@@ -173,15 +179,28 @@ mod tests {
     use super::*;
 
     fn scan(r: RelIdx, card: f64) -> JoinTree {
-        JoinTree::Scan { relation: r, cardinality: card }
+        JoinTree::Scan {
+            relation: r,
+            cardinality: card,
+        }
     }
 
     fn join(l: JoinTree, r: JoinTree, card: f64, cost: f64) -> JoinTree {
-        JoinTree::Join { left: Box::new(l), right: Box::new(r), cardinality: card, cost }
+        JoinTree::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            cardinality: card,
+            cost,
+        }
     }
 
     fn left_deep3() -> JoinTree {
-        join(join(scan(0, 10.0), scan(1, 20.0), 5.0, 5.0), scan(2, 30.0), 2.0, 7.0)
+        join(
+            join(scan(0, 10.0), scan(1, 20.0), 5.0, 5.0),
+            scan(2, 30.0),
+            2.0,
+            7.0,
+        )
     }
 
     fn bushy4() -> JoinTree {

@@ -1,16 +1,20 @@
-//! Property tests for the plan substrate: arena/tree extraction
-//! roundtrips and structural invariants of random bushy trees.
+//! Randomized property tests for the plan substrate: arena/tree
+//! extraction roundtrips and structural invariants of random bushy trees
+//! (seeded, deterministic).
 
 use joinopt_cost::PlanStats;
 use joinopt_plan::{PlanArena, PlanId};
-use proptest::prelude::*;
+use joinopt_relset::XorShift64;
+
+const CASES: usize = 128;
 
 /// A random bushy tree over relations `0..n`, built bottom-up in the
 /// arena: repeatedly merge two random components.
 fn random_tree(n: usize, picks: &[usize]) -> (PlanArena, PlanId) {
     let mut arena = PlanArena::new();
-    let mut roots: Vec<PlanId> =
-        (0..n).map(|i| arena.add_scan(i, (i as f64 + 1.0) * 10.0)).collect();
+    let mut roots: Vec<PlanId> = (0..n)
+        .map(|i| arena.add_scan(i, (i as f64 + 1.0) * 10.0))
+        .collect();
     let mut pick_iter = picks.iter().cycle();
     while roots.len() > 1 {
         let i = *pick_iter.next().expect("cycled") % roots.len();
@@ -27,81 +31,105 @@ fn random_tree(n: usize, picks: &[usize]) -> (PlanArena, PlanId) {
     (arena, root)
 }
 
-fn arb_inputs() -> impl Strategy<Value = (usize, Vec<usize>)> {
-    (2usize..=16).prop_flat_map(|n| {
-        (Just(n), proptest::collection::vec(any::<usize>(), 2 * n))
-    })
+/// Draws a random `(n, picks)` input pair.
+fn arb_inputs(rng: &mut XorShift64) -> (usize, Vec<usize>) {
+    let n = rng.gen_range(2..17);
+    let picks = (0..2 * n).map(|_| rng.next_u64() as usize).collect();
+    (n, picks)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn extraction_preserves_structure((n, picks) in arb_inputs()) {
+#[test]
+fn extraction_preserves_structure() {
+    let mut rng = XorShift64::seed_from_u64(301);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, root) = random_tree(n, &picks);
         let tree = arena.extract(root);
-        prop_assert_eq!(tree.num_relations(), n);
-        prop_assert_eq!(tree.num_joins(), n - 1);
-        prop_assert_eq!(tree.relations(), arena.set(root));
-        prop_assert_eq!(tree.cardinality(), arena.stats(root).cardinality);
-        prop_assert_eq!(tree.cost(), arena.stats(root).cost);
+        assert_eq!(tree.num_relations(), n);
+        assert_eq!(tree.num_joins(), n - 1);
+        assert_eq!(tree.relations(), arena.set(root));
+        assert_eq!(tree.cardinality(), arena.stats(root).cardinality);
+        assert_eq!(tree.cost(), arena.stats(root).cost);
     }
+}
 
-    #[test]
-    fn leaf_order_is_a_permutation((n, picks) in arb_inputs()) {
+#[test]
+fn leaf_order_is_a_permutation() {
+    let mut rng = XorShift64::seed_from_u64(302);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, root) = random_tree(n, &picks);
         let tree = arena.extract(root);
         let mut leaves = tree.leaf_order();
         leaves.sort_unstable();
-        prop_assert_eq!(leaves, (0..n).collect::<Vec<_>>());
+        assert_eq!(leaves, (0..n).collect::<Vec<_>>());
     }
+}
 
-    #[test]
-    fn depth_bounds((n, picks) in arb_inputs()) {
+#[test]
+fn depth_bounds() {
+    let mut rng = XorShift64::seed_from_u64(303);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, root) = random_tree(n, &picks);
         let tree = arena.extract(root);
         // Depth between ⌈log₂ n⌉ (perfectly balanced) and n − 1 (deep).
         let depth = tree.depth();
-        prop_assert!(depth < n);
-        prop_assert!((1usize << depth) >= n, "depth {} too small for {} leaves", depth, n);
+        assert!(depth < n);
+        assert!(
+            (1usize << depth) >= n,
+            "depth {depth} too small for {n} leaves"
+        );
     }
+}
 
-    #[test]
-    fn shape_predicates_are_mutually_consistent((n, picks) in arb_inputs()) {
+#[test]
+fn shape_predicates_are_mutually_consistent() {
+    let mut rng = XorShift64::seed_from_u64(304);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, root) = random_tree(n, &picks);
         let tree = arena.extract(root);
         if tree.is_left_deep() && n > 2 {
-            prop_assert!(!tree.is_properly_bushy());
-            prop_assert_eq!(tree.depth(), n - 1);
+            assert!(!tree.is_properly_bushy());
+            assert_eq!(tree.depth(), n - 1);
         }
         if tree.is_properly_bushy() {
-            prop_assert!(!tree.is_left_deep());
-            prop_assert!(!tree.is_right_deep());
+            assert!(!tree.is_left_deep());
+            assert!(!tree.is_right_deep());
         }
     }
+}
 
-    #[test]
-    fn display_and_explain_cover_all_relations((n, picks) in arb_inputs()) {
+#[test]
+fn display_and_explain_cover_all_relations() {
+    let mut rng = XorShift64::seed_from_u64(305);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, root) = random_tree(n, &picks);
         let tree = arena.extract(root);
         let display = tree.to_string();
         let explain = tree.explain();
         for i in 0..n {
             let label = format!("R{i}");
-            prop_assert!(display.contains(&label), "{display}");
-            prop_assert!(explain.contains(&format!("Scan {label}")), "{explain}");
+            assert!(display.contains(&label), "{display}");
+            assert!(explain.contains(&format!("Scan {label}")), "{explain}");
         }
         // One ⋈ per join in the infix form.
-        prop_assert_eq!(display.matches('⋈').count(), n - 1);
+        assert_eq!(display.matches('⋈').count(), n - 1);
         // Explain has one line per node.
-        prop_assert_eq!(explain.lines().count(), 2 * n - 1);
+        assert_eq!(explain.lines().count(), 2 * n - 1);
     }
+}
 
-    #[test]
-    fn arena_accounts_every_node((n, picks) in arb_inputs()) {
+#[test]
+fn arena_accounts_every_node() {
+    let mut rng = XorShift64::seed_from_u64(306);
+    for _ in 0..CASES {
+        let (n, picks) = arb_inputs(&mut rng);
         let (arena, _) = random_tree(n, &picks);
-        prop_assert_eq!(arena.len(), 2 * n - 1);
-        prop_assert!(!arena.is_empty());
+        assert_eq!(arena.len(), 2 * n - 1);
+        assert!(!arena.is_empty());
     }
 }
 

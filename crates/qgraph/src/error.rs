@@ -49,7 +49,10 @@ impl fmt::Display for QueryGraphError {
                 write!(f, "{n} relations exceed the supported maximum of 64")
             }
             QueryGraphError::NodeOutOfRange { node, n } => {
-                write!(f, "node R{node} out of range for a graph with {n} relations")
+                write!(
+                    f,
+                    "node R{node} out of range for a graph with {n} relations"
+                )
             }
             QueryGraphError::SelfLoop { node } => {
                 write!(f, "self-loop on R{node} is not a valid join predicate")
@@ -75,15 +78,26 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(QueryGraphError::TooManyRelations { n: 70 }.to_string().contains("70"));
+        assert!(QueryGraphError::TooManyRelations { n: 70 }
+            .to_string()
+            .contains("70"));
         assert!(QueryGraphError::NodeOutOfRange { node: 9, n: 5 }
             .to_string()
             .contains("R9"));
-        assert!(QueryGraphError::SelfLoop { node: 1 }.to_string().contains("R1"));
-        assert!(QueryGraphError::DuplicateEdge { u: 1, v: 2 }.to_string().contains("R2"));
-        assert!(QueryGraphError::Disconnected.to_string().contains("connected"));
-        assert!(QueryGraphError::InvalidSize { n: 0, what: "cycle" }
+        assert!(QueryGraphError::SelfLoop { node: 1 }
             .to_string()
-            .contains("cycle"));
+            .contains("R1"));
+        assert!(QueryGraphError::DuplicateEdge { u: 1, v: 2 }
+            .to_string()
+            .contains("R2"));
+        assert!(QueryGraphError::Disconnected
+            .to_string()
+            .contains("connected"));
+        assert!(QueryGraphError::InvalidSize {
+            n: 0,
+            what: "cycle"
+        }
+        .to_string()
+        .contains("cycle"));
     }
 }

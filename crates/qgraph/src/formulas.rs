@@ -144,12 +144,27 @@ mod tests {
     fn figure3_ccp_column() {
         // Figure 3's #ccp values, verbatim from the paper.
         let expect: &[(GraphKind, &[(u64, u128)])] = &[
-            (GraphKind::Chain, &[(2, 1), (5, 20), (10, 165), (15, 560), (20, 1330)]),
-            (GraphKind::Cycle, &[(2, 1), (5, 40), (10, 405), (15, 1470), (20, 3610)]),
-            (GraphKind::Star, &[(2, 1), (5, 32), (10, 2304), (15, 114_688), (20, 4_980_736)]),
+            (
+                GraphKind::Chain,
+                &[(2, 1), (5, 20), (10, 165), (15, 560), (20, 1330)],
+            ),
+            (
+                GraphKind::Cycle,
+                &[(2, 1), (5, 40), (10, 405), (15, 1470), (20, 3610)],
+            ),
+            (
+                GraphKind::Star,
+                &[(2, 1), (5, 32), (10, 2304), (15, 114_688), (20, 4_980_736)],
+            ),
             (
                 GraphKind::Clique,
-                &[(2, 1), (5, 90), (10, 28_501), (15, 7_141_686), (20, 1_742_343_625)],
+                &[
+                    (2, 1),
+                    (5, 90),
+                    (10, 28_501),
+                    (15, 7_141_686),
+                    (20, 1_742_343_625),
+                ],
             ),
         ];
         for &(kind, rows) in expect {

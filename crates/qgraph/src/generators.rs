@@ -12,9 +12,7 @@
 //! valid BFS numbering for the family (verified by tests), so DPccp can
 //! run on them without renumbering.
 
-use joinopt_relset::RelIdx;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use joinopt_relset::{RelIdx, XorShift64};
 
 use crate::error::QueryGraphError;
 use crate::graph::QueryGraph;
@@ -192,9 +190,12 @@ pub fn grid(rows: usize, cols: usize) -> Result<QueryGraph, QueryGraphError> {
 /// # Errors
 ///
 /// `n == 0` and `n > 64` are rejected.
-pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<QueryGraph, QueryGraphError> {
+pub fn random_tree(n: usize, rng: &mut XorShift64) -> Result<QueryGraph, QueryGraphError> {
     if n == 0 {
-        return Err(QueryGraphError::InvalidSize { n, what: "random tree" });
+        return Err(QueryGraphError::InvalidSize {
+            n,
+            what: "random tree",
+        });
     }
     let mut g = QueryGraph::new(n)?;
     for i in 1..n {
@@ -214,13 +215,16 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<QueryGraph,
 /// # Panics
 ///
 /// Never panics for valid inputs.
-pub fn random_connected<R: Rng + ?Sized>(
+pub fn random_connected(
     n: usize,
     extra_edge_prob: f64,
-    rng: &mut R,
+    rng: &mut XorShift64,
 ) -> Result<QueryGraph, QueryGraphError> {
     if !(0.0..=1.0).contains(&extra_edge_prob) {
-        return Err(QueryGraphError::InvalidSize { n, what: "random graph (bad probability)" });
+        return Err(QueryGraphError::InvalidSize {
+            n,
+            what: "random graph (bad probability)",
+        });
     }
     let mut g = random_tree(n, rng)?;
     let mut candidates: Vec<(RelIdx, RelIdx)> = Vec::new();
@@ -231,7 +235,7 @@ pub fn random_connected<R: Rng + ?Sized>(
             }
         }
     }
-    candidates.shuffle(rng);
+    rng.shuffle(&mut candidates);
     for (i, j) in candidates {
         if rng.gen_bool(extra_edge_prob) {
             g.add_edge(i, j)?;
@@ -243,8 +247,6 @@ pub fn random_connected<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn chain_shape() {
@@ -342,7 +344,7 @@ mod tests {
 
     #[test]
     fn random_tree_is_connected_spanning() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = XorShift64::seed_from_u64(7);
         for n in 1..20 {
             let g = random_tree(n, &mut rng).unwrap();
             assert_eq!(g.num_edges(), n - 1);
@@ -352,7 +354,7 @@ mod tests {
 
     #[test]
     fn random_connected_is_connected() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = XorShift64::seed_from_u64(42);
         for &p in &[0.0, 0.3, 1.0] {
             let g = random_connected(10, p, &mut rng).unwrap();
             assert!(g.is_connected());
@@ -368,8 +370,8 @@ mod tests {
 
     #[test]
     fn random_generation_is_seed_deterministic() {
-        let g1 = random_connected(12, 0.25, &mut StdRng::seed_from_u64(99)).unwrap();
-        let g2 = random_connected(12, 0.25, &mut StdRng::seed_from_u64(99)).unwrap();
+        let g1 = random_connected(12, 0.25, &mut XorShift64::seed_from_u64(99)).unwrap();
+        let g2 = random_connected(12, 0.25, &mut XorShift64::seed_from_u64(99)).unwrap();
         assert_eq!(g1, g2);
     }
 }

@@ -70,7 +70,11 @@ impl QueryGraph {
         if n > MAX_RELATIONS {
             return Err(QueryGraphError::TooManyRelations { n });
         }
-        Ok(QueryGraph { n, adj: vec![RelSet::EMPTY; n], edges: Vec::new() })
+        Ok(QueryGraph {
+            n,
+            adj: vec![RelSet::EMPTY; n],
+            edges: Vec::new(),
+        })
     }
 
     /// Number of relations (nodes).
@@ -205,7 +209,11 @@ impl QueryGraph {
     #[inline]
     pub fn sets_connected(&self, s1: RelSet, s2: RelSet) -> bool {
         // Iterate the smaller side.
-        let (small, big) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        let (small, big) = if s1.len() <= s2.len() {
+            (s1, s2)
+        } else {
+            (s2, s1)
+        };
         small.iter().any(|v| self.adj[v].overlaps(big))
     }
 
@@ -300,12 +308,18 @@ mod tests {
         );
         assert_eq!(g.add_edge(1, 1), Err(QueryGraphError::SelfLoop { node: 1 }));
         g.add_edge(0, 1).unwrap();
-        assert_eq!(g.add_edge(1, 0), Err(QueryGraphError::DuplicateEdge { u: 0, v: 1 }));
+        assert_eq!(
+            g.add_edge(1, 0),
+            Err(QueryGraphError::DuplicateEdge { u: 0, v: 1 })
+        );
     }
 
     #[test]
     fn rejects_too_many_relations() {
-        assert_eq!(QueryGraph::new(65), Err(QueryGraphError::TooManyRelations { n: 65 }));
+        assert_eq!(
+            QueryGraph::new(65),
+            Err(QueryGraphError::TooManyRelations { n: 65 })
+        );
         assert!(QueryGraph::new(64).is_ok());
     }
 
@@ -321,7 +335,10 @@ mod tests {
     #[test]
     fn set_neighborhood() {
         let g = path4();
-        assert_eq!(g.neighborhood(RelSet::from_indices([1, 2])), RelSet::from_indices([0, 3]));
+        assert_eq!(
+            g.neighborhood(RelSet::from_indices([1, 2])),
+            RelSet::from_indices([0, 3])
+        );
         assert_eq!(g.neighborhood(RelSet::single(0)), RelSet::single(1));
         assert_eq!(g.neighborhood(RelSet::full(4)), RelSet::EMPTY);
         assert_eq!(g.neighborhood(RelSet::EMPTY), RelSet::EMPTY);

@@ -53,7 +53,10 @@ impl Hyperedge {
     /// Panics if either side is empty or the sides overlap; use
     /// [`Hypergraph::add_edge`] for validated construction.
     pub fn new(a: RelSet, b: RelSet) -> Hyperedge {
-        assert!(!a.is_empty() && !b.is_empty(), "hyperedge sides must be non-empty");
+        assert!(
+            !a.is_empty() && !b.is_empty(),
+            "hyperedge sides must be non-empty"
+        );
         assert!(a.is_disjoint(b), "hyperedge sides must be disjoint");
         if a.min_index() < b.min_index() {
             Hyperedge { u: a, v: b }
@@ -154,7 +157,10 @@ impl Hypergraph {
     pub fn add_edge(&mut self, a: RelSet, b: RelSet) -> Result<HyperEdgeId, QueryGraphError> {
         let all = self.all_relations();
         if a.is_empty() || b.is_empty() {
-            return Err(QueryGraphError::InvalidSize { n: 0, what: "hyperedge side" });
+            return Err(QueryGraphError::InvalidSize {
+                n: 0,
+                what: "hyperedge side",
+            });
         }
         for side in [a, b] {
             if !side.is_subset(all) {
@@ -219,14 +225,17 @@ impl Hypergraph {
     /// inside `s2` — the DPhyp applicability test for joining the two.
     pub fn connects(&self, s1: RelSet, s2: RelSet) -> bool {
         // Simple-edge fast path.
-        let (small, big) = if s1.len() <= s2.len() { (s1, s2) } else { (s2, s1) };
+        let (small, big) = if s1.len() <= s2.len() {
+            (s1, s2)
+        } else {
+            (s2, s1)
+        };
         if small.iter().any(|v| self.simple_adj[v].overlaps(big)) {
             return true;
         }
         self.complex.iter().any(|&id| {
             let e = self.edges[id];
-            (e.u.is_subset(s1) && e.v.is_subset(s2))
-                || (e.u.is_subset(s2) && e.v.is_subset(s1))
+            (e.u.is_subset(s1) && e.v.is_subset(s2)) || (e.u.is_subset(s2) && e.v.is_subset(s1))
         })
     }
 
@@ -259,10 +268,7 @@ impl Hypergraph {
             }
             for &id in &self.complex {
                 let refs = self.edges[id].as_set();
-                if refs.is_subset(s)
-                    && refs.overlaps(component)
-                    && !refs.is_subset(component)
-                {
+                if refs.is_subset(s) && refs.overlaps(component) && !refs.is_subset(component) {
                     component |= refs;
                     grew = true;
                 }

@@ -38,7 +38,10 @@ impl CsgProfile {
     ///
     /// Panics if `counts[0] != 0`.
     pub fn from_counts(counts: Vec<u64>) -> CsgProfile {
-        assert!(counts.first().copied().unwrap_or(0) == 0, "no connected subset has size 0");
+        assert!(
+            counts.first().copied().unwrap_or(0) == 0,
+            "no connected subset has size 0"
+        );
         CsgProfile { counts }
     }
 

@@ -1,25 +1,25 @@
-//! Property tests for the hypergraph substrate.
+//! Randomized property tests for the hypergraph substrate (seeded,
+//! deterministic — the in-repo xorshift replaces any external
+//! property-test framework).
 
 use joinopt_qgraph::hypergraph::Hypergraph;
 use joinopt_qgraph::{generators, QueryGraph};
-use joinopt_relset::RelSet;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use joinopt_relset::{RelSet, XorShift64};
+
+const CASES: usize = 64;
 
 /// A random hypergraph: random connected simple base + random complex
 /// edges.
 fn build_hypergraph(n: usize, extra: usize, seed: u64) -> Hypergraph {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = XorShift64::seed_from_u64(seed);
     let base = generators::random_connected(n, 0.3, &mut rng).unwrap();
     let mut h = Hypergraph::from_query_graph(&base);
     let mut added = 0;
     let mut attempts = 0;
     while added < extra && attempts < 100 {
         attempts += 1;
-        let u_size = rng.gen_range(1..=3.min(n - 1));
-        let v_size = rng.gen_range(1..=2.min(n - u_size));
+        let u_size = rng.gen_range(1..3.min(n - 1) + 1);
+        let v_size = rng.gen_range(1..2.min(n - u_size) + 1);
         let mut pool: Vec<usize> = (0..n).collect();
         for i in 0..(u_size + v_size) {
             let j = rng.gen_range(i..pool.len());
@@ -34,30 +34,37 @@ fn build_hypergraph(n: usize, extra: usize, seed: u64) -> Hypergraph {
     h
 }
 
-fn arb_hypergraph() -> impl Strategy<Value = (Hypergraph, usize)> {
-    (3usize..=9, 0usize..=3, any::<u64>())
-        .prop_map(|(n, extra, seed)| (build_hypergraph(n, extra, seed), n))
+/// Draws a random `(hypergraph, n)` pair with 3..=9 nodes.
+fn arb_hypergraph(rng: &mut XorShift64) -> (Hypergraph, usize) {
+    let n = rng.gen_range(3..10);
+    let extra = rng.gen_range(0..4);
+    let seed = rng.next_u64();
+    (build_hypergraph(n, extra, seed), n)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn neighborhood_avoids_forbidden((h, n) in arb_hypergraph(), s_bits in any::<u64>(), x_bits in any::<u64>()) {
+#[test]
+fn neighborhood_avoids_forbidden() {
+    let mut rng = XorShift64::seed_from_u64(201);
+    for _ in 0..CASES {
+        let (h, n) = arb_hypergraph(&mut rng);
         let all = RelSet::full(n);
-        let s = RelSet::from_bits(s_bits) & all;
-        let x = (RelSet::from_bits(x_bits) & all) - s;
+        let s = RelSet::from_bits(rng.next_u64()) & all;
+        let x = (RelSet::from_bits(rng.next_u64()) & all) - s;
         let nb = h.neighborhood(s, x);
-        prop_assert!(nb.is_disjoint(s));
-        prop_assert!(nb.is_disjoint(x));
-        prop_assert!(nb.is_subset(all));
+        assert!(nb.is_disjoint(s));
+        assert!(nb.is_disjoint(x));
+        assert!(nb.is_subset(all));
     }
+}
 
-    #[test]
-    fn neighborhood_shrinks_with_exclusion((h, n) in arb_hypergraph(), s_bits in any::<u64>(), x_bits in any::<u64>()) {
+#[test]
+fn neighborhood_shrinks_with_exclusion() {
+    let mut rng = XorShift64::seed_from_u64(202);
+    for _ in 0..CASES {
+        let (h, n) = arb_hypergraph(&mut rng);
         let all = RelSet::full(n);
-        let s = RelSet::from_bits(s_bits) & all;
-        let x = (RelSet::from_bits(x_bits) & all) - s;
+        let s = RelSet::from_bits(rng.next_u64()) & all;
+        let x = (RelSet::from_bits(rng.next_u64()) & all) - s;
         // Neighborhood under a larger exclusion set never gains nodes
         // outside the smaller one's result… for *simple* graphs this is
         // monotone; with representatives a blocked min can shift the
@@ -75,58 +82,71 @@ proptest! {
             let adjacent = h.edges().iter().any(|e| {
                 (e.u.is_subset(s) && e.v.contains(v)) || (e.v.is_subset(s) && e.u.contains(v))
             });
-            prop_assert!(adjacent, "node R{v} in neighborhood but not adjacent");
+            assert!(adjacent, "node R{v} in neighborhood but not adjacent");
         }
     }
+}
 
-    #[test]
-    fn connects_is_symmetric_and_monotone((h, n) in arb_hypergraph(), a_bits in any::<u64>(), b_bits in any::<u64>()) {
+#[test]
+fn connects_is_symmetric_and_monotone() {
+    let mut rng = XorShift64::seed_from_u64(203);
+    for _ in 0..CASES {
+        let (h, n) = arb_hypergraph(&mut rng);
         let all = RelSet::full(n);
-        let a = RelSet::from_bits(a_bits) & all;
-        let b = (RelSet::from_bits(b_bits) & all) - a;
-        prop_assert_eq!(h.connects(a, b), h.connects(b, a));
+        let a = RelSet::from_bits(rng.next_u64()) & all;
+        let b = (RelSet::from_bits(rng.next_u64()) & all) - a;
+        assert_eq!(h.connects(a, b), h.connects(b, a));
         // Growing either side preserves connectedness.
         if h.connects(a, b) {
             let grown = a | (all - b);
-            prop_assert!(h.connects(grown, b));
+            assert!(h.connects(grown, b));
         }
     }
+}
 
-    #[test]
-    fn lifted_graph_agrees_with_simple_graph(n in 2usize..=9, density in 0u8..=10, seed in any::<u64>()) {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let g = generators::random_connected(n, f64::from(density) / 10.0, &mut rng).unwrap();
+#[test]
+fn lifted_graph_agrees_with_simple_graph() {
+    let mut rng = XorShift64::seed_from_u64(204);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..10);
+        let density = rng.gen_range(0..11) as f64 / 10.0;
+        let g = generators::random_connected(n, density, &mut rng).unwrap();
         let h = Hypergraph::from_query_graph(&g);
         let all = g.all_relations();
         for bits in 1..(1u64 << n) {
             let s = RelSet::from_bits(bits) & all;
-            prop_assert_eq!(
+            assert_eq!(
                 h.is_connected_set(s),
                 g.is_connected_set(s),
-                "connectivity mismatch on {}", s
+                "connectivity mismatch on {s}"
             );
-            prop_assert_eq!(
+            assert_eq!(
                 h.neighborhood(s, RelSet::EMPTY),
                 g.neighborhood(s),
-                "neighborhood mismatch on {}", s
+                "neighborhood mismatch on {s}"
             );
         }
     }
+}
 
-    #[test]
-    fn connected_set_grows_through_edges((h, n) in arb_hypergraph(), bits in any::<u64>()) {
-        // If S is reachability-connected and an edge (u ⊆ S, w) exists
-        // with w disjoint from S, then S ∪ w is also connected.
+#[test]
+fn connected_set_grows_through_edges() {
+    // If S is reachability-connected and an edge (u ⊆ S, w) exists with
+    // w disjoint from S, then S ∪ w is also connected.
+    let mut rng = XorShift64::seed_from_u64(205);
+    let mut checked = 0;
+    while checked < CASES {
+        let (h, n) = arb_hypergraph(&mut rng);
         let all = RelSet::full(n);
-        let s = RelSet::from_bits(bits) & all;
-        prop_assume!(!s.is_empty() && h.is_connected_set(s));
+        let s = RelSet::from_bits(rng.next_u64()) & all;
+        if s.is_empty() || !h.is_connected_set(s) {
+            continue;
+        }
+        checked += 1;
         for e in h.edges() {
             for (u, w) in [(e.u, e.v), (e.v, e.u)] {
                 if u.is_subset(s) && w.is_disjoint(s) {
-                    prop_assert!(
-                        h.is_connected_set(s | w),
-                        "{} ∪ {} should stay connected", s, w
-                    );
+                    assert!(h.is_connected_set(s | w), "{s} ∪ {w} should stay connected");
                 }
             }
         }
@@ -162,6 +182,9 @@ fn empty_and_degenerate_queries() {
     assert!(!h.is_connected());
     let h1 = Hypergraph::new(1).unwrap();
     assert!(h1.is_connected());
-    assert_eq!(h1.neighborhood(RelSet::single(0), RelSet::EMPTY), RelSet::EMPTY);
+    assert_eq!(
+        h1.neighborhood(RelSet::single(0), RelSet::EMPTY),
+        RelSet::EMPTY
+    );
     assert!(!QueryGraph::new(0).unwrap().is_connected());
 }

@@ -1,59 +1,75 @@
-//! Property-based tests for query-graph invariants and the csg/ccp
-//! enumeration on randomized graphs.
+//! Randomized property tests for query-graph invariants and the csg/ccp
+//! enumeration, on seeded random connected graphs (deterministic — the
+//! in-repo xorshift replaces any external property-test framework).
 
 use joinopt_qgraph::{bfs, csg, generators, profile::CsgProfile, QueryGraph, RelSet};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 use std::collections::HashSet;
 
-/// Strategy: a seeded random connected graph with 2..=9 nodes.
-fn arb_graph() -> impl Strategy<Value = QueryGraph> {
-    (2usize..=9, 0u8..=10, any::<u64>()).prop_map(|(n, density, seed)| {
-        let mut rng = StdRng::seed_from_u64(seed);
-        generators::random_connected(n, f64::from(density) / 10.0, &mut rng).unwrap()
-    })
+const CASES: usize = 64;
+
+/// A seeded random connected graph with 2..=9 nodes.
+fn arb_graph(rng: &mut XorShift64) -> QueryGraph {
+    let n = rng.gen_range(2..10);
+    let density = rng.gen_range(0..11) as f64 / 10.0;
+    generators::random_connected(n, density, rng).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn neighborhood_union_law(g in arb_graph(), bits in any::<u64>()) {
+#[test]
+fn neighborhood_union_law() {
+    let mut rng = XorShift64::seed_from_u64(101);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        let bits = rng.next_u64();
         let n = g.num_relations();
         let all = g.all_relations();
         let s = RelSet::from_bits(bits) & all;
         let t = RelSet::from_bits(bits.rotate_left(n as u32 / 2)) & all;
         let lhs = g.neighborhood(s | t);
         let rhs = (g.neighborhood(s) | g.neighborhood(t)) - (s | t);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn neighborhood_disjoint_from_set(g in arb_graph(), bits in any::<u64>()) {
-        let s = RelSet::from_bits(bits) & g.all_relations();
-        prop_assert!(g.neighborhood(s).is_disjoint(s));
+#[test]
+fn neighborhood_disjoint_from_set() {
+    let mut rng = XorShift64::seed_from_u64(102);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
+        let s = RelSet::from_bits(rng.next_u64()) & g.all_relations();
+        assert!(g.neighborhood(s).is_disjoint(s));
     }
+}
 
-    #[test]
-    fn connected_set_union_with_neighbor_subset_stays_connected(
-        g in arb_graph(), bits in any::<u64>(), pick in any::<u64>()
-    ) {
-        // Paper Section 3.2: if S is connected and S' ⊆ 𝒩(S), then
-        // S ∪ S' is connected.
-        let s = RelSet::from_bits(bits) & g.all_relations();
-        prop_assume!(!s.is_empty() && g.is_connected_set(s));
+#[test]
+fn connected_set_union_with_neighbor_subset_stays_connected() {
+    // Paper Section 3.2: if S is connected and S' ⊆ 𝒩(S), then S ∪ S'
+    // is connected.
+    let mut rng = XorShift64::seed_from_u64(103);
+    let mut checked = 0;
+    while checked < CASES {
+        let g = arb_graph(&mut rng);
+        let s = RelSet::from_bits(rng.next_u64()) & g.all_relations();
+        let pick = rng.next_u64();
+        if s.is_empty() || !g.is_connected_set(s) {
+            continue;
+        }
+        checked += 1;
         let nb = g.neighborhood(s);
         let sp = RelSet::from_bits(pick) & nb;
-        prop_assert!(g.is_connected_set(s | sp) || sp.is_empty());
+        assert!(g.is_connected_set(s | sp) || sp.is_empty());
     }
+}
 
-    #[test]
-    fn csg_enumeration_exact(g in arb_graph()) {
+#[test]
+fn csg_enumeration_exact() {
+    let mut rng = XorShift64::seed_from_u64(104);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let n = g.num_relations();
         let emitted: Vec<RelSet> = csg::collect_csgs(&g);
         let uniq: HashSet<RelSet> = emitted.iter().copied().collect();
-        prop_assert_eq!(emitted.len(), uniq.len(), "duplicate emission");
+        assert_eq!(emitted.len(), uniq.len(), "duplicate emission");
         let mut brute = HashSet::new();
         for bits in 1..(1u64 << n) {
             let s = RelSet::from_bits(bits);
@@ -61,25 +77,37 @@ proptest! {
                 brute.insert(s);
             }
         }
-        prop_assert_eq!(uniq, brute);
+        assert_eq!(uniq, brute);
     }
+}
 
-    #[test]
-    fn ccp_pairs_valid_and_unique(g in arb_graph()) {
+#[test]
+fn ccp_pairs_valid_and_unique() {
+    let mut rng = XorShift64::seed_from_u64(105);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let pairs = csg::collect_ccps(&g);
         let mut seen = HashSet::new();
         for &(s1, s2) in &pairs {
-            prop_assert!(s1.is_disjoint(s2));
-            prop_assert!(g.is_connected_set(s1));
-            prop_assert!(g.is_connected_set(s2));
-            prop_assert!(g.sets_connected(s1, s2));
-            let canon = if s1.min_index() < s2.min_index() { (s1, s2) } else { (s2, s1) };
-            prop_assert!(seen.insert(canon), "pair ({}, {}) emitted twice", s1, s2);
+            assert!(s1.is_disjoint(s2));
+            assert!(g.is_connected_set(s1));
+            assert!(g.is_connected_set(s2));
+            assert!(g.sets_connected(s1, s2));
+            let canon = if s1.min_index() < s2.min_index() {
+                (s1, s2)
+            } else {
+                (s2, s1)
+            };
+            assert!(seen.insert(canon), "pair ({}, {}) emitted twice", s1, s2);
         }
     }
+}
 
-    #[test]
-    fn ccp_count_matches_brute_force(g in arb_graph()) {
+#[test]
+fn ccp_count_matches_brute_force() {
+    let mut rng = XorShift64::seed_from_u64(106);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let n = g.num_relations();
         let mut csgs = Vec::new();
         for bits in 1..(1u64 << n) {
@@ -96,32 +124,46 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(csg::count_ccp_distinct(&g) * 2, brute);
+        assert_eq!(csg::count_ccp_distinct(&g) * 2, brute);
     }
+}
 
-    #[test]
-    fn profile_sums_to_csg_count(g in arb_graph()) {
+#[test]
+fn profile_sums_to_csg_count() {
+    let mut rng = XorShift64::seed_from_u64(107);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let p = CsgProfile::compute(&g);
-        prop_assert_eq!(p.csg_count(), u128::from(csg::count_csg(&g)));
+        assert_eq!(p.csg_count(), u128::from(csg::count_csg(&g)));
     }
+}
 
-    #[test]
-    fn bfs_renumber_preserves_structure(g in arb_graph()) {
+#[test]
+fn bfs_renumber_preserves_structure() {
+    let mut rng = XorShift64::seed_from_u64(108);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let (h, order) = bfs::bfs_renumber(&g).unwrap();
-        prop_assert!(bfs::is_bfs_numbering(&h));
-        prop_assert_eq!(h.num_edges(), g.num_edges());
+        assert!(bfs::is_bfs_numbering(&h));
+        assert_eq!(h.num_edges(), g.num_edges());
         // Connected subsets are in bijection: same csg count.
-        prop_assert_eq!(csg::count_csg(&h), csg::count_csg(&g));
-        prop_assert_eq!(csg::count_ccp_distinct(&h), csg::count_ccp_distinct(&g));
-        prop_assert_eq!(order.len(), g.num_relations());
+        assert_eq!(csg::count_csg(&h), csg::count_csg(&g));
+        assert_eq!(csg::count_ccp_distinct(&h), csg::count_ccp_distinct(&g));
+        assert_eq!(order.len(), g.num_relations());
     }
+}
 
-    #[test]
-    fn is_connected_set_agrees_with_bfs_reachability(
-        g in arb_graph(), bits in any::<u64>()
-    ) {
-        let s = RelSet::from_bits(bits) & g.all_relations();
-        prop_assume!(!s.is_empty());
+#[test]
+fn is_connected_set_agrees_with_bfs_reachability() {
+    let mut rng = XorShift64::seed_from_u64(109);
+    let mut checked = 0;
+    while checked < CASES {
+        let g = arb_graph(&mut rng);
+        let s = RelSet::from_bits(rng.next_u64()) & g.all_relations();
+        if s.is_empty() {
+            continue;
+        }
+        checked += 1;
         // Reference: grow from the minimum element edge by edge.
         let start = s.min_index().unwrap();
         let mut reach = RelSet::single(start);
@@ -132,16 +174,20 @@ proptest! {
             }
             reach |= grow;
         }
-        prop_assert_eq!(g.is_connected_set(s), reach == s);
+        assert_eq!(g.is_connected_set(s), reach == s);
     }
+}
 
-    #[test]
-    fn sets_connected_iff_cut_edge_exists(g in arb_graph(), b1 in any::<u64>(), b2 in any::<u64>()) {
+#[test]
+fn sets_connected_iff_cut_edge_exists() {
+    let mut rng = XorShift64::seed_from_u64(110);
+    for _ in 0..CASES {
+        let g = arb_graph(&mut rng);
         let all = g.all_relations();
-        let s1 = RelSet::from_bits(b1) & all;
-        let s2 = (RelSet::from_bits(b2) & all) - s1;
+        let s1 = RelSet::from_bits(rng.next_u64()) & all;
+        let s2 = (RelSet::from_bits(rng.next_u64()) & all) - s1;
         let has_cut = g.edges_between_sets(s1, s2).next().is_some();
-        prop_assert_eq!(g.sets_connected(s1, s2), has_cut);
+        assert_eq!(g.sets_connected(s1, s2), has_cut);
     }
 }
 
@@ -149,12 +195,11 @@ proptest! {
 fn arbitrary_renumbering_keeps_enumeration_exact() {
     // Shuffle labels (not BFS!) and check the enumeration still matches
     // brute force — the numbering-independence claim in the module docs.
-    use rand::seq::SliceRandom;
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = XorShift64::seed_from_u64(77);
     for trial in 0..20 {
         let g = generators::random_connected(8, 0.25, &mut rng).unwrap();
         let mut perm: Vec<usize> = (0..8).collect();
-        perm.shuffle(&mut rng);
+        rng.shuffle(&mut perm);
         let h = bfs::renumber(&g, &perm);
         let emitted: HashSet<RelSet> = csg::collect_csgs(&h).into_iter().collect();
         let mut brute = HashSet::new();

@@ -100,9 +100,16 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::UnknownDirective { line, word } => {
-                write!(f, "line {line}: unknown directive `{word}` (expected `relation` or `join`)")
+                write!(
+                    f,
+                    "line {line}: unknown directive `{word}` (expected `relation` or `join`)"
+                )
             }
-            ParseError::WrongArity { line, directive, expected } => {
+            ParseError::WrongArity {
+                line,
+                directive,
+                expected,
+            } => {
                 write!(f, "line {line}: `{directive}` expects {expected}")
             }
             ParseError::BadNumber { line, what, text } => {
@@ -115,10 +122,16 @@ impl fmt::Display for ParseError {
                 write!(f, "line {line}: unknown relation `{name}`")
             }
             ParseError::DuplicateJoin { line, left, right } => {
-                write!(f, "line {line}: duplicate join between `{left}` and `{right}`")
+                write!(
+                    f,
+                    "line {line}: duplicate join between `{left}` and `{right}`"
+                )
             }
             ParseError::SelfJoin { line, name } => {
-                write!(f, "line {line}: self-join on `{name}` is not a join predicate")
+                write!(
+                    f,
+                    "line {line}: self-join on `{name}` is not a join predicate"
+                )
             }
             ParseError::EmptyQuery => write!(f, "query declares no relations"),
             ParseError::TooManyRelations { n } => {
@@ -140,7 +153,11 @@ mod tests {
     #[test]
     fn line_extraction() {
         assert_eq!(
-            ParseError::UnknownDirective { line: 3, word: "x".into() }.line(),
+            ParseError::UnknownDirective {
+                line: 3,
+                word: "x".into()
+            }
+            .line(),
             Some(3)
         );
         assert_eq!(ParseError::EmptyQuery.line(), None);
@@ -148,7 +165,11 @@ mod tests {
 
     #[test]
     fn display_contains_context() {
-        let e = ParseError::DuplicateJoin { line: 9, left: "a".into(), right: "b".into() };
+        let e = ParseError::DuplicateJoin {
+            line: 9,
+            left: "a".into(),
+            right: "b".into(),
+        };
         let s = e.to_string();
         assert!(s.contains("line 9") && s.contains('a') && s.contains('b'));
     }

@@ -43,8 +43,18 @@ impl ParsedQuery {
         catalog: Catalog,
         names: Vec<String>,
     ) -> ParsedQuery {
-        let index = names.iter().enumerate().map(|(i, n)| (n.clone(), i)).collect();
-        ParsedQuery { hypergraph, graph, catalog, names, index }
+        let index = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        ParsedQuery {
+            hypergraph,
+            graph,
+            catalog,
+            names,
+            index,
+        }
     }
 
     /// The simple query graph — `Some` iff every predicate is binary.
@@ -127,7 +137,10 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
                     text: card_text.to_string(),
                 })?;
                 if index.contains_key(name) {
-                    return Err(ParseError::DuplicateRelation { line, name: name.to_string() });
+                    return Err(ParseError::DuplicateRelation {
+                        line,
+                        name: name.to_string(),
+                    });
                 }
                 index.insert(name.to_string(), names.len());
                 names.push(name.to_string());
@@ -138,7 +151,8 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
                     return Err(ParseError::WrongArity {
                         line,
                         directive: "join",
-                        expected: "two (comma-separated) relation lists and an optional selectivity",
+                        expected:
+                            "two (comma-separated) relation lists and an optional selectivity",
                     });
                 };
                 let sel = match words.next() {
@@ -161,8 +175,9 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
                 let resolve = |token: &str| -> Result<RelSet, ParseError> {
                     let mut side = RelSet::EMPTY;
                     for name in token.split(',') {
-                        let i = *index.get(name).ok_or_else(|| {
-                            ParseError::UnknownRelation { line, name: name.to_string() }
+                        let i = *index.get(name).ok_or_else(|| ParseError::UnknownRelation {
+                            line,
+                            name: name.to_string(),
                         })?;
                         side.insert(i);
                     }
@@ -172,12 +187,18 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
                 let rs = resolve(right)?;
                 if ls.overlaps(rs) {
                     let shared = (ls & rs).min_index().expect("overlap is non-empty");
-                    return Err(ParseError::SelfJoin { line, name: names[shared].clone() });
+                    return Err(ParseError::SelfJoin {
+                        line,
+                        name: names[shared].clone(),
+                    });
                 }
                 joins.push((line, ls, rs, sel));
             }
             other => {
-                return Err(ParseError::UnknownDirective { line, word: other.to_string() })
+                return Err(ParseError::UnknownDirective {
+                    line,
+                    word: other.to_string(),
+                })
             }
         }
     }
@@ -189,15 +210,16 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
         return Err(ParseError::TooManyRelations { n: names.len() });
     }
 
-    let mut hypergraph = Hypergraph::new(names.len()).map_err(|_| {
-        ParseError::TooManyRelations { n: names.len() }
-    })?;
+    let mut hypergraph = Hypergraph::new(names.len())
+        .map_err(|_| ParseError::TooManyRelations { n: names.len() })?;
     for &(line, ls, rs, _) in &joins {
-        hypergraph.add_edge(ls, rs).map_err(|_| ParseError::DuplicateJoin {
-            line,
-            left: render_side(ls, &names),
-            right: render_side(rs, &names),
-        })?;
+        hypergraph
+            .add_edge(ls, rs)
+            .map_err(|_| ParseError::DuplicateJoin {
+                line,
+                left: render_side(ls, &names),
+                right: render_side(rs, &names),
+            })?;
     }
     // A parallel simple graph when every predicate is binary.
     let graph = if hypergraph.num_complex_edges() == 0 {
@@ -216,24 +238,37 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
 
     let mut catalog = Catalog::with_shape(names.len(), hypergraph.num_edges());
     for (i, &(line, card)) in cards.iter().enumerate() {
-        catalog.set_cardinality(i, card).map_err(|e| ParseError::InvalidStatistic {
-            line,
-            message: e.to_string(),
-        })?;
+        catalog
+            .set_cardinality(i, card)
+            .map_err(|e| ParseError::InvalidStatistic {
+                line,
+                message: e.to_string(),
+            })?;
     }
     for (edge_id, &(line, _, _, sel)) in joins.iter().enumerate() {
-        catalog.set_selectivity(edge_id, sel).map_err(|e| ParseError::InvalidStatistic {
-            line,
-            message: e.to_string(),
-        })?;
+        catalog
+            .set_selectivity(edge_id, sel)
+            .map_err(|e| ParseError::InvalidStatistic {
+                line,
+                message: e.to_string(),
+            })?;
     }
 
-    Ok(ParsedQuery { hypergraph, graph, catalog, names, index })
+    Ok(ParsedQuery {
+        hypergraph,
+        graph,
+        catalog,
+        names,
+        index,
+    })
 }
 
 /// Renders one hyperedge side as the comma-joined relation names.
 fn render_side(side: RelSet, names: &[String]) -> String {
-    side.iter().map(|i| names[i].as_str()).collect::<Vec<_>>().join(",")
+    side.iter()
+        .map(|i| names[i].as_str())
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 #[cfg(test)]
@@ -288,7 +323,10 @@ join orders   lineitem 6.67e-7   # key join
     fn error_wrong_arity() {
         assert!(matches!(
             parse("relation a\n").unwrap_err(),
-            ParseError::WrongArity { directive: "relation", .. }
+            ParseError::WrongArity {
+                directive: "relation",
+                ..
+            }
         ));
         assert!(matches!(
             parse("relation a 10 extra\n").unwrap_err(),
@@ -296,7 +334,11 @@ join orders   lineitem 6.67e-7   # key join
         ));
         assert!(matches!(
             parse("relation a 10\nrelation b 10\njoin a\n").unwrap_err(),
-            ParseError::WrongArity { directive: "join", line: 3, .. }
+            ParseError::WrongArity {
+                directive: "join",
+                line: 3,
+                ..
+            }
         ));
         assert!(matches!(
             parse("relation a 10\nrelation b 10\njoin a b 0.5 extra\n").unwrap_err(),
@@ -308,11 +350,17 @@ join orders   lineitem 6.67e-7   # key join
     fn error_bad_numbers() {
         assert!(matches!(
             parse("relation a ten\n").unwrap_err(),
-            ParseError::BadNumber { what: "cardinality", .. }
+            ParseError::BadNumber {
+                what: "cardinality",
+                ..
+            }
         ));
         assert!(matches!(
             parse("relation a 10\nrelation b 10\njoin a b half\n").unwrap_err(),
-            ParseError::BadNumber { what: "selectivity", .. }
+            ParseError::BadNumber {
+                what: "selectivity",
+                ..
+            }
         ));
     }
 
@@ -343,7 +391,10 @@ join orders   lineitem 6.67e-7   # key join
 
     #[test]
     fn error_empty() {
-        assert_eq!(parse("# nothing here\n").unwrap_err(), ParseError::EmptyQuery);
+        assert_eq!(
+            parse("# nothing here\n").unwrap_err(),
+            ParseError::EmptyQuery
+        );
     }
 
     #[test]
@@ -364,7 +415,10 @@ join orders   lineitem 6.67e-7   # key join
         for i in 0..65 {
             src.push_str(&format!("relation r{i} 10\n"));
         }
-        assert_eq!(parse(&src).unwrap_err(), ParseError::TooManyRelations { n: 65 });
+        assert_eq!(
+            parse(&src).unwrap_err(),
+            ParseError::TooManyRelations { n: 65 }
+        );
     }
 
     #[test]
@@ -387,13 +441,19 @@ join r1,r2 r3 0.05
     #[test]
     fn hyperedge_overlap_rejected() {
         let src = "relation a 10\nrelation b 10\njoin a,b b 0.1\n";
-        assert!(matches!(parse(src).unwrap_err(), ParseError::SelfJoin { .. }));
+        assert!(matches!(
+            parse(src).unwrap_err(),
+            ParseError::SelfJoin { .. }
+        ));
     }
 
     #[test]
     fn hyperedge_unknown_member_rejected() {
         let src = "relation a 10\nrelation b 10\njoin a,ghost b 0.1\n";
-        assert!(matches!(parse(src).unwrap_err(), ParseError::UnknownRelation { .. }));
+        assert!(matches!(
+            parse(src).unwrap_err(),
+            ParseError::UnknownRelation { .. }
+        ));
     }
 
     #[test]
@@ -401,7 +461,10 @@ join r1,r2 r3 0.05
         let src = "relation a 10\nrelation b 10\nrelation c 10\n\
 join a,b c 0.1\njoin c a,b 0.2\n";
         let e = parse(src).unwrap_err();
-        assert!(matches!(e, ParseError::DuplicateJoin { line: 5, .. }), "{e:?}");
+        assert!(
+            matches!(e, ParseError::DuplicateJoin { line: 5, .. }),
+            "{e:?}"
+        );
     }
 
     #[test]
@@ -409,7 +472,9 @@ join a,b c 0.1\njoin c a,b 0.2\n";
         use joinopt_core::{DpCcp, JoinOrderer};
         use joinopt_cost::Cout;
         let q = parse(CHAIN).unwrap();
-        let r = DpCcp.optimize(q.graph().unwrap(), &q.catalog, &Cout).unwrap();
+        let r = DpCcp
+            .optimize(q.graph().unwrap(), &q.catalog, &Cout)
+            .unwrap();
         let rendered = q.render_tree(&r.tree);
         for name in q.names() {
             assert!(rendered.contains(name.as_str()), "{rendered}");

@@ -155,10 +155,16 @@ fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
             let is_hint = bytes.get(i + 2) == Some(&b'+');
             let body_start = if is_hint { i + 3 } else { i + 2 };
             let Some(end) = src[body_start..].find("*/").map(|p| p + body_start) else {
-                return Err(SqlError::Lex { at: start, message: "unterminated comment".into() });
+                return Err(SqlError::Lex {
+                    at: start,
+                    message: "unterminated comment".into(),
+                });
             };
             if is_hint {
-                out.push(Token { tok: Tok::Hint(parse_hint(&src[body_start..end], start)?), at: start });
+                out.push(Token {
+                    tok: Tok::Hint(parse_hint(&src[body_start..end], start)?),
+                    at: start,
+                });
             }
             i = end + 2;
         } else if c.is_ascii_alphabetic() || c == '_' {
@@ -168,7 +174,10 @@ fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
             {
                 i += 1;
             }
-            out.push(Token { tok: Tok::Ident(src[start..i].to_string()), at: start });
+            out.push(Token {
+                tok: Tok::Ident(src[start..i].to_string()),
+                at: start,
+            });
         } else if c.is_ascii_digit()
             || (c == '.' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit()))
         {
@@ -188,12 +197,21 @@ fn lex(src: &str) -> Result<Vec<Token>, SqlError> {
                 at: start,
                 message: format!("invalid number `{text}`"),
             })?;
-            out.push(Token { tok: Tok::Number(value), at: start });
+            out.push(Token {
+                tok: Tok::Number(value),
+                at: start,
+            });
         } else if "*,.=+-/();<>".contains(c) {
-            out.push(Token { tok: Tok::Punct(c), at: i });
+            out.push(Token {
+                tok: Tok::Punct(c),
+                at: i,
+            });
             i += 1;
         } else {
-            return Err(SqlError::Lex { at: i, message: format!("unexpected character `{c}`") });
+            return Err(SqlError::Lex {
+                at: i,
+                message: format!("unexpected character `{c}`"),
+            });
         }
     }
     Ok(out)
@@ -243,10 +261,13 @@ impl Parser {
 
     fn keyword(&mut self, kw: &str) -> Result<(), SqlError> {
         match self.next() {
-            Some(Token { tok: Tok::Ident(w), .. }) if w.eq_ignore_ascii_case(kw) => Ok(()),
-            Some(Token { at, .. }) => {
-                Err(SqlError::Syntax { at, message: format!("expected `{kw}`") })
-            }
+            Some(Token {
+                tok: Tok::Ident(w), ..
+            }) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            Some(Token { at, .. }) => Err(SqlError::Syntax {
+                at,
+                message: format!("expected `{kw}`"),
+            }),
             None => Err(SqlError::Syntax {
                 at: usize::MAX,
                 message: format!("expected `{kw}`, found end of input"),
@@ -259,7 +280,10 @@ impl Parser {
     }
 
     fn take_hint(&mut self) -> Option<Vec<(String, f64)>> {
-        if let Some(Token { tok: Tok::Hint(h), .. }) = self.peek() {
+        if let Some(Token {
+            tok: Tok::Hint(h), ..
+        }) = self.peek()
+        {
             let h = h.clone();
             self.pos += 1;
             Some(h)
@@ -282,11 +306,17 @@ struct TableDecl {
 /// Returns [`SqlError`] with a byte offset for lexical, syntactic and
 /// semantic problems (unknown aliases, unusable predicates, bad hints).
 pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
-    let mut p = Parser { tokens: lex(src)?, pos: 0 };
+    let mut p = Parser {
+        tokens: lex(src)?,
+        pos: 0,
+    };
 
     p.keyword("select")?;
     match p.next() {
-        Some(Token { tok: Tok::Punct('*'), .. }) => {}
+        Some(Token {
+            tok: Tok::Punct('*'),
+            ..
+        }) => {}
         Some(Token { at, .. }) => {
             return Err(SqlError::Syntax {
                 at,
@@ -295,7 +325,10 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
             })
         }
         None => {
-            return Err(SqlError::Syntax { at: usize::MAX, message: "truncated query".into() })
+            return Err(SqlError::Syntax {
+                at: usize::MAX,
+                message: "truncated query".into(),
+            })
         }
     }
     p.keyword("from")?;
@@ -304,8 +337,15 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
     let mut tables: Vec<TableDecl> = Vec::new();
     loop {
         let at = p.at();
-        let Some(Token { tok: Tok::Ident(name), .. }) = p.next() else {
-            return Err(SqlError::Syntax { at, message: "expected a table name".into() });
+        let Some(Token {
+            tok: Tok::Ident(name),
+            ..
+        }) = p.next()
+        else {
+            return Err(SqlError::Syntax {
+                at,
+                message: "expected a table name".into(),
+            });
         };
         let mut rows = DEFAULT_ROWS;
         if let Some(hints) = p.take_hint() {
@@ -331,7 +371,10 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
         let alias = if matches!(p.peek(), Some(Token { tok: Tok::Ident(w), .. })
             if !w.eq_ignore_ascii_case("where"))
         {
-            let Some(Token { tok: Tok::Ident(a), .. }) = p.next() else {
+            let Some(Token {
+                tok: Tok::Ident(a), ..
+            }) = p.next()
+            else {
                 unreachable!("peeked an identifier")
             };
             a
@@ -343,7 +386,10 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
         }
         tables.push(TableDecl { alias, rows, at });
         match p.peek() {
-            Some(Token { tok: Tok::Punct(','), .. }) => {
+            Some(Token {
+                tok: Tok::Punct(','),
+                ..
+            }) => {
                 p.pos += 1;
             }
             _ => break,
@@ -365,7 +411,10 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
             let pred_at = p.at();
             let left = parse_expr_side(&mut p, &alias_index)?;
             match p.next() {
-                Some(Token { tok: Tok::Punct('='), .. }) => {}
+                Some(Token {
+                    tok: Tok::Punct('='),
+                    ..
+                }) => {}
                 Some(Token { at, .. }) => {
                     return Err(SqlError::Syntax {
                         at,
@@ -411,10 +460,9 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
             } else if left.is_empty() || right.is_empty() || left.overlaps(right) {
                 return Err(SqlError::UnusablePredicate {
                     at: pred_at,
-                    message:
-                        "join predicate must reference disjoint, non-empty relation sets on \
+                    message: "join predicate must reference disjoint, non-empty relation sets on \
                          each side of `=`"
-                            .into(),
+                        .into(),
                 });
             } else {
                 joins.push((left, right, sel, pred_at));
@@ -428,17 +476,25 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
     }
 
     // Optional trailing semicolon, then end of input.
-    if matches!(p.peek(), Some(Token { tok: Tok::Punct(';'), .. })) {
+    if matches!(
+        p.peek(),
+        Some(Token {
+            tok: Tok::Punct(';'),
+            ..
+        })
+    ) {
         p.pos += 1;
     }
     if let Some(t) = p.peek() {
-        return Err(SqlError::Syntax { at: t.at, message: "unexpected trailing input".into() });
+        return Err(SqlError::Syntax {
+            at: t.at,
+            message: "unexpected trailing input".into(),
+        });
     }
 
     // Lower to hypergraph + catalog.
     let n = tables.len();
-    let mut hypergraph =
-        Hypergraph::new(n).map_err(|_| SqlError::TooManyRelations { n })?;
+    let mut hypergraph = Hypergraph::new(n).map_err(|_| SqlError::TooManyRelations { n })?;
     let mut selectivities = Vec::with_capacity(joins.len());
     for &(l, r, sel, at) in &joins {
         match hypergraph.add_edge(l, r) {
@@ -447,14 +503,12 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
                 // Duplicate predicate over the same relation sets: fold
                 // its selectivity into the existing edge (conjunction).
                 let edge = joinopt_qgraph::Hyperedge::new(l, r);
-                let id = hypergraph
-                    .edges()
-                    .iter()
-                    .position(|e| *e == edge)
-                    .ok_or(SqlError::UnusablePredicate {
+                let id = hypergraph.edges().iter().position(|e| *e == edge).ok_or(
+                    SqlError::UnusablePredicate {
                         at,
                         message: "unsupported duplicate predicate".into(),
-                    })?;
+                    },
+                )?;
                 selectivities[id] *= sel;
             }
         }
@@ -483,12 +537,18 @@ pub fn parse_sql(src: &str) -> Result<ParsedQuery, SqlError> {
         }
         catalog
             .set_cardinality(i, rows.max(1.0))
-            .map_err(|e| SqlError::BadHint { at: t.at, message: e.to_string() })?;
+            .map_err(|e| SqlError::BadHint {
+                at: t.at,
+                message: e.to_string(),
+            })?;
     }
     for (id, &sel) in selectivities.iter().enumerate() {
         catalog
             .set_selectivity(id, sel.max(f64::MIN_POSITIVE))
-            .map_err(|e| SqlError::BadHint { at: 0, message: e.to_string() })?;
+            .map_err(|e| SqlError::BadHint {
+                at: 0,
+                message: e.to_string(),
+            })?;
     }
 
     let names = tables.into_iter().map(|t| t.alias).collect();
@@ -508,10 +568,16 @@ fn parse_expr_side(
         if expect_operand {
             let at = p.at();
             match p.next() {
-                Some(Token { tok: Tok::Ident(alias), at }) => {
+                Some(Token {
+                    tok: Tok::Ident(alias),
+                    at,
+                }) => {
                     // Must be alias.column.
                     match p.next() {
-                        Some(Token { tok: Tok::Punct('.'), .. }) => {}
+                        Some(Token {
+                            tok: Tok::Punct('.'),
+                            ..
+                        }) => {}
                         _ => {
                             return Err(SqlError::Syntax {
                                 at,
@@ -523,7 +589,9 @@ fn parse_expr_side(
                         }
                     }
                     match p.next() {
-                        Some(Token { tok: Tok::Ident(_), .. }) => {}
+                        Some(Token {
+                            tok: Tok::Ident(_), ..
+                        }) => {}
                         _ => {
                             return Err(SqlError::Syntax {
                                 at,
@@ -536,12 +604,21 @@ fn parse_expr_side(
                     };
                     rels.insert(i);
                 }
-                Some(Token { tok: Tok::Number(_), .. }) => {}
-                Some(Token { tok: Tok::Punct('('), .. }) => {
+                Some(Token {
+                    tok: Tok::Number(_),
+                    ..
+                }) => {}
+                Some(Token {
+                    tok: Tok::Punct('('),
+                    ..
+                }) => {
                     // Parenthesized sub-expression.
                     rels |= parse_expr_side(p, alias_index)?;
                     match p.next() {
-                        Some(Token { tok: Tok::Punct(')'), .. }) => {}
+                        Some(Token {
+                            tok: Tok::Punct(')'),
+                            ..
+                        }) => {}
                         _ => {
                             return Err(SqlError::Syntax {
                                 at,
@@ -560,7 +637,10 @@ fn parse_expr_side(
             expect_operand = false;
         } else {
             match p.peek() {
-                Some(Token { tok: Tok::Punct(op), .. }) if "+-*/".contains(*op) => {
+                Some(Token {
+                    tok: Tok::Punct(op),
+                    ..
+                }) if "+-*/".contains(*op) => {
                     p.pos += 1;
                     expect_operand = true;
                 }
@@ -601,7 +681,9 @@ mod tests {
         use joinopt_core::{DpCcp, JoinOrderer};
         use joinopt_cost::Cout;
         let q = parse_sql(TPCH_ISH).unwrap();
-        let r = DpCcp.optimize(q.graph().unwrap(), &q.catalog, &Cout).unwrap();
+        let r = DpCcp
+            .optimize(q.graph().unwrap(), &q.catalog, &Cout)
+            .unwrap();
         assert_eq!(r.tree.num_relations(), 3);
         assert!(q.render_tree(&r.tree).contains('⋈'));
     }
@@ -616,10 +698,9 @@ mod tests {
 
     #[test]
     fn complex_predicate_becomes_hyperedge() {
-        let q = parse_sql(
-            "SELECT * FROM a, b, c WHERE a.x = b.x AND a.u + b.v = c.w /*+ sel=0.05 */",
-        )
-        .unwrap();
+        let q =
+            parse_sql("SELECT * FROM a, b, c WHERE a.x = b.x AND a.u + b.v = c.w /*+ sel=0.05 */")
+                .unwrap();
         assert!(!q.is_simple());
         assert_eq!(q.hypergraph.num_complex_edges(), 1);
         assert_eq!(q.catalog.selectivity(1), 0.05);
@@ -650,10 +731,8 @@ mod tests {
 
     #[test]
     fn comments_and_semicolon_ok() {
-        let q = parse_sql(
-            "-- leading comment\nSELECT * FROM t /* block */ WHERE t.a = 1; ",
-        )
-        .unwrap();
+        let q =
+            parse_sql("-- leading comment\nSELECT * FROM t /* block */ WHERE t.a = 1; ").unwrap();
         assert_eq!(q.names(), &["t"]);
     }
 

@@ -12,14 +12,21 @@ use crate::parser::ParsedQuery;
 pub fn write(query: &ParsedQuery) -> String {
     let mut out = String::new();
     for (i, name) in query.names().iter().enumerate() {
-        let _ = writeln!(out, "relation {name} {}", fmt_f64(query.catalog.cardinality(i)));
+        let _ = writeln!(
+            out,
+            "relation {name} {}",
+            fmt_f64(query.catalog.cardinality(i))
+        );
     }
     if query.hypergraph.num_edges() > 0 {
         out.push('\n');
     }
     for (edge_id, e) in query.hypergraph.edges().iter().enumerate() {
         let side = |s: joinopt_relset::RelSet| {
-            s.iter().map(|i| query.name_of(i)).collect::<Vec<_>>().join(",")
+            s.iter()
+                .map(|i| query.name_of(i))
+                .collect::<Vec<_>>()
+                .join(",")
         };
         let _ = writeln!(
             out,

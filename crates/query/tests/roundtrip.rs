@@ -1,11 +1,13 @@
-//! Property tests: write ∘ parse is the identity on query structure, and
-//! parsed random workloads optimize identically to their in-memory
-//! originals.
+//! Randomized tests: write ∘ parse is the identity on query structure,
+//! and parsed random workloads optimize identically to their in-memory
+//! originals (seeded, deterministic).
 
 use joinopt_core::{DpCcp, JoinOrderer};
 use joinopt_cost::{workload, Cout};
 use joinopt_query::{parse, write};
-use proptest::prelude::*;
+use joinopt_relset::XorShift64;
+
+const CASES: usize = 64;
 
 /// Builds source text for a random connected workload, naming relations
 /// `r0…r{n-1}`.
@@ -16,44 +18,59 @@ fn workload_to_source(w: &workload::Workload) -> String {
         let _ = writeln!(src, "relation r{i} {}", w.catalog.cardinality(i));
     }
     for (edge_id, e) in w.graph.edges().iter().enumerate() {
-        let _ = writeln!(src, "join r{} r{} {}", e.u, e.v, w.catalog.selectivity(edge_id));
+        let _ = writeln!(
+            src,
+            "join r{} r{} {}",
+            e.u,
+            e.v,
+            w.catalog.selectivity(edge_id)
+        );
     }
     src
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn parse_write_parse_is_stable(n in 2usize..=10, density in 0u8..=10, seed in any::<u64>()) {
-        let w = workload::random_workload(n, f64::from(density) / 10.0, seed);
+#[test]
+fn parse_write_parse_is_stable() {
+    let mut rng = XorShift64::seed_from_u64(501);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..11);
+        let density = rng.gen_range(0..11) as f64 / 10.0;
+        let w = workload::random_workload(n, density, rng.next_u64());
         let q1 = parse(&workload_to_source(&w)).unwrap();
         let q2 = parse(&write(&q1)).unwrap();
-        prop_assert_eq!(q1.names(), q2.names());
-        prop_assert_eq!(&q1.hypergraph, &q2.hypergraph);
-        prop_assert_eq!(q1.graph(), q2.graph());
-        prop_assert_eq!(&q1.catalog, &q2.catalog);
+        assert_eq!(q1.names(), q2.names());
+        assert_eq!(&q1.hypergraph, &q2.hypergraph);
+        assert_eq!(q1.graph(), q2.graph());
+        assert_eq!(&q1.catalog, &q2.catalog);
     }
+}
 
-    #[test]
-    fn parsed_query_optimizes_identically(n in 2usize..=9, seed in any::<u64>()) {
-        let w = workload::random_workload(n, 0.3, seed);
+#[test]
+fn parsed_query_optimizes_identically() {
+    let mut rng = XorShift64::seed_from_u64(502);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2..10);
+        let w = workload::random_workload(n, 0.3, rng.next_u64());
         let q = parse(&workload_to_source(&w)).unwrap();
         let direct = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
-        let parsed = DpCcp.optimize(q.graph().unwrap(), &q.catalog, &Cout).unwrap();
+        let parsed = DpCcp
+            .optimize(q.graph().unwrap(), &q.catalog, &Cout)
+            .unwrap();
         let tol = 1e-9 * direct.cost.abs().max(1.0);
-        prop_assert!((direct.cost - parsed.cost).abs() <= tol);
-        prop_assert_eq!(direct.counters, parsed.counters);
+        assert!((direct.cost - parsed.cost).abs() <= tol);
+        assert_eq!(direct.counters, parsed.counters);
     }
+}
 
-    #[test]
-    fn weird_whitespace_is_tolerated(extra_spaces in 0usize..5) {
+#[test]
+fn weird_whitespace_is_tolerated() {
+    for extra_spaces in 0..5 {
         let pad = " ".repeat(extra_spaces);
         let src = format!(
             "relation{pad} a {pad}10\r\nrelation b 20\n{pad}join a{pad} b 0.5{pad}# tail\n"
         );
         let q = parse(&src).unwrap();
-        prop_assert_eq!(q.names().len(), 2);
-        prop_assert_eq!(q.catalog.selectivity(0), 0.5);
+        assert_eq!(q.names().len(), 2);
+        assert_eq!(q.catalog.selectivity(0), 0.5);
     }
 }

@@ -40,8 +40,10 @@
 
 mod error;
 mod relset;
+pub mod rng;
 mod subsets;
 
 pub use error::RelSetError;
 pub use relset::{RelIdx, RelSet, MAX_RELATIONS};
+pub use rng::XorShift64;
 pub use subsets::{NonEmptyProperSubsets, NonEmptySubsets, SubsetIter};

@@ -84,7 +84,10 @@ impl RelSet {
     /// Panics if any index is `>= MAX_RELATIONS`.
     #[inline]
     pub fn from_indices<I: IntoIterator<Item = RelIdx>>(indices: I) -> Self {
-        indices.into_iter().map(RelSet::single).fold(RelSet::EMPTY, RelSet::union)
+        indices
+            .into_iter()
+            .map(RelSet::single)
+            .fold(RelSet::EMPTY, RelSet::union)
     }
 
     /// Constructs a set directly from its bit representation.
@@ -503,7 +506,10 @@ mod tests {
         assert_eq!(RelSet::full(0), RelSet::empty());
         assert_eq!(RelSet::full(3).len(), 3);
         assert_eq!(RelSet::full(64).len(), 64);
-        assert_eq!(RelSet::try_full(65), Err(RelSetError::UniverseTooLarge { n: 65 }));
+        assert_eq!(
+            RelSet::try_full(65),
+            Err(RelSetError::UniverseTooLarge { n: 65 })
+        );
     }
 
     #[test]

@@ -36,7 +36,10 @@ pub struct SubsetIter {
 impl SubsetIter {
     #[inline]
     pub(crate) fn new(set: RelSet) -> Self {
-        SubsetIter { set: set.bits(), next: Some(0) }
+        SubsetIter {
+            set: set.bits(),
+            next: Some(0),
+        }
     }
 }
 
@@ -59,7 +62,9 @@ impl Iterator for SubsetIter {
             Some(_) => {
                 // Exact remaining count is expensive to compute in general;
                 // give the standard bound.
-                let total = 1usize.checked_shl(self.set.count_ones()).unwrap_or(usize::MAX);
+                let total = 1usize
+                    .checked_shl(self.set.count_ones())
+                    .unwrap_or(usize::MAX);
                 (1, Some(total))
             }
         }
@@ -100,7 +105,10 @@ pub struct NonEmptyProperSubsets {
 impl NonEmptyProperSubsets {
     #[inline]
     pub(crate) fn new(set: RelSet) -> Self {
-        NonEmptyProperSubsets { set: set.bits(), inner: NonEmptySubsets::new(set) }
+        NonEmptyProperSubsets {
+            set: set.bits(),
+            inner: NonEmptySubsets::new(set),
+        }
     }
 }
 

@@ -1,119 +1,192 @@
-//! Property-based tests for `RelSet` laws and subset enumeration.
+//! Randomized property tests for `RelSet` laws and subset enumeration.
+//!
+//! Deterministic: cases are drawn from the in-repo [`XorShift64`] with
+//! fixed seeds, so failures reproduce exactly (no external property-test
+//! framework, which would not be available offline).
 
-use joinopt_relset::RelSet;
-use proptest::prelude::*;
+use joinopt_relset::{RelSet, XorShift64};
 
-fn arb_relset() -> impl Strategy<Value = RelSet> {
-    any::<u64>().prop_map(RelSet::from_bits)
+const CASES: usize = 256;
+
+fn arb_relset(rng: &mut XorShift64) -> RelSet {
+    RelSet::from_bits(rng.next_u64())
 }
 
-/// Small sets (≤ 12 members) so subset enumeration stays cheap.
-fn arb_small_relset() -> impl Strategy<Value = RelSet> {
-    proptest::collection::btree_set(0usize..16, 0..=12).prop_map(RelSet::from_indices)
+/// Small sets (≤ 10 members out of 0..16) so subset enumeration stays
+/// cheap even for the quadratic ordering checks.
+fn arb_small_relset(rng: &mut XorShift64) -> RelSet {
+    let k = rng.gen_range(0..11);
+    let mut s = RelSet::EMPTY;
+    for _ in 0..k {
+        s = s.with(rng.gen_range(0..16));
+    }
+    s
 }
 
-proptest! {
-    #[test]
-    fn union_commutative(a in arb_relset(), b in arb_relset()) {
-        prop_assert_eq!(a | b, b | a);
+#[test]
+fn union_commutative() {
+    let mut rng = XorShift64::seed_from_u64(1);
+    for _ in 0..CASES {
+        let (a, b) = (arb_relset(&mut rng), arb_relset(&mut rng));
+        assert_eq!(a | b, b | a);
     }
+}
 
-    #[test]
-    fn intersection_commutative(a in arb_relset(), b in arb_relset()) {
-        prop_assert_eq!(a & b, b & a);
+#[test]
+fn intersection_commutative() {
+    let mut rng = XorShift64::seed_from_u64(2);
+    for _ in 0..CASES {
+        let (a, b) = (arb_relset(&mut rng), arb_relset(&mut rng));
+        assert_eq!(a & b, b & a);
     }
+}
 
-    #[test]
-    fn union_associative(a in arb_relset(), b in arb_relset(), c in arb_relset()) {
-        prop_assert_eq!((a | b) | c, a | (b | c));
+#[test]
+fn union_associative() {
+    let mut rng = XorShift64::seed_from_u64(3);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            arb_relset(&mut rng),
+            arb_relset(&mut rng),
+            arb_relset(&mut rng),
+        );
+        assert_eq!((a | b) | c, a | (b | c));
     }
+}
 
-    #[test]
-    fn de_morgan_within_universe(a in arb_relset(), b in arb_relset()) {
-        let a = a & RelSet::full(32);
-        let b = b & RelSet::full(32);
-        prop_assert_eq!(
+#[test]
+fn de_morgan_within_universe() {
+    let mut rng = XorShift64::seed_from_u64(4);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng) & RelSet::full(32);
+        let b = arb_relset(&mut rng) & RelSet::full(32);
+        assert_eq!(
             (a | b).complement_in(32),
             a.complement_in(32) & b.complement_in(32)
         );
     }
+}
 
-    #[test]
-    fn difference_disjoint_from_subtrahend(a in arb_relset(), b in arb_relset()) {
-        prop_assert!((a - b).is_disjoint(b));
-        prop_assert_eq!((a - b) | (a & b), a);
+#[test]
+fn difference_disjoint_from_subtrahend() {
+    let mut rng = XorShift64::seed_from_u64(5);
+    for _ in 0..CASES {
+        let (a, b) = (arb_relset(&mut rng), arb_relset(&mut rng));
+        assert!((a - b).is_disjoint(b));
+        assert_eq!((a - b) | (a & b), a);
     }
+}
 
-    #[test]
-    fn len_is_cardinality(a in arb_relset()) {
-        prop_assert_eq!(a.len(), a.iter().count());
+#[test]
+fn len_is_cardinality() {
+    let mut rng = XorShift64::seed_from_u64(6);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng);
+        assert_eq!(a.len(), a.iter().count());
     }
+}
 
-    #[test]
-    fn iter_ascending_sorted(a in arb_relset()) {
+#[test]
+fn iter_ascending_sorted() {
+    let mut rng = XorShift64::seed_from_u64(7);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng);
         let v: Vec<_> = a.iter().collect();
         let mut sorted = v.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(v, sorted);
+        assert_eq!(v, sorted);
     }
+}
 
-    #[test]
-    fn descending_is_reverse_of_ascending(a in arb_relset()) {
+#[test]
+fn descending_is_reverse_of_ascending() {
+    let mut rng = XorShift64::seed_from_u64(8);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng);
         let mut up: Vec<_> = a.iter().collect();
         up.reverse();
         let down: Vec<_> = a.iter_descending().collect();
-        prop_assert_eq!(up, down);
+        assert_eq!(up, down);
     }
+}
 
-    #[test]
-    fn min_max_consistent(a in arb_relset()) {
-        prop_assert_eq!(a.min_index(), a.iter().next());
-        prop_assert_eq!(a.max_index(), a.iter_descending().next());
+#[test]
+fn min_max_consistent() {
+    let mut rng = XorShift64::seed_from_u64(9);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng);
+        assert_eq!(a.min_index(), a.iter().next());
+        assert_eq!(a.max_index(), a.iter_descending().next());
     }
+}
 
-    #[test]
-    fn subset_count_is_power_of_two(a in arb_small_relset()) {
-        prop_assert_eq!(a.subsets().count(), 1usize << a.len());
+#[test]
+fn subset_count_is_power_of_two() {
+    let mut rng = XorShift64::seed_from_u64(10);
+    for _ in 0..CASES {
+        let a = arb_small_relset(&mut rng);
+        assert_eq!(a.subsets().count(), 1usize << a.len());
     }
+}
 
-    #[test]
-    fn subsets_all_distinct_and_contained(a in arb_small_relset()) {
+#[test]
+fn subsets_all_distinct_and_contained() {
+    let mut rng = XorShift64::seed_from_u64(11);
+    for _ in 0..CASES {
+        let a = arb_small_relset(&mut rng);
         let subs: Vec<_> = a.subsets().collect();
         let uniq: std::collections::HashSet<_> = subs.iter().copied().collect();
-        prop_assert_eq!(uniq.len(), subs.len());
+        assert_eq!(uniq.len(), subs.len());
         for s in subs {
-            prop_assert!(s.is_subset(a));
+            assert!(s.is_subset(a));
         }
     }
+}
 
-    #[test]
-    fn subsets_dp_order(a in arb_small_relset()) {
-        // A set never appears before one of its subsets.
+#[test]
+fn subsets_dp_order() {
+    // A set never appears before one of its subsets.
+    let mut rng = XorShift64::seed_from_u64(12);
+    for _ in 0..64 {
+        let a = arb_small_relset(&mut rng);
         let subs: Vec<_> = a.subsets().collect();
         for (i, s) in subs.iter().enumerate() {
             for t in &subs[i + 1..] {
-                prop_assert!(!t.is_strict_subset(*s), "{} after superset {}", t, s);
+                assert!(!t.is_strict_subset(*s), "{} after superset {}", t, s);
             }
         }
     }
+}
 
-    #[test]
-    fn proper_subsets_pair_with_complement(a in arb_small_relset()) {
-        prop_assume!(a.len() >= 2);
+#[test]
+fn proper_subsets_pair_with_complement() {
+    let mut rng = XorShift64::seed_from_u64(13);
+    let mut checked = 0;
+    while checked < 64 {
+        let a = arb_small_relset(&mut rng);
+        if a.len() < 2 {
+            continue;
+        }
+        checked += 1;
         for s1 in a.non_empty_proper_subsets() {
             let s2 = a - s1;
-            prop_assert!(!s2.is_empty());
-            prop_assert!(s1.is_disjoint(s2));
-            prop_assert_eq!(s1 | s2, a);
+            assert!(!s2.is_empty());
+            assert!(s1.is_disjoint(s2));
+            assert_eq!(s1 | s2, a);
         }
     }
+}
 
-    #[test]
-    fn with_without_roundtrip(a in arb_relset(), i in 0usize..64) {
-        prop_assert!(a.with(i).contains(i));
-        prop_assert!(!a.without(i).contains(i));
+#[test]
+fn with_without_roundtrip() {
+    let mut rng = XorShift64::seed_from_u64(14);
+    for _ in 0..CASES {
+        let a = arb_relset(&mut rng);
+        let i = rng.gen_range(0..64);
+        assert!(a.with(i).contains(i));
+        assert!(!a.without(i).contains(i));
         if !a.contains(i) {
-            prop_assert_eq!(a.with(i).without(i), a);
+            assert_eq!(a.with(i).without(i), a);
         }
     }
 }

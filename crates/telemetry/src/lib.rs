@@ -1,0 +1,54 @@
+//! Telemetry for the joinopt optimizers: a zero-overhead [`Observer`]
+//! API, run metrics, and JSONL tracing.
+//!
+//! The paper this workspace reproduces (Moerkotte & Neumann, VLDB 2006)
+//! is fundamentally a *measurement* paper — its contribution is counters
+//! and runtime comparisons across DPsize, DPsub and DPccp. This crate is
+//! the standing measurement substrate those comparisons (and every
+//! future performance PR) report against:
+//!
+//! * [`Observer`] — the sink trait optimizers emit [`Event`]s into.
+//!   The default [`NoopObserver`] reports itself disabled, so
+//!   instrumented code reduces to one branch per run: no events are
+//!   constructed, no clocks read, nothing allocated.
+//! * [`Event`] — the vocabulary: run/phase spans (`init`, `enumerate`,
+//!   `extract`), per-size DP-level progress, DP-table statistics
+//!   (entries/capacity/probes/hits), plan-arena accounting, and the
+//!   paper's counters.
+//! * [`MetricsCollector`] — aggregates a run into a [`RunReport`] with
+//!   `Display`, JSON-line and CSV serializations (no external deps).
+//! * [`TraceWriter`] — streams every event as a JSON line (with
+//!   monotonic `elapsed_ns`) to any `io::Write`.
+//! * [`Tee`] — fans events out to two observers.
+//! * [`json`] — the dependency-free JSON writer/parser the above use,
+//!   public so tools and tests can round-trip telemetry output.
+//!
+//! # Example
+//!
+//! ```
+//! use joinopt_telemetry::{Event, MetricsCollector, Observer};
+//!
+//! let metrics = MetricsCollector::new();
+//! // An optimizer run emits events (normally done by joinopt-core):
+//! metrics.on_event(Event::RunStart { algorithm: "DPccp", relations: 3 });
+//! metrics.on_event(Event::PhaseStart { phase: "enumerate" });
+//! metrics.on_event(Event::PhaseEnd { phase: "enumerate" });
+//! metrics.on_event(Event::RunEnd);
+//!
+//! let report = metrics.report();
+//! assert_eq!(report.algorithm, "DPccp");
+//! assert!(report.phase("enumerate").is_some());
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod observer;
+mod trace;
+
+pub use metrics::{LevelCount, MetricsCollector, PhaseSpan, RunReport};
+pub use observer::{Event, NoopObserver, Observer, Tee};
+pub use trace::TraceWriter;

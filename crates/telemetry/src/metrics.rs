@@ -1,0 +1,493 @@
+//! [`MetricsCollector`] — aggregates one run's events into a
+//! [`RunReport`] with human, JSON-line and CSV serializations.
+
+use core::fmt;
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::json::{write_escaped, write_f64};
+use crate::observer::{Event, Observer};
+
+/// One completed phase span, stamped against the collector's monotonic
+/// clock (nanoseconds since the collector was created).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseSpan {
+    /// Phase name (`"init"`, `"enumerate"`, `"extract"`, …).
+    pub name: &'static str,
+    /// Start of the phase.
+    pub start_ns: u64,
+    /// End of the phase (`>= start_ns`; the clock is monotonic).
+    pub end_ns: u64,
+}
+
+impl PhaseSpan {
+    /// Wall-clock duration of the span in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// Entries materialized at one DP level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelCount {
+    /// Relation-set size.
+    pub size: usize,
+    /// Distinct sets of that size entered into the DP table.
+    pub new_entries: u64,
+}
+
+/// Aggregated metrics of one optimizer run.
+///
+/// Produced by [`MetricsCollector::report`]. Fields not reported by an
+/// algorithm (e.g. table stats for heuristics without a DP table) stay
+/// at their zero defaults.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Algorithm name from the `run_start` event.
+    pub algorithm: &'static str,
+    /// Number of relations in the query.
+    pub relations: usize,
+    /// Completed phase spans, in completion order.
+    pub phases: Vec<PhaseSpan>,
+    /// Per-size DP-table entry counts, smallest size first.
+    pub levels: Vec<LevelCount>,
+    /// Sets with a registered plan (final DP-table size).
+    pub table_entries: usize,
+    /// Allocated table capacity (0 when not reported).
+    pub table_capacity: usize,
+    /// `BestPlan` lookups performed.
+    pub table_probes: u64,
+    /// Lookups that found an existing entry.
+    pub table_hits: u64,
+    /// Plan nodes materialized.
+    pub arena_nodes: usize,
+    /// Bytes of plan-node storage.
+    pub arena_bytes: usize,
+    /// `InnerCounter`.
+    pub counter_inner: u64,
+    /// `CsgCmpPairCounter`.
+    pub counter_csg_cmp_pairs: u64,
+    /// `OnoLohmanCounter`.
+    pub counter_ono_lohman: u64,
+    /// Nanoseconds from collector creation to the `run_end` event.
+    pub total_ns: u64,
+}
+
+impl RunReport {
+    /// The span for `name`, if that phase completed.
+    pub fn phase(&self, name: &str) -> Option<&PhaseSpan> {
+        self.phases.iter().find(|p| p.name == name)
+    }
+
+    /// Sum of all per-level entry counts (equals the DP-table size when
+    /// the algorithm reports levels).
+    pub fn level_total(&self) -> u64 {
+        self.levels.iter().map(|l| l.new_entries).sum()
+    }
+
+    /// Table occupancy in `[0, 1]` (0 when capacity was not reported).
+    pub fn occupancy(&self) -> f64 {
+        if self.table_capacity == 0 {
+            0.0
+        } else {
+            self.table_entries as f64 / self.table_capacity as f64
+        }
+    }
+
+    /// The report as a single JSON line (no trailing newline).
+    ///
+    /// Parses back with [`crate::json::JsonValue::parse`]; see
+    /// `docs/observability.md` for the schema.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str("{\"algorithm\":");
+        write_escaped(&mut s, self.algorithm);
+        s.push_str(&format!(",\"relations\":{}", self.relations));
+        s.push_str(",\"phases\":[");
+        for (i, p) in self.phases.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"name\":");
+            write_escaped(&mut s, p.name);
+            s.push_str(&format!(
+                ",\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}}}",
+                p.start_ns,
+                p.end_ns,
+                p.duration_ns()
+            ));
+        }
+        s.push_str("],\"levels\":[");
+        for (i, l) in self.levels.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"size\":{},\"new_entries\":{}}}",
+                l.size, l.new_entries
+            ));
+        }
+        s.push_str(&format!(
+            "],\"table\":{{\"entries\":{},\"capacity\":{},\"probes\":{},\"hits\":{},\"occupancy\":",
+            self.table_entries, self.table_capacity, self.table_probes, self.table_hits
+        ));
+        write_f64(&mut s, self.occupancy());
+        s.push_str(&format!(
+            "}},\"arena\":{{\"nodes\":{},\"bytes\":{}}}",
+            self.arena_nodes, self.arena_bytes
+        ));
+        s.push_str(&format!(
+            ",\"counters\":{{\"inner\":{},\"csg_cmp_pairs\":{},\"ono_lohman\":{}}}",
+            self.counter_inner, self.counter_csg_cmp_pairs, self.counter_ono_lohman
+        ));
+        s.push_str(&format!(",\"total_ns\":{}}}", self.total_ns));
+        s
+    }
+
+    /// The fixed CSV column set matching [`RunReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "algorithm,relations,total_ns,phases,table_entries,table_capacity,\
+         table_probes,table_hits,arena_nodes,arena_bytes,\
+         counter_inner,counter_csg_cmp_pairs,counter_ono_lohman"
+    }
+
+    /// One CSV row. Phase spans are packed into a single
+    /// `name:duration_ns;…` cell so the column set stays fixed across
+    /// algorithms with different phase structures.
+    pub fn to_csv_row(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|p| format!("{}:{}", p.name, p.duration_ns()))
+            .collect();
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.algorithm,
+            self.relations,
+            self.total_ns,
+            phases.join(";"),
+            self.table_entries,
+            self.table_capacity,
+            self.table_probes,
+            self.table_hits,
+            self.arena_nodes,
+            self.arena_bytes,
+            self.counter_inner,
+            self.counter_csg_cmp_pairs,
+            self.counter_ono_lohman,
+        )
+    }
+
+    /// Header plus this report's row, newline-terminated.
+    pub fn to_csv(&self) -> String {
+        format!("{}\n{}\n", Self::csv_header(), self.to_csv_row())
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "run:        {} on {} relations",
+            self.algorithm, self.relations
+        )?;
+        writeln!(f, "total:      {:.3} ms", self.total_ns as f64 / 1e6)?;
+        for p in &self.phases {
+            writeln!(
+                f,
+                "  phase {:<10} {:>12.3} ms",
+                p.name,
+                p.duration_ns() as f64 / 1e6
+            )?;
+        }
+        if !self.levels.is_empty() {
+            write!(f, "dp levels: ")?;
+            for l in &self.levels {
+                write!(f, " {}:{}", l.size, l.new_entries)?;
+            }
+            writeln!(f, "  (total {})", self.level_total())?;
+        }
+        writeln!(
+            f,
+            "table:      {} entries / {} capacity ({:.1}% occupied), {} probes, {} hits",
+            self.table_entries,
+            self.table_capacity,
+            100.0 * self.occupancy(),
+            self.table_probes,
+            self.table_hits
+        )?;
+        writeln!(
+            f,
+            "arena:      {} nodes, {} bytes",
+            self.arena_nodes, self.arena_bytes
+        )?;
+        writeln!(
+            f,
+            "counters:   inner={} csgCmpPairs={} onoLohman={}",
+            self.counter_inner, self.counter_csg_cmp_pairs, self.counter_ono_lohman
+        )
+    }
+}
+
+/// An [`Observer`] that aggregates a run's events into a [`RunReport`].
+///
+/// Timestamps are taken on event receipt against a clock started at
+/// construction, so create the collector immediately before the run.
+/// Reusable: a new `run_start` event resets the aggregate state, and
+/// [`MetricsCollector::report`] can be called after each run.
+pub struct MetricsCollector {
+    start: Instant,
+    state: RefCell<RunReport>,
+    open_phase: RefCell<Option<(&'static str, u64)>>,
+}
+
+impl MetricsCollector {
+    /// Creates a collector; its clock starts now.
+    pub fn new() -> MetricsCollector {
+        MetricsCollector {
+            start: Instant::now(),
+            state: RefCell::new(RunReport::default()),
+            open_phase: RefCell::new(None),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// The aggregated report for the most recent run.
+    pub fn report(&self) -> RunReport {
+        self.state.borrow().clone()
+    }
+}
+
+impl Default for MetricsCollector {
+    fn default() -> MetricsCollector {
+        MetricsCollector::new()
+    }
+}
+
+impl Observer for MetricsCollector {
+    fn on_event(&self, event: Event) {
+        let now = self.now_ns();
+        let mut r = self.state.borrow_mut();
+        match event {
+            Event::RunStart {
+                algorithm,
+                relations,
+            } => {
+                *r = RunReport {
+                    algorithm,
+                    relations,
+                    ..RunReport::default()
+                };
+                *self.open_phase.borrow_mut() = None;
+            }
+            Event::PhaseStart { phase } => {
+                *self.open_phase.borrow_mut() = Some((phase, now));
+            }
+            Event::PhaseEnd { phase } => {
+                let open = self.open_phase.borrow_mut().take();
+                // Tolerate unmatched ends (start before the collector
+                // attached): fall back to a zero-length span at `now`.
+                let start_ns = match open {
+                    Some((name, t)) if name == phase => t,
+                    _ => now,
+                };
+                r.phases.push(PhaseSpan {
+                    name: phase,
+                    start_ns,
+                    end_ns: now,
+                });
+            }
+            Event::DpLevel { size, new_entries } => {
+                r.levels.push(LevelCount { size, new_entries });
+            }
+            Event::TableStats {
+                entries,
+                capacity,
+                probes,
+                hits,
+            } => {
+                r.table_entries = entries;
+                r.table_capacity = capacity;
+                r.table_probes = probes;
+                r.table_hits = hits;
+            }
+            Event::ArenaStats { nodes, bytes } => {
+                r.arena_nodes = nodes;
+                r.arena_bytes = bytes;
+            }
+            Event::FinalCounters {
+                inner,
+                csg_cmp_pairs,
+                ono_lohman,
+            } => {
+                r.counter_inner = inner;
+                r.counter_csg_cmp_pairs = csg_cmp_pairs;
+                r.counter_ono_lohman = ono_lohman;
+            }
+            Event::RunEnd => {
+                r.total_ns = now;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::JsonValue;
+
+    fn sample_events(obs: &dyn Observer) {
+        obs.on_event(Event::RunStart {
+            algorithm: "DPccp",
+            relations: 4,
+        });
+        obs.on_event(Event::PhaseStart { phase: "init" });
+        obs.on_event(Event::PhaseEnd { phase: "init" });
+        obs.on_event(Event::PhaseStart { phase: "enumerate" });
+        obs.on_event(Event::PhaseEnd { phase: "enumerate" });
+        obs.on_event(Event::PhaseStart { phase: "extract" });
+        obs.on_event(Event::PhaseEnd { phase: "extract" });
+        obs.on_event(Event::DpLevel {
+            size: 1,
+            new_entries: 4,
+        });
+        obs.on_event(Event::DpLevel {
+            size: 2,
+            new_entries: 3,
+        });
+        obs.on_event(Event::DpLevel {
+            size: 3,
+            new_entries: 2,
+        });
+        obs.on_event(Event::DpLevel {
+            size: 4,
+            new_entries: 1,
+        });
+        obs.on_event(Event::TableStats {
+            entries: 10,
+            capacity: 16,
+            probes: 30,
+            hits: 20,
+        });
+        obs.on_event(Event::ArenaStats {
+            nodes: 12,
+            bytes: 12 * 40,
+        });
+        obs.on_event(Event::FinalCounters {
+            inner: 9,
+            csg_cmp_pairs: 18,
+            ono_lohman: 9,
+        });
+        obs.on_event(Event::RunEnd);
+    }
+
+    #[test]
+    fn aggregates_a_full_run() {
+        let mc = MetricsCollector::new();
+        sample_events(&mc);
+        let r = mc.report();
+        assert_eq!(r.algorithm, "DPccp");
+        assert_eq!(r.relations, 4);
+        assert_eq!(r.phases.len(), 3);
+        assert!(r.phase("init").is_some());
+        assert!(r.phase("enumerate").is_some());
+        assert!(r.phase("extract").is_some());
+        assert!(r.phase("nonexistent").is_none());
+        assert_eq!(r.level_total(), 10);
+        assert_eq!(r.level_total(), r.table_entries as u64);
+        assert_eq!(r.table_probes, 30);
+        assert_eq!(r.table_hits, 20);
+        assert!((r.occupancy() - 10.0 / 16.0).abs() < 1e-12);
+        assert_eq!(r.arena_nodes, 12);
+        assert_eq!(r.counter_inner, 9);
+        // Monotonic spans ordered by completion.
+        let mut last_end = 0;
+        for p in &r.phases {
+            assert!(p.start_ns <= p.end_ns);
+            assert!(p.end_ns >= last_end);
+            last_end = p.end_ns;
+        }
+        assert!(r.total_ns >= last_end);
+    }
+
+    #[test]
+    fn run_start_resets_state() {
+        let mc = MetricsCollector::new();
+        sample_events(&mc);
+        mc.on_event(Event::RunStart {
+            algorithm: "DPsize",
+            relations: 2,
+        });
+        mc.on_event(Event::RunEnd);
+        let r = mc.report();
+        assert_eq!(r.algorithm, "DPsize");
+        assert!(r.phases.is_empty());
+        assert!(r.levels.is_empty());
+        assert_eq!(r.table_entries, 0);
+    }
+
+    #[test]
+    fn unmatched_phase_end_is_tolerated() {
+        let mc = MetricsCollector::new();
+        mc.on_event(Event::RunStart {
+            algorithm: "X",
+            relations: 1,
+        });
+        mc.on_event(Event::PhaseEnd { phase: "orphan" });
+        let r = mc.report();
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].duration_ns(), 0);
+    }
+
+    #[test]
+    fn json_line_round_trips() {
+        let mc = MetricsCollector::new();
+        sample_events(&mc);
+        let line = mc.report().to_json_line();
+        assert!(!line.contains('\n'));
+        let v = JsonValue::parse(&line).unwrap();
+        assert_eq!(v.get("algorithm").unwrap().as_str(), Some("DPccp"));
+        assert_eq!(v.get("relations").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("phases").unwrap().as_array().unwrap().len(), 3);
+        let levels = v.get("levels").unwrap().as_array().unwrap();
+        assert_eq!(levels.len(), 4);
+        assert_eq!(levels[0].get("size").unwrap().as_u64(), Some(1));
+        let table = v.get("table").unwrap();
+        assert_eq!(table.get("entries").unwrap().as_u64(), Some(10));
+        assert_eq!(table.get("probes").unwrap().as_u64(), Some(30));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(counters.get("ono_lohman").unwrap().as_u64(), Some(9));
+        assert!(v.get("total_ns").unwrap().as_u64().is_some());
+    }
+
+    #[test]
+    fn csv_has_matching_columns() {
+        let mc = MetricsCollector::new();
+        sample_events(&mc);
+        let r = mc.report();
+        let header_cols = RunReport::csv_header().split(',').count();
+        let row_cols = r.to_csv_row().split(',').count();
+        assert_eq!(header_cols, row_cols);
+        let csv = r.to_csv();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.contains("DPccp"));
+        assert!(csv.contains("init:"));
+    }
+
+    #[test]
+    fn display_mentions_key_figures() {
+        let mc = MetricsCollector::new();
+        sample_events(&mc);
+        let text = mc.report().to_string();
+        assert!(text.contains("DPccp"));
+        assert!(text.contains("phase init"));
+        assert!(text.contains("phase enumerate"));
+        assert!(text.contains("phase extract"));
+        assert!(text.contains("10 entries"));
+        assert!(text.contains("12 nodes"));
+        assert!(text.contains("onoLohman=9"));
+    }
+}

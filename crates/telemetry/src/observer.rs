@@ -1,0 +1,283 @@
+//! The [`Observer`] trait and the event vocabulary optimizers emit.
+
+/// One telemetry event emitted by an optimizer run.
+///
+/// Events are plain `Copy` data with `&'static str` labels: constructing
+/// one never allocates, so the *only* cost of an instrumentation point is
+/// the branch on [`Observer::enabled`] guarding it. Timing is the
+/// observer's job — collectors stamp events against their own monotonic
+/// clock on receipt — which keeps `Instant::now()` calls off the
+/// optimizer's hot path entirely.
+///
+/// The expected sequence for a DP run is:
+///
+/// ```text
+/// RunStart
+///   PhaseStart("init")    … singleton plans …    PhaseEnd("init")
+///   PhaseStart("enumerate") … DP loops …         PhaseEnd("enumerate")
+///   PhaseStart("extract") … tree extraction …    PhaseEnd("extract")
+/// DpLevel*  TableStats  ArenaStats  FinalCounters
+/// RunEnd
+/// ```
+///
+/// Heuristics without a DP table emit the same span skeleton (with their
+/// own phase names where appropriate) and whichever summary events apply.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An optimizer run begins.
+    RunStart {
+        /// Algorithm name as reported by `JoinOrderer::name`.
+        algorithm: &'static str,
+        /// Number of relations in the query graph.
+        relations: usize,
+    },
+    /// A named phase begins. Phases do not nest.
+    PhaseStart {
+        /// Phase name (`"init"`, `"enumerate"`, `"extract"`, …).
+        phase: &'static str,
+    },
+    /// The matching phase ends.
+    PhaseEnd {
+        /// Phase name.
+        phase: &'static str,
+    },
+    /// Plans materialized at one DP level: `new_entries` table entries
+    /// whose relation sets have exactly `size` elements. Emitted once
+    /// per non-empty level after enumeration, smallest size first,
+    /// mirroring the paper's size-driven vs. subset-driven structure.
+    DpLevel {
+        /// Relation-set size (1 = singletons).
+        size: usize,
+        /// Number of distinct sets of that size entered into the table.
+        new_entries: u64,
+    },
+    /// Final DP-table statistics.
+    TableStats {
+        /// Sets with a registered plan.
+        entries: usize,
+        /// Allocated capacity (slots for the dense table, bucket
+        /// capacity for the sparse one) — `entries / capacity` is the
+        /// occupancy.
+        capacity: usize,
+        /// `BestPlan` lookups performed by the enumerator.
+        probes: u64,
+        /// Probes that found an existing entry.
+        hits: u64,
+    },
+    /// Final plan-arena accounting.
+    ArenaStats {
+        /// Plan nodes materialized (scans + accepted joins).
+        nodes: usize,
+        /// Bytes of node storage backing them.
+        bytes: usize,
+    },
+    /// The paper's instrumentation counters, reported at the end of the
+    /// run so observers need not understand per-algorithm conventions.
+    FinalCounters {
+        /// Innermost-loop iterations (`InnerCounter`).
+        inner: u64,
+        /// Oriented csg-cmp-pairs (`CsgCmpPairCounter`).
+        csg_cmp_pairs: u64,
+        /// Unordered csg-cmp-pairs (`OnoLohmanCounter`).
+        ono_lohman: u64,
+    },
+    /// The run is complete (successfully or not — emitted on the success
+    /// path only, so its absence in a trace indicates an error).
+    RunEnd,
+}
+
+impl Event {
+    /// The event's wire name, as used in JSONL traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::RunStart { .. } => "run_start",
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::DpLevel { .. } => "dp_level",
+            Event::TableStats { .. } => "table_stats",
+            Event::ArenaStats { .. } => "arena_stats",
+            Event::FinalCounters { .. } => "final_counters",
+            Event::RunEnd => "run_end",
+        }
+    }
+
+    /// The phase this event belongs to: the named phase for span events,
+    /// `"run"` for everything else.
+    pub fn phase(&self) -> &'static str {
+        match self {
+            Event::PhaseStart { phase } | Event::PhaseEnd { phase } => phase,
+            _ => "run",
+        }
+    }
+}
+
+/// A sink for optimizer telemetry.
+///
+/// Implementations receive events through a shared reference (optimizers
+/// hold `&dyn Observer`), so stateful observers use interior mutability.
+/// Optimizers guard every instrumentation point on [`Observer::enabled`];
+/// when it returns `false` — the [`NoopObserver`] default — the entire
+/// observer path reduces to one well-predicted branch per run and no
+/// events are constructed, no clocks read, and nothing allocated.
+pub trait Observer {
+    /// Whether this observer wants events at all. Optimizers read this
+    /// once per run and skip all bookkeeping when it is `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Receives one event. Called in emission order from a single thread.
+    fn on_event(&self, event: Event);
+}
+
+/// The default observer: discards everything and reports itself
+/// disabled, so instrumented code skips its bookkeeping entirely.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl Observer for NoopObserver {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn on_event(&self, _event: Event) {}
+}
+
+/// Fans events out to two observers (compose for more), e.g. a
+/// [`crate::MetricsCollector`] and a [`crate::TraceWriter`] on the same
+/// run.
+pub struct Tee<'a> {
+    first: &'a dyn Observer,
+    second: &'a dyn Observer,
+}
+
+impl<'a> Tee<'a> {
+    /// Observes with both `first` and `second`, in that order.
+    pub fn new(first: &'a dyn Observer, second: &'a dyn Observer) -> Tee<'a> {
+        Tee { first, second }
+    }
+}
+
+impl Observer for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.first.enabled() || self.second.enabled()
+    }
+
+    fn on_event(&self, event: Event) {
+        if self.first.enabled() {
+            self.first.on_event(event);
+        }
+        if self.second.enabled() {
+            self.second.on_event(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    struct CountingObserver {
+        seen: Cell<usize>,
+    }
+
+    impl Observer for CountingObserver {
+        fn on_event(&self, _event: Event) {
+            self.seen.set(self.seen.get() + 1);
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        let obs = NoopObserver;
+        assert!(!obs.enabled());
+        obs.on_event(Event::RunEnd); // must not panic
+    }
+
+    #[test]
+    fn custom_observers_default_to_enabled() {
+        let obs = CountingObserver { seen: Cell::new(0) };
+        assert!(obs.enabled());
+    }
+
+    #[test]
+    fn tee_forwards_to_both() {
+        let a = CountingObserver { seen: Cell::new(0) };
+        let b = CountingObserver { seen: Cell::new(0) };
+        let tee = Tee::new(&a, &b);
+        assert!(tee.enabled());
+        tee.on_event(Event::RunEnd);
+        tee.on_event(Event::PhaseStart { phase: "init" });
+        assert_eq!(a.seen.get(), 2);
+        assert_eq!(b.seen.get(), 2);
+    }
+
+    #[test]
+    fn tee_of_noops_is_disabled() {
+        let tee = Tee::new(&NoopObserver, &NoopObserver);
+        assert!(!tee.enabled());
+    }
+
+    #[test]
+    fn tee_skips_disabled_side() {
+        let a = CountingObserver { seen: Cell::new(0) };
+        let tee = Tee::new(&a, &NoopObserver);
+        assert!(tee.enabled());
+        tee.on_event(Event::RunEnd);
+        assert_eq!(a.seen.get(), 1);
+    }
+
+    #[test]
+    fn event_names_and_phases() {
+        assert_eq!(
+            Event::RunStart {
+                algorithm: "DPccp",
+                relations: 3
+            }
+            .name(),
+            "run_start"
+        );
+        assert_eq!(
+            Event::PhaseStart { phase: "enumerate" }.phase(),
+            "enumerate"
+        );
+        assert_eq!(Event::PhaseEnd { phase: "extract" }.phase(), "extract");
+        assert_eq!(
+            Event::DpLevel {
+                size: 2,
+                new_entries: 4
+            }
+            .phase(),
+            "run"
+        );
+        assert_eq!(
+            Event::TableStats {
+                entries: 1,
+                capacity: 2,
+                probes: 3,
+                hits: 4
+            }
+            .name(),
+            "table_stats"
+        );
+        assert_eq!(
+            Event::ArenaStats {
+                nodes: 1,
+                bytes: 64
+            }
+            .name(),
+            "arena_stats"
+        );
+        assert_eq!(
+            Event::FinalCounters {
+                inner: 1,
+                csg_cmp_pairs: 2,
+                ono_lohman: 1
+            }
+            .name(),
+            "final_counters"
+        );
+        assert_eq!(Event::RunEnd.name(), "run_end");
+    }
+}

@@ -13,16 +13,18 @@ use joinopt::core::greedy::Goo;
 use joinopt::exec::{execute, Database};
 use joinopt::prelude::*;
 use joinopt_cost::workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Find a workload where greedy goes wrong (small sizes so the data
     // fits this toy engine).
-    let ranges = workload::StatsRanges { cardinality: (20.0, 150.0), selectivity: (0.01, 0.5) };
+    let ranges = workload::StatsRanges {
+        cardinality: (20.0, 150.0),
+        selectivity: (0.01, 0.5),
+    };
     let (graph, catalog, optimal, greedy) = (0u64..)
         .find_map(|seed| {
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = XorShift64::seed_from_u64(seed);
             let graph = qgraph::generators::random_connected(6, 0.3, &mut rng).ok()?;
             let catalog = workload::random_catalog(&graph, ranges, &mut rng);
             let optimal = DpCcp.optimize(&graph, &catalog, &Cout).ok()?;
@@ -31,7 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .expect("the seed space contains greedy traps");
 
-    let db = Database::synthesize(&graph, &catalog, &mut StdRng::seed_from_u64(2006))?;
+    let db = Database::synthesize(&graph, &catalog, &mut XorShift64::seed_from_u64(2006))?;
     let est = CardinalityEstimator::new(&graph, &catalog)?;
 
     println!(
@@ -53,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             run.result_rows,
             run.measured_cout()
         );
-        println!("  {:<26} {:>10} {:>10}", "intermediate", "estimated", "measured");
+        println!(
+            "  {:<26} {:>10} {:>10}",
+            "intermediate", "estimated", "measured"
+        );
         for &(rels, rows) in &run.node_cards {
             if rels.len() < 2 {
                 continue;

@@ -23,8 +23,12 @@ const QUERY: &str = "
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let q = parse_sql(QUERY)?;
 
-    println!("parsed {} relations, {} predicates ({} complex)", q.names().len(),
-        q.hypergraph.num_edges(), q.hypergraph.num_complex_edges());
+    println!(
+        "parsed {} relations, {} predicates ({} complex)",
+        q.names().len(),
+        q.hypergraph.num_edges(),
+        q.hypergraph.num_complex_edges()
+    );
     println!("filter applied: |customer| = {}", q.catalog.cardinality(0));
     println!();
 

@@ -54,9 +54,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // All three algorithms find plans of the same (optimal) cost.
-    assert!(trees.windows(2).all(|w| (w[0].cost - w[1].cost).abs() <= 1e-9 * w[0].cost));
+    assert!(trees
+        .windows(2)
+        .all(|w| (w[0].cost - w[1].cost).abs() <= 1e-9 * w[0].cost));
 
-    println!("\noptimal plan (all three agree):\n{}", trees[2].tree.explain());
+    println!(
+        "\noptimal plan (all three agree):\n{}",
+        trees[2].tree.explain()
+    );
     println!(
         "DPccp hit rate: {:.1}% of innermost iterations produce a plan \
          (DPsize: {:.4}%, DPsub: {:.4}%)",

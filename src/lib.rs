@@ -20,6 +20,7 @@
 //! | [`core`] | DPsize / DPsub / DPccp / DPhyp, counters, counter formulas, oracle, GOO, the [`Optimizer`](crate::prelude::Optimizer) façade |
 //! | [`query`] | textual query-description format and SQL frontend |
 //! | [`exec`] | toy execution engine: synthesize data, run plans, measure |
+//! | [`telemetry`] | zero-overhead observer API, run metrics, JSONL tracing |
 //!
 //! # Quickstart
 //!
@@ -50,18 +51,20 @@ pub use joinopt_plan as plan;
 pub use joinopt_qgraph as qgraph;
 pub use joinopt_query as query;
 pub use joinopt_relset as relset;
+pub use joinopt_telemetry as telemetry;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use joinopt_core::{
-        Algorithm, Counters, DpCcp, DpHyp, DpResult, DpSize, DpSizeLeftDeep, DpSub,
-        JoinOrderer, OptimizeError, Optimizer,
+        Algorithm, Counters, DpCcp, DpHyp, DpResult, DpSize, DpSizeLeftDeep, DpSub, JoinOrderer,
+        OptimizeError, Optimizer,
     };
     pub use joinopt_cost::{
-        Catalog, CardinalityEstimator, CostModel, Cout, HashJoin, MinOverPhysical,
-        NestedLoopJoin, PlanStats, SortMergeJoin,
+        CardinalityEstimator, Catalog, CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin,
+        PlanStats, SortMergeJoin,
     };
     pub use joinopt_plan::JoinTree;
     pub use joinopt_qgraph::{self as qgraph, GraphKind, QueryGraph};
     pub use joinopt_relset::{RelIdx, RelSet};
+    pub use joinopt_telemetry::{MetricsCollector, NoopObserver, Observer, RunReport, TraceWriter};
 }

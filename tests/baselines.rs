@@ -5,29 +5,31 @@ use joinopt::core::greedy::Goo;
 use joinopt::core::{Idp, IkkBz};
 use joinopt::prelude::*;
 use joinopt_cost::workload;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 
 #[test]
 fn strategy_cost_ordering_holds() {
     // optimal bushy ≤ IDP(k) ≤ … and optimal bushy ≤ optimal left-deep,
     // with IKKBZ == optimal left-deep on trees.
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = XorShift64::seed_from_u64(31);
     for trial in 0..10 {
         let g = joinopt::qgraph::generators::random_tree(9, &mut rng).unwrap();
-        let cat = workload::random_catalog(
-            &g,
-            joinopt_cost::workload::StatsRanges::default(),
-            &mut rng,
-        );
+        let cat =
+            workload::random_catalog(&g, joinopt_cost::workload::StatsRanges::default(), &mut rng);
         let bushy = DpCcp.optimize(&g, &cat, &Cout).unwrap().cost;
         let ld = DpSizeLeftDeep.optimize(&g, &cat, &Cout).unwrap().cost;
         let ik = IkkBz.optimize(&g, &cat).unwrap().cost;
-        let idp = Idp::with_block_size(4).optimize(&g, &cat, &Cout).unwrap().cost;
+        let idp = Idp::with_block_size(4)
+            .optimize(&g, &cat, &Cout)
+            .unwrap()
+            .cost;
         let goo = Goo.optimize(&g, &cat, &Cout).unwrap().cost;
         let tol = 1e-9 * bushy.abs().max(1.0);
         assert!(bushy <= ld + tol, "trial {trial}");
-        assert!((ik - ld).abs() <= 1e-9 * ld.abs().max(1.0), "trial {trial}: IKKBZ vs LD-DP");
+        assert!(
+            (ik - ld).abs() <= 1e-9 * ld.abs().max(1.0),
+            "trial {trial}: IKKBZ vs LD-DP"
+        );
         assert!(bushy <= idp + tol, "trial {trial}");
         assert!(bushy <= goo + tol, "trial {trial}");
     }
@@ -81,15 +83,26 @@ fn idp_interpolates_between_greedy_and_exact() {
         let mut sum = 0.0;
         for seed in 0..15 {
             let w = workload::random_workload(12, 0.3, seed);
-            let idp = Idp::with_block_size(k).optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            let idp = Idp::with_block_size(k)
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .unwrap();
             let opt = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
             sum += idp.cost / opt.cost;
         }
         avg.push(sum / 15.0);
     }
-    assert!(avg[3] <= avg[0] + 1e-9, "k=12 ({}) worse than k=2 ({})", avg[3], avg[0]);
+    assert!(
+        avg[3] <= avg[0] + 1e-9,
+        "k=12 ({}) worse than k=2 ({})",
+        avg[3],
+        avg[0]
+    );
     // k = 12 ≥ n ⇒ exactly optimal.
-    assert!((avg[3] - 1.0).abs() < 1e-9, "k ≥ n must be exact, got {}", avg[3]);
+    assert!(
+        (avg[3] - 1.0).abs() < 1e-9,
+        "k ≥ n must be exact, got {}",
+        avg[3]
+    );
 }
 
 #[test]
@@ -107,7 +120,9 @@ fn ikkbz_handles_every_tree_family_shape() {
             let result = IkkBz.optimize(&w.graph, &w.catalog);
             assert_eq!(result.is_ok(), is_tree, "{kind} n={n}");
             if let Ok(r) = result {
-                let dp = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+                let dp = DpSizeLeftDeep
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .unwrap();
                 assert!(
                     (r.cost - dp.cost).abs() <= 1e-9 * dp.cost.abs().max(1.0),
                     "{kind} n={n}"
@@ -123,7 +138,9 @@ fn counters_scale_with_strategy_effort() {
     // more on cliques — sanity-check the instrumentation ordering.
     let w = workload::family_workload(GraphKind::Clique, 11, 0);
     let goo = Goo.optimize(&w.graph, &w.catalog, &Cout).unwrap();
-    let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+    let ld = DpSizeLeftDeep
+        .optimize(&w.graph, &w.catalog, &Cout)
+        .unwrap();
     let full = DpSize.optimize(&w.graph, &w.catalog, &Cout).unwrap();
     assert!(goo.counters.inner < ld.counters.inner);
     assert!(ld.counters.inner < full.counters.inner);

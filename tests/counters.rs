@@ -43,7 +43,9 @@ fn profile_predictions_match_measurements_on_random_graphs() {
             "DPsub seed={seed}"
         );
 
-        let unf = DpSubUnfiltered.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        let unf = DpSubUnfiltered
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
         assert_eq!(
             u128::from(unf.counters.inner),
             dpsub_unfiltered_inner(8),
@@ -59,7 +61,10 @@ fn profile_predictions_match_measurements_on_random_graphs() {
 
         // The pair counter is identical across all exact algorithms.
         for r in [&size, &naive, &sub, &unf, &ccp] {
-            assert_eq!(r.counters.csg_cmp_pairs, ccp.counters.csg_cmp_pairs, "seed={seed}");
+            assert_eq!(
+                r.counters.csg_cmp_pairs, ccp.counters.csg_cmp_pairs,
+                "seed={seed}"
+            );
         }
     }
 }
@@ -100,7 +105,17 @@ fn hit_rates_reflect_search_space_density() {
     let chain = workload::family_workload(GraphKind::Chain, 12, 0);
     let clique = workload::family_workload(GraphKind::Clique, 12, 0);
     let chain_r = DpSub.optimize(&chain.graph, &chain.catalog, &Cout).unwrap();
-    let clique_r = DpSub.optimize(&clique.graph, &clique.catalog, &Cout).unwrap();
-    assert!(chain_r.counters.hit_rate() < 0.05, "{}", chain_r.counters.hit_rate());
-    assert!(clique_r.counters.hit_rate() > 0.45, "{}", clique_r.counters.hit_rate());
+    let clique_r = DpSub
+        .optimize(&clique.graph, &clique.catalog, &Cout)
+        .unwrap();
+    assert!(
+        chain_r.counters.hit_rate() < 0.05,
+        "{}",
+        chain_r.counters.hit_rate()
+    );
+    assert!(
+        clique_r.counters.hit_rate() > 0.45,
+        "{}",
+        clique_r.counters.hit_rate()
+    );
 }

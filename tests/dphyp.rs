@@ -8,22 +8,20 @@ use joinopt::core::{DpCcp, DpHyp, OptimizeError};
 use joinopt::prelude::*;
 use joinopt::qgraph::hypergraph::Hypergraph;
 use joinopt_cost::workload;
-use rand::rngs::StdRng;
-use rand::Rng;
-use rand::SeedableRng;
+use joinopt_relset::XorShift64;
 
 /// A random hypergraph: a random connected simple graph plus `extra`
 /// random complex edges, with a matching random catalog.
 fn random_hypergraph(n: usize, extra: usize, seed: u64) -> (Hypergraph, Catalog) {
     let w = workload::random_workload(n, 0.25, seed);
     let mut h = Hypergraph::from_query_graph(&w.graph);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xDEAD_BEEF);
+    let mut rng = XorShift64::seed_from_u64(seed ^ 0xDEAD_BEEF);
     let mut added = 0;
     let mut attempts = 0;
     while added < extra && attempts < 200 {
         attempts += 1;
-        let u_size = rng.gen_range(1..=3.min(n - 1));
-        let v_size = rng.gen_range(1..=2.min(n - u_size));
+        let u_size = rng.gen_range(1..3.min(n - 1) + 1);
+        let v_size = rng.gen_range(1..2.min(n - u_size) + 1);
         let mut pool: Vec<usize> = (0..n).collect();
         // Fisher–Yates prefix shuffle to pick disjoint sides.
         for i in 0..(u_size + v_size) {
@@ -40,9 +38,10 @@ fn random_hypergraph(n: usize, extra: usize, seed: u64) -> (Hypergraph, Catalog)
     for i in 0..n {
         cat.set_cardinality(i, w.catalog.cardinality(i)).unwrap();
     }
-    let mut srng = StdRng::seed_from_u64(seed ^ 0xFEED);
+    let mut srng = XorShift64::seed_from_u64(seed ^ 0xFEED);
     for e in 0..h.num_edges() {
-        cat.set_selectivity(e, srng.gen_range(0.0001f64..=1.0)).unwrap();
+        cat.set_selectivity(e, srng.gen_range_f64(0.0001, 1.0))
+            .unwrap();
     }
     (h, cat)
 }
@@ -81,7 +80,10 @@ fn dphyp_matches_oracle_on_random_hypergraphs() {
             Err(other) => panic!("seed {seed}: unexpected error {other}"),
         }
     }
-    assert!(solved >= 20, "only {solved} solvable cases — generator too harsh");
+    assert!(
+        solved >= 20,
+        "only {solved} solvable cases — generator too harsh"
+    );
 }
 
 #[test]
@@ -120,7 +122,10 @@ fn dphyp_equals_dpccp_on_lifted_simple_graphs() {
             "seed {seed}"
         );
         assert_eq!(hyp.counters.inner, ccp.counters.inner, "seed {seed}");
-        assert_eq!(hyp.counters.csg_cmp_pairs, ccp.counters.csg_cmp_pairs, "seed {seed}");
+        assert_eq!(
+            hyp.counters.csg_cmp_pairs, ccp.counters.csg_cmp_pairs,
+            "seed {seed}"
+        );
     }
 }
 

@@ -32,7 +32,8 @@ fn all_exact_algorithms_agree_on_families() {
                     );
                     // CsgCmpPairCounter is a graph invariant.
                     assert_eq!(
-                        r.counters.csg_cmp_pairs, reference.counters.csg_cmp_pairs,
+                        r.counters.csg_cmp_pairs,
+                        reference.counters.csg_cmp_pairs,
                         "{} pair counter on {kind} n={n}",
                         alg.name()
                     );
@@ -56,8 +57,13 @@ fn agreement_with_oracle_on_random_graphs() {
 
 #[test]
 fn agreement_under_every_cost_model() {
-    let models: [&dyn CostModel; 5] =
-        [&Cout, &NestedLoopJoin, &HashJoin, &SortMergeJoin, &MinOverPhysical];
+    let models: [&dyn CostModel; 5] = [
+        &Cout,
+        &NestedLoopJoin,
+        &HashJoin,
+        &SortMergeJoin,
+        &MinOverPhysical,
+    ];
     for seed in 0..6 {
         let w = workload::random_workload(7, 0.35, seed);
         for model in models {
@@ -118,20 +124,16 @@ fn assert_no_cross_products(g: &QueryGraph, tree: &JoinTree, alg: &str) {
 fn grid_and_tree_topologies() {
     // Shapes outside the four families exercise the general machinery.
     use joinopt::qgraph::{bfs, generators};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use joinopt_relset::XorShift64;
 
     let grid = generators::grid(3, 3).unwrap();
     let (grid, _) = bfs::bfs_renumber(&grid).unwrap();
-    let mut rng = StdRng::seed_from_u64(5);
+    let mut rng = XorShift64::seed_from_u64(5);
     let tree = generators::random_tree(9, &mut rng).unwrap();
 
     for g in [grid, tree] {
-        let cat = workload::random_catalog(
-            &g,
-            joinopt_cost::workload::StatsRanges::default(),
-            &mut rng,
-        );
+        let cat =
+            workload::random_catalog(&g, joinopt_cost::workload::StatsRanges::default(), &mut rng);
         let want = exhaustive::optimal_cost(&g, &cat, &Cout).unwrap();
         for alg in exact_algorithms() {
             let r = alg.optimize(&g, &cat, &Cout).unwrap();

@@ -107,8 +107,11 @@ fn figure3_qualitative_claims() {
         assert!(dpsub_inner(GraphKind::Clique, n) < dpsize_inner(GraphKind::Clique, n));
         // 3. Except for cliques, #ccp is orders of magnitude below both.
         for kind in [GraphKind::Chain, GraphKind::Cycle, GraphKind::Star] {
-            assert!(ccp_distinct(kind, n) * 10 < dpsub_inner(kind, n).min(dpsize_inner(kind, n)) * 10
-                && ccp_distinct(kind, n) < dpsub_inner(kind, n) / 2, "{kind} n={n}");
+            assert!(
+                ccp_distinct(kind, n) * 10 < dpsub_inner(kind, n).min(dpsize_inner(kind, n)) * 10
+                    && ccp_distinct(kind, n) < dpsub_inner(kind, n) / 2,
+                "{kind} n={n}"
+            );
         }
         // For cliques DPsub is within 2× of the bound (its inner counter
         // is exactly 2 × #ccp there).
