@@ -15,4 +15,15 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> determinism matrix (parallel engine, release)"
+cargo test -p joinopt-core --test determinism --release --offline -q
+
+echo "==> examples (release)"
+cargo build --offline --release --examples
+for example in examples/*.rs; do
+    name="$(basename "$example" .rs)"
+    echo "--> example: $name"
+    cargo run --offline -q --release --example "$name" > /dev/null
+done
+
 echo "CI OK"

@@ -1,0 +1,179 @@
+//! Speedup curves for the level-synchronous parallel DPsub engine:
+//! clique queries n = 10..16 at 1/2/4/8 worker threads, against the
+//! sequential `DpSub` implementation as the baseline.
+//!
+//! Cliques are DPsub's home turf (every subset is connected, so no
+//! enumeration effort is filtered away) and the densest per-level work
+//! distribution, i.e. the best case for level-synchronous workers.
+//! Speedup is only real when the machine has cores to give: the
+//! `bench_start` sidecar line records `available_parallelism` so a
+//! flat curve on a single-core box is attributable from the artifact
+//! alone. Every cell also re-checks bit-identical plan costs against
+//! the sequential baseline — a speedup from a different plan would be
+//! no speedup at all.
+//!
+//! Usage:
+//!   cargo run --release -p joinopt-bench --bin speedup [--min-n N] [--max-n N]
+
+use std::time::{Duration, Instant};
+
+use joinopt_bench::{format_seconds, write_results, MetaSidecar, Table};
+use joinopt_core::{Algorithm, DpSub, JoinOrderer, OptimizeRequest, Session};
+use joinopt_cost::{workload::family_workload, Cout};
+use joinopt_qgraph::GraphKind;
+use joinopt_telemetry::json::write_f64;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 2006;
+
+/// Repeats `f` until ≥ 50 ms accumulates (or 1000 reps), returning the
+/// mean seconds per run and the cost of the plan it produced.
+fn time_runs(mut f: impl FnMut() -> f64) -> (f64, f64) {
+    let mut reps = 0u32;
+    let start = Instant::now();
+    let (cost, elapsed) = loop {
+        let cost = f();
+        reps += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= Duration::from_millis(50) || reps >= 1000 {
+            break (cost, elapsed);
+        }
+    };
+    (elapsed.as_secs_f64() / f64::from(reps), cost)
+}
+
+fn main() {
+    let mut min_n = 10usize;
+    let mut max_n = 16usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-n" => {
+                i += 1;
+                min_n = args[i].parse().expect("--min-n takes a size");
+            }
+            "--max-n" => {
+                i += 1;
+                max_n = args[i].parse().expect("--max-n takes a size");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "parallel DPsub speedup, clique n = {min_n}..{max_n}, \
+         available parallelism: {cores}\n"
+    );
+
+    let mut table = Table::new(vec!["n", "seq", "t=1", "t=2", "t=4", "t=8", "speedup@4"]);
+    let mut csv = Table::new(vec![
+        "n",
+        "sequential_s",
+        "threads1_s",
+        "threads2_s",
+        "threads4_s",
+        "threads8_s",
+        "speedup4",
+    ]);
+    let mut meta = MetaSidecar::new("speedup", SEED, None);
+    {
+        let mut line =
+            format!("{{\"event\":\"machine\",\"available_parallelism\":{cores},\"threads\":[");
+        line.push_str(&THREADS.map(|t| t.to_string()).join(","));
+        line.push_str("]}");
+        meta.push(line);
+    }
+
+    let mut session = Session::new();
+    for n in min_n..=max_n {
+        let w = family_workload(GraphKind::Clique, n, SEED);
+
+        let (seq_secs, seq_cost) = time_runs(|| {
+            DpSub
+                .optimize(&w.graph, &w.catalog, &Cout)
+                .expect("clique optimizes")
+                .cost
+        });
+        {
+            let mut line = format!(
+                "{{\"event\":\"cell\",\"graph\":\"clique\",\"n\":{n},\
+                 \"mode\":\"sequential\",\"threads\":1,\"seconds\":"
+            );
+            write_f64(&mut line, seq_secs);
+            line.push('}');
+            meta.push(line);
+        }
+
+        let mut engine_secs = Vec::with_capacity(THREADS.len());
+        for threads in THREADS {
+            let (secs, cost) = time_runs(|| {
+                OptimizeRequest::new(&w.graph, &w.catalog)
+                    .with_algorithm(Algorithm::DpSub)
+                    .with_threads(threads)
+                    .run_in(&mut session)
+                    .expect("clique optimizes")
+                    .result
+                    .cost
+            });
+            assert_eq!(
+                cost.to_bits(),
+                seq_cost.to_bits(),
+                "engine diverged from sequential at n={n} threads={threads}"
+            );
+            let mut line = format!(
+                "{{\"event\":\"cell\",\"graph\":\"clique\",\"n\":{n},\
+                 \"mode\":\"engine\",\"threads\":{threads},\"seconds\":"
+            );
+            write_f64(&mut line, secs);
+            line.push_str(",\"speedup_vs_sequential\":");
+            write_f64(&mut line, seq_secs / secs);
+            line.push('}');
+            meta.push(line);
+            engine_secs.push(secs);
+        }
+
+        let speedup4 = seq_secs / engine_secs[2];
+        table.row(vec![
+            n.to_string(),
+            format_seconds(seq_secs),
+            format_seconds(engine_secs[0]),
+            format_seconds(engine_secs[1]),
+            format_seconds(engine_secs[2]),
+            format_seconds(engine_secs[3]),
+            format!("{speedup4:.2}×"),
+        ]);
+        csv.row(vec![
+            n.to_string(),
+            format!("{seq_secs}"),
+            format!("{}", engine_secs[0]),
+            format!("{}", engine_secs[1]),
+            format!("{}", engine_secs[2]),
+            format!("{}", engine_secs[3]),
+            format!("{speedup4}"),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if cores < 2 {
+        println!(
+            "note: this machine exposes {cores} core(s); level-synchronous \
+             workers cannot run concurrently, so the curve shows engine \
+             overhead, not speedup."
+        );
+    }
+    match write_results("speedup.csv", &csv.to_csv()) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            match meta.write_next_to(&path) {
+                Ok(meta_path) => println!("wrote {}", meta_path.display()),
+                Err(e) => eprintln!("could not write sidecar: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
+}

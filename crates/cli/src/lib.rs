@@ -32,17 +32,19 @@ use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
 use joinopt_telemetry::{MetricsCollector, NoopObserver, Observer, RunReport, Tee, TraceWriter};
 
 /// Errors surfaced to the CLI user (exit code 1 + message).
+///
+/// Everything past argument handling and file I/O funnels through the
+/// unified [`joinopt_core::OptimizeError`]: query-DSL and SQL parse
+/// failures convert into it (`OptimizeError::Parse` / `::Sql`), so the
+/// CLI no longer mirrors each crate's error type.
 #[derive(Debug)]
 pub enum CliError {
     /// Wrong invocation (unknown command, missing/invalid arguments).
     Usage(String),
     /// A file could not be read.
     Io(std::io::Error),
-    /// The query file did not parse.
-    Parse(joinopt_query::ParseError),
-    /// The SQL query file did not parse.
-    Sql(joinopt_query::SqlError),
-    /// Optimization failed (disconnected graph, …).
+    /// Parsing or optimization failed (bad query text, disconnected
+    /// graph, exceeded budget, …).
     Optimize(joinopt_core::OptimizeError),
 }
 
@@ -51,8 +53,6 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
-            CliError::Parse(e) => write!(f, "parse error: {e}"),
-            CliError::Sql(e) => write!(f, "SQL parse error: {e}"),
             CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
         }
     }
@@ -68,13 +68,13 @@ impl From<std::io::Error> for CliError {
 
 impl From<joinopt_query::ParseError> for CliError {
     fn from(e: joinopt_query::ParseError) -> Self {
-        CliError::Parse(e)
+        CliError::Optimize(e.into())
     }
 }
 
 impl From<joinopt_query::SqlError> for CliError {
     fn from(e: joinopt_query::SqlError) -> Self {
-        CliError::Sql(e)
+        CliError::Optimize(e.into())
     }
 }
 
@@ -90,7 +90,9 @@ joinopt — optimal bushy join trees without cross products (VLDB 2006)
 
 USAGE:
   joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
-                                [--metrics] [--trace-json PATH]
+                                [--threads N] [--metrics] [--trace-json PATH]
+  joinopt optimize <query-file>... --batch [--algorithm NAME]
+                                [--cost-model NAME] [--threads N]
   joinopt compare  <query-file> [--cost-model NAME]
                                 [--metrics] [--trace-json PATH]
   joinopt generate <family> <n> [--seed S]
@@ -101,11 +103,17 @@ ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
              dpsize-naive, dpsub-nofilter, dpsub-cp
 COST MODELS: cout (default), nlj, hash, smj, min
 FAMILIES:    chain, cycle, star, clique
+PARALLELISM: --threads N runs the DPsub family on N worker threads
+             (level-synchronous engine; results are bit-identical to
+             sequential). 0 or omitted = the machine's parallelism.
+             --batch optimizes many query files at once, spreading them
+             across worker threads with pooled per-worker sessions.
 TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
              arena statistics); --trace-json streams every telemetry
              event to PATH as JSON lines. On `counters` (closed
              formulas) they additionally run DPsize/DPsub/DPccp on
              generated workloads, so max-n is capped at 12 there.
+             Per-run telemetry is not available with --batch.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -160,7 +168,7 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 1] = ["metrics"];
+const FLAG_OPTIONS: [&str; 2] = ["metrics", "batch"];
 
 /// Splits `args` into positionals and `--key value` options.
 /// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
@@ -254,13 +262,12 @@ fn load_query(path: &str) -> Result<ParsedQuery, CliError> {
 
 fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
-    let [path] = positional.as_slice() else {
-        return Err(CliError::Usage("optimize expects one query file".into()));
-    };
     let mut algorithm = Algorithm::Auto;
     let mut model: Box<dyn CostModel> = Box::new(Cout);
     let mut metrics = false;
     let mut trace_path = None;
+    let mut threads: Option<usize> = None;
+    let mut batch = false;
     for (key, value) in options {
         match key {
             "algorithm" => {
@@ -270,19 +277,47 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "cost-model" => model = parse_cost_model(value)?,
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
+            "threads" => {
+                threads = Some(
+                    value
+                        .parse()
+                        .map_err(|_| CliError::Usage(format!("invalid thread count `{value}`")))?,
+                );
+            }
+            "batch" => batch = true,
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    if batch {
+        if metrics || trace_path.is_some() {
+            return Err(CliError::Usage(
+                "per-run telemetry (--metrics/--trace-json) is not available with --batch".into(),
+            ));
+        }
+        return cmd_optimize_batch(&positional, algorithm, model, threads.unwrap_or(0), out);
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage("optimize expects one query file".into()));
+    };
     let telemetry = Telemetry::new(metrics, trace_path)?;
 
     let q = load_query(path)?;
-    let (name, result, elapsed) = match q.graph() {
+    let (name, result, used_threads, elapsed) = match q.graph() {
         Some(graph) => {
-            let orderer = algorithm.orderer(graph);
-            let start = Instant::now();
-            let result = telemetry
-                .observe(|obs| orderer.optimize_observed(graph, &q.catalog, model.as_ref(), obs))?;
-            (orderer.name(), result, start.elapsed())
+            let outcome = telemetry.observe(|obs| {
+                joinopt_core::OptimizeRequest::new(graph, &q.catalog)
+                    .with_algorithm(algorithm)
+                    .with_cost_model(model.as_ref())
+                    .with_threads(threads.unwrap_or(0))
+                    .with_observer(obs)
+                    .run()
+            })?;
+            (
+                outcome.algorithm.orderer(graph).name(),
+                outcome.result,
+                outcome.threads,
+                outcome.elapsed,
+            )
         }
         None => {
             // Complex (hyper) predicates: DPhyp is the only applicable
@@ -297,7 +332,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             let result = telemetry.observe(|obs| {
                 DpHyp.optimize_observed(&q.hypergraph, &q.catalog, model.as_ref(), obs)
             })?;
-            (DpHyp.name(), result, start.elapsed())
+            (DpHyp.name(), result, 1, start.elapsed())
         }
     };
 
@@ -307,6 +342,10 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "cost:        {:.6e}", result.cost)?;
     writeln!(out, "cardinality: {:.6e}", result.cardinality)?;
     writeln!(out, "counters:    {}", result.counters)?;
+    if threads.is_some() {
+        // Only printed when requested, so default output is unchanged.
+        writeln!(out, "threads:     {used_threads}")?;
+    }
     writeln!(out, "time:        {elapsed:.2?}")?;
     writeln!(out)?;
     writeln!(out, "{}", result.tree.explain())?;
@@ -315,6 +354,74 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         write!(out, "{report}")?;
     }
     telemetry.close()?;
+    Ok(())
+}
+
+/// `optimize --batch`: loads every query file, then spreads the whole
+/// set across worker threads via
+/// [`Optimizer::optimize_batch`](joinopt_core::Optimizer::optimize_batch).
+/// Per-query failures (disconnected graphs, …) become rows, not a
+/// command failure — a batch is useful precisely when some inputs are
+/// suspect.
+fn cmd_optimize_batch(
+    paths: &[&str],
+    algorithm: Algorithm,
+    model: Box<dyn CostModel>,
+    threads: usize,
+    out: &mut dyn Write,
+) -> Result<(), CliError> {
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "optimize --batch expects at least one query file".into(),
+        ));
+    }
+    let mut queries = Vec::with_capacity(paths.len());
+    for path in paths {
+        let q = load_query(path)?;
+        if q.graph().is_none() {
+            return Err(CliError::Usage(format!(
+                "{path}: queries with complex (multi-relation) predicates are not supported in --batch"
+            )));
+        }
+        queries.push(q);
+    }
+    let pairs: Vec<_> = queries
+        .iter()
+        .map(|q| (q.graph().expect("checked above"), &q.catalog))
+        .collect();
+    let optimizer = joinopt_core::Optimizer::new()
+        .with_algorithm(algorithm)
+        .with_cost_model(model)
+        .with_threads(threads);
+    let start = Instant::now();
+    let results = optimizer.optimize_batch(&pairs);
+    let elapsed = start.elapsed();
+    writeln!(
+        out,
+        "{:<4} {:>14} {:>14}  query",
+        "#", "cost", "cardinality"
+    )?;
+    let mut failures = 0usize;
+    for (i, (path, result)) in paths.iter().zip(&results).enumerate() {
+        match result {
+            Ok(r) => writeln!(
+                out,
+                "{:<4} {:>14.6e} {:>14.6e}  {}",
+                i, r.cost, r.cardinality, path
+            )?,
+            Err(e) => {
+                failures += 1;
+                writeln!(out, "{:<4} {:>14} {:>14}  {}: {}", i, "-", "-", path, e)?;
+            }
+        }
+    }
+    writeln!(
+        out,
+        "\n{} queries ({} failed) in {:.2?}",
+        paths.len(),
+        failures,
+        elapsed
+    )?;
     Ok(())
 }
 

@@ -166,7 +166,9 @@ fn optimize_rejects_unknowns() {
 fn optimize_propagates_parse_errors_with_lines() {
     let path = write_query_file("relation a ten\n");
     match run_err(&["optimize", path.to_str().unwrap()]) {
-        CliError::Parse(e) => assert_eq!(e.line(), Some(1)),
+        CliError::Optimize(joinopt_core::OptimizeError::Parse(e)) => {
+            assert_eq!(e.line(), Some(1));
+        }
         other => panic!("expected parse error, got {other:?}"),
     }
 }
@@ -292,7 +294,7 @@ fn sql_parse_errors_are_reported() {
     let path = write_query_file("SELECT * FROM a WHERE ghost.x = a.y\n");
     assert!(matches!(
         run_err(&["optimize", path.to_str().unwrap()]),
-        CliError::Sql(_)
+        CliError::Optimize(joinopt_core::OptimizeError::Sql(_))
     ));
 }
 
@@ -301,6 +303,126 @@ fn sql_with_leading_comment_detected() {
     let path = write_query_file("-- a comment\nSELECT * FROM a, b WHERE a.x = b.y\n");
     let out = run_ok(&["compare", path.to_str().unwrap()]);
     assert!(out.contains("DPccp"), "{out}");
+}
+
+// ---------------------------------------------------------------------
+// Parallelism flags (--threads / --batch).
+// ---------------------------------------------------------------------
+
+#[test]
+fn optimize_threads_is_deterministic_and_reported() {
+    let path = write_query_file(CHAIN_QUERY);
+    let sequential = run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--algorithm",
+        "dpsub",
+        "--threads",
+        "1",
+    ]);
+    assert!(sequential.contains("threads:     1"), "{sequential}");
+    for t in ["2", "4", "8"] {
+        let parallel = run_ok(&[
+            "optimize",
+            path.to_str().unwrap(),
+            "--algorithm",
+            "dpsub",
+            "--threads",
+            t,
+        ]);
+        assert!(
+            parallel.contains(&format!("threads:     {t}")),
+            "{parallel}"
+        );
+        // Same plan, cost, counters at any thread count: everything but
+        // the threads and wall-clock lines is byte-identical.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("time:") && !l.starts_with("threads:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&sequential), strip(&parallel), "t={t}");
+    }
+    // Without --threads the output keeps its historical shape.
+    let plain = run_ok(&["optimize", path.to_str().unwrap(), "--algorithm", "dpsub"]);
+    assert!(!plain.contains("threads:"), "{plain}");
+}
+
+#[test]
+fn optimize_threads_validates_value() {
+    let path = write_query_file(CHAIN_QUERY);
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--threads", "lots"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn batch_optimizes_many_files_and_isolates_failures() {
+    let a = write_query_file(CHAIN_QUERY);
+    let disconnected = write_query_file("relation x 10\nrelation y 10\n");
+    let b = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin b c 0.05\n",
+    );
+    let out = run_ok(&[
+        "optimize",
+        a.to_str().unwrap(),
+        disconnected.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--batch",
+        "--threads",
+        "2",
+    ]);
+    assert!(out.contains("3 queries (1 failed)"), "{out}");
+    assert!(out.contains("connected"), "failure reason shown: {out}");
+    // One row per input file, in input order.
+    for (i, p) in [&a, &disconnected, &b].iter().enumerate() {
+        let row = out
+            .lines()
+            .find(|l| l.contains(p.to_str().unwrap()))
+            .unwrap_or_else(|| panic!("no row for query {i}: {out}"));
+        assert!(row.trim_start().starts_with(&i.to_string()), "{row}");
+    }
+}
+
+#[test]
+fn batch_rejects_telemetry_and_complex_queries() {
+    let a = write_query_file(CHAIN_QUERY);
+    assert!(matches!(
+        run_err(&["optimize", a.to_str().unwrap(), "--batch", "--metrics"]),
+        CliError::Usage(_)
+    ));
+    let complex = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin a,b c 0.05\n",
+    );
+    assert!(matches!(
+        run_err(&["optimize", complex.to_str().unwrap(), "--batch"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["optimize", "--batch"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn batch_matches_single_runs() {
+    let a = write_query_file(CHAIN_QUERY);
+    let single = run_ok(&["optimize", a.to_str().unwrap(), "--algorithm", "dpsub"]);
+    let cost_line = single
+        .lines()
+        .find(|l| l.starts_with("cost:"))
+        .expect("cost line");
+    let cost = cost_line.split_whitespace().nth(1).expect("cost value");
+    let batched = run_ok(&[
+        "optimize",
+        a.to_str().unwrap(),
+        "--batch",
+        "--algorithm",
+        "dpsub",
+    ]);
+    assert!(batched.contains(cost), "{batched} missing {cost}");
 }
 
 #[test]

@@ -1,17 +1,33 @@
-//! Error type for optimizer runs.
+//! The unified error type for optimizer runs.
+//!
+//! Every fallible layer of the workspace — relation sets, query graphs,
+//! statistics catalogs, the textual and SQL frontends, and the
+//! optimization engine itself — converts into [`OptimizeError`] via
+//! `From`, so callers (the CLI, the examples, embedding applications)
+//! handle one error enum end-to-end instead of matching four.
 
 use core::fmt;
+use std::time::Duration;
 
 use joinopt_cost::CostError;
 use joinopt_qgraph::QueryGraphError;
+use joinopt_query::{ParseError, SqlError};
+use joinopt_relset::RelSetError;
 
-/// Errors produced by the join-ordering algorithms.
+/// Errors produced by the join-ordering algorithms and the request API.
 #[derive(Debug, Clone, PartialEq)]
 pub enum OptimizeError {
     /// The query graph was invalid (disconnected, empty, …).
     Graph(QueryGraphError),
     /// The statistics catalog did not match the graph.
     Cost(CostError),
+    /// A relation set could not be constructed (index or universe out
+    /// of the 64-relation range).
+    RelSet(RelSetError),
+    /// A query description in the native DSL did not parse.
+    Parse(ParseError),
+    /// A SQL query did not parse.
+    Sql(SqlError),
     /// A query with zero relations has no join tree.
     EmptyQuery,
     /// No cross-product-free join tree exists: the (hyper)graph is
@@ -19,6 +35,21 @@ pub enum OptimizeError {
     /// buildable (e.g. the side of a complex predicate has no internal
     /// predicates). Only produced by hypergraph optimization.
     NoPlanWithoutCrossProducts,
+    /// An [`OptimizeRequest`](crate::OptimizeRequest) time budget ran
+    /// out before enumeration finished. Enforced at the engine's level
+    /// barriers and between batch items (best effort — a sequential
+    /// algorithm mid-run is not interrupted).
+    TimeBudgetExceeded {
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// The optimal plan's cost exceeds the request's cost budget.
+    CostBudgetExceeded {
+        /// Cost of the best plan found.
+        cost: f64,
+        /// The configured ceiling.
+        budget: f64,
+    },
 }
 
 impl fmt::Display for OptimizeError {
@@ -26,11 +57,23 @@ impl fmt::Display for OptimizeError {
         match self {
             OptimizeError::Graph(e) => write!(f, "invalid query graph: {e}"),
             OptimizeError::Cost(e) => write!(f, "invalid statistics: {e}"),
+            OptimizeError::RelSet(e) => write!(f, "invalid relation set: {e}"),
+            OptimizeError::Parse(e) => write!(f, "query parse error: {e}"),
+            OptimizeError::Sql(e) => write!(f, "SQL parse error: {e}"),
             OptimizeError::EmptyQuery => write!(f, "cannot optimize a query with no relations"),
             OptimizeError::NoPlanWithoutCrossProducts => {
                 write!(
                     f,
                     "no cross-product-free join tree exists for this hypergraph"
+                )
+            }
+            OptimizeError::TimeBudgetExceeded { budget } => {
+                write!(f, "optimization exceeded its time budget of {budget:?}")
+            }
+            OptimizeError::CostBudgetExceeded { cost, budget } => {
+                write!(
+                    f,
+                    "optimal plan cost {cost:.6e} exceeds the cost budget {budget:.6e}"
                 )
             }
         }
@@ -42,7 +85,13 @@ impl std::error::Error for OptimizeError {
         match self {
             OptimizeError::Graph(e) => Some(e),
             OptimizeError::Cost(e) => Some(e),
-            OptimizeError::EmptyQuery | OptimizeError::NoPlanWithoutCrossProducts => None,
+            OptimizeError::RelSet(e) => Some(e),
+            OptimizeError::Parse(e) => Some(e),
+            OptimizeError::Sql(e) => Some(e),
+            OptimizeError::EmptyQuery
+            | OptimizeError::NoPlanWithoutCrossProducts
+            | OptimizeError::TimeBudgetExceeded { .. }
+            | OptimizeError::CostBudgetExceeded { .. } => None,
         }
     }
 }
@@ -56,6 +105,24 @@ impl From<QueryGraphError> for OptimizeError {
 impl From<CostError> for OptimizeError {
     fn from(e: CostError) -> Self {
         OptimizeError::Cost(e)
+    }
+}
+
+impl From<RelSetError> for OptimizeError {
+    fn from(e: RelSetError) -> Self {
+        OptimizeError::RelSet(e)
+    }
+}
+
+impl From<ParseError> for OptimizeError {
+    fn from(e: ParseError) -> Self {
+        OptimizeError::Parse(e)
+    }
+}
+
+impl From<SqlError> for OptimizeError {
+    fn from(e: SqlError) -> Self {
+        OptimizeError::Sql(e)
     }
 }
 
@@ -75,5 +142,35 @@ mod tests {
             value: 0.0,
         });
         assert!(c.to_string().contains("statistics"));
+    }
+
+    #[test]
+    fn unified_conversions() {
+        let r = OptimizeError::from(RelSetError::IndexOutOfRange { index: 99 });
+        assert!(r.to_string().contains("99"));
+        assert!(r.source().is_some());
+
+        let p = OptimizeError::from(ParseError::EmptyQuery);
+        assert!(p.to_string().contains("parse"));
+        assert!(p.source().is_some());
+
+        let s = joinopt_query::parse_sql("SELECT").expect_err("incomplete SQL");
+        let s = OptimizeError::from(s);
+        assert!(s.to_string().contains("SQL"));
+        assert!(s.source().is_some());
+    }
+
+    #[test]
+    fn budget_errors_display_limits() {
+        let t = OptimizeError::TimeBudgetExceeded {
+            budget: Duration::from_millis(5),
+        };
+        assert!(t.to_string().contains("budget"));
+        assert!(t.source().is_none());
+        let c = OptimizeError::CostBudgetExceeded {
+            cost: 2.0e6,
+            budget: 1.0e6,
+        };
+        assert!(c.to_string().contains("exceeds"));
     }
 }

@@ -23,7 +23,12 @@
 //!   with the published typos corrected) plus profile-based predictions
 //!   that work for arbitrary query graphs;
 //! * [`Optimizer`] / [`Algorithm`] — a façade with an `Auto` mode that
-//!   adapts to the query graph (the paper's concluding recommendation);
+//!   adapts to the query graph *and* to the machine's parallelism (the
+//!   paper's concluding recommendation, extended);
+//! * [`OptimizeRequest`] — the full-control session API: algorithm,
+//!   cost model, thread count, time/cost budgets and telemetry in one
+//!   builder, with pooled allocations via [`Session`] and a parallel
+//!   level-synchronous engine for the DPsub family ([`parallel`]);
 //! * [`exhaustive`] — an independent top-down oracle used by the test
 //!   suite, and [`greedy`] — a GOO baseline for plan-quality context.
 //!
@@ -59,6 +64,8 @@ mod idp;
 mod ikkbz;
 mod leftdeep;
 mod optimizer;
+pub mod parallel;
+mod request;
 mod result;
 pub mod table;
 mod topdown;
@@ -74,5 +81,7 @@ pub use idp::Idp;
 pub use ikkbz::IkkBz;
 pub use leftdeep::DpSizeLeftDeep;
 pub use optimizer::{Algorithm, Optimizer};
+pub use parallel::Session;
+pub use request::{OptimizeOutcome, OptimizeRequest};
 pub use result::{DpResult, JoinOrderer};
 pub use topdown::TopDown;

@@ -62,19 +62,50 @@ impl Algorithm {
         Algorithm::Goo,
     ];
 
-    /// Resolves `Auto` for a given graph.
+    /// Resolves `Auto` for a given graph, assuming this machine's
+    /// [`std::thread::available_parallelism`].
+    ///
+    /// See [`Algorithm::select_auto_with_parallelism`] for the policy.
+    pub fn select_auto(g: &QueryGraph) -> Algorithm {
+        Algorithm::select_auto_with_parallelism(g, crate::request::available_parallelism())
+    }
+
+    /// Resolves `Auto` for a given graph and `threads` available worker
+    /// threads.
     ///
     /// The paper's evaluation shows DPccp is the best or near-best choice
     /// everywhere; its only (bounded, ≤ 30 %) loss is against DPsub on
     /// very dense graphs, where the subset enumeration's trivial inner
     /// loop beats the more complex csg machinery. `Auto` therefore picks
     /// DPsub when the graph is (near-)complete and DPccp otherwise.
-    pub fn select_auto(g: &QueryGraph) -> Algorithm {
+    ///
+    /// Parallelism shifts the break-even point: DPsub has a parallel
+    /// level-synchronous path (see [`crate::parallel`]) while DPccp's
+    /// csg-cmp-pair traversal does not, so spare worker threads buy back
+    /// DPsub's wasted inner-loop iterations on graphs that are dense but
+    /// not complete. The density threshold (fraction of all possible
+    /// edges present) is therefore:
+    ///
+    /// | threads | threshold |
+    /// |--------:|----------:|
+    /// | 1       | 90 %      |
+    /// | 2–3     | 80 %      |
+    /// | ≥ 4     | 70 %      |
+    ///
+    /// Queries too large for DPsub's direct-addressed tables
+    /// (`n >` [`crate::table::DenseDpTable::MAX_RELATIONS`]) always
+    /// resolve to DPccp — at that size DPsub's `Θ(3ⁿ)` enumeration is
+    /// hopeless no matter how many threads are available.
+    pub fn select_auto_with_parallelism(g: &QueryGraph, threads: usize) -> Algorithm {
         let n = g.num_relations();
-        if n >= 2 {
+        if (2..=crate::parallel::MAX_ENGINE_RELATIONS).contains(&n) {
             let max_edges = n * (n - 1) / 2;
-            // "near-clique": ≥ 90 % of all possible predicates present.
-            if 10 * g.num_edges() >= 9 * max_edges {
+            let threshold_pct = match threads {
+                0 | 1 => 90,
+                2 | 3 => 80,
+                _ => 70,
+            };
+            if 100 * g.num_edges() >= threshold_pct * max_edges {
                 return Algorithm::DpSub;
             }
         }
@@ -149,6 +180,7 @@ impl Algorithm {
 pub struct Optimizer {
     algorithm: Algorithm,
     model: Box<dyn CostModel>,
+    threads: usize,
 }
 
 impl Default for Optimizer {
@@ -158,12 +190,13 @@ impl Default for Optimizer {
 }
 
 impl Optimizer {
-    /// An optimizer with `Auto` algorithm selection and the `C_out`
-    /// cost model.
+    /// An optimizer with `Auto` algorithm selection, the `C_out`
+    /// cost model and automatic thread-count selection.
     pub fn new() -> Optimizer {
         Optimizer {
             algorithm: Algorithm::Auto,
             model: Box::new(Cout),
+            threads: 0,
         }
     }
 
@@ -181,12 +214,26 @@ impl Optimizer {
         self
     }
 
+    /// Sets the worker-thread count for algorithms with a parallel path
+    /// and for [`Optimizer::optimize_batch`]. `0` (the default) means
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Optimizer {
+        self.threads = threads;
+        self
+    }
+
     /// The configured algorithm (possibly `Auto`).
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
     }
 
     /// Optimizes one query.
+    ///
+    /// Thin forward to [`OptimizeRequest`](crate::OptimizeRequest) —
+    /// equivalent to building a request with this optimizer's algorithm,
+    /// cost model and thread count, then discarding the execution
+    /// metadata of its [`OptimizeOutcome`](crate::OptimizeOutcome).
     ///
     /// # Errors
     ///
@@ -208,9 +255,87 @@ impl Optimizer {
         catalog: &Catalog,
         obs: &dyn Observer,
     ) -> Result<DpResult, OptimizeError> {
-        self.algorithm
-            .orderer(g)
-            .optimize_observed(g, catalog, self.model.as_ref(), obs)
+        crate::request::OptimizeRequest::new(g, catalog)
+            .with_algorithm(self.algorithm)
+            .with_cost_model(self.model.as_ref())
+            .with_threads(self.threads)
+            .with_observer(obs)
+            .run()
+            .map(crate::request::OptimizeOutcome::into_result)
+    }
+
+    /// Optimizes a batch of queries, spreading them across worker
+    /// threads for throughput.
+    ///
+    /// Each worker owns a pooled [`crate::Session`] and claims queries
+    /// from a shared queue, so a batch of mixed sizes load-balances and
+    /// every query after a worker's first reuses its table and arena
+    /// allocations. Individual queries run with one intra-query thread —
+    /// for a full batch, query-level parallelism dominates level-level
+    /// parallelism and avoids oversubscription. Results come back in
+    /// input order, each independently `Ok` or `Err` (one invalid query
+    /// does not poison the batch). Telemetry is not threaded through:
+    /// observers are not required to be thread-safe.
+    pub fn optimize_batch(
+        &self,
+        queries: &[(&QueryGraph, &Catalog)],
+    ) -> Vec<Result<DpResult, OptimizeError>> {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+
+        let workers = if self.threads == 0 {
+            crate::request::available_parallelism()
+        } else {
+            self.threads
+        }
+        .min(queries.len())
+        .max(1);
+
+        let run_one = |session: &mut crate::Session,
+                       (g, catalog): (&QueryGraph, &Catalog)|
+         -> Result<DpResult, OptimizeError> {
+            crate::request::OptimizeRequest::new(g, catalog)
+                .with_algorithm(self.algorithm)
+                .with_cost_model(self.model.as_ref())
+                .with_threads(1)
+                .run_in(session)
+                .map(crate::request::OptimizeOutcome::into_result)
+        };
+
+        if workers == 1 {
+            let mut session = crate::Session::new();
+            return queries.iter().map(|&q| run_one(&mut session, q)).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let run_one = &run_one;
+                scope.spawn(move || {
+                    let mut session = crate::Session::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&q) = queries.get(i) else { break };
+                        if tx.send((i, run_one(&mut session, q))).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        drop(tx);
+        let mut results: Vec<Option<Result<DpResult, OptimizeError>>> =
+            (0..queries.len()).map(|_| None).collect();
+        for (i, r) in rx {
+            results[i] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every query claimed by exactly one worker"))
+            .collect()
     }
 }
 
@@ -243,6 +368,82 @@ mod tests {
             }
         }
         assert_eq!(Algorithm::select_auto(&h), Algorithm::DpSub);
+    }
+
+    #[test]
+    fn auto_accounts_for_available_parallelism() {
+        // n=8 graphs at controlled densities (28 possible edges). Edges
+        // are added in lexicographic pair order, so every graph with
+        // ≥ 7 edges contains the star around relation 0 and is connected.
+        fn graph_with_edges(edges: usize) -> QueryGraph {
+            let mut g = QueryGraph::new(8).unwrap();
+            let mut added = 0;
+            'outer: for i in 0..8 {
+                for j in i + 1..8 {
+                    if added == edges {
+                        break 'outer;
+                    }
+                    g.add_edge(i, j).unwrap();
+                    added += 1;
+                }
+            }
+            assert_eq!(g.num_edges(), edges);
+            g
+        }
+        use Algorithm::{DpCcp as C, DpSub as S};
+        // (edges, expected algorithm at 1, 2, 3, 4 and 8 threads) — the
+        // documented 90/80/70 % density thresholds.
+        let table = [
+            (14, [C, C, C, C, C]), // 50 %: sparse at any parallelism
+            (20, [C, C, C, S, S]), // 71 %: worth DPsub only with ≥ 4 threads
+            (23, [C, S, S, S, S]), // 82 %: 2 threads buy back the waste
+            (26, [S, S, S, S, S]), // 93 %: near-clique, DPsub everywhere
+        ];
+        for (edges, expected) in table {
+            let g = graph_with_edges(edges);
+            for (threads, want) in [1, 2, 3, 4, 8].into_iter().zip(expected) {
+                assert_eq!(
+                    Algorithm::select_auto_with_parallelism(&g, threads),
+                    want,
+                    "edges={edges} threads={threads}"
+                );
+            }
+        }
+        // Beyond the dense-table cap DPsub has no parallel path: even a
+        // clique resolves to DPccp regardless of thread count.
+        let huge = generators::clique(crate::parallel::MAX_ENGINE_RELATIONS + 1).unwrap();
+        assert_eq!(
+            Algorithm::select_auto_with_parallelism(&huge, 64),
+            Algorithm::DpCcp
+        );
+    }
+
+    #[test]
+    fn batch_matches_individual_runs_and_preserves_errors() {
+        let workloads: Vec<_> = (0..6)
+            .map(|seed| {
+                workload::family_workload(GraphKind::ALL[seed % 4], 5 + seed % 3, seed as u64)
+            })
+            .collect();
+        let opt = Optimizer::new().with_threads(3);
+        let mut queries: Vec<(&QueryGraph, &Catalog)> =
+            workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
+        // A disconnected graph mid-batch must fail alone.
+        let disc = QueryGraph::new(3).unwrap();
+        let disc_cat = Catalog::new(&disc);
+        queries.insert(3, (&disc, &disc_cat));
+        let results = opt.optimize_batch(&queries);
+        assert_eq!(results.len(), 7);
+        assert!(results[3].is_err(), "disconnected query fails in place");
+        for (i, w) in workloads.iter().enumerate() {
+            let idx = if i < 3 { i } else { i + 1 };
+            let batch = results[idx].as_ref().unwrap();
+            let single = opt.optimize(&w.graph, &w.catalog).unwrap();
+            assert_eq!(batch.cost.to_bits(), single.cost.to_bits(), "query {i}");
+            assert_eq!(batch.tree, single.tree, "query {i}");
+        }
+        // Empty batches are fine.
+        assert!(opt.optimize_batch(&[]).is_empty());
     }
 
     #[test]

@@ -1,0 +1,666 @@
+//! Level-synchronous parallel DPsub and the pooled [`Session`].
+//!
+//! DPsub's subset loop `i = 1 … 2ⁿ−1` looks inherently sequential, but
+//! its *dependency* structure is not: the best plan for a set `S`
+//! depends only on sets that are strictly smaller than `S`. Stratifying
+//! the enumeration by cardinality therefore yields a sequence of
+//! *levels* — all sets of size `k` — whose members are mutually
+//! independent and can be evaluated on any number of workers, provided
+//! the workers only read plans from levels `< k` and their results are
+//! merged before level `k + 1` starts (the same observation DPconv
+//! exploits to restructure exact join ordering).
+//!
+//! The engine here evaluates each level across scoped [`std::thread`]
+//! workers over disjoint, contiguous ranges of the size-`k` subsets
+//! (enumerated in ascending numeric order by Gosper's hack). Workers
+//! never touch the plan arena: each returns, per set it owns, the best
+//! decomposition `(cost, S₁)` found by replaying DPsub's inner loop for
+//! that set. The main thread merges worker outputs at the level barrier
+//! in ascending set order, materializing exactly one arena node per set.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical to sequential DPsub at any thread
+//! count**, because every choice the sequential algorithm makes is a
+//! pure per-set function:
+//!
+//! * Each set is owned by exactly one worker, which replays the inner
+//!   subset loop in the same ascending Vance/Maier order the sequential
+//!   algorithm uses. Ties on cost keep the first candidate (strict `<`),
+//!   so the winning decomposition is identical: min over
+//!   `(cost, canonical S₁ order)`.
+//! * The union's output cardinality is computed from the *first*
+//!   successful decomposition (the sequential implementation caches it
+//!   from the first table miss), so even floating-point rounding is
+//!   reproduced exactly.
+//! * The merge materializes plans in ascending set order per level, so
+//!   arena ids do not depend on the thread count.
+//!
+//! The only observable difference from the sequential [`crate::DpSub`]
+//! is `plans_built`: the sequential driver materializes an arena node
+//! per *improvement*, the engine exactly one per set (the final best).
+//! Plan, cost, cardinality, counters and table size are identical.
+
+use std::time::Instant;
+
+use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_plan::{PlanArena, PlanId};
+use joinopt_qgraph::QueryGraph;
+use joinopt_relset::RelSet;
+use joinopt_telemetry::{Event, Observer};
+
+use crate::counters::Counters;
+use crate::error::OptimizeError;
+use crate::result::DpResult;
+use crate::table::DenseDpTable;
+
+/// Which DPsub variant the engine runs (same semantics and counter
+/// conventions as the sequential [`crate::DpSub`],
+/// [`crate::DpSubUnfiltered`] and [`crate::DpSubCrossProducts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DpSubVariant {
+    /// Fig. 2 with the `*` connectedness pre-check.
+    Filtered,
+    /// Fig. 2 without the pre-check (ablation).
+    Unfiltered,
+    /// Vance/Maier with cross products (no connectivity tests).
+    CrossProducts,
+}
+
+impl DpSubVariant {
+    fn requires_connected(self) -> bool {
+        !matches!(self, DpSubVariant::CrossProducts)
+    }
+}
+
+/// Largest `n` the engine accepts: the level tables are
+/// direct-addressed (`Θ(2ⁿ)` slots), exactly like the sequential
+/// DPsub's [`DenseDpTable`]. Beyond this DPsub is infeasible anyway;
+/// the request layer falls back to the sequential sparse-table path.
+pub(crate) const MAX_ENGINE_RELATIONS: usize = DenseDpTable::MAX_RELATIONS;
+
+/// Levels smaller than this run inline on the merge thread — spawning
+/// workers for a handful of sets costs more than it saves.
+const SPAWN_MIN_SETS: usize = 128;
+
+/// One accepted plan produced by a worker, waiting to be materialized
+/// at the level barrier.
+#[derive(Debug, Clone, Copy)]
+struct NewEntry {
+    /// The union set (raw bits).
+    set: u64,
+    /// Winning left operand (raw bits); the right one is `set − s1`.
+    s1: u64,
+    /// Cardinality and cost of the winning plan.
+    stats: PlanStats,
+}
+
+/// Per-worker instrumentation totals, merged at the barrier.
+#[derive(Debug, Clone, Copy, Default)]
+struct WorkerTotals {
+    inner: u64,
+    ccp: u64,
+    probes: u64,
+    hits: u64,
+}
+
+/// A reusable optimization session: pools the engine's DP-table and
+/// plan-arena allocations across repeated
+/// [`OptimizeRequest`](crate::OptimizeRequest) calls, amortizing the
+/// `Θ(2ⁿ)` table initialization and arena growth over a workload
+/// instead of paying them per query.
+///
+/// Reuse is observable through the existing telemetry events: on a
+/// fresh session the first run's `arena_stats.bytes` reflects the
+/// growth reallocations, while subsequent runs of same-sized queries
+/// report an arena that never grew ([`Session::pooled_bytes`] exposes
+/// the same number programmatically).
+///
+/// ```
+/// use joinopt_core::{OptimizeRequest, Session};
+/// use joinopt_cost::workload;
+/// use joinopt_qgraph::GraphKind;
+///
+/// let mut session = Session::new();
+/// for seed in 0..4 {
+///     let w = workload::family_workload(GraphKind::Clique, 8, seed);
+///     let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+///         .run_in(&mut session)
+///         .unwrap();
+///     assert_eq!(outcome.result.tree.num_relations(), 8);
+/// }
+/// assert_eq!(session.runs(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct Session {
+    /// Best (cardinality, cost) per set, direct-addressed by bits.
+    stats: Vec<PlanStats>,
+    /// Presence bitmap over `stats`/`plans`.
+    present: Vec<u64>,
+    /// Arena id of the best plan per set, direct-addressed by bits.
+    plans: Vec<PlanId>,
+    /// Pooled plan arena, cleared (not shrunk) between runs.
+    arena: PlanArena,
+    /// Scratch: the current level's subsets, ascending.
+    level_sets: Vec<u64>,
+    /// Scratch: per-worker output buffers.
+    outputs: Vec<Vec<NewEntry>>,
+    /// Number of optimization runs served.
+    runs: u64,
+}
+
+impl Session {
+    /// Creates an empty session; buffers grow on first use.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// Number of optimization runs this session has served.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Bytes currently held by the pooled buffers (tables, bitmap,
+    /// arena) — the allocation a fresh run gets for free.
+    pub fn pooled_bytes(&self) -> usize {
+        self.stats.capacity() * std::mem::size_of::<PlanStats>()
+            + self.present.capacity() * std::mem::size_of::<u64>()
+            + self.plans.capacity() * std::mem::size_of::<PlanId>()
+            + self.arena.bytes()
+    }
+
+    /// Readies the pooled buffers for a run over `n` relations: grows
+    /// the direct-addressed tables if needed, clears presence and the
+    /// arena, and never shrinks.
+    fn prepare(&mut self, n: usize) {
+        let size = 1usize << n;
+        if self.stats.len() < size {
+            self.stats.resize(size, PlanStats::base(0.0));
+            self.plans.resize(size, PlanId::SENTINEL);
+        }
+        let words = size.div_ceil(64);
+        if self.present.len() < words {
+            self.present.resize(words, 0);
+        }
+        self.present[..words].fill(0);
+        self.arena.clear();
+        self.runs += 1;
+    }
+}
+
+#[inline]
+fn is_present(present: &[u64], bits: u64) -> bool {
+    let idx = bits as usize;
+    (present[idx >> 6] >> (idx & 63)) & 1 == 1
+}
+
+#[inline]
+fn mark_present(present: &mut [u64], bits: u64) {
+    let idx = bits as usize;
+    present[idx >> 6] |= 1u64 << (idx & 63);
+}
+
+/// Shared read-only state a level's workers operate on.
+struct LevelShared<'a> {
+    g: &'a QueryGraph,
+    est: &'a CardinalityEstimator,
+    model: &'a dyn CostModel,
+    stats: &'a [PlanStats],
+    present: &'a [u64],
+    variant: DpSubVariant,
+    observe: bool,
+}
+
+/// Replays DPsub's inner loop for every set in `sets`, appending the
+/// accepted plans to `out` in input (ascending) order.
+///
+/// This is the exact per-set computation of the sequential algorithms,
+/// including counter and probe conventions — see the module docs for
+/// why the result is bit-identical.
+fn process_chunk(sh: &LevelShared<'_>, sets: &[u64], out: &mut Vec<NewEntry>) -> WorkerTotals {
+    let mut t = WorkerTotals::default();
+    for &bits in sets {
+        let s = RelSet::from_bits(bits);
+        // The `*` check of Fig. 2 (outer connectedness pre-check).
+        if sh.variant == DpSubVariant::Filtered && !sh.g.is_connected_set(s) {
+            continue;
+        }
+        let mut best: Option<(f64, u64)> = None;
+        let mut card = 0.0f64;
+        for s1 in s.non_empty_proper_subsets() {
+            t.inner += 1;
+            let s2 = s - s1;
+            match sh.variant {
+                DpSubVariant::Filtered => {
+                    // "connected S1/S2" via table membership, with the
+                    // sequential short-circuit probe accounting.
+                    let p1 = is_present(sh.present, s1.bits());
+                    if sh.observe {
+                        t.probes += 1;
+                        t.hits += u64::from(p1);
+                    }
+                    if !p1 {
+                        continue;
+                    }
+                    let p2 = is_present(sh.present, s2.bits());
+                    if sh.observe {
+                        t.probes += 1;
+                        t.hits += u64::from(p2);
+                    }
+                    if !p2 {
+                        continue;
+                    }
+                    if !sh.g.sets_connected(s1, s2) {
+                        continue;
+                    }
+                }
+                DpSubVariant::Unfiltered => {
+                    // The ablation probes both operands unconditionally.
+                    let p1 = is_present(sh.present, s1.bits());
+                    let p2 = is_present(sh.present, s2.bits());
+                    if sh.observe {
+                        t.probes += 2;
+                        t.hits += u64::from(p1) + u64::from(p2);
+                    }
+                    if !(p1 && p2) {
+                        continue;
+                    }
+                    if !sh.g.sets_connected(s1, s2) {
+                        continue;
+                    }
+                }
+                DpSubVariant::CrossProducts => {
+                    // Every split is valid; all smaller sets have plans.
+                }
+            }
+            t.ccp += 1;
+            // Union probe: a hit once a previous pair registered the set.
+            if sh.observe {
+                t.probes += 1;
+                t.hits += u64::from(best.is_some());
+            }
+            let st1 = sh.stats[s1.bits() as usize];
+            let st2 = sh.stats[s2.bits() as usize];
+            if best.is_none() {
+                // The set's output cardinality, computed (like the
+                // sequential table's first miss) from the first
+                // successful decomposition and reused afterwards.
+                card = sh
+                    .est
+                    .join_cardinality(st1.cardinality, st2.cardinality, s1, s2);
+            }
+            let cost = sh.model.join_cost(&st1, &st2, card);
+            match &mut best {
+                None => best = Some((cost, s1.bits())),
+                Some((bc, bs)) => {
+                    // Strict improvement only: ties keep the first
+                    // (canonically smallest) S1, as in the sequential run.
+                    if cost < *bc {
+                        *bc = cost;
+                        *bs = s1.bits();
+                    }
+                }
+            }
+        }
+        if let Some((cost, s1)) = best {
+            out.push(NewEntry {
+                set: bits,
+                s1,
+                stats: PlanStats {
+                    cardinality: card,
+                    cost,
+                },
+            });
+        }
+    }
+    t
+}
+
+/// Appends all size-`k` subsets of an `n`-relation universe to `out`,
+/// ascending (Gosper's hack).
+fn push_level_sets(n: usize, k: usize, out: &mut Vec<u64>) {
+    debug_assert!((1..=n).contains(&k) && n < 64);
+    let limit = 1u64 << n;
+    let mut v = (1u64 << k) - 1;
+    while v < limit {
+        out.push(v);
+        if k == n {
+            break; // the full set is the only member of its level
+        }
+        let c = v & v.wrapping_neg();
+        let r = v + c;
+        v = (((r ^ v) >> 2) / c) | r;
+    }
+}
+
+/// Runs level-synchronous DPsub over `threads` workers using the
+/// pooled buffers of `session`.
+///
+/// `deadline` is checked at every level barrier; exceeding it aborts
+/// with [`OptimizeError::TimeBudgetExceeded`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_level_synchronous(
+    g: &QueryGraph,
+    catalog: &Catalog,
+    model: &dyn CostModel,
+    variant: DpSubVariant,
+    threads: usize,
+    session: &mut Session,
+    algorithm: &'static str,
+    obs: &dyn Observer,
+    deadline: Option<(Instant, std::time::Duration)>,
+) -> Result<DpResult, OptimizeError> {
+    let observe = obs.enabled();
+    let n = g.num_relations();
+    debug_assert!(n <= MAX_ENGINE_RELATIONS, "engine capped at dense-table n");
+    if observe {
+        // As in the sequential driver: emitted before validation so
+        // failed runs still leave a `run_start` in the trace.
+        obs.on_event(Event::RunStart {
+            algorithm,
+            relations: n,
+        });
+        obs.on_event(Event::PhaseStart { phase: "init" });
+    }
+    if n == 0 {
+        return Err(OptimizeError::EmptyQuery);
+    }
+    if variant.requires_connected() {
+        g.require_connected()?;
+    }
+    let est = CardinalityEstimator::new(g, catalog)?;
+    session.prepare(n);
+
+    // Level 1: singleton plans.
+    for i in 0..n {
+        let card = est.base_cardinality(i);
+        let id = session.arena.add_scan(i, card);
+        let bits = 1u64 << i;
+        session.stats[bits as usize] = PlanStats::base(card);
+        session.plans[bits as usize] = id;
+        mark_present(&mut session.present, bits);
+    }
+    let mut table_entries = n;
+    let mut level_new: Vec<u64> = Vec::new();
+    if observe {
+        level_new = vec![0u64; n + 1];
+        level_new[1] = n as u64;
+        obs.on_event(Event::PhaseEnd { phase: "init" });
+        obs.on_event(Event::PhaseStart { phase: "enumerate" });
+    }
+
+    let workers = threads.max(1);
+    if session.outputs.len() < workers {
+        session.outputs.resize_with(workers, Vec::new);
+    }
+    let mut totals = WorkerTotals::default();
+
+    // Levels 2..=n, with a barrier (the merge) between levels.
+    // (`level_new[k]` is bumped during the merge — the index is the
+    // level itself, not an iteration artifact.)
+    #[allow(clippy::needless_range_loop)]
+    for k in 2..=n {
+        if let Some((dl, budget)) = deadline {
+            if Instant::now() > dl {
+                return Err(OptimizeError::TimeBudgetExceeded { budget });
+            }
+        }
+        session.level_sets.clear();
+        push_level_sets(n, k, &mut session.level_sets);
+        let level_len = session.level_sets.len();
+        let spawned = if workers > 1 && level_len >= SPAWN_MIN_SETS {
+            workers
+        } else {
+            1
+        };
+        {
+            let shared = LevelShared {
+                g,
+                est: &est,
+                model,
+                stats: &session.stats,
+                present: &session.present,
+                variant,
+                observe,
+            };
+            let sets = &session.level_sets;
+            let outs = &mut session.outputs[..spawned];
+            for out in outs.iter_mut() {
+                out.clear();
+            }
+            if spawned == 1 {
+                totals.merge(process_chunk(&shared, sets, &mut outs[0]));
+            } else {
+                // Contiguous ranges keep each worker's output ascending,
+                // so concatenation in worker order restores the global
+                // ascending set order the merge relies on.
+                let shared = &shared;
+                let chunk_totals = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(spawned);
+                    for (w, out) in outs.iter_mut().enumerate() {
+                        let lo = level_len * w / spawned;
+                        let hi = level_len * (w + 1) / spawned;
+                        let chunk = &sets[lo..hi];
+                        handles.push(scope.spawn(move || process_chunk(shared, chunk, out)));
+                    }
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("level worker panicked"))
+                        .collect::<Vec<WorkerTotals>>()
+                });
+                for ct in chunk_totals {
+                    totals.merge(ct);
+                }
+            }
+        }
+        // Barrier: materialize this level's winners, ascending. Split
+        // borrows: worker outputs are read while the tables and arena
+        // mutate.
+        let Session {
+            stats,
+            present,
+            plans,
+            arena,
+            outputs,
+            ..
+        } = &mut *session;
+        for chunk_out in outputs.iter().take(spawned) {
+            for e in chunk_out {
+                let s2 = e.set & !e.s1;
+                let plan = arena.add_join(plans[e.s1 as usize], plans[s2 as usize], e.stats);
+                stats[e.set as usize] = e.stats;
+                plans[e.set as usize] = plan;
+                mark_present(present, e.set);
+                table_entries += 1;
+                if observe {
+                    level_new[k] += 1;
+                }
+            }
+        }
+    }
+
+    let mut counters = Counters::new();
+    counters.inner = totals.inner;
+    counters.csg_cmp_pairs = totals.ccp;
+    counters.ono_lohman = totals.ccp / 2;
+
+    if observe {
+        obs.on_event(Event::PhaseEnd { phase: "enumerate" });
+        obs.on_event(Event::PhaseStart { phase: "extract" });
+    }
+    let full = g.all_relations();
+    debug_assert!(is_present(&session.present, full.bits()));
+    let entry_stats = session.stats[full.bits() as usize];
+    let tree = session.arena.extract(session.plans[full.bits() as usize]);
+    if observe {
+        obs.on_event(Event::PhaseEnd { phase: "extract" });
+        for (size, &new_entries) in level_new.iter().enumerate() {
+            if new_entries > 0 {
+                obs.on_event(Event::DpLevel { size, new_entries });
+            }
+        }
+        obs.on_event(Event::TableStats {
+            entries: table_entries,
+            capacity: 1usize << n,
+            probes: totals.probes,
+            hits: totals.hits,
+        });
+        obs.on_event(Event::ArenaStats {
+            nodes: session.arena.len(),
+            bytes: session.arena.bytes(),
+        });
+        obs.on_event(Event::FinalCounters {
+            inner: counters.inner,
+            csg_cmp_pairs: counters.csg_cmp_pairs,
+            ono_lohman: counters.ono_lohman,
+        });
+        obs.on_event(Event::RunEnd);
+    }
+    Ok(DpResult {
+        cost: entry_stats.cost,
+        cardinality: entry_stats.cardinality,
+        tree,
+        counters,
+        table_size: table_entries,
+        plans_built: session.arena.len(),
+    })
+}
+
+impl WorkerTotals {
+    fn merge(&mut self, other: WorkerTotals) {
+        self.inner += other.inner;
+        self.ccp += other.ccp;
+        self.probes += other.probes;
+        self.hits += other.hits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_cost::{workload, Cout};
+    use joinopt_qgraph::GraphKind;
+    use joinopt_telemetry::NoopObserver;
+
+    fn run(
+        kind: GraphKind,
+        n: usize,
+        seed: u64,
+        variant: DpSubVariant,
+        threads: usize,
+    ) -> DpResult {
+        let w = workload::family_workload(kind, n, seed);
+        let mut session = Session::new();
+        run_level_synchronous(
+            &w.graph,
+            &w.catalog,
+            &Cout,
+            variant,
+            threads,
+            &mut session,
+            "DPsub",
+            &NoopObserver,
+            None,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn gosper_enumerates_levels_completely_and_ascending() {
+        let mut all = Vec::new();
+        for k in 1..=6 {
+            let mut level = Vec::new();
+            push_level_sets(6, k, &mut level);
+            assert!(level.windows(2).all(|w| w[0] < w[1]), "k={k} not ascending");
+            assert!(
+                level.iter().all(|b| b.count_ones() as usize == k),
+                "k={k} has wrong popcounts"
+            );
+            all.extend(level);
+        }
+        all.sort_unstable();
+        assert_eq!(all.len(), (1 << 6) - 1, "all non-empty subsets visited");
+    }
+
+    #[test]
+    fn matches_sequential_dpsub_exactly() {
+        use crate::dpsub::DpSub;
+        use crate::result::JoinOrderer as _;
+        for kind in GraphKind::ALL {
+            let w = workload::family_workload(kind, 9, 3);
+            let seq = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+            for threads in [1, 2, 4] {
+                let par = run(kind, 9, 3, DpSubVariant::Filtered, threads);
+                assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "{kind} t={threads}");
+                assert_eq!(
+                    seq.cardinality.to_bits(),
+                    par.cardinality.to_bits(),
+                    "{kind} t={threads}"
+                );
+                assert_eq!(seq.tree, par.tree, "{kind} t={threads}");
+                assert_eq!(seq.counters, par.counters, "{kind} t={threads}");
+                assert_eq!(seq.table_size, par.table_size, "{kind} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn session_reuse_is_deterministic_and_pools_allocations() {
+        let w = workload::family_workload(GraphKind::Cycle, 10, 1);
+        let mut session = Session::new();
+        let first = run_level_synchronous(
+            &w.graph,
+            &w.catalog,
+            &Cout,
+            DpSubVariant::Filtered,
+            2,
+            &mut session,
+            "DPsub",
+            &NoopObserver,
+            None,
+        )
+        .unwrap();
+        let pooled = session.pooled_bytes();
+        assert!(pooled > 0);
+        for _ in 0..3 {
+            let again = run_level_synchronous(
+                &w.graph,
+                &w.catalog,
+                &Cout,
+                DpSubVariant::Filtered,
+                2,
+                &mut session,
+                "DPsub",
+                &NoopObserver,
+                None,
+            )
+            .unwrap();
+            assert_eq!(first.cost.to_bits(), again.cost.to_bits());
+            assert_eq!(first.tree, again.tree);
+            // No regrowth: the pool already fits the workload.
+            assert_eq!(session.pooled_bytes(), pooled);
+        }
+        assert_eq!(session.runs(), 4);
+    }
+
+    #[test]
+    fn time_budget_aborts_at_a_level_barrier() {
+        let w = workload::family_workload(GraphKind::Clique, 12, 0);
+        let mut session = Session::new();
+        let started = Instant::now() - std::time::Duration::from_secs(1);
+        let budget = std::time::Duration::from_nanos(1);
+        let err = run_level_synchronous(
+            &w.graph,
+            &w.catalog,
+            &Cout,
+            DpSubVariant::Filtered,
+            2,
+            &mut session,
+            "DPsub",
+            &NoopObserver,
+            Some((started, budget)),
+        )
+        .unwrap_err();
+        assert_eq!(err, OptimizeError::TimeBudgetExceeded { budget });
+    }
+}

@@ -1,0 +1,310 @@
+//! The session API: [`OptimizeRequest`] and [`OptimizeOutcome`].
+//!
+//! [`Optimizer::optimize`](crate::Optimizer::optimize) answers "give me
+//! the best plan" with defaults everywhere. `OptimizeRequest` is the
+//! full-control entry point underneath it: one builder that carries the
+//! algorithm, the cost model, the thread count, optional time and cost
+//! budgets, and a telemetry observer — and that can run inside a pooled
+//! [`Session`] so repeated queries reuse the DP-table and plan-arena
+//! allocations.
+//!
+//! ```
+//! use joinopt_core::{Algorithm, OptimizeRequest};
+//! use joinopt_cost::{workload, HashJoin};
+//! use joinopt_qgraph::GraphKind;
+//!
+//! let w = workload::family_workload(GraphKind::Clique, 8, 7);
+//! let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+//!     .with_algorithm(Algorithm::DpSub)
+//!     .with_cost_model(&HashJoin)
+//!     .with_threads(2)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(outcome.algorithm, Algorithm::DpSub);
+//! assert_eq!(outcome.threads, 2);
+//! assert_eq!(outcome.result.tree.num_relations(), 8);
+//! ```
+
+use std::time::{Duration, Instant};
+
+use joinopt_cost::{Catalog, CostModel, Cout};
+use joinopt_qgraph::QueryGraph;
+use joinopt_telemetry::{NoopObserver, Observer};
+
+use crate::error::OptimizeError;
+use crate::optimizer::Algorithm;
+use crate::parallel::{run_level_synchronous, DpSubVariant, Session, MAX_ENGINE_RELATIONS};
+use crate::result::DpResult;
+
+/// A fully configured optimization run, built incrementally.
+///
+/// Defaults: [`Algorithm::Auto`], the `C_out` cost model, automatic
+/// thread count ([`std::thread::available_parallelism`]), no budgets,
+/// no telemetry.
+///
+/// The DPsub family ([`Algorithm::DpSub`], [`Algorithm::DpSubUnfiltered`],
+/// [`Algorithm::DpSubCrossProducts`]) runs on the level-synchronous
+/// engine of [`crate::parallel`] whenever the query fits its
+/// direct-addressed tables, and is therefore the only family that
+/// honours `with_threads` beyond 1; every other algorithm runs its
+/// sequential implementation. Engine results are bit-identical to the
+/// sequential algorithms at any thread count (see the module docs of
+/// [`crate::parallel`] for the argument), except for the `plans_built`
+/// statistic: the engine materializes exactly one plan node per DP-table
+/// entry, the sequential driver one per table *improvement*.
+#[must_use = "an OptimizeRequest does nothing until run"]
+pub struct OptimizeRequest<'a> {
+    graph: &'a QueryGraph,
+    catalog: &'a Catalog,
+    algorithm: Algorithm,
+    model: &'a dyn CostModel,
+    threads: usize,
+    time_budget: Option<Duration>,
+    cost_budget: Option<f64>,
+    observer: &'a dyn Observer,
+}
+
+/// What an [`OptimizeRequest`] produced: the plan plus the resolved
+/// execution parameters.
+#[derive(Debug, Clone)]
+pub struct OptimizeOutcome {
+    /// The optimization result (plan, cost, counters, statistics).
+    pub result: DpResult,
+    /// The concrete algorithm that ran (`Auto` resolved).
+    pub algorithm: Algorithm,
+    /// Worker threads the run was configured with (1 for algorithms
+    /// without a parallel path).
+    pub threads: usize,
+    /// Wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl OptimizeOutcome {
+    /// Discards the execution metadata, keeping the [`DpResult`].
+    pub fn into_result(self) -> DpResult {
+        self.result
+    }
+}
+
+impl<'a> OptimizeRequest<'a> {
+    /// A request for one query with all defaults.
+    pub fn new(graph: &'a QueryGraph, catalog: &'a Catalog) -> OptimizeRequest<'a> {
+        OptimizeRequest {
+            graph,
+            catalog,
+            algorithm: Algorithm::Auto,
+            model: &Cout,
+            threads: 0,
+            time_budget: None,
+            cost_budget: None,
+            observer: &NoopObserver,
+        }
+    }
+
+    /// Selects the algorithm (default [`Algorithm::Auto`]).
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the cost model (default `C_out`).
+    pub fn with_cost_model(mut self, model: &'a dyn CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Sets the worker-thread count for algorithms with a parallel
+    /// path. `0` (the default) means [`std::thread::available_parallelism`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Aborts the run if it exceeds `budget` wall-clock time. Enforced
+    /// at the parallel engine's level barriers (best effort: a
+    /// sequential algorithm mid-run is not interrupted).
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// Fails the run (after optimization) if even the *optimal* plan
+    /// costs more than `budget` — a guard for callers that would rather
+    /// reject a query than execute a catastrophic join.
+    pub fn with_cost_budget(mut self, budget: f64) -> Self {
+        self.cost_budget = Some(budget);
+        self
+    }
+
+    /// Streams telemetry events to `observer` (default: none).
+    pub fn with_observer(mut self, observer: &'a dyn Observer) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// Runs the request with one-shot (non-pooled) allocations.
+    pub fn run(self) -> Result<OptimizeOutcome, OptimizeError> {
+        let mut session = Session::new();
+        self.run_in(&mut session)
+    }
+
+    /// Runs the request inside `session`, reusing its pooled DP-table
+    /// and plan-arena allocations.
+    pub fn run_in(self, session: &mut Session) -> Result<OptimizeOutcome, OptimizeError> {
+        let start = Instant::now();
+        let threads = if self.threads == 0 {
+            available_parallelism()
+        } else {
+            self.threads
+        };
+        let algorithm = match self.algorithm {
+            Algorithm::Auto => Algorithm::select_auto_with_parallelism(self.graph, threads),
+            concrete => concrete,
+        };
+        let variant = match algorithm {
+            Algorithm::DpSub => Some(DpSubVariant::Filtered),
+            Algorithm::DpSubUnfiltered => Some(DpSubVariant::Unfiltered),
+            Algorithm::DpSubCrossProducts => Some(DpSubVariant::CrossProducts),
+            _ => None,
+        };
+        let engine_variant = variant.filter(|_| self.graph.num_relations() <= MAX_ENGINE_RELATIONS);
+        let deadline = self.time_budget.map(|b| (start + b, b));
+        let (result, threads) = match engine_variant {
+            Some(v) => {
+                let r = run_level_synchronous(
+                    self.graph,
+                    self.catalog,
+                    self.model,
+                    v,
+                    threads,
+                    session,
+                    algorithm.orderer(self.graph).name(),
+                    self.observer,
+                    deadline,
+                )?;
+                (r, threads)
+            }
+            None => {
+                let r = algorithm.orderer(self.graph).optimize_observed(
+                    self.graph,
+                    self.catalog,
+                    self.model,
+                    self.observer,
+                )?;
+                (r, 1)
+            }
+        };
+        if let Some(budget) = self.cost_budget {
+            if result.cost > budget {
+                return Err(OptimizeError::CostBudgetExceeded {
+                    cost: result.cost,
+                    budget,
+                });
+            }
+        }
+        Ok(OptimizeOutcome {
+            result,
+            algorithm,
+            threads,
+            elapsed: start.elapsed(),
+        })
+    }
+}
+
+/// This machine's available parallelism, defaulting to 1 when the
+/// system will not say.
+pub(crate) fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::JoinOrderer as _;
+    use crate::{DpCcp, DpSub};
+    use joinopt_cost::{workload, HashJoin};
+    use joinopt_qgraph::GraphKind;
+
+    #[test]
+    fn defaults_resolve_auto_and_succeed() {
+        let w = workload::family_workload(GraphKind::Chain, 7, 0);
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog).run().unwrap();
+        assert_ne!(outcome.algorithm, Algorithm::Auto, "Auto must resolve");
+        assert!(outcome.threads >= 1);
+        assert_eq!(outcome.result.tree.num_relations(), 7);
+        let direct = DpCcp.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        assert_eq!(outcome.result.cost.to_bits(), direct.cost.to_bits());
+    }
+
+    #[test]
+    fn engine_path_matches_sequential_dpsub() {
+        let w = workload::family_workload(GraphKind::Cycle, 9, 4);
+        let seq = DpSub.optimize(&w.graph, &w.catalog, &Cout).unwrap();
+        for threads in [1, 2, 8] {
+            let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+                .with_algorithm(Algorithm::DpSub)
+                .with_threads(threads)
+                .run()
+                .unwrap();
+            assert_eq!(outcome.threads, threads);
+            assert_eq!(outcome.result.cost.to_bits(), seq.cost.to_bits());
+            assert_eq!(outcome.result.tree, seq.tree);
+            assert_eq!(outcome.result.counters, seq.counters);
+        }
+    }
+
+    #[test]
+    fn cost_model_and_non_engine_algorithms_pass_through() {
+        let w = workload::family_workload(GraphKind::Star, 7, 2);
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpCcp)
+            .with_cost_model(&HashJoin)
+            .with_threads(4)
+            .run()
+            .unwrap();
+        // DPccp has no parallel path: the outcome reports 1 thread.
+        assert_eq!(outcome.threads, 1);
+        let direct = DpCcp.optimize(&w.graph, &w.catalog, &HashJoin).unwrap();
+        assert_eq!(outcome.result.cost.to_bits(), direct.cost.to_bits());
+    }
+
+    #[test]
+    fn cost_budget_rejects_expensive_plans_and_admits_cheap_ones() {
+        let w = workload::family_workload(GraphKind::Chain, 6, 1);
+        let optimal = OptimizeRequest::new(&w.graph, &w.catalog)
+            .run()
+            .unwrap()
+            .result
+            .cost;
+        let err = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_cost_budget(optimal / 2.0)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::CostBudgetExceeded { .. }));
+        let ok = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_cost_budget(optimal * 2.0)
+            .run();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn time_budget_zero_aborts_engine_runs() {
+        let w = workload::family_workload(GraphKind::Clique, 10, 0);
+        let err = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_time_budget(Duration::ZERO)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::TimeBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn outcome_into_result_keeps_plan() {
+        let w = workload::family_workload(GraphKind::Chain, 5, 5);
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog).run().unwrap();
+        let cost = outcome.result.cost;
+        assert_eq!(outcome.into_result().cost, cost);
+    }
+}

@@ -1,0 +1,160 @@
+//! Thread-count determinism matrix for the parallel DPsub engine.
+//!
+//! Contract under test: for every algorithm with a parallel path
+//! (the DPsub family), an [`OptimizeRequest`] must produce **the same
+//! plan, bit for bit** — cost, cardinality, serialized tree shape,
+//! counters and table size — at every thread count, and that plan must
+//! be identical to the sequential [`JoinOrderer`] implementation's.
+//! `plans_built` is deliberately excluded: the engine materializes one
+//! node per DP entry, the sequential driver one per improvement (see
+//! `joinopt_core::parallel`).
+
+use joinopt_core::{Algorithm, OptimizeRequest, Session};
+use joinopt_cost::{workload, Cout, HashJoin};
+use joinopt_plan::JoinTree;
+use joinopt_qgraph::{GraphKind, QueryGraph};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The algorithms that gained a parallel path in the request API.
+const PARALLEL: [Algorithm; 3] = [
+    Algorithm::DpSub,
+    Algorithm::DpSubUnfiltered,
+    Algorithm::DpSubCrossProducts,
+];
+
+/// Serializes a join tree to a canonical string so shape differences
+/// (operand order, bushiness) cannot hide behind equal costs.
+fn shape(t: &JoinTree) -> String {
+    match t {
+        JoinTree::Scan { relation, .. } => format!("R{relation}"),
+        JoinTree::Join { left, right, .. } => format!("({} {})", shape(left), shape(right)),
+    }
+}
+
+#[test]
+fn parallel_paths_are_bit_identical_across_thread_counts() {
+    for kind in GraphKind::ALL {
+        for n in [6, 9, 10] {
+            let w = workload::family_workload(kind, n, n as u64);
+            for alg in PARALLEL {
+                let seq = alg
+                    .orderer(&w.graph)
+                    .optimize(&w.graph, &w.catalog, &Cout)
+                    .unwrap();
+                for threads in THREADS {
+                    let ctx = format!("{kind} n={n} {alg:?} t={threads}");
+                    let par = OptimizeRequest::new(&w.graph, &w.catalog)
+                        .with_algorithm(alg)
+                        .with_threads(threads)
+                        .run()
+                        .unwrap()
+                        .result;
+                    assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "cost {ctx}");
+                    assert_eq!(
+                        seq.cardinality.to_bits(),
+                        par.cardinality.to_bits(),
+                        "cardinality {ctx}"
+                    );
+                    assert_eq!(shape(&seq.tree), shape(&par.tree), "tree shape {ctx}");
+                    assert_eq!(seq.tree, par.tree, "tree {ctx}");
+                    assert_eq!(seq.counters, par.counters, "counters {ctx}");
+                    assert_eq!(seq.table_size, par.table_size, "table size {ctx}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn determinism_holds_under_asymmetric_cost_models() {
+    // HashJoin breaks cost-tie symmetry between operand orders, which is
+    // exactly where a nondeterministic merge would betray itself.
+    for kind in [GraphKind::Star, GraphKind::Clique] {
+        let w = workload::family_workload(kind, 10, 77);
+        let baseline = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_cost_model(&HashJoin)
+            .with_threads(1)
+            .run()
+            .unwrap()
+            .result;
+        for threads in THREADS {
+            let par = OptimizeRequest::new(&w.graph, &w.catalog)
+                .with_algorithm(Algorithm::DpSub)
+                .with_cost_model(&HashJoin)
+                .with_threads(threads)
+                .run()
+                .unwrap()
+                .result;
+            assert_eq!(baseline.cost.to_bits(), par.cost.to_bits(), "{kind}");
+            assert_eq!(shape(&baseline.tree), shape(&par.tree), "{kind}");
+        }
+    }
+}
+
+#[test]
+fn pooled_sessions_do_not_leak_state_between_queries() {
+    // Interleave different graphs through one session at varying thread
+    // counts; every answer must match a fresh one-shot run.
+    let mut session = Session::new();
+    for round in 0..3 {
+        for kind in GraphKind::ALL {
+            let n = 5 + round;
+            let w = workload::family_workload(kind, n, round as u64);
+            for threads in [2, 1, 4] {
+                let pooled = OptimizeRequest::new(&w.graph, &w.catalog)
+                    .with_algorithm(Algorithm::DpSub)
+                    .with_threads(threads)
+                    .run_in(&mut session)
+                    .unwrap()
+                    .result;
+                let fresh = OptimizeRequest::new(&w.graph, &w.catalog)
+                    .with_algorithm(Algorithm::DpSub)
+                    .with_threads(threads)
+                    .run()
+                    .unwrap()
+                    .result;
+                assert_eq!(pooled.cost.to_bits(), fresh.cost.to_bits());
+                assert_eq!(pooled.tree, fresh.tree);
+                assert_eq!(pooled.counters, fresh.counters);
+            }
+        }
+    }
+}
+
+#[test]
+fn cross_products_handle_disconnected_graphs_at_any_thread_count() {
+    // Only the Vance/Maier variant accepts disconnected graphs; its
+    // parallel path must too, identically.
+    // Two components: the 0-1-2-3 chain and the 4-5-6-7 chain.
+    let mut g = QueryGraph::new(8).unwrap();
+    for (a, b) in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)] {
+        g.add_edge(a, b).unwrap();
+    }
+    let cat = joinopt_cost::Catalog::new(&g);
+    let seq = Algorithm::DpSubCrossProducts
+        .orderer(&g)
+        .optimize(&g, &cat, &Cout)
+        .unwrap();
+    for threads in THREADS {
+        let par = OptimizeRequest::new(&g, &cat)
+            .with_algorithm(Algorithm::DpSubCrossProducts)
+            .with_threads(threads)
+            .run()
+            .unwrap()
+            .result;
+        assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "t={threads}");
+        assert_eq!(seq.tree, par.tree, "t={threads}");
+        assert_eq!(seq.table_size, par.table_size, "t={threads}");
+    }
+    // The connectivity-requiring variants still reject it, at any
+    // thread count.
+    for threads in [1, 4] {
+        assert!(OptimizeRequest::new(&g, &cat)
+            .with_algorithm(Algorithm::DpSub)
+            .with_threads(threads)
+            .run()
+            .is_err());
+    }
+}

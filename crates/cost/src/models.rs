@@ -35,7 +35,7 @@ impl PlanStats {
 /// Implementations receive the output cardinality pre-computed by the
 /// cardinality estimator, and must include the children's accumulated
 /// costs in the figure they return (costs are totals, not increments).
-pub trait CostModel {
+pub trait CostModel: Send + Sync {
     /// Total cost of the join `left ⋈ right` with output size `out_card`.
     fn join_cost(&self, left: &PlanStats, right: &PlanStats, out_card: f64) -> f64;
 
@@ -46,6 +46,24 @@ pub trait CostModel {
     /// models let enumerators skip the commutative partner probe.
     fn is_symmetric(&self) -> bool {
         false
+    }
+}
+
+/// Boxed models are models: lets call sites that select a model at
+/// runtime (`Box<dyn CostModel>`) hand it to APIs taking
+/// `impl CostModel` without an adapter.
+impl<M: CostModel + ?Sized> CostModel for Box<M> {
+    #[inline]
+    fn join_cost(&self, left: &PlanStats, right: &PlanStats, out_card: f64) -> f64 {
+        (**self).join_cost(left, right, out_card)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn is_symmetric(&self) -> bool {
+        (**self).is_symmetric()
     }
 }
 

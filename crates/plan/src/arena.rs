@@ -80,6 +80,13 @@ impl PlanArena {
         self.nodes.capacity() * std::mem::size_of::<Node>()
     }
 
+    /// Drops every node while keeping the allocation, so a pooled arena
+    /// (an optimizer session reused across queries) pays the node
+    /// storage only once. Previously issued [`PlanId`]s are invalidated.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Adds a base-table scan of `relation` with the given cardinality.
     pub fn add_scan(&mut self, relation: RelIdx, cardinality: f64) -> PlanId {
         self.push(Node {

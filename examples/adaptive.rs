@@ -1,52 +1,58 @@
 //! Adaptive algorithm selection — the paper's concluding recommendation
-//! operationalized: `Algorithm::Auto` inspects the query graph and picks
-//! DPsub for (near-)cliques and DPccp everywhere else.
+//! operationalized: `Algorithm::Auto` inspects the query graph *and the
+//! available parallelism* and picks DPsub for (near-)cliques and DPccp
+//! everywhere else. More worker threads lower the density bar, because
+//! only DPsub has a parallel path.
 //!
 //! Run with: `cargo run --release --example adaptive`
-
-use std::time::Instant;
 
 use joinopt::prelude::*;
 use joinopt_cost::workload;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{:<8} {:>3} {:>14} {:>12} {:>12}",
-        "graph", "n", "auto choice", "auto time", "counters"
+        "{:<8} {:>3} {:>6}..{:<6} {:>12} {:>12}",
+        "graph", "n", "auto@1", "auto@8", "time", "counters"
     );
     for kind in GraphKind::ALL {
         let n = 13;
         let w = workload::family_workload(kind, n, 7);
 
-        let choice = Algorithm::select_auto(&w.graph);
-        let optimizer = Optimizer::new(); // Algorithm::Auto by default
-        let start = Instant::now();
-        let result = optimizer.optimize(&w.graph, &w.catalog)?;
-        let elapsed = start.elapsed();
+        // The selection is parallelism-aware: DPsub's level-synchronous
+        // engine scales with threads while DPccp is inherently serial,
+        // so the density threshold drops from 90% (1 thread) to 70% (≥4).
+        let at_one = Algorithm::select_auto_with_parallelism(&w.graph, 1);
+        let at_eight = Algorithm::select_auto_with_parallelism(&w.graph, 8);
+
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog).run()?;
 
         println!(
-            "{:<8} {:>3} {:>14} {:>12} {:>12}",
+            "{:<8} {:>3} {:>6}..{:<6} {:>12} {:>12}",
             kind.name(),
             n,
-            format!("{choice:?}"),
-            format!("{elapsed:.2?}"),
-            result.counters.inner,
+            format!("{at_one:?}"),
+            format!("{at_eight:?}"),
+            format!("{:.2?}", outcome.elapsed),
+            outcome.result.counters.inner,
         );
 
         // Sanity: the auto result must cost the same as explicit DPccp.
-        let reference = Optimizer::new()
+        let reference = OptimizeRequest::new(&w.graph, &w.catalog)
             .with_algorithm(Algorithm::DpCcp)
-            .optimize(&w.graph, &w.catalog)?;
+            .run()?;
         assert!(
-            (result.cost - reference.cost).abs() <= 1e-9 * reference.cost.abs().max(1.0),
+            (outcome.result.cost - reference.result.cost).abs()
+                <= 1e-9 * reference.result.cost.abs().max(1.0),
             "auto selection changed the optimum?!"
         );
     }
 
     println!(
-        "\nAuto resolves to DPsub only on dense (≥90% complete) graphs, where \
-         subset enumeration's trivial inner loop beats the csg machinery; \
-         everywhere else DPccp is chosen (it meets the Ono/Lohman lower bound)."
+        "\nAuto resolves to DPsub only on dense graphs, where subset \
+         enumeration's trivial inner loop beats the csg machinery — \
+         ≥90% complete on one thread, relaxed to ≥70% once four or more \
+         workers can share the levels; everywhere else DPccp is chosen \
+         (it meets the Ono/Lohman lower bound)."
     );
     Ok(())
 }

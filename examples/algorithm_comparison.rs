@@ -23,9 +23,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for n in [2usize, 5, 8, 11] {
             let w = workload::family_workload(kind, n, 42);
 
-            let size = DpSize.optimize(&w.graph, &w.catalog, &Cout)?;
-            let sub = DpSub.optimize(&w.graph, &w.catalog, &Cout)?;
-            let ccp = DpCcp.optimize(&w.graph, &w.catalog, &Cout)?;
+            let run = |alg: Algorithm| {
+                OptimizeRequest::new(&w.graph, &w.catalog)
+                    .with_algorithm(alg)
+                    .run()
+                    .map(OptimizeOutcome::into_result)
+            };
+            let size = run(Algorithm::DpSize)?;
+            let sub = run(Algorithm::DpSub)?;
+            let ccp = run(Algorithm::DpCcp)?;
 
             // Cross-validate measured counters against both prediction layers.
             let nu = n as u64;

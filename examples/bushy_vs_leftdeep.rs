@@ -9,7 +9,6 @@
 //! Run with: `cargo run --release --example bushy_vs_leftdeep`
 
 use joinopt::core::greedy::Goo;
-use joinopt::core::DpSizeLeftDeep;
 use joinopt::prelude::*;
 use joinopt_cost::workload;
 
@@ -23,8 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for seed in 0..TRIALS {
         let w = workload::random_workload(N, 0.25, seed);
-        let bushy = DpCcp.optimize(&w.graph, &w.catalog, &Cout)?;
-        let ld = DpSizeLeftDeep.optimize(&w.graph, &w.catalog, &Cout)?;
+        let run = |alg: Algorithm| {
+            OptimizeRequest::new(&w.graph, &w.catalog)
+                .with_algorithm(alg)
+                .run()
+                .map(OptimizeOutcome::into_result)
+        };
+        let bushy = run(Algorithm::DpCcp)?;
+        let ld = run(Algorithm::DpSizeLeftDeep)?;
         let goo = Goo.optimize(&w.graph, &w.catalog, &Cout)?;
         ld_ratios.push(ld.cost / bushy.cost);
         goo_ratios.push(goo.cost / bushy.cost);

@@ -38,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     catalog.set_selectivity(e2, 1.0 / 1_000.0)?;
     catalog.set_selectivity(e3, 1.0 / 500.0)?;
 
+    // Hypergraph queries run on DPhyp directly: `OptimizeRequest` (the
+    // session API) covers binary query graphs, where the DP table can be
+    // direct-addressed and the DPsub family has its parallel path.
     let result = DpHyp.optimize(&h, &catalog, &Cout)?;
 
     println!("query hypergraph: {h}");

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let mut rng = XorShift64::seed_from_u64(seed);
             let graph = qgraph::generators::random_connected(6, 0.3, &mut rng).ok()?;
             let catalog = workload::random_catalog(&graph, ranges, &mut rng);
-            let optimal = DpCcp.optimize(&graph, &catalog, &Cout).ok()?;
+            let optimal = OptimizeRequest::new(&graph, &catalog)
+                .with_algorithm(Algorithm::DpCcp)
+                .run()
+                .ok()?
+                .into_result();
             let greedy = Goo.optimize(&graph, &catalog, &Cout).ok()?;
             (greedy.cost > optimal.cost * 1.3).then_some((graph, catalog, optimal, greedy))
         })

@@ -23,17 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("chain query with {N} relations\n");
 
     let mut optimal = f64::NAN;
-    for alg in [&DpCcp as &dyn JoinOrderer, &DpSize] {
-        let start = Instant::now();
-        let r = alg.optimize(&w.graph, &w.catalog, &Cout)?;
+    for alg in [Algorithm::DpCcp, Algorithm::DpSize] {
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(alg)
+            .run()?;
         println!(
             "{:<8} time={:<12} inner={:<10} cost={:.4e}",
-            alg.name(),
-            format!("{:.2?}", start.elapsed()),
-            r.counters.inner,
-            r.cost
+            alg.orderer(&w.graph).name(),
+            format!("{:.2?}", outcome.elapsed),
+            outcome.result.counters.inner,
+            outcome.result.cost
         );
-        optimal = r.cost;
+        optimal = outcome.result.cost;
     }
 
     let start = Instant::now();

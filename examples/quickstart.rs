@@ -25,9 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     catalog.set_selectivity(o_l, 1.0 / 1_500_000.0)?;
     catalog.set_selectivity(l_p, 1.0 / 200_000.0)?;
 
-    // Optimize. `Optimizer::new()` uses automatic algorithm selection
-    // (DPccp here) and the C_out cost model.
-    let result = Optimizer::new().optimize(&graph, &catalog)?;
+    // Optimize. `OptimizeRequest` is the canonical entry point: with no
+    // builder calls it uses automatic algorithm selection (DPccp here)
+    // and the C_out cost model.
+    let outcome = OptimizeRequest::new(&graph, &catalog).run()?;
+    println!("algorithm selected:      {:?}", outcome.algorithm);
+    let result = outcome.into_result();
 
     println!("optimal bushy join tree: {}", result.tree);
     println!("estimated result size:   {:.0} rows", result.cardinality);

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("filter applied: |customer| = {}", q.catalog.cardinality(0));
     println!();
 
-    // The complex predicate makes this a hypergraph query → DPhyp.
+    // The complex predicate makes this a hypergraph query → DPhyp,
+    // invoked directly (the `OptimizeRequest` session API covers binary
+    // query graphs only).
     let result = DpHyp.optimize(&q.hypergraph, &q.catalog, &Cout)?;
     println!("optimal plan: {}", q.render_tree(&result.tree));
     println!("cost (C_out): {:.4e}", result.cost);

@@ -10,8 +10,6 @@
 //!
 //! Run with: `cargo run --release --example star_schema`
 
-use std::time::Instant;
-
 use joinopt::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,21 +34,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "algorithm", "time", "InnerCounter", "#ccp/2", "cost"
     );
 
-    let algorithms: [&dyn JoinOrderer; 3] = [&DpSize, &DpSub, &DpCcp];
+    let algorithms = [Algorithm::DpSize, Algorithm::DpSub, Algorithm::DpCcp];
     let mut trees = Vec::new();
     for alg in algorithms {
-        let start = Instant::now();
-        let result = alg.optimize(&graph, &catalog, &Cout)?;
-        let elapsed = start.elapsed();
+        let outcome = OptimizeRequest::new(&graph, &catalog)
+            .with_algorithm(alg)
+            .run()?;
         println!(
             "{:<10} {:>12} {:>16} {:>12} {:>10.3e}",
-            alg.name(),
-            format!("{elapsed:.2?}"),
-            result.counters.inner,
-            result.counters.ono_lohman,
-            result.cost,
+            alg.orderer(&graph).name(),
+            format!("{:.2?}", outcome.elapsed),
+            outcome.result.counters.inner,
+            outcome.result.counters.ono_lohman,
+            outcome.result.cost,
         );
-        trees.push(result);
+        trees.push(outcome.into_result());
     }
 
     // All three algorithms find plans of the same (optimal) cost.

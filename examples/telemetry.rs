@@ -9,20 +9,26 @@ use joinopt::telemetry::Tee;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The ISSUE's acceptance workload: a 12-relation star query.
     let w = joinopt::cost::workload::family_workload(GraphKind::Star, 12, 2006);
-    let optimizer = Optimizer::new().with_algorithm(Algorithm::DpCcp);
 
     // Without an observer, the run is on the zero-overhead path — the
     // default NoopObserver reports itself disabled, so the optimizer
     // does no telemetry bookkeeping at all.
-    let plain = optimizer.optimize(&w.graph, &w.catalog)?;
+    let plain = OptimizeRequest::new(&w.graph, &w.catalog)
+        .with_algorithm(Algorithm::DpCcp)
+        .run()?
+        .into_result();
 
     // With observers: a MetricsCollector aggregates the run into a
     // report, and a TraceWriter streams every event as a JSON line.
     // Tee fans the events out to both; the result is bit-identical.
     let metrics = MetricsCollector::new();
     let trace = TraceWriter::new(Vec::new());
-    let observed =
-        optimizer.optimize_observed(&w.graph, &w.catalog, &Tee::new(&metrics, &trace))?;
+    let tee = Tee::new(&metrics, &trace);
+    let observed = OptimizeRequest::new(&w.graph, &w.catalog)
+        .with_algorithm(Algorithm::DpCcp)
+        .with_observer(&tee)
+        .run()?
+        .into_result();
     assert_eq!(plain.cost.to_bits(), observed.cost.to_bits());
     assert_eq!(plain.counters, observed.counters);
 
