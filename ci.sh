@@ -15,6 +15,12 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> resilience matrix with fault injection (--cfg failpoints)"
+# Separate target dir: the flag changes the crate's cfg set, and sharing
+# target/ would force a full rebuild on every alternation.
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo test -p joinopt-core --test resilience --offline -q
+
 echo "==> determinism matrix (parallel engine, release)"
 cargo test -p joinopt-core --test determinism --release --offline -q
 

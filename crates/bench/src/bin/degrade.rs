@@ -1,0 +1,116 @@
+//! Degradation-ladder experiment (extension beyond the paper's figures):
+//! how much plan quality does the graceful-degradation pipeline give up
+//! as the memory budget shrinks?
+//!
+//! For each clique size the bin first measures the exact optimum with no
+//! budget, then re-optimizes under a sweep of shrinking memory budgets
+//! with `on_budget_exceeded(Degrade)`. Each row reports which rung of
+//! the ladder produced the plan (exact / idp / greedy), the bytes the
+//! tripped run had consumed, and `cost(plan) / cost(optimal)`.
+//!
+//! Cliques are the worst case of the paper's analysis (no connectivity
+//! filter helps; all `3^n` pairs are valid), so they hit the memory
+//! accounting hardest and exercise every rung.
+//!
+//! Usage: `cargo run --release -p joinopt-bench --bin degrade [--n N]`
+
+use joinopt_core::{Algorithm, BudgetAction, OptimizeRequest};
+use joinopt_cost::workload::{random_catalog, StatsRanges};
+use joinopt_cost::Cout;
+use joinopt_qgraph::generators;
+use joinopt_relset::XorShift64;
+
+use joinopt_bench::{write_results, MetaSidecar, Table};
+
+/// Budget sweep, largest first; `None` is the unlimited baseline.
+const BUDGETS: [Option<usize>; 6] = [
+    None,
+    Some(4 << 20),
+    Some(1 << 20),
+    Some(256 << 10),
+    Some(64 << 10),
+    Some(16 << 10),
+];
+
+fn format_budget(bytes: Option<usize>) -> String {
+    match bytes {
+        None => "unlimited".to_string(),
+        Some(b) if b >= 1 << 20 => format!("{}M", b >> 20),
+        Some(b) => format!("{}k", b >> 10),
+    }
+}
+
+fn main() {
+    let mut max_n: usize = 13;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                i += 1;
+                max_n = args[i].parse().expect("--n takes an integer");
+            }
+            other => panic!("unknown argument: {other}"),
+        }
+        i += 1;
+    }
+
+    println!("plan quality under shrinking memory budgets, cliques up to n = {max_n}\n");
+    let mut table = Table::new(vec!["n", "budget", "rung", "used-bytes", "cost-ratio"]);
+    let mut meta = MetaSidecar::new("degrade", 1, None);
+    meta.push(format!("{{\"event\":\"config\",\"max_n\":{max_n}}}"));
+
+    for n in [9, 11, max_n] {
+        let g = generators::clique(n).expect("clique size in range");
+        let mut rng = XorShift64::seed_from_u64(n as u64 * 31 + 7);
+        let catalog = random_catalog(&g, StatsRanges::default(), &mut rng);
+
+        let optimal = OptimizeRequest::new(&g, &catalog)
+            .with_algorithm(Algorithm::DpCcp)
+            .with_cost_model(&Cout)
+            .run()
+            .expect("unlimited run succeeds")
+            .result
+            .cost;
+
+        for budget in BUDGETS {
+            let mut request = OptimizeRequest::new(&g, &catalog)
+                .with_algorithm(Algorithm::DpCcp)
+                .with_cost_model(&Cout)
+                .on_budget_exceeded(BudgetAction::Degrade);
+            if let Some(bytes) = budget {
+                request = request.with_memory_budget(bytes);
+            }
+            let outcome = request.run().expect("degrading run always yields a plan");
+            let (rung, used) = match &outcome.degradation {
+                Some(info) => (info.rung.as_str(), info.memory_used),
+                None => ("exact", 0),
+            };
+            let ratio = outcome.result.cost / optimal;
+            meta.push(format!(
+                "{{\"event\":\"row\",\"n\":{n},\"budget\":\"{}\",\"rung\":\"{rung}\",\
+                 \"used_bytes\":{used},\"cost_ratio\":{ratio}}}",
+                format_budget(budget)
+            ));
+            table.row(vec![
+                n.to_string(),
+                format_budget(budget),
+                rung.to_string(),
+                used.to_string(),
+                format!("{ratio:.3}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    match write_results("degrade.csv", &table.to_csv()) {
+        Ok(path) => {
+            println!("wrote {}", path.display());
+            match meta.write_next_to(&path) {
+                Ok(meta_path) => println!("wrote {}", meta_path.display()),
+                Err(e) => eprintln!("could not write run metadata: {e}"),
+            }
+        }
+        Err(e) => eprintln!("could not write CSV: {e}"),
+    }
+    println!("(ratio 1.000 = the degraded plan matched the exact bushy optimum)");
+}

@@ -91,6 +91,7 @@ joinopt — optimal bushy join trees without cross products (VLDB 2006)
 USAGE:
   joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
                                 [--threads N] [--metrics] [--trace-json PATH]
+                                [--memory-budget BYTES] [--degrade]
   joinopt optimize <query-file>... --batch [--algorithm NAME]
                                 [--cost-model NAME] [--threads N]
   joinopt compare  <query-file> [--cost-model NAME]
@@ -108,6 +109,11 @@ PARALLELISM: --threads N runs the DPsub family on N worker threads
              sequential). 0 or omitted = the machine's parallelism.
              --batch optimizes many query files at once, spreading them
              across worker threads with pooled per-worker sessions.
+ROBUSTNESS:  --memory-budget BYTES (suffixes k/m/g) aborts the run once
+             DP tables and plan arenas outgrow the budget; with
+             --degrade a tripped budget falls back down the ladder
+             exact -> IDP -> GOO and reports the rung that produced the
+             plan instead of failing (see docs/robustness.md).
 TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
              arena statistics); --trace-json streams every telemetry
              event to PATH as JSON lines. On `counters` (closed
@@ -168,7 +174,7 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 2] = ["metrics", "batch"];
+const FLAG_OPTIONS: [&str; 3] = ["metrics", "batch", "degrade"];
 
 /// Splits `args` into positionals and `--key value` options.
 /// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
@@ -260,6 +266,18 @@ fn load_query(path: &str) -> Result<ParsedQuery, CliError> {
     }
 }
 
+/// Parses a byte count with an optional binary `k`/`m`/`g` suffix
+/// (case-insensitive): `65536`, `64k`, `2m`, `1g`.
+fn parse_bytes(value: &str) -> Option<usize> {
+    let (digits, shift) = match value.chars().last().map(|c| c.to_ascii_lowercase()) {
+        Some('k') => (&value[..value.len() - 1], 10u32),
+        Some('m') => (&value[..value.len() - 1], 20),
+        Some('g') => (&value[..value.len() - 1], 30),
+        _ => (value, 0),
+    };
+    digits.parse::<usize>().ok()?.checked_shl(shift)
+}
+
 fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
     let mut algorithm = Algorithm::Auto;
@@ -268,6 +286,8 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut trace_path = None;
     let mut threads: Option<usize> = None;
     let mut batch = false;
+    let mut memory_budget: Option<usize> = None;
+    let mut degrade = false;
     for (key, value) in options {
         match key {
             "algorithm" => {
@@ -285,6 +305,13 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 );
             }
             "batch" => batch = true,
+            "memory-budget" => {
+                memory_budget =
+                    Some(parse_bytes(value).ok_or_else(|| {
+                        CliError::Usage(format!("invalid memory budget `{value}`"))
+                    })?);
+            }
+            "degrade" => degrade = true,
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
@@ -292,6 +319,11 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if metrics || trace_path.is_some() {
             return Err(CliError::Usage(
                 "per-run telemetry (--metrics/--trace-json) is not available with --batch".into(),
+            ));
+        }
+        if memory_budget.is_some() || degrade {
+            return Err(CliError::Usage(
+                "--memory-budget/--degrade apply to single runs, not --batch".into(),
             ));
         }
         return cmd_optimize_batch(&positional, algorithm, model, threads.unwrap_or(0), out);
@@ -302,21 +334,28 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let telemetry = Telemetry::new(metrics, trace_path)?;
 
     let q = load_query(path)?;
-    let (name, result, used_threads, elapsed) = match q.graph() {
+    let (name, result, used_threads, elapsed, degradation) = match q.graph() {
         Some(graph) => {
             let outcome = telemetry.observe(|obs| {
-                joinopt_core::OptimizeRequest::new(graph, &q.catalog)
+                let mut request = joinopt_core::OptimizeRequest::new(graph, &q.catalog)
                     .with_algorithm(algorithm)
                     .with_cost_model(model.as_ref())
                     .with_threads(threads.unwrap_or(0))
-                    .with_observer(obs)
-                    .run()
+                    .with_observer(obs);
+                if let Some(bytes) = memory_budget {
+                    request = request.with_memory_budget(bytes);
+                }
+                if degrade {
+                    request = request.on_budget_exceeded(joinopt_core::BudgetAction::Degrade);
+                }
+                request.run()
             })?;
             (
                 outcome.algorithm.orderer(graph).name(),
                 outcome.result,
                 outcome.threads,
                 outcome.elapsed,
+                outcome.degradation,
             )
         }
         None => {
@@ -328,11 +367,16 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                         .into(),
                 ));
             }
+            if memory_budget.is_some() || degrade {
+                return Err(CliError::Usage(
+                    "--memory-budget/--degrade are not supported for complex-predicate (DPhyp) queries".into(),
+                ));
+            }
             let start = Instant::now();
             let result = telemetry.observe(|obs| {
                 DpHyp.optimize_observed(&q.hypergraph, &q.catalog, model.as_ref(), obs)
             })?;
-            (DpHyp.name(), result, 1, start.elapsed())
+            (DpHyp.name(), result, 1, start.elapsed(), None)
         }
     };
 
@@ -345,6 +389,15 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if threads.is_some() {
         // Only printed when requested, so default output is unchanged.
         writeln!(out, "threads:     {used_threads}")?;
+    }
+    if let Some(info) = &degradation {
+        writeln!(
+            out,
+            "degraded:    {} plan after {} budget trip ({})",
+            info.rung.as_str(),
+            info.trigger.as_str(),
+            info.detail
+        )?;
     }
     writeln!(out, "time:        {elapsed:.2?}")?;
     writeln!(out)?;

@@ -616,3 +616,86 @@ fn counters_trace_json_covers_all_runs() {
     // 3 algorithms × sizes 2..=4.
     assert_eq!(starts, 9, "{text}");
 }
+
+/// Dense clique whose exact DP table outgrows a small memory budget
+/// while the fallback rungs (IDP, greedy) still fit.
+fn clique_query(n: usize) -> String {
+    let mut q = String::new();
+    for i in 0..n {
+        q.push_str(&format!("relation r{i} 1000\n"));
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            q.push_str(&format!("join r{i} r{j} 0.1\n"));
+        }
+    }
+    q
+}
+
+#[test]
+fn optimize_memory_budget_trips_and_degrade_recovers() {
+    let path = write_query_file(&clique_query(13));
+    let err = run_err(&["optimize", path.to_str().unwrap(), "--memory-budget", "64k"]);
+    assert!(
+        matches!(
+            err,
+            CliError::Optimize(joinopt_core::OptimizeError::MemoryBudgetExceeded { .. })
+        ),
+        "{err}"
+    );
+
+    let out = run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--memory-budget",
+        "64k",
+        "--degrade",
+    ]);
+    assert!(out.contains("plan after memory budget trip"), "{out}");
+    assert!(out.contains("degraded:"), "{out}");
+    assert!(out.contains('⋈'), "{out}");
+}
+
+#[test]
+fn optimize_generous_memory_budget_changes_nothing() {
+    let path = write_query_file(CHAIN_QUERY);
+    let plain = run_ok(&["optimize", path.to_str().unwrap()]);
+    let budgeted = run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--memory-budget",
+        "1g",
+        "--degrade",
+    ]);
+    // Everything but the wall-clock line must be bit-identical.
+    let strip = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.starts_with("time:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&plain), strip(&budgeted));
+    assert!(!budgeted.contains("degraded:"), "{budgeted}");
+}
+
+#[test]
+fn optimize_rejects_bad_budget_values_and_batch_combination() {
+    let path = write_query_file(CHAIN_QUERY);
+    assert!(matches!(
+        run_err(&[
+            "optimize",
+            path.to_str().unwrap(),
+            "--memory-budget",
+            "nope"
+        ]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--memory-budget", "64q"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["optimize", path.to_str().unwrap(), "--degrade", "--batch"]),
+        CliError::Usage(_)
+    ));
+}

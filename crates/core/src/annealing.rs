@@ -19,6 +19,7 @@ use joinopt_qgraph::QueryGraph;
 use joinopt_relset::{RelSet, XorShift64};
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::driver::Spans;
 use crate::error::OptimizeError;
@@ -223,12 +224,13 @@ impl JoinOrderer for SimulatedAnnealing {
         "SimulatedAnnealing"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
         spans.begin("init");
@@ -236,9 +238,12 @@ impl JoinOrderer for SimulatedAnnealing {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
+        ctl.check()?;
+        crate::failpoint::check("estimator")?;
         let est = CardinalityEstimator::new(g, catalog)?;
         let mut rng = XorShift64::seed_from_u64(self.seed);
         let mut counters = Counters::new();
+        let mut pace = 0u32;
 
         let mut current = random_solution(g, &mut rng);
         let mut current_cost = current.cost(g, &est, model);
@@ -251,6 +256,7 @@ impl JoinOrderer for SimulatedAnnealing {
         if g.num_relations() > 1 {
             for _ in 0..self.iterations {
                 counters.inner += 1;
+                ctl.checkpoint(&mut pace)?;
                 temperature *= self.cooling;
                 let Some(candidate) = propose(&current, g, &mut rng) else {
                     continue;

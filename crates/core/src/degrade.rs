@@ -1,0 +1,155 @@
+//! The degradation ladder: what happens when a budget trips.
+//!
+//! Exact DP is exponential on dense graphs — the paper's central
+//! result — so a production pipeline wraps it in fallbacks: when a
+//! resource budget trips mid-run, [`OptimizeRequest`] configured with
+//! [`BudgetAction::Degrade`] re-runs the query down the ladder
+//!
+//! ```text
+//! exact DP  →  IDP (block size 4)  →  GOO greedy
+//! ```
+//!
+//! and tags the outcome with a [`DegradationInfo`] describing which
+//! rung produced the plan and why the ladder was entered.
+//!
+//! [`OptimizeRequest`]: crate::OptimizeRequest
+
+use std::time::Duration;
+
+use crate::error::OptimizeError;
+
+/// Block size the IDP rung of the ladder uses: small enough that its
+/// bounded DP tables stay tiny even on cliques, large enough to beat
+/// pure greedy on plan quality.
+pub const DEGRADE_IDP_BLOCK_SIZE: usize = 4;
+
+/// Policy for a tripped budget, set via
+/// [`OptimizeRequest::on_budget_exceeded`](crate::OptimizeRequest::on_budget_exceeded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BudgetAction {
+    /// Fail the request with the budget error (the default).
+    #[default]
+    Error,
+    /// Fall back down the ladder and return the best plan a cheaper
+    /// rung can produce, tagged with [`DegradationInfo`].
+    Degrade,
+}
+
+/// The ladder rung that produced the returned plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradationRung {
+    /// The exact DP completed; only the (post-run) cost budget tripped.
+    Exact,
+    /// Iterative DP with the given block size.
+    Idp {
+        /// The block size the rung ran with.
+        block_size: usize,
+    },
+    /// Greedy operator ordering (GOO).
+    Greedy,
+}
+
+impl DegradationRung {
+    /// Stable lower-case label for telemetry and display.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DegradationRung::Exact => "exact",
+            DegradationRung::Idp { .. } => "idp",
+            DegradationRung::Greedy => "greedy",
+        }
+    }
+}
+
+/// Which condition forced the fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripKind {
+    /// The wall-clock budget.
+    Time,
+    /// The memory budget.
+    Memory,
+    /// The (post-run) cost budget.
+    Cost,
+    /// An isolated internal failure (worker panic, injected fault).
+    Internal,
+}
+
+impl TripKind {
+    /// Stable lower-case label for telemetry and display.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TripKind::Time => "time",
+            TripKind::Memory => "memory",
+            TripKind::Cost => "cost",
+            TripKind::Internal => "internal",
+        }
+    }
+
+    /// Classifies an error from the exact attempt; `None` means the
+    /// error is not degradable (validation errors, explicit
+    /// cancellation) and must be surfaced as-is.
+    pub(crate) fn from_error(e: &OptimizeError) -> Option<TripKind> {
+        match e {
+            OptimizeError::TimeBudgetExceeded { .. } => Some(TripKind::Time),
+            OptimizeError::MemoryBudgetExceeded { .. } => Some(TripKind::Memory),
+            OptimizeError::CostBudgetExceeded { .. } => Some(TripKind::Cost),
+            OptimizeError::Internal(_) => Some(TripKind::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// How a degraded outcome came to be: attached to
+/// [`OptimizeOutcome::degradation`](crate::OptimizeOutcome::degradation)
+/// when the ladder was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationInfo {
+    /// The rung that produced the returned plan.
+    pub rung: DegradationRung,
+    /// The condition that forced the fallback.
+    pub trigger: TripKind,
+    /// Human-readable rendering of the original failure.
+    pub detail: String,
+    /// The time budget the exact attempt ran under, if any.
+    pub time_budget: Option<Duration>,
+    /// The memory budget in bytes, if any.
+    pub memory_budget: Option<usize>,
+    /// Bytes the exact attempt had charged when it tripped.
+    pub memory_used: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(DegradationRung::Exact.as_str(), "exact");
+        assert_eq!(DegradationRung::Idp { block_size: 4 }.as_str(), "idp");
+        assert_eq!(DegradationRung::Greedy.as_str(), "greedy");
+        assert_eq!(TripKind::Time.as_str(), "time");
+        assert_eq!(TripKind::Memory.as_str(), "memory");
+        assert_eq!(TripKind::Cost.as_str(), "cost");
+        assert_eq!(TripKind::Internal.as_str(), "internal");
+    }
+
+    #[test]
+    fn only_budget_and_internal_errors_are_degradable() {
+        use std::time::Duration;
+        assert_eq!(
+            TripKind::from_error(&OptimizeError::TimeBudgetExceeded {
+                budget: Duration::ZERO
+            }),
+            Some(TripKind::Time)
+        );
+        assert_eq!(
+            TripKind::from_error(&OptimizeError::MemoryBudgetExceeded { used: 2, budget: 1 }),
+            Some(TripKind::Memory)
+        );
+        assert_eq!(
+            TripKind::from_error(&OptimizeError::Internal("boom".into())),
+            Some(TripKind::Internal)
+        );
+        assert_eq!(TripKind::from_error(&OptimizeError::Cancelled), None);
+        assert_eq!(TripKind::from_error(&OptimizeError::EmptyQuery), None);
+    }
+}

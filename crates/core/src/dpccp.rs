@@ -4,6 +4,7 @@ use joinopt_cost::{Catalog, CostModel};
 use joinopt_qgraph::{csg, QueryGraph};
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::driver::Driver;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
@@ -27,19 +28,20 @@ impl JoinOrderer for DpCcp {
         "DPccp"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
-        csg::for_each_ccp(g, |s1, s2| {
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs, ctl)?;
+        csg::try_for_each_ccp(g, |s1, s2| {
             d.counters.inner += 1;
             d.counters.ono_lohman += 1;
-            d.emit_pair_both_orders(s1, s2);
-        });
+            d.emit_pair_both_orders(s1, s2).map(|_| ())
+        })?;
         d.counters.csg_cmp_pairs = 2 * d.counters.ono_lohman;
         d.finish()
     }

@@ -197,7 +197,9 @@ impl HypState<'_> {
     /// `EmitCsg`: for a buildable primary `s1`, enumerate the complement
     /// components.
     fn emit_csg(&mut self, s1: RelSet) {
-        let min = s1.min_index().expect("primary sets are non-empty");
+        let Some(min) = s1.min_index() else {
+            return; // unreachable: primary sets are non-empty
+        };
         let x = s1 | RelSet::prefix_through(min);
         let nb = self.h.neighborhood(s1, x);
         for i in nb.iter_descending() {
@@ -234,11 +236,9 @@ impl HypState<'_> {
     fn emit_csg_cmp(&mut self, s1: RelSet, s2: RelSet) {
         self.counters.inner += 1;
         self.counters.ono_lohman += 1;
-        let e1 = *self.table.get(s1).expect("emitted primaries are buildable");
-        let e2 = *self
-            .table
-            .get(s2)
-            .expect("emitted complements are buildable");
+        let (Some(&e1), Some(&e2)) = (self.table.get(s1), self.table.get(s2)) else {
+            return; // unreachable: emitted operands are buildable
+        };
         let union = s1 | s2;
         let (out_card, incumbent) = match self.table.get(union) {
             Some(existing) => (existing.stats.cardinality, Some(existing.stats.cost)),

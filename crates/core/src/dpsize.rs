@@ -5,6 +5,7 @@ use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::driver::Driver;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
@@ -25,14 +26,15 @@ impl JoinOrderer for DpSize {
         "DPsize"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs, ctl)?;
         let n = g.num_relations();
 
         // plans_by_size[k]: the relation sets of size k with a plan.
@@ -56,7 +58,7 @@ impl JoinOrderer for DpSize {
                             }
                             d.counters.csg_cmp_pairs += 2;
                             d.counters.ono_lohman += 1;
-                            if d.emit_pair_both_orders(a, b) {
+                            if d.emit_pair_both_orders(a, b)? {
                                 plans_by_size[s].push(a | b);
                             }
                         }
@@ -76,7 +78,7 @@ impl JoinOrderer for DpSize {
                             }
                             d.counters.csg_cmp_pairs += 2;
                             d.counters.ono_lohman += 1;
-                            if d.emit_pair_both_orders(a, b) {
+                            if d.emit_pair_both_orders(a, b)? {
                                 plans_by_size[s].push(a | b);
                             }
                         }
@@ -99,14 +101,15 @@ impl JoinOrderer for DpSizeNaive {
         "DPsize-naive"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs, ctl)?;
         let n = g.num_relations();
 
         let mut plans_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
@@ -127,7 +130,7 @@ impl JoinOrderer for DpSizeNaive {
                             continue;
                         }
                         d.counters.csg_cmp_pairs += 1;
-                        if d.emit_pair_one_order(a, b) {
+                        if d.emit_pair_one_order(a, b)? {
                             plans_by_size[s].push(a | b);
                         }
                     }

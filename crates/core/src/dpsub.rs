@@ -5,6 +5,7 @@ use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::driver::Driver;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
@@ -14,14 +15,22 @@ use crate::table::{DenseDpTable, PlanTable};
 /// table when `n` permits, else the sparse hash table, and runs `body`.
 macro_rules! with_dpsub_driver {
     ($g:expr, $catalog:expr, $model:expr, $require_connected:expr, $name:expr, $obs:expr,
-     $body:expr) => {{
+     $ctl:expr, $body:expr) => {{
         if $g.num_relations() <= DenseDpTable::MAX_RELATIONS {
             let table = DenseDpTable::new($g.num_relations());
-            let d =
-                Driver::with_table($g, $catalog, $model, $require_connected, table, $name, $obs)?;
+            let d = Driver::with_table(
+                $g,
+                $catalog,
+                $model,
+                $require_connected,
+                table,
+                $name,
+                $obs,
+                $ctl,
+            )?;
             $body(d)
         } else {
-            let d = Driver::new($g, $catalog, $model, $require_connected, $name, $obs)?;
+            let d = Driver::new($g, $catalog, $model, $require_connected, $name, $obs, $ctl)?;
             $body(d)
         }
     }};
@@ -51,14 +60,15 @@ impl JoinOrderer for DpSub {
         "DPsub"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
-        with_dpsub_driver!(g, catalog, model, true, self.name(), obs, run_dpsub)
+        with_dpsub_driver!(g, catalog, model, true, self.name(), obs, ctl, run_dpsub)
     }
 }
 
@@ -94,7 +104,7 @@ fn run_dpsub<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResult, OptimizeErr
                 // Both orientations of each pair are enumerated by the
                 // subset loop itself (S1 and its complement), so each
                 // iteration costs a single orientation, as in Fig. 2.
-                d.emit_entries_one_order(e1, e2, s1, s2);
+                d.emit_entries_one_order(e1, e2, s1, s2)?;
             }
         }
         d.counters.ono_lohman = d.counters.csg_cmp_pairs / 2;
@@ -114,12 +124,13 @@ impl JoinOrderer for DpSubUnfiltered {
         "DPsub-nofilter"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         with_dpsub_driver!(
             g,
@@ -128,6 +139,7 @@ impl JoinOrderer for DpSubUnfiltered {
             true,
             self.name(),
             obs,
+            ctl,
             run_dpsub_unfiltered
         )
     }
@@ -152,7 +164,7 @@ fn run_dpsub_unfiltered<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResult, 
                     continue;
                 }
                 d.counters.csg_cmp_pairs += 1;
-                d.emit_entries_one_order(e1, e2, s1, s2);
+                d.emit_entries_one_order(e1, e2, s1, s2)?;
             }
         }
         d.counters.ono_lohman = d.counters.csg_cmp_pairs / 2;
@@ -175,12 +187,13 @@ impl JoinOrderer for DpSubCrossProducts {
         "DPsub-cp"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         // Cross products make disconnected graphs optimizable.
         with_dpsub_driver!(
@@ -190,6 +203,7 @@ impl JoinOrderer for DpSubCrossProducts {
             false,
             self.name(),
             obs,
+            ctl,
             run_dpsub_cross_products
         )
     }
@@ -208,7 +222,7 @@ fn run_dpsub_cross_products<T: PlanTable>(mut d: Driver<'_, T>) -> Result<DpResu
                 d.counters.inner += 1;
                 let s2 = s - s1;
                 d.counters.csg_cmp_pairs += 1;
-                d.emit_pair_one_order(s1, s2);
+                d.emit_pair_one_order(s1, s2)?;
             }
         }
         d.counters.ono_lohman = d.counters.csg_cmp_pairs / 2;

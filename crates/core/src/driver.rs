@@ -2,14 +2,16 @@
 //! `CreateJoinTree` + `BestPlan` update step, result extraction, and the
 //! telemetry instrumentation every driver-based enumerator shares.
 
-use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
-use joinopt_plan::PlanArena;
+use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::{Event, Observer};
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::error::OptimizeError;
+use crate::failpoint;
 use crate::result::DpResult;
 use crate::table::{DpTable, PlanTable, TableEntry};
 
@@ -107,6 +109,12 @@ pub(crate) struct Driver<'a, T: PlanTable = DpTable> {
     pub counters: Counters,
     obs: &'a dyn Observer,
     observe: bool,
+    /// Stop conditions polled by every emit call.
+    ctl: &'a CancellationToken,
+    /// Pacing state for [`CancellationToken::checkpoint`].
+    pace: u32,
+    /// Table + arena bytes already charged against the memory budget.
+    charged: usize,
     /// `BestPlan` lookups performed (union probes + operand fetches).
     probes: u64,
     /// Probes that found an existing entry.
@@ -128,14 +136,25 @@ impl<'a> Driver<'a, DpTable> {
         require_connected: bool,
         algorithm: &'static str,
         obs: &'a dyn Observer,
+        ctl: &'a CancellationToken,
     ) -> Result<Driver<'a, DpTable>, OptimizeError> {
         let table = DpTable::with_capacity(4 * g.num_relations());
-        Driver::with_table(g, catalog, model, require_connected, table, algorithm, obs)
+        Driver::with_table(
+            g,
+            catalog,
+            model,
+            require_connected,
+            table,
+            algorithm,
+            obs,
+            ctl,
+        )
     }
 }
 
 impl<'a, T: PlanTable> Driver<'a, T> {
     /// [`Driver::new`] with caller-supplied `BestPlan` storage.
+    #[allow(clippy::too_many_arguments)]
     pub fn with_table(
         g: &'a QueryGraph,
         catalog: &Catalog,
@@ -144,6 +163,7 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         mut table: T,
         algorithm: &'static str,
         obs: &'a dyn Observer,
+        ctl: &'a CancellationToken,
     ) -> Result<Driver<'a, T>, OptimizeError> {
         let observe = obs.enabled();
         let n = g.num_relations();
@@ -162,6 +182,8 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         if require_connected {
             g.require_connected()?;
         }
+        ctl.check()?;
+        failpoint::check("estimator")?;
         let est = CardinalityEstimator::new(g, catalog)?;
         let mut arena = PlanArena::with_capacity(4 * n);
         for i in 0..n {
@@ -185,6 +207,8 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             obs.on_event(Event::PhaseEnd { phase: "init" });
             obs.on_event(Event::PhaseStart { phase: "enumerate" });
         }
+        let charged = table.bytes() + arena.bytes();
+        ctl.charge(charged)?;
         Ok(Driver {
             g,
             est,
@@ -194,10 +218,37 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             counters: Counters::new(),
             obs,
             observe,
+            ctl,
+            pace: 0,
+            charged,
             probes: 0,
             hits: 0,
             level_new,
         })
+    }
+
+    /// Re-charges the memory budget with any growth of the DP table or
+    /// plan arena since the last call.
+    #[inline]
+    fn charge_memory(&mut self) -> Result<(), OptimizeError> {
+        let now = self.table.bytes() + self.arena.bytes();
+        if now > self.charged {
+            self.ctl.charge(now - self.charged)?;
+            self.charged = now;
+        }
+        Ok(())
+    }
+
+    /// `CreateJoinTree` with the arena-allocation failpoint applied.
+    #[inline]
+    fn add_join(
+        &mut self,
+        left: PlanId,
+        right: PlanId,
+        stats: PlanStats,
+    ) -> Result<PlanId, OptimizeError> {
+        failpoint::check("arena-alloc")?;
+        Ok(self.arena.add_join(left, right, stats))
     }
 
     /// Counted `BestPlan` lookup: like `table.get`, but feeds the
@@ -227,15 +278,30 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         }
     }
 
+    /// Fetches the operand entry for `s`, failing with an internal
+    /// error if the enumerator broke the "operands are built first"
+    /// invariant instead of panicking into the caller.
+    #[inline]
+    fn operand(&self, s: RelSet) -> Result<TableEntry, OptimizeError> {
+        match self.table.get(s) {
+            Some(e) => Ok(*e),
+            None => Err(OptimizeError::Internal(format!(
+                "BestPlan({s}) missing for an emitted pair"
+            ))),
+        }
+    }
+
     /// `CreateJoinTree(p1, p2)` + `BestPlan` update for the oriented pair
     /// `(s1, s2)`: computes the candidate's cost and registers it if it
     /// improves the table. Returns `true` iff the union set was new.
     ///
-    /// Both operands must already have table entries.
+    /// Both operands must already have table entries. Every call polls
+    /// the cancellation token (paced) and charges table/arena growth
+    /// against the memory budget.
     #[inline]
-    pub fn emit_pair_one_order(&mut self, s1: RelSet, s2: RelSet) -> bool {
-        let e1 = *self.table.get(s1).expect("BestPlan(S1) must exist");
-        let e2 = *self.table.get(s2).expect("BestPlan(S2) must exist");
+    pub fn emit_pair_one_order(&mut self, s1: RelSet, s2: RelSet) -> Result<bool, OptimizeError> {
+        let e1 = self.operand(s1)?;
+        let e2 = self.operand(s2)?;
         self.emit_entries_one_order(e1, e2, s1, s2)
     }
 
@@ -255,37 +321,46 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         e2: TableEntry,
         s1: RelSet,
         s2: RelSet,
-    ) -> bool {
+    ) -> Result<bool, OptimizeError> {
+        self.ctl.checkpoint(&mut self.pace)?;
         let union = s1 | s2;
         match self.table.get(union) {
             Some(existing) => {
                 let existing = *existing;
                 self.note_union_probe(union, true);
                 let out_card = existing.stats.cardinality;
-                let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+                let cost =
+                    ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
                 if cost < existing.stats.cost {
                     let stats = PlanStats {
                         cardinality: out_card,
                         cost,
                     };
-                    let plan = self.arena.add_join(e1.plan, e2.plan, stats);
+                    let plan = self.add_join(e1.plan, e2.plan, stats)?;
+                    failpoint::check("table-insert")?;
                     self.table.insert(union, TableEntry { plan, stats });
+                    self.charge_memory()?;
                 }
-                false
+                Ok(false)
             }
             None => {
                 self.note_union_probe(union, false);
-                let out_card =
+                let out_card = ensure_finite(
+                    "cardinality",
                     self.est
-                        .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2);
-                let cost = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+                        .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2),
+                )?;
+                let cost =
+                    ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
                 let stats = PlanStats {
                     cardinality: out_card,
                     cost,
                 };
-                let plan = self.arena.add_join(e1.plan, e2.plan, stats);
+                let plan = self.add_join(e1.plan, e2.plan, stats)?;
+                failpoint::check("table-insert")?;
                 self.table.insert(union, TableEntry { plan, stats });
-                true
+                self.charge_memory()?;
+                Ok(true)
             }
         }
     }
@@ -295,24 +370,28 @@ impl<'a, T: PlanTable> Driver<'a, T> {
     /// optimized DPsize, which enumerates unordered pairs). For symmetric
     /// cost models the second evaluation is skipped.
     #[inline]
-    pub fn emit_pair_both_orders(&mut self, s1: RelSet, s2: RelSet) -> bool {
-        let e1 = *self.table.get(s1).expect("BestPlan(S1) must exist");
-        let e2 = *self.table.get(s2).expect("BestPlan(S2) must exist");
+    pub fn emit_pair_both_orders(&mut self, s1: RelSet, s2: RelSet) -> Result<bool, OptimizeError> {
+        self.ctl.checkpoint(&mut self.pace)?;
+        let e1 = self.operand(s1)?;
+        let e2 = self.operand(s2)?;
         let union = s1 | s2;
         let (out_card, incumbent) = match self.table.get(union) {
             Some(existing) => (existing.stats.cardinality, Some(existing.stats.cost)),
             None => (
-                self.est
-                    .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2),
+                ensure_finite(
+                    "cardinality",
+                    self.est
+                        .join_cardinality(e1.stats.cardinality, e2.stats.cardinality, s1, s2),
+                )?,
                 None,
             ),
         };
         self.note_union_probe(union, incumbent.is_some());
-        let c12 = self.model.join_cost(&e1.stats, &e2.stats, out_card);
+        let c12 = ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
         let (cost, left, right) = if self.model.is_symmetric() {
             (c12, &e1, &e2)
         } else {
-            let c21 = self.model.join_cost(&e2.stats, &e1.stats, out_card);
+            let c21 = ensure_finite("cost", self.model.join_cost(&e2.stats, &e1.stats, out_card))?;
             if c21 < c12 {
                 (c21, &e2, &e1)
             } else {
@@ -324,10 +403,13 @@ impl<'a, T: PlanTable> Driver<'a, T> {
                 cardinality: out_card,
                 cost,
             };
-            let plan = self.arena.add_join(left.plan, right.plan, stats);
+            let (left, right) = (left.plan, right.plan);
+            let plan = self.add_join(left, right, stats)?;
+            failpoint::check("table-insert")?;
             self.table.insert(union, TableEntry { plan, stats });
+            self.charge_memory()?;
         }
-        incumbent.is_none()
+        Ok(incumbent.is_none())
     }
 
     /// Extracts the final result for the full relation set.
@@ -343,10 +425,11 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             self.obs.on_event(Event::PhaseStart { phase: "extract" });
         }
         let full = self.g.all_relations();
-        let entry = self
-            .table
-            .get(full)
-            .expect("a connected graph always yields a full plan");
+        let Some(entry) = self.table.get(full) else {
+            return Err(OptimizeError::Internal(
+                "enumeration finished without a plan for the full relation set".into(),
+            ));
+        };
         let tree = self.arena.extract(entry.plan);
         if self.observe {
             self.obs.on_event(Event::PhaseEnd { phase: "extract" });

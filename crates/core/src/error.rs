@@ -50,6 +50,20 @@ pub enum OptimizeError {
         /// The configured ceiling.
         budget: f64,
     },
+    /// The run's DP table, plan arena and worker buffers grew past the
+    /// request's memory budget.
+    MemoryBudgetExceeded {
+        /// Bytes charged when the budget tripped.
+        used: usize,
+        /// The configured ceiling in bytes.
+        budget: usize,
+    },
+    /// The run was cancelled through its
+    /// [`CancelFlag`](crate::CancelFlag).
+    Cancelled,
+    /// An internal failure — a panicking worker or an injected fault —
+    /// was caught and isolated instead of unwinding into the caller.
+    Internal(String),
 }
 
 impl fmt::Display for OptimizeError {
@@ -76,6 +90,14 @@ impl fmt::Display for OptimizeError {
                     "optimal plan cost {cost:.6e} exceeds the cost budget {budget:.6e}"
                 )
             }
+            OptimizeError::MemoryBudgetExceeded { used, budget } => {
+                write!(
+                    f,
+                    "optimization used {used} bytes, exceeding its memory budget of {budget} bytes"
+                )
+            }
+            OptimizeError::Cancelled => write!(f, "optimization was cancelled"),
+            OptimizeError::Internal(msg) => write!(f, "internal optimizer failure: {msg}"),
         }
     }
 }
@@ -91,7 +113,10 @@ impl std::error::Error for OptimizeError {
             OptimizeError::EmptyQuery
             | OptimizeError::NoPlanWithoutCrossProducts
             | OptimizeError::TimeBudgetExceeded { .. }
-            | OptimizeError::CostBudgetExceeded { .. } => None,
+            | OptimizeError::CostBudgetExceeded { .. }
+            | OptimizeError::MemoryBudgetExceeded { .. }
+            | OptimizeError::Cancelled
+            | OptimizeError::Internal(_) => None,
         }
     }
 }
@@ -172,5 +197,15 @@ mod tests {
             budget: 1.0e6,
         };
         assert!(c.to_string().contains("exceeds"));
+        let m = OptimizeError::MemoryBudgetExceeded {
+            used: 2048,
+            budget: 1024,
+        };
+        assert!(m.to_string().contains("1024"));
+        assert!(m.source().is_none());
+        assert!(OptimizeError::Cancelled.to_string().contains("cancelled"));
+        let i = OptimizeError::Internal("worker panicked".into());
+        assert!(i.to_string().contains("worker panicked"));
+        assert!(i.source().is_none());
     }
 }

@@ -73,7 +73,7 @@ pub fn optimal_cost_hypergraph(
             return (hit.cost < f64::INFINITY).then_some(hit);
         }
         if s.is_singleton() {
-            let stats = PlanStats::base(est.base_cardinality(s.min_index().unwrap()));
+            let stats = PlanStats::base(est.base_cardinality(s.min_index()?));
             memo.insert(s, stats);
             return Some(stats);
         }
@@ -135,10 +135,10 @@ fn optimal_cost_impl(
     let est = CardinalityEstimator::new(g, catalog)?;
     let mut memo: HashMap<RelSet, PlanStats> = HashMap::new();
     let full = g.all_relations();
-    let stats = best(g, &est, model, full, allow_cross, &mut memo);
-    Ok(stats
-        .expect("full set of a connected graph is solvable")
-        .cost)
+    let stats = best(g, &est, model, full, allow_cross, &mut memo).ok_or_else(|| {
+        OptimizeError::Internal("exhaustive search found no plan for a solvable graph".into())
+    })?;
+    Ok(stats.cost)
 }
 
 fn best(
@@ -153,7 +153,7 @@ fn best(
         return (hit.cost < f64::INFINITY).then_some(hit);
     }
     if s.is_singleton() {
-        let stats = PlanStats::base(est.base_cardinality(s.min_index().unwrap()));
+        let stats = PlanStats::base(est.base_cardinality(s.min_index()?));
         memo.insert(s, stats);
         return Some(stats);
     }

@@ -16,6 +16,13 @@
 //! which enumerates unordered size splits and unordered plan pairs when
 //! `s₁ = s₂`.
 
+// The `expect`s below assert integer-exactness invariants of the
+// paper's closed forms (verified against Figure 3), not fallible
+// runtime conditions: on any argument large enough to break them the
+// `1 << n` shifts would already have overflowed. Plumbing `Result`
+// through pure arithmetic would only obscure the formulas.
+#![allow(clippy::expect_used)]
+
 use joinopt_qgraph::formulas::{binomial, ccp_distinct, pow3};
 use joinopt_qgraph::profile::CsgProfile;
 use joinopt_qgraph::GraphKind;

@@ -6,12 +6,13 @@
 //! the workspace uses it to contextualize how far greedy plans fall from
 //! the DP optimum (see the plan-quality example and benches).
 
-use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::driver::Spans;
 use crate::error::OptimizeError;
@@ -26,12 +27,13 @@ impl JoinOrderer for Goo {
         "GOO"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
         spans.begin("init");
@@ -39,10 +41,13 @@ impl JoinOrderer for Goo {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
+        ctl.check()?;
+        crate::failpoint::check("estimator")?;
         let est = CardinalityEstimator::new(g, catalog)?;
         let n = g.num_relations();
         let mut arena = PlanArena::with_capacity(2 * n);
         let mut counters = Counters::new();
+        let mut pace = 0u32;
 
         struct Component {
             set: RelSet,
@@ -59,6 +64,8 @@ impl JoinOrderer for Goo {
                 }
             })
             .collect();
+        ctl.charge(arena.bytes())?;
+        let mut charged = arena.bytes();
         spans.end("init");
 
         spans.begin("enumerate");
@@ -68,24 +75,32 @@ impl JoinOrderer for Goo {
             for i in 0..comps.len() {
                 for j in i + 1..comps.len() {
                     counters.inner += 1;
+                    ctl.checkpoint(&mut pace)?;
                     if !g.sets_connected(comps[i].set, comps[j].set) {
                         continue;
                     }
-                    let out = est.join_cardinality(
-                        comps[i].stats.cardinality,
-                        comps[j].stats.cardinality,
-                        comps[i].set,
-                        comps[j].set,
-                    );
+                    let out = ensure_finite(
+                        "cardinality",
+                        est.join_cardinality(
+                            comps[i].stats.cardinality,
+                            comps[j].stats.cardinality,
+                            comps[i].set,
+                            comps[j].set,
+                        ),
+                    )?;
                     if best.is_none_or(|(_, _, b)| out < b) {
                         best = Some((i, j, out));
                     }
                 }
             }
-            let (i, j, out) = best.expect("a connected graph always has a joinable component pair");
+            let Some((i, j, out)) = best else {
+                return Err(OptimizeError::Internal(
+                    "no joinable component pair in a connected graph".into(),
+                ));
+            };
             let (a, b) = (&comps[i], &comps[j]);
-            let c_ab = model.join_cost(&a.stats, &b.stats, out);
-            let c_ba = model.join_cost(&b.stats, &a.stats, out);
+            let c_ab = ensure_finite("cost", model.join_cost(&a.stats, &b.stats, out))?;
+            let c_ba = ensure_finite("cost", model.join_cost(&b.stats, &a.stats, out))?;
             let (left, right, cost) = if c_ba < c_ab {
                 (j, i, c_ba)
             } else {
@@ -96,6 +111,10 @@ impl JoinOrderer for Goo {
                 cost,
             };
             let plan = arena.add_join(comps[left].plan, comps[right].plan, stats);
+            if arena.bytes() > charged {
+                ctl.charge(arena.bytes() - charged)?;
+                charged = arena.bytes();
+            }
             let set = comps[i].set | comps[j].set;
             // Replace component i, remove j (swap_remove keeps O(1)).
             comps[i] = Component { set, plan, stats };

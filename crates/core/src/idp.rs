@@ -14,15 +14,17 @@
 //! DPsize, with connectivity and cardinalities delegated to the
 //! underlying query graph — so no cross products are ever introduced.
 
-use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::driver::Spans;
 use crate::error::OptimizeError;
+use crate::failpoint;
 use crate::result::{DpResult, JoinOrderer};
 use crate::table::{DpTable, PlanTable, TableEntry};
 
@@ -65,12 +67,13 @@ impl JoinOrderer for Idp {
         "IDP"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
         spans.begin("init");
@@ -78,11 +81,17 @@ impl JoinOrderer for Idp {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
+        ctl.check()?;
+        failpoint::check("estimator")?;
         let est = CardinalityEstimator::new(g, catalog)?;
         let n = g.num_relations();
         let mut arena = PlanArena::with_capacity(4 * n);
         let mut counters = Counters::new();
         let mut table_high_water = 0usize;
+        let mut pace = 0u32;
+        // High-water mark of table + arena bytes charged so far; per-round
+        // tables release their storage but the budget is not refunded.
+        let mut charged = 0usize;
 
         let mut comps: Vec<Component> = (0..n)
             .map(|i| {
@@ -127,6 +136,7 @@ impl JoinOrderer for Idp {
                         for j in j0..by_size[s2].len() {
                             let (b, rb) = by_size[s2][j];
                             counters.inner += 1;
+                            ctl.checkpoint(&mut pace)?;
                             if a.overlaps(b) {
                                 continue;
                             }
@@ -135,26 +145,38 @@ impl JoinOrderer for Idp {
                             }
                             counters.csg_cmp_pairs += 2;
                             counters.ono_lohman += 1;
-                            let e1 = *table.get(a).expect("built in earlier size");
-                            let e2 = *table.get(b).expect("built in earlier size");
+                            let (Some(e1), Some(e2)) =
+                                (table.get(a).copied(), table.get(b).copied())
+                            else {
+                                return Err(OptimizeError::Internal(
+                                    "IDP operand missing from the round table".into(),
+                                ));
+                            };
                             let union = a | b;
                             let (out, incumbent) = match table.get(union) {
                                 Some(ex) => (ex.stats.cardinality, Some(ex.stats.cost)),
                                 None => (
-                                    est.join_cardinality(
-                                        e1.stats.cardinality,
-                                        e2.stats.cardinality,
-                                        ra,
-                                        rb,
-                                    ),
+                                    ensure_finite(
+                                        "cardinality",
+                                        est.join_cardinality(
+                                            e1.stats.cardinality,
+                                            e2.stats.cardinality,
+                                            ra,
+                                            rb,
+                                        ),
+                                    )?,
                                     None,
                                 ),
                             };
-                            let c12 = model.join_cost(&e1.stats, &e2.stats, out);
+                            let c12 =
+                                ensure_finite("cost", model.join_cost(&e1.stats, &e2.stats, out))?;
                             let (cost, l, r) = if model.is_symmetric() {
                                 (c12, &e1, &e2)
                             } else {
-                                let c21 = model.join_cost(&e2.stats, &e1.stats, out);
+                                let c21 = ensure_finite(
+                                    "cost",
+                                    model.join_cost(&e2.stats, &e1.stats, out),
+                                )?;
                                 if c21 < c12 {
                                     (c21, &e2, &e1)
                                 } else {
@@ -167,7 +189,13 @@ impl JoinOrderer for Idp {
                                     cost,
                                 };
                                 let plan = arena.add_join(l.plan, r.plan, stats);
+                                failpoint::check("table-insert")?;
                                 table.insert(union, TableEntry { plan, stats });
+                                let now = arena.bytes() + table.bytes();
+                                if now > charged {
+                                    ctl.charge(now - charged)?;
+                                    charged = now;
+                                }
                             }
                             if incumbent.is_none() {
                                 by_size[s].push((union, ra | rb));
@@ -179,26 +207,33 @@ impl JoinOrderer for Idp {
             table_high_water = table_high_water.max(table.len());
 
             // Commit the cheapest plan of the largest size reached.
-            let (best_mask, best_rels, best_entry) = by_size
-                .iter()
-                .rev()
-                .find(|lvl| !lvl.is_empty())
-                .expect("size-1 level is never empty")
-                .iter()
-                .map(|&(mask, rels)| {
-                    (
-                        mask,
-                        rels,
-                        *table.get(mask).expect("listed masks have entries"),
-                    )
-                })
-                .min_by(|a, b| {
-                    a.2.stats
-                        .cost
-                        .partial_cmp(&b.2.stats.cost)
-                        .expect("finite costs")
-                })
-                .expect("non-empty level");
+            let Some(level) = by_size.iter().rev().find(|lvl| !lvl.is_empty()) else {
+                return Err(OptimizeError::Internal(
+                    "IDP round produced no plans at any size".into(),
+                ));
+            };
+            let mut best: Option<(RelSet, RelSet, TableEntry)> = None;
+            for &(mask, rels) in level {
+                let Some(entry) = table.get(mask).copied() else {
+                    return Err(OptimizeError::Internal(
+                        "IDP committed mask missing from the round table".into(),
+                    ));
+                };
+                // `total_cmp` keeps the first of equally cheap plans, as
+                // the previous `min_by` did; costs are finite by the
+                // `ensure_finite` guards above.
+                if best
+                    .as_ref()
+                    .is_none_or(|(_, _, b)| entry.stats.cost.total_cmp(&b.stats.cost).is_lt())
+                {
+                    best = Some((mask, rels, entry));
+                }
+            }
+            let Some((best_mask, best_rels, best_entry)) = best else {
+                return Err(OptimizeError::Internal(
+                    "IDP found no committable plan in a non-empty level".into(),
+                ));
+            };
             if best_mask.is_singleton() {
                 // Cannot happen for a connected graph with ≥ 2 components:
                 // size-2 plans always exist. Defensive guard.

@@ -121,7 +121,11 @@ impl IkkBz {
                 best_order = Some((order, cost));
             }
         }
-        let (order, _) = best_order.expect("n ≥ 1 yields at least one order");
+        let Some((order, _)) = best_order else {
+            return Err(OptimizeError::Internal(
+                "IKKBZ produced no candidate order for a non-empty tree".into(),
+            ));
+        };
         spans.end("enumerate");
 
         // Materialize the plan.
@@ -172,8 +176,11 @@ fn order_for_root(
 ) -> Vec<RelIdx> {
     let n = g.num_relations();
     // Parent/children arrays via BFS from the root.
-    let mut parent = vec![usize::MAX; n];
     let mut children: Vec<Vec<RelIdx>> = vec![Vec::new(); n];
+    // T(v) = selectivity(edge v–parent) · |v|, cached while the BFS has
+    // the parent edge in hand (meaningless for the root, which never
+    // heads a module).
+    let mut t = vec![0.0f64; n];
     let mut bfs_order = vec![root];
     let mut seen = RelSet::single(root);
     let mut head = 0;
@@ -183,20 +190,15 @@ fn order_for_root(
         for u in g.neighbors(v).iter() {
             if !seen.contains(u) {
                 seen.insert(u);
-                parent[u] = v;
+                if let Some(edge) = g.edge_between(v, u) {
+                    t[u] = catalog.selectivity(edge) * catalog.cardinality(u);
+                }
                 children[v].push(u);
                 bfs_order.push(u);
             }
         }
     }
-
-    // T(v) = selectivity(edge v–parent) · |v| for non-root nodes.
-    let t_of = |v: RelIdx| -> f64 {
-        let edge = g
-            .edge_between(v, parent[v])
-            .expect("parent edges exist in a BFS tree");
-        catalog.selectivity(edge) * catalog.cardinality(v)
-    };
+    let t_of = |v: RelIdx| -> f64 { t[v] };
 
     // Post-order: build the normalized chain of each subtree.
     fn chain_for(
@@ -235,8 +237,9 @@ fn normalize(chain: &mut Vec<Module>, counters: &mut Counters) {
             let last_rank = out[out.len() - 1].rank();
             let prev_rank = out[out.len() - 2].rank();
             if prev_rank > last_rank {
-                let tail = out.pop().expect("len ≥ 2");
-                out.last_mut().expect("len ≥ 1").fuse(tail);
+                let Some(tail) = out.pop() else { break };
+                let Some(prev) = out.last_mut() else { break };
+                prev.fuse(tail);
             } else {
                 break;
             }
@@ -253,19 +256,22 @@ fn merge_by_rank(chains: Vec<Vec<Module>>, counters: &mut Counters) -> Vec<Modul
     let mut heads: Vec<Option<Module>> = iters.iter_mut().map(Iterator::next).collect();
     let mut out = Vec::new();
     loop {
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, f64)> = None;
         for (i, head) in heads.iter().enumerate() {
             if let Some(m) = head {
                 counters.inner += 1;
-                if best.is_none_or(|b| m.rank() < heads[b].as_ref().expect("best is live").rank()) {
-                    best = Some(i);
+                if best.is_none_or(|(_, r)| m.rank() < r) {
+                    best = Some((i, m.rank()));
                 }
             }
         }
-        let Some(i) = best else {
+        let Some((i, _)) = best else {
             return out;
         };
-        out.push(heads[i].take().expect("selected head is live"));
+        let Some(head) = heads[i].take() else {
+            return out; // unreachable: best indexes a live head
+        };
+        out.push(head);
         heads[i] = iters[i].next();
     }
 }

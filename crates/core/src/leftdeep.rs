@@ -18,6 +18,7 @@ use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::driver::Driver;
 use crate::error::OptimizeError;
 use crate::result::{DpResult, JoinOrderer};
@@ -32,14 +33,15 @@ impl JoinOrderer for DpSizeLeftDeep {
         "DPsize-leftdeep"
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
-        let mut d = Driver::new(g, catalog, model, true, self.name(), obs)?;
+        let mut d = Driver::new(g, catalog, model, true, self.name(), obs, ctl)?;
         let n = g.num_relations();
 
         let mut plans_by_size: Vec<Vec<RelSet>> = vec![Vec::new(); n + 1];
@@ -60,7 +62,7 @@ impl JoinOrderer for DpSizeLeftDeep {
                         continue;
                     }
                     d.counters.csg_cmp_pairs += 1;
-                    if d.emit_pair_one_order(left, right) {
+                    if d.emit_pair_one_order(left, right)? {
                         plans_by_size[s].push(left | right);
                     }
                 }

@@ -26,9 +26,12 @@
 //!   adapts to the query graph *and* to the machine's parallelism (the
 //!   paper's concluding recommendation, extended);
 //! * [`OptimizeRequest`] — the full-control session API: algorithm,
-//!   cost model, thread count, time/cost budgets and telemetry in one
-//!   builder, with pooled allocations via [`Session`] and a parallel
-//!   level-synchronous engine for the DPsub family ([`parallel`]);
+//!   cost model, thread count, time/cost/memory budgets, cooperative
+//!   cancellation and telemetry in one builder, with pooled
+//!   allocations via [`Session`], a parallel level-synchronous engine
+//!   for the DPsub family ([`parallel`]), and an opt-in degradation
+//!   ladder (exact → IDP → greedy) that turns budget trips into
+//!   cheaper plans instead of errors ([`BudgetAction::Degrade`]);
 //! * [`exhaustive`] — an independent top-down oracle used by the test
 //!   suite, and [`greedy`] — a GOO baseline for plan-quality context.
 //!
@@ -48,9 +51,12 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod annealing;
+mod cancel;
 mod counters;
+mod degrade;
 mod dpccp;
 mod dphyp;
 mod dpsize;
@@ -58,6 +64,7 @@ mod dpsub;
 mod driver;
 mod error;
 pub mod exhaustive;
+pub mod failpoint;
 pub mod formulas;
 pub mod greedy;
 mod idp;
@@ -71,7 +78,9 @@ pub mod table;
 mod topdown;
 
 pub use annealing::SimulatedAnnealing;
+pub use cancel::{CancelFlag, CancellationToken};
 pub use counters::Counters;
+pub use degrade::{BudgetAction, DegradationInfo, DegradationRung, TripKind};
 pub use dpccp::DpCcp;
 pub use dphyp::DpHyp;
 pub use dpsize::{DpSize, DpSizeNaive};

@@ -274,8 +274,12 @@ impl Optimizer {
     /// for a full batch, query-level parallelism dominates level-level
     /// parallelism and avoids oversubscription. Results come back in
     /// input order, each independently `Ok` or `Err` (one invalid query
-    /// does not poison the batch). Telemetry is not threaded through:
-    /// observers are not required to be thread-safe.
+    /// does not poison the batch). A query that *panics* is likewise
+    /// isolated: the panic is caught, reported as
+    /// [`OptimizeError::Internal`] for that query only, and the worker
+    /// continues with a fresh session (the half-mutated one is
+    /// discarded). Telemetry is not threaded through: observers are not
+    /// required to be thread-safe.
     pub fn optimize_batch(
         &self,
         queries: &[(&QueryGraph, &Catalog)],
@@ -291,19 +295,31 @@ impl Optimizer {
         .min(queries.len())
         .max(1);
 
-        let run_one = |session: &mut crate::Session,
+        // `None` means "allocate a fresh session before the next query" —
+        // the state after a panic tore through a pooled session.
+        let run_one = |session: &mut Option<crate::Session>,
                        (g, catalog): (&QueryGraph, &Catalog)|
          -> Result<DpResult, OptimizeError> {
-            crate::request::OptimizeRequest::new(g, catalog)
-                .with_algorithm(self.algorithm)
-                .with_cost_model(self.model.as_ref())
-                .with_threads(1)
-                .run_in(session)
-                .map(crate::request::OptimizeOutcome::into_result)
+            let mut s = session.take().unwrap_or_default();
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::request::OptimizeRequest::new(g, catalog)
+                    .with_algorithm(self.algorithm)
+                    .with_cost_model(self.model.as_ref())
+                    .with_threads(1)
+                    .run_in(&mut s)
+                    .map(crate::request::OptimizeOutcome::into_result)
+            }));
+            match outcome {
+                Ok(r) => {
+                    *session = Some(s);
+                    r
+                }
+                Err(payload) => Err(OptimizeError::Internal(panic_message(payload.as_ref()))),
+            }
         };
 
         if workers == 1 {
-            let mut session = crate::Session::new();
+            let mut session = None;
             return queries.iter().map(|&q| run_one(&mut session, q)).collect();
         }
 
@@ -315,7 +331,7 @@ impl Optimizer {
                 let next = &next;
                 let run_one = &run_one;
                 scope.spawn(move || {
-                    let mut session = crate::Session::new();
+                    let mut session = None;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&q) = queries.get(i) else { break };
@@ -334,8 +350,26 @@ impl Optimizer {
         }
         results
             .into_iter()
-            .map(|r| r.expect("every query claimed by exactly one worker"))
+            .map(|r| {
+                r.unwrap_or_else(|| {
+                    Err(OptimizeError::Internal(
+                        "query was never claimed by a batch worker".into(),
+                    ))
+                })
+            })
             .collect()
+    }
+}
+
+/// Renders a caught panic payload (the `&str`/`String` cases the panic
+/// machinery produces for message panics) for [`OptimizeError::Internal`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("query panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("query panicked: {s}")
+    } else {
+        "query panicked".into()
     }
 }
 

@@ -41,16 +41,16 @@
 //! per *improvement*, the engine exactly one per set (the final best).
 //! Plan, cost, cardinality, counters and table size are identical.
 
-use std::time::Instant;
-
-use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::{Event, Observer};
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::error::OptimizeError;
+use crate::failpoint;
 use crate::result::DpResult;
 use crate::table::DenseDpTable;
 
@@ -216,9 +216,18 @@ struct LevelShared<'a> {
 ///
 /// This is the exact per-set computation of the sequential algorithms,
 /// including counter and probe conventions — see the module docs for
-/// why the result is bit-identical.
-fn process_chunk(sh: &LevelShared<'_>, sets: &[u64], out: &mut Vec<NewEntry>) -> WorkerTotals {
+/// why the result is bit-identical. Every worker polls `ctl` inside
+/// its inner subset loop (paced), so a tripped budget or a flipped
+/// cancel flag stops the level mid-chunk instead of at the next
+/// barrier.
+fn process_chunk(
+    sh: &LevelShared<'_>,
+    sets: &[u64],
+    out: &mut Vec<NewEntry>,
+    ctl: &CancellationToken,
+) -> Result<WorkerTotals, OptimizeError> {
     let mut t = WorkerTotals::default();
+    let mut pace = 0u32;
     for &bits in sets {
         let s = RelSet::from_bits(bits);
         // The `*` check of Fig. 2 (outer connectedness pre-check).
@@ -229,6 +238,7 @@ fn process_chunk(sh: &LevelShared<'_>, sets: &[u64], out: &mut Vec<NewEntry>) ->
         let mut card = 0.0f64;
         for s1 in s.non_empty_proper_subsets() {
             t.inner += 1;
+            ctl.checkpoint(&mut pace)?;
             let s2 = s - s1;
             match sh.variant {
                 DpSubVariant::Filtered => {
@@ -285,11 +295,13 @@ fn process_chunk(sh: &LevelShared<'_>, sets: &[u64], out: &mut Vec<NewEntry>) ->
                 // The set's output cardinality, computed (like the
                 // sequential table's first miss) from the first
                 // successful decomposition and reused afterwards.
-                card = sh
-                    .est
-                    .join_cardinality(st1.cardinality, st2.cardinality, s1, s2);
+                card = ensure_finite(
+                    "cardinality",
+                    sh.est
+                        .join_cardinality(st1.cardinality, st2.cardinality, s1, s2),
+                )?;
             }
-            let cost = sh.model.join_cost(&st1, &st2, card);
+            let cost = ensure_finite("cost", sh.model.join_cost(&st1, &st2, card))?;
             match &mut best {
                 None => best = Some((cost, s1.bits())),
                 Some((bc, bs)) => {
@@ -313,7 +325,7 @@ fn process_chunk(sh: &LevelShared<'_>, sets: &[u64], out: &mut Vec<NewEntry>) ->
             });
         }
     }
-    t
+    Ok(t)
 }
 
 /// Appends all size-`k` subsets of an `n`-relation universe to `out`,
@@ -336,8 +348,12 @@ fn push_level_sets(n: usize, k: usize, out: &mut Vec<u64>) {
 /// Runs level-synchronous DPsub over `threads` workers using the
 /// pooled buffers of `session`.
 ///
-/// `deadline` is checked at every level barrier; exceeding it aborts
-/// with [`OptimizeError::TimeBudgetExceeded`].
+/// `ctl` is consulted at every level barrier (full check) and inside
+/// every worker's inner loop (paced checkpoint); the pooled buffers and
+/// all arena growth are charged against its memory budget. All workers
+/// of a level are joined before an error returns, and a panicking
+/// worker surfaces as [`OptimizeError::Internal`] instead of unwinding
+/// into the caller.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_level_synchronous(
     g: &QueryGraph,
@@ -348,7 +364,7 @@ pub(crate) fn run_level_synchronous(
     session: &mut Session,
     algorithm: &'static str,
     obs: &dyn Observer,
-    deadline: Option<(Instant, std::time::Duration)>,
+    ctl: &CancellationToken,
 ) -> Result<DpResult, OptimizeError> {
     let observe = obs.enabled();
     let n = g.num_relations();
@@ -368,8 +384,12 @@ pub(crate) fn run_level_synchronous(
     if variant.requires_connected() {
         g.require_connected()?;
     }
+    ctl.check()?;
+    failpoint::check("estimator")?;
     let est = CardinalityEstimator::new(g, catalog)?;
     session.prepare(n);
+    ctl.charge(session.pooled_bytes())?;
+    let mut charged = session.pooled_bytes();
 
     // Level 1: singleton plans.
     for i in 0..n {
@@ -400,11 +420,7 @@ pub(crate) fn run_level_synchronous(
     // level itself, not an iteration artifact.)
     #[allow(clippy::needless_range_loop)]
     for k in 2..=n {
-        if let Some((dl, budget)) = deadline {
-            if Instant::now() > dl {
-                return Err(OptimizeError::TimeBudgetExceeded { budget });
-            }
-        }
+        ctl.check()?;
         session.level_sets.clear();
         push_level_sets(n, k, &mut session.level_sets);
         let level_len = session.level_sets.len();
@@ -429,53 +445,80 @@ pub(crate) fn run_level_synchronous(
                 out.clear();
             }
             if spawned == 1 {
-                totals.merge(process_chunk(&shared, sets, &mut outs[0]));
+                totals.merge(process_chunk(&shared, sets, &mut outs[0], ctl)?);
             } else {
                 // Contiguous ranges keep each worker's output ascending,
                 // so concatenation in worker order restores the global
                 // ascending set order the merge relies on.
                 let shared = &shared;
-                let chunk_totals = std::thread::scope(|scope| {
+                let chunk_results = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(spawned);
+                    let mut results = Vec::with_capacity(spawned);
                     for (w, out) in outs.iter_mut().enumerate() {
                         let lo = level_len * w / spawned;
                         let hi = level_len * (w + 1) / spawned;
                         let chunk = &sets[lo..hi];
-                        handles.push(scope.spawn(move || process_chunk(shared, chunk, out)));
+                        match failpoint::check("worker-spawn") {
+                            Ok(()) => handles
+                                .push(scope.spawn(move || process_chunk(shared, chunk, out, ctl))),
+                            Err(e) => results.push(Err(e)),
+                        }
                     }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("level worker panicked"))
-                        .collect::<Vec<WorkerTotals>>()
+                    // Join every handle before surfacing an error: a
+                    // scoped thread left unjoined would re-raise its
+                    // panic when the scope closes.
+                    for h in handles {
+                        results.push(match h.join() {
+                            Ok(r) => r,
+                            Err(_) => {
+                                Err(OptimizeError::Internal("a level worker panicked".into()))
+                            }
+                        });
+                    }
+                    results
                 });
-                for ct in chunk_totals {
-                    totals.merge(ct);
+                for r in chunk_results {
+                    match r {
+                        Ok(ct) => totals.merge(ct),
+                        // Prefer the token's latched trip over whichever
+                        // worker error happened to be collected first —
+                        // deterministic cause at any thread count.
+                        Err(e) => return Err(ctl.trip_error().unwrap_or(e)),
+                    }
                 }
             }
         }
         // Barrier: materialize this level's winners, ascending. Split
         // borrows: worker outputs are read while the tables and arena
         // mutate.
-        let Session {
-            stats,
-            present,
-            plans,
-            arena,
-            outputs,
-            ..
-        } = &mut *session;
-        for chunk_out in outputs.iter().take(spawned) {
-            for e in chunk_out {
-                let s2 = e.set & !e.s1;
-                let plan = arena.add_join(plans[e.s1 as usize], plans[s2 as usize], e.stats);
-                stats[e.set as usize] = e.stats;
-                plans[e.set as usize] = plan;
-                mark_present(present, e.set);
-                table_entries += 1;
-                if observe {
-                    level_new[k] += 1;
+        {
+            let Session {
+                stats,
+                present,
+                plans,
+                arena,
+                outputs,
+                ..
+            } = &mut *session;
+            for chunk_out in outputs.iter().take(spawned) {
+                for e in chunk_out {
+                    let s2 = e.set & !e.s1;
+                    let plan = arena.add_join(plans[e.s1 as usize], plans[s2 as usize], e.stats);
+                    stats[e.set as usize] = e.stats;
+                    plans[e.set as usize] = plan;
+                    mark_present(present, e.set);
+                    table_entries += 1;
+                    if observe {
+                        level_new[k] += 1;
+                    }
                 }
             }
+        }
+        // Charge pooled-buffer growth (arena reallocation, out-buffer
+        // capacity) accumulated during this level.
+        if session.pooled_bytes() > charged {
+            ctl.charge(session.pooled_bytes() - charged)?;
+            charged = session.pooled_bytes();
         }
     }
 
@@ -560,7 +603,7 @@ mod tests {
             &mut session,
             "DPsub",
             &NoopObserver,
-            None,
+            &CancellationToken::unlimited(),
         )
         .unwrap()
     }
@@ -617,7 +660,7 @@ mod tests {
             &mut session,
             "DPsub",
             &NoopObserver,
-            None,
+            &CancellationToken::unlimited(),
         )
         .unwrap();
         let pooled = session.pooled_bytes();
@@ -632,7 +675,7 @@ mod tests {
                 &mut session,
                 "DPsub",
                 &NoopObserver,
-                None,
+                &CancellationToken::unlimited(),
             )
             .unwrap();
             assert_eq!(first.cost.to_bits(), again.cost.to_bits());
@@ -644,11 +687,11 @@ mod tests {
     }
 
     #[test]
-    fn time_budget_aborts_at_a_level_barrier() {
+    fn zero_time_budget_aborts_the_engine() {
         let w = workload::family_workload(GraphKind::Clique, 12, 0);
         let mut session = Session::new();
-        let started = Instant::now() - std::time::Duration::from_secs(1);
-        let budget = std::time::Duration::from_nanos(1);
+        let budget = std::time::Duration::ZERO;
+        let ctl = CancellationToken::new(None, Some(budget), None);
         let err = run_level_synchronous(
             &w.graph,
             &w.catalog,
@@ -658,9 +701,53 @@ mod tests {
             &mut session,
             "DPsub",
             &NoopObserver,
-            Some((started, budget)),
+            &ctl,
         )
         .unwrap_err();
         assert_eq!(err, OptimizeError::TimeBudgetExceeded { budget });
+    }
+
+    #[test]
+    fn cancel_flag_stops_workers_inside_a_level() {
+        use crate::cancel::CancelFlag;
+        let w = workload::family_workload(GraphKind::Clique, 14, 0);
+        let mut session = Session::new();
+        let flag = CancelFlag::new();
+        flag.cancel(); // pre-cancelled: the first checkpoint anywhere trips
+        let ctl = CancellationToken::new(Some(flag), None, None);
+        let err = run_level_synchronous(
+            &w.graph,
+            &w.catalog,
+            &Cout,
+            DpSubVariant::Filtered,
+            4,
+            &mut session,
+            "DPsub",
+            &NoopObserver,
+            &ctl,
+        )
+        .unwrap_err();
+        assert_eq!(err, OptimizeError::Cancelled);
+    }
+
+    #[test]
+    fn memory_budget_trips_on_the_pooled_footprint() {
+        let w = workload::family_workload(GraphKind::Clique, 12, 0);
+        let mut session = Session::new();
+        let ctl = CancellationToken::new(None, None, Some(1024));
+        let err = run_level_synchronous(
+            &w.graph,
+            &w.catalog,
+            &Cout,
+            DpSubVariant::Filtered,
+            2,
+            &mut session,
+            "DPsub",
+            &NoopObserver,
+            &ctl,
+        )
+        .unwrap_err();
+        assert!(matches!(err, OptimizeError::MemoryBudgetExceeded { .. }));
+        assert!(ctl.memory_used() > 1024);
     }
 }

@@ -3,10 +3,15 @@
 //! [`Optimizer::optimize`](crate::Optimizer::optimize) answers "give me
 //! the best plan" with defaults everywhere. `OptimizeRequest` is the
 //! full-control entry point underneath it: one builder that carries the
-//! algorithm, the cost model, the thread count, optional time and cost
-//! budgets, and a telemetry observer — and that can run inside a pooled
-//! [`Session`] so repeated queries reuse the DP-table and plan-arena
-//! allocations.
+//! algorithm, the cost model, the thread count, optional time, memory
+//! and cost budgets, a cancellation flag, the budget policy, and a
+//! telemetry observer — and that can run inside a pooled [`Session`] so
+//! repeated queries reuse the DP-table and plan-arena allocations.
+//!
+//! With [`BudgetAction::Degrade`] a tripped budget does not fail the
+//! request: the run falls down the ladder described in
+//! [`crate::degrade`] and the outcome carries a [`DegradationInfo`]
+//! explaining which rung produced the plan and why.
 //!
 //! ```
 //! use joinopt_core::{Algorithm, OptimizeRequest};
@@ -29,12 +34,18 @@ use std::time::{Duration, Instant};
 
 use joinopt_cost::{Catalog, CostModel, Cout};
 use joinopt_qgraph::QueryGraph;
-use joinopt_telemetry::{NoopObserver, Observer};
+use joinopt_telemetry::{Event, NoopObserver, Observer};
 
+use crate::cancel::{CancelFlag, CancellationToken};
+use crate::degrade::{
+    BudgetAction, DegradationInfo, DegradationRung, TripKind, DEGRADE_IDP_BLOCK_SIZE,
+};
 use crate::error::OptimizeError;
+use crate::greedy::Goo;
+use crate::idp::Idp;
 use crate::optimizer::Algorithm;
 use crate::parallel::{run_level_synchronous, DpSubVariant, Session, MAX_ENGINE_RELATIONS};
-use crate::result::DpResult;
+use crate::result::{DpResult, JoinOrderer};
 
 /// A fully configured optimization run, built incrementally.
 ///
@@ -61,6 +72,9 @@ pub struct OptimizeRequest<'a> {
     threads: usize,
     time_budget: Option<Duration>,
     cost_budget: Option<f64>,
+    memory_budget: Option<usize>,
+    on_budget: BudgetAction,
+    cancel: Option<CancelFlag>,
     observer: &'a dyn Observer,
 }
 
@@ -77,6 +91,9 @@ pub struct OptimizeOutcome {
     pub threads: usize,
     /// Wall-clock time of the run.
     pub elapsed: Duration,
+    /// `Some` when a budget tripped and [`BudgetAction::Degrade`] let a
+    /// ladder rung produce the plan; `None` on the exact path.
+    pub degradation: Option<DegradationInfo>,
 }
 
 impl OptimizeOutcome {
@@ -97,6 +114,9 @@ impl<'a> OptimizeRequest<'a> {
             threads: 0,
             time_budget: None,
             cost_budget: None,
+            memory_budget: None,
+            on_budget: BudgetAction::Error,
+            cancel: None,
             observer: &NoopObserver,
         }
     }
@@ -120,9 +140,11 @@ impl<'a> OptimizeRequest<'a> {
         self
     }
 
-    /// Aborts the run if it exceeds `budget` wall-clock time. Enforced
-    /// at the parallel engine's level barriers (best effort: a
-    /// sequential algorithm mid-run is not interrupted).
+    /// Aborts the run if it exceeds `budget` wall-clock time. Both the
+    /// sequential algorithms and the parallel engine poll the shared
+    /// [`CancellationToken`] inside their inner enumeration loops, so
+    /// even a mid-level run stops within a bounded number of
+    /// iterations.
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
         self
@@ -133,6 +155,31 @@ impl<'a> OptimizeRequest<'a> {
     /// reject a query than execute a catastrophic join.
     pub fn with_cost_budget(mut self, budget: f64) -> Self {
         self.cost_budget = Some(budget);
+        self
+    }
+
+    /// Aborts the run once its DP tables and plan arenas have grown
+    /// past `bytes`. Accounting covers the dominant allocations (the
+    /// memo table and the plan arena), not every transient vector.
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Chooses what a tripped budget does: fail the request (the
+    /// default, [`BudgetAction::Error`]) or fall down the degradation
+    /// ladder ([`BudgetAction::Degrade`]) and return a best-effort plan
+    /// tagged with [`DegradationInfo`].
+    pub fn on_budget_exceeded(mut self, action: BudgetAction) -> Self {
+        self.on_budget = action;
+        self
+    }
+
+    /// Attaches a cooperative cancellation flag: setting it from any
+    /// thread makes the run (including every degraded rung) return
+    /// [`OptimizeError::Cancelled`] at its next poll.
+    pub fn with_cancel_flag(mut self, flag: CancelFlag) -> Self {
+        self.cancel = Some(flag);
         self
     }
 
@@ -168,46 +215,169 @@ impl<'a> OptimizeRequest<'a> {
             _ => None,
         };
         let engine_variant = variant.filter(|_| self.graph.num_relations() <= MAX_ENGINE_RELATIONS);
-        let deadline = self.time_budget.map(|b| (start + b, b));
-        let (result, threads) = match engine_variant {
-            Some(v) => {
-                let r = run_level_synchronous(
-                    self.graph,
-                    self.catalog,
-                    self.model,
-                    v,
-                    threads,
-                    session,
-                    algorithm.orderer(self.graph).name(),
-                    self.observer,
-                    deadline,
-                )?;
-                (r, threads)
-            }
-            None => {
-                let r = algorithm.orderer(self.graph).optimize_observed(
-                    self.graph,
-                    self.catalog,
-                    self.model,
-                    self.observer,
-                )?;
-                (r, 1)
-            }
+        let ctl = CancellationToken::new(self.cancel.clone(), self.time_budget, self.memory_budget);
+        let attempt = match engine_variant {
+            Some(v) => run_level_synchronous(
+                self.graph,
+                self.catalog,
+                self.model,
+                v,
+                threads,
+                session,
+                algorithm.orderer(self.graph).name(),
+                self.observer,
+                &ctl,
+            )
+            .map(|r| (r, threads)),
+            None => algorithm
+                .orderer(self.graph)
+                .optimize_controlled(self.graph, self.catalog, self.model, self.observer, &ctl)
+                .map(|r| (r, 1)),
         };
-        if let Some(budget) = self.cost_budget {
-            if result.cost > budget {
-                return Err(OptimizeError::CostBudgetExceeded {
-                    cost: result.cost,
-                    budget,
-                });
+        match attempt {
+            Ok((result, threads)) => {
+                if let Some(budget) = self.cost_budget {
+                    if result.cost > budget {
+                        let err = OptimizeError::CostBudgetExceeded {
+                            cost: result.cost,
+                            budget,
+                        };
+                        if self.on_budget != BudgetAction::Degrade {
+                            return Err(err);
+                        }
+                        // The exact plan already exists and nothing
+                        // cheaper can beat it: keep it, tagged so the
+                        // caller knows the cost guard tripped.
+                        self.emit_budget_exceeded(TripKind::Cost);
+                        self.emit_degraded(DegradationRung::Exact);
+                        let degradation = Some(self.degradation_info(
+                            DegradationRung::Exact,
+                            TripKind::Cost,
+                            &err,
+                            &ctl,
+                        ));
+                        return Ok(OptimizeOutcome {
+                            result,
+                            algorithm,
+                            threads,
+                            elapsed: start.elapsed(),
+                            degradation,
+                        });
+                    }
+                }
+                Ok(OptimizeOutcome {
+                    result,
+                    algorithm,
+                    threads,
+                    elapsed: start.elapsed(),
+                    degradation: None,
+                })
+            }
+            Err(err) => {
+                let Some(trigger) = TripKind::from_error(&err) else {
+                    return Err(err); // validation error or explicit cancellation
+                };
+                if self.on_budget != BudgetAction::Degrade {
+                    return Err(err);
+                }
+                self.degrade(algorithm, trigger, err, &ctl, start)
             }
         }
-        Ok(OptimizeOutcome {
-            result,
-            algorithm,
-            threads,
-            elapsed: start.elapsed(),
-        })
+    }
+
+    /// Walks the ladder below the exact attempt: IDP with a small block
+    /// size, then GOO. Each rung runs under a fresh token that keeps
+    /// the cancellation flag and the memory cap (the heuristics'
+    /// footprints are far smaller) but drops the wall-clock deadline —
+    /// the original deadline has already passed, so re-using it would
+    /// trip instantly and no rung could ever succeed.
+    fn degrade(
+        &self,
+        algorithm: Algorithm,
+        trigger: TripKind,
+        original: OptimizeError,
+        tripped: &CancellationToken,
+        start: Instant,
+    ) -> Result<OptimizeOutcome, OptimizeError> {
+        let rungs = [
+            DegradationRung::Idp {
+                block_size: DEGRADE_IDP_BLOCK_SIZE,
+            },
+            DegradationRung::Greedy,
+        ];
+        for rung in rungs {
+            let ctl = CancellationToken::new(self.cancel.clone(), None, self.memory_budget);
+            let attempt = match rung {
+                DegradationRung::Idp { block_size } => Idp::with_block_size(block_size)
+                    .optimize_controlled(self.graph, self.catalog, self.model, self.observer, &ctl),
+                DegradationRung::Greedy => Goo.optimize_controlled(
+                    self.graph,
+                    self.catalog,
+                    self.model,
+                    self.observer,
+                    &ctl,
+                ),
+                DegradationRung::Exact => unreachable!("the ladder starts below the exact rung"),
+            };
+            match attempt {
+                Ok(result) => {
+                    // Emitted after the rung's own RunStart..RunEnd so
+                    // observers that aggregate per run (the metrics
+                    // collector resets on RunStart) attribute the pair
+                    // to the run that produced the returned plan.
+                    self.emit_budget_exceeded(trigger);
+                    self.emit_degraded(rung);
+                    let degradation =
+                        Some(self.degradation_info(rung, trigger, &original, tripped));
+                    return Ok(OptimizeOutcome {
+                        result,
+                        algorithm,
+                        threads: 1,
+                        elapsed: start.elapsed(),
+                        degradation,
+                    });
+                }
+                // A rung that trips its own budget falls through to the
+                // next one; cancellation (or a validation error) is
+                // final and outranks the original budget error.
+                Err(e) if TripKind::from_error(&e).is_some() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(original)
+    }
+
+    fn emit_budget_exceeded(&self, trigger: TripKind) {
+        if self.observer.enabled() {
+            self.observer.on_event(Event::BudgetExceeded {
+                budget: trigger.as_str(),
+            });
+        }
+    }
+
+    fn emit_degraded(&self, rung: DegradationRung) {
+        if self.observer.enabled() {
+            self.observer.on_event(Event::Degraded {
+                rung: rung.as_str(),
+            });
+        }
+    }
+
+    fn degradation_info(
+        &self,
+        rung: DegradationRung,
+        trigger: TripKind,
+        original: &OptimizeError,
+        tripped: &CancellationToken,
+    ) -> DegradationInfo {
+        DegradationInfo {
+            rung,
+            trigger,
+            detail: original.to_string(),
+            time_budget: self.time_budget,
+            memory_budget: self.memory_budget,
+            memory_used: tripped.memory_used(),
+        }
     }
 }
 
@@ -222,7 +392,6 @@ pub(crate) fn available_parallelism() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::result::JoinOrderer as _;
     use crate::{DpCcp, DpSub};
     use joinopt_cost::{workload, HashJoin};
     use joinopt_qgraph::GraphKind;
@@ -306,5 +475,124 @@ mod tests {
         let outcome = OptimizeRequest::new(&w.graph, &w.catalog).run().unwrap();
         let cost = outcome.result.cost;
         assert_eq!(outcome.into_result().cost, cost);
+    }
+
+    #[test]
+    fn memory_budget_errors_by_default() {
+        let w = workload::family_workload(GraphKind::Clique, 12, 0);
+        let err = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_memory_budget(1024)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::MemoryBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn degrade_falls_back_after_a_time_trip() {
+        use joinopt_telemetry::MetricsCollector;
+        let w = workload::family_workload(GraphKind::Clique, 10, 3);
+        let metrics = MetricsCollector::new();
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_time_budget(Duration::ZERO)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .with_observer(&metrics)
+            .run()
+            .unwrap();
+        let info = outcome.degradation.as_ref().expect("ladder must be taken");
+        assert_eq!(
+            info.rung,
+            DegradationRung::Idp {
+                block_size: DEGRADE_IDP_BLOCK_SIZE
+            }
+        );
+        assert_eq!(info.trigger, TripKind::Time);
+        assert_eq!(info.time_budget, Some(Duration::ZERO));
+        assert!(
+            info.detail.contains("time budget"),
+            "detail: {}",
+            info.detail
+        );
+        // The degraded plan is still a complete, connected plan.
+        assert_eq!(outcome.result.tree.relations(), w.graph.all_relations());
+        assert_eq!(outcome.result.tree.num_joins(), 9);
+        assert!(outcome.result.cost.is_finite());
+        let report = metrics.report();
+        assert_eq!(report.budget_exceeded, Some("time"));
+        assert_eq!(report.degraded_rung, Some("idp"));
+    }
+
+    #[test]
+    fn degrade_falls_back_after_a_memory_trip() {
+        let w = workload::family_workload(GraphKind::Clique, 13, 0);
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_memory_budget(64 * 1024)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .run()
+            .unwrap();
+        let info = outcome.degradation.as_ref().expect("ladder must be taken");
+        assert_eq!(info.trigger, TripKind::Memory);
+        assert_eq!(info.memory_budget, Some(64 * 1024));
+        assert!(info.memory_used > 64 * 1024);
+        assert_eq!(outcome.result.tree.relations(), w.graph.all_relations());
+    }
+
+    #[test]
+    fn degrade_keeps_the_exact_plan_on_a_cost_trip() {
+        let w = workload::family_workload(GraphKind::Chain, 6, 1);
+        let optimal = OptimizeRequest::new(&w.graph, &w.catalog)
+            .run()
+            .unwrap()
+            .result
+            .cost;
+        let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_cost_budget(optimal / 2.0)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .run()
+            .unwrap();
+        let info = outcome
+            .degradation
+            .as_ref()
+            .expect("cost trip must be tagged");
+        assert_eq!(info.rung, DegradationRung::Exact);
+        assert_eq!(info.trigger, TripKind::Cost);
+        assert_eq!(outcome.result.cost.to_bits(), optimal.to_bits());
+    }
+
+    #[test]
+    fn cancellation_outranks_the_degradation_ladder() {
+        use crate::cancel::CancelFlag;
+        let w = workload::family_workload(GraphKind::Clique, 10, 0);
+        let flag = CancelFlag::new();
+        flag.cancel();
+        let err = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_cancel_flag(flag)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, OptimizeError::Cancelled));
+    }
+
+    #[test]
+    fn untripped_budgets_leave_results_bit_identical() {
+        let w = workload::family_workload(GraphKind::Cycle, 9, 4);
+        let plain = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .run()
+            .unwrap();
+        let budgeted = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_time_budget(Duration::from_secs(3600))
+            .with_memory_budget(1 << 30)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .run()
+            .unwrap();
+        assert!(budgeted.degradation.is_none());
+        assert_eq!(budgeted.result.cost.to_bits(), plain.result.cost.to_bits());
+        assert_eq!(budgeted.result.tree, plain.result.tree);
+        assert_eq!(budgeted.result.counters, plain.result.counters);
     }
 }

@@ -5,6 +5,7 @@ use joinopt_plan::JoinTree;
 use joinopt_qgraph::QueryGraph;
 use joinopt_telemetry::{NoopObserver, Observer};
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::error::OptimizeError;
 
@@ -34,35 +35,59 @@ pub trait JoinOrderer {
     fn name(&self) -> &'static str;
 
     /// Computes an optimal bushy join tree for `g` under `model`,
-    /// reporting progress and statistics to `obs`.
+    /// reporting progress and statistics to `obs` and honouring the
+    /// stop conditions of `ctl` (cancellation flag, deadline, memory
+    /// budget) at whatever granularity the algorithm supports — the DP
+    /// enumerators poll inside their inner loops.
     ///
     /// With a disabled observer ([`Observer::enabled`] returning
-    /// `false`, e.g. [`NoopObserver`]) implementations must behave
-    /// bit-identically to an uninstrumented run — same plan, cost, and
-    /// counters. Failed runs may leave a `run_start` without a matching
-    /// `run_end` in the event stream.
+    /// `false`, e.g. [`NoopObserver`]) and an unlimited token,
+    /// implementations must behave bit-identically to an
+    /// uninstrumented run — same plan, cost, and counters. Failed runs
+    /// may leave a `run_start` without a matching `run_end` in the
+    /// event stream.
     ///
     /// # Errors
     ///
     /// Fails for empty or disconnected graphs (cross-product-free join
     /// trees only exist for connected query graphs) and for catalogs not
     /// matching `g`'s shape. [`crate::DpSubCrossProducts`] lifts the
-    /// connectivity requirement.
+    /// connectivity requirement. Additionally fails with the budget and
+    /// cancellation errors of [`CancellationToken`] when `ctl` trips.
+    fn optimize_controlled(
+        &self,
+        g: &QueryGraph,
+        catalog: &Catalog,
+        model: &dyn CostModel,
+        obs: &dyn Observer,
+        ctl: &CancellationToken,
+    ) -> Result<DpResult, OptimizeError>;
+
+    /// [`JoinOrderer::optimize_controlled`] with an unlimited token.
     fn optimize_observed(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
-    ) -> Result<DpResult, OptimizeError>;
+    ) -> Result<DpResult, OptimizeError> {
+        self.optimize_controlled(g, catalog, model, obs, &CancellationToken::unlimited())
+    }
 
-    /// [`JoinOrderer::optimize_observed`] without telemetry.
+    /// [`JoinOrderer::optimize_controlled`] without telemetry or stop
+    /// conditions.
     fn optimize(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
     ) -> Result<DpResult, OptimizeError> {
-        self.optimize_observed(g, catalog, model, &NoopObserver)
+        self.optimize_controlled(
+            g,
+            catalog,
+            model,
+            &NoopObserver,
+            &CancellationToken::unlimited(),
+        )
     }
 }

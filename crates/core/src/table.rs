@@ -100,6 +100,12 @@ pub trait PlanTable {
     /// is the occupancy telemetry reports.
     fn capacity(&self) -> usize;
 
+    /// Approximate bytes of storage backing the table (based on
+    /// allocated capacity, not occupancy) — what memory budgets charge.
+    fn bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<(RelSet, TableEntry)>()
+    }
+
     /// `true` iff no plan is registered.
     fn is_empty(&self) -> bool {
         self.len() == 0
@@ -294,6 +300,11 @@ impl PlanTable for DenseDpTable {
     fn capacity(&self) -> usize {
         self.slots.len()
     }
+
+    fn bytes(&self) -> usize {
+        self.slots.capacity() * std::mem::size_of::<TableEntry>()
+            + self.present.capacity() * std::mem::size_of::<u64>()
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +391,21 @@ mod tests {
             t.insert(RelSet::from_bits(bits), entry(bits as f64));
         }
         assert_eq!(t.len(), (1 << 14) - 1);
+    }
+
+    #[test]
+    fn bytes_track_allocated_capacity() {
+        let t = DpTable::with_capacity(16);
+        assert!(t.bytes() >= 16 * std::mem::size_of::<(RelSet, TableEntry)>());
+        let d = DenseDpTable::new(6);
+        assert_eq!(
+            d.bytes(),
+            64 * std::mem::size_of::<TableEntry>() + std::mem::size_of::<u64>()
+        );
+        // Footprint is a function of capacity, not occupancy.
+        let mut d2 = DenseDpTable::new(6);
+        d2.insert(RelSet::single(0), entry(1.0));
+        assert_eq!(d2.bytes(), d.bytes());
     }
 
     #[test]

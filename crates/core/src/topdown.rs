@@ -22,12 +22,13 @@
 //! or *pruned* (a proven lower bound); pruned entries are re-expanded if
 //! a later caller arrives with a higher budget.
 
-use joinopt_cost::{CardinalityEstimator, Catalog, CostModel, PlanStats};
+use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
 use joinopt_telemetry::Observer;
 
+use crate::cancel::CancellationToken;
 use crate::counters::Counters;
 use crate::driver::Spans;
 use crate::error::OptimizeError;
@@ -78,6 +79,9 @@ struct Search<'a> {
     observe: bool,
     probes: u64,
     hits: u64,
+    ctl: &'a CancellationToken,
+    pace: u32,
+    charged: usize,
 }
 
 impl JoinOrderer for TopDown {
@@ -89,12 +93,13 @@ impl JoinOrderer for TopDown {
         }
     }
 
-    fn optimize_observed(
+    fn optimize_controlled(
         &self,
         g: &QueryGraph,
         catalog: &Catalog,
         model: &dyn CostModel,
         obs: &dyn Observer,
+        ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
         spans.begin("init");
@@ -102,36 +107,47 @@ impl JoinOrderer for TopDown {
             return Err(OptimizeError::EmptyQuery);
         }
         g.require_connected()?;
+        ctl.check()?;
+        crate::failpoint::check("estimator")?;
         let est = CardinalityEstimator::new(g, catalog)?;
 
         // Seed the upper bound with a greedy plan (only used when
         // pruning). Runs unobserved — a nested `run_start` would corrupt
         // the event stream.
         let initial_upper = if self.pruning && g.num_relations() > 1 {
-            let goo = Goo.optimize(g, catalog, model)?;
+            let goo =
+                Goo.optimize_controlled(g, catalog, model, &joinopt_telemetry::NoopObserver, ctl)?;
             goo.cost * (1.0 + 1e-9) + 1e-9
         } else {
             f64::INFINITY
         };
 
+        let arena = PlanArena::with_capacity(4 * g.num_relations());
+        ctl.charge(arena.bytes())?;
+        let charged = arena.bytes();
         let mut search = Search {
             g,
             est,
             model,
-            arena: PlanArena::with_capacity(4 * g.num_relations()),
+            arena,
             memo: std::collections::HashMap::default(),
             counters: Counters::new(),
             pruning: self.pruning,
             observe: obs.enabled(),
             probes: 0,
             hits: 0,
+            ctl,
+            pace: 0,
+            charged,
         };
         spans.end("init");
         spans.begin("enumerate");
         let full = g.all_relations();
-        let result = search
-            .solve(full, initial_upper)
-            .expect("the greedy seed plan guarantees a solution under the initial bound");
+        let Some(result) = search.solve(full, initial_upper)? else {
+            return Err(OptimizeError::Internal(
+                "top-down search found no plan under the greedy seed bound".into(),
+            ));
+        };
         spans.end("enumerate");
 
         spans.begin("extract");
@@ -166,34 +182,43 @@ impl Search<'_> {
         }
     }
 
-    /// Best plan for `s` with cost `< upper`, or `None` if provably none
-    /// exists below the budget.
-    fn solve(&mut self, s: RelSet, upper: f64) -> Option<(PlanId, PlanStats)> {
+    /// Best plan for `s` with cost `< upper`, or `Ok(None)` if provably
+    /// none exists below the budget. Fails when the cancellation token
+    /// trips or an estimate turns non-finite.
+    fn solve(
+        &mut self,
+        s: RelSet,
+        upper: f64,
+    ) -> Result<Option<(PlanId, PlanStats)>, OptimizeError> {
         if s.is_singleton() {
-            let rel = s.min_index().expect("singleton");
+            let Some(rel) = s.min_index() else {
+                return Err(OptimizeError::Internal(
+                    "singleton relation set without a member".into(),
+                ));
+            };
             let card = self.est.base_cardinality(rel);
             // Scans are free; materialize lazily but idempotently via memo.
             let memoized = self.memo.get(&s).copied();
             self.note_probe(memoized.is_some());
             if let Some(Memo::Exact { plan, stats }) = memoized {
-                return Some((plan, stats));
+                return Ok(Some((plan, stats)));
             }
             let stats = PlanStats::base(card);
             let plan = self.arena.add_scan(rel, card);
             self.memo.insert(s, Memo::Exact { plan, stats });
-            return Some((plan, stats));
+            return Ok(Some((plan, stats)));
         }
         self.note_probe(self.memo.contains_key(&s));
         match self.memo.get(&s) {
             Some(Memo::Exact { plan, stats }) => {
-                return (stats.cost < upper).then_some((*plan, *stats));
+                return Ok((stats.cost < upper).then_some((*plan, *stats)));
             }
-            Some(Memo::Pruned { lower }) if *lower >= upper => return None,
+            Some(Memo::Pruned { lower }) if *lower >= upper => return Ok(None),
             // Unknown or pruned under a smaller budget: (re-)expand.
             Some(Memo::Pruned { .. }) | None => {}
         }
 
-        let out_card = self.est.set_cardinality(s);
+        let out_card = ensure_finite("cardinality", self.est.set_cardinality(s))?;
         let mut best: Option<(PlanId, PlanStats)> = None;
         let mut bound = upper;
 
@@ -228,11 +253,14 @@ impl Search<'_> {
             })
             .collect();
         if self.pruning {
-            // Most promising first, so a tight bound forms early.
-            splits.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite bounds"));
+            // Most promising first, so a tight bound forms early. The
+            // bounds may be non-finite for degenerate statistics;
+            // `total_cmp` keeps the sort well-defined either way.
+            splits.sort_by(|a, b| a.2.total_cmp(&b.2));
         }
         for (s1, s2, lb) in splits {
             self.counters.inner += 1;
+            self.ctl.checkpoint(&mut self.pace)?;
             if self.pruning && lb >= bound {
                 // Sorted ascending: everything after is at least as bad.
                 break;
@@ -245,7 +273,7 @@ impl Search<'_> {
             } else {
                 f64::INFINITY
             };
-            let Some((p1, st1)) = self.solve(s1, child_budget1) else {
+            let Some((p1, st1)) = self.solve(s1, child_budget1)? else {
                 continue;
             };
             let child_budget2 = if self.pruning {
@@ -253,14 +281,14 @@ impl Search<'_> {
             } else {
                 f64::INFINITY
             };
-            let Some((p2, st2)) = self.solve(s2, child_budget2) else {
+            let Some((p2, st2)) = self.solve(s2, child_budget2)? else {
                 continue;
             };
-            let c12 = self.model.join_cost(&st1, &st2, out_card);
+            let c12 = ensure_finite("cost", self.model.join_cost(&st1, &st2, out_card))?;
             let (cost, left, right, lst, rst) = if self.model.is_symmetric() {
                 (c12, p1, p2, st1, st2)
             } else {
-                let c21 = self.model.join_cost(&st2, &st1, out_card);
+                let c21 = ensure_finite("cost", self.model.join_cost(&st2, &st1, out_card))?;
                 if c21 < c12 {
                     (c21, p2, p1, st2, st1)
                 } else {
@@ -274,6 +302,10 @@ impl Search<'_> {
                     cost,
                 };
                 let plan = self.arena.add_join(left, right, stats);
+                if self.arena.bytes() > self.charged {
+                    self.ctl.charge(self.arena.bytes() - self.charged)?;
+                    self.charged = self.arena.bytes();
+                }
                 best = Some((plan, stats));
                 bound = bound.min(cost);
             }
@@ -284,7 +316,7 @@ impl Search<'_> {
                 // Exact: every alternative was either evaluated or pruned
                 // against a bound that this cost satisfies.
                 self.memo.insert(s, Memo::Exact { plan, stats });
-                Some((plan, stats))
+                Ok(Some((plan, stats)))
             }
             None => {
                 // Proven: nothing below `upper`.
@@ -293,7 +325,7 @@ impl Search<'_> {
                     _ => upper,
                 };
                 self.memo.insert(s, Memo::Pruned { lower });
-                None
+                Ok(None)
             }
         }
     }

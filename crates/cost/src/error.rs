@@ -43,6 +43,15 @@ pub enum CostError {
         /// Relations/edges of the supplied graph.
         graph: (usize, usize),
     },
+    /// A derived estimate overflowed to a non-finite value (infinity
+    /// from repeated multiplication, or NaN). Surfaced eagerly because
+    /// a NaN cost silently breaks `<` plan pruning.
+    NonFiniteEstimate {
+        /// What was being derived: `"cardinality"` or `"cost"`.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for CostError {
@@ -75,6 +84,9 @@ impl fmt::Display for CostError {
                     "catalog shape (n={}, m={}) does not match graph (n={}, m={})",
                     catalog.0, catalog.1, graph.0, graph.1
                 )
+            }
+            CostError::NonFiniteEstimate { what, value } => {
+                write!(f, "derived {what} estimate {value} is not finite")
             }
         }
     }
@@ -112,5 +124,11 @@ mod tests {
         }
         .to_string()
         .contains("n=4"));
+        assert!(CostError::NonFiniteEstimate {
+            what: "cost",
+            value: f64::INFINITY
+        }
+        .to_string()
+        .contains("not finite"));
     }
 }

@@ -6,6 +6,19 @@ use joinopt_relset::{RelIdx, RelSet};
 use crate::catalog::Catalog;
 use crate::error::CostError;
 
+/// Guards a derived estimate at the estimator/optimizer boundary:
+/// finite values pass through, overflowed or NaN values become a typed
+/// [`CostError::NonFiniteEstimate`] instead of silently poisoning `<`
+/// plan comparison downstream.
+#[inline]
+pub fn ensure_finite(what: &'static str, value: f64) -> Result<f64, CostError> {
+    if value.is_finite() {
+        Ok(value)
+    } else {
+        Err(CostError::NonFiniteEstimate { what, value })
+    }
+}
+
 /// The classical System-R cardinality estimator.
 ///
 /// Under the independence assumption the cardinality of a join result is
@@ -197,6 +210,19 @@ mod tests {
                 "decomposition {s1} / {s2}: {via_join} vs {direct}"
             );
         }
+    }
+
+    #[test]
+    fn ensure_finite_guards_overflow_and_nan() {
+        assert_eq!(ensure_finite("cost", 1.5), Ok(1.5));
+        assert_eq!(
+            ensure_finite("cardinality", f64::INFINITY),
+            Err(CostError::NonFiniteEstimate {
+                what: "cardinality",
+                value: f64::INFINITY
+            })
+        );
+        assert!(ensure_finite("cost", f64::NAN).is_err());
     }
 
     #[test]

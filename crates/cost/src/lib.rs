@@ -56,7 +56,7 @@ pub mod workload;
 
 pub use catalog::Catalog;
 pub use error::CostError;
-pub use estimator::CardinalityEstimator;
+pub use estimator::{ensure_finite, CardinalityEstimator};
 pub use hyper::HyperCardinalityEstimator;
 pub use models::{
     CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin, PlanStats, SortMergeJoin,

@@ -121,7 +121,12 @@ impl PlanArena {
     }
 
     fn push(&mut self, node: Node) -> PlanId {
-        let id = u32::try_from(self.nodes.len()).expect("plan arena overflow");
+        assert!(
+            self.nodes.len() < u32::MAX as usize,
+            "plan arena overflow: {} nodes",
+            self.nodes.len()
+        );
+        let id = self.nodes.len() as u32;
         self.nodes.push(node);
         PlanId(id)
     }

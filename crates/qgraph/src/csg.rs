@@ -39,12 +39,27 @@ use crate::graph::QueryGraph;
 /// in an order where every set appears after all of its connected
 /// subsets (`EnumerateCsg`, Fig. in Section 3.2).
 pub fn for_each_csg<F: FnMut(RelSet)>(g: &QueryGraph, mut f: F) {
+    let _ = try_for_each_csg::<core::convert::Infallible, _>(g, |s| {
+        f(s);
+        Ok(())
+    });
+}
+
+/// Fallible [`for_each_csg`]: stops the enumeration at the first `Err`
+/// the callback returns and forwards it. The emission order of the
+/// successful prefix is identical to `for_each_csg` (which delegates
+/// here).
+pub fn try_for_each_csg<E, F: FnMut(RelSet) -> Result<(), E>>(
+    g: &QueryGraph,
+    mut f: F,
+) -> Result<(), E> {
     let n = g.num_relations();
     for i in (0..n).rev() {
         let s = RelSet::single(i);
-        f(s);
-        csg_rec(g, s, RelSet::prefix_through(i), g.neighborhood(s), &mut f);
+        f(s)?;
+        csg_rec(g, s, RelSet::prefix_through(i), g.neighborhood(s), &mut f)?;
     }
+    Ok(())
 }
 
 /// `EnumerateCsgRec`: extends the connected set `s` by non-empty subsets
@@ -54,13 +69,19 @@ pub fn for_each_csg<F: FnMut(RelSet)>(g: &QueryGraph, mut f: F) {
 /// `nb_s` must be `g.neighborhood(s)`; it is threaded through the
 /// recursion so neighborhoods are maintained incrementally via
 /// `𝒩(S ∪ S') = (𝒩(S) ∪ 𝒩(S')) \ (S ∪ S')`.
-fn csg_rec<F: FnMut(RelSet)>(g: &QueryGraph, s: RelSet, x: RelSet, nb_s: RelSet, f: &mut F) {
+fn csg_rec<E, F: FnMut(RelSet) -> Result<(), E>>(
+    g: &QueryGraph,
+    s: RelSet,
+    x: RelSet,
+    nb_s: RelSet,
+    f: &mut F,
+) -> Result<(), E> {
     let n = nb_s - x;
     if n.is_empty() {
-        return;
+        return Ok(());
     }
     for sp in n.non_empty_subsets() {
-        f(s | sp);
+        f(s | sp)?;
     }
     for sp in n.non_empty_subsets() {
         let s2 = s | sp;
@@ -68,8 +89,9 @@ fn csg_rec<F: FnMut(RelSet)>(g: &QueryGraph, s: RelSet, x: RelSet, nb_s: RelSet,
         for v in sp.iter() {
             nb2 |= g.neighbors(v);
         }
-        csg_rec(g, s2, x | n, nb2 - s2, f);
+        csg_rec(g, s2, x | n, nb2 - s2, f)?;
     }
+    Ok(())
 }
 
 /// `EnumerateCmp`: calls `f` for every set `s2` such that `(s1, s2)` is a
@@ -78,17 +100,30 @@ fn csg_rec<F: FnMut(RelSet)>(g: &QueryGraph, s: RelSet, x: RelSet, nb_s: RelSet,
 ///
 /// `s1` must be a non-empty connected subset of `g`.
 pub fn for_each_cmp<F: FnMut(RelSet)>(g: &QueryGraph, s1: RelSet, mut f: F) {
+    let _ = try_for_each_cmp::<core::convert::Infallible, _>(g, s1, |s2| {
+        f(s2);
+        Ok(())
+    });
+}
+
+/// Fallible [`for_each_cmp`]: stops at the first `Err` and forwards it.
+pub fn try_for_each_cmp<E, F: FnMut(RelSet) -> Result<(), E>>(
+    g: &QueryGraph,
+    s1: RelSet,
+    mut f: F,
+) -> Result<(), E> {
     let min = s1.min_index().expect("s1 must be non-empty");
     let x = RelSet::prefix_through(min) | s1;
     let n = g.neighborhood(s1) - x;
     for i in n.iter_descending() {
         let s2 = RelSet::single(i);
-        f(s2);
+        f(s2)?;
         // Erratum fix: exclude only the neighbors of s1 already tried as
         // start vertices (B_i(N)), not all of N.
         let x2 = x | (n & RelSet::prefix_through(i));
-        csg_rec(g, s2, x2, g.neighborhood(s2), &mut f);
+        csg_rec(g, s2, x2, g.neighborhood(s2), &mut f)?;
     }
+    Ok(())
 }
 
 /// Calls `f(s1, s2)` for every csg-cmp-pair of `g`, each unordered pair
@@ -96,9 +131,20 @@ pub fn for_each_cmp<F: FnMut(RelSet)>(g: &QueryGraph, s1: RelSet, mut f: F) {
 /// `(s1, s2)` is produced, every decomposition of `s1` and of `s2` has
 /// been produced earlier.
 pub fn for_each_ccp<F: FnMut(RelSet, RelSet)>(g: &QueryGraph, mut f: F) {
-    for_each_csg(g, |s1| {
-        for_each_cmp(g, s1, |s2| f(s1, s2));
+    let _ = try_for_each_ccp::<core::convert::Infallible, _>(g, |s1, s2| {
+        f(s1, s2);
+        Ok(())
     });
+}
+
+/// Fallible [`for_each_ccp`]: stops the enumeration at the first `Err`
+/// the callback returns and forwards it — the hook cooperative
+/// cancellation and budget enforcement need to abort DPccp mid-run.
+pub fn try_for_each_ccp<E, F: FnMut(RelSet, RelSet) -> Result<(), E>>(
+    g: &QueryGraph,
+    mut f: F,
+) -> Result<(), E> {
+    try_for_each_csg(g, |s1| try_for_each_cmp(g, s1, |s2| f(s1, s2)))
 }
 
 /// Counts the non-empty connected subsets (`#csg`) by enumeration.
@@ -303,6 +349,31 @@ mod tests {
         assert_eq!(order[3], RelSet::single(2));
         // total #csg for this graph: count by brute force
         assert_eq!(order.len(), brute_csgs(&g).len());
+    }
+
+    #[test]
+    fn try_variants_abort_early_and_preserve_prefix_order() {
+        let g = generators::generate(GraphKind::Cycle, 7);
+        let full = collect_ccps(&g);
+        let stop_after = full.len() / 2;
+        let mut seen = Vec::new();
+        let r = try_for_each_ccp(&g, |a, b| {
+            if seen.len() == stop_after {
+                return Err("stop");
+            }
+            seen.push((a, b));
+            Ok(())
+        });
+        assert_eq!(r, Err("stop"));
+        assert_eq!(seen, full[..stop_after]);
+
+        let mut count = 0usize;
+        try_for_each_csg::<core::convert::Infallible, _>(&g, |_| {
+            count += 1;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(count as u64, count_csg(&g));
     }
 
     #[test]

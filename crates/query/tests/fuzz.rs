@@ -1,0 +1,127 @@
+//! Seeded byte-mangling fuzz tests: both frontends must reject garbage
+//! with a typed error, never a panic.
+//!
+//! Deterministic by construction (fixed seeds, no wall clock): every
+//! run exercises the same inputs, so a failure here reproduces locally
+//! with nothing but the printed case number.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use joinopt_query::{parse, parse_sql};
+use joinopt_relset::XorShift64;
+
+const MANGLE_CASES: usize = 400;
+const SOUP_CASES: usize = 200;
+
+const QUERY_CORPUS: &[&str] = &[
+    "relation r0 1000\nrelation r1 500\njoin r0 r1 0.1\n",
+    "relation a 10\nrelation b 20\nrelation c 30\njoin a b 0.5\njoin b c 0.25\njoin a,b c 0.01\n",
+    "# comment\nrelation x 1\n",
+    "",
+];
+
+const SQL_CORPUS: &[&str] = &[
+    "SELECT * FROM customer /*+ rows=150000 */ c, orders /*+ rows=1500000 */ o \
+     WHERE c.ck = o.ck /*+ sel=6.7e-6 */",
+    "SELECT * FROM a, b, c WHERE a.x = b.y AND b.z = c.w AND a.k + b.k = c.k",
+    "SELECT * FROM t /*+ rows=5 */ WHERE t.flag = 1 /*+ sel=0.25 */ -- filter only",
+    "select*from a,b where a.x=b.x",
+];
+
+/// Flips, inserts, deletes or splices bytes of `src`, `edits` times.
+/// The result is arbitrary bytes; lossy-decoded to stay a `&str` input.
+fn mangle(src: &str, rng: &mut XorShift64, edits: usize) -> String {
+    let mut bytes = src.as_bytes().to_vec();
+    for _ in 0..edits {
+        match rng.gen_range(0..4) {
+            0 if !bytes.is_empty() => {
+                // Flip a byte to anything, including non-ASCII and NUL.
+                let i = rng.gen_range(0..bytes.len());
+                bytes[i] = (rng.next_u64() & 0xff) as u8;
+            }
+            1 => {
+                let i = rng.gen_range(0..bytes.len() + 1);
+                bytes.insert(i, (rng.next_u64() & 0xff) as u8);
+            }
+            2 if !bytes.is_empty() => {
+                bytes.remove(rng.gen_range(0..bytes.len()));
+            }
+            _ if bytes.len() >= 2 => {
+                // Splice: duplicate a random slice somewhere else.
+                let a = rng.gen_range(0..bytes.len());
+                let b = rng.gen_range(0..bytes.len());
+                let (lo, hi) = (a.min(b), a.max(b));
+                let slice: Vec<u8> = bytes[lo..hi].to_vec();
+                let at = rng.gen_range(0..bytes.len() + 1);
+                bytes.splice(at..at, slice);
+            }
+            _ => {}
+        }
+    }
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+fn assert_no_panic(what: &str, case: usize, input: &str, f: impl FnOnce() -> bool) {
+    let ok = catch_unwind(AssertUnwindSafe(f));
+    assert!(
+        ok.is_ok(),
+        "{what} panicked on case {case}; input:\n{input:?}"
+    );
+}
+
+#[test]
+fn query_parser_never_panics_on_mangled_input() {
+    let mut rng = XorShift64::seed_from_u64(0x5eed_0001);
+    for case in 0..MANGLE_CASES {
+        let base = QUERY_CORPUS[case % QUERY_CORPUS.len()];
+        let edits = 1 + case % 17;
+        let input = mangle(base, &mut rng, edits);
+        assert_no_panic("parse", case, &input, || parse(&input).is_ok());
+    }
+}
+
+#[test]
+fn sql_parser_never_panics_on_mangled_input() {
+    let mut rng = XorShift64::seed_from_u64(0x5eed_0002);
+    for case in 0..MANGLE_CASES {
+        let base = SQL_CORPUS[case % SQL_CORPUS.len()];
+        let edits = 1 + case % 17;
+        let input = mangle(base, &mut rng, edits);
+        assert_no_panic("parse_sql", case, &input, || parse_sql(&input).is_ok());
+    }
+}
+
+#[test]
+fn both_parsers_survive_random_byte_soup() {
+    let mut rng = XorShift64::seed_from_u64(0x5eed_0003);
+    for case in 0..SOUP_CASES {
+        let len = rng.gen_range(0..256);
+        let bytes: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+        let input = String::from_utf8_lossy(&bytes).into_owned();
+        assert_no_panic("parse", case, &input, || parse(&input).is_ok());
+        assert_no_panic("parse_sql", case, &input, || parse_sql(&input).is_ok());
+    }
+}
+
+#[test]
+fn mangled_inputs_that_still_parse_yield_coherent_queries() {
+    // Survivors of light mangling must uphold the ParsedQuery
+    // invariants, not just avoid a panic.
+    let mut rng = XorShift64::seed_from_u64(0x5eed_0004);
+    let mut survivors = 0usize;
+    for case in 0..MANGLE_CASES {
+        let base = QUERY_CORPUS[case % QUERY_CORPUS.len()];
+        let input = mangle(base, &mut rng, 1);
+        if let Ok(q) = parse(&input) {
+            survivors += 1;
+            assert_eq!(q.names().len(), q.hypergraph.num_relations());
+            if let Some(g) = q.graph() {
+                assert_eq!(g.num_relations(), q.names().len());
+            }
+        }
+    }
+    assert!(
+        survivors > 0,
+        "single-edit mangling should not kill every input"
+    );
+}

@@ -69,6 +69,12 @@ pub struct RunReport {
     pub counter_csg_cmp_pairs: u64,
     /// `OnoLohmanCounter`.
     pub counter_ono_lohman: u64,
+    /// Which budget tripped (`"time"`, `"memory"`, `"cost"`,
+    /// `"internal"`), if a `budget_exceeded` event was seen.
+    pub budget_exceeded: Option<&'static str>,
+    /// The degradation-ladder rung that produced the plan, if a
+    /// `degraded` event was seen.
+    pub degraded_rung: Option<&'static str>,
     /// Nanoseconds from collector creation to the `run_end` event.
     pub total_ns: u64,
 }
@@ -140,6 +146,14 @@ impl RunReport {
             ",\"counters\":{{\"inner\":{},\"csg_cmp_pairs\":{},\"ono_lohman\":{}}}",
             self.counter_inner, self.counter_csg_cmp_pairs, self.counter_ono_lohman
         ));
+        if let Some(budget) = self.budget_exceeded {
+            s.push_str(",\"budget_exceeded\":");
+            write_escaped(&mut s, budget);
+        }
+        if let Some(rung) = self.degraded_rung {
+            s.push_str(",\"degraded_rung\":");
+            write_escaped(&mut s, rung);
+        }
         s.push_str(&format!(",\"total_ns\":{}}}", self.total_ns));
         s
     }
@@ -225,7 +239,13 @@ impl fmt::Display for RunReport {
             f,
             "counters:   inner={} csgCmpPairs={} onoLohman={}",
             self.counter_inner, self.counter_csg_cmp_pairs, self.counter_ono_lohman
-        )
+        )?;
+        if let (Some(budget), Some(rung)) = (self.budget_exceeded, self.degraded_rung) {
+            writeln!(f, "degraded:   {rung} plan after {budget} budget trip")?;
+        } else if let Some(budget) = self.budget_exceeded {
+            writeln!(f, "budget:     {budget} budget exceeded")?;
+        }
+        Ok(())
     }
 }
 
@@ -326,6 +346,12 @@ impl Observer for MetricsCollector {
                 r.counter_inner = inner;
                 r.counter_csg_cmp_pairs = csg_cmp_pairs;
                 r.counter_ono_lohman = ono_lohman;
+            }
+            Event::BudgetExceeded { budget } => {
+                r.budget_exceeded = Some(budget);
+            }
+            Event::Degraded { rung } => {
+                r.degraded_rung = Some(rung);
             }
             Event::RunEnd => {
                 r.total_ns = now;

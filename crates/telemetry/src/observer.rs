@@ -81,6 +81,20 @@ pub enum Event {
         /// Unordered csg-cmp-pairs (`OnoLohmanCounter`).
         ono_lohman: u64,
     },
+    /// A resource budget tripped mid-run. Whether the run then fails or
+    /// falls back to a cheaper algorithm is the caller's policy; a
+    /// `Degraded` event follows when a fallback produced a plan.
+    BudgetExceeded {
+        /// Which budget tripped: `"time"`, `"memory"`, `"cost"` or
+        /// `"internal"` (an isolated internal failure).
+        budget: &'static str,
+    },
+    /// A degradation-ladder rung produced the plan after a budget trip.
+    Degraded {
+        /// The rung that succeeded: `"idp"`, `"greedy"` or `"exact"`
+        /// (the exact plan was kept despite a post-run cost trip).
+        rung: &'static str,
+    },
     /// The run is complete (successfully or not — emitted on the success
     /// path only, so its absence in a trace indicates an error).
     RunEnd,
@@ -97,6 +111,8 @@ impl Event {
             Event::TableStats { .. } => "table_stats",
             Event::ArenaStats { .. } => "arena_stats",
             Event::FinalCounters { .. } => "final_counters",
+            Event::BudgetExceeded { .. } => "budget_exceeded",
+            Event::Degraded { .. } => "degraded",
             Event::RunEnd => "run_end",
         }
     }
@@ -278,6 +294,12 @@ mod tests {
             .name(),
             "final_counters"
         );
+        assert_eq!(
+            Event::BudgetExceeded { budget: "time" }.name(),
+            "budget_exceeded"
+        );
+        assert_eq!(Event::BudgetExceeded { budget: "memory" }.phase(), "run");
+        assert_eq!(Event::Degraded { rung: "greedy" }.name(), "degraded");
         assert_eq!(Event::RunEnd.name(), "run_end");
     }
 }

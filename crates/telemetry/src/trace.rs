@@ -98,6 +98,14 @@ impl<W: Write> TraceWriter<W> {
                     ",\"inner\":{inner},\"csg_cmp_pairs\":{csg_cmp_pairs},\"ono_lohman\":{ono_lohman}"
                 ));
             }
+            Event::BudgetExceeded { budget } => {
+                s.push_str(",\"budget\":");
+                write_escaped(&mut s, budget);
+            }
+            Event::Degraded { rung } => {
+                s.push_str(",\"rung\":");
+                write_escaped(&mut s, rung);
+            }
         }
         s.push_str("}\n");
         s
