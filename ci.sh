@@ -15,11 +15,24 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo test"
 cargo test --workspace --offline -q
 
+echo "==> corpus regression replay"
+# Also part of the workspace test run above; the explicit gate makes a
+# corpus regression fail loudly under its own heading.
+cargo test --offline -q --test corpus
+
+echo "==> conformance fuzz smoke (fixed seed)"
+cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
+    fuzz --seed 42 --iters 200 --max-n 10 --minimize
+
 echo "==> resilience matrix with fault injection (--cfg failpoints)"
 # Separate target dir: the flag changes the crate's cfg set, and sharing
 # target/ would force a full rebuild on every alternation.
 RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
     cargo test -p joinopt-core --test resilience --offline -q
+
+echo "==> injected tie-break inversion is caught and minimized (--cfg failpoints)"
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo test -p joinopt-conformance --test tiebreak --offline -q
 
 echo "==> determinism matrix (parallel engine, release)"
 cargo test -p joinopt-core --test determinism --release --offline -q

@@ -46,6 +46,9 @@ pub enum CliError {
     /// Parsing or optimization failed (bad query text, disconnected
     /// graph, exceeded budget, …).
     Optimize(joinopt_core::OptimizeError),
+    /// `joinopt fuzz` found optimizer divergences (details were already
+    /// printed to stdout; the variant carries the one-line summary).
+    Conformance(String),
 }
 
 impl fmt::Display for CliError {
@@ -54,6 +57,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
+            CliError::Conformance(msg) => write!(f, "conformance failure: {msg}"),
         }
     }
 }
@@ -98,6 +102,7 @@ USAGE:
                                 [--metrics] [--trace-json PATH]
   joinopt generate <family> <n> [--seed S]
   joinopt counters <family> <max-n> [--metrics] [--trace-json PATH]
+  joinopt fuzz     [--seed S] [--iters N] [--max-n N] [--minimize]
   joinopt help
 
 ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
@@ -120,6 +125,13 @@ TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
              formulas) they additionally run DPsize/DPsub/DPccp on
              generated workloads, so max-n is capped at 12 there.
              Per-run telemetry is not available with --batch.
+FUZZING:     fuzz generates random query-graph instances (seed S, iters
+             N, up to --max-n relations each) and runs the differential
+             conformance oracle on every one: all exact algorithms,
+             the parallel engine at several thread counts, metamorphic
+             properties and counter closed forms. --minimize shrinks
+             each divergent instance to a minimal repro and prints it
+             in the query DSL. Exit is nonzero on any divergence.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -147,6 +159,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "compare" => cmd_compare(&args[1..], out),
         "generate" => cmd_generate(&args[1..], out),
         "counters" => cmd_counters(&args[1..], out),
+        "fuzz" => cmd_fuzz(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -174,7 +187,7 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 3] = ["metrics", "batch", "degrade"];
+const FLAG_OPTIONS: [&str; 4] = ["metrics", "batch", "degrade", "minimize"];
 
 /// Splits `args` into positionals and `--key value` options.
 /// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
@@ -595,6 +608,84 @@ fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     writeln!(out, "# {kind} query, n = {n}, seed = {seed}")?;
     write!(out, "{}", write_query(&q))?;
     Ok(())
+}
+
+/// `joinopt fuzz`: the differential conformance campaign as a CLI
+/// command, for CI smoke runs and for reproducing reported seeds.
+fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "fuzz takes options only, got `{}`",
+            positional.join(" ")
+        )));
+    }
+    let mut config = joinopt_conformance::FuzzConfig {
+        minimize: false,
+        ..joinopt_conformance::FuzzConfig::default()
+    };
+    for (key, value) in options {
+        match key {
+            "seed" => {
+                config.seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid seed `{value}`")))?;
+            }
+            "iters" => {
+                config.iters = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid iteration count `{value}`")))?;
+            }
+            "max-n" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid size `{value}`")))?;
+                if !(2..=16).contains(&n) {
+                    return Err(CliError::Usage(format!("--max-n {n} out of range 2..=16")));
+                }
+                config.max_n = n;
+            }
+            "minimize" => config.minimize = true,
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let start = Instant::now();
+    let report = joinopt_conformance::run_fuzz(&config);
+    writeln!(
+        out,
+        "fuzz: seed {}, {} instances (n ≤ {}) in {:.2?}",
+        config.seed,
+        report.checked,
+        config.max_n,
+        start.elapsed()
+    )?;
+    if report.is_clean() {
+        writeln!(out, "all instances conform")?;
+        return Ok(());
+    }
+    for failure in &report.failures {
+        writeln!(out)?;
+        writeln!(
+            out,
+            "FAIL {}: {}",
+            failure.instance.name, failure.divergence
+        )?;
+        let repro = failure.minimized.as_ref().unwrap_or(&failure.instance);
+        if failure.minimized.is_some() {
+            writeln!(
+                out,
+                "minimal repro ({} relations, {} edges):",
+                repro.graph.num_relations(),
+                repro.graph.num_edges()
+            )?;
+        }
+        write!(out, "{}", repro.to_dsl())?;
+    }
+    Err(CliError::Conformance(format!(
+        "{} of {} instances diverged",
+        report.failures.len(),
+        report.checked
+    )))
 }
 
 fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {

@@ -699,3 +699,26 @@ fn optimize_rejects_bad_budget_values_and_batch_combination() {
         CliError::Usage(_)
     ));
 }
+
+#[test]
+fn fuzz_smoke_run_is_clean() {
+    let out = run_ok(&["fuzz", "--seed", "7", "--iters", "20", "--max-n", "7"]);
+    assert!(out.contains("fuzz: seed 7, 20 instances"), "{out}");
+    assert!(out.contains("all instances conform"), "{out}");
+}
+
+#[test]
+fn fuzz_rejects_bad_options() {
+    assert!(matches!(
+        run_err(&["fuzz", "--seed", "nope"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["fuzz", "--max-n", "1"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["fuzz", "positional"]),
+        CliError::Usage(_)
+    ));
+}

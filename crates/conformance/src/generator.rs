@@ -1,0 +1,357 @@
+//! Deterministic SplitMix64-seeded instance generation.
+//!
+//! One `(master seed, index)` pair maps to exactly one [`Instance`]:
+//! the index is mixed through SplitMix64 into a per-instance seed, and
+//! everything else (family, size, topology, statistics) is drawn from a
+//! [`XorShift64`] stream on that seed. Two runs with the same master
+//! seed therefore see the same instances in the same order, and any
+//! single instance can be regenerated from its recorded seed alone.
+
+use joinopt_cost::workload::{self, StatsRanges};
+use joinopt_cost::Catalog;
+use joinopt_qgraph::{generators, GraphKind, QueryGraph};
+use joinopt_relset::XorShift64;
+
+/// Weyl-sequence increment of SplitMix64 (Steele, Lea & Flood 2014).
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 stream: `state` advances by the golden-ratio gamma
+/// and each output is the standard avalanche mix of the new state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A stream starting from `seed`.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// The `index`-th output of the stream seeded with `seed`, in O(1)
+    /// (SplitMix64's state is a Weyl sequence, so it can be jumped to).
+    pub fn at(seed: u64, index: u64) -> u64 {
+        mix(seed.wrapping_add(index.wrapping_add(1).wrapping_mul(GOLDEN_GAMMA)))
+    }
+}
+
+/// SplitMix64's output mix (a Stafford variant 13 finalizer).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The graph families the generator draws from: the paper's four
+/// closed-form families, the two structured extras, and fully random
+/// connected topologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// Path graph (`chain` in the paper).
+    Chain,
+    /// Cycle graph.
+    Cycle,
+    /// Star graph (relation 0 is the hub).
+    Star,
+    /// Complete graph.
+    Clique,
+    /// 2×⌈n/2⌉ grid.
+    Grid,
+    /// Uniform random spanning tree.
+    Tree,
+    /// Random connected graph (spanning tree plus random chords).
+    Random,
+}
+
+impl Family {
+    /// Every family, in generation order.
+    pub const ALL: [Family; 7] = [
+        Family::Chain,
+        Family::Cycle,
+        Family::Star,
+        Family::Clique,
+        Family::Grid,
+        Family::Tree,
+        Family::Random,
+    ];
+
+    /// Lower-case family name (used in instance names and file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Chain => "chain",
+            Family::Cycle => "cycle",
+            Family::Star => "star",
+            Family::Clique => "clique",
+            Family::Grid => "grid",
+            Family::Tree => "tree",
+            Family::Random => "random",
+        }
+    }
+
+    /// The closed-form [`GraphKind`] this family corresponds to, when
+    /// the paper's Section 2.3.2 formulas apply to it.
+    pub fn closed_form_kind(self) -> Option<GraphKind> {
+        match self {
+            Family::Chain => Some(GraphKind::Chain),
+            Family::Cycle => Some(GraphKind::Cycle),
+            Family::Star => Some(GraphKind::Star),
+            Family::Clique => Some(GraphKind::Clique),
+            _ => None,
+        }
+    }
+
+    /// Builds a graph of this family with `n` relations, consuming
+    /// randomness only for the randomized families.
+    pub fn build(self, n: usize, rng: &mut XorShift64) -> QueryGraph {
+        let fallback = || generators::generate(GraphKind::Chain, n);
+        match self {
+            Family::Chain => generators::generate(GraphKind::Chain, n),
+            Family::Cycle => generators::generate(GraphKind::Cycle, n),
+            Family::Star => generators::generate(GraphKind::Star, n),
+            Family::Clique => generators::generate(GraphKind::Clique, n),
+            // A 2-row grid needs an even n ≥ 4; degenerate sizes fall
+            // back to the chain (a 1×n grid).
+            Family::Grid => {
+                if n >= 4 && n.is_multiple_of(2) {
+                    generators::grid(2, n / 2).unwrap_or_else(|_| fallback())
+                } else {
+                    fallback()
+                }
+            }
+            Family::Tree => generators::random_tree(n, rng).unwrap_or_else(|_| fallback()),
+            Family::Random => {
+                let p = rng.gen_range_f64(0.1, 0.8);
+                generators::random_connected(n, p, rng).unwrap_or_else(|_| fallback())
+            }
+        }
+    }
+}
+
+/// One self-contained conformance instance: a connected (unless loaded
+/// from a deliberately disconnected repro) query graph plus statistics.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// Human-readable identity (`family-nN-seedHEX-catalog`), used in
+    /// divergence reports and corpus file headers.
+    pub name: String,
+    /// The per-instance seed everything was drawn from (0 for repros
+    /// loaded from DSL text).
+    pub seed: u64,
+    /// The family this instance was generated from, when its topology
+    /// has a closed-form counter formula.
+    pub kind: Option<GraphKind>,
+    /// The query graph.
+    pub graph: QueryGraph,
+    /// Statistics for `graph`.
+    pub catalog: Catalog,
+}
+
+impl Instance {
+    /// Serializes the instance to the query DSL (`relation R<i>` /
+    /// `join R<u> R<v> <sel>` lines), the format the `tests/corpus/`
+    /// regression directory stores minimized repros in. The output
+    /// parses back to the same graph shape and statistics (f64 `{}`
+    /// formatting is shortest-round-trip).
+    pub fn to_dsl(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.name);
+        for i in 0..self.graph.num_relations() {
+            let _ = writeln!(out, "relation R{i} {}", self.catalog.cardinality(i));
+        }
+        for (edge_id, e) in self.graph.edges().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "join R{} R{} {}",
+                e.u,
+                e.v,
+                self.catalog.selectivity(edge_id)
+            );
+        }
+        out
+    }
+
+    /// Rebuilds an instance from DSL text (the inverse of
+    /// [`Instance::to_dsl`], modulo relation names).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the text does not parse or contains
+    /// complex (multi-relation) predicates.
+    pub fn from_dsl(text: &str) -> Result<Instance, String> {
+        let q = joinopt_query::parse(text).map_err(|e| e.to_string())?;
+        let graph = q
+            .graph()
+            .cloned()
+            .ok_or_else(|| "instance has complex (hypergraph) predicates".to_string())?;
+        let name = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix('#'))
+            .map(|c| c.trim().to_string())
+            .filter(|c| !c.is_empty())
+            .unwrap_or_else(|| format!("dsl-n{}", graph.num_relations()));
+        Ok(Instance {
+            name,
+            seed: 0,
+            kind: None,
+            graph,
+            catalog: q.catalog,
+        })
+    }
+}
+
+/// Generates the `index`-th instance of the stream with master seed
+/// `master_seed`. Sizes are drawn uniformly from `2..=max_n`; every
+/// third instance (on average) gets a tie-rich *uniform* catalog —
+/// equal cardinalities and selectivities make distinct plans cost
+/// bit-identically, which is what exposes tie-breaking drift between
+/// engines.
+///
+/// # Panics
+///
+/// Panics if `max_n < 2`.
+pub fn generate_instance(master_seed: u64, index: u64, max_n: usize) -> Instance {
+    assert!(max_n >= 2, "instances need at least two relations");
+    let seed = SplitMix64::at(master_seed, index);
+    instance_from_seed(seed, max_n)
+}
+
+/// Builds the instance a bare per-instance seed encodes (the
+/// regenerate-from-report path).
+pub fn instance_from_seed(seed: u64, max_n: usize) -> Instance {
+    let mut rng = XorShift64::seed_from_u64(seed);
+    let family = Family::ALL[rng.gen_range(0..Family::ALL.len())];
+    let n = rng.gen_range(2..max_n + 1);
+    let graph = family.build(n, &mut rng);
+    let uniform = rng.gen_bool(1.0 / 3.0);
+    let catalog = if uniform {
+        uniform_catalog(&graph)
+    } else {
+        workload::random_catalog(&graph, StatsRanges::default(), &mut rng)
+    };
+    let n = graph.num_relations();
+    Instance {
+        name: format!(
+            "{}-n{}-seed{:#018x}-{}",
+            family.name(),
+            n,
+            seed,
+            if uniform { "uniform" } else { "random" }
+        ),
+        seed,
+        kind: family.closed_form_kind().filter(|_| {
+            // Grid/Tree fallbacks never claim a closed form; the four
+            // paper families always match their GraphKind by
+            // construction (cycle n ≤ 2 degenerates to chain inside
+            // the qgraph generator and its formulas agree).
+            n >= 2
+        }),
+        graph,
+        catalog,
+    }
+}
+
+/// A deliberately tie-rich catalog: every cardinality 1000, every
+/// selectivity 0.1. On symmetric topologies many distinct plans then
+/// cost *bit-identically*, so any tie-breaking difference between two
+/// engines surfaces as a plan mismatch.
+pub fn uniform_catalog(g: &QueryGraph) -> Catalog {
+    let mut cat = Catalog::new(g);
+    for i in 0..g.num_relations() {
+        cat.set_cardinality(i, 1000.0)
+            .unwrap_or_else(|e| unreachable!("uniform cardinality is valid: {e}"));
+    }
+    for e in 0..g.num_edges() {
+        cat.set_selectivity(e, 0.1)
+            .unwrap_or_else(|e| unreachable!("uniform selectivity is valid: {e}"));
+    }
+    cat
+}
+
+/// A ready-made tie-rich instance: a chain of `n` relations with the
+/// uniform catalog. The smallest graphs with cost ties — used by the
+/// tie-break injection test and handy for corpus seeds.
+pub fn tie_rich_chain(n: usize) -> Instance {
+    let graph = generators::generate(GraphKind::Chain, n);
+    let catalog = uniform_catalog(&graph);
+    Instance {
+        name: format!("chain-n{n}-uniform"),
+        seed: 0,
+        kind: Some(GraphKind::Chain),
+        graph,
+        catalog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_values() {
+        // Reference outputs for seed 1234567 from the published
+        // SplitMix64 algorithm.
+        let mut s = SplitMix64::new(1234567);
+        let first = s.next_u64();
+        assert_eq!(first, SplitMix64::at(1234567, 0));
+        let second = s.next_u64();
+        assert_eq!(second, SplitMix64::at(1234567, 1));
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        for index in 0..20 {
+            let a = generate_instance(42, index, 10);
+            let b = generate_instance(42, index, 10);
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.graph, b.graph);
+            assert_eq!(a.catalog, b.catalog);
+        }
+        let c = generate_instance(43, 0, 10);
+        let d = generate_instance(42, 0, 10);
+        assert_ne!(c.seed, d.seed);
+    }
+
+    #[test]
+    fn all_families_appear_connected_and_bounded() {
+        let mut seen = [false; 7];
+        for index in 0..200 {
+            let inst = generate_instance(7, index, 10);
+            assert!(inst.graph.is_connected(), "{}", inst.name);
+            let n = inst.graph.num_relations();
+            assert!((2..=10).contains(&n), "{}", inst.name);
+            let family = Family::ALL
+                .iter()
+                .position(|f| inst.name.starts_with(f.name()))
+                .expect("name starts with the family");
+            seen[family] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "200 draws cover all 7 families");
+    }
+
+    #[test]
+    fn dsl_round_trip_preserves_shape_and_stats() {
+        for index in 0..30 {
+            let inst = generate_instance(11, index, 9);
+            let back = Instance::from_dsl(&inst.to_dsl()).expect("to_dsl parses");
+            assert_eq!(back.name, inst.name, "name survives via the comment");
+            assert_eq!(back.graph, inst.graph);
+            assert_eq!(back.catalog, inst.catalog);
+        }
+    }
+
+    #[test]
+    fn tie_rich_chain_is_uniform() {
+        let inst = tie_rich_chain(5);
+        assert_eq!(inst.graph.num_relations(), 5);
+        assert!(inst.catalog.cardinalities().iter().all(|&c| c == 1000.0));
+        assert!(inst.catalog.selectivities().iter().all(|&s| s == 0.1));
+    }
+}

@@ -1,0 +1,182 @@
+//! Greedy shrinking: delete relations and edges while the divergence
+//! still reproduces.
+//!
+//! The minimizer is deliberately simple — delta debugging at
+//! granularity one. Each accepted step removes a single relation (with
+//! every incident edge, remapping indices) or a single edge; a step is
+//! accepted only when the caller's predicate still fails on the
+//! candidate, so the final instance reproduces the *same* divergence
+//! with nothing left to remove. Minimal repros serialize to the DSL
+//! via [`Instance::to_dsl`] for the `tests/corpus/` directory.
+
+use joinopt_cost::Catalog;
+use joinopt_qgraph::QueryGraph;
+
+use crate::generator::Instance;
+
+/// Shrinks `inst` while `still_fails` keeps returning `true` for the
+/// candidate. The predicate sees structurally valid instances only
+/// (never empty; edges always reference live relations) but may see
+/// disconnected ones — deleting a cut vertex disconnects the graph,
+/// and whether that still reproduces the failure is the predicate's
+/// call (the fuzz driver requires the same divergence label).
+pub fn minimize<F: Fn(&Instance) -> bool>(inst: &Instance, still_fails: F) -> Instance {
+    let mut current = inst.clone();
+    loop {
+        let mut improved = false;
+        // Pass 1: drop one relation at a time.
+        let mut i = 0;
+        while current.graph.num_relations() > 1 && i < current.graph.num_relations() {
+            let candidate = remove_relation(&current, i);
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                // Indices shifted; restart the scan over the smaller graph.
+                i = 0;
+            } else {
+                i += 1;
+            }
+        }
+        // Pass 2: drop one edge at a time.
+        let mut e = 0;
+        while e < current.graph.num_edges() {
+            let candidate = remove_edge(&current, e);
+            if still_fails(&candidate) {
+                current = candidate;
+                improved = true;
+                e = 0;
+            } else {
+                e += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    current.name = format!("{}-min{}", current.name, current.graph.num_relations());
+    current
+}
+
+/// A copy of `inst` without relation `victim`: incident edges are
+/// dropped, surviving relations are renumbered contiguously and the
+/// catalog follows.
+fn remove_relation(inst: &Instance, victim: usize) -> Instance {
+    let n = inst.graph.num_relations();
+    debug_assert!(n > 1 && victim < n);
+    let remap = |r: usize| if r > victim { r - 1 } else { r };
+    let mut graph =
+        QueryGraph::new(n - 1).unwrap_or_else(|e| unreachable!("shrunk size is valid: {e}"));
+    let mut kept_edges = Vec::new();
+    for (edge_id, e) in inst.graph.edges().iter().enumerate() {
+        if e.u == victim || e.v == victim {
+            continue;
+        }
+        graph
+            .add_edge(remap(e.u), remap(e.v))
+            .unwrap_or_else(|e| unreachable!("remapped edge is valid: {e}"));
+        kept_edges.push(edge_id);
+    }
+    let mut catalog = Catalog::with_shape(n - 1, kept_edges.len());
+    for old in (0..n).filter(|&r| r != victim) {
+        catalog
+            .set_cardinality(remap(old), inst.catalog.cardinality(old))
+            .unwrap_or_else(|e| unreachable!("cardinality was already valid: {e}"));
+    }
+    for (new_id, &old_id) in kept_edges.iter().enumerate() {
+        catalog
+            .set_selectivity(new_id, inst.catalog.selectivity(old_id))
+            .unwrap_or_else(|e| unreachable!("selectivity was already valid: {e}"));
+    }
+    Instance {
+        name: inst.name.clone(),
+        seed: inst.seed,
+        kind: None, // the shrunk topology no longer matches the family
+        graph,
+        catalog,
+    }
+}
+
+/// A copy of `inst` without edge `victim` (relations untouched).
+fn remove_edge(inst: &Instance, victim: usize) -> Instance {
+    let n = inst.graph.num_relations();
+    let mut graph = QueryGraph::new(n).unwrap_or_else(|e| unreachable!("same size is valid: {e}"));
+    let mut catalog = Catalog::with_shape(n, inst.graph.num_edges() - 1);
+    for i in 0..n {
+        catalog
+            .set_cardinality(i, inst.catalog.cardinality(i))
+            .unwrap_or_else(|e| unreachable!("cardinality was already valid: {e}"));
+    }
+    let mut new_id = 0;
+    for (edge_id, e) in inst.graph.edges().iter().enumerate() {
+        if edge_id == victim {
+            continue;
+        }
+        graph
+            .add_edge(e.u, e.v)
+            .unwrap_or_else(|e| unreachable!("surviving edge is valid: {e}"));
+        catalog
+            .set_selectivity(new_id, inst.catalog.selectivity(edge_id))
+            .unwrap_or_else(|e| unreachable!("selectivity was already valid: {e}"));
+        new_id += 1;
+    }
+    Instance {
+        name: inst.name.clone(),
+        seed: inst.seed,
+        kind: None,
+        graph,
+        catalog,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_instance, tie_rich_chain};
+
+    #[test]
+    fn minimizes_a_relation_count_predicate() {
+        // "Fails whenever ≥ 3 relations remain" must shrink to exactly 3.
+        let inst = tie_rich_chain(9);
+        let min = minimize(&inst, |c| c.graph.num_relations() >= 3);
+        assert_eq!(min.graph.num_relations(), 3);
+        assert!(min.name.contains("-min3"), "{}", min.name);
+    }
+
+    #[test]
+    fn minimizes_an_edge_predicate() {
+        // "Fails while relation 0 keeps degree ≥ 1" leaves one covering
+        // edge at most (plus whatever relations survive pass 1).
+        let inst = generate_instance(5, 3, 8);
+        let min = minimize(&inst, |c| c.graph.degree(0) >= 1);
+        assert!(min.graph.degree(0) >= 1);
+        assert!(min.graph.num_relations() <= inst.graph.num_relations());
+        assert!(
+            min.graph.num_edges() <= 2,
+            "greedy leaves a minimal edge set"
+        );
+    }
+
+    #[test]
+    fn never_fails_predicate_returns_input_unchanged_but_tagged() {
+        let inst = tie_rich_chain(4);
+        let min = minimize(&inst, |_| false);
+        assert_eq!(min.graph, inst.graph);
+        assert_eq!(min.catalog, inst.catalog);
+    }
+
+    #[test]
+    fn removal_keeps_catalog_aligned() {
+        let inst = generate_instance(1, 1, 8);
+        let smaller = remove_relation(&inst, 0);
+        assert_eq!(
+            smaller.graph.num_relations(),
+            inst.graph.num_relations() - 1
+        );
+        assert!(smaller.catalog.check_shape(&smaller.graph).is_ok());
+        if inst.graph.num_edges() > 0 {
+            let fewer = remove_edge(&inst, 0);
+            assert_eq!(fewer.graph.num_edges(), inst.graph.num_edges() - 1);
+            assert!(fewer.catalog.check_shape(&fewer.graph).is_ok());
+        }
+    }
+}

@@ -10,12 +10,15 @@
 //!
 //! # Sites
 //!
-//! | site           | location                                   |
-//! |----------------|--------------------------------------------|
-//! | `table-insert` | DP-table insert path (driver and IDP)      |
-//! | `arena-alloc`  | plan-arena node allocation                 |
-//! | `estimator`    | cardinality-estimator construction         |
-//! | `worker-spawn` | parallel-engine worker spawn               |
+//! | site                    | location                                   |
+//! |-------------------------|--------------------------------------------|
+//! | `table-insert`          | DP-table insert path (driver and IDP)      |
+//! | `arena-alloc`           | plan-arena node allocation                 |
+//! | `estimator`             | cardinality-estimator construction         |
+//! | `worker-spawn`          | parallel-engine worker spawn               |
+//! | `engine-tiebreak-invert`| behavioral [`flag`]: the parallel engine's |
+//! |                         | cost tie-break keeps the *last* candidate  |
+//! |                         | instead of the first (conformance harness) |
 //!
 //! The registry is a global mutex; tests that arm sites must serialize
 //! themselves (the resilience suite shares one test lock). A panicking
@@ -90,6 +93,13 @@ mod registry {
         }
     }
 
+    /// Whether `site` is currently armed, without consuming a trigger.
+    pub fn is_armed(site: &str) -> bool {
+        lock()
+            .as_ref()
+            .is_some_and(|map| map.get(site).is_some_and(|a| a.remaining != Some(0)))
+    }
+
     /// The action `site` should take now, decrementing its trigger
     /// count. `None` when the site is not armed.
     pub fn fire(site: &str) -> Option<FailAction> {
@@ -133,6 +143,24 @@ pub fn check(site: &'static str) -> Result<(), OptimizeError> {
 #[inline(always)]
 pub fn check(_site: &'static str) -> Result<(), OptimizeError> {
     Ok(())
+}
+
+/// A *behavioral* failpoint: `true` while `site` is armed (with any
+/// [`FailAction`] — the action is ignored and no trigger is consumed).
+/// Sites branch on it to flip an internal policy rather than fail, so
+/// the conformance harness can prove it detects subtle divergence (the
+/// parallel engine's `engine-tiebreak-invert`).
+#[cfg(failpoints)]
+pub fn flag(site: &'static str) -> bool {
+    registry::is_armed(site)
+}
+
+/// A *behavioral* failpoint: constant `false` in normal builds, so the
+/// branch it guards folds away entirely.
+#[cfg(not(failpoints))]
+#[inline(always)]
+pub fn flag(_site: &'static str) -> bool {
+    false
 }
 
 #[cfg(all(test, failpoints))]

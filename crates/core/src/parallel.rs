@@ -307,7 +307,10 @@ fn process_chunk(
                 Some((bc, bs)) => {
                     // Strict improvement only: ties keep the first
                     // (canonically smallest) S1, as in the sequential run.
-                    if cost < *bc {
+                    // The behavioral failpoint inverts the tie policy
+                    // (keep-last) so the conformance harness can prove
+                    // its engine-vs-sequential check catches the drift.
+                    if cost < *bc || (cost == *bc && failpoint::flag("engine-tiebreak-invert")) {
                         *bc = cost;
                         *bs = s1.bits();
                     }

@@ -158,3 +158,60 @@ fn cross_products_handle_disconnected_graphs_at_any_thread_count() {
             .is_err());
     }
 }
+
+#[test]
+fn boundary_sizes_are_bit_identical_at_full_thread_fanout() {
+    // n = 1 (no joins at all) and n = 2 (a single join) leave most
+    // worker threads with empty chunks; the merge must still reproduce
+    // the sequential answer bit for bit.
+    for n in [1usize, 2] {
+        let mut g = QueryGraph::new(n).unwrap();
+        if n == 2 {
+            g.add_edge(0, 1).unwrap();
+        }
+        let cat = joinopt_cost::Catalog::new(&g);
+        for alg in PARALLEL {
+            let ctx = format!("n={n} {alg:?}");
+            let seq = alg.orderer(&g).optimize(&g, &cat, &Cout).unwrap();
+            let par = OptimizeRequest::new(&g, &cat)
+                .with_algorithm(alg)
+                .with_threads(8)
+                .run()
+                .unwrap()
+                .result;
+            assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "cost {ctx}");
+            assert_eq!(seq.tree, par.tree, "tree {ctx}");
+            assert_eq!(seq.counters, par.counters, "counters {ctx}");
+            assert_eq!(seq.table_size, par.table_size, "table size {ctx}");
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_thread_counts_stay_bit_identical() {
+    // Requesting far more threads than the machine has cores must not
+    // change the result — chunking is by requested thread count, so
+    // this exercises many tiny chunks and heavy scheduler interleaving.
+    let requested = std::thread::available_parallelism()
+        .map(|p| p.get() * 4)
+        .unwrap_or(64)
+        .max(32);
+    for kind in GraphKind::ALL {
+        let w = workload::family_workload(kind, 9, 13);
+        let seq = Algorithm::DpSub
+            .orderer(&w.graph)
+            .optimize(&w.graph, &w.catalog, &Cout)
+            .unwrap();
+        let par = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpSub)
+            .with_threads(requested)
+            .run()
+            .unwrap()
+            .result;
+        let ctx = format!("{kind} t={requested}");
+        assert_eq!(seq.cost.to_bits(), par.cost.to_bits(), "cost {ctx}");
+        assert_eq!(seq.tree, par.tree, "tree {ctx}");
+        assert_eq!(seq.counters, par.counters, "counters {ctx}");
+        assert_eq!(seq.table_size, par.table_size, "table size {ctx}");
+    }
+}

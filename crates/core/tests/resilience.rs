@@ -162,6 +162,26 @@ fn degraded_plans_cost_no_less_than_the_optimum() {
 }
 
 #[test]
+fn ladder_exhausted_when_even_goo_trips() {
+    // A 16-byte budget is below even GOO's small accounted footprint,
+    // so the ladder runs out of rungs: exact trips, IDP trips, GOO
+    // trips — and the caller gets the typed error of the *last* rung
+    // instead of a plan. Degradation trades optimality for survival,
+    // but it never fabricates a plan it could not build.
+    let w = workload::family_workload(GraphKind::Clique, 10, 0);
+    let err = OptimizeRequest::new(&w.graph, &w.catalog)
+        .with_algorithm(Algorithm::DpSub)
+        .with_memory_budget(16)
+        .on_budget_exceeded(BudgetAction::Degrade)
+        .run()
+        .unwrap_err();
+    assert!(
+        matches!(err, OptimizeError::MemoryBudgetExceeded { .. }),
+        "exhausted ladder must surface the budget error, got: {err}"
+    );
+}
+
+#[test]
 fn batch_isolates_invalid_queries_between_valid_ones() {
     let good: Vec<_> = (0..4)
         .map(|seed| workload::family_workload(GraphKind::ALL[seed % 4], 6, seed as u64))
@@ -352,6 +372,44 @@ mod failpoints {
         );
         for (i, r) in results.iter().enumerate().skip(1) {
             let ok = r.as_ref().unwrap_or_else(|e| panic!("query {i}: {e}"));
+            assert_eq!(ok.tree.relations(), workloads[i].graph.all_relations());
+        }
+    }
+
+    #[test]
+    fn batch_survives_every_query_panicking() {
+        let _guard = armed();
+        // Unlimited panics: every query in the batch blows up its
+        // worker session. Each slot must come back as a typed error —
+        // never a silent drop, a wrong-index shift, or a poisoned pool
+        // corrupting a neighbour — and a follow-up batch on the same
+        // optimizer must work again once the fault is cleared (the pool
+        // discards every panicked session instead of reusing it).
+        let workloads: Vec<_> = (0..4)
+            .map(|seed| workload::family_workload(GraphKind::Chain, 6, seed))
+            .collect();
+        let queries: Vec<(&QueryGraph, &Catalog)> =
+            workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
+        failpoint::configure("table-insert", FailAction::Panic);
+        let optimizer = Optimizer::new()
+            .with_algorithm(Algorithm::DpCcp)
+            .with_threads(2);
+        let results = optimizer.optimize_batch(&queries);
+        failpoint::clear_all();
+        assert_eq!(results.len(), 4);
+        for (i, r) in results.iter().enumerate() {
+            let err = r.as_ref().expect_err("every query must fail");
+            assert!(
+                matches!(err, OptimizeError::Internal(m) if m.contains("panic")),
+                "query {i}: {err}"
+            );
+        }
+        // Same optimizer, fault cleared: the pool must be clean.
+        let recovered = optimizer.optimize_batch(&queries);
+        for (i, r) in recovered.iter().enumerate() {
+            let ok = r
+                .as_ref()
+                .unwrap_or_else(|e| panic!("query {i} after recovery: {e}"));
             assert_eq!(ok.tree.relations(), workloads[i].graph.all_relations());
         }
     }

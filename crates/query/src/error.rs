@@ -40,6 +40,13 @@ pub enum ParseError {
         /// The duplicated name.
         name: String,
     },
+    /// A relation name contains a character the format reserves.
+    InvalidName {
+        /// Source line.
+        line: usize,
+        /// The rejected name.
+        name: String,
+    },
     /// A join referenced an undeclared relation.
     UnknownRelation {
         /// Source line.
@@ -87,6 +94,7 @@ impl ParseError {
             | ParseError::WrongArity { line, .. }
             | ParseError::BadNumber { line, .. }
             | ParseError::DuplicateRelation { line, .. }
+            | ParseError::InvalidName { line, .. }
             | ParseError::UnknownRelation { line, .. }
             | ParseError::DuplicateJoin { line, .. }
             | ParseError::SelfJoin { line, .. }
@@ -117,6 +125,13 @@ impl fmt::Display for ParseError {
             }
             ParseError::DuplicateRelation { line, name } => {
                 write!(f, "line {line}: relation `{name}` declared twice")
+            }
+            ParseError::InvalidName { line, name } => {
+                write!(
+                    f,
+                    "line {line}: relation name `{name}` contains `,`, which separates \
+                     join-side relation lists"
+                )
             }
             ParseError::UnknownRelation { line, name } => {
                 write!(f, "line {line}: unknown relation `{name}`")

@@ -136,6 +136,15 @@ pub fn parse(input: &str) -> Result<ParsedQuery, ParseError> {
                     what: "cardinality",
                     text: card_text.to_string(),
                 })?;
+                // `,` separates relation lists on `join` lines, so a
+                // name containing it would parse at declaration yet be
+                // unreferencable (and break the print→parse round trip).
+                if name.contains(',') {
+                    return Err(ParseError::InvalidName {
+                        line,
+                        name: name.to_string(),
+                    });
+                }
                 if index.contains_key(name) {
                     return Err(ParseError::DuplicateRelation {
                         line,
@@ -368,6 +377,17 @@ join orders   lineitem 6.67e-7   # key join
     fn error_duplicate_relation() {
         let e = parse("relation a 10\nrelation a 20\n").unwrap_err();
         assert!(matches!(e, ParseError::DuplicateRelation { line: 2, .. }));
+    }
+
+    #[test]
+    fn error_comma_in_relation_name() {
+        // Before the `InvalidName` check such a name was accepted at
+        // declaration but could never be referenced (join-side tokens
+        // split on `,`), so printed queries failed to re-parse.
+        let e = parse("relation a,b 10\n").unwrap_err();
+        assert!(matches!(e, ParseError::InvalidName { line: 1, .. }));
+        assert!(e.to_string().contains("a,b"), "{e}");
+        assert_eq!(e.line(), Some(1));
     }
 
     #[test]

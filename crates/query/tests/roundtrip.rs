@@ -74,3 +74,51 @@ fn weird_whitespace_is_tolerated() {
         assert_eq!(q.catalog.selectivity(0), 0.5);
     }
 }
+
+#[test]
+fn exotic_names_round_trip_or_are_rejected_up_front() {
+    // Names are free-form tokens: anything without whitespace or `#`
+    // survives tokenization, and everything except `,` round-trips.
+    let src = "relation α.β-γ_δ 10\nrelation x;y|z! 20\njoin α.β-γ_δ x;y|z! 0.5\n";
+    let q1 = parse(src).unwrap();
+    let q2 = parse(&write(&q1)).unwrap();
+    assert_eq!(q1.names(), q2.names());
+    assert_eq!(&q1.hypergraph, &q2.hypergraph);
+    assert_eq!(&q1.catalog, &q2.catalog);
+    // A `,` in a name would make the printed join line ambiguous; the
+    // parser rejects it at declaration instead of accepting a query
+    // that cannot be re-parsed from its own serialization.
+    assert!(matches!(
+        parse("relation a,b 10\n"),
+        Err(joinopt_query::ParseError::InvalidName { line: 1, .. })
+    ));
+}
+
+#[test]
+fn hyperedge_queries_round_trip() {
+    // Random mixes of binary and complex predicates: the comma-list
+    // syntax must survive write ∘ parse unchanged.
+    let mut rng = XorShift64::seed_from_u64(503);
+    for _ in 0..32 {
+        let n = rng.gen_range(3..9);
+        let mut src = String::new();
+        use core::fmt::Write as _;
+        for i in 0..n {
+            let _ = writeln!(src, "relation r{i} {}", rng.gen_range(1..1000));
+        }
+        let _ = writeln!(src, "join r0 r1 0.5");
+        for i in 2..n {
+            if rng.gen_bool(0.5) {
+                let _ = writeln!(src, "join r{},r{} r{} 0.25", i - 2, i - 1, i);
+            } else {
+                let _ = writeln!(src, "join r{} r{} 0.125", i - 1, i);
+            }
+        }
+        let q1 = parse(&src).unwrap();
+        let q2 = parse(&write(&q1)).unwrap();
+        assert_eq!(q1.names(), q2.names());
+        assert_eq!(&q1.hypergraph, &q2.hypergraph);
+        assert_eq!(q1.graph(), q2.graph());
+        assert_eq!(&q1.catalog, &q2.catalog);
+    }
+}

@@ -1,0 +1,69 @@
+//! Corpus regression replay: every minimized repro committed under
+//! `tests/corpus/` runs through the full conformance check (differential
+//! oracle + metamorphic properties) on every build.
+//!
+//! The directory is the fuzzer's long-term memory. When `joinopt fuzz`
+//! finds and minimizes a divergence, the repro's DSL goes here so the
+//! bug stays fixed; the seed files cover every generator family plus
+//! the structural edge cases (a disconnected graph, a single relation).
+
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}
+
+fn corpus_files() -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus/ exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "query"))
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_seeded() {
+    let files = corpus_files();
+    assert!(
+        files.len() >= 10,
+        "tests/corpus/ must hold at least 10 .query repros, found {}",
+        files.len()
+    );
+}
+
+#[test]
+fn corpus_covers_every_family_and_edge_case() {
+    let names: Vec<String> = corpus_files()
+        .iter()
+        .map(|p| p.file_name().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for required in [
+        "chain",
+        "cycle",
+        "star",
+        "clique",
+        "grid",
+        "tree",
+        "random",
+        "disconnected",
+        "single",
+    ] {
+        assert!(
+            names.iter().any(|n| n.contains(required)),
+            "no corpus file covers `{required}`: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn every_corpus_entry_replays_clean() {
+    for path in corpus_files() {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        joinopt_conformance::check_dsl(&text).unwrap_or_else(|d| panic!("{}: {d}", path.display()));
+    }
+}
