@@ -37,6 +37,14 @@ RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
 echo "==> determinism matrix (parallel engine, release)"
 cargo test -p joinopt-core --test determinism --release --offline -q
 
+echo "==> performance baseline check (counters-only, hardware-independent)"
+# Replays the matrix pinned in BENCH_joinopt.json and fails on any
+# counter, table-size or cost-bit drift. Wall time and arena bytes are
+# deliberately not gated here (--counters-only), so the gate passes on
+# any hardware; re-pin with `joinopt perf` after an intended change.
+cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
+    perf --check BENCH_joinopt.json --counters-only
+
 echo "==> examples (release)"
 cargo build --offline --release --examples
 for example in examples/*.rs; do

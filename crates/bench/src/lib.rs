@@ -11,6 +11,7 @@
 //! marked `~`; `--full` runs everything honestly.
 
 pub mod microbench;
+pub mod perf;
 
 use std::time::{Duration, Instant};
 

@@ -20,6 +20,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
 
+use joinopt_bench::perf::{run_matrix, PerfBaseline, PerfConfig};
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
 use joinopt_core::greedy::Goo;
 use joinopt_core::{Algorithm, DpCcp, DpHyp, DpSize, DpSub, JoinOrderer};
@@ -29,7 +30,10 @@ use joinopt_cost::{
 use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
 use joinopt_qgraph::GraphKind;
 use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
-use joinopt_telemetry::{MetricsCollector, NoopObserver, Observer, RunReport, Tee, TraceWriter};
+use joinopt_telemetry::{
+    collapse_trace, Fanout, MetricsCollector, MetricsRegistry, NoopObserver, Observer,
+    RegistryObserver, RunReport, SyncFanout, TraceWriter,
+};
 
 /// Errors surfaced to the CLI user (exit code 1 + message).
 ///
@@ -49,6 +53,12 @@ pub enum CliError {
     /// `joinopt fuzz` found optimizer divergences (details were already
     /// printed to stdout; the variant carries the one-line summary).
     Conformance(String),
+    /// An input data file (perf baseline, trace) was malformed.
+    Data(String),
+    /// `joinopt perf --check` found regressions against the committed
+    /// baseline (diff lines were already printed to stdout; the variant
+    /// carries the one-line summary).
+    Regression(String),
 }
 
 impl fmt::Display for CliError {
@@ -58,6 +68,8 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "io error: {e}"),
             CliError::Optimize(e) => write!(f, "optimization failed: {e}"),
             CliError::Conformance(msg) => write!(f, "conformance failure: {msg}"),
+            CliError::Data(msg) => write!(f, "invalid input: {msg}"),
+            CliError::Regression(msg) => write!(f, "performance regression: {msg}"),
         }
     }
 }
@@ -95,14 +107,22 @@ joinopt — optimal bushy join trees without cross products (VLDB 2006)
 USAGE:
   joinopt optimize <query-file> [--algorithm NAME] [--cost-model NAME]
                                 [--threads N] [--metrics] [--trace-json PATH]
-                                [--memory-budget BYTES] [--degrade]
+                                [--prom PATH] [--memory-budget BYTES]
+                                [--degrade]
   joinopt optimize <query-file>... --batch [--algorithm NAME]
                                 [--cost-model NAME] [--threads N]
+                                [--trace-json PATH] [--prom PATH]
   joinopt compare  <query-file> [--cost-model NAME]
-                                [--metrics] [--trace-json PATH]
+                                [--metrics] [--trace-json PATH] [--prom PATH]
   joinopt generate <family> <n> [--seed S]
   joinopt counters <family> <max-n> [--metrics] [--trace-json PATH]
+                                [--prom PATH]
   joinopt fuzz     [--seed S] [--iters N] [--max-n N] [--minimize]
+                   [--metrics] [--trace-json PATH] [--prom PATH]
+  joinopt perf     [--out PATH] [--n N] [--reps K] [--seed S]
+                   [--threads LIST] [--noise F]
+  joinopt perf     --check PATH [--counters-only]
+  joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
 ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
@@ -121,10 +141,24 @@ ROBUSTNESS:  --memory-budget BYTES (suffixes k/m/g) aborts the run once
              plan instead of failing (see docs/robustness.md).
 TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
              arena statistics); --trace-json streams every telemetry
-             event to PATH as JSON lines. On `counters` (closed
-             formulas) they additionally run DPsize/DPsub/DPccp on
-             generated workloads, so max-n is capped at 12 there.
-             Per-run telemetry is not available with --batch.
+             event to PATH as JSON lines; --prom aggregates every
+             observed run into a metrics registry and writes a
+             Prometheus text-exposition snapshot to PATH on exit. On
+             `counters` (closed formulas) they additionally run
+             DPsize/DPsub/DPccp on generated workloads, so max-n is
+             capped at 12 there. --batch supports --trace-json/--prom
+             (events from all workers, tagged thread_id) but not the
+             per-run --metrics report. `flame` folds a --trace-json
+             file into collapsed-stack lines (`stack count`) ready for
+             a flamegraph renderer.
+PERF:        perf runs the pinned baseline matrix (chain/star/clique ×
+             DPsize, DPccp, DPsub at --threads LIST, e.g. 1,2,4) and
+             writes BENCH_joinopt.json (override with --out). --check
+             re-runs the matrix pinned in PATH and fails on any counter,
+             table-size or cost-bit drift; full mode also gates arena
+             bytes (exact) and wall time (baseline × (1 + noise)),
+             while --counters-only skips both, making the check
+             hardware-independent (the CI smoke gate).
 FUZZING:     fuzz generates random query-graph instances (seed S, iters
              N, up to --max-n relations each) and runs the differential
              conformance oracle on every one: all exact algorithms,
@@ -160,6 +194,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "generate" => cmd_generate(&args[1..], out),
         "counters" => cmd_counters(&args[1..], out),
         "fuzz" => cmd_fuzz(&args[1..], out),
+        "perf" => cmd_perf(&args[1..], out),
+        "flame" => cmd_flame(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -187,7 +223,7 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 4] = ["metrics", "batch", "degrade", "minimize"];
+const FLAG_OPTIONS: [&str; 5] = ["metrics", "batch", "degrade", "minimize", "counters-only"];
 
 /// Splits `args` into positionals and `--key value` options.
 /// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
@@ -217,21 +253,29 @@ fn split_options(args: &[String]) -> Result<SplitArgs<'_>, CliError> {
 }
 
 /// The telemetry sinks a command was asked for (`--metrics`,
-/// `--trace-json PATH`), bundled so each command can run its
-/// optimizations observed and emit the report afterwards.
+/// `--trace-json PATH`, `--prom PATH`), bundled so each command can run
+/// its optimizations observed and emit the report afterwards.
 struct Telemetry {
     metrics: Option<MetricsCollector>,
     trace: Option<TraceWriter<BufWriter<File>>>,
+    /// Registry aggregating every observed run, written as a Prometheus
+    /// text-exposition file on [`Telemetry::close`].
+    prom: Option<(MetricsRegistry, String)>,
 }
 
 impl Telemetry {
-    fn new(metrics: bool, trace_path: Option<&str>) -> Result<Telemetry, CliError> {
+    fn new(
+        metrics: bool,
+        trace_path: Option<&str>,
+        prom_path: Option<&str>,
+    ) -> Result<Telemetry, CliError> {
         Ok(Telemetry {
             metrics: metrics.then(MetricsCollector::new),
             trace: match trace_path {
                 Some(path) => Some(TraceWriter::new(BufWriter::new(File::create(path)?))),
                 None => None,
             },
+            prom: prom_path.map(|p| (MetricsRegistry::new(), p.to_string())),
         })
     }
 
@@ -239,11 +283,24 @@ impl Telemetry {
     /// when no telemetry was requested, so unobserved invocations stay on
     /// the zero-overhead path).
     fn observe<R>(&self, f: impl FnOnce(&dyn Observer) -> R) -> R {
-        match (&self.metrics, &self.trace) {
-            (Some(m), Some(t)) => f(&Tee::new(m, t)),
-            (Some(m), None) => f(m),
-            (None, Some(t)) => f(t),
-            (None, None) => f(&NoopObserver),
+        let registry = self
+            .prom
+            .as_ref()
+            .map(|(registry, _)| RegistryObserver::new(registry));
+        let mut sinks: Vec<&dyn Observer> = Vec::new();
+        if let Some(m) = &self.metrics {
+            sinks.push(m);
+        }
+        if let Some(t) = &self.trace {
+            sinks.push(t);
+        }
+        if let Some(r) = &registry {
+            sinks.push(r);
+        }
+        match sinks.as_slice() {
+            [] => f(&NoopObserver),
+            [only] => f(*only),
+            _ => f(&Fanout::new(sinks)),
         }
     }
 
@@ -254,10 +311,14 @@ impl Telemetry {
         self.metrics.as_ref().map(MetricsCollector::report)
     }
 
-    /// Flushes and closes the trace file, surfacing deferred I/O errors.
+    /// Flushes the trace file and writes the Prometheus snapshot,
+    /// surfacing deferred I/O errors.
     fn close(self) -> Result<(), CliError> {
         if let Some(trace) = self.trace {
             trace.finish()?.flush()?;
+        }
+        if let Some((registry, path)) = self.prom {
+            std::fs::write(&path, registry.snapshot().to_prometheus())?;
         }
         Ok(())
     }
@@ -297,6 +358,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut model: Box<dyn CostModel> = Box::new(Cout);
     let mut metrics = false;
     let mut trace_path = None;
+    let mut prom_path = None;
     let mut threads: Option<usize> = None;
     let mut batch = false;
     let mut memory_budget: Option<usize> = None;
@@ -310,6 +372,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             "cost-model" => model = parse_cost_model(value)?,
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
+            "prom" => prom_path = Some(value),
             "threads" => {
                 threads = Some(
                     value
@@ -329,9 +392,11 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     }
     if batch {
-        if metrics || trace_path.is_some() {
+        if metrics {
             return Err(CliError::Usage(
-                "per-run telemetry (--metrics/--trace-json) is not available with --batch".into(),
+                "the per-run --metrics report is not available with --batch \
+                 (use --trace-json or --prom, which aggregate across workers)"
+                    .into(),
             ));
         }
         if memory_budget.is_some() || degrade {
@@ -339,12 +404,20 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 "--memory-budget/--degrade apply to single runs, not --batch".into(),
             ));
         }
-        return cmd_optimize_batch(&positional, algorithm, model, threads.unwrap_or(0), out);
+        return cmd_optimize_batch(
+            &positional,
+            algorithm,
+            model,
+            threads.unwrap_or(0),
+            trace_path,
+            prom_path,
+            out,
+        );
     }
     let [path] = positional.as_slice() else {
         return Err(CliError::Usage("optimize expects one query file".into()));
     };
-    let telemetry = Telemetry::new(metrics, trace_path)?;
+    let telemetry = Telemetry::new(metrics, trace_path, prom_path)?;
 
     let q = load_query(path)?;
     let (name, result, used_threads, elapsed, degradation) = match q.graph() {
@@ -425,15 +498,19 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `optimize --batch`: loads every query file, then spreads the whole
 /// set across worker threads via
-/// [`Optimizer::optimize_batch`](joinopt_core::Optimizer::optimize_batch).
+/// [`Optimizer::optimize_batch_observed`](joinopt_core::Optimizer::optimize_batch_observed).
 /// Per-query failures (disconnected graphs, …) become rows, not a
 /// command failure — a batch is useful precisely when some inputs are
-/// suspect.
+/// suspect. Batch telemetry sinks must be `Sync` (workers report
+/// concurrently, tagged by `thread_id`), which the trace writer and the
+/// metrics registry are but the per-run collector is not.
 fn cmd_optimize_batch(
     paths: &[&str],
     algorithm: Algorithm,
     model: Box<dyn CostModel>,
     threads: usize,
+    trace_path: Option<&str>,
+    prom_path: Option<&str>,
     out: &mut dyn Write,
 ) -> Result<(), CliError> {
     if paths.is_empty() {
@@ -459,9 +536,30 @@ fn cmd_optimize_batch(
         .with_algorithm(algorithm)
         .with_cost_model(model)
         .with_threads(threads);
+    let trace = match trace_path {
+        Some(path) => Some(TraceWriter::new(BufWriter::new(File::create(path)?))),
+        None => None,
+    };
+    let registry = prom_path.map(|_| MetricsRegistry::new());
+    let registry_obs = registry.as_ref().map(RegistryObserver::new);
+    let mut sinks: Vec<&(dyn Observer + Sync)> = Vec::new();
+    if let Some(t) = &trace {
+        sinks.push(t);
+    }
+    if let Some(r) = &registry_obs {
+        sinks.push(r);
+    }
+    let fanout = SyncFanout::new(sinks);
     let start = Instant::now();
-    let results = optimizer.optimize_batch(&pairs);
+    let results = optimizer.optimize_batch_observed(&pairs, &fanout);
     let elapsed = start.elapsed();
+    drop(registry_obs);
+    if let Some(t) = trace {
+        t.finish()?.flush()?;
+    }
+    if let (Some(registry), Some(path)) = (registry, prom_path) {
+        std::fs::write(path, registry.snapshot().to_prometheus())?;
+    }
     writeln!(
         out,
         "{:<4} {:>14} {:>14}  query",
@@ -499,15 +597,17 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut model: Box<dyn CostModel> = Box::new(Cout);
     let mut metrics = false;
     let mut trace_path = None;
+    let mut prom_path = None;
     for (key, value) in options {
         match key {
             "cost-model" => model = parse_cost_model(value)?,
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
+            "prom" => prom_path = Some(value),
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
-    let telemetry = Telemetry::new(metrics, trace_path)?;
+    let telemetry = Telemetry::new(metrics, trace_path, prom_path)?;
     let q = load_query(path)?;
     writeln!(
         out,
@@ -624,6 +724,9 @@ fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         minimize: false,
         ..joinopt_conformance::FuzzConfig::default()
     };
+    let mut metrics = false;
+    let mut trace_path = None;
+    let mut prom_path = None;
     for (key, value) in options {
         match key {
             "seed" => {
@@ -646,11 +749,43 @@ fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 config.max_n = n;
             }
             "minimize" => config.minimize = true,
+            "metrics" => metrics = true,
+            "trace-json" => trace_path = Some(value),
+            "prom" => prom_path = Some(value),
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    // Campaign-scale telemetry: a registry aggregates every reference
+    // run (the per-run collector would only ever show the last one), so
+    // --metrics here prints the registry's text snapshot.
+    let registry = (metrics || prom_path.is_some()).then(MetricsRegistry::new);
+    let registry_obs = registry.as_ref().map(RegistryObserver::new);
+    let trace = match trace_path {
+        Some(path) => Some(TraceWriter::new(BufWriter::new(File::create(path)?))),
+        None => None,
+    };
+    let mut sinks: Vec<&dyn Observer> = Vec::new();
+    if let Some(t) = &trace {
+        sinks.push(t);
+    }
+    if let Some(r) = &registry_obs {
+        sinks.push(r);
+    }
+    let fanout = Fanout::new(sinks);
     let start = Instant::now();
-    let report = joinopt_conformance::run_fuzz(&config);
+    let report = joinopt_conformance::run_fuzz_observed(&config, &fanout);
+    drop(registry_obs);
+    if let Some(t) = trace {
+        t.finish()?.flush()?;
+    }
+    if let Some(registry) = &registry {
+        if metrics {
+            writeln!(out, "{}", registry.snapshot().to_text())?;
+        }
+        if let Some(path) = prom_path {
+            std::fs::write(path, registry.snapshot().to_prometheus())?;
+        }
+    }
     writeln!(
         out,
         "fuzz: seed {}, {} instances (n ≤ {}) in {:.2?}",
@@ -688,6 +823,144 @@ fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     )))
 }
 
+/// `joinopt perf`: run the pinned performance matrix and write a
+/// baseline file, or (`--check`) re-run a committed baseline's matrix
+/// and diff against it (the CI smoke gate uses `--counters-only`).
+fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "perf takes options only, got `{}`",
+            positional.join(" ")
+        )));
+    }
+    let mut config = PerfConfig::default();
+    let mut out_path = "BENCH_joinopt.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut counters_only = false;
+    for (key, value) in options {
+        match key {
+            "out" => out_path = value.to_string(),
+            "check" => check_path = Some(value.to_string()),
+            "counters-only" => counters_only = true,
+            "n" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid size `{value}`")))?;
+                if !(2..=14).contains(&n) {
+                    return Err(CliError::Usage(format!("--n {n} out of range 2..=14")));
+                }
+                config.n = n;
+            }
+            "reps" => {
+                config.reps = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid rep count `{value}`")))?;
+            }
+            "seed" => {
+                config.seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid seed `{value}`")))?;
+            }
+            "threads" => {
+                config.threads = value
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().ok().filter(|&t| t >= 1))
+                    .collect::<Option<Vec<_>>>()
+                    .ok_or_else(|| {
+                        CliError::Usage(format!(
+                            "invalid --threads `{value}` (expected e.g. 1,2,4)"
+                        ))
+                    })?;
+            }
+            "noise" => {
+                config.noise = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| f.is_finite() && *f >= 0.0)
+                    .ok_or_else(|| CliError::Usage(format!("invalid noise factor `{value}`")))?;
+            }
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    if let Some(path) = check_path {
+        let text = std::fs::read_to_string(&path)?;
+        let baseline = PerfBaseline::parse(&text).map_err(CliError::Data)?;
+        // Replay exactly the pinned matrix. In counters-only mode one
+        // repetition suffices — the gated quantities are deterministic,
+        // so extra reps only buy wall-time stability.
+        let mut replay = baseline.config.clone();
+        if counters_only {
+            replay.reps = 1;
+        }
+        let current = run_matrix(&replay).map_err(CliError::Conformance)?;
+        let mode = if counters_only {
+            "counters-only"
+        } else {
+            "full"
+        };
+        match current.check(&baseline, counters_only) {
+            Ok(()) => {
+                writeln!(
+                    out,
+                    "perf check passed ({mode}): {} cells match {path}",
+                    baseline.cells.len()
+                )?;
+                Ok(())
+            }
+            Err(diffs) => {
+                for diff in &diffs {
+                    writeln!(out, "FAIL {diff}")?;
+                }
+                Err(CliError::Regression(format!(
+                    "{} of {} comparisons failed against {path}",
+                    diffs.len(),
+                    baseline.cells.len()
+                )))
+            }
+        }
+    } else {
+        let start = Instant::now();
+        let baseline = run_matrix(&config).map_err(CliError::Conformance)?;
+        std::fs::write(&out_path, baseline.to_json())?;
+        write!(out, "{}", baseline.render_table())?;
+        writeln!(
+            out,
+            "\nwrote {} cells to {out_path} in {:.2?}",
+            baseline.cells.len(),
+            start.elapsed()
+        )?;
+        Ok(())
+    }
+}
+
+/// `joinopt flame`: fold a `--trace-json` file into collapsed-stack
+/// lines (`frame;frame;frame count`), the input format of flamegraph
+/// renderers.
+fn cmd_flame(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    let [trace_path] = positional.as_slice() else {
+        return Err(CliError::Usage("flame expects one trace file".into()));
+    };
+    let mut out_path: Option<&str> = None;
+    for (key, value) in options {
+        match key {
+            "out" => out_path = Some(value),
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let text = std::fs::read_to_string(trace_path)?;
+    let folded = collapse_trace(&text).map_err(|e| CliError::Data(format!("{trace_path}: {e}")))?;
+    match out_path {
+        Some(path) => {
+            std::fs::write(path, &folded)?;
+            writeln!(out, "wrote {} stacks to {path}", folded.lines().count())?;
+        }
+        None => write!(out, "{folded}")?,
+    }
+    Ok(())
+}
+
 fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
     let [family, max_text] = positional.as_slice() else {
@@ -697,10 +970,12 @@ fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let mut metrics = false;
     let mut trace_path = None;
+    let mut prom_path = None;
     for (key, value) in options {
         match key {
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
+            "prom" => prom_path = Some(value),
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
@@ -711,10 +986,10 @@ fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     if max_n == 0 || max_n > 40 {
         return Err(CliError::Usage(format!("size {max_n} out of range 1..=40")));
     }
-    let telemetry_requested = metrics || trace_path.is_some();
+    let telemetry_requested = metrics || trace_path.is_some() || prom_path.is_some();
     if telemetry_requested && max_n > 12 {
         return Err(CliError::Usage(format!(
-            "--metrics/--trace-json run the real algorithms, which is only feasible up to n = 12 (got {max_n})"
+            "--metrics/--trace-json/--prom run the real algorithms, which is only feasible up to n = 12 (got {max_n})"
         )));
     }
     writeln!(
@@ -739,7 +1014,7 @@ fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         // the command also *measures*: each algorithm runs on a
         // seed-2006 workload per size, streamed to the trace file and
         // summarized as CSV rows (the `relations` column is n).
-        let telemetry = Telemetry::new(metrics, trace_path)?;
+        let telemetry = Telemetry::new(metrics, trace_path, prom_path)?;
         let mut reports: Vec<RunReport> = Vec::new();
         for n in 2..=max_n {
             let w = workload::family_workload(kind, n as usize, 2006);

@@ -708,6 +708,41 @@ fn fuzz_smoke_run_is_clean() {
 }
 
 #[test]
+fn fuzz_metrics_prints_registry_and_trace_has_thread_ids() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    let out = run_ok(&[
+        "fuzz",
+        "--seed",
+        "7",
+        "--iters",
+        "10",
+        "--max-n",
+        "7",
+        "--metrics",
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    // Campaign-scale registry snapshot, not a single-run report.
+    assert!(out.contains("joinopt_runs_total"), "{out}");
+    assert!(out.contains("all instances conform"), "{out}");
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    assert!(!text.is_empty());
+    for line in text.lines() {
+        let v = JsonValue::parse(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        assert!(
+            v.get("thread_id").and_then(|t| t.as_u64()).is_some(),
+            "missing thread_id: {line}"
+        );
+    }
+}
+
+#[test]
 fn fuzz_rejects_bad_options() {
     assert!(matches!(
         run_err(&["fuzz", "--seed", "nope"]),
@@ -721,4 +756,227 @@ fn fuzz_rejects_bad_options() {
         run_err(&["fuzz", "positional"]),
         CliError::Usage(_)
     ));
+}
+
+// ---------------------------------------------------------------------
+// Prometheus export (--prom), perf baselines, flamegraph folding.
+// ---------------------------------------------------------------------
+
+#[test]
+fn optimize_prom_writes_exposition_file() {
+    let path = write_query_file(CHAIN_QUERY);
+    let prom = tempfile::Builder::new()
+        .suffix(".prom")
+        .tempfile()
+        .expect("create prom file")
+        .into_temp_path();
+    run_ok(&[
+        "optimize",
+        path.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&*prom).expect("prom file written");
+    assert!(text.contains("# TYPE joinopt_runs_total counter"), "{text}");
+    assert!(text.contains("algorithm=\"DPccp\""), "{text}");
+    assert!(text.contains("joinopt_run_duration_ns_count"), "{text}");
+}
+
+#[test]
+fn batch_trace_and_prom_aggregate_all_workers() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let a = write_query_file(CHAIN_QUERY);
+    let b = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin b c 0.05\n",
+    );
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    let prom = tempfile::Builder::new()
+        .suffix(".prom")
+        .tempfile()
+        .expect("create prom file")
+        .into_temp_path();
+    run_ok(&[
+        "optimize",
+        a.to_str().unwrap(),
+        b.to_str().unwrap(),
+        "--batch",
+        "--threads",
+        "2",
+        "--trace-json",
+        trace.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&*trace).expect("trace file written");
+    let starts = text
+        .lines()
+        .filter(|l| {
+            JsonValue::parse(l)
+                .ok()
+                .and_then(|v| v.get("event").and_then(|e| e.as_str()).map(String::from))
+                .as_deref()
+                == Some("run_start")
+        })
+        .count();
+    assert_eq!(starts, 2, "{text}");
+    for line in text.lines() {
+        let v = JsonValue::parse(line).expect("parseable line");
+        assert!(v.get("thread_id").and_then(|t| t.as_u64()).is_some());
+    }
+    let exposition = std::fs::read_to_string(&*prom).expect("prom file written");
+    assert!(
+        exposition.contains("joinopt_runs_total{algorithm=\"DPccp\"} 2"),
+        "{exposition}"
+    );
+}
+
+#[test]
+fn perf_writes_baseline_and_check_passes_against_itself() {
+    let baseline_path = tempfile::Builder::new()
+        .suffix(".json")
+        .tempfile()
+        .expect("create baseline file")
+        .into_temp_path();
+    let out = run_ok(&[
+        "perf",
+        "--n",
+        "6",
+        "--reps",
+        "1",
+        "--threads",
+        "1,2",
+        "--out",
+        baseline_path.to_str().unwrap(),
+    ]);
+    assert!(out.contains("chain"), "{out}");
+    assert!(out.contains("DPsub"), "{out}");
+    assert!(out.contains("wrote 12 cells"), "{out}");
+    let text = std::fs::read_to_string(&*baseline_path).expect("baseline written");
+    assert!(text.contains("\"schema\": \"joinopt-perf-v1\""), "{text}");
+
+    let check = run_ok(&[
+        "perf",
+        "--check",
+        baseline_path.to_str().unwrap(),
+        "--counters-only",
+    ]);
+    assert!(
+        check.contains("perf check passed (counters-only): 12 cells"),
+        "{check}"
+    );
+}
+
+#[test]
+fn perf_check_fails_on_counter_drift() {
+    use joinopt_bench::perf::PerfBaseline;
+
+    let baseline_path = tempfile::Builder::new()
+        .suffix(".json")
+        .tempfile()
+        .expect("create baseline file")
+        .into_temp_path();
+    run_ok(&[
+        "perf",
+        "--n",
+        "6",
+        "--reps",
+        "1",
+        "--threads",
+        "1",
+        "--out",
+        baseline_path.to_str().unwrap(),
+    ]);
+    let text = std::fs::read_to_string(&*baseline_path).expect("baseline written");
+    let mut tampered = PerfBaseline::parse(&text).expect("parseable baseline");
+    tampered.cells[0].inner += 1;
+    std::fs::write(&*baseline_path, tampered.to_json()).expect("rewrite baseline");
+
+    let err = run_err(&[
+        "perf",
+        "--check",
+        baseline_path.to_str().unwrap(),
+        "--counters-only",
+    ]);
+    assert!(matches!(err, CliError::Regression(_)), "{err:?}");
+}
+
+#[test]
+fn perf_rejects_bad_options_and_garbage_baselines() {
+    assert!(matches!(
+        run_err(&["perf", "positional"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["perf", "--n", "99"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["perf", "--threads", "1,zero"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["perf", "--noise", "-1"]),
+        CliError::Usage(_)
+    ));
+    let garbage = write_query_file("not json at all");
+    assert!(matches!(
+        run_err(&["perf", "--check", garbage.to_str().unwrap()]),
+        CliError::Data(_)
+    ));
+}
+
+#[test]
+fn flame_folds_a_trace_into_collapsed_stacks() {
+    let query = write_query_file(CHAIN_QUERY);
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    run_ok(&[
+        "optimize",
+        query.to_str().unwrap(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+    ]);
+    let folded = run_ok(&["flame", trace.to_str().unwrap()]);
+    assert!(folded.contains("DPccp;enumerate "), "{folded}");
+    for line in folded.lines() {
+        let (stack, value) = line.rsplit_once(' ').expect("stack value");
+        assert!(!stack.is_empty(), "{line}");
+        assert!(value.parse::<u64>().is_ok(), "{line}");
+    }
+
+    // --out writes the same folded lines to a file.
+    let out_file = tempfile::Builder::new()
+        .suffix(".folded")
+        .tempfile()
+        .expect("create folded file")
+        .into_temp_path();
+    let msg = run_ok(&[
+        "flame",
+        trace.to_str().unwrap(),
+        "--out",
+        out_file.to_str().unwrap(),
+    ]);
+    assert!(msg.contains("wrote"), "{msg}");
+    assert_eq!(
+        std::fs::read_to_string(&*out_file).expect("folded file"),
+        folded
+    );
+}
+
+#[test]
+fn flame_rejects_garbage_traces() {
+    let garbage = write_query_file("this is not jsonl");
+    assert!(matches!(
+        run_err(&["flame", garbage.to_str().unwrap()]),
+        CliError::Data(_)
+    ));
+    assert!(matches!(run_err(&["flame"]), CliError::Usage(_)));
 }

@@ -2,7 +2,7 @@
 
 use crate::generator::{generate_instance, Instance};
 use crate::oracle::Divergence;
-use crate::{check_full, shrink};
+use crate::{check_full, check_full_observed, shrink};
 
 /// Configuration of one fuzz run.
 #[derive(Debug, Clone)]
@@ -61,10 +61,20 @@ impl FuzzReport {
 /// (failures do not stop the run — every configured iteration is
 /// checked so one regression cannot mask another).
 pub fn run_fuzz(config: &FuzzConfig) -> FuzzReport {
+    run_fuzz_observed(config, &joinopt_telemetry::NoopObserver)
+}
+
+/// [`run_fuzz`] with telemetry: each instance's reference DPccp run
+/// reports to `obs`, making campaign-scale enumeration work visible to
+/// a metrics registry or trace. Minimization replays stay unobserved
+/// (shrinking repeats the checks hundreds of times and would swamp the
+/// campaign's own signal). The checked instances — and therefore the
+/// report — are identical to [`run_fuzz`]'s.
+pub fn run_fuzz_observed(config: &FuzzConfig, obs: &dyn joinopt_telemetry::Observer) -> FuzzReport {
     let mut failures = Vec::new();
     for index in 0..config.iters {
         let instance = generate_instance(config.seed, index, config.max_n);
-        if let Err(divergence) = check_full(&instance) {
+        if let Err(divergence) = check_full_observed(&instance, obs) {
             let minimized = config.minimize.then(|| {
                 let label = divergence.check;
                 shrink::minimize(
@@ -93,6 +103,35 @@ mod tests {
     fn default_config_is_the_ci_smoke_shape() {
         let c = FuzzConfig::default();
         assert_eq!((c.seed, c.iters, c.max_n, c.minimize), (42, 200, 10, true));
+    }
+
+    #[test]
+    fn observed_run_reports_reference_work_without_changing_results() {
+        use joinopt_telemetry::MetricsRegistry;
+        use joinopt_telemetry::RegistryObserver;
+        let config = FuzzConfig {
+            seed: 42,
+            iters: 6,
+            max_n: 7,
+            minimize: false,
+        };
+        let registry = MetricsRegistry::new();
+        let obs = RegistryObserver::new(&registry);
+        let report = run_fuzz_observed(&config, &obs);
+        assert_eq!(report.checked, 6);
+        assert!(report.is_clean());
+        let snap = registry.snapshot();
+        // One reference DPccp run per connected multi-relation instance;
+        // singletons and disconnected instances skip the matrix.
+        let runs = snap
+            .counter("joinopt_runs_total", &[("algorithm", "DPccp")])
+            .unwrap_or(0);
+        assert!((1..=6).contains(&runs), "runs={runs}");
+        assert!(
+            snap.counter("joinopt_csg_cmp_pairs_total", &[("algorithm", "DPccp")])
+                .unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]

@@ -36,9 +36,10 @@ pub mod metamorphic;
 pub mod oracle;
 pub mod shrink;
 
+pub use fuzz::run_fuzz_observed;
 pub use fuzz::{run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generator::{generate_instance, Family, Instance, SplitMix64};
-pub use oracle::{check_instance, Divergence};
+pub use oracle::{check_instance, check_instance_observed, Divergence};
 pub use shrink::minimize;
 
 /// Runs every check the harness knows — the differential [`oracle`]
@@ -48,7 +49,20 @@ pub use shrink::minimize;
 ///
 /// Returns the first [`Divergence`] found.
 pub fn check_full(inst: &Instance) -> Result<(), Divergence> {
-    oracle::check_instance(inst)?;
+    check_full_observed(inst, &joinopt_telemetry::NoopObserver)
+}
+
+/// [`check_full`] with telemetry: the instance's reference DPccp run
+/// reports to `obs` (see [`oracle::check_instance_observed`]).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_full_observed(
+    inst: &Instance,
+    obs: &dyn joinopt_telemetry::Observer,
+) -> Result<(), Divergence> {
+    oracle::check_instance_observed(inst, obs)?;
     metamorphic::check_metamorphic(inst)
 }
 

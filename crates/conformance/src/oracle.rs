@@ -101,6 +101,22 @@ const EXACT: [(Algorithm, &str); 6] = [
 ///
 /// Returns the first [`Divergence`] found.
 pub fn check_instance(inst: &Instance) -> Result<(), Divergence> {
+    check_instance_observed(inst, &joinopt_telemetry::NoopObserver)
+}
+
+/// [`check_instance`] with telemetry: the reference DPccp run on each
+/// connected instance reports its events to `obs`, so a fuzz campaign's
+/// enumeration work is visible to metrics and traces (the other matrix
+/// runs stay unobserved — they re-derive the same answer and would only
+/// multiply every counter).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] found.
+pub fn check_instance_observed(
+    inst: &Instance,
+    obs: &dyn joinopt_telemetry::Observer,
+) -> Result<(), Divergence> {
     let g = &inst.graph;
     let n = g.num_relations();
     if n == 1 {
@@ -123,7 +139,15 @@ pub fn check_instance(inst: &Instance) -> Result<(), Divergence> {
 
     // 1. Every exact algorithm agrees on the optimal cost and returns a
     //    valid, cross-product-free plan of that cost.
-    let reference = run(Algorithm::DpCcp, "DPccp")?;
+    let reference = Algorithm::DpCcp
+        .orderer(g)
+        .optimize_observed(g, &inst.catalog, &Cout, obs)
+        .map_err(|e| {
+            diverge(
+                "optimizer-error",
+                format!("{}: DPccp failed on a connected instance: {e}", inst.name),
+            )
+        })?;
     validate_tree(inst, &reference.tree, "DPccp", true)?;
     let mut results: Vec<(&str, DpResult)> = Vec::new();
     for (alg, label) in EXACT {

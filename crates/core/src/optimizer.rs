@@ -278,11 +278,29 @@ impl Optimizer {
     /// isolated: the panic is caught, reported as
     /// [`OptimizeError::Internal`] for that query only, and the worker
     /// continues with a fresh session (the half-mutated one is
-    /// discarded). Telemetry is not threaded through: observers are not
-    /// required to be thread-safe.
+    /// discarded). Telemetry is not threaded through this entry point;
+    /// use [`Optimizer::optimize_batch_observed`] with a `Sync` observer
+    /// (e.g. [`joinopt_telemetry::RegistryObserver`] or a
+    /// [`joinopt_telemetry::TraceWriter`]) to watch a batch.
     pub fn optimize_batch(
         &self,
         queries: &[(&QueryGraph, &Catalog)],
+    ) -> Vec<Result<DpResult, OptimizeError>> {
+        self.optimize_batch_observed(queries, &NoopObserver)
+    }
+
+    /// Like [`Optimizer::optimize_batch`], but every per-query run
+    /// reports its events to `obs`.
+    ///
+    /// The observer must be `Sync`: batch workers emit concurrently,
+    /// each from its own thread for the whole of a query's run, so
+    /// per-thread event streams stay internally ordered and
+    /// attributable (trace lines carry
+    /// [`joinopt_telemetry::current_thread_id`]).
+    pub fn optimize_batch_observed(
+        &self,
+        queries: &[(&QueryGraph, &Catalog)],
+        obs: &(dyn Observer + Sync),
     ) -> Vec<Result<DpResult, OptimizeError>> {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::mpsc;
@@ -306,6 +324,7 @@ impl Optimizer {
                     .with_algorithm(self.algorithm)
                     .with_cost_model(self.model.as_ref())
                     .with_threads(1)
+                    .with_observer(obs)
                     .run_in(&mut s)
                     .map(crate::request::OptimizeOutcome::into_result)
             }));

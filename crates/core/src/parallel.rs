@@ -41,11 +41,14 @@
 //! per *improvement*, the engine exactly one per set (the final best).
 //! Plan, cost, cardinality, counters and table size are identical.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
 use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, PlanStats};
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
-use joinopt_telemetry::{Event, Observer};
+use joinopt_telemetry::{current_thread_id, Event, Observer};
 
 use crate::cancel::CancellationToken;
 use crate::counters::Counters;
@@ -102,6 +105,43 @@ struct WorkerTotals {
     ccp: u64,
     probes: u64,
     hits: u64,
+}
+
+/// Every monotonic clock read the engine performs for profiling goes
+/// through this counter, so the zero-overhead guard test can assert
+/// that an unobserved run reads the clock exactly zero times.
+static CLOCK_READS: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn clock_now() -> Instant {
+    CLOCK_READS.fetch_add(1, Ordering::Relaxed);
+    Instant::now()
+}
+
+#[inline]
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(clock_now().duration_since(since).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Total profiling clock reads the engine has performed in this
+/// process. Test instrumentation for the zero-overhead guarantee — not
+/// a public API.
+#[doc(hidden)]
+pub fn engine_clock_reads() -> u64 {
+    CLOCK_READS.load(Ordering::Relaxed)
+}
+
+/// What one worker hands back at the level barrier: its counter totals
+/// plus (only when observed) its chunk-profiling sample.
+#[derive(Debug, Clone, Copy, Default)]
+struct ChunkReport {
+    totals: WorkerTotals,
+    /// Sets of the level this worker owned.
+    sets: usize,
+    /// Wall time spent in the chunk (0 when unobserved).
+    service_ns: u64,
+    /// The worker's [`current_thread_id`] (0 when unobserved).
+    thread_id: u64,
 }
 
 /// A reusable optimization session: pools the engine's DP-table and
@@ -225,7 +265,8 @@ fn process_chunk(
     sets: &[u64],
     out: &mut Vec<NewEntry>,
     ctl: &CancellationToken,
-) -> Result<WorkerTotals, OptimizeError> {
+) -> Result<ChunkReport, OptimizeError> {
+    let chunk_start = sh.observe.then(clock_now);
     let mut t = WorkerTotals::default();
     let mut pace = 0u32;
     for &bits in sets {
@@ -328,7 +369,18 @@ fn process_chunk(
             });
         }
     }
-    Ok(t)
+    Ok(match chunk_start {
+        Some(start) => ChunkReport {
+            totals: t,
+            sets: sets.len(),
+            service_ns: elapsed_ns(start),
+            thread_id: current_thread_id(),
+        },
+        None => ChunkReport {
+            totals: t,
+            ..ChunkReport::default()
+        },
+    })
 }
 
 /// Appends all size-`k` subsets of an `n`-relation universe to `out`,
@@ -417,6 +469,9 @@ pub(crate) fn run_level_synchronous(
         session.outputs.resize_with(workers, Vec::new);
     }
     let mut totals = WorkerTotals::default();
+    // This level's chunk reports, in worker order (reused across
+    // levels; capacity is bounded by the worker count).
+    let mut level_reports: Vec<ChunkReport> = Vec::with_capacity(workers);
 
     // Levels 2..=n, with a barrier (the merge) between levels.
     // (`level_new[k]` is bumped during the merge — the index is the
@@ -447,8 +502,9 @@ pub(crate) fn run_level_synchronous(
             for out in outs.iter_mut() {
                 out.clear();
             }
+            level_reports.clear();
             if spawned == 1 {
-                totals.merge(process_chunk(&shared, sets, &mut outs[0], ctl)?);
+                level_reports.push(process_chunk(&shared, sets, &mut outs[0], ctl)?);
             } else {
                 // Contiguous ranges keep each worker's output ascending,
                 // so concatenation in worker order restores the global
@@ -482,7 +538,7 @@ pub(crate) fn run_level_synchronous(
                 });
                 for r in chunk_results {
                     match r {
-                        Ok(ct) => totals.merge(ct),
+                        Ok(cr) => level_reports.push(cr),
                         // Prefer the token's latched trip over whichever
                         // worker error happened to be collected first —
                         // deterministic cause at any thread count.
@@ -491,9 +547,13 @@ pub(crate) fn run_level_synchronous(
                 }
             }
         }
+        for cr in &level_reports {
+            totals.merge(cr.totals);
+        }
         // Barrier: materialize this level's winners, ascending. Split
         // borrows: worker outputs are read while the tables and arena
         // mutate.
+        let merge_start = observe.then(clock_now);
         {
             let Session {
                 stats,
@@ -516,6 +576,37 @@ pub(crate) fn run_level_synchronous(
                     }
                 }
             }
+        }
+        // The per-level profile: one `worker_chunk` per worker (in
+        // worker order, so the stream is deterministic) and a
+        // `level_sync` rollup. Emitted from the merge thread — workers
+        // hand their samples back instead of emitting, so observers
+        // need not be `Sync`.
+        if let Some(start) = merge_start {
+            let merge_ns = elapsed_ns(start);
+            let mut max_service_ns = 0u64;
+            let mut total_service_ns = 0u64;
+            for (w, cr) in level_reports.iter().enumerate() {
+                obs.on_event(Event::WorkerChunk {
+                    level: k,
+                    worker: w,
+                    thread_id: cr.thread_id,
+                    sets: cr.sets,
+                    service_ns: cr.service_ns,
+                    inner: cr.totals.inner,
+                    pairs: cr.totals.ccp,
+                });
+                max_service_ns = max_service_ns.max(cr.service_ns);
+                total_service_ns += cr.service_ns;
+            }
+            obs.on_event(Event::LevelSync {
+                level: k,
+                workers: spawned,
+                merge_ns,
+                max_service_ns,
+                total_service_ns,
+                idle_ns: spawned as u64 * max_service_ns - total_service_ns,
+            });
         }
         // Charge pooled-buffer growth (arena reallocation, out-buffer
         // capacity) accumulated during this level.

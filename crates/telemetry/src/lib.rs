@@ -19,7 +19,14 @@
 //!   `Display`, JSON-line and CSV serializations (no external deps).
 //! * [`TraceWriter`] — streams every event as a JSON line (with
 //!   monotonic `elapsed_ns`) to any `io::Write`.
-//! * [`Tee`] — fans events out to two observers.
+//! * [`Tee`] — fans events out to two observers; [`Fanout`] /
+//!   [`SyncFanout`] to any number.
+//! * [`MetricsRegistry`] — fleet-grade aggregation: Counter / Gauge /
+//!   log-linear Histogram (p50/p90/p99/max) metrics fed across runs,
+//!   sessions and batches by a [`RegistryObserver`], exported as
+//!   Prometheus text exposition or a JSON [`Snapshot`].
+//! * [`collapse_trace`] — folds a JSONL trace into collapsed-stack
+//!   (flamegraph-compatible) lines.
 //! * [`json`] — the dependency-free JSON writer/parser the above use,
 //!   public so tools and tests can round-trip telemetry output.
 //!
@@ -44,11 +51,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod flame;
 pub mod json;
 mod metrics;
 mod observer;
+mod registry;
 mod trace;
 
-pub use metrics::{LevelCount, MetricsCollector, PhaseSpan, RunReport};
-pub use observer::{Event, NoopObserver, Observer, Tee};
+pub use flame::{collapse_trace, FlameError};
+pub use metrics::{LevelCount, MetricsCollector, PhaseSpan, RunReport, WorkerLevel};
+pub use observer::{current_thread_id, Event, Fanout, NoopObserver, Observer, SyncFanout, Tee};
+pub use registry::{
+    Histogram, MetricValue, MetricsRegistry, RegistryObserver, Snapshot, SnapshotEntry,
+};
 pub use trace::TraceWriter;

@@ -1,5 +1,22 @@
 //! The [`Observer`] trait and the event vocabulary optimizers emit.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, portable thread identifier: dense `u64`s handed out in
+/// first-use order (the std `ThreadId` has no stable integer form).
+/// Used to attribute telemetry emitted from parallel-engine workers and
+/// batch threads — ids are process-unique but *assignment* depends on
+/// scheduling, so treat them as labels, not stable keys.
+pub fn current_thread_id() -> u64 {
+    THREAD_ID.with(|id| *id)
+}
+
 /// One telemetry event emitted by an optimizer run.
 ///
 /// Events are plain `Copy` data with `&'static str` labels: constructing
@@ -95,6 +112,43 @@ pub enum Event {
         /// (the exact plan was kept despite a post-run cost trip).
         rung: &'static str,
     },
+    /// One worker's service summary for one level of the parallel
+    /// engine: the chunk of subsets it owned and what processing them
+    /// cost. Emitted at the level barrier (from the merge thread, in
+    /// worker order), one event per worker per level.
+    WorkerChunk {
+        /// DP level (relation-set size) the chunk belongs to.
+        level: usize,
+        /// Worker slot index within the level (`0..workers`).
+        worker: usize,
+        /// Portable id ([`current_thread_id`]) of the OS thread that
+        /// serviced the chunk — ties trace lines to real threads.
+        thread_id: u64,
+        /// Subsets the worker owned.
+        sets: usize,
+        /// Wall-clock nanoseconds the worker spent inside its chunk.
+        service_ns: u64,
+        /// Inner-loop iterations performed in this chunk.
+        inner: u64,
+        /// Csg-cmp-pairs counted in this chunk.
+        pairs: u64,
+    },
+    /// Per-level rollup emitted after the merge barrier: how well the
+    /// level's workers were utilized and what the merge cost.
+    LevelSync {
+        /// DP level (relation-set size).
+        level: usize,
+        /// Workers the level ran on (1 when it ran inline).
+        workers: usize,
+        /// Nanoseconds the merge (materializing winners) took.
+        merge_ns: u64,
+        /// Slowest worker's service time — the level's critical path.
+        max_service_ns: u64,
+        /// Sum of all workers' service times.
+        total_service_ns: u64,
+        /// Barrier wait: `workers × max_service_ns − total_service_ns`.
+        idle_ns: u64,
+    },
     /// The run is complete (successfully or not — emitted on the success
     /// path only, so its absence in a trace indicates an error).
     RunEnd,
@@ -113,15 +167,20 @@ impl Event {
             Event::FinalCounters { .. } => "final_counters",
             Event::BudgetExceeded { .. } => "budget_exceeded",
             Event::Degraded { .. } => "degraded",
+            Event::WorkerChunk { .. } => "worker_chunk",
+            Event::LevelSync { .. } => "level_sync",
             Event::RunEnd => "run_end",
         }
     }
 
     /// The phase this event belongs to: the named phase for span events,
-    /// `"run"` for everything else.
+    /// `"enumerate"` for the parallel engine's worker events (they are
+    /// emitted between that phase's start and end), `"run"` for
+    /// everything else.
     pub fn phase(&self) -> &'static str {
         match self {
             Event::PhaseStart { phase } | Event::PhaseEnd { phase } => phase,
+            Event::WorkerChunk { .. } | Event::LevelSync { .. } => "enumerate",
             _ => "run",
         }
     }
@@ -185,6 +244,64 @@ impl Observer for Tee<'_> {
         }
         if self.second.enabled() {
             self.second.on_event(event);
+        }
+    }
+}
+
+/// Fans events out to any number of observers, in push order — the
+/// n-ary generalization of [`Tee`] for callers that assemble their sink
+/// set at runtime (e.g. metrics + trace + registry from CLI flags).
+#[derive(Default)]
+pub struct Fanout<'a> {
+    sinks: Vec<&'a dyn Observer>,
+}
+
+impl<'a> Fanout<'a> {
+    /// An observer forwarding to every sink in `sinks`.
+    pub fn new(sinks: Vec<&'a dyn Observer>) -> Fanout<'a> {
+        Fanout { sinks }
+    }
+}
+
+impl Observer for Fanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn on_event(&self, event: Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.on_event(event);
+            }
+        }
+    }
+}
+
+/// [`Fanout`] over thread-safe observers: usable where a shared
+/// `&(dyn Observer + Sync)` is required (batch optimization spreads one
+/// observer across worker threads).
+#[derive(Default)]
+pub struct SyncFanout<'a> {
+    sinks: Vec<&'a (dyn Observer + Sync)>,
+}
+
+impl<'a> SyncFanout<'a> {
+    /// An observer forwarding to every sink in `sinks`.
+    pub fn new(sinks: Vec<&'a (dyn Observer + Sync)>) -> SyncFanout<'a> {
+        SyncFanout { sinks }
+    }
+}
+
+impl Observer for SyncFanout<'_> {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn on_event(&self, event: Event) {
+        for sink in &self.sinks {
+            if sink.enabled() {
+                sink.on_event(event);
+            }
         }
     }
 }
@@ -300,6 +417,48 @@ mod tests {
         );
         assert_eq!(Event::BudgetExceeded { budget: "memory" }.phase(), "run");
         assert_eq!(Event::Degraded { rung: "greedy" }.name(), "degraded");
+        let chunk = Event::WorkerChunk {
+            level: 3,
+            worker: 1,
+            thread_id: 7,
+            sets: 20,
+            service_ns: 1000,
+            inner: 40,
+            pairs: 12,
+        };
+        assert_eq!(chunk.name(), "worker_chunk");
+        assert_eq!(chunk.phase(), "enumerate");
+        let sync = Event::LevelSync {
+            level: 3,
+            workers: 2,
+            merge_ns: 10,
+            max_service_ns: 1000,
+            total_service_ns: 1700,
+            idle_ns: 300,
+        };
+        assert_eq!(sync.name(), "level_sync");
+        assert_eq!(sync.phase(), "enumerate");
         assert_eq!(Event::RunEnd.name(), "run_end");
+    }
+
+    #[test]
+    fn fanout_forwards_to_all_enabled_sinks() {
+        let a = CountingObserver { seen: Cell::new(0) };
+        let b = CountingObserver { seen: Cell::new(0) };
+        let fan = Fanout::new(vec![&a, &NoopObserver, &b]);
+        assert!(fan.enabled());
+        fan.on_event(Event::RunEnd);
+        assert_eq!((a.seen.get(), b.seen.get()), (1, 1));
+        assert!(!Fanout::new(vec![&NoopObserver]).enabled());
+        assert!(!Fanout::new(Vec::new()).enabled());
+    }
+
+    #[test]
+    fn thread_ids_are_nonzero_stable_and_distinct_across_threads() {
+        let here = current_thread_id();
+        assert!(here > 0);
+        assert_eq!(here, current_thread_id(), "stable within a thread");
+        let there = std::thread::spawn(current_thread_id).join().unwrap();
+        assert_ne!(here, there);
     }
 }

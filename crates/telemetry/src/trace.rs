@@ -1,29 +1,35 @@
 //! [`TraceWriter`] — streams events as JSON lines to any `io::Write`.
 
-use std::cell::RefCell;
 use std::io::{self, Write};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::json::write_escaped;
-use crate::observer::{Event, Observer};
+use crate::observer::{current_thread_id, Event, Observer};
 
 /// An [`Observer`] that writes one JSON object per event.
 ///
-/// Every line carries three common fields —
+/// Every line carries four common fields —
 ///
 /// * `"event"` — the event's wire name ([`Event::name`]),
 /// * `"phase"` — the phase the event belongs to ([`Event::phase`]),
 /// * `"elapsed_ns"` — nanoseconds since the writer was created, taken
-///   from a monotonic clock, so values never decrease down the file —
+///   from a monotonic clock, so values never decrease down the file,
+/// * `"thread_id"` — the emitting thread
+///   ([`current_thread_id`](crate::current_thread_id)), so interleaved
+///   lines from batch workers stay attributable —
 ///
 /// plus the event's own payload fields (e.g. `"size"`/`"new_entries"`
 /// for `dp_level`). Lines parse with [`crate::json::JsonValue::parse`].
+///
+/// The writer is `Sync` (serialized behind a mutex), so one trace file
+/// can collect events from every worker of an `optimize_batch` run.
 ///
 /// I/O errors are sticky: the first failure stops further writing and is
 /// surfaced by [`TraceWriter::finish`].
 pub struct TraceWriter<W: Write> {
     start: Instant,
-    inner: RefCell<Inner<W>>,
+    inner: Mutex<Inner<W>>,
 }
 
 struct Inner<W> {
@@ -36,14 +42,17 @@ impl<W: Write> TraceWriter<W> {
     pub fn new(out: W) -> TraceWriter<W> {
         TraceWriter {
             start: Instant::now(),
-            inner: RefCell::new(Inner { out, error: None }),
+            inner: Mutex::new(Inner { out, error: None }),
         }
     }
 
     /// Flushes and returns the underlying writer, or the first write
     /// error encountered while tracing.
     pub fn finish(self) -> io::Result<W> {
-        let Inner { mut out, error } = self.inner.into_inner();
+        let Inner { mut out, error } = match self.inner.into_inner() {
+            Ok(inner) => inner,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         match error {
             Some(e) => Err(e),
             None => {
@@ -60,8 +69,9 @@ impl<W: Write> TraceWriter<W> {
         s.push_str(",\"phase\":");
         write_escaped(&mut s, event.phase());
         s.push_str(&format!(
-            ",\"elapsed_ns\":{}",
-            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+            ",\"elapsed_ns\":{},\"thread_id\":{}",
+            u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            current_thread_id()
         ));
         match event {
             Event::RunStart {
@@ -106,6 +116,37 @@ impl<W: Write> TraceWriter<W> {
                 s.push_str(",\"rung\":");
                 write_escaped(&mut s, rung);
             }
+            Event::WorkerChunk {
+                level,
+                worker,
+                thread_id,
+                sets,
+                service_ns,
+                inner,
+                pairs,
+            } => {
+                // `worker_thread_id` is the *worker's* thread; the
+                // common `thread_id` field is the merge thread that
+                // emitted the event at the barrier.
+                s.push_str(&format!(
+                    ",\"level\":{level},\"worker\":{worker},\"worker_thread_id\":{thread_id},\
+                     \"sets\":{sets},\"service_ns\":{service_ns},\"inner\":{inner},\"pairs\":{pairs}"
+                ));
+            }
+            Event::LevelSync {
+                level,
+                workers,
+                merge_ns,
+                max_service_ns,
+                total_service_ns,
+                idle_ns,
+            } => {
+                s.push_str(&format!(
+                    ",\"level\":{level},\"workers\":{workers},\"merge_ns\":{merge_ns},\
+                     \"max_service_ns\":{max_service_ns},\"total_service_ns\":{total_service_ns},\
+                     \"idle_ns\":{idle_ns}"
+                ));
+            }
         }
         s.push_str("}\n");
         s
@@ -115,7 +156,10 @@ impl<W: Write> TraceWriter<W> {
 impl<W: Write> Observer for TraceWriter<W> {
     fn on_event(&self, event: Event) {
         let line = self.render(event);
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         if inner.error.is_some() {
             return;
         }
@@ -184,6 +228,68 @@ mod tests {
                 "run_end"
             ]
         );
+    }
+
+    #[test]
+    fn lines_carry_a_thread_id_and_worker_events_render() {
+        let tw = TraceWriter::new(Vec::new());
+        tw.on_event(Event::WorkerChunk {
+            level: 3,
+            worker: 1,
+            thread_id: 99,
+            sets: 20,
+            service_ns: 5000,
+            inner: 80,
+            pairs: 16,
+        });
+        tw.on_event(Event::LevelSync {
+            level: 3,
+            workers: 4,
+            merge_ns: 700,
+            max_service_ns: 5000,
+            total_service_ns: 18000,
+            idle_ns: 2000,
+        });
+        let text = String::from_utf8(tw.finish().unwrap()).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        let me = super::current_thread_id();
+        for v in &lines {
+            assert_eq!(v.get("thread_id").unwrap().as_u64(), Some(me));
+            assert_eq!(v.get("phase").unwrap().as_str(), Some("enumerate"));
+        }
+        assert_eq!(
+            lines[0].get("event").unwrap().as_str(),
+            Some("worker_chunk")
+        );
+        assert_eq!(lines[0].get("worker_thread_id").unwrap().as_u64(), Some(99));
+        assert_eq!(lines[0].get("service_ns").unwrap().as_u64(), Some(5000));
+        assert_eq!(lines[1].get("event").unwrap().as_str(), Some("level_sync"));
+        assert_eq!(lines[1].get("workers").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[1].get("idle_ns").unwrap().as_u64(), Some(2000));
+    }
+
+    #[test]
+    fn writer_is_sync_and_collects_from_many_threads() {
+        let tw = TraceWriter::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let tw = &tw;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        tw.on_event(Event::RunEnd);
+                    }
+                });
+            }
+        });
+        let text = String::from_utf8(tw.finish().unwrap()).unwrap();
+        let mut tids = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v = JsonValue::parse(line).unwrap();
+            tids.insert(v.get("thread_id").unwrap().as_u64().unwrap());
+        }
+        assert_eq!(text.lines().count(), 32);
+        assert_eq!(tids.len(), 4, "each spawned thread has a distinct id");
     }
 
     #[test]

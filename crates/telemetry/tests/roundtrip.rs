@@ -1,0 +1,173 @@
+//! JSON round-trip acceptance: everything the telemetry layer emits as
+//! JSON — the per-run [`RunReport`] line and the registry's snapshot
+//! document — must parse back through the crate's own dependency-free
+//! parser with every field intact.
+
+use joinopt_telemetry::json::JsonValue;
+use joinopt_telemetry::{Event, MetricsCollector, MetricsRegistry, Observer, RegistryObserver};
+
+/// Drives one synthetic-but-complete run through `obs` — the same event
+/// vocabulary a real engine run emits, including the per-worker
+/// profile.
+fn emit_run(obs: &dyn Observer) {
+    obs.on_event(Event::RunStart {
+        algorithm: "DPsub",
+        relations: 8,
+    });
+    obs.on_event(Event::PhaseStart { phase: "init" });
+    obs.on_event(Event::PhaseEnd { phase: "init" });
+    obs.on_event(Event::PhaseStart { phase: "enumerate" });
+    obs.on_event(Event::WorkerChunk {
+        level: 2,
+        worker: 0,
+        thread_id: 3,
+        sets: 14,
+        service_ns: 700,
+        inner: 21,
+        pairs: 14,
+    });
+    obs.on_event(Event::WorkerChunk {
+        level: 2,
+        worker: 1,
+        thread_id: 4,
+        sets: 14,
+        service_ns: 500,
+        inner: 19,
+        pairs: 12,
+    });
+    obs.on_event(Event::LevelSync {
+        level: 2,
+        workers: 2,
+        merge_ns: 150,
+        max_service_ns: 700,
+        total_service_ns: 1200,
+        idle_ns: 200,
+    });
+    obs.on_event(Event::PhaseEnd { phase: "enumerate" });
+    obs.on_event(Event::PhaseStart { phase: "extract" });
+    obs.on_event(Event::PhaseEnd { phase: "extract" });
+    obs.on_event(Event::DpLevel {
+        size: 2,
+        new_entries: 7,
+    });
+    obs.on_event(Event::TableStats {
+        entries: 15,
+        capacity: 256,
+        probes: 99,
+        hits: 40,
+    });
+    obs.on_event(Event::ArenaStats {
+        nodes: 22,
+        bytes: 1056,
+    });
+    obs.on_event(Event::FinalCounters {
+        inner: 40,
+        csg_cmp_pairs: 26,
+        ono_lohman: 13,
+    });
+    obs.on_event(Event::RunEnd);
+}
+
+#[test]
+fn run_report_json_line_round_trips() {
+    let metrics = MetricsCollector::new();
+    emit_run(&metrics);
+    let report = metrics.report();
+    let line = report.to_json_line();
+
+    let v = JsonValue::parse(&line).expect("report line parses");
+    assert_eq!(
+        v.get("algorithm").and_then(JsonValue::as_str),
+        Some("DPsub")
+    );
+    assert_eq!(v.get("relations").and_then(JsonValue::as_u64), Some(8));
+    let table = v.get("table").expect("table object");
+    assert_eq!(table.get("entries").and_then(JsonValue::as_u64), Some(15));
+    assert_eq!(table.get("probes").and_then(JsonValue::as_u64), Some(99));
+    let counters = v.get("counters").expect("counters object");
+    assert_eq!(counters.get("inner").and_then(JsonValue::as_u64), Some(40));
+
+    // The per-worker rollup serializes too, with the derived utilization.
+    let levels = v
+        .get("worker_levels")
+        .and_then(JsonValue::as_array)
+        .expect("worker_levels array");
+    assert_eq!(levels.len(), 1);
+    assert_eq!(levels[0].get("level").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(
+        levels[0].get("workers").and_then(JsonValue::as_u64),
+        Some(2)
+    );
+    assert_eq!(
+        levels[0].get("idle_ns").and_then(JsonValue::as_u64),
+        Some(200)
+    );
+    let utilization = levels[0]
+        .get("utilization")
+        .and_then(JsonValue::as_f64)
+        .expect("utilization");
+    // 1200 busy out of 2 workers × 700 span.
+    assert!(
+        (utilization - 1200.0 / 1400.0).abs() < 1e-9,
+        "{utilization}"
+    );
+}
+
+#[test]
+fn registry_snapshot_json_round_trips() {
+    let registry = MetricsRegistry::new();
+    let obs = RegistryObserver::new(&registry);
+    emit_run(&obs);
+    emit_run(&obs);
+    let snap = registry.snapshot();
+    let text = snap.to_json();
+
+    let v = JsonValue::parse(&text).expect("snapshot parses");
+    let metrics = v
+        .get("metrics")
+        .and_then(JsonValue::as_array)
+        .expect("metrics array");
+    assert!(!metrics.is_empty());
+
+    let find = |name: &str| -> &JsonValue {
+        metrics
+            .iter()
+            .find(|m| m.get("name").and_then(JsonValue::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("metric {name} missing from {text}"))
+    };
+
+    let runs = find("joinopt_runs_total");
+    assert_eq!(
+        runs.get("type").and_then(JsonValue::as_str),
+        Some("counter")
+    );
+    assert_eq!(runs.get("value").and_then(JsonValue::as_u64), Some(2));
+    assert_eq!(
+        runs.get("labels")
+            .and_then(|l| l.get("algorithm"))
+            .and_then(JsonValue::as_str),
+        Some("DPsub")
+    );
+
+    let inner = find("joinopt_inner_loop_total");
+    assert_eq!(inner.get("value").and_then(JsonValue::as_u64), Some(80));
+
+    // Histograms serialize their full summary, parseable as numbers.
+    let service = find("joinopt_worker_chunk_service_ns");
+    assert_eq!(
+        service.get("type").and_then(JsonValue::as_str),
+        Some("histogram")
+    );
+    assert_eq!(service.get("count").and_then(JsonValue::as_u64), Some(4));
+    assert_eq!(service.get("sum").and_then(JsonValue::as_u64), Some(2400));
+    assert_eq!(service.get("max").and_then(JsonValue::as_u64), Some(700));
+    assert!(service.get("p50").and_then(JsonValue::as_u64).is_some());
+
+    // Gauges come back signed.
+    let entries = find("joinopt_table_entries");
+    assert_eq!(
+        entries.get("type").and_then(JsonValue::as_str),
+        Some("gauge")
+    );
+    assert_eq!(entries.get("value").and_then(JsonValue::as_u64), Some(15));
+}

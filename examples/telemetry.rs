@@ -65,5 +65,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // …and the paper's counters arrive with the same values as the
     // DpResult itself.
     assert_eq!(report.counter_inner, observed.counters.inner);
+
+    // Fleet-level aggregation: where the collector resets per run, a
+    // MetricsRegistry accumulates counters, gauges and log-linear
+    // histograms across arbitrarily many runs (this is what `--prom`
+    // and the fuzz campaign's `--metrics` build on).
+    use joinopt::telemetry::{collapse_trace, MetricsRegistry, RegistryObserver};
+    let registry = MetricsRegistry::new();
+    let reg_obs = RegistryObserver::new(&registry);
+    for alg in [Algorithm::DpSize, Algorithm::DpSub, Algorithm::DpCcp] {
+        OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(alg)
+            .with_threads(4)
+            .with_observer(&reg_obs)
+            .run()?;
+    }
+    let snapshot = registry.snapshot();
+    println!("\nregistry after the whole family:");
+    print!("{}", snapshot.to_text());
+    assert_eq!(
+        snapshot.counter("joinopt_runs_total", &[("algorithm", "DPccp")]),
+        Some(1)
+    );
+
+    // The snapshot exports as Prometheus text exposition…
+    let exposition = snapshot.to_prometheus();
+    println!("\nfirst Prometheus exposition lines:");
+    for line in exposition.lines().take(6) {
+        println!("  {line}");
+    }
+
+    // …and the JSONL trace folds into collapsed-stack lines, the input
+    // format of flamegraph renderers (the `joinopt flame` subcommand).
+    let folded = collapse_trace(&jsonl)?;
+    println!("\ncollapsed stacks:");
+    for line in folded.lines() {
+        println!("  {line}");
+    }
     Ok(())
 }

@@ -66,5 +66,8 @@ pub mod prelude {
     pub use joinopt_plan::JoinTree;
     pub use joinopt_qgraph::{self as qgraph, GraphKind, QueryGraph};
     pub use joinopt_relset::{RelIdx, RelSet};
-    pub use joinopt_telemetry::{MetricsCollector, NoopObserver, Observer, RunReport, TraceWriter};
+    pub use joinopt_telemetry::{
+        MetricsCollector, MetricsRegistry, NoopObserver, Observer, RegistryObserver, RunReport,
+        TraceWriter,
+    };
 }
