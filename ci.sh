@@ -31,8 +31,11 @@ RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
     cargo test -p joinopt-core --test resilience --offline -q
 
 echo "==> injected tie-break inversion is caught and minimized (--cfg failpoints)"
+# --lib additionally runs the provenance acceptance test: the inverted
+# tie-break must produce a rendered explained diff naming the first
+# divergent DP decision.
 RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
-    cargo test -p joinopt-conformance --test tiebreak --offline -q
+    cargo test -p joinopt-conformance --lib --test tiebreak --offline -q
 
 echo "==> determinism matrix (parallel engine, release)"
 cargo test -p joinopt-core --test determinism --release --offline -q
@@ -44,6 +47,30 @@ echo "==> performance baseline check (counters-only, hardware-independent)"
 # any hardware; re-pin with `joinopt perf` after an intended change.
 cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
     perf --check BENCH_joinopt.json --counters-only
+
+echo "==> explain golden files (text + JSON, byte-deterministic)"
+# `joinopt explain` output is fully deterministic (no clocks, sorted
+# sets, hand-built JSON), so it is diffed byte-for-byte against the
+# committed goldens in tests/goldens/. Re-generate with the commands
+# below after an intended rendering change. The JSON form is
+# additionally rendered twice and compared, pinning run-to-run
+# determinism independently of the committed files.
+JOINOPT="cargo run --offline -q --release -p joinopt-cli --bin joinopt --"
+for q in star-5 tie-rich-chain-8; do
+    $JOINOPT explain "tests/corpus/$q.query" \
+        | diff -u "tests/goldens/explain-$q.txt" - \
+        || { echo "explain text drifted for $q"; exit 1; }
+    $JOINOPT explain "tests/corpus/$q.query" --format json > /tmp/explain-$q.1.json
+    $JOINOPT explain "tests/corpus/$q.query" --format json > /tmp/explain-$q.2.json
+    cmp /tmp/explain-$q.1.json /tmp/explain-$q.2.json \
+        || { echo "explain JSON nondeterministic for $q"; exit 1; }
+    diff -u "tests/goldens/explain-$q.json" /tmp/explain-$q.1.json \
+        || { echo "explain JSON drifted for $q"; exit 1; }
+    rm -f /tmp/explain-$q.1.json /tmp/explain-$q.2.json
+done
+$JOINOPT explain tests/corpus/tie-rich-chain-8.query --compare dpsize,goo \
+    | diff -u tests/goldens/explain-compare-tie-rich-chain-8.txt - \
+    || { echo "explain --compare output drifted"; exit 1; }
 
 echo "==> examples (release)"
 cargo build --offline --release --examples

@@ -23,7 +23,7 @@ use joinopt_core::{Algorithm, OptimizeRequest};
 use joinopt_cost::workload::family_workload;
 use joinopt_qgraph::GraphKind;
 use joinopt_telemetry::json::{write_escaped, write_f64, JsonValue};
-use joinopt_telemetry::MetricsCollector;
+use joinopt_telemetry::{Fanout, MetricsCollector, NoopObserver, Observer};
 
 /// The pinned graph families of the matrix (the paper's structural
 /// extremes: sparsest, star-shaped, densest).
@@ -85,9 +85,11 @@ pub struct PerfCell {
     pub cost_bits: u64,
     /// Median wall time across the configured repetitions.
     pub wall_ns: u64,
-    /// Run-wide worker utilization of the median rep (1.0 for
-    /// sequential algorithms).
-    pub utilization: f64,
+    /// Run-wide worker utilization of the median rep. `None` for
+    /// sequential algorithms, which synchronize no worker levels —
+    /// utilization is not a property of those runs (omitted from the
+    /// JSON, rendered as `-` in the table).
+    pub utilization: Option<f64>,
 }
 
 impl PerfCell {
@@ -126,6 +128,21 @@ fn matrix(config: &PerfConfig) -> Vec<(GraphKind, Algorithm, &'static str, usize
 /// are not bit-stable across the configured repetitions (which would
 /// mean the determinism contract is broken — a real bug).
 pub fn run_matrix(config: &PerfConfig) -> Result<PerfBaseline, String> {
+    run_matrix_observed(config, &NoopObserver)
+}
+
+/// [`run_matrix`] with telemetry: every cell's run additionally reports
+/// to `obs` (the internal metrics collector that measures the cells is
+/// unaffected), so `joinopt perf --trace-json/--prom` can stream or
+/// aggregate a whole matrix run.
+///
+/// # Errors
+///
+/// Same as [`run_matrix`].
+pub fn run_matrix_observed(
+    config: &PerfConfig,
+    obs: &dyn Observer,
+) -> Result<PerfBaseline, String> {
     let reps = config.reps.max(1);
     let mut cells = Vec::new();
     for (kind, alg, alg_name, threads) in matrix(config) {
@@ -134,10 +151,11 @@ pub fn run_matrix(config: &PerfConfig) -> Result<PerfBaseline, String> {
         let mut pinned: Option<PerfCell> = None;
         for rep in 0..reps {
             let collector = MetricsCollector::new();
+            let fanout = Fanout::new(vec![&collector as &dyn Observer, obs]);
             let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
                 .with_algorithm(alg)
                 .with_threads(threads)
-                .with_observer(&collector)
+                .with_observer(&fanout)
                 .run()
                 .map_err(|e| format!("{} {alg_name} t={threads}: {e}", kind.name()))?;
             let report = collector.report();
@@ -201,7 +219,7 @@ impl Default for PerfCell {
             arena_bytes: 0,
             cost_bits: 0,
             wall_ns: 0,
-            utilization: 1.0,
+            utilization: None,
         }
     }
 }
@@ -239,7 +257,7 @@ impl PerfBaseline {
             s.push_str(&format!(
                 ", \"threads\": {}, \"inner\": {}, \"csg_cmp_pairs\": {}, \"ono_lohman\": {}, \
                  \"table_entries\": {}, \"arena_bytes\": {}, \"cost_bits\": \"{:016x}\", \
-                 \"wall_ns\": {}, \"utilization\": ",
+                 \"wall_ns\": {}",
                 cell.threads,
                 cell.inner,
                 cell.csg_cmp_pairs,
@@ -249,7 +267,10 @@ impl PerfBaseline {
                 cell.cost_bits,
                 cell.wall_ns
             ));
-            write_f64(&mut s, cell.utilization);
+            if let Some(utilization) = cell.utilization {
+                s.push_str(", \"utilization\": ");
+                write_f64(&mut s, utilization);
+            }
             s.push('}');
         }
         s.push_str("\n  ]\n}\n");
@@ -319,10 +340,8 @@ impl PerfBaseline {
                 cost_bits: u64::from_str_radix(bits_hex.trim_start_matches("0x"), 16)
                     .map_err(|e| format!("baseline: bad cost_bits {bits_hex:?}: {e}"))?,
                 wall_ns: field_u64(cell, "wall_ns")?,
-                utilization: cell
-                    .get("utilization")
-                    .and_then(JsonValue::as_f64)
-                    .ok_or("baseline: missing \"utilization\"")?,
+                // Optional: sequential cells have no utilization.
+                utilization: cell.get("utilization").and_then(JsonValue::as_f64),
             });
         }
         Ok(PerfBaseline { config, cells })
@@ -423,7 +442,10 @@ impl PerfBaseline {
                 c.table_entries.to_string(),
                 c.arena_bytes.to_string(),
                 crate::format_seconds(c.wall_ns as f64 / 1e9),
-                format!("{:.2}", c.utilization),
+                match c.utilization {
+                    Some(u) => format!("{u:.2}"),
+                    None => "-".to_string(),
+                },
             ]);
         }
         t.render()
@@ -514,6 +536,67 @@ mod tests {
         slow.check(&baseline, true).unwrap();
         let diffs = slow.check(&baseline, false).unwrap_err();
         assert!(diffs[0].contains("wall time regressed"), "{}", diffs[0]);
+    }
+
+    #[test]
+    fn sequential_cells_omit_utilization() {
+        // Regression: sequential algorithms synchronize no worker
+        // levels, so their cells must carry *no* utilization figure —
+        // not a fabricated 1.0 — and the JSON must omit the key while
+        // still round-tripping.
+        let baseline = run_matrix(&PerfConfig {
+            n: 6,
+            reps: 1,
+            seed: 2006,
+            threads: vec![2],
+            noise: 0.5,
+        })
+        .unwrap();
+        for cell in &baseline.cells {
+            if cell.algorithm == "DPsub" {
+                assert!(cell.utilization.is_some(), "{:?}", cell.key());
+            } else {
+                assert_eq!(cell.utilization, None, "{:?}", cell.key());
+            }
+        }
+        let parsed = PerfBaseline::parse(&baseline.to_json()).unwrap();
+        assert_eq!(parsed, baseline);
+        // The table renders `-` in the util column of sequential rows.
+        let table = baseline.render_table();
+        for line in table.lines().filter(|l| l.contains("DPsize")) {
+            assert_eq!(line.trim_end().rsplit(' ').next(), Some("-"), "{line}");
+        }
+    }
+
+    #[test]
+    fn observed_matrix_reports_runs_without_changing_cells() {
+        use joinopt_telemetry::{MetricsRegistry, RegistryObserver};
+        let config = PerfConfig {
+            n: 6,
+            reps: 1,
+            seed: 2006,
+            threads: vec![1],
+            noise: 0.5,
+        };
+        let registry = MetricsRegistry::new();
+        let obs = RegistryObserver::new(&registry);
+        let observed = run_matrix_observed(&config, &obs).unwrap();
+        let plain = run_matrix(&config).unwrap();
+        // The external observer sees every cell run...
+        let snap = registry.snapshot();
+        let runs: u64 = ["DPsize", "DPccp", "DPsub"]
+            .iter()
+            .filter_map(|alg| snap.counter("joinopt_runs_total", &[("algorithm", alg)]))
+            .sum();
+        assert_eq!(runs as usize, observed.cells.len());
+        // ...and the measured cells are identical to an unobserved run
+        // on everything deterministic.
+        for (a, b) in observed.cells.iter().zip(&plain.cells) {
+            assert_eq!(a.key(), b.key());
+            assert_eq!(a.inner, b.inner);
+            assert_eq!(a.cost_bits, b.cost_bits);
+            assert_eq!(a.arena_bytes, b.arena_bytes);
+        }
     }
 
     #[test]

@@ -20,7 +20,8 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
 
-use joinopt_bench::perf::{run_matrix, PerfBaseline, PerfConfig};
+use joinopt_bench::perf::{run_matrix_observed, PerfBaseline, PerfConfig};
+use joinopt_core::explain::{compare, Explanation};
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
 use joinopt_core::greedy::Goo;
 use joinopt_core::{Algorithm, DpCcp, DpHyp, DpSize, DpSub, JoinOrderer};
@@ -114,6 +115,9 @@ USAGE:
                                 [--trace-json PATH] [--prom PATH]
   joinopt compare  <query-file> [--cost-model NAME]
                                 [--metrics] [--trace-json PATH] [--prom PATH]
+  joinopt explain  <query-file> [--algorithm NAME] [--cost-model NAME]
+                                [--threads N] [--format text|json|dot]
+                                [--compare A,B]
   joinopt generate <family> <n> [--seed S]
   joinopt counters <family> <max-n> [--metrics] [--trace-json PATH]
                                 [--prom PATH]
@@ -121,7 +125,9 @@ USAGE:
                    [--metrics] [--trace-json PATH] [--prom PATH]
   joinopt perf     [--out PATH] [--n N] [--reps K] [--seed S]
                    [--threads LIST] [--noise F]
+                   [--trace-json PATH] [--prom PATH]
   joinopt perf     --check PATH [--counters-only]
+                   [--trace-json PATH] [--prom PATH]
   joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
@@ -159,6 +165,15 @@ PERF:        perf runs the pinned baseline matrix (chain/star/clique ×
              bytes (exact) and wall time (baseline × (1 + noise)),
              while --counters-only skips both, making the check
              hardware-independent (the CI smoke gate).
+EXPLAIN:     explain re-runs the optimizer with provenance collection:
+             every DP decision (winning split, runner-up, cost delta,
+             candidates considered, pruning) is recorded and rendered —
+             as an annotated ASCII tree plus decision table (text), a
+             stable JSON document (json), or a Graphviz digraph (dot).
+             --compare A,B runs two algorithms and diffs their plans
+             side-by-side, attributing the first divergent DP decision
+             (equal-cost ties broken by enumeration order are called
+             out). See docs/observability.md.
 FUZZING:     fuzz generates random query-graph instances (seed S, iters
              N, up to --max-n relations each) and runs the differential
              conformance oracle on every one: all exact algorithms,
@@ -191,6 +206,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     match command.as_str() {
         "optimize" => cmd_optimize(&args[1..], out),
         "compare" => cmd_compare(&args[1..], out),
+        "explain" => cmd_explain(&args[1..], out),
         "generate" => cmd_generate(&args[1..], out),
         "counters" => cmd_counters(&args[1..], out),
         "fuzz" => cmd_fuzz(&args[1..], out),
@@ -663,6 +679,95 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `joinopt explain`: run the optimizer with provenance collection and
+/// render the plan together with the per-set decision records — or,
+/// with `--compare A,B`, diff two algorithms' search-space decisions.
+///
+/// All output is deterministic (no wall-clock anywhere), so both the
+/// text and the JSON form are golden-gated in ci.sh.
+fn cmd_explain(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage("explain expects one query file".into()));
+    };
+    let mut algorithm = Algorithm::Auto;
+    let mut model: Box<dyn CostModel> = Box::new(Cout);
+    let mut threads: usize = 1;
+    let mut format = "text";
+    let mut compare_pair: Option<(Algorithm, Algorithm)> = None;
+    for (key, value) in options {
+        match key {
+            "algorithm" => {
+                algorithm = Algorithm::parse(value)
+                    .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{value}`")))?;
+            }
+            "cost-model" => model = parse_cost_model(value)?,
+            "threads" => {
+                threads = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid thread count `{value}`")))?;
+            }
+            "format" => {
+                format = match value {
+                    "text" | "json" | "dot" => value,
+                    other => {
+                        return Err(CliError::Usage(format!(
+                            "unknown format `{other}` (expected text, json or dot)"
+                        )))
+                    }
+                };
+            }
+            "compare" => {
+                let Some((a, b)) = value.split_once(',') else {
+                    return Err(CliError::Usage(format!(
+                        "--compare expects two algorithms `A,B`, got `{value}`"
+                    )));
+                };
+                let parse_alg = |name: &str| {
+                    Algorithm::parse(name.trim())
+                        .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{name}`")))
+                };
+                compare_pair = Some((parse_alg(a)?, parse_alg(b)?));
+            }
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let q = load_query(path)?;
+    let Some(graph) = q.graph() else {
+        return Err(CliError::Usage(
+            "explain supports simple (binary-predicate) queries only; \
+             this query has complex predicates"
+                .into(),
+        ));
+    };
+    let names = q.names().to_vec();
+    let name_of = move |r: joinopt_relset::RelIdx| names[r].clone();
+
+    if let Some((a, b)) = compare_pair {
+        if format == "dot" {
+            return Err(CliError::Usage(
+                "--format dot renders one plan; it does not combine with --compare".into(),
+            ));
+        }
+        let ea = Explanation::capture(graph, &q.catalog, model.as_ref(), a, threads)?;
+        let eb = Explanation::capture(graph, &q.catalog, model.as_ref(), b, threads)?;
+        let diff = compare(&ea, &eb);
+        match format {
+            "json" => writeln!(out, "{}", diff.to_json(&name_of))?,
+            _ => write!(out, "{}", diff.render_text_with(&name_of))?,
+        }
+        return Ok(());
+    }
+
+    let e = Explanation::capture(graph, &q.catalog, model.as_ref(), algorithm, threads)?;
+    match format {
+        "json" => writeln!(out, "{}", e.to_json(&name_of))?,
+        "dot" => write!(out, "{}", e.render_dot(&name_of))?,
+        _ => write!(out, "{}", e.render_text(&name_of))?,
+    }
+    Ok(())
+}
+
 fn cmd_generate(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
     let [family, n_text] = positional.as_slice() else {
@@ -815,6 +920,13 @@ fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             )?;
         }
         write!(out, "{}", repro.to_dsl())?;
+        // Root-cause attribution: re-run the two sides of the failed
+        // comparison with provenance collection and render the first
+        // divergent DP decision (when the divergence is a plan diff).
+        if let Some(explained) = joinopt_conformance::explain_failure(failure) {
+            writeln!(out)?;
+            write!(out, "{explained}")?;
+        }
     }
     Err(CliError::Conformance(format!(
         "{} of {} instances diverged",
@@ -838,11 +950,15 @@ fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut out_path = "BENCH_joinopt.json".to_string();
     let mut check_path: Option<String> = None;
     let mut counters_only = false;
+    let mut trace_path = None;
+    let mut prom_path = None;
     for (key, value) in options {
         match key {
             "out" => out_path = value.to_string(),
             "check" => check_path = Some(value.to_string()),
             "counters-only" => counters_only = true,
+            "trace-json" => trace_path = Some(value),
+            "prom" => prom_path = Some(value),
             "n" => {
                 let n: usize = value
                     .parse()
@@ -883,6 +999,9 @@ fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    // Matrix-scale telemetry: every cell run streams to --trace-json
+    // and/or aggregates into a --prom registry snapshot.
+    let telemetry = Telemetry::new(false, trace_path, prom_path)?;
     if let Some(path) = check_path {
         let text = std::fs::read_to_string(&path)?;
         let baseline = PerfBaseline::parse(&text).map_err(CliError::Data)?;
@@ -893,7 +1012,10 @@ fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         if counters_only {
             replay.reps = 1;
         }
-        let current = run_matrix(&replay).map_err(CliError::Conformance)?;
+        let current = telemetry
+            .observe(|obs| run_matrix_observed(&replay, obs))
+            .map_err(CliError::Conformance)?;
+        telemetry.close()?;
         let mode = if counters_only {
             "counters-only"
         } else {
@@ -921,7 +1043,10 @@ fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         }
     } else {
         let start = Instant::now();
-        let baseline = run_matrix(&config).map_err(CliError::Conformance)?;
+        let baseline = telemetry
+            .observe(|obs| run_matrix_observed(&config, obs))
+            .map_err(CliError::Conformance)?;
+        telemetry.close()?;
         std::fs::write(&out_path, baseline.to_json())?;
         write!(out, "{}", baseline.render_table())?;
         writeln!(

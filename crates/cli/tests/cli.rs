@@ -980,3 +980,171 @@ fn flame_rejects_garbage_traces() {
     ));
     assert!(matches!(run_err(&["flame"]), CliError::Usage(_)));
 }
+
+#[test]
+fn explain_renders_text_with_decision_records() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["explain", path.to_str().unwrap()]);
+    assert!(out.contains("algorithm:"), "{out}");
+    assert!(out.contains("cost model:"), "{out}");
+    assert!(out.contains("decision records (DP order):"), "{out}");
+    assert!(out.contains("customer"), "{out}");
+    assert!(out.contains("lineitem"), "{out}");
+    assert!(out.contains("└── "), "{out}");
+    assert!(out.contains("candidates="), "{out}");
+}
+
+#[test]
+fn explain_json_is_structured_and_deterministic() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let path = write_query_file(CHAIN_QUERY);
+    let args = ["explain", path.to_str().unwrap(), "--format", "json"];
+    let first = run_ok(&args);
+    let second = run_ok(&args);
+    assert_eq!(first, second, "explain JSON must be byte-stable");
+
+    let v = JsonValue::parse(first.trim()).expect("valid JSON");
+    assert!(
+        v.get("decisions").and_then(JsonValue::as_array).is_some(),
+        "{first}"
+    );
+    assert!(v.get("plan").is_some(), "{first}");
+}
+
+#[test]
+fn explain_emits_graphviz_dot() {
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&["explain", path.to_str().unwrap(), "--format", "dot"]);
+    assert!(out.starts_with("digraph plan {"), "{out}");
+    assert!(out.contains("orders"), "{out}");
+}
+
+#[test]
+fn explain_compare_diffs_two_algorithms() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let path = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&[
+        "explain",
+        path.to_str().unwrap(),
+        "--compare",
+        "dpsize,dpccp",
+    ]);
+    assert!(out.contains("compare: DPsize vs DPccp"), "{out}");
+    assert!(
+        out.contains("first divergent decision") || out.contains("no divergent decisions"),
+        "{out}"
+    );
+
+    let json = run_ok(&[
+        "explain",
+        path.to_str().unwrap(),
+        "--compare",
+        "dpsize,dpccp",
+        "--format",
+        "json",
+    ]);
+    let v = JsonValue::parse(json.trim()).expect("valid compare JSON");
+    assert!(
+        v.get("divergences").and_then(JsonValue::as_array).is_some(),
+        "{json}"
+    );
+}
+
+#[test]
+fn explain_compare_pinpoints_divergence_on_tie_rich_corpus() {
+    let out = run_ok(&[
+        "explain",
+        "../../tests/corpus/tie-rich-chain-8.query",
+        "--compare",
+        "dpsize,goo",
+    ]);
+    assert!(out.contains("plans:   differ"), "{out}");
+    assert!(out.contains("first divergent decision"), "{out}");
+}
+
+#[test]
+fn explain_rejects_bad_options() {
+    let path = write_query_file(CHAIN_QUERY);
+    assert!(matches!(run_err(&["explain"]), CliError::Usage(_)));
+    assert!(matches!(
+        run_err(&["explain", path.to_str().unwrap(), "--format", "svg"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["explain", path.to_str().unwrap(), "--compare", "dpsize"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&[
+            "explain",
+            path.to_str().unwrap(),
+            "--compare",
+            "dpsize,dpccp",
+            "--format",
+            "dot"
+        ]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn explain_rejects_complex_predicate_queries() {
+    let path = write_query_file(
+        "relation a 100\nrelation b 200\nrelation c 50\njoin a b 0.01\njoin a,b c 0.05\n",
+    );
+    assert!(matches!(
+        run_err(&["explain", path.to_str().unwrap()]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
+fn perf_streams_telemetry_to_trace_and_prom_files() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let trace = tempfile::Builder::new()
+        .suffix(".jsonl")
+        .tempfile()
+        .expect("create trace file")
+        .into_temp_path();
+    let prom = tempfile::Builder::new()
+        .suffix(".prom")
+        .tempfile()
+        .expect("create prom file")
+        .into_temp_path();
+    let baseline = tempfile::Builder::new()
+        .suffix(".json")
+        .tempfile()
+        .expect("create baseline file")
+        .into_temp_path();
+    run_ok(&[
+        "perf",
+        "--n",
+        "6",
+        "--reps",
+        "1",
+        "--threads",
+        "1",
+        "--out",
+        baseline.to_str().unwrap(),
+        "--trace-json",
+        trace.to_str().unwrap(),
+        "--prom",
+        prom.to_str().unwrap(),
+    ]);
+
+    let trace_text = std::fs::read_to_string(&*trace).expect("trace written");
+    let run_starts = trace_text
+        .lines()
+        .filter(|l| {
+            let v = JsonValue::parse(l).expect("valid JSONL line");
+            v.get("event").and_then(JsonValue::as_str) == Some("run_start")
+        })
+        .count();
+    assert!(run_starts > 0, "expected run_start events:\n{trace_text}");
+
+    let prom_text = std::fs::read_to_string(&*prom).expect("prom written");
+    assert!(prom_text.contains("joinopt_runs_total"), "{prom_text}");
+}

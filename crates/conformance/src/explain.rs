@@ -1,0 +1,135 @@
+//! Explained diffs for fuzz divergences.
+//!
+//! When the differential [`oracle`](crate::oracle) catches two
+//! optimizers disagreeing, the divergence detail says *that* they
+//! disagree; the provenance subsystem can additionally say *where* —
+//! which DP decision the two runs first committed differently. This
+//! module re-runs the two sides of a failed comparison with
+//! provenance collection attached and renders the decision-level diff
+//! (see [`joinopt_core::explain`]), so a minimized fuzz repro arrives
+//! with its root-cause attribution already printed.
+
+use joinopt_core::explain::{compare, Explanation};
+use joinopt_core::Algorithm;
+use joinopt_cost::Cout;
+
+use crate::fuzz::Failure;
+use crate::generator::Instance;
+use crate::oracle::ENGINE_THREADS;
+
+/// Report labels the oracle uses, mapped to their algorithms. Longest
+/// labels first so substring scans of a divergence detail cannot match
+/// a prefix (`DPsize` inside `DPsize-naive`).
+const LABELS: [(&str, Algorithm); 7] = [
+    ("DPsize-naive", Algorithm::DpSizeNaive),
+    ("DPsub-nofilter", Algorithm::DpSubUnfiltered),
+    ("DPsub-cp", Algorithm::DpSubCrossProducts),
+    ("DPsize", Algorithm::DpSize),
+    ("DPsub", Algorithm::DpSub),
+    ("DPccp", Algorithm::DpCcp),
+    ("top-down", Algorithm::TopDown),
+];
+
+/// Renders an explained diff for a fuzz failure, preferring the
+/// minimized repro when shrinking produced one.
+///
+/// Returns `None` for divergences that are not a comparison of two
+/// plan-producing runs (counter formula mismatches, plan-validity
+/// violations, parse errors, …) or when the re-run no longer
+/// reproduces a decision-level difference.
+pub fn explain_failure(failure: &Failure) -> Option<String> {
+    let inst = failure.minimized.as_ref().unwrap_or(&failure.instance);
+    match failure.divergence.check {
+        "engine-vs-sequential" => explain_engine_divergence(inst),
+        "optimal-cost" | "exhaustive" => explain_vs_reference(inst, &failure.divergence.detail),
+        _ => None,
+    }
+}
+
+/// Engine-vs-sequential: replay sequential DPsub against the parallel
+/// engine at each contract thread count and render the first
+/// decision-level diff found.
+pub fn explain_engine_divergence(inst: &Instance) -> Option<String> {
+    let seq = Explanation::capture_sequential(&inst.graph, &inst.catalog, &Cout, Algorithm::DpSub)
+        .ok()?;
+    for threads in ENGINE_THREADS {
+        let eng =
+            Explanation::capture(&inst.graph, &inst.catalog, &Cout, Algorithm::DpSub, threads)
+                .ok()?;
+        let diff = compare(&seq, &eng);
+        if !diff.same_plan || !diff.divergences.is_empty() {
+            return Some(format!(
+                "explained diff ({}: sequential DPsub vs engine at {threads} threads):\n{}",
+                inst.name,
+                diff.render_text()
+            ));
+        }
+    }
+    None
+}
+
+/// Optimal-cost / exhaustive divergences: re-run the algorithm the
+/// detail names against the DPccp reference, both sequentially.
+fn explain_vs_reference(inst: &Instance, detail: &str) -> Option<String> {
+    let (label, alg) = LABELS
+        .into_iter()
+        .find(|(label, _)| detail.contains(label))?;
+    if alg == Algorithm::DpCcp {
+        return None;
+    }
+    let suspect = Explanation::capture_sequential(&inst.graph, &inst.catalog, &Cout, alg).ok()?;
+    let reference =
+        Explanation::capture_sequential(&inst.graph, &inst.catalog, &Cout, Algorithm::DpCcp)
+            .ok()?;
+    let diff = compare(&suspect, &reference);
+    if diff.same_plan && diff.divergences.is_empty() {
+        return None;
+    }
+    Some(format!(
+        "explained diff ({}: {label} vs DPccp reference):\n{}",
+        inst.name,
+        diff.render_text()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator;
+
+    #[test]
+    fn clean_instances_have_nothing_to_explain() {
+        let inst = generator::tie_rich_chain(6);
+        assert!(explain_engine_divergence(&inst).is_none());
+    }
+
+    /// The acceptance path: arming the engine tie-break inversion makes
+    /// the fuzz harness produce a failure whose explained diff
+    /// pinpoints the first inverted tie (failpoints builds only — the
+    /// flag compiles to `false` otherwise).
+    #[cfg(failpoints)]
+    #[test]
+    fn inverted_tiebreak_divergence_renders_an_explained_diff() {
+        use crate::oracle::check_instance;
+        use joinopt_core::failpoint::{self, FailAction};
+
+        failpoint::configure("engine-tiebreak-invert", FailAction::Error);
+        let inst = generator::tie_rich_chain(8);
+        let divergence = check_instance(&inst).expect_err("inverted tie-break diverges");
+        assert_eq!(divergence.check, "engine-vs-sequential");
+        let failure = Failure {
+            instance: inst,
+            divergence,
+            minimized: Some(crate::minimize(
+                &generator::tie_rich_chain(8),
+                |c| matches!(check_instance(c), Err(d) if d.check == "engine-vs-sequential"),
+            )),
+        };
+        let text = explain_failure(&failure).expect("engine divergence explains");
+        failpoint::clear("engine-tiebreak-invert");
+
+        assert!(text.contains("explained diff"), "{text}");
+        assert!(text.contains("first divergent decision"), "{text}");
+        assert!(text.contains("tie broken by enumeration order"), "{text}");
+    }
+}

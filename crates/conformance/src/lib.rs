@@ -30,12 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explain;
 pub mod fuzz;
 pub mod generator;
 pub mod metamorphic;
 pub mod oracle;
 pub mod shrink;
 
+pub use explain::explain_failure;
 pub use fuzz::run_fuzz_observed;
 pub use fuzz::{run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generator::{generate_instance, Family, Instance, SplitMix64};

@@ -109,6 +109,9 @@ pub(crate) struct Driver<'a, T: PlanTable = DpTable> {
     pub counters: Counters,
     obs: &'a dyn Observer,
     observe: bool,
+    /// Whether per-candidate provenance events are wanted, cached once
+    /// from [`Observer::wants_provenance`] like `observe`.
+    provenance: bool,
     /// Stop conditions polled by every emit call.
     ctl: &'a CancellationToken,
     /// Pacing state for [`CancellationToken::checkpoint`].
@@ -218,6 +221,7 @@ impl<'a, T: PlanTable> Driver<'a, T> {
             counters: Counters::new(),
             obs,
             observe,
+            provenance: observe && obs.wants_provenance(),
             ctl,
             pace: 0,
             charged,
@@ -278,6 +282,27 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         }
     }
 
+    /// Emits one provenance candidate when the observer opted in.
+    #[inline]
+    fn note_candidate(
+        &self,
+        union: RelSet,
+        left: RelSet,
+        right: RelSet,
+        cost: f64,
+        accepted: bool,
+    ) {
+        if self.provenance {
+            self.obs.on_event(Event::PlanCandidate {
+                set: union.bits(),
+                left: left.bits(),
+                right: right.bits(),
+                cost,
+                accepted,
+            });
+        }
+    }
+
     /// Fetches the operand entry for `s`, failing with an internal
     /// error if the enumerator broke the "operands are built first"
     /// invariant instead of panicking into the caller.
@@ -331,7 +356,9 @@ impl<'a, T: PlanTable> Driver<'a, T> {
                 let out_card = existing.stats.cardinality;
                 let cost =
                     ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
-                if cost < existing.stats.cost {
+                let accepted = cost < existing.stats.cost;
+                self.note_candidate(union, s1, s2, cost, accepted);
+                if accepted {
                     let stats = PlanStats {
                         cardinality: out_card,
                         cost,
@@ -352,6 +379,7 @@ impl<'a, T: PlanTable> Driver<'a, T> {
                 )?;
                 let cost =
                     ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
+                self.note_candidate(union, s1, s2, cost, true);
                 let stats = PlanStats {
                     cardinality: out_card,
                     cost,
@@ -388,17 +416,19 @@ impl<'a, T: PlanTable> Driver<'a, T> {
         };
         self.note_union_probe(union, incumbent.is_some());
         let c12 = ensure_finite("cost", self.model.join_cost(&e1.stats, &e2.stats, out_card))?;
-        let (cost, left, right) = if self.model.is_symmetric() {
-            (c12, &e1, &e2)
+        let (cost, left, right, left_set, right_set) = if self.model.is_symmetric() {
+            (c12, &e1, &e2, s1, s2)
         } else {
             let c21 = ensure_finite("cost", self.model.join_cost(&e2.stats, &e1.stats, out_card))?;
             if c21 < c12 {
-                (c21, &e2, &e1)
+                (c21, &e2, &e1, s2, s1)
             } else {
-                (c12, &e1, &e2)
+                (c12, &e1, &e2, s1, s2)
             }
         };
-        if incumbent.is_none_or(|best| cost < best) {
+        let accepted = incumbent.is_none_or(|best| cost < best);
+        self.note_candidate(union, left_set, right_set, cost, accepted);
+        if accepted {
             let stats = PlanStats {
                 cardinality: out_card,
                 cost,

@@ -10,7 +10,7 @@ use joinopt_cost::{ensure_finite, CardinalityEstimator, Catalog, CostModel, Plan
 use joinopt_plan::{PlanArena, PlanId};
 use joinopt_qgraph::QueryGraph;
 use joinopt_relset::RelSet;
-use joinopt_telemetry::Observer;
+use joinopt_telemetry::{Event, Observer};
 
 use crate::cancel::CancellationToken;
 use crate::counters::Counters;
@@ -36,6 +36,7 @@ impl JoinOrderer for Goo {
         ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
+        let provenance = obs.enabled() && obs.wants_provenance();
         spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
@@ -106,6 +107,18 @@ impl JoinOrderer for Goo {
             } else {
                 (i, j, c_ab)
             };
+            if provenance {
+                // Greedy makes exactly one (always accepted) decision
+                // per merged component: the pair with the smallest
+                // intermediate result, oriented by cheaper join cost.
+                obs.on_event(Event::PlanCandidate {
+                    set: (comps[i].set | comps[j].set).bits(),
+                    left: comps[left].set.bits(),
+                    right: comps[right].set.bits(),
+                    cost,
+                    accepted: true,
+                });
+            }
             let stats = PlanStats {
                 cardinality: out,
                 cost,

@@ -76,6 +76,7 @@ impl JoinOrderer for Idp {
         ctl: &CancellationToken,
     ) -> Result<DpResult, OptimizeError> {
         let spans = Spans::start(obs, self.name(), g.num_relations());
+        let provenance = obs.enabled() && obs.wants_provenance();
         spans.begin("init");
         if g.num_relations() == 0 {
             return Err(OptimizeError::EmptyQuery);
@@ -170,20 +171,32 @@ impl JoinOrderer for Idp {
                             };
                             let c12 =
                                 ensure_finite("cost", model.join_cost(&e1.stats, &e2.stats, out))?;
-                            let (cost, l, r) = if model.is_symmetric() {
-                                (c12, &e1, &e2)
+                            let (cost, l, r, rl, rr) = if model.is_symmetric() {
+                                (c12, &e1, &e2, ra, rb)
                             } else {
                                 let c21 = ensure_finite(
                                     "cost",
                                     model.join_cost(&e2.stats, &e1.stats, out),
                                 )?;
                                 if c21 < c12 {
-                                    (c21, &e2, &e1)
+                                    (c21, &e2, &e1, rb, ra)
                                 } else {
-                                    (c12, &e1, &e2)
+                                    (c12, &e1, &e2, ra, rb)
                                 }
                             };
-                            if incumbent.is_none_or(|best| cost < best) {
+                            let accepted = incumbent.is_none_or(|best| cost < best);
+                            if provenance {
+                                // Provenance speaks relation sets, not
+                                // this round's component masks.
+                                obs.on_event(joinopt_telemetry::Event::PlanCandidate {
+                                    set: (ra | rb).bits(),
+                                    left: rl.bits(),
+                                    right: rr.bits(),
+                                    cost,
+                                    accepted,
+                                });
+                            }
+                            if accepted {
                                 let stats = PlanStats {
                                     cardinality: out,
                                     cost,

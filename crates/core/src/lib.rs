@@ -64,6 +64,7 @@ mod dpsub;
 mod driver;
 mod error;
 pub mod exhaustive;
+pub mod explain;
 pub mod failpoint;
 pub mod formulas;
 pub mod greedy;

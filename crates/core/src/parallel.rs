@@ -131,6 +131,34 @@ pub fn engine_clock_reads() -> u64 {
     CLOCK_READS.load(Ordering::Relaxed)
 }
 
+/// Every provenance candidate a worker buffers goes through this
+/// counter (one bulk add per chunk), so the zero-overhead guard test
+/// can assert that a run without a provenance-wanting observer buffers
+/// exactly zero candidates.
+static PROVENANCE_CANDIDATES: AtomicU64 = AtomicU64::new(0);
+
+/// Total provenance candidates the engine has buffered in this
+/// process. Test instrumentation for the zero-overhead guarantee — not
+/// a public API.
+#[doc(hidden)]
+pub fn engine_provenance_candidates() -> u64 {
+    PROVENANCE_CANDIDATES.load(Ordering::Relaxed)
+}
+
+/// One evaluated candidate split, buffered by a worker when the
+/// observer requests provenance and replayed as
+/// [`Event::PlanCandidate`] by the merge thread in worker order — so
+/// the provenance stream stays single-threaded and deterministic at
+/// any thread count.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    set: u64,
+    s1: u64,
+    s2: u64,
+    cost: f64,
+    accepted: bool,
+}
+
 /// What one worker hands back at the level barrier: its counter totals
 /// plus (only when observed) its chunk-profiling sample.
 #[derive(Debug, Clone, Copy, Default)]
@@ -264,6 +292,7 @@ fn process_chunk(
     sh: &LevelShared<'_>,
     sets: &[u64],
     out: &mut Vec<NewEntry>,
+    mut cands: Option<&mut Vec<Candidate>>,
     ctl: &CancellationToken,
 ) -> Result<ChunkReport, OptimizeError> {
     let chunk_start = sh.observe.then(clock_now);
@@ -343,8 +372,11 @@ fn process_chunk(
                 )?;
             }
             let cost = ensure_finite("cost", sh.model.join_cost(&st1, &st2, card))?;
-            match &mut best {
-                None => best = Some((cost, s1.bits())),
+            let accepted = match &mut best {
+                None => {
+                    best = Some((cost, s1.bits()));
+                    true
+                }
                 Some((bc, bs)) => {
                     // Strict improvement only: ties keep the first
                     // (canonically smallest) S1, as in the sequential run.
@@ -354,8 +386,20 @@ fn process_chunk(
                     if cost < *bc || (cost == *bc && failpoint::flag("engine-tiebreak-invert")) {
                         *bc = cost;
                         *bs = s1.bits();
+                        true
+                    } else {
+                        false
                     }
                 }
+            };
+            if let Some(buf) = cands.as_deref_mut() {
+                buf.push(Candidate {
+                    set: bits,
+                    s1: s1.bits(),
+                    s2: s2.bits(),
+                    cost,
+                    accepted,
+                });
             }
         }
         if let Some((cost, s1)) = best {
@@ -368,6 +412,11 @@ fn process_chunk(
                 },
             });
         }
+    }
+    if let Some(buf) = &cands {
+        // Buffers are cleared at the level barrier, so the length is
+        // exactly this chunk's contribution.
+        PROVENANCE_CANDIDATES.fetch_add(buf.len() as u64, Ordering::Relaxed);
     }
     Ok(match chunk_start {
         Some(start) => ChunkReport {
@@ -422,6 +471,7 @@ pub(crate) fn run_level_synchronous(
     ctl: &CancellationToken,
 ) -> Result<DpResult, OptimizeError> {
     let observe = obs.enabled();
+    let provenance = observe && obs.wants_provenance();
     let n = g.num_relations();
     debug_assert!(n <= MAX_ENGINE_RELATIONS, "engine capped at dense-table n");
     if observe {
@@ -472,6 +522,14 @@ pub(crate) fn run_level_synchronous(
     // This level's chunk reports, in worker order (reused across
     // levels; capacity is bounded by the worker count).
     let mut level_reports: Vec<ChunkReport> = Vec::with_capacity(workers);
+    // Per-worker provenance buffers, allocated only when the observer
+    // asks for provenance — an unobserved (or merely metrics-observed)
+    // run performs no provenance work at all.
+    let mut cand_outputs: Vec<Vec<Candidate>> = if provenance {
+        (0..workers).map(|_| Vec::new()).collect()
+    } else {
+        Vec::new()
+    };
 
     // Levels 2..=n, with a barrier (the merge) between levels.
     // (`level_new[k]` is bumped during the merge — the index is the
@@ -502,24 +560,36 @@ pub(crate) fn run_level_synchronous(
             for out in outs.iter_mut() {
                 out.clear();
             }
+            for cands in cand_outputs.iter_mut() {
+                cands.clear();
+            }
             level_reports.clear();
             if spawned == 1 {
-                level_reports.push(process_chunk(&shared, sets, &mut outs[0], ctl)?);
+                level_reports.push(process_chunk(
+                    &shared,
+                    sets,
+                    &mut outs[0],
+                    cand_outputs.first_mut(),
+                    ctl,
+                )?);
             } else {
                 // Contiguous ranges keep each worker's output ascending,
                 // so concatenation in worker order restores the global
                 // ascending set order the merge relies on.
                 let shared = &shared;
+                let mut cand_slots = cand_outputs.iter_mut();
                 let chunk_results = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(spawned);
                     let mut results = Vec::with_capacity(spawned);
                     for (w, out) in outs.iter_mut().enumerate() {
+                        let cands = cand_slots.next();
                         let lo = level_len * w / spawned;
                         let hi = level_len * (w + 1) / spawned;
                         let chunk = &sets[lo..hi];
                         match failpoint::check("worker-spawn") {
-                            Ok(()) => handles
-                                .push(scope.spawn(move || process_chunk(shared, chunk, out, ctl))),
+                            Ok(()) => handles.push(
+                                scope.spawn(move || process_chunk(shared, chunk, out, cands, ctl)),
+                            ),
                             Err(e) => results.push(Err(e)),
                         }
                     }
@@ -549,6 +619,25 @@ pub(crate) fn run_level_synchronous(
         }
         for cr in &level_reports {
             totals.merge(cr.totals);
+        }
+        // Replay the workers' buffered candidates in worker order (so
+        // concatenation restores ascending set order): the provenance
+        // stream is emitted from this one thread, deterministic at any
+        // thread count, and observers need not be `Sync`. Emitted
+        // before the merge clock starts so `merge_ns` stays a pure
+        // materialization measurement.
+        if provenance {
+            for cands in cand_outputs.iter().take(spawned) {
+                for c in cands {
+                    obs.on_event(Event::PlanCandidate {
+                        set: c.set,
+                        left: c.s1,
+                        right: c.s2,
+                        cost: c.cost,
+                        accepted: c.accepted,
+                    });
+                }
+            }
         }
         // Barrier: materialize this level's winners, ascending. Split
         // borrows: worker outputs are read while the tables and arena

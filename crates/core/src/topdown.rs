@@ -76,7 +76,9 @@ struct Search<'a> {
     memo: std::collections::HashMap<RelSet, Memo, crate::table::BuildFxHasher>,
     counters: Counters,
     pruning: bool,
+    obs: &'a dyn Observer,
     observe: bool,
+    provenance: bool,
     probes: u64,
     hits: u64,
     ctl: &'a CancellationToken,
@@ -133,7 +135,9 @@ impl JoinOrderer for TopDown {
             memo: std::collections::HashMap::default(),
             counters: Counters::new(),
             pruning: self.pruning,
+            obs,
             observe: obs.enabled(),
+            provenance: obs.enabled() && obs.wants_provenance(),
             probes: 0,
             hits: 0,
             ctl,
@@ -263,6 +267,12 @@ impl Search<'_> {
             self.ctl.checkpoint(&mut self.pace)?;
             if self.pruning && lb >= bound {
                 // Sorted ascending: everything after is at least as bad.
+                if self.provenance {
+                    self.obs.on_event(joinopt_telemetry::Event::SearchPruned {
+                        set: s.bits(),
+                        reason: "bound",
+                    });
+                }
                 break;
             }
             self.counters.csg_cmp_pairs += 2;
@@ -285,18 +295,28 @@ impl Search<'_> {
                 continue;
             };
             let c12 = ensure_finite("cost", self.model.join_cost(&st1, &st2, out_card))?;
-            let (cost, left, right, lst, rst) = if self.model.is_symmetric() {
-                (c12, p1, p2, st1, st2)
+            let (cost, left, right, left_set, right_set) = if self.model.is_symmetric() {
+                (c12, p1, p2, s1, s2)
             } else {
                 let c21 = ensure_finite("cost", self.model.join_cost(&st2, &st1, out_card))?;
                 if c21 < c12 {
-                    (c21, p2, p1, st2, st1)
+                    (c21, p2, p1, s2, s1)
                 } else {
-                    (c12, p1, p2, st1, st2)
+                    (c12, p1, p2, s1, s2)
                 }
             };
-            let _ = (lst, rst);
-            if cost < bound || (!self.pruning && best.as_ref().is_none_or(|b| cost < b.1.cost)) {
+            let accepted =
+                cost < bound || (!self.pruning && best.as_ref().is_none_or(|b| cost < b.1.cost));
+            if self.provenance {
+                self.obs.on_event(joinopt_telemetry::Event::PlanCandidate {
+                    set: s.bits(),
+                    left: left_set.bits(),
+                    right: right_set.bits(),
+                    cost,
+                    accepted,
+                });
+            }
+            if accepted {
                 let stats = PlanStats {
                     cardinality: out_card,
                     cost,

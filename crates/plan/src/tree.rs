@@ -131,6 +131,128 @@ impl JoinTree {
         }
     }
 
+    /// Multi-line tree rendering with box-drawing connectors, one node
+    /// per line with its cardinality (and, for joins, accumulated
+    /// cost). Relations render as `R<idx>`; use
+    /// [`JoinTree::render_ascii_with`] to substitute real names.
+    ///
+    /// ```text
+    /// Join  card=2e0 cost=7e0
+    /// ├── Join  card=5e0 cost=5e0
+    /// │   ├── Scan R0  card=1e1
+    /// │   └── Scan R1  card=2e1
+    /// └── Scan R2  card=3e1
+    /// ```
+    pub fn render_ascii(&self) -> String {
+        self.render_ascii_with(&|r| format!("R{r}"))
+    }
+
+    /// [`JoinTree::render_ascii`] with a caller-supplied relation namer.
+    pub fn render_ascii_with(&self, name_of: &dyn Fn(RelIdx) -> String) -> String {
+        let mut out = String::new();
+        self.ascii_into(&mut out, "", "", name_of);
+        out
+    }
+
+    fn ascii_into(
+        &self,
+        out: &mut String,
+        prefix: &str,
+        child_prefix: &str,
+        name_of: &dyn Fn(RelIdx) -> String,
+    ) {
+        use core::fmt::Write as _;
+        match self {
+            JoinTree::Scan {
+                relation,
+                cardinality,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{prefix}Scan {}  card={cardinality:e}",
+                    name_of(*relation)
+                );
+            }
+            JoinTree::Join {
+                left,
+                right,
+                cardinality,
+                cost,
+            } => {
+                let _ = writeln!(out, "{prefix}Join  card={cardinality:e} cost={cost:e}");
+                left.ascii_into(
+                    out,
+                    &format!("{child_prefix}├── "),
+                    &format!("{child_prefix}│   "),
+                    name_of,
+                );
+                right.ascii_into(
+                    out,
+                    &format!("{child_prefix}└── "),
+                    &format!("{child_prefix}    "),
+                    name_of,
+                );
+            }
+        }
+    }
+
+    /// Graphviz DOT rendering: a `digraph` with one record-shaped node
+    /// per operator (preorder ids `n0`, `n1`, …), edges from each join
+    /// to its operands. Deterministic for a given tree, so the output
+    /// can be golden-tested. Relations render as `R<idx>`; use
+    /// [`JoinTree::render_dot_with`] to substitute real names.
+    pub fn render_dot(&self) -> String {
+        self.render_dot_with(&|r| format!("R{r}"))
+    }
+
+    /// [`JoinTree::render_dot`] with a caller-supplied relation namer.
+    pub fn render_dot_with(&self, name_of: &dyn Fn(RelIdx) -> String) -> String {
+        let mut out = String::from("digraph plan {\n  node [shape=record];\n");
+        let mut next = 0usize;
+        self.dot_into(&mut out, &mut next, name_of);
+        out.push_str("}\n");
+        out
+    }
+
+    fn dot_into(
+        &self,
+        out: &mut String,
+        next: &mut usize,
+        name_of: &dyn Fn(RelIdx) -> String,
+    ) -> usize {
+        use core::fmt::Write as _;
+        let id = *next;
+        *next += 1;
+        match self {
+            JoinTree::Scan {
+                relation,
+                cardinality,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"{{{}|card={cardinality:e}}}\"];",
+                    name_of(*relation)
+                );
+            }
+            JoinTree::Join {
+                left,
+                right,
+                cardinality,
+                cost,
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  n{id} [label=\"{{⋈|card={cardinality:e}|cost={cost:e}}}\"];"
+                );
+                let l = left.dot_into(out, next, name_of);
+                let _ = writeln!(out, "  n{id} -> n{l};");
+                let r = right.dot_into(out, next, name_of);
+                let _ = writeln!(out, "  n{id} -> n{r};");
+            }
+        }
+        id
+    }
+
     /// Multi-line `EXPLAIN`-style rendering with cardinalities and costs.
     pub fn explain(&self) -> String {
         let mut out = String::new();
@@ -245,6 +367,38 @@ mod tests {
     fn display_infix() {
         assert_eq!(left_deep3().to_string(), "((R0 ⋈ R1) ⋈ R2)");
         assert_eq!(bushy4().to_string(), "((R0 ⋈ R1) ⋈ (R2 ⋈ R3))");
+    }
+
+    #[test]
+    fn ascii_tree_connectors_and_names() {
+        let got = left_deep3().render_ascii();
+        let want = "\
+Join  card=2e0 cost=7e0
+├── Join  card=5e0 cost=5e0
+│   ├── Scan R0  card=1e1
+│   └── Scan R1  card=2e1
+└── Scan R2  card=3e1
+";
+        assert_eq!(got, want);
+        let named = bushy4().render_ascii_with(&|r| format!("t{}", (b'a' + r as u8) as char));
+        assert!(named.contains("Scan ta"), "{named}");
+        assert!(named.contains("└── Scan td"), "{named}");
+    }
+
+    #[test]
+    fn dot_is_a_deterministic_digraph() {
+        let dot = bushy4().render_dot();
+        assert!(dot.starts_with("digraph plan {\n"), "{dot}");
+        assert!(dot.ends_with("}\n"), "{dot}");
+        // 7 nodes (3 joins + 4 scans), 6 edges, preorder ids.
+        assert_eq!(dot.matches("[label=").count(), 7, "{dot}");
+        assert_eq!(dot.matches(" -> ").count(), 6, "{dot}");
+        assert!(
+            dot.contains("n0 -> n1;") && dot.contains("n0 -> n4;"),
+            "{dot}"
+        );
+        assert!(dot.contains("card=5e0"), "{dot}");
+        assert_eq!(dot, bushy4().render_dot());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //!   `Display`, JSON-line and CSV serializations (no external deps).
 //! * [`TraceWriter`] — streams every event as a JSON line (with
 //!   monotonic `elapsed_ns`) to any `io::Write`.
+//! * [`ProvenanceCollector`] — folds the opt-in per-candidate
+//!   provenance events ([`Observer::wants_provenance`]) into per-subset
+//!   [`DecisionRecord`]s: winning split, runner-up, cost delta,
+//!   candidates considered, pruning reason.
 //! * [`Tee`] — fans events out to two observers; [`Fanout`] /
 //!   [`SyncFanout`] to any number.
 //! * [`MetricsRegistry`] — fleet-grade aggregation: Counter / Gauge /
@@ -55,12 +59,14 @@ mod flame;
 pub mod json;
 mod metrics;
 mod observer;
+mod provenance;
 mod registry;
 mod trace;
 
 pub use flame::{collapse_trace, FlameError};
 pub use metrics::{LevelCount, MetricsCollector, PhaseSpan, RunReport, WorkerLevel};
 pub use observer::{current_thread_id, Event, Fanout, NoopObserver, Observer, SyncFanout, Tee};
+pub use provenance::{DecisionRecord, ProvenanceCollector, SplitChoice};
 pub use registry::{
     Histogram, MetricValue, MetricsRegistry, RegistryObserver, Snapshot, SnapshotEntry,
 };

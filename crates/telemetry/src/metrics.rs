@@ -130,18 +130,24 @@ impl RunReport {
 
     /// Run-wide worker utilization in `[0, 1]`: total service time over
     /// total `workers × max_service_ns` span across all synchronized
-    /// levels (1.0 when no parallel levels were reported).
-    pub fn worker_utilization(&self) -> f64 {
+    /// levels. `None` for sequential runs that reported no
+    /// `level_sync` events at all — utilization is then simply not a
+    /// property of the run, not a perfect `1.0`. Parallel levels whose
+    /// measured span is zero report `Some(1.0)` (nothing waited).
+    pub fn worker_utilization(&self) -> Option<f64> {
+        if self.worker_levels.is_empty() {
+            return None;
+        }
         let span: u64 = self
             .worker_levels
             .iter()
             .map(|w| w.workers as u64 * w.max_service_ns)
             .sum();
         if span == 0 {
-            1.0
+            Some(1.0)
         } else {
             let service: u64 = self.worker_levels.iter().map(|w| w.total_service_ns).sum();
-            service as f64 / span as f64
+            Some(service as f64 / span as f64)
         }
     }
 
@@ -304,7 +310,7 @@ impl fmt::Display for RunReport {
                 "workers:    {} levels synchronized, up to {} workers, {:.1}% utilized",
                 self.worker_levels.len(),
                 max_workers,
-                100.0 * self.worker_utilization()
+                100.0 * self.worker_utilization().unwrap_or(1.0)
             )?;
         }
         writeln!(
@@ -439,9 +445,12 @@ impl Observer for MetricsCollector {
             Event::Degraded { rung } => {
                 r.degraded_rung = Some(rung);
             }
-            // Per-chunk detail is for traces and the registry; the
-            // per-run report keeps the per-level rollup only.
-            Event::WorkerChunk { .. } => {}
+            // Per-chunk and per-candidate detail is for traces, the
+            // registry and the provenance collector; the per-run report
+            // keeps rollups only.
+            Event::WorkerChunk { .. }
+            | Event::PlanCandidate { .. }
+            | Event::SearchPruned { .. } => {}
             Event::LevelSync {
                 level,
                 workers,
@@ -632,7 +641,7 @@ mod tests {
         assert_eq!(r.worker_levels.len(), 2);
         assert!((r.worker_levels[0].utilization() - 1000.0 / 1200.0).abs() < 1e-12);
         assert!((r.worker_levels[1].utilization() - 1.0).abs() < 1e-12);
-        assert!((r.worker_utilization() - 1800.0 / 2000.0).abs() < 1e-12);
+        assert!((r.worker_utilization().unwrap() - 1800.0 / 2000.0).abs() < 1e-12);
         let text = r.to_string();
         assert!(text.contains("2 levels synchronized"));
         let v = JsonValue::parse(&r.to_json_line()).unwrap();
@@ -644,7 +653,38 @@ mod tests {
         // Sequential runs omit the array entirely.
         let empty = RunReport::default().to_json_line();
         assert!(!empty.contains("worker_levels"));
-        assert!((RunReport::default().worker_utilization() - 1.0).abs() < 1e-12);
+        assert_eq!(RunReport::default().worker_utilization(), None);
+    }
+
+    #[test]
+    fn sequential_runs_report_no_worker_rollup_at_all() {
+        // Regression: a run without worker_chunk/level_sync events must
+        // yield an *absent* rollup — no zeroed stub levels, no
+        // fabricated utilization figure, no "worker_levels" JSON key.
+        let mc = MetricsCollector::new();
+        sample_events(&mc); // a full sequential DPccp run
+        let r = mc.report();
+        assert!(r.worker_levels.is_empty());
+        assert_eq!(r.worker_utilization(), None);
+        assert!(!r.to_json_line().contains("worker_levels"));
+        assert!(!r.to_string().contains("workers:"));
+        // A parallel level whose timing measured zero still reports a
+        // (perfect) utilization: the rollup exists, it just saw no wait.
+        let mc = MetricsCollector::new();
+        mc.on_event(Event::RunStart {
+            algorithm: "DPsub",
+            relations: 3,
+        });
+        mc.on_event(Event::LevelSync {
+            level: 2,
+            workers: 1,
+            merge_ns: 0,
+            max_service_ns: 0,
+            total_service_ns: 0,
+            idle_ns: 0,
+        });
+        mc.on_event(Event::RunEnd);
+        assert_eq!(mc.report().worker_utilization(), Some(1.0));
     }
 
     #[test]

@@ -149,6 +149,34 @@ pub enum Event {
         /// Barrier wait: `workers × max_service_ns − total_service_ns`.
         idle_ns: u64,
     },
+    /// One candidate split considered for a relation set during DP or
+    /// memo enumeration — the plan-provenance vocabulary. Relation sets
+    /// travel as raw bitmasks so the event stays `Copy` and
+    /// allocation-free. Candidates are orders of magnitude more
+    /// frequent than the summary events, so emitters additionally gate
+    /// them on [`Observer::wants_provenance`]; a metrics-only run never
+    /// sees them.
+    PlanCandidate {
+        /// Bitmask of the joined relation set (`left | right`).
+        set: u64,
+        /// Bitmask of the left (outer) operand's relation set.
+        left: u64,
+        /// Bitmask of the right (inner) operand's relation set.
+        right: u64,
+        /// Total plan cost of the candidate under the run's cost model.
+        cost: f64,
+        /// Whether the candidate beat the incumbent and was kept.
+        accepted: bool,
+    },
+    /// A search branch was abandoned without evaluating its remaining
+    /// splits (top-down branch-and-bound). Gated on
+    /// [`Observer::wants_provenance`] like [`Event::PlanCandidate`].
+    SearchPruned {
+        /// Bitmask of the relation set whose remaining splits were cut.
+        set: u64,
+        /// Why: `"bound"` (lower bound reached the incumbent's cost).
+        reason: &'static str,
+    },
     /// The run is complete (successfully or not — emitted on the success
     /// path only, so its absence in a trace indicates an error).
     RunEnd,
@@ -169,6 +197,8 @@ impl Event {
             Event::Degraded { .. } => "degraded",
             Event::WorkerChunk { .. } => "worker_chunk",
             Event::LevelSync { .. } => "level_sync",
+            Event::PlanCandidate { .. } => "plan_candidate",
+            Event::SearchPruned { .. } => "search_pruned",
             Event::RunEnd => "run_end",
         }
     }
@@ -180,7 +210,10 @@ impl Event {
     pub fn phase(&self) -> &'static str {
         match self {
             Event::PhaseStart { phase } | Event::PhaseEnd { phase } => phase,
-            Event::WorkerChunk { .. } | Event::LevelSync { .. } => "enumerate",
+            Event::WorkerChunk { .. }
+            | Event::LevelSync { .. }
+            | Event::PlanCandidate { .. }
+            | Event::SearchPruned { .. } => "enumerate",
             _ => "run",
         }
     }
@@ -199,6 +232,19 @@ pub trait Observer {
     /// once per run and skip all bookkeeping when it is `false`.
     fn enabled(&self) -> bool {
         true
+    }
+
+    /// Whether this observer also wants the per-candidate provenance
+    /// events ([`Event::PlanCandidate`], [`Event::SearchPruned`]).
+    /// These fire once per considered split — orders of magnitude more
+    /// often than the summary events — so emitters read this once per
+    /// run (alongside [`Observer::enabled`]) and skip candidate
+    /// bookkeeping entirely when it is `false`, the default. Sinks that
+    /// record full search-space provenance (e.g.
+    /// [`crate::TraceWriter`], [`crate::ProvenanceCollector`]) override
+    /// it to `true`.
+    fn wants_provenance(&self) -> bool {
+        false
     }
 
     /// Receives one event. Called in emission order from a single thread.
@@ -238,6 +284,11 @@ impl Observer for Tee<'_> {
         self.first.enabled() || self.second.enabled()
     }
 
+    fn wants_provenance(&self) -> bool {
+        (self.first.enabled() && self.first.wants_provenance())
+            || (self.second.enabled() && self.second.wants_provenance())
+    }
+
     fn on_event(&self, event: Event) {
         if self.first.enabled() {
             self.first.on_event(event);
@@ -268,6 +319,12 @@ impl Observer for Fanout<'_> {
         self.sinks.iter().any(|s| s.enabled())
     }
 
+    fn wants_provenance(&self) -> bool {
+        self.sinks
+            .iter()
+            .any(|s| s.enabled() && s.wants_provenance())
+    }
+
     fn on_event(&self, event: Event) {
         for sink in &self.sinks {
             if sink.enabled() {
@@ -295,6 +352,12 @@ impl<'a> SyncFanout<'a> {
 impl Observer for SyncFanout<'_> {
     fn enabled(&self) -> bool {
         self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn wants_provenance(&self) -> bool {
+        self.sinks
+            .iter()
+            .any(|s| s.enabled() && s.wants_provenance())
     }
 
     fn on_event(&self, event: Event) {
@@ -438,7 +501,61 @@ mod tests {
         };
         assert_eq!(sync.name(), "level_sync");
         assert_eq!(sync.phase(), "enumerate");
+        let cand = Event::PlanCandidate {
+            set: 0b111,
+            left: 0b011,
+            right: 0b100,
+            cost: 42.0,
+            accepted: true,
+        };
+        assert_eq!(cand.name(), "plan_candidate");
+        assert_eq!(cand.phase(), "enumerate");
+        let pruned = Event::SearchPruned {
+            set: 0b111,
+            reason: "bound",
+        };
+        assert_eq!(pruned.name(), "search_pruned");
+        assert_eq!(pruned.phase(), "enumerate");
         assert_eq!(Event::RunEnd.name(), "run_end");
+    }
+
+    struct ProvenanceWanting;
+
+    impl Observer for ProvenanceWanting {
+        fn wants_provenance(&self) -> bool {
+            true
+        }
+
+        fn on_event(&self, _event: Event) {}
+    }
+
+    struct DisabledButWanting;
+
+    impl Observer for DisabledButWanting {
+        fn enabled(&self) -> bool {
+            false
+        }
+
+        fn wants_provenance(&self) -> bool {
+            true
+        }
+
+        fn on_event(&self, _event: Event) {}
+    }
+
+    #[test]
+    fn provenance_is_opt_in_and_combinators_require_an_enabled_sink() {
+        let plain = CountingObserver { seen: Cell::new(0) };
+        assert!(!plain.wants_provenance(), "default is off");
+        assert!(!NoopObserver.wants_provenance());
+        assert!(Tee::new(&plain, &ProvenanceWanting).wants_provenance());
+        assert!(!Tee::new(&plain, &NoopObserver).wants_provenance());
+        // A disabled sink never receives events, so its provenance wish
+        // must not switch the emitters on.
+        assert!(!Tee::new(&plain, &DisabledButWanting).wants_provenance());
+        assert!(Fanout::new(vec![&NoopObserver, &ProvenanceWanting]).wants_provenance());
+        assert!(!Fanout::new(vec![&plain, &DisabledButWanting]).wants_provenance());
+        assert!(!Fanout::new(Vec::new()).wants_provenance());
     }
 
     #[test]

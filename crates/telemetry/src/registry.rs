@@ -503,6 +503,13 @@ struct RunState {
 /// | `worker_sets_total`, `worker_inner_total`, `worker_pairs_total` | counter | `worker` |
 /// | `level_merge_ns`, `level_idle_ns` | histogram | `algorithm` |
 /// | `worker_utilization_permille` | histogram | `algorithm` |
+/// | `plan_candidates_total`, `plan_candidates_accepted_total` | counter | `algorithm` |
+/// | `search_pruned_total` | counter | `reason` |
+///
+/// The provenance counters only move when some sink in the run's
+/// observer chain opted into candidate events via
+/// [`Observer::wants_provenance`]; this observer does not request them
+/// itself.
 pub struct RegistryObserver<'a> {
     registry: &'a MetricsRegistry,
     start: Instant,
@@ -659,6 +666,16 @@ impl Observer for RegistryObserver<'_> {
                 if let Some(permille) = (total_service_ns * 1000).checked_div(denominator) {
                     reg.record("joinopt_worker_utilization_permille", &labels, permille);
                 }
+            }
+            Event::PlanCandidate { accepted, .. } => {
+                let labels = [("algorithm", self.algorithm())];
+                reg.inc("joinopt_plan_candidates_total", &labels, 1);
+                if accepted {
+                    reg.inc("joinopt_plan_candidates_accepted_total", &labels, 1);
+                }
+            }
+            Event::SearchPruned { reason, .. } => {
+                reg.inc("joinopt_search_pruned_total", &[("reason", reason)], 1);
             }
             Event::RunEnd => {
                 let state = self.with_runs(|r| r.remove(&tid));

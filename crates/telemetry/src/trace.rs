@@ -4,7 +4,7 @@ use std::io::{self, Write};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::json::write_escaped;
+use crate::json::{write_escaped, write_f64};
 use crate::observer::{current_thread_id, Event, Observer};
 
 /// An [`Observer`] that writes one JSON object per event.
@@ -147,6 +147,23 @@ impl<W: Write> TraceWriter<W> {
                      \"idle_ns\":{idle_ns}"
                 ));
             }
+            Event::PlanCandidate {
+                set,
+                left,
+                right,
+                cost,
+                accepted,
+            } => {
+                s.push_str(&format!(
+                    ",\"set\":{set},\"left\":{left},\"right\":{right},\"cost\":"
+                ));
+                write_f64(&mut s, cost);
+                s.push_str(&format!(",\"accepted\":{accepted}"));
+            }
+            Event::SearchPruned { set, reason } => {
+                s.push_str(&format!(",\"set\":{set},\"reason\":"));
+                write_escaped(&mut s, reason);
+            }
         }
         s.push_str("}\n");
         s
@@ -154,6 +171,12 @@ impl<W: Write> TraceWriter<W> {
 }
 
 impl<W: Write> Observer for TraceWriter<W> {
+    // A trace is the full event record; candidate-level provenance
+    // belongs in it.
+    fn wants_provenance(&self) -> bool {
+        true
+    }
+
     fn on_event(&self, event: Event) {
         let line = self.render(event);
         let mut inner = match self.inner.lock() {
@@ -304,6 +327,40 @@ mod tests {
         assert_eq!(v.get("size").unwrap().as_u64(), Some(3));
         assert_eq!(v.get("new_entries").unwrap().as_u64(), Some(7));
         assert_eq!(v.get("phase").unwrap().as_str(), Some("run"));
+    }
+
+    #[test]
+    fn provenance_events_render_and_writer_wants_them() {
+        let tw = TraceWriter::new(Vec::new());
+        assert!(tw.wants_provenance());
+        tw.on_event(Event::PlanCandidate {
+            set: 0b0111,
+            left: 0b0011,
+            right: 0b0100,
+            cost: 1234.5,
+            accepted: true,
+        });
+        tw.on_event(Event::SearchPruned {
+            set: 0b0111,
+            reason: "bound",
+        });
+        let text = String::from_utf8(tw.finish().unwrap()).unwrap();
+        let lines: Vec<JsonValue> = text.lines().map(|l| JsonValue::parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0].get("event").unwrap().as_str(),
+            Some("plan_candidate")
+        );
+        assert_eq!(lines[0].get("set").unwrap().as_u64(), Some(7));
+        assert_eq!(lines[0].get("left").unwrap().as_u64(), Some(3));
+        assert_eq!(lines[0].get("right").unwrap().as_u64(), Some(4));
+        assert_eq!(lines[0].get("cost").unwrap().as_f64(), Some(1234.5));
+        assert_eq!(lines[0].get("phase").unwrap().as_str(), Some("enumerate"));
+        assert_eq!(
+            lines[1].get("event").unwrap().as_str(),
+            Some("search_pruned")
+        );
+        assert_eq!(lines[1].get("reason").unwrap().as_str(), Some("bound"));
     }
 
     #[derive(Debug)]

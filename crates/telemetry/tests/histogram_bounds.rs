@@ -1,0 +1,132 @@
+//! Boundary behavior of the log-linear [`Histogram`]: the degenerate
+//! inputs a registry actually sees — empty histograms, zero samples,
+//! the smallest and largest representable values — must produce sane
+//! counts, extrema and quantiles rather than panics or bucket overruns.
+
+use joinopt_telemetry::{Histogram, MetricsRegistry};
+
+#[test]
+fn empty_histogram_reports_zeroes() {
+    let h = Histogram::default();
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 0, "quantile({q}) of empty histogram");
+    }
+}
+
+#[test]
+fn zero_sample_is_a_real_observation() {
+    let mut h = Histogram::default();
+    h.record(0);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), 0);
+    assert_eq!(h.quantile(0.5), 0);
+    assert_eq!(h.quantile(1.0), 0);
+}
+
+#[test]
+fn one_is_exact_in_the_leading_buckets() {
+    let mut h = Histogram::default();
+    h.record(1);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.sum(), 1);
+    assert_eq!(h.min(), 1);
+    assert_eq!(h.max(), 1);
+    for q in [0.01, 0.5, 0.99, 1.0] {
+        assert_eq!(h.quantile(q), 1, "quantile({q})");
+    }
+}
+
+#[test]
+fn u64_max_does_not_overflow_buckets_or_sum() {
+    let mut h = Histogram::default();
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 1);
+    assert_eq!(h.min(), u64::MAX);
+    assert_eq!(h.max(), u64::MAX, "max is tracked exactly");
+    assert_eq!(h.quantile(0.5), u64::MAX);
+    assert_eq!(h.quantile(1.0), u64::MAX);
+
+    // A second MAX sample saturates the sum instead of wrapping.
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.sum(), u64::MAX);
+}
+
+#[test]
+fn single_sample_pins_every_quantile() {
+    let mut h = Histogram::default();
+    h.record(1_000_003);
+    for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(
+            h.quantile(q),
+            1_000_003,
+            "with one sample every quantile is that sample (q={q})"
+        );
+    }
+}
+
+#[test]
+fn extreme_mix_keeps_quantiles_within_observed_range() {
+    let mut h = Histogram::default();
+    h.record(0);
+    h.record(u64::MAX);
+    assert_eq!(h.count(), 2);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    assert_eq!(h.quantile(0.5), 0, "median of {{0, MAX}} lands on 0");
+    assert_eq!(h.quantile(1.0), u64::MAX);
+    // Quantiles never stray outside [min, max].
+    for q in [0.01, 0.3, 0.7, 0.99] {
+        let v = h.quantile(q);
+        assert!(v == 0 || v == u64::MAX || (h.min()..=h.max()).contains(&v));
+    }
+}
+
+#[test]
+fn bucketing_stays_within_relative_error_across_magnitudes() {
+    // Walk powers of two from 1 to the top of the range, plus their
+    // neighbors: the reported quantile of a single-sample histogram is
+    // clamped to the sample, and multi-sample quantiles must stay
+    // within the documented 1/16 relative error below the true value.
+    for shift in 0..64 {
+        let v = 1u64 << shift;
+        for sample in [v.saturating_sub(1).max(1), v, v.saturating_add(1)] {
+            let mut h = Histogram::default();
+            h.record(sample);
+            h.record(sample);
+            let q = h.quantile(0.5);
+            assert!(q <= sample, "quantile overshoots: {q} > {sample}");
+            // Lower bound of the sample's bucket: within 6.25%.
+            let floor = sample - sample / 16;
+            assert!(
+                q >= floor.min(sample),
+                "quantile {q} undershoots 6.25% floor {floor} for sample {sample}"
+            );
+        }
+    }
+}
+
+#[test]
+fn registry_histograms_survive_boundary_samples() {
+    let reg = MetricsRegistry::new();
+    for v in [0, 1, u64::MAX] {
+        reg.record("joinopt_boundary_ns", &[], v);
+    }
+    let snap = reg.snapshot();
+    let h = snap
+        .histogram("joinopt_boundary_ns", &[])
+        .expect("histogram registered");
+    assert_eq!(h.count(), 3);
+    assert_eq!(h.min(), 0);
+    assert_eq!(h.max(), u64::MAX);
+    // Prometheus rendering of the extreme histogram must not panic and
+    // must carry the exact count.
+    let prom = snap.to_prometheus();
+    assert!(prom.contains("joinopt_boundary_ns_count 3"), "{prom}");
+}
