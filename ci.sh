@@ -24,6 +24,17 @@ echo "==> conformance fuzz smoke (fixed seed)"
 cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
     fuzz --seed 42 --iters 200 --max-n 10 --minimize
 
+echo "==> cold/warm plan-cache fuzz (warm hits must be bit-identical)"
+cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
+    fuzz --seed 42 --iters 200 --max-n 10 --minimize --cache
+
+echo "==> sustained-load smoke (service + plan cache, gated hit rate)"
+# Single worker, so requests execute in arrival order and every repeat
+# is a guaranteed cache hit; the gate also fails on any errored request.
+cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
+    load --requests 60 --threads 1 --seed 7 --repeat-rate 0.5 --max-n 7 \
+         --min-hit-rate 0.25
+
 echo "==> resilience matrix with fault injection (--cfg failpoints)"
 # Separate target dir: the flag changes the crate's cfg set, and sharing
 # target/ would force a full rebuild on every alternation.

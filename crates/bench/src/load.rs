@@ -1,0 +1,308 @@
+//! The sustained-load harness behind `joinopt load`.
+//!
+//! Replays a mixed chain/star/clique workload through one
+//! [`OptimizerService`]: a seeded request stream where each request is,
+//! with probability `repeat_rate`, an exact repeat of an earlier query
+//! (the warm path the plan cache exists for) and otherwise a fresh
+//! query. The run reports throughput (requests/sec), latency quantiles
+//! (p50/p99 from the workspace's log-linear
+//! [`Histogram`](joinopt_telemetry::Histogram)) and the cache hit rate,
+//! and serializes to the same JSON conventions as the perf baseline
+//! (schema `joinopt-load-v1`, `cost_bits`-style exactness is not needed
+//! here — latency is noise, hit counts are deterministic at one worker).
+//!
+//! The CI smoke gate runs a small single-worker stream and fails when
+//! the hit rate drops below a floor (`joinopt load --min-hit-rate`): a
+//! cold cache, a broken fingerprint or a lookup that stopped matching
+//! all surface as a hit rate of zero.
+
+use std::time::Instant;
+
+use joinopt_cost::workload::family_workload;
+use joinopt_qgraph::GraphKind;
+use joinopt_relset::XorShift64;
+use joinopt_service::{CacheConfig, OptimizerService, QuerySpec, ServiceConfig, ServiceRequest};
+use joinopt_telemetry::json::{write_escaped, write_f64};
+use joinopt_telemetry::Histogram;
+
+/// The families the load mix draws from (the paper's structural
+/// extremes, same as the perf matrix).
+pub const LOAD_FAMILIES: [GraphKind; 3] = [GraphKind::Chain, GraphKind::Star, GraphKind::Clique];
+
+/// Report schema identifier.
+pub const SCHEMA: &str = "joinopt-load-v1";
+
+/// Configuration of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadConfig {
+    /// Requests in the stream.
+    pub requests: usize,
+    /// Service worker threads (1 keeps hit accounting deterministic:
+    /// every repeat of an already-answered query hits).
+    pub threads: usize,
+    /// Stream seed; the whole request mix is a pure function of it.
+    pub seed: u64,
+    /// Probability in `[0, 1]` that a request repeats an earlier query.
+    pub repeat_rate: f64,
+    /// Largest relation count in the mix (inclusive; fresh queries
+    /// cycle n through `4..=max_n`).
+    pub max_n: usize,
+    /// Plan-cache byte budget.
+    pub cache_bytes: usize,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            requests: 200,
+            threads: 1,
+            seed: 2006,
+            repeat_rate: 0.5,
+            max_n: 9,
+            cache_bytes: 8 << 20,
+        }
+    }
+}
+
+/// Results of one load run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadReport {
+    /// The configuration that produced the run.
+    pub config: LoadConfig,
+    /// Requests answered successfully.
+    pub completed: usize,
+    /// Requests that came back as errors (0 in a healthy run).
+    pub errors: usize,
+    /// Requests answered from the plan cache.
+    pub hits: usize,
+    /// Cache hit rate over completed requests (0 when none completed).
+    pub hit_rate: f64,
+    /// Total wall time of the batch, nanoseconds.
+    pub wall_ns: u64,
+    /// Throughput over the whole stream, requests per second.
+    pub rps: f64,
+    /// Median per-request latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-request latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Builds the seeded request mix for `config`: fresh queries cycle
+/// through family × size, repeats re-issue a uniformly chosen earlier
+/// spec. Exposed so the CLI can print the mix and tests can pin it.
+pub fn build_stream(config: &LoadConfig) -> Vec<ServiceRequest> {
+    let mut rng = XorShift64::seed_from_u64(config.seed ^ 0x4c6f_6164_4d69_7821); // "LoadMix!"
+    let sizes = 4..=config.max_n.max(4);
+    let mut fresh = 0u64;
+    let mut specs: Vec<QuerySpec> = Vec::new();
+    let mut stream = Vec::with_capacity(config.requests);
+    for _ in 0..config.requests {
+        let repeat = !specs.is_empty() && rng.next_f64() < config.repeat_rate;
+        let spec = if repeat {
+            specs[rng.gen_range(0..specs.len())].clone()
+        } else {
+            let kind = LOAD_FAMILIES[fresh as usize % LOAD_FAMILIES.len()];
+            let n = sizes.clone().nth(fresh as usize % sizes.clone().count());
+            let w = family_workload(kind, n.unwrap_or(4), config.seed.wrapping_add(fresh));
+            fresh += 1;
+            let spec =
+                QuerySpec::capture(&w.graph, &w.catalog).expect("family workloads capture cleanly");
+            specs.push(spec.clone());
+            spec
+        };
+        stream.push(ServiceRequest::new(spec).with_tenant("load"));
+    }
+    stream
+}
+
+/// Runs the configured load stream and returns the report.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    run_load_observed(config, &joinopt_telemetry::NoopObserver)
+}
+
+/// [`run_load`] with telemetry: every optimizer run and cache event of
+/// the stream reports to `obs` (e.g. a
+/// [`RegistryObserver`](joinopt_telemetry::RegistryObserver), so the
+/// `joinopt_cache_*` series cover the whole run).
+pub fn run_load_observed(
+    config: &LoadConfig,
+    obs: &(dyn joinopt_telemetry::Observer + Sync),
+) -> LoadReport {
+    let stream = build_stream(config);
+    let service = OptimizerService::new(ServiceConfig {
+        worker_threads: config.threads.max(1),
+        queue_capacity: stream.len().max(1),
+        tenant_limit: stream.len().max(1),
+        cache: Some(CacheConfig {
+            byte_budget: config.cache_bytes,
+            ..CacheConfig::default()
+        }),
+    });
+    let start = Instant::now();
+    let results = service.submit_batch_observed(&stream, obs);
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+
+    let mut latencies = Histogram::default();
+    let mut completed = 0usize;
+    let mut errors = 0usize;
+    let mut hits = 0usize;
+    for r in &results {
+        match r {
+            Ok(outcome) => {
+                completed += 1;
+                hits += usize::from(outcome.cache_hit);
+                latencies.record(u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX));
+            }
+            Err(_) => errors += 1,
+        }
+    }
+    LoadReport {
+        config: config.clone(),
+        completed,
+        errors,
+        hits,
+        hit_rate: if completed == 0 {
+            0.0
+        } else {
+            hits as f64 / completed as f64
+        },
+        wall_ns,
+        rps: if wall_ns == 0 {
+            0.0
+        } else {
+            completed as f64 / (wall_ns as f64 / 1e9)
+        },
+        p50_ns: latencies.quantile(0.5),
+        p99_ns: latencies.quantile(0.99),
+    }
+}
+
+impl LoadReport {
+    /// Serializes the report in the perf-baseline JSON conventions.
+    pub fn to_json(&self) -> String {
+        let c = &self.config;
+        let mut s = String::from("{\n  \"schema\": ");
+        write_escaped(&mut s, SCHEMA);
+        s.push_str(&format!(
+            ",\n  \"config\": {{\"requests\": {}, \"threads\": {}, \"seed\": {}, \
+             \"max_n\": {}, \"cache_bytes\": {}, \"repeat_rate\": ",
+            c.requests, c.threads, c.seed, c.max_n, c.cache_bytes
+        ));
+        write_f64(&mut s, c.repeat_rate);
+        s.push_str(&format!(
+            "}},\n  \"completed\": {}, \"errors\": {}, \"hits\": {}, \"hit_rate\": ",
+            self.completed, self.errors, self.hits
+        ));
+        write_f64(&mut s, self.hit_rate);
+        s.push_str(&format!(
+            ",\n  \"wall_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"rps\": ",
+            self.wall_ns, self.p50_ns, self.p99_ns
+        ));
+        write_f64(&mut s, self.rps);
+        s.push_str("\n}\n");
+        s
+    }
+
+    /// A rendered summary for human consumption.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(vec![
+            "requests",
+            "threads",
+            "completed",
+            "errors",
+            "hits",
+            "hit_rate",
+            "rps",
+            "p50",
+            "p99",
+        ]);
+        t.row(vec![
+            self.config.requests.to_string(),
+            self.config.threads.to_string(),
+            self.completed.to_string(),
+            self.errors.to_string(),
+            self.hits.to_string(),
+            format!("{:.3}", self.hit_rate),
+            format!("{:.0}", self.rps),
+            crate::format_seconds(self.p50_ns as f64 / 1e9),
+            crate::format_seconds(self.p99_ns as f64 / 1e9),
+        ]);
+        t.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> LoadConfig {
+        LoadConfig {
+            requests: 40,
+            threads: 1,
+            seed: 7,
+            repeat_rate: 0.5,
+            max_n: 6,
+            cache_bytes: 8 << 20,
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_mixed() {
+        let config = small_config();
+        let a = build_stream(&config);
+        let b = build_stream(&config);
+        assert_eq!(a.len(), 40);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.spec, y.spec);
+        }
+        // Some (but not all) requests repeat an earlier spec.
+        let repeats = a
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| a[..*i].iter().any(|p| p.spec == r.spec))
+            .count();
+        assert!(repeats > 0 && repeats < a.len(), "repeats={repeats}");
+    }
+
+    #[test]
+    fn single_worker_run_hits_on_every_repeat() {
+        let config = small_config();
+        let report = run_load(&config);
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.errors, 0);
+        // At one worker, requests execute in arrival order, so every
+        // repeated spec is already cached when its repeat arrives.
+        let stream = build_stream(&config);
+        let repeats = stream
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| stream[..*i].iter().any(|p| p.spec == r.spec))
+            .count();
+        assert_eq!(report.hits, repeats);
+        assert!(report.hit_rate > 0.0);
+    }
+
+    #[test]
+    fn multi_worker_run_completes_cleanly() {
+        let report = run_load(&LoadConfig {
+            threads: 4,
+            ..small_config()
+        });
+        assert_eq!(report.completed, 40);
+        assert_eq!(report.errors, 0);
+    }
+
+    #[test]
+    fn report_json_parses_and_carries_the_headline_numbers() {
+        use joinopt_telemetry::json::JsonValue;
+        let report = run_load(&small_config());
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
+        assert_eq!(v.get("completed").unwrap().as_u64(), Some(40));
+        assert_eq!(v.get("hits").unwrap().as_u64(), Some(report.hits as u64));
+        assert!(v.get("rps").unwrap().as_f64().unwrap() > 0.0);
+        assert!(v.get("p99_ns").unwrap().as_u64().is_some());
+        let rendered = report.render();
+        assert!(rendered.contains("hit_rate"));
+    }
+}

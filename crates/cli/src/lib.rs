@@ -20,6 +20,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
 
+use joinopt_bench::load::{run_load, run_load_observed, LoadConfig};
 use joinopt_bench::perf::{run_matrix_observed, PerfBaseline, PerfConfig};
 use joinopt_core::explain::{compare, Explanation};
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
@@ -31,6 +32,9 @@ use joinopt_cost::{
 use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
 use joinopt_qgraph::GraphKind;
 use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
+use joinopt_service::{
+    CacheConfig, CostModelId, OptimizerService, QuerySpec, ServiceConfig, ServiceRequest,
+};
 use joinopt_telemetry::{
     collapse_trace, Fanout, MetricsCollector, MetricsRegistry, NoopObserver, Observer,
     RegistryObserver, RunReport, SyncFanout, TraceWriter,
@@ -122,12 +126,15 @@ USAGE:
   joinopt counters <family> <max-n> [--metrics] [--trace-json PATH]
                                 [--prom PATH]
   joinopt fuzz     [--seed S] [--iters N] [--max-n N] [--minimize]
-                   [--metrics] [--trace-json PATH] [--prom PATH]
+                   [--cache] [--metrics] [--trace-json PATH] [--prom PATH]
   joinopt perf     [--out PATH] [--n N] [--reps K] [--seed S]
                    [--threads LIST] [--noise F]
                    [--trace-json PATH] [--prom PATH]
   joinopt perf     --check PATH [--counters-only]
                    [--trace-json PATH] [--prom PATH]
+  joinopt load     [--requests N] [--threads N] [--seed S]
+                   [--repeat-rate F] [--max-n N] [--cache-bytes BYTES]
+                   [--json PATH] [--min-hit-rate F] [--prom PATH]
   joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
@@ -178,9 +185,22 @@ FUZZING:     fuzz generates random query-graph instances (seed S, iters
              N, up to --max-n relations each) and runs the differential
              conformance oracle on every one: all exact algorithms,
              the parallel engine at several thread counts, metamorphic
-             properties and counter closed forms. --minimize shrinks
-             each divergent instance to a minimal repro and prints it
-             in the query DSL. Exit is nonzero on any divergence.
+             properties, counter closed forms and the service layer's
+             canonical-fingerprint invariance. --cache additionally
+             replays each instance cold/warm through a plan cache and
+             fails unless the warm hit is bit-identical to the cold
+             run. --minimize shrinks each divergent instance to a
+             minimal repro and prints it in the query DSL. Exit is
+             nonzero on any divergence.
+LOAD:        load replays a seeded mixed chain/star/clique request
+             stream through the optimizer service (joinopt-service):
+             each request repeats an earlier query with probability
+             --repeat-rate, exercising the plan cache's warm path. It
+             reports throughput, p50/p99 latency and the cache hit
+             rate, writes the joinopt-load-v1 JSON report with --json,
+             and with --min-hit-rate fails unless the run was
+             error-free and the hit rate met the floor (the CI smoke
+             gate). See docs/service.md.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -211,6 +231,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "counters" => cmd_counters(&args[1..], out),
         "fuzz" => cmd_fuzz(&args[1..], out),
         "perf" => cmd_perf(&args[1..], out),
+        "load" => cmd_load(&args[1..], out),
         "flame" => cmd_flame(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -239,7 +260,14 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 5] = ["metrics", "batch", "degrade", "minimize", "counters-only"];
+const FLAG_OPTIONS: [&str; 6] = [
+    "metrics",
+    "batch",
+    "degrade",
+    "minimize",
+    "counters-only",
+    "cache",
+];
 
 /// Splits `args` into positionals and `--key value` options.
 /// Flags listed in [`FLAG_OPTIONS`] take no value and report `""`.
@@ -372,6 +400,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let (positional, options) = split_options(args)?;
     let mut algorithm = Algorithm::Auto;
     let mut model: Box<dyn CostModel> = Box::new(Cout);
+    let mut model_id = CostModelId::Cout;
     let mut metrics = false;
     let mut trace_path = None;
     let mut prom_path = None;
@@ -385,7 +414,11 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 algorithm = Algorithm::parse(value)
                     .ok_or_else(|| CliError::Usage(format!("unknown algorithm `{value}`")))?;
             }
-            "cost-model" => model = parse_cost_model(value)?,
+            "cost-model" => {
+                model = parse_cost_model(value)?;
+                model_id = CostModelId::parse(value)
+                    .ok_or_else(|| CliError::Usage(format!("unknown cost model `{value}`")))?;
+            }
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
             "prom" => prom_path = Some(value),
@@ -423,7 +456,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         return cmd_optimize_batch(
             &positional,
             algorithm,
-            model,
+            model_id,
             threads.unwrap_or(0),
             trace_path,
             prom_path,
@@ -512,9 +545,11 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `optimize --batch`: loads every query file, then spreads the whole
-/// set across worker threads via
-/// [`Optimizer::optimize_batch_observed`](joinopt_core::Optimizer::optimize_batch_observed).
+/// `optimize --batch`: loads every query file, captures each into an
+/// owned [`QuerySpec`] and submits the whole set to an
+/// [`OptimizerService`] batch — worker threads with pooled per-worker
+/// sessions, plus a plan cache, so repeated query files inside one
+/// batch are answered from the cache (their rows are marked `cached`).
 /// Per-query failures (disconnected graphs, …) become rows, not a
 /// command failure — a batch is useful precisely when some inputs are
 /// suspect. Batch telemetry sinks must be `Sync` (workers report
@@ -523,7 +558,7 @@ fn cmd_optimize(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
 fn cmd_optimize_batch(
     paths: &[&str],
     algorithm: Algorithm,
-    model: Box<dyn CostModel>,
+    model: CostModelId,
     threads: usize,
     trace_path: Option<&str>,
     prom_path: Option<&str>,
@@ -534,24 +569,27 @@ fn cmd_optimize_batch(
             "optimize --batch expects at least one query file".into(),
         ));
     }
-    let mut queries = Vec::with_capacity(paths.len());
+    let mut requests = Vec::with_capacity(paths.len());
     for path in paths {
         let q = load_query(path)?;
-        if q.graph().is_none() {
+        let Some(graph) = q.graph() else {
             return Err(CliError::Usage(format!(
                 "{path}: queries with complex (multi-relation) predicates are not supported in --batch"
             )));
-        }
-        queries.push(q);
+        };
+        requests.push(
+            ServiceRequest::new(QuerySpec::capture(graph, &q.catalog)?)
+                .with_algorithm(algorithm)
+                .with_cost_model(model)
+                .with_tenant("cli"),
+        );
     }
-    let pairs: Vec<_> = queries
-        .iter()
-        .map(|q| (q.graph().expect("checked above"), &q.catalog))
-        .collect();
-    let optimizer = joinopt_core::Optimizer::new()
-        .with_algorithm(algorithm)
-        .with_cost_model(model)
-        .with_threads(threads);
+    let service = OptimizerService::new(ServiceConfig {
+        worker_threads: threads,
+        queue_capacity: requests.len(),
+        tenant_limit: requests.len(),
+        cache: Some(CacheConfig::default()),
+    });
     let trace = match trace_path {
         Some(path) => Some(TraceWriter::new(BufWriter::new(File::create(path)?))),
         None => None,
@@ -567,7 +605,7 @@ fn cmd_optimize_batch(
     }
     let fanout = SyncFanout::new(sinks);
     let start = Instant::now();
-    let results = optimizer.optimize_batch_observed(&pairs, &fanout);
+    let results = service.submit_batch_observed(&requests, &fanout);
     let elapsed = start.elapsed();
     drop(registry_obs);
     if let Some(t) = trace {
@@ -584,11 +622,14 @@ fn cmd_optimize_batch(
     let mut failures = 0usize;
     for (i, (path, result)) in paths.iter().zip(&results).enumerate() {
         match result {
-            Ok(r) => writeln!(
-                out,
-                "{:<4} {:>14.6e} {:>14.6e}  {}",
-                i, r.cost, r.cardinality, path
-            )?,
+            Ok(r) => {
+                let cached = if r.cache_hit { " (cached)" } else { "" };
+                writeln!(
+                    out,
+                    "{:<4} {:>14.6e} {:>14.6e}  {}{}",
+                    i, r.result.cost, r.result.cardinality, path, cached
+                )?;
+            }
             Err(e) => {
                 failures += 1;
                 writeln!(out, "{:<4} {:>14} {:>14}  {}: {}", i, "-", "-", path, e)?;
@@ -854,6 +895,7 @@ fn cmd_fuzz(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 config.max_n = n;
             }
             "minimize" => config.minimize = true,
+            "cache" => config.cache = true,
             "metrics" => metrics = true,
             "trace-json" => trace_path = Some(value),
             "prom" => prom_path = Some(value),
@@ -1057,6 +1099,119 @@ fn cmd_perf(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         )?;
         Ok(())
     }
+}
+
+/// `joinopt load`: replay a seeded mixed workload through the optimizer
+/// service and report throughput, latency quantiles and the plan-cache
+/// hit rate. `--min-hit-rate F` turns the run into a gate (the CI smoke
+/// check): it fails unless every request completed and the hit rate met
+/// the floor.
+fn cmd_load(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "load takes options only, got `{}`",
+            positional.join(" ")
+        )));
+    }
+    let mut config = LoadConfig::default();
+    let mut json_path: Option<&str> = None;
+    let mut prom_path: Option<&str> = None;
+    let mut min_hit_rate: Option<f64> = None;
+    for (key, value) in options {
+        match key {
+            "requests" => {
+                config.requests = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid request count `{value}`")))?;
+            }
+            "threads" => {
+                config.threads = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid thread count `{value}`")))?;
+            }
+            "seed" => {
+                config.seed = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid seed `{value}`")))?;
+            }
+            "repeat-rate" => {
+                config.repeat_rate = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|f| (0.0..=1.0).contains(f))
+                    .ok_or_else(|| {
+                        CliError::Usage(format!("invalid repeat rate `{value}` (expected 0..=1)"))
+                    })?;
+            }
+            "max-n" => {
+                let n: usize = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid size `{value}`")))?;
+                if !(4..=12).contains(&n) {
+                    return Err(CliError::Usage(format!("--max-n {n} out of range 4..=12")));
+                }
+                config.max_n = n;
+            }
+            "cache-bytes" => {
+                config.cache_bytes = parse_bytes(value)
+                    .ok_or_else(|| CliError::Usage(format!("invalid cache size `{value}`")))?;
+            }
+            "json" => json_path = Some(value),
+            "prom" => prom_path = Some(value),
+            "min-hit-rate" => {
+                min_hit_rate = Some(
+                    value
+                        .parse::<f64>()
+                        .ok()
+                        .filter(|f| (0.0..=1.0).contains(f))
+                        .ok_or_else(|| {
+                            CliError::Usage(format!(
+                                "invalid hit-rate floor `{value}` (expected 0..=1)"
+                            ))
+                        })?,
+                );
+            }
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let registry = prom_path.map(|_| MetricsRegistry::new());
+    let registry_obs = registry.as_ref().map(RegistryObserver::new);
+    let report = match &registry_obs {
+        Some(obs) => run_load_observed(&config, obs),
+        None => run_load(&config),
+    };
+    drop(registry_obs);
+    if let (Some(registry), Some(path)) = (registry, prom_path) {
+        std::fs::write(path, registry.snapshot().to_prometheus())?;
+    }
+    write!(out, "{}", report.render())?;
+    if let Some(path) = json_path {
+        std::fs::write(path, report.to_json())?;
+        writeln!(out, "\nwrote {path}")?;
+    }
+    if let Some(floor) = min_hit_rate {
+        if report.errors > 0 {
+            return Err(CliError::Regression(format!(
+                "{} of {} load requests errored",
+                report.errors, config.requests
+            )));
+        }
+        if report.hit_rate < floor {
+            return Err(CliError::Regression(format!(
+                "cache hit rate {:.3} is below the {floor:.3} floor",
+                report.hit_rate
+            )));
+        }
+        writeln!(
+            out,
+            "\nload gate passed: {} requests, 0 errors, hit rate {:.3} >= {floor:.3}",
+            report.completed, report.hit_rate
+        )?;
+    }
+    Ok(())
 }
 
 /// `joinopt flame`: fold a `--trace-json` file into collapsed-stack

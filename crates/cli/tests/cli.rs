@@ -426,6 +426,118 @@ fn batch_matches_single_runs() {
 }
 
 #[test]
+fn batch_marks_repeated_query_files_as_cached() {
+    let a = write_query_file(CHAIN_QUERY);
+    let out = run_ok(&[
+        "optimize",
+        a.to_str().unwrap(),
+        a.to_str().unwrap(),
+        "--batch",
+        "--threads",
+        "1",
+    ]);
+    // At one worker the second (identical) file is answered from the
+    // plan cache; both rows carry the same cost.
+    assert!(out.contains("(cached)"), "{out}");
+    assert!(out.contains("2 queries (0 failed)"), "{out}");
+    let costs: Vec<&str> = out
+        .lines()
+        .filter(|l| l.contains(".query"))
+        .map(|l| l.split_whitespace().nth(1).expect("cost column"))
+        .collect();
+    assert_eq!(costs.len(), 2);
+    assert_eq!(costs[0], costs[1], "{out}");
+}
+
+// ---------------------------------------------------------------------
+// The sustained-load harness (`joinopt load`).
+// ---------------------------------------------------------------------
+
+#[test]
+fn load_reports_hits_and_gates_on_hit_rate() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let json = tempfile::Builder::new()
+        .suffix(".json")
+        .tempfile()
+        .expect("create json file")
+        .into_temp_path();
+    let out = run_ok(&[
+        "load",
+        "--requests",
+        "40",
+        "--threads",
+        "1",
+        "--seed",
+        "7",
+        "--repeat-rate",
+        "0.5",
+        "--max-n",
+        "6",
+        "--min-hit-rate",
+        "0.05",
+        "--json",
+        json.to_str().unwrap(),
+    ]);
+    assert!(out.contains("load gate passed"), "{out}");
+    assert!(out.contains("hit_rate"), "{out}");
+    let report = JsonValue::parse(&std::fs::read_to_string(&*json).expect("json written"))
+        .expect("parseable report");
+    assert_eq!(
+        report.get("schema").and_then(|s| s.as_str()),
+        Some("joinopt-load-v1")
+    );
+    assert_eq!(report.get("errors").and_then(|e| e.as_u64()), Some(0));
+    assert!(report.get("hits").and_then(|h| h.as_u64()).unwrap() > 0);
+}
+
+#[test]
+fn load_gate_fails_when_the_floor_is_unreachable() {
+    // A repeat rate of 0 keeps every request fresh, so a 0.9 hit-rate
+    // floor cannot be met.
+    assert!(matches!(
+        run_err(&[
+            "load",
+            "--requests",
+            "10",
+            "--threads",
+            "1",
+            "--repeat-rate",
+            "0",
+            "--max-n",
+            "5",
+            "--min-hit-rate",
+            "0.9",
+        ]),
+        CliError::Regression(_)
+    ));
+}
+
+#[test]
+fn load_rejects_bad_options() {
+    assert!(matches!(
+        run_err(&["load", "--requests", "0"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["load", "--repeat-rate", "1.5"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["load", "--max-n", "99"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["load", "--cache-bytes", "lots"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["load", "positional"]),
+        CliError::Usage(_)
+    ));
+}
+
+#[test]
 fn unknown_command_is_usage_error() {
     assert!(matches!(run_err(&["explode"]), CliError::Usage(_)));
     assert!(matches!(run_err(&[]), CliError::Usage(_)));
@@ -740,6 +852,14 @@ fn fuzz_metrics_prints_registry_and_trace_has_thread_ids() {
             "missing thread_id: {line}"
         );
     }
+}
+
+#[test]
+fn fuzz_cache_mode_is_clean() {
+    let out = run_ok(&[
+        "fuzz", "--seed", "7", "--iters", "15", "--max-n", "7", "--cache",
+    ]);
+    assert!(out.contains("all instances conform"), "{out}");
 }
 
 #[test]

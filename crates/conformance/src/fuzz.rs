@@ -15,6 +15,11 @@ pub struct FuzzConfig {
     pub max_n: usize,
     /// Whether failures are shrunk to minimal repros.
     pub minimize: bool,
+    /// Whether each instance is additionally replayed cold/warm through
+    /// an [`OptimizerService`](joinopt_service::OptimizerService) plan
+    /// cache, asserting bit-identical cost bits and plan shape on the
+    /// hit path (`joinopt fuzz --cache`).
+    pub cache: bool,
 }
 
 impl Default for FuzzConfig {
@@ -24,6 +29,7 @@ impl Default for FuzzConfig {
             iters: 200,
             max_n: 10,
             minimize: true,
+            cache: false,
         }
     }
 }
@@ -74,13 +80,26 @@ pub fn run_fuzz_observed(config: &FuzzConfig, obs: &dyn joinopt_telemetry::Obser
     let mut failures = Vec::new();
     for index in 0..config.iters {
         let instance = generate_instance(config.seed, index, config.max_n);
-        if let Err(divergence) = check_full_observed(&instance, obs) {
+        let checked = check_full_observed(&instance, obs).and_then(|()| {
+            if config.cache {
+                crate::fingerprint::check_cache_replay(&instance)
+            } else {
+                Ok(())
+            }
+        });
+        if let Err(divergence) = checked {
             let minimized = config.minimize.then(|| {
                 let label = divergence.check;
-                shrink::minimize(
-                    &instance,
-                    |candidate| matches!(check_full(candidate), Err(d) if d.check == label),
-                )
+                shrink::minimize(&instance, |candidate| {
+                    let replay = check_full(candidate).and_then(|()| {
+                        if config.cache {
+                            crate::fingerprint::check_cache_replay(candidate)
+                        } else {
+                            Ok(())
+                        }
+                    });
+                    matches!(replay, Err(d) if d.check == label)
+                })
             });
             failures.push(Failure {
                 instance,
@@ -103,6 +122,7 @@ mod tests {
     fn default_config_is_the_ci_smoke_shape() {
         let c = FuzzConfig::default();
         assert_eq!((c.seed, c.iters, c.max_n, c.minimize), (42, 200, 10, true));
+        assert!(!c.cache, "cache replay is opt-in");
     }
 
     #[test]
@@ -114,6 +134,7 @@ mod tests {
             iters: 6,
             max_n: 7,
             minimize: false,
+            ..FuzzConfig::default()
         };
         let registry = MetricsRegistry::new();
         let obs = RegistryObserver::new(&registry);
@@ -141,6 +162,7 @@ mod tests {
             iters: 12,
             max_n: 8,
             minimize: true,
+            cache: true,
         };
         let report = run_fuzz(&config);
         assert_eq!(report.checked, 12);

@@ -17,6 +17,10 @@
 //! * [`metamorphic`] — properties that need no oracle at all:
 //!   relation-renumbering invariance, exact cost-model scaling
 //!   invariance and monotonicity under selectivity tightening;
+//! * [`fingerprint`] — service-layer properties: the canonical query
+//!   fingerprint of `joinopt-service` is invariant under relation
+//!   renumbering and join-edge reordering, and a warm plan-cache hit
+//!   replays the cold run bit for bit (`joinopt fuzz --cache`);
 //! * [`shrink`] — a greedy minimizer that deletes relations and edges
 //!   while a divergence still reproduces, yielding a minimal repro that
 //!   serializes to the query DSL for the `tests/corpus/` directory;
@@ -31,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod explain;
+pub mod fingerprint;
 pub mod fuzz;
 pub mod generator;
 pub mod metamorphic;
@@ -38,6 +43,7 @@ pub mod oracle;
 pub mod shrink;
 
 pub use explain::explain_failure;
+pub use fingerprint::{check_cache_replay, check_fingerprint};
 pub use fuzz::run_fuzz_observed;
 pub use fuzz::{run_fuzz, Failure, FuzzConfig, FuzzReport};
 pub use generator::{generate_instance, Family, Instance, SplitMix64};
@@ -45,7 +51,10 @@ pub use oracle::{check_instance, check_instance_observed, Divergence};
 pub use shrink::minimize;
 
 /// Runs every check the harness knows — the differential [`oracle`]
-/// first, then the [`metamorphic`] properties — on one instance.
+/// first, then the [`metamorphic`] properties, then the service
+/// [`fingerprint`] invariance — on one instance. (The optional
+/// cold/warm cache replay is driven separately by
+/// [`FuzzConfig::cache`].)
 ///
 /// # Errors
 ///
@@ -65,7 +74,8 @@ pub fn check_full_observed(
     obs: &dyn joinopt_telemetry::Observer,
 ) -> Result<(), Divergence> {
     oracle::check_instance_observed(inst, obs)?;
-    metamorphic::check_metamorphic(inst)
+    metamorphic::check_metamorphic(inst)?;
+    fingerprint::check_fingerprint(inst)
 }
 
 /// Replays a committed repro: parses the query DSL text, rebuilds an

@@ -217,6 +217,11 @@ impl Optimizer {
     /// Sets the worker-thread count for algorithms with a parallel path
     /// and for [`Optimizer::optimize_batch`]. `0` (the default) means
     /// [`std::thread::available_parallelism`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "build an `OptimizeRequest` and use its `with_threads` for single queries; \
+                for batches, use the `joinopt-service` entry point which owns its worker pool"
+    )]
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Optimizer {
         self.threads = threads;
@@ -478,6 +483,9 @@ mod tests {
                 workload::family_workload(GraphKind::ALL[seed % 4], 5 + seed % 3, seed as u64)
             })
             .collect();
+        // Deliberately pins the deprecated configuration path until it
+        // is removed.
+        #[allow(deprecated)]
         let opt = Optimizer::new().with_threads(3);
         let mut queries: Vec<(&QueryGraph, &Catalog)> =
             workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();

@@ -195,6 +195,9 @@ fn batch_isolates_invalid_queries_between_valid_ones() {
     queries.insert(1, (&disconnected, &disc_cat));
     queries.insert(3, (&empty, &empty_cat));
     for threads in [1, 3] {
+        // Deliberately exercises the deprecated configuration path
+        // until it is removed.
+        #[allow(deprecated)]
         let results = Optimizer::new()
             .with_threads(threads)
             .optimize_batch(&queries);
@@ -391,6 +394,8 @@ mod failpoints {
         let queries: Vec<(&QueryGraph, &Catalog)> =
             workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
         failpoint::configure("table-insert", FailAction::Panic);
+        // Pins the deprecated thread knob until it is removed.
+        #[allow(deprecated)]
         let optimizer = Optimizer::new()
             .with_algorithm(Algorithm::DpCcp)
             .with_threads(2);

@@ -1,0 +1,360 @@
+//! Canonical query fingerprints: a stable 128-bit identity for a query
+//! that is invariant under relation renumbering and edge reordering.
+//!
+//! ## Canonicalization
+//!
+//! The conformance harness proves (metamorphic renumbering invariance)
+//! that relabeling a query's relations does not change its optimum —
+//! so a plan cache keyed by the *labeled* spec would miss every hit a
+//! renumbered resubmission should get. The fingerprint therefore hashes
+//! a **canonical encoding** computed in three steps:
+//!
+//! 1. **Color refinement** (Weisfeiler–Leman style): every relation
+//!    starts with a color derived from its cardinality bits and degree,
+//!    then repeatedly absorbs the sorted multiset of
+//!    `(selectivity bits, neighbor color)` contributions over its
+//!    incident edges. After `n` rounds colors are stable and label-free.
+//! 2. **Canonical BFS**: from every relation of minimal color, relations
+//!    are placed greedily one at a time; the next placement is the
+//!    candidate with the lexicographically least label-free key — its
+//!    sorted list of `(position of placed neighbor, selectivity bits)`
+//!    attachments, then its refined color. Ties after that key are
+//!    between relations the refinement cannot distinguish (in the
+//!    generated families, automorphic images), so any choice yields the
+//!    same encoding.
+//! 3. **Encoding**: the `u64` stream `[n, m, cardinality bits in
+//!    canonical order, sorted canonical edge triples (u, v, selectivity
+//!    bits)]`. The lexicographically least encoding over all starts is
+//!    the canonical form; the fingerprint is a 128-bit hash of it (two
+//!    independently seeded 64-bit folds).
+//!
+//! ## Soundness
+//!
+//! The cache never trusts the hash alone: entries store the full
+//! canonical encoding and compare it on lookup, so a canonicalization
+//! instability (or a 128-bit collision) can only cause a missed hit,
+//! never a wrong one. Plans are stored in canonical index space and
+//! remapped through the requester's canonical order on a hit, which
+//! makes a warm lookup of the *same* spec bit-identical to its cold run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use joinopt_qgraph::RelIdx;
+
+use crate::spec::QuerySpec;
+
+/// Process-wide count of canonicalizations ever computed. The
+/// disabled-cache guard test pins this to zero across a service batch
+/// with no cache configured — the fingerprint path (and its
+/// allocations) must be skipped entirely, in the spirit of the
+/// zero-overhead observer.
+static FINGERPRINTS: AtomicU64 = AtomicU64::new(0);
+
+/// Total canonical fingerprints computed by this process.
+pub fn fingerprints_computed() -> u64 {
+    FINGERPRINTS.load(Ordering::Relaxed)
+}
+
+/// SplitMix64's odd constant; decorrelates sequential folds.
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Stafford "mix13" finalizer: the bijective avalanche at SplitMix64's
+/// core (also used by the conformance generator).
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Folds one value into a running hash.
+fn fold(h: u64, v: u64) -> u64 {
+    mix(h.wrapping_add(GOLDEN_GAMMA) ^ v)
+}
+
+/// A 128-bit canonical query fingerprint.
+///
+/// Displayed (and compared) as 32 hex digits. Two specs that differ
+/// only by relation renumbering or edge reordering share a fingerprint;
+/// distinct queries collide with probability ~2⁻¹²⁸ (and the plan cache
+/// verifies the full encoding anyway).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl std::fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// The result of canonicalizing a [`QuerySpec`].
+#[derive(Debug, Clone)]
+pub struct CanonicalForm {
+    /// The canonical `u64` encoding stream (see the module docs).
+    pub encoding: Vec<u64>,
+    /// `order[p]` is the original index of the relation at canonical
+    /// position `p`.
+    pub order: Vec<RelIdx>,
+    /// 128-bit hash of the encoding.
+    pub fingerprint: Fingerprint,
+}
+
+/// Computes the canonical form of a spec. `O(n·(n + m) + s·n·m)` for
+/// `s` minimal-color starts — trivial at the 64-relation cap.
+pub fn canonicalize(spec: &QuerySpec) -> CanonicalForm {
+    FINGERPRINTS.fetch_add(1, Ordering::Relaxed);
+    let n = spec.num_relations();
+    let edges = spec.edges();
+    let sels = spec.catalog().selectivities();
+    let cards = spec.catalog().cardinalities();
+
+    // Adjacency with selectivity bits on each incident edge.
+    let mut adj: Vec<Vec<(usize, u64)>> = vec![Vec::new(); n];
+    for (e, &(u, v)) in edges.iter().enumerate() {
+        let bits = sels[e].to_bits();
+        adj[u].push((v, bits));
+        adj[v].push((u, bits));
+    }
+
+    // 1. Color refinement.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|v| fold(mix(cards[v].to_bits()), adj[v].len() as u64))
+        .collect();
+    let mut contribs: Vec<u64> = Vec::new();
+    for _round in 0..n {
+        let mut next = Vec::with_capacity(n);
+        for v in 0..n {
+            contribs.clear();
+            contribs.extend(adj[v].iter().map(|&(u, bits)| fold(mix(bits), colors[u])));
+            contribs.sort_unstable();
+            let mut h = mix(colors[v]);
+            for &c in &contribs {
+                h = fold(h, c);
+            }
+            next.push(h);
+        }
+        colors = next;
+    }
+
+    // 2 + 3. Canonical BFS from every minimal-color start; keep the
+    // lexicographically least encoding.
+    let mut best: Option<(Vec<u64>, Vec<RelIdx>)> = None;
+    let min_color = colors.iter().copied().min().unwrap_or(0);
+    let starts: Vec<usize> = (0..n).filter(|&v| colors[v] == min_color).collect();
+    for &start in starts.iter().take(n.max(1)) {
+        let order = place_from(start, n, &adj, &colors);
+        let encoding = encode(spec, &order);
+        match &best {
+            Some((enc, _)) if *enc <= encoding => {}
+            _ => best = Some((encoding, order)),
+        }
+    }
+    let (encoding, order) = best.unwrap_or_else(|| (encode(spec, &[]), Vec::new()));
+
+    // Two independently seeded folds over the encoding → 128 bits.
+    let mut hi = mix(0x6A6F_696E_6F70_7431); // "joinopt1"
+    let mut lo = mix(0x6A6F_696E_6F70_7432); // "joinopt2"
+    for &w in &encoding {
+        hi = fold(hi, w);
+        lo = fold(lo, w.rotate_left(32));
+    }
+    CanonicalForm {
+        encoding,
+        order,
+        fingerprint: Fingerprint { hi, lo },
+    }
+}
+
+/// A placement candidate: sorted (placed-neighbor position, selectivity
+/// bits) key, the candidate's refinement color, and the candidate.
+type PlacementChoice = (Vec<(usize, u64)>, u64, usize);
+
+/// Greedy canonical placement starting at `start` (see module docs).
+fn place_from(start: usize, n: usize, adj: &[Vec<(usize, u64)>], colors: &[u64]) -> Vec<RelIdx> {
+    let mut order: Vec<RelIdx> = Vec::with_capacity(n);
+    let mut pos: Vec<Option<usize>> = vec![None; n];
+    order.push(start);
+    pos[start] = Some(0);
+    let mut key_buf: Vec<(usize, u64)> = Vec::new();
+    while order.len() < n {
+        // Candidates attached to the placed prefix; on a disconnected
+        // component boundary, fall back to every unplaced relation.
+        let attached: Vec<usize> = (0..n)
+            .filter(|&v| pos[v].is_none() && adj[v].iter().any(|&(u, _)| pos[u].is_some()))
+            .collect();
+        let candidates = if attached.is_empty() {
+            (0..n).filter(|&v| pos[v].is_none()).collect()
+        } else {
+            attached
+        };
+        let mut chosen: Option<PlacementChoice> = None;
+        for v in candidates {
+            key_buf.clear();
+            key_buf.extend(
+                adj[v]
+                    .iter()
+                    .filter_map(|&(u, bits)| pos[u].map(|p| (p, bits))),
+            );
+            key_buf.sort_unstable();
+            let better = match &chosen {
+                None => true,
+                Some((key, color, _)) => (&key_buf, colors[v]) < (key, *color),
+            };
+            if better {
+                chosen = Some((key_buf.clone(), colors[v], v));
+            }
+        }
+        if let Some((_, _, v)) = chosen {
+            pos[v] = Some(order.len());
+            order.push(v);
+        } else {
+            break; // unreachable: candidates is non-empty while order < n
+        }
+    }
+    order
+}
+
+/// The canonical encoding of `spec` under a placement `order`
+/// (`order[p]` = original index at canonical position `p`).
+fn encode(spec: &QuerySpec, order: &[RelIdx]) -> Vec<u64> {
+    let n = spec.num_relations();
+    let m = spec.num_edges();
+    let mut pos: Vec<usize> = vec![0; n];
+    for (p, &v) in order.iter().enumerate() {
+        pos[v] = p;
+    }
+    let mut enc = Vec::with_capacity(2 + n + 3 * m);
+    enc.push(n as u64);
+    enc.push(m as u64);
+    let cards = spec.catalog().cardinalities();
+    for &v in order {
+        enc.push(cards[v].to_bits());
+    }
+    let sels = spec.catalog().selectivities();
+    let mut triples: Vec<(u64, u64, u64)> = spec
+        .edges()
+        .iter()
+        .enumerate()
+        .map(|(e, &(u, v))| {
+            let (a, b) = (pos[u].min(pos[v]), pos[u].max(pos[v]));
+            (a as u64, b as u64, sels[e].to_bits())
+        })
+        .collect();
+    triples.sort_unstable();
+    for (a, b, s) in triples {
+        enc.push(a);
+        enc.push(b);
+        enc.push(s);
+    }
+    enc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use joinopt_cost::{workload, Catalog};
+    use joinopt_qgraph::{bfs, GraphKind, QueryGraph};
+    use joinopt_relset::XorShift64;
+
+    fn spec_of(graph: &QueryGraph, catalog: &Catalog) -> QuerySpec {
+        QuerySpec::capture(graph, catalog).unwrap()
+    }
+
+    /// Renumbers a workload by `order` exactly like the conformance
+    /// harness does (selectivities keep their edge ids).
+    fn renumbered(graph: &QueryGraph, catalog: &Catalog, order: &[usize]) -> QuerySpec {
+        let n = graph.num_relations();
+        let g2 = bfs::renumber(graph, order);
+        let mut c2 = Catalog::with_shape(n, graph.num_edges());
+        for (new, &old) in order.iter().enumerate() {
+            c2.set_cardinality(new, catalog.cardinality(old)).unwrap();
+        }
+        for e in 0..graph.num_edges() {
+            c2.set_selectivity(e, catalog.selectivity(e)).unwrap();
+        }
+        spec_of(&g2, &c2)
+    }
+
+    #[test]
+    fn renumbering_is_invariant_across_families() {
+        for kind in GraphKind::ALL {
+            for seed in 0..8u64 {
+                let w = workload::family_workload(kind, 7, seed);
+                let base = canonicalize(&spec_of(&w.graph, &w.catalog));
+                let mut rng = XorShift64::seed_from_u64(seed ^ 0xABCD);
+                let mut order: Vec<usize> = (0..7).collect();
+                rng.shuffle(&mut order);
+                let permuted = canonicalize(&renumbered(&w.graph, &w.catalog, &order));
+                assert_eq!(
+                    base.fingerprint, permuted.fingerprint,
+                    "{kind:?} seed {seed} order {order:?}"
+                );
+                assert_eq!(base.encoding, permuted.encoding);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_reordering_is_invariant() {
+        let w = workload::family_workload(GraphKind::Clique, 6, 3);
+        let base = canonicalize(&spec_of(&w.graph, &w.catalog));
+        // Rebuild the same graph inserting edges in reverse order,
+        // carrying each selectivity with its edge.
+        let mut g2 = QueryGraph::new(6).unwrap();
+        let mut c2 = Catalog::with_shape(6, w.graph.num_edges());
+        for (i, edge) in w.graph.edges().iter().enumerate().rev() {
+            let id = g2.add_edge(edge.u, edge.v).unwrap();
+            c2.set_selectivity(id, w.catalog.selectivity(i)).unwrap();
+        }
+        for v in 0..6 {
+            c2.set_cardinality(v, w.catalog.cardinality(v)).unwrap();
+        }
+        let reordered = canonicalize(&spec_of(&g2, &c2));
+        assert_eq!(base.fingerprint, reordered.fingerprint);
+        assert_eq!(base.encoding, reordered.encoding);
+    }
+
+    #[test]
+    fn distinct_workloads_do_not_collide() {
+        use std::collections::HashMap;
+        let mut seen: HashMap<Fingerprint, Vec<u64>> = HashMap::new();
+        for kind in GraphKind::ALL {
+            for n in 2..=8 {
+                for seed in 0..4u64 {
+                    let w = workload::family_workload(kind, n, seed);
+                    let c = canonicalize(&spec_of(&w.graph, &w.catalog));
+                    if let Some(enc) = seen.get(&c.fingerprint) {
+                        assert_eq!(enc, &c.encoding, "hash collision on distinct encodings");
+                    }
+                    seen.insert(c.fingerprint, c.encoding);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn statistics_changes_change_the_fingerprint() {
+        let w = workload::family_workload(GraphKind::Chain, 5, 0);
+        let base = canonicalize(&spec_of(&w.graph, &w.catalog));
+        let mut tweaked = w.catalog.clone();
+        tweaked
+            .set_cardinality(2, w.catalog.cardinality(2) + 1.0)
+            .unwrap();
+        let c = canonicalize(&spec_of(&w.graph, &tweaked));
+        assert_ne!(base.fingerprint, c.fingerprint);
+    }
+
+    #[test]
+    fn order_maps_canonical_positions_to_original_indices() {
+        let w = workload::family_workload(GraphKind::Star, 5, 2);
+        let c = canonicalize(&spec_of(&w.graph, &w.catalog));
+        let mut sorted = c.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..5).collect::<Vec<_>>());
+        assert!(fingerprints_computed() > 0);
+    }
+}

@@ -446,11 +446,14 @@ impl Observer for MetricsCollector {
                 r.degraded_rung = Some(rung);
             }
             // Per-chunk and per-candidate detail is for traces, the
-            // registry and the provenance collector; the per-run report
-            // keeps rollups only.
+            // registry and the provenance collector; cache events are
+            // cross-run by nature. The per-run report keeps rollups only.
             Event::WorkerChunk { .. }
             | Event::PlanCandidate { .. }
-            | Event::SearchPruned { .. } => {}
+            | Event::SearchPruned { .. }
+            | Event::CacheLookup { .. }
+            | Event::CacheStore { .. }
+            | Event::CacheEvict { .. } => {}
             Event::LevelSync {
                 level,
                 workers,

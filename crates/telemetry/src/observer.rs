@@ -177,6 +177,25 @@ pub enum Event {
         /// Why: `"bound"` (lower bound reached the incumbent's cost).
         reason: &'static str,
     },
+    /// A plan-cache lookup completed (service layer, outside any run).
+    CacheLookup {
+        /// Whether a cached plan was found and served.
+        hit: bool,
+    },
+    /// A plan was stored in the plan cache.
+    CacheStore {
+        /// Size charged to the cache for this entry.
+        entry_bytes: usize,
+        /// Total bytes resident in the cache after the store.
+        total_bytes: usize,
+    },
+    /// A plan was evicted from the plan cache to honor its byte budget.
+    CacheEvict {
+        /// Size the evicted entry had been charged.
+        entry_bytes: usize,
+        /// Total bytes resident in the cache after the eviction.
+        total_bytes: usize,
+    },
     /// The run is complete (successfully or not — emitted on the success
     /// path only, so its absence in a trace indicates an error).
     RunEnd,
@@ -199,14 +218,18 @@ impl Event {
             Event::LevelSync { .. } => "level_sync",
             Event::PlanCandidate { .. } => "plan_candidate",
             Event::SearchPruned { .. } => "search_pruned",
+            Event::CacheLookup { .. } => "cache_lookup",
+            Event::CacheStore { .. } => "cache_store",
+            Event::CacheEvict { .. } => "cache_evict",
             Event::RunEnd => "run_end",
         }
     }
 
     /// The phase this event belongs to: the named phase for span events,
     /// `"enumerate"` for the parallel engine's worker events (they are
-    /// emitted between that phase's start and end), `"run"` for
-    /// everything else.
+    /// emitted between that phase's start and end), `"cache"` for the
+    /// plan-cache events (emitted by the service layer outside any
+    /// optimizer run), `"run"` for everything else.
     pub fn phase(&self) -> &'static str {
         match self {
             Event::PhaseStart { phase } | Event::PhaseEnd { phase } => phase,
@@ -214,6 +237,9 @@ impl Event {
             | Event::LevelSync { .. }
             | Event::PlanCandidate { .. }
             | Event::SearchPruned { .. } => "enumerate",
+            Event::CacheLookup { .. } | Event::CacheStore { .. } | Event::CacheEvict { .. } => {
+                "cache"
+            }
             _ => "run",
         }
     }
@@ -516,6 +542,21 @@ mod tests {
         };
         assert_eq!(pruned.name(), "search_pruned");
         assert_eq!(pruned.phase(), "enumerate");
+        let lookup = Event::CacheLookup { hit: true };
+        assert_eq!(lookup.name(), "cache_lookup");
+        assert_eq!(lookup.phase(), "cache");
+        let store = Event::CacheStore {
+            entry_bytes: 128,
+            total_bytes: 256,
+        };
+        assert_eq!(store.name(), "cache_store");
+        assert_eq!(store.phase(), "cache");
+        let evict = Event::CacheEvict {
+            entry_bytes: 128,
+            total_bytes: 128,
+        };
+        assert_eq!(evict.name(), "cache_evict");
+        assert_eq!(evict.phase(), "cache");
         assert_eq!(Event::RunEnd.name(), "run_end");
     }
 

@@ -505,6 +505,9 @@ struct RunState {
 /// | `worker_utilization_permille` | histogram | `algorithm` |
 /// | `plan_candidates_total`, `plan_candidates_accepted_total` | counter | `algorithm` |
 /// | `search_pruned_total` | counter | `reason` |
+/// | `cache_hits_total`, `cache_misses_total` | counter | — |
+/// | `cache_stores_total`, `cache_evictions_total` | counter | — |
+/// | `cache_bytes` | gauge | — |
 ///
 /// The provenance counters only move when some sink in the run's
 /// observer chain opted into candidate events via
@@ -676,6 +679,22 @@ impl Observer for RegistryObserver<'_> {
             }
             Event::SearchPruned { reason, .. } => {
                 reg.inc("joinopt_search_pruned_total", &[("reason", reason)], 1);
+            }
+            Event::CacheLookup { hit } => {
+                let name = if hit {
+                    "joinopt_cache_hits_total"
+                } else {
+                    "joinopt_cache_misses_total"
+                };
+                reg.inc(name, &[], 1);
+            }
+            Event::CacheStore { total_bytes, .. } => {
+                reg.inc("joinopt_cache_stores_total", &[], 1);
+                reg.set_gauge("joinopt_cache_bytes", &[], total_bytes as i64);
+            }
+            Event::CacheEvict { total_bytes, .. } => {
+                reg.inc("joinopt_cache_evictions_total", &[], 1);
+                reg.set_gauge("joinopt_cache_bytes", &[], total_bytes as i64);
             }
             Event::RunEnd => {
                 let state = self.with_runs(|r| r.remove(&tid));

@@ -164,6 +164,21 @@ impl<W: Write> TraceWriter<W> {
                 s.push_str(&format!(",\"set\":{set},\"reason\":"));
                 write_escaped(&mut s, reason);
             }
+            Event::CacheLookup { hit } => {
+                s.push_str(&format!(",\"hit\":{hit}"));
+            }
+            Event::CacheStore {
+                entry_bytes,
+                total_bytes,
+            }
+            | Event::CacheEvict {
+                entry_bytes,
+                total_bytes,
+            } => {
+                s.push_str(&format!(
+                    ",\"entry_bytes\":{entry_bytes},\"total_bytes\":{total_bytes}"
+                ));
+            }
         }
         s.push_str("}\n");
         s

@@ -8,7 +8,6 @@
 //!
 //! Run with: `cargo run --release --example bushy_vs_leftdeep`
 
-use joinopt::core::greedy::Goo;
 use joinopt::prelude::*;
 use joinopt_cost::workload;
 
@@ -30,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let bushy = run(Algorithm::DpCcp)?;
         let ld = run(Algorithm::DpSizeLeftDeep)?;
-        let goo = Goo.optimize(&w.graph, &w.catalog, &Cout)?;
+        let goo = run(Algorithm::Goo)?;
         ld_ratios.push(ld.cost / bushy.cost);
         goo_ratios.push(goo.cost / bushy.cost);
         if bushy.tree.is_properly_bushy() {

@@ -9,7 +9,6 @@
 //!
 //! Run with: `cargo run --release --example execute_plan`
 
-use joinopt::core::greedy::Goo;
 use joinopt::exec::{execute, Database};
 use joinopt::prelude::*;
 use joinopt_cost::workload;
@@ -32,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .run()
                 .ok()?
                 .into_result();
-            let greedy = Goo.optimize(&graph, &catalog, &Cout).ok()?;
+            let greedy = OptimizeRequest::new(&graph, &catalog)
+                .with_algorithm(Algorithm::Goo)
+                .run()
+                .ok()?
+                .into_result();
             (greedy.cost > optimal.cost * 1.3).then_some((graph, catalog, optimal, greedy))
         })
         .expect("the seed space contains greedy traps");

@@ -12,7 +12,6 @@
 use std::time::Instant;
 
 use joinopt::core::formulas;
-use joinopt::core::greedy::Goo;
 use joinopt::prelude::*;
 use joinopt_cost::workload;
 
@@ -38,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let start = Instant::now();
-    let greedy = Goo.optimize(&w.graph, &w.catalog, &Cout)?;
+    let greedy = OptimizeRequest::new(&w.graph, &w.catalog)
+        .with_algorithm(Algorithm::Goo)
+        .run()?
+        .into_result();
     println!(
         "{:<8} time={:<12} inner={:<10} cost={:.4e}  ({:.2}× optimal)",
         "GOO",

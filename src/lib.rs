@@ -21,6 +21,7 @@
 //! | [`query`] | textual query-description format and SQL frontend |
 //! | [`exec`] | toy execution engine: synthesize data, run plans, measure |
 //! | [`telemetry`] | zero-overhead observer API, run metrics, JSONL tracing |
+//! | [`service`] | optimizer-as-a-service: owned [`QuerySpec`](crate::prelude::QuerySpec)s, canonical query fingerprints, the sharded plan cache and batched admission |
 //!
 //! # Quickstart
 //!
@@ -51,6 +52,7 @@ pub use joinopt_plan as plan;
 pub use joinopt_qgraph as qgraph;
 pub use joinopt_query as query;
 pub use joinopt_relset as relset;
+pub use joinopt_service as service;
 pub use joinopt_telemetry as telemetry;
 
 /// The most commonly used items, for glob import.
@@ -66,6 +68,10 @@ pub mod prelude {
     pub use joinopt_plan::JoinTree;
     pub use joinopt_qgraph::{self as qgraph, GraphKind, QueryGraph};
     pub use joinopt_relset::{RelIdx, RelSet};
+    pub use joinopt_service::{
+        CacheConfig, CostModelId, OptimizerService, Priority, QuerySpec, ServiceConfig,
+        ServiceRequest,
+    };
     pub use joinopt_telemetry::{
         MetricsCollector, MetricsRegistry, NoopObserver, Observer, RegistryObserver, RunReport,
         TraceWriter,

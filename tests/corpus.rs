@@ -67,3 +67,19 @@ fn every_corpus_entry_replays_clean() {
         joinopt_conformance::check_dsl(&text).unwrap_or_else(|d| panic!("{}: {d}", path.display()));
     }
 }
+
+#[test]
+fn every_corpus_entry_hits_the_plan_cache_bit_identically() {
+    // The acceptance bar for the plan cache: a warm lookup of any
+    // committed repro returns cost bits and plan shape bit-identical
+    // to its cold run (connected multi-relation instances; the check
+    // skips the structural edge cases the service refuses anyway).
+    for path in corpus_files() {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let inst = joinopt_conformance::Instance::from_dsl(&text)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        joinopt_conformance::check_cache_replay(&inst)
+            .unwrap_or_else(|d| panic!("{}: {d}", path.display()));
+    }
+}
