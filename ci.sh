@@ -41,6 +41,31 @@ echo "==> resilience matrix with fault injection (--cfg failpoints)"
 RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
     cargo test -p joinopt-core --test resilience --offline -q
 
+echo "==> service resilience matrix: breaker trips and drain completes (--cfg failpoints)"
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo test -p joinopt-service --test resilience_matrix --offline -q
+
+echo "==> serve smoke: protocol, typed rejections, clean drain (--cfg failpoints)"
+# The scripted self-check drives a live server end-to-end: health/ready,
+# cold+warm optimize, typed parse/invalid/timeout rejections, an
+# injected worker panic the server survives, a cache-poison collision
+# that can only miss, then a graceful drain with a non-empty Prometheus
+# flush.
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo run --offline -q -p joinopt-cli --bin joinopt -- \
+    serve --smoke --prom /tmp/joinopt-serve-smoke.prom
+grep -q joinopt_serve_accepted_total /tmp/joinopt-serve-smoke.prom \
+    || { echo "serve smoke flush missing serve counters"; exit 1; }
+rm -f /tmp/joinopt-serve-smoke.prom
+
+echo "==> chaos gate: seeded fault burst, zero wrong plans (--cfg failpoints)"
+# Warmup / panic burst / recovery against the hardened gateway; gates on
+# bounded errors, breaker open+reclose, recovery, and a differential
+# re-check of sampled answers against a fresh cache-less service.
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo run --offline -q -p joinopt-cli --bin joinopt -- \
+    load --chaos --requests 200 --seed 7
+
 echo "==> injected tie-break inversion is caught and minimized (--cfg failpoints)"
 # --lib additionally runs the provenance acceptance test: the inverted
 # tie-break must produce a rendered explained diff naming the first

@@ -15,14 +15,31 @@
 //! the hit rate drops below a floor (`joinopt load --min-hit-rate`): a
 //! cold cache, a broken fingerprint or a lookup that stopped matching
 //! all surface as a hit rate of zero.
+//!
+//! `joinopt load --chaos` replays the same seeded mix through the
+//! server's [`Gateway`] with a fault burst injected mid-run (the
+//! `serve-worker-panic` failpoint, so it needs a `--cfg failpoints`
+//! build): a warmup third must run error-free, the burst third panics
+//! every attempt until the breaker opens, and the recovery third —
+//! after the faults clear and the breaker recloses — must return to a
+//! healthy hit rate and p99. A seeded sample of answered requests is
+//! differentially re-checked against a fresh sequential cold run:
+//! chaos may slow requests down or fail them, but it must never change
+//! a plan.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use joinopt_cost::workload::family_workload;
 use joinopt_qgraph::GraphKind;
 use joinopt_relset::XorShift64;
-use joinopt_service::{CacheConfig, OptimizerService, QuerySpec, ServiceConfig, ServiceRequest};
-use joinopt_telemetry::json::{write_escaped, write_f64};
+use joinopt_service::gateway::error_kind;
+use joinopt_service::{
+    BreakerConfig, BreakerState, CacheConfig, Gateway, GatewayConfig, GatewayStats,
+    OptimizerService, Priority, QuerySpec, ServiceConfig, ServiceRequest, ShedConfig,
+};
+use joinopt_telemetry::json::{write_escaped, write_f64, JsonValue};
 use joinopt_telemetry::Histogram;
 
 /// The families the load mix draws from (the paper's structural
@@ -30,7 +47,12 @@ use joinopt_telemetry::Histogram;
 pub const LOAD_FAMILIES: [GraphKind; 3] = [GraphKind::Chain, GraphKind::Star, GraphKind::Clique];
 
 /// Report schema identifier.
-pub const SCHEMA: &str = "joinopt-load-v1";
+pub const SCHEMA: &str = "joinopt-load-v2";
+
+/// The previous schema, still accepted by [`LoadReport::parse`] (v1
+/// reports predate the per-type error breakdown, which reads as
+/// all-zero).
+pub const SCHEMA_V1: &str = "joinopt-load-v1";
 
 /// Configuration of one load run.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +86,77 @@ impl Default for LoadConfig {
     }
 }
 
+/// Per-type error counts of a run: the same reporting labels the serve
+/// protocol uses for `error_type`, rolled up per request stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ErrorBreakdown {
+    /// Deadline/time-budget blowouts.
+    pub timeout: usize,
+    /// Memory-budget blowouts.
+    pub memory: usize,
+    /// Shed at a load watermark (or refused while draining).
+    pub shed: usize,
+    /// Worker panics (isolated by `catch_unwind`).
+    pub panic: usize,
+    /// Rejected by an open circuit breaker.
+    pub breaker_open: usize,
+    /// Everything else (parse, admission, internal).
+    pub other: usize,
+}
+
+impl ErrorBreakdown {
+    /// Books one error under its reporting label (a
+    /// [`Rejection::kind`](joinopt_service::Rejection::kind) or
+    /// [`error_kind`] string).
+    pub fn record(&mut self, kind: &str) {
+        match kind {
+            "timeout" => self.timeout += 1,
+            "memory" => self.memory += 1,
+            "shed" | "draining" => self.shed += 1,
+            "panic" => self.panic += 1,
+            "breaker-open" => self.breaker_open += 1,
+            _ => self.other += 1,
+        }
+    }
+
+    /// Total errors across all types.
+    pub fn total(&self) -> usize {
+        self.timeout + self.memory + self.shed + self.panic + self.breaker_open + self.other
+    }
+
+    /// Errors that mean work was admitted and *died* — excludes the
+    /// gateway's typed refusals (shed, breaker-open), which a client
+    /// simply retries elsewhere.
+    pub fn hard(&self) -> usize {
+        self.timeout + self.memory + self.panic + self.other
+    }
+
+    fn to_json_object(self) -> String {
+        format!(
+            "{{\"timeout\": {}, \"memory\": {}, \"shed\": {}, \"panic\": {}, \
+             \"breaker_open\": {}, \"other\": {}}}",
+            self.timeout, self.memory, self.shed, self.panic, self.breaker_open, self.other
+        )
+    }
+
+    fn from_json(v: Option<&JsonValue>) -> ErrorBreakdown {
+        let field = |k: &str| {
+            v.and_then(|o| o.get(k))
+                .and_then(|f| f.as_u64())
+                .and_then(|n| usize::try_from(n).ok())
+                .unwrap_or(0)
+        };
+        ErrorBreakdown {
+            timeout: field("timeout"),
+            memory: field("memory"),
+            shed: field("shed"),
+            panic: field("panic"),
+            breaker_open: field("breaker_open"),
+            other: field("other"),
+        }
+    }
+}
+
 /// Results of one load run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -73,6 +166,8 @@ pub struct LoadReport {
     pub completed: usize,
     /// Requests that came back as errors (0 in a healthy run).
     pub errors: usize,
+    /// The same errors broken down by reporting label.
+    pub errors_by_type: ErrorBreakdown,
     /// Requests answered from the plan cache.
     pub hits: usize,
     /// Cache hit rate over completed requests (0 when none completed).
@@ -144,7 +239,7 @@ pub fn run_load_observed(
 
     let mut latencies = Histogram::default();
     let mut completed = 0usize;
-    let mut errors = 0usize;
+    let mut errors_by_type = ErrorBreakdown::default();
     let mut hits = 0usize;
     for r in &results {
         match r {
@@ -153,13 +248,14 @@ pub fn run_load_observed(
                 hits += usize::from(outcome.cache_hit);
                 latencies.record(u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX));
             }
-            Err(_) => errors += 1,
+            Err(e) => errors_by_type.record(error_kind(e)),
         }
     }
     LoadReport {
         config: config.clone(),
         completed,
-        errors,
+        errors: errors_by_type.total(),
+        errors_by_type,
         hits,
         hit_rate: if completed == 0 {
             0.0
@@ -195,15 +291,19 @@ impl LoadReport {
         ));
         write_f64(&mut s, self.hit_rate);
         s.push_str(&format!(
-            ",\n  \"wall_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"rps\": ",
-            self.wall_ns, self.p50_ns, self.p99_ns
+            ",\n  \"errors_by_type\": {},\n  \"wall_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}, \"rps\": ",
+            self.errors_by_type.to_json_object(),
+            self.wall_ns,
+            self.p50_ns,
+            self.p99_ns
         ));
         write_f64(&mut s, self.rps);
         s.push_str("\n}\n");
         s
     }
 
-    /// A rendered summary for human consumption.
+    /// A rendered summary for human consumption: the headline table
+    /// plus the per-type error breakdown.
     pub fn render(&self) -> String {
         let mut t = crate::Table::new(vec![
             "requests",
@@ -227,7 +327,542 @@ impl LoadReport {
             crate::format_seconds(self.p50_ns as f64 / 1e9),
             crate::format_seconds(self.p99_ns as f64 / 1e9),
         ]);
-        t.render()
+        let mut out = t.render();
+        out.push_str(&render_breakdown(&self.errors_by_type));
+        out
+    }
+
+    /// Reads a report back from its [`LoadReport::to_json`] form.
+    /// Accepts the current [`SCHEMA`] and the older [`SCHEMA_V1`]
+    /// (which predates `errors_by_type`; the breakdown reads as zero).
+    pub fn parse(text: &str) -> Result<LoadReport, String> {
+        let v = JsonValue::parse(text).map_err(|e| format!("bad load report JSON: {e:?}"))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_str())
+            .ok_or("load report missing schema")?;
+        if schema != SCHEMA && schema != SCHEMA_V1 {
+            return Err(format!(
+                "unknown load report schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+            ));
+        }
+        let uint = |obj: Option<&JsonValue>, k: &str| -> Result<u64, String> {
+            obj.and_then(|o| o.get(k))
+                .and_then(|f| f.as_u64())
+                .ok_or_else(|| format!("load report missing {k:?}"))
+        };
+        let float = |obj: Option<&JsonValue>, k: &str| -> Result<f64, String> {
+            obj.and_then(|o| o.get(k))
+                .and_then(|f| f.as_f64())
+                .ok_or_else(|| format!("load report missing {k:?}"))
+        };
+        let cfg = v.get("config");
+        let config = LoadConfig {
+            requests: uint(cfg, "requests")? as usize,
+            threads: uint(cfg, "threads")? as usize,
+            seed: uint(cfg, "seed")?,
+            repeat_rate: float(cfg, "repeat_rate")?,
+            max_n: uint(cfg, "max_n")? as usize,
+            cache_bytes: uint(cfg, "cache_bytes")? as usize,
+        };
+        let top = Some(&v);
+        Ok(LoadReport {
+            config,
+            completed: uint(top, "completed")? as usize,
+            errors: uint(top, "errors")? as usize,
+            errors_by_type: ErrorBreakdown::from_json(v.get("errors_by_type")),
+            hits: uint(top, "hits")? as usize,
+            hit_rate: float(top, "hit_rate")?,
+            wall_ns: uint(top, "wall_ns")?,
+            rps: float(top, "rps")?,
+            p50_ns: uint(top, "p50_ns")?,
+            p99_ns: uint(top, "p99_ns")?,
+        })
+    }
+}
+
+/// Renders the per-type error table shared by the plain and chaos
+/// reports.
+fn render_breakdown(b: &ErrorBreakdown) -> String {
+    let mut t = crate::Table::new(vec![
+        "errors",
+        "timeout",
+        "memory",
+        "shed",
+        "panic",
+        "breaker-open",
+        "other",
+    ]);
+    t.row(vec![
+        b.total().to_string(),
+        b.timeout.to_string(),
+        b.memory.to_string(),
+        b.shed.to_string(),
+        b.panic.to_string(),
+        b.breaker_open.to_string(),
+        b.other.to_string(),
+    ]);
+    t.render()
+}
+
+// ---------------------------------------------------------------------------
+// Chaos mode
+// ---------------------------------------------------------------------------
+
+/// Configuration of a `load --chaos` run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosConfig {
+    /// The underlying stream mix (requests, seed, repeat rate, sizes).
+    pub load: LoadConfig,
+    /// Concurrent client driver threads.
+    pub drivers: usize,
+    /// `serve-worker-panic` triggers armed at the start of the burst
+    /// third (each failing request consumes one per attempt).
+    pub burst_faults: usize,
+    /// Answered requests to differentially re-check against a fresh
+    /// sequential cold run.
+    pub recheck_samples: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            load: LoadConfig::default(),
+            drivers: 4,
+            burst_faults: 30,
+            recheck_samples: 16,
+        }
+    }
+}
+
+/// Outcome counters of one chaos phase (warmup / burst / recovery).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseStats {
+    /// Requests issued in the phase.
+    pub requests: usize,
+    /// Requests answered with a plan.
+    pub completed: usize,
+    /// Completed requests served from the plan cache.
+    pub hits: usize,
+    /// Hit rate over completed requests.
+    pub hit_rate: f64,
+    /// Per-type error counts (typed refusals included).
+    pub errors: ErrorBreakdown,
+    /// 99th-percentile latency of completed requests, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Results of one chaos run; [`ChaosReport::verify`] applies the gates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The configuration that produced the run.
+    pub config: ChaosConfig,
+    /// The fault-free first third.
+    pub warmup: PhaseStats,
+    /// The middle third, run with the panic burst armed.
+    pub burst: PhaseStats,
+    /// The final third, after faults cleared and the breaker reclosed.
+    pub recovery: PhaseStats,
+    /// Breaker open transitions observed by the gateway.
+    pub breaker_opens: u64,
+    /// Whether the tenant's breaker was closed again before recovery.
+    pub breaker_reclosed: bool,
+    /// Sampled answers that diverged from the sequential cold re-run
+    /// (must be 0: chaos may fail requests, never change plans).
+    pub wrong_plans: usize,
+    /// Sampled answers re-checked.
+    pub rechecked: usize,
+    /// Whether the final drain completed with nothing in flight.
+    pub drained: bool,
+    /// Final gateway counters.
+    pub gateway: GatewayStats,
+}
+
+fn arm_panic_burst(times: usize) {
+    #[cfg(failpoints)]
+    joinopt_core::failpoint::configure_times(
+        "serve-worker-panic",
+        joinopt_core::failpoint::FailAction::Panic,
+        times,
+    );
+    #[cfg(not(failpoints))]
+    let _ = times;
+}
+
+fn clear_faults() {
+    #[cfg(failpoints)]
+    joinopt_core::failpoint::clear("serve-worker-panic");
+}
+
+/// Runs the chaos scenario. Requires a `--cfg failpoints` build (the
+/// burst has nothing to inject otherwise, so the run refuses to
+/// pretend).
+pub fn run_chaos(
+    config: &ChaosConfig,
+    obs: &(dyn joinopt_telemetry::Observer + Sync),
+) -> Result<ChaosReport, String> {
+    if !cfg!(failpoints) {
+        return Err(
+            "chaos mode needs fault injection: rebuild with RUSTFLAGS=\"--cfg failpoints\""
+                .to_string(),
+        );
+    }
+    // Mixed priorities over the seeded stream: ~10% low (sheds first
+    // under the tightened watermark below), ~10% high.
+    let mut stream = build_stream(&config.load);
+    let mut rng = XorShift64::seed_from_u64(config.load.seed ^ 0x4368_616f_7321); // "Chaos!"
+    for req in &mut stream {
+        let r = rng.next_f64();
+        let priority = if r < 0.1 {
+            Priority::Low
+        } else if r > 0.9 {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
+        *req = req.clone().with_priority(priority);
+    }
+
+    let service = OptimizerService::new(ServiceConfig {
+        worker_threads: 1,
+        queue_capacity: stream.len().max(1),
+        tenant_limit: stream.len().max(1),
+        cache: Some(CacheConfig {
+            byte_budget: config.load.cache_bytes,
+            ..CacheConfig::default()
+        }),
+    });
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            shed: ShedConfig {
+                low_watermark: 3,
+                ..ShedConfig::default()
+            },
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(100),
+                success_threshold: 1,
+            },
+            seed: config.load.seed,
+            ..GatewayConfig::default()
+        },
+    );
+
+    let third = stream.len() / 3;
+    let (warm_reqs, rest) = stream.split_at(third);
+    let (burst_reqs, recovery_reqs) = rest.split_at(third);
+
+    let warmup = run_phase(&gateway, warm_reqs, 0, config.drivers, obs);
+    arm_panic_burst(config.burst_faults);
+    let burst = run_phase(&gateway, burst_reqs, third, config.drivers, obs);
+    clear_faults();
+
+    // Let the tenant's breaker reclose before judging recovery: probe
+    // with the (cached) first query until the half-open probe succeeds.
+    let mut breaker_reclosed = gateway.breaker_state("load") == BreakerState::Closed;
+    if !breaker_reclosed {
+        let probe = stream[0].clone();
+        let mut session = None;
+        for _ in 0..200 {
+            std::thread::sleep(Duration::from_millis(10));
+            let _ = gateway.handle(&probe, None, &mut session, obs);
+            if gateway.breaker_state("load") == BreakerState::Closed {
+                breaker_reclosed = true;
+                break;
+            }
+        }
+    }
+
+    let recovery = run_phase(&gateway, recovery_reqs, 2 * third, config.drivers, obs);
+
+    let (rechecked, wrong_plans) = recheck(
+        &stream,
+        &[&warmup.1[..], &burst.1[..], &recovery.1[..]].concat(),
+        config.recheck_samples,
+        config.load.seed,
+    );
+
+    gateway.begin_drain();
+    let drained = gateway.await_drained(Duration::from_secs(10), obs).is_ok();
+    let stats = gateway.stats();
+    Ok(ChaosReport {
+        config: config.clone(),
+        warmup: warmup.0,
+        burst: burst.0,
+        recovery: recovery.0,
+        breaker_opens: stats.breaker_opens,
+        breaker_reclosed,
+        wrong_plans,
+        rechecked,
+        drained,
+        gateway: stats,
+    })
+}
+
+/// Drives one phase's slice of the stream through the gateway with
+/// `drivers` concurrent client threads. Returns the phase counters and
+/// the `(stream_index, cost_bits)` of every answered request (the
+/// re-check pool).
+fn run_phase(
+    gateway: &Gateway,
+    reqs: &[ServiceRequest],
+    base_index: usize,
+    drivers: usize,
+    obs: &(dyn joinopt_telemetry::Observer + Sync),
+) -> (PhaseStats, Vec<(usize, u64)>) {
+    let next = AtomicUsize::new(0);
+    // (request index, outcome): cost bits + cache-hit flag + latency ns
+    // on success, the typed error kind on failure.
+    type DriverOutcome = (usize, Result<(u64, bool, u64), &'static str>);
+    let outcomes: Mutex<Vec<DriverOutcome>> = Mutex::new(Vec::with_capacity(reqs.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..drivers.max(1) {
+            scope.spawn(|| {
+                let mut session = None;
+                loop {
+                    let k = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(req) = reqs.get(k) else { break };
+                    let r = match gateway.handle(req, None, &mut session, obs) {
+                        Ok(o) => Ok((
+                            o.result.cost.to_bits(),
+                            o.cache_hit,
+                            u64::try_from(o.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                        )),
+                        Err(e) => Err(e.kind()),
+                    };
+                    let mut guard = outcomes
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    guard.push((base_index + k, r));
+                }
+            });
+        }
+    });
+    let outcomes = outcomes
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+
+    let mut stats = PhaseStats {
+        requests: reqs.len(),
+        ..PhaseStats::default()
+    };
+    let mut latencies = Histogram::default();
+    let mut answered = Vec::new();
+    for (idx, r) in outcomes {
+        match r {
+            Ok((cost_bits, hit, elapsed_ns)) => {
+                stats.completed += 1;
+                stats.hits += usize::from(hit);
+                latencies.record(elapsed_ns);
+                answered.push((idx, cost_bits));
+            }
+            Err(kind) => stats.errors.record(kind),
+        }
+    }
+    stats.hit_rate = if stats.completed == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / stats.completed as f64
+    };
+    stats.p99_ns = latencies.quantile(0.99);
+    (stats, answered)
+}
+
+/// Differential exactness check: re-runs a seeded sample of answered
+/// requests on a fresh, cache-less, sequential service and compares
+/// cost bits. Returns `(rechecked, wrong)`.
+fn recheck(
+    stream: &[ServiceRequest],
+    answered: &[(usize, u64)],
+    samples: usize,
+    seed: u64,
+) -> (usize, usize) {
+    if answered.is_empty() {
+        return (0, 0);
+    }
+    let fresh = OptimizerService::new(ServiceConfig {
+        worker_threads: 1,
+        queue_capacity: 1,
+        tenant_limit: samples.max(1),
+        cache: None,
+    });
+    let mut rng = XorShift64::seed_from_u64(seed ^ 0x5265_6368_6563_6b21); // "Recheck!"
+    let mut session = None;
+    let mut wrong = 0usize;
+    let count = samples.min(answered.len());
+    for _ in 0..count {
+        let (idx, bits) = answered[rng.gen_range(0..answered.len())];
+        let req = ServiceRequest::new(stream[idx].spec.clone());
+        match fresh.submit_one(&req, &mut session, &joinopt_telemetry::NoopObserver) {
+            Ok(o) if o.result.cost.to_bits() == bits => {}
+            // A diverging cost — or a cold run that cannot even
+            // complete — is a wrong plan for the gate's purposes.
+            _ => wrong += 1,
+        }
+    }
+    (count, wrong)
+}
+
+impl ChaosReport {
+    /// The chaos gates: bounded errors, zero wrong plans, breaker
+    /// opened and reclosed, post-burst hit-rate and p99 recovery, clean
+    /// drain. Returns every violation, not just the first.
+    pub fn verify(&self) -> Result<(), String> {
+        let mut problems = Vec::new();
+        if self.warmup.errors.hard() > 0 {
+            problems.push(format!(
+                "warmup must be error-free, saw {} hard errors",
+                self.warmup.errors.hard()
+            ));
+        }
+        if self.burst.errors.total() > self.burst.requests {
+            problems.push(format!(
+                "burst errors ({}) exceed burst requests ({})",
+                self.burst.errors.total(),
+                self.burst.requests
+            ));
+        }
+        if self.breaker_opens == 0 {
+            problems.push("fault burst never opened the breaker".to_string());
+        }
+        if !self.breaker_reclosed {
+            problems.push("breaker did not reclose after the faults cleared".to_string());
+        }
+        if self.recovery.errors.hard() > 0 {
+            problems.push(format!(
+                "recovery must be error-free, saw {} hard errors",
+                self.recovery.errors.hard()
+            ));
+        }
+        if self.recovery.hit_rate < 0.2 {
+            problems.push(format!(
+                "recovery hit rate {:.3} below the 0.2 floor",
+                self.recovery.hit_rate
+            ));
+        }
+        let p99_ceiling = (8 * self.warmup.p99_ns).max(20_000_000);
+        if self.recovery.p99_ns > p99_ceiling {
+            problems.push(format!(
+                "recovery p99 {}ns above ceiling {}ns",
+                self.recovery.p99_ns, p99_ceiling
+            ));
+        }
+        if self.rechecked == 0 {
+            problems.push("differential re-check sampled nothing".to_string());
+        }
+        if self.wrong_plans > 0 {
+            problems.push(format!(
+                "{} of {} re-checked answers diverged from the sequential cold run",
+                self.wrong_plans, self.rechecked
+            ));
+        }
+        if !self.drained {
+            problems.push("drain did not complete".to_string());
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(problems.join("; "))
+        }
+    }
+
+    /// Serializes the chaos report (rides the [`SCHEMA`] tag with
+    /// `"mode": "chaos"` and a `"chaos"` section).
+    pub fn to_json(&self) -> String {
+        let phase = |p: &PhaseStats| {
+            let mut s = format!(
+                "{{\"requests\": {}, \"completed\": {}, \"hits\": {}, \"p99_ns\": {}, \
+                 \"errors\": {}, \"hit_rate\": ",
+                p.requests,
+                p.completed,
+                p.hits,
+                p.p99_ns,
+                p.errors.to_json_object()
+            );
+            write_f64(&mut s, p.hit_rate);
+            s.push('}');
+            s
+        };
+        let mut s = String::from("{\n  \"schema\": ");
+        write_escaped(&mut s, SCHEMA);
+        s.push_str(",\n  \"mode\": \"chaos\"");
+        s.push_str(&format!(
+            ",\n  \"config\": {{\"requests\": {}, \"drivers\": {}, \"seed\": {}, \
+             \"burst_faults\": {}, \"recheck_samples\": {}}}",
+            self.config.load.requests,
+            self.config.drivers,
+            self.config.load.seed,
+            self.config.burst_faults,
+            self.config.recheck_samples
+        ));
+        s.push_str(&format!(
+            ",\n  \"chaos\": {{\n    \"warmup\": {},\n    \"burst\": {},\n    \"recovery\": {},\n    \
+             \"breaker_opens\": {}, \"breaker_reclosed\": {}, \"wrong_plans\": {}, \
+             \"rechecked\": {}, \"drained\": {}\n  }}",
+            phase(&self.warmup),
+            phase(&self.burst),
+            phase(&self.recovery),
+            self.breaker_opens,
+            self.breaker_reclosed,
+            self.wrong_plans,
+            self.rechecked,
+            self.drained
+        ));
+        s.push_str(&format!(
+            ",\n  \"gateway\": {{\"accepted\": {}, \"shed\": {}, \"breaker_rejected\": {}, \
+             \"retried\": {}, \"completed\": {}, \"failed\": {}}}\n}}\n",
+            self.gateway.accepted,
+            self.gateway.shed,
+            self.gateway.breaker_rejected,
+            self.gateway.retried,
+            self.gateway.completed,
+            self.gateway.failed
+        ));
+        s
+    }
+
+    /// A rendered per-phase summary for human consumption.
+    pub fn render(&self) -> String {
+        let mut t = crate::Table::new(vec![
+            "phase",
+            "requests",
+            "completed",
+            "errors",
+            "shed",
+            "panics",
+            "breaker-open",
+            "hit_rate",
+            "p99",
+        ]);
+        for (name, p) in [
+            ("warmup", &self.warmup),
+            ("burst", &self.burst),
+            ("recovery", &self.recovery),
+        ] {
+            t.row(vec![
+                name.to_string(),
+                p.requests.to_string(),
+                p.completed.to_string(),
+                p.errors.total().to_string(),
+                p.errors.shed.to_string(),
+                p.errors.panic.to_string(),
+                p.errors.breaker_open.to_string(),
+                format!("{:.3}", p.hit_rate),
+                crate::format_seconds(p.p99_ns as f64 / 1e9),
+            ]);
+        }
+        let mut out = t.render();
+        out.push_str(&format!(
+            "breaker: opened {}x, reclosed: {}; re-checked {} answers, {} wrong; retried {}; drained: {}\n",
+            self.breaker_opens,
+            self.breaker_reclosed,
+            self.rechecked,
+            self.wrong_plans,
+            self.gateway.retried,
+            self.drained
+        ));
+        out
     }
 }
 
@@ -294,7 +929,6 @@ mod tests {
 
     #[test]
     fn report_json_parses_and_carries_the_headline_numbers() {
-        use joinopt_telemetry::json::JsonValue;
         let report = run_load(&small_config());
         let v = JsonValue::parse(&report.to_json()).unwrap();
         assert_eq!(v.get("schema").unwrap().as_str(), Some(SCHEMA));
@@ -302,7 +936,60 @@ mod tests {
         assert_eq!(v.get("hits").unwrap().as_u64(), Some(report.hits as u64));
         assert!(v.get("rps").unwrap().as_f64().unwrap() > 0.0);
         assert!(v.get("p99_ns").unwrap().as_u64().is_some());
+        let breakdown = v.get("errors_by_type").unwrap();
+        assert_eq!(breakdown.get("timeout").unwrap().as_u64(), Some(0));
+        assert_eq!(breakdown.get("panic").unwrap().as_u64(), Some(0));
         let rendered = report.render();
         assert!(rendered.contains("hit_rate"));
+        assert!(rendered.contains("breaker-open"));
     }
+
+    #[test]
+    fn report_round_trips_through_parse() {
+        let report = run_load(&small_config());
+        let back = LoadReport::parse(&report.to_json()).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn v1_reports_parse_with_a_zero_breakdown() {
+        let v1 = r#"{
+  "schema": "joinopt-load-v1",
+  "config": {"requests": 10, "threads": 1, "seed": 7, "max_n": 6, "cache_bytes": 1024, "repeat_rate": 0.5},
+  "completed": 10, "errors": 2, "hits": 4, "hit_rate": 0.4,
+  "wall_ns": 1000, "p50_ns": 10, "p99_ns": 20, "rps": 100.0
+}"#;
+        let report = LoadReport::parse(v1).unwrap();
+        assert_eq!(report.completed, 10);
+        assert_eq!(report.errors, 2);
+        assert_eq!(report.errors_by_type, ErrorBreakdown::default());
+        assert!(LoadReport::parse("{\"schema\": \"joinopt-load-v99\"}").is_err());
+    }
+
+    #[test]
+    fn error_breakdown_records_by_label() {
+        let mut b = ErrorBreakdown::default();
+        for kind in [
+            "timeout",
+            "memory",
+            "shed",
+            "draining",
+            "panic",
+            "breaker-open",
+            "parse",
+        ] {
+            b.record(kind);
+        }
+        assert_eq!(b.timeout, 1);
+        assert_eq!(b.memory, 1);
+        assert_eq!(b.shed, 2, "draining folds into shed");
+        assert_eq!(b.panic, 1);
+        assert_eq!(b.breaker_open, 1);
+        assert_eq!(b.other, 1);
+        assert_eq!(b.total(), 7);
+        assert_eq!(b.hard(), 4);
+    }
+
+    // The end-to-end chaos gate test lives in `tests/chaos.rs`: it arms
+    // process-global failpoints, so it needs its own test process.
 }

@@ -20,7 +20,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::time::Instant;
 
-use joinopt_bench::load::{run_load, run_load_observed, LoadConfig};
+use joinopt_bench::load::{run_chaos, run_load, run_load_observed, ChaosConfig, LoadConfig};
 use joinopt_bench::perf::{run_matrix_observed, PerfBaseline, PerfConfig};
 use joinopt_core::explain::{compare, Explanation};
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
@@ -32,6 +32,7 @@ use joinopt_cost::{
 use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
 use joinopt_qgraph::GraphKind;
 use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
+use joinopt_service::server::{smoke, Listen, Server, ServerConfig};
 use joinopt_service::{
     CacheConfig, CostModelId, OptimizerService, QuerySpec, ServiceConfig, ServiceRequest,
 };
@@ -135,6 +136,12 @@ USAGE:
   joinopt load     [--requests N] [--threads N] [--seed S]
                    [--repeat-rate F] [--max-n N] [--cache-bytes BYTES]
                    [--json PATH] [--min-hit-rate F] [--prom PATH]
+  joinopt load     --chaos [--requests N] [--seed S] [--drivers N]
+                   [--burst-faults N] [--recheck N] [--json PATH]
+                   [--prom PATH]
+  joinopt serve    [--addr HOST:PORT | --unix PATH] [--prom PATH]
+                   [--drain-timeout-ms N]
+  joinopt serve    --smoke [--prom PATH]
   joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
@@ -196,11 +203,33 @@ LOAD:        load replays a seeded mixed chain/star/clique request
              stream through the optimizer service (joinopt-service):
              each request repeats an earlier query with probability
              --repeat-rate, exercising the plan cache's warm path. It
-             reports throughput, p50/p99 latency and the cache hit
-             rate, writes the joinopt-load-v1 JSON report with --json,
-             and with --min-hit-rate fails unless the run was
+             reports throughput, p50/p99 latency, the cache hit rate
+             and a per-type error breakdown, writes the
+             joinopt-load-v2 JSON report with --json (v1 reports still
+             parse), and with --min-hit-rate fails unless the run was
              error-free and the hit rate met the floor (the CI smoke
-             gate). See docs/service.md.
+             gate). --chaos replays the stream through the server
+             gateway with a seeded worker-panic burst mid-run (needs a
+             --cfg failpoints build): warmup must be clean, the burst
+             must open the per-tenant circuit breaker, recovery must
+             restore the hit rate and p99, a sampled differential
+             re-check against a sequential cold run must find zero
+             wrong plans, and the final drain must complete. Exit is
+             nonzero on any gate violation. See docs/service.md.
+SERVE:       serve runs the optimizer as a long-lived server speaking
+             newline-delimited JSON over TCP (--addr, default
+             127.0.0.1:4006) or a unix socket (--unix). Verbs: health,
+             ready, stats, optimize (inline DSL/SQL query text with
+             optional tenant/priority/algorithm/cost_model/deadline_ms
+             fields) and shutdown (graceful drain; --prom then writes
+             the final Prometheus snapshot, --drain-timeout-ms bounds
+             the wait). Requests pass watermark load shedding,
+             per-tenant circuit breakers, deadline propagation and
+             jittered retries; refusals and failures come back typed
+             with Retry-After hints. --smoke runs the self-check: a
+             scripted client drives the protocol (plus injected faults
+             in failpoints builds) and fails on any deviation. See
+             docs/service.md.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -232,6 +261,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "fuzz" => cmd_fuzz(&args[1..], out),
         "perf" => cmd_perf(&args[1..], out),
         "load" => cmd_load(&args[1..], out),
+        "serve" => cmd_serve(&args[1..], out),
         "flame" => cmd_flame(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -260,13 +290,15 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 6] = [
+const FLAG_OPTIONS: [&str; 8] = [
     "metrics",
     "batch",
     "degrade",
     "minimize",
     "counters-only",
     "cache",
+    "chaos",
+    "smoke",
 ];
 
 /// Splits `args` into positionals and `--key value` options.
@@ -1118,8 +1150,36 @@ fn cmd_load(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     let mut json_path: Option<&str> = None;
     let mut prom_path: Option<&str> = None;
     let mut min_hit_rate: Option<f64> = None;
+    let mut chaos = false;
+    let mut chaos_tuned = false;
+    let mut chaos_config = ChaosConfig::default();
     for (key, value) in options {
         match key {
+            "chaos" => chaos = true,
+            "drivers" => {
+                chaos_tuned = true;
+                chaos_config.drivers = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&d| d >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid driver count `{value}`")))?;
+            }
+            "burst-faults" => {
+                chaos_tuned = true;
+                chaos_config.burst_faults = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&f| f >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid fault count `{value}`")))?;
+            }
+            "recheck" => {
+                chaos_tuned = true;
+                chaos_config.recheck_samples = value
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&s| s >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid sample count `{value}`")))?;
+            }
             "requests" => {
                 config.requests = value
                     .parse::<usize>()
@@ -1177,8 +1237,42 @@ fn cmd_load(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
         }
     }
+    if !chaos && chaos_tuned {
+        return Err(CliError::Usage(
+            "--drivers/--burst-faults/--recheck require --chaos".into(),
+        ));
+    }
     let registry = prom_path.map(|_| MetricsRegistry::new());
     let registry_obs = registry.as_ref().map(RegistryObserver::new);
+    if chaos {
+        if min_hit_rate.is_some() {
+            return Err(CliError::Usage(
+                "--min-hit-rate applies to the plain load gate; --chaos has its own gates".into(),
+            ));
+        }
+        chaos_config.load = config;
+        let report = match &registry_obs {
+            Some(obs) => run_chaos(&chaos_config, obs),
+            None => run_chaos(&chaos_config, &NoopObserver),
+        }
+        .map_err(CliError::Regression)?;
+        drop(registry_obs);
+        if let (Some(registry), Some(path)) = (registry, prom_path) {
+            std::fs::write(path, registry.snapshot().to_prometheus())?;
+        }
+        write!(out, "{}", report.render())?;
+        if let Some(path) = json_path {
+            std::fs::write(path, report.to_json())?;
+            writeln!(out, "\nwrote {path}")?;
+        }
+        report.verify().map_err(CliError::Regression)?;
+        writeln!(
+            out,
+            "\nchaos gates passed: breaker opened {}x and reclosed, {} answers re-checked, 0 wrong plans",
+            report.breaker_opens, report.rechecked
+        )?;
+        return Ok(());
+    }
     let report = match &registry_obs {
         Some(obs) => run_load_observed(&config, obs),
         None => run_load(&config),
@@ -1211,6 +1305,93 @@ fn cmd_load(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
             report.completed, report.hit_rate
         )?;
     }
+    Ok(())
+}
+
+/// `joinopt serve`: run the optimizer as a long-lived newline-JSON
+/// server (TCP or unix socket) with the hardened gateway lifecycle —
+/// load shedding, per-tenant breakers, deadline propagation, retries
+/// and graceful drain. `--smoke` runs the scripted protocol self-check
+/// instead and fails on any deviation.
+fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes options only, got `{}`",
+            positional.join(" ")
+        )));
+    }
+    let mut config = ServerConfig {
+        listen: Listen::Tcp("127.0.0.1:4006".into()),
+        ..ServerConfig::default()
+    };
+    let mut run_smoke = false;
+    let mut listen_set = false;
+    for (key, value) in options {
+        match key {
+            "smoke" => run_smoke = true,
+            "addr" => {
+                if listen_set {
+                    return Err(CliError::Usage("--addr and --unix are exclusive".into()));
+                }
+                config.listen = Listen::Tcp(value.to_string());
+                listen_set = true;
+            }
+            "unix" => {
+                if listen_set {
+                    return Err(CliError::Usage("--addr and --unix are exclusive".into()));
+                }
+                config.listen = Listen::Unix(value.into());
+                listen_set = true;
+            }
+            "prom" => config.prom_path = Some(value.into()),
+            "drain-timeout-ms" => {
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("invalid drain timeout `{value}`")))?;
+                config.drain_timeout = std::time::Duration::from_millis(ms);
+            }
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+
+    if run_smoke {
+        if listen_set {
+            return Err(CliError::Usage(
+                "--smoke picks its own loopback port; drop --addr/--unix".into(),
+            ));
+        }
+        let transcript = smoke(config.prom_path.as_deref()).map_err(CliError::Regression)?;
+        for line in &transcript {
+            writeln!(out, "smoke: {line}")?;
+        }
+        writeln!(out, "\nserve smoke passed: {} checks", transcript.len())?;
+        return Ok(());
+    }
+
+    let listen_desc = match &config.listen {
+        Listen::Tcp(addr) => addr.clone(),
+        Listen::Unix(path) => path.display().to_string(),
+    };
+    let server = Server::bind(config).map_err(CliError::Io)?;
+    match server.local_addr() {
+        Some(addr) => writeln!(out, "listening on {addr} (newline-delimited JSON)")?,
+        None => writeln!(out, "listening on {listen_desc} (newline-delimited JSON)")?,
+    }
+    out.flush()?;
+    let summary = server.run().map_err(CliError::Io)?;
+    writeln!(
+        out,
+        "serve done: {} connection(s), {} accepted, {} completed, {} failed, {} shed, \
+         {} breaker-rejected, drained: {}",
+        summary.connections,
+        summary.stats.accepted,
+        summary.stats.completed,
+        summary.stats.failed,
+        summary.stats.shed,
+        summary.stats.breaker_rejected,
+        summary.drained
+    )?;
     Ok(())
 }
 

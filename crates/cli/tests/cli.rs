@@ -485,9 +485,11 @@ fn load_reports_hits_and_gates_on_hit_rate() {
         .expect("parseable report");
     assert_eq!(
         report.get("schema").and_then(|s| s.as_str()),
-        Some("joinopt-load-v1")
+        Some("joinopt-load-v2")
     );
     assert_eq!(report.get("errors").and_then(|e| e.as_u64()), Some(0));
+    let breakdown = report.get("errors_by_type").expect("v2 error breakdown");
+    assert_eq!(breakdown.get("timeout").and_then(|v| v.as_u64()), Some(0));
     assert!(report.get("hits").and_then(|h| h.as_u64()).unwrap() > 0);
 }
 
@@ -1267,4 +1269,79 @@ fn perf_streams_telemetry_to_trace_and_prom_files() {
 
     let prom_text = std::fs::read_to_string(&*prom).expect("prom written");
     assert!(prom_text.contains("joinopt_runs_total"), "{prom_text}");
+}
+
+#[test]
+fn load_chaos_rejects_misused_options() {
+    // Chaos-tuning flags are meaningless for the plain load gate.
+    let err = run_err(&["load", "--drivers", "4"]);
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("require --chaos")),
+        "{err}"
+    );
+    assert!(matches!(
+        run_err(&["load", "--burst-faults", "10"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["load", "--recheck", "8"]),
+        CliError::Usage(_)
+    ));
+    // The hit-rate floor belongs to the plain gate; chaos has its own.
+    let err = run_err(&["load", "--chaos", "--min-hit-rate", "0.5"]);
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("--chaos")),
+        "{err}"
+    );
+    assert!(matches!(
+        run_err(&["load", "--chaos", "--drivers", "0"]),
+        CliError::Usage(_)
+    ));
+}
+
+// Without the failpoints cfg there is nothing to inject, so the chaos
+// harness must refuse loudly instead of "passing" a burst-free run.
+// (The affirmative chaos run is exercised in the bench crate's own
+// integration test and by the ci.sh gate, both under the failpoints
+// build.)
+#[cfg(not(failpoints))]
+#[test]
+fn load_chaos_refuses_without_failpoints_build() {
+    let err = run_err(&["load", "--chaos", "--requests", "20"]);
+    assert!(
+        matches!(&err, CliError::Regression(m) if m.contains("failpoints")),
+        "{err}"
+    );
+}
+
+#[test]
+fn serve_rejects_bad_options() {
+    assert!(matches!(
+        run_err(&["serve", "positional"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["serve", "--bogus", "x"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["serve", "--drain-timeout-ms", "soon"]),
+        CliError::Usage(_)
+    ));
+    let err = run_err(&[
+        "serve",
+        "--addr",
+        "127.0.0.1:0",
+        "--unix",
+        "/tmp/joinopt-test.sock",
+    ]);
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("exclusive")),
+        "{err}"
+    );
+    let err = run_err(&["serve", "--smoke", "--addr", "127.0.0.1:0"]);
+    assert!(
+        matches!(&err, CliError::Usage(m) if m.contains("loopback")),
+        "{err}"
+    );
 }

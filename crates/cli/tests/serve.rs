@@ -1,0 +1,37 @@
+//! The `joinopt serve --smoke` self-check, isolated in its own test
+//! binary: under the failpoints build the smoke script arms
+//! process-global failpoints (`serve-worker-panic`,
+//! `serve-cache-poison`), which must not race sibling CLI tests that
+//! drive the optimizer service in the same process.
+
+use joinopt_cli::run;
+
+#[test]
+fn serve_smoke_passes_and_flushes_prometheus() {
+    let prom =
+        std::env::temp_dir().join(format!("joinopt-serve-smoke-{}.prom", std::process::id()));
+    let args: Vec<String> = [
+        "serve",
+        "--smoke",
+        "--prom",
+        prom.to_str().expect("utf8 temp path"),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut out = Vec::new();
+    run(&args, &mut out).unwrap_or_else(|e| panic!("serve --smoke failed: {e}"));
+    let text = String::from_utf8(out).expect("utf8 output");
+
+    assert!(text.contains("serve smoke passed"), "{text}");
+    // The transcript narrates the scripted protocol exchange.
+    assert!(text.contains("smoke: "), "{text}");
+    assert!(text.contains("health"), "{text}");
+
+    let prom_text = std::fs::read_to_string(&prom).expect("prometheus flush written");
+    std::fs::remove_file(&prom).ok();
+    assert!(
+        prom_text.contains("joinopt_serve_accepted_total"),
+        "{prom_text}"
+    );
+}

@@ -180,7 +180,6 @@ impl Algorithm {
 pub struct Optimizer {
     algorithm: Algorithm,
     model: Box<dyn CostModel>,
-    threads: usize,
 }
 
 impl Default for Optimizer {
@@ -196,7 +195,6 @@ impl Optimizer {
         Optimizer {
             algorithm: Algorithm::Auto,
             model: Box::new(Cout),
-            threads: 0,
         }
     }
 
@@ -211,20 +209,6 @@ impl Optimizer {
     #[must_use]
     pub fn with_cost_model(mut self, model: impl CostModel + 'static) -> Optimizer {
         self.model = Box::new(model);
-        self
-    }
-
-    /// Sets the worker-thread count for algorithms with a parallel path
-    /// and for [`Optimizer::optimize_batch`]. `0` (the default) means
-    /// [`std::thread::available_parallelism`].
-    #[deprecated(
-        since = "0.1.0",
-        note = "build an `OptimizeRequest` and use its `with_threads` for single queries; \
-                for batches, use the `joinopt-service` entry point which owns its worker pool"
-    )]
-    #[must_use]
-    pub fn with_threads(mut self, threads: usize) -> Optimizer {
-        self.threads = threads;
         self
     }
 
@@ -263,7 +247,6 @@ impl Optimizer {
         crate::request::OptimizeRequest::new(g, catalog)
             .with_algorithm(self.algorithm)
             .with_cost_model(self.model.as_ref())
-            .with_threads(self.threads)
             .with_observer(obs)
             .run()
             .map(crate::request::OptimizeOutcome::into_result)
@@ -310,13 +293,9 @@ impl Optimizer {
         use std::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::mpsc;
 
-        let workers = if self.threads == 0 {
-            crate::request::available_parallelism()
-        } else {
-            self.threads
-        }
-        .min(queries.len())
-        .max(1);
+        let workers = crate::request::available_parallelism()
+            .min(queries.len())
+            .max(1);
 
         // `None` means "allocate a fresh session before the next query" —
         // the state after a panic tore through a pooled session.
@@ -483,10 +462,7 @@ mod tests {
                 workload::family_workload(GraphKind::ALL[seed % 4], 5 + seed % 3, seed as u64)
             })
             .collect();
-        // Deliberately pins the deprecated configuration path until it
-        // is removed.
-        #[allow(deprecated)]
-        let opt = Optimizer::new().with_threads(3);
+        let opt = Optimizer::new();
         let mut queries: Vec<(&QueryGraph, &Catalog)> =
             workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
         // A disconnected graph mid-batch must fail alone.

@@ -194,13 +194,10 @@ fn batch_isolates_invalid_queries_between_valid_ones() {
         good.iter().map(|w| (&w.graph, &w.catalog)).collect();
     queries.insert(1, (&disconnected, &disc_cat));
     queries.insert(3, (&empty, &empty_cat));
-    for threads in [1, 3] {
-        // Deliberately exercises the deprecated configuration path
-        // until it is removed.
-        #[allow(deprecated)]
-        let results = Optimizer::new()
-            .with_threads(threads)
-            .optimize_batch(&queries);
+    // Twice on the same optimizer: worker count is automatic now, and
+    // isolation must hold on a fresh pool and on a reused one alike.
+    for _ in 0..2 {
+        let results = Optimizer::new().optimize_batch(&queries);
         assert_eq!(results.len(), 6);
         assert!(results[1].is_err() && results[3].is_err());
         for i in [0, 2, 4, 5] {
@@ -359,24 +356,32 @@ mod failpoints {
             .collect();
         let queries: Vec<(&QueryGraph, &Catalog)> =
             workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
-        // One panic, single worker: the first query blows up, the rest
-        // must complete on a fresh session.
+        // One panic: exactly one query blows up (worker count is
+        // automatic now, so whichever worker reaches a table insert
+        // first consumes the trigger) and the rest must complete on
+        // fresh sessions.
         failpoint::configure_times("table-insert", FailAction::Panic, 1);
         let results = Optimizer::new()
             .with_algorithm(Algorithm::DpCcp)
-            .with_threads(1)
             .optimize_batch(&queries);
         failpoint::clear_all();
         assert_eq!(results.len(), 3);
-        let err = results[0].as_ref().unwrap_err();
-        assert!(
-            matches!(err, OptimizeError::Internal(m) if m.contains("panic")),
-            "{err}"
-        );
-        for (i, r) in results.iter().enumerate().skip(1) {
-            let ok = r.as_ref().unwrap_or_else(|e| panic!("query {i}: {e}"));
-            assert_eq!(ok.tree.relations(), workloads[i].graph.all_relations());
+        let mut panicked = 0;
+        for (i, r) in results.iter().enumerate() {
+            match r {
+                Err(e) => {
+                    assert!(
+                        matches!(e, OptimizeError::Internal(m) if m.contains("panic")),
+                        "query {i}: {e}"
+                    );
+                    panicked += 1;
+                }
+                Ok(ok) => {
+                    assert_eq!(ok.tree.relations(), workloads[i].graph.all_relations());
+                }
+            }
         }
+        assert_eq!(panicked, 1, "exactly one query consumes the trigger");
     }
 
     #[test]
@@ -394,11 +399,7 @@ mod failpoints {
         let queries: Vec<(&QueryGraph, &Catalog)> =
             workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
         failpoint::configure("table-insert", FailAction::Panic);
-        // Pins the deprecated thread knob until it is removed.
-        #[allow(deprecated)]
-        let optimizer = Optimizer::new()
-            .with_algorithm(Algorithm::DpCcp)
-            .with_threads(2);
+        let optimizer = Optimizer::new().with_algorithm(Algorithm::DpCcp);
         let results = optimizer.optimize_batch(&queries);
         failpoint::clear_all();
         assert_eq!(results.len(), 4);

@@ -529,9 +529,7 @@ fn batch_observed_traces_tag_every_run_with_a_thread_id() {
     let workloads = [make(6, 0), make(7, 1), make(8, 2), make(6, 3)];
     let pairs: Vec<_> = workloads.iter().map(|w| (&w.graph, &w.catalog)).collect();
 
-    // Pins the deprecated thread knob until it is removed.
-    #[allow(deprecated)]
-    let optimizer = Optimizer::new().with_threads(2);
+    let optimizer = Optimizer::new();
     let trace = TraceWriter::new(Vec::new());
     let results = optimizer.optimize_batch_observed(&pairs, &trace);
     assert_eq!(results.len(), 4);

@@ -19,7 +19,15 @@
 //! * [`service`] — [`ServiceRequest`] (owned spec + tenant + priority +
 //!   budgets) and [`OptimizerService`], a batch executor with per-tenant
 //!   admission control riding the core crate's exact → IDP → GOO
-//!   degradation ladder.
+//!   degradation ladder;
+//! * [`clock`] / [`retry`] / [`breaker`] — the injectable clock,
+//!   jittered-backoff retry policy with per-tenant budgets, and the
+//!   per-tenant circuit breaker behind the server;
+//! * [`gateway`] — [`Gateway`], the hardened request lifecycle
+//!   (shedding watermarks, breaker, deadline propagation, retries,
+//!   graceful drain) shared by the TCP server and the chaos harness;
+//! * [`server`] — `joinopt serve`: a dependency-free TCP/unix-socket
+//!   server speaking newline-delimited JSON.
 //!
 //! Like the rest of the workspace the crate is dependency-free; cache
 //! traffic reports through the zero-overhead
@@ -32,13 +40,25 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod breaker;
 pub mod cache;
+pub mod clock;
 pub mod fingerprint;
+pub mod gateway;
+pub mod retry;
+pub mod server;
 pub mod service;
 pub mod spec;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 pub use cache::{CacheConfig, CacheStats, CachedPlan, PlanCache};
+pub use clock::Clock;
 pub use fingerprint::{canonicalize, fingerprints_computed, CanonicalForm, Fingerprint};
+pub use gateway::{
+    error_kind, Gateway, GatewayConfig, GatewayError, GatewayStats, Rejection, ShedConfig,
+};
+pub use retry::{RetryBudget, RetryConfig, RetryPolicy};
+pub use server::{ServeSummary, Server, ServerConfig};
 pub use service::{
     CostModelId, OptimizerService, Priority, ServiceConfig, ServiceOutcome, ServiceRequest,
 };

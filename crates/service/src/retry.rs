@@ -1,0 +1,223 @@
+//! Retry policy for transient server-side failures: seeded jittered
+//! exponential backoff plus a per-tenant retry *budget*.
+//!
+//! The gateway retries a request only when the failure is transient
+//! (an isolated internal error or worker panic — never a parse error
+//! or a tripped budget), the attempt count is under
+//! [`RetryConfig::max_retries`], and the tenant's budget has a token
+//! left. The budget is a bucket refilled by successful requests
+//! ([`RetryConfig::deposit_millitokens`] per success, capped at
+//! [`RetryConfig::budget_millitokens`]), so sustained failure cannot
+//! amplify load: once the bucket is dry, requests fail after their
+//! first attempt until successes refill it.
+//!
+//! Backoff delays are `min(cap, base · 2^attempt)` with *equal jitter*
+//! — the exponential delay halved plus a uniformly random share of the
+//! other half — drawn from a caller-seeded [`XorShift64`], so a fixed
+//! seed pins the whole schedule (see the tests, which assert exact
+//! nanosecond values with zero real sleeps via
+//! [`Clock::manual`](crate::Clock::manual)).
+
+use std::time::Duration;
+
+use joinopt_relset::XorShift64;
+
+/// Millitokens one retry withdraws from the budget.
+const RETRY_COST_MILLITOKENS: u64 = 1000;
+
+/// Tuning for the gateway's retry loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryConfig {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Base backoff delay (the first retry waits about this long).
+    pub base: Duration,
+    /// Upper bound on any single backoff delay.
+    pub cap: Duration,
+    /// Per-tenant budget bucket capacity in millitokens (one retry
+    /// costs 1000).
+    pub budget_millitokens: u64,
+    /// Millitokens credited to the tenant per successful request.
+    pub deposit_millitokens: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            max_retries: 2,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(100),
+            budget_millitokens: 10 * RETRY_COST_MILLITOKENS,
+            deposit_millitokens: 500,
+        }
+    }
+}
+
+/// The seeded backoff schedule: owns the jitter RNG so a fixed seed
+/// yields a fixed delay sequence.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    config: RetryConfig,
+    rng: XorShift64,
+}
+
+impl RetryPolicy {
+    /// A policy drawing jitter from a stream seeded with `seed`.
+    pub fn new(config: RetryConfig, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            config,
+            rng: XorShift64::seed_from_u64(seed ^ 0x5265_7472_794a_6974), // "RetryJit"
+        }
+    }
+
+    /// The policy's configuration.
+    pub fn config(&self) -> &RetryConfig {
+        &self.config
+    }
+
+    /// Whether a transient failure on 0-based `attempt` may be retried
+    /// at all (budget permitting — that check is the tenant's).
+    pub fn allows(&self, attempt: u32) -> bool {
+        attempt < self.config.max_retries
+    }
+
+    /// The jittered delay before 0-based retry `attempt`: exponential
+    /// `min(cap, base · 2^attempt)`, then equal jitter in
+    /// `[delay/2, delay]`. Consumes one RNG draw, so the schedule is a
+    /// pure function of the seed and the attempt sequence.
+    pub fn backoff(&mut self, attempt: u32) -> Duration {
+        let base_ns = u64::try_from(self.config.base.as_nanos()).unwrap_or(u64::MAX);
+        let cap_ns = u64::try_from(self.config.cap.as_nanos()).unwrap_or(u64::MAX);
+        let exp_ns = base_ns
+            .checked_shl(attempt.min(32))
+            .unwrap_or(cap_ns)
+            .min(cap_ns);
+        let half = exp_ns / 2;
+        let jitter = if half == 0 {
+            0
+        } else {
+            self.rng.next_u64() % (half + 1)
+        };
+        Duration::from_nanos(half + jitter)
+    }
+}
+
+/// One tenant's retry budget: a millitoken bucket spent by retries and
+/// refilled by successes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryBudget {
+    millitokens: u64,
+    cap: u64,
+    deposit: u64,
+}
+
+impl RetryBudget {
+    /// A bucket starting full under `config`'s capacity.
+    pub fn new(config: &RetryConfig) -> RetryBudget {
+        RetryBudget {
+            millitokens: config.budget_millitokens,
+            cap: config.budget_millitokens,
+            deposit: config.deposit_millitokens,
+        }
+    }
+
+    /// Current balance in millitokens.
+    pub fn balance_millitokens(&self) -> u64 {
+        self.millitokens
+    }
+
+    /// Withdraws one retry's worth of tokens; `false` (and no
+    /// withdrawal) when the bucket cannot cover it.
+    pub fn try_withdraw(&mut self) -> bool {
+        if self.millitokens >= RETRY_COST_MILLITOKENS {
+            self.millitokens -= RETRY_COST_MILLITOKENS;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Credits one success's deposit, saturating at the cap.
+    pub fn deposit(&mut self) {
+        self.millitokens = (self.millitokens + self.deposit).min(self.cap);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_pinned_by_the_seed() {
+        let config = RetryConfig {
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(64),
+            ..RetryConfig::default()
+        };
+        let mut a = RetryPolicy::new(config.clone(), 42);
+        let mut b = RetryPolicy::new(config, 42);
+        let schedule_a: Vec<u64> = (0..6).map(|i| a.backoff(i).as_nanos() as u64).collect();
+        let schedule_b: Vec<u64> = (0..6).map(|i| b.backoff(i).as_nanos() as u64).collect();
+        assert_eq!(schedule_a, schedule_b, "same seed, same schedule");
+        // Equal jitter keeps every delay in [exp/2, exp] with the
+        // exponential capped at 64ms.
+        for (i, &ns) in schedule_a.iter().enumerate() {
+            let exp = (4_000_000u64 << i).min(64_000_000);
+            assert!(ns >= exp / 2 && ns <= exp, "attempt {i}: {ns}ns");
+        }
+        let mut c = RetryPolicy::new(
+            RetryConfig {
+                base: Duration::from_millis(4),
+                cap: Duration::from_millis(64),
+                ..RetryConfig::default()
+            },
+            43,
+        );
+        let schedule_c: Vec<u64> = (0..6).map(|i| c.backoff(i).as_nanos() as u64).collect();
+        assert_ne!(schedule_a, schedule_c, "different seed, different jitter");
+    }
+
+    #[test]
+    fn backoff_caps_even_for_huge_attempts() {
+        let mut p = RetryPolicy::new(RetryConfig::default(), 7);
+        let d = p.backoff(63);
+        assert!(d <= Duration::from_millis(100));
+        assert!(d >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn allows_respects_max_retries() {
+        let p = RetryPolicy::new(
+            RetryConfig {
+                max_retries: 2,
+                ..RetryConfig::default()
+            },
+            1,
+        );
+        assert!(p.allows(0));
+        assert!(p.allows(1));
+        assert!(!p.allows(2));
+    }
+
+    #[test]
+    fn budget_dries_out_and_refills_on_success() {
+        let config = RetryConfig {
+            budget_millitokens: 2500,
+            deposit_millitokens: 1000,
+            ..RetryConfig::default()
+        };
+        let mut budget = RetryBudget::new(&config);
+        assert!(budget.try_withdraw());
+        assert!(budget.try_withdraw());
+        // 500 left: cannot cover a third retry.
+        assert!(!budget.try_withdraw());
+        assert_eq!(budget.balance_millitokens(), 500);
+        budget.deposit();
+        assert!(budget.try_withdraw());
+        // Deposits saturate at the cap.
+        for _ in 0..10 {
+            budget.deposit();
+        }
+        assert_eq!(budget.balance_millitokens(), 2500);
+    }
+}

@@ -1,0 +1,1035 @@
+//! `joinopt serve`: a dependency-free long-running server over the
+//! [`Gateway`].
+//!
+//! The server listens on a TCP address or a unix socket and speaks
+//! **newline-delimited JSON**: one request object per line, one
+//! response object per line, in order, per connection. Each connection
+//! gets its own thread and its own pooled optimizer
+//! [`Session`](joinopt_core::Session); every optimize request runs the
+//! gateway's full hardened lifecycle (shedding → breaker → deadline
+//! propagation → retries; see [`crate::gateway`]).
+//!
+//! ## Protocol verbs
+//!
+//! | verb       | request fields                                        | response |
+//! |------------|-------------------------------------------------------|----------|
+//! | `health`   | —                                                     | `status: ok` (liveness) |
+//! | `ready`    | —                                                     | `ready: true` unless draining |
+//! | `stats`    | —                                                     | gateway + cache counters |
+//! | `optimize` | `query` (DSL/SQL text), `id?`, `tenant?`, `priority?`, `algorithm?`, `cost_model?`, `deadline_ms?`, `time_budget_ms?`, `cost_budget?`, `memory_budget?`, `degrade?` | plan summary, or a typed rejection/error |
+//! | `shutdown` | —                                                     | `status: ok`, then graceful drain |
+//!
+//! Responses carry `status`: `"ok"`, `"rejected"` (gateway refusal
+//! with `error_type` ∈ {`shed`, `breaker-open`, `draining`} and a
+//! `retry_after_ms` hint) or `"error"` (`error_type` ∈ {`timeout`,
+//! `memory`, `panic`, `parse`, `invalid`, …} with a message).
+//! `deadline_ms` above [`MAX_DEADLINE_MS`] is rejected as `invalid`
+//! before any work happens.
+//!
+//! ## Shutdown
+//!
+//! On the `shutdown` verb (or [`ShutdownHandle::shutdown`]) the server
+//! stops accepting connections, the gateway begins draining (new
+//! requests get typed `draining` rejections), every in-flight request
+//! runs to completion, connection threads exit, and the final metrics
+//! snapshot — including the `joinopt_serve_*_total` series — is
+//! flushed to the configured Prometheus path and returned in the
+//! [`ServeSummary`].
+//!
+//! The `serve-accept` failpoint site fires per accepted connection
+//! (when armed the connection is dropped before any read — clients see
+//! a reset, the accept loop survives). See `docs/robustness.md`.
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use joinopt_core::{Algorithm, Session};
+use joinopt_telemetry::json::{write_escaped, write_f64, JsonValue};
+use joinopt_telemetry::{MetricsRegistry, Observer, RegistryObserver};
+
+use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats};
+use crate::service::{CostModelId, OptimizerService, Priority, ServiceConfig, ServiceRequest};
+use crate::spec::QuerySpec;
+
+/// Largest accepted `deadline_ms` (one hour). Anything larger is a
+/// protocol error — an oversized deadline is always a client bug, and
+/// admitting it would pin queue slots for an absurd window.
+pub const MAX_DEADLINE_MS: u64 = 3_600_000;
+
+/// How often blocked reads and the accept loop re-check the shutdown
+/// flag.
+const POLL: Duration = Duration::from_millis(10);
+
+/// Where the server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Listen {
+    /// A TCP address like `127.0.0.1:7878` (port 0 picks a free port).
+    Tcp(String),
+    /// A unix-domain socket path (a stale file is replaced).
+    Unix(PathBuf),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address.
+    pub listen: Listen,
+    /// Sizing of the underlying [`OptimizerService`] (cache, limits).
+    pub service: ServiceConfig,
+    /// Gateway hardening (shedding, retries, breaker).
+    pub gateway: GatewayConfig,
+    /// How long the final drain may wait for in-flight requests.
+    pub drain_timeout: Duration,
+    /// When set, the final metrics snapshot is written here in
+    /// Prometheus exposition format.
+    pub prom_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: Listen::Tcp("127.0.0.1:0".into()),
+            service: ServiceConfig::default(),
+            gateway: GatewayConfig::default(),
+            drain_timeout: Duration::from_secs(30),
+            prom_path: None,
+        }
+    }
+}
+
+/// What a completed serve run looked like.
+#[derive(Debug)]
+pub struct ServeSummary {
+    /// Final gateway counters.
+    pub stats: GatewayStats,
+    /// Whether the drain completed within the timeout.
+    pub drained: bool,
+    /// In-flight requests that completed during the drain.
+    pub drained_in_flight: usize,
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Connections dropped by the `serve-accept` failpoint.
+    pub accept_faults: u64,
+    /// The final metrics flush in Prometheus exposition format.
+    pub prometheus: String,
+}
+
+/// Requests the accept loop to stop; usable from any thread.
+#[derive(Debug, Clone)]
+pub struct ShutdownHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl ShutdownHandle {
+    /// Signals the server to drain and exit.
+    pub fn shutdown(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener),
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Unix(UnixStream),
+}
+
+impl Stream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn try_clone(&self) -> std::io::Result<Stream> {
+        Ok(match self {
+            Stream::Tcp(s) => Stream::Tcp(s.try_clone()?),
+            Stream::Unix(s) => Stream::Unix(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// The bound-but-not-yet-running server.
+pub struct Server {
+    config: ServerConfig,
+    listener: Listener,
+    local_addr: Option<SocketAddr>,
+    gateway: Gateway,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the configured listener (without accepting yet).
+    pub fn bind(config: ServerConfig) -> std::io::Result<Server> {
+        let listener = match &config.listen {
+            Listen::Tcp(addr) => Listener::Tcp(TcpListener::bind(addr)?),
+            Listen::Unix(path) => {
+                // A stale socket file from a dead process would make
+                // bind fail with AddrInUse; replace it.
+                let _ = std::fs::remove_file(path);
+                Listener::Unix(UnixListener::bind(path)?)
+            }
+        };
+        let local_addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().ok(),
+            Listener::Unix(_) => None,
+        };
+        let gateway = Gateway::new(
+            OptimizerService::new(config.service.clone()),
+            config.gateway.clone(),
+        );
+        Ok(Server {
+            config,
+            listener,
+            local_addr,
+            gateway,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound TCP address (`None` for unix sockets) — lets callers
+    /// bind port 0 and discover the real port.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// A handle that stops the server from another thread.
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            flag: Arc::clone(&self.shutdown),
+        }
+    }
+
+    /// Runs until a `shutdown` verb or [`ShutdownHandle::shutdown`],
+    /// then drains gracefully and returns the summary.
+    pub fn run(self) -> std::io::Result<ServeSummary> {
+        let registry = MetricsRegistry::new();
+        let obs = RegistryObserver::new(&registry);
+        let gateway = &self.gateway;
+        let shutdown = &self.shutdown;
+        let mut connections = 0u64;
+        let mut accept_faults = 0u64;
+
+        match &self.listener {
+            Listener::Tcp(l) => l.set_nonblocking(true)?,
+            Listener::Unix(l) => l.set_nonblocking(true)?,
+        }
+
+        std::thread::scope(|scope| -> std::io::Result<()> {
+            while !shutdown.load(Ordering::SeqCst) {
+                let accepted = match &self.listener {
+                    Listener::Tcp(l) => l.accept().map(|(s, _)| Stream::Tcp(s)),
+                    Listener::Unix(l) => l.accept().map(|(s, _)| Stream::Unix(s)),
+                };
+                match accepted {
+                    Ok(stream) => {
+                        if joinopt_core::failpoint::check("serve-accept").is_err() {
+                            // Injected accept failure: the connection is
+                            // dropped before any read, the loop lives on.
+                            accept_faults += 1;
+                            continue;
+                        }
+                        connections += 1;
+                        let obs = &obs;
+                        scope.spawn(move || {
+                            let _ = serve_connection(gateway, shutdown, stream, obs);
+                        });
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        std::thread::sleep(POLL);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            // The accept loop is done; the scope now joins every
+            // connection thread, each of which finishes its in-flight
+            // request (admitted pre-drain) before exiting.
+            Ok(())
+        })?;
+
+        // Belt and braces: a ShutdownHandle stop skips the verb path.
+        if !gateway.is_draining() {
+            gateway.begin_drain();
+        }
+        let drained = gateway.await_drained(self.config.drain_timeout, &obs);
+        let prometheus = registry.snapshot().to_prometheus();
+        if let Some(path) = &self.config.prom_path {
+            std::fs::write(path, &prometheus)?;
+        }
+        if let Listen::Unix(path) = &self.config.listen {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(ServeSummary {
+            stats: gateway.stats(),
+            drained: drained.is_ok(),
+            drained_in_flight: drained.unwrap_or(0),
+            connections,
+            accept_faults,
+            prometheus,
+        })
+    }
+}
+
+/// One connection's read → dispatch → respond loop.
+fn serve_connection(
+    gateway: &Gateway,
+    shutdown: &AtomicBool,
+    stream: Stream,
+    obs: &dyn Observer,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut session: Option<Session> = None;
+    let mut line = String::new();
+    loop {
+        // Close idle connections once draining; a partially read
+        // request (non-empty buffer) is always completed and answered.
+        if shutdown.load(Ordering::SeqCst) && line.is_empty() {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let text = line.trim().to_string();
+                line.clear();
+                if text.is_empty() {
+                    continue;
+                }
+                let (response, is_shutdown) = dispatch(gateway, shutdown, &text, &mut session, obs);
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if is_shutdown {
+                    return Ok(());
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(()), // connection torn down
+        }
+    }
+}
+
+/// Parses one request line and produces the response line. The second
+/// component is `true` when the verb was `shutdown`.
+fn dispatch(
+    gateway: &Gateway,
+    shutdown: &AtomicBool,
+    text: &str,
+    session: &mut Option<Session>,
+    obs: &dyn Observer,
+) -> (String, bool) {
+    let parsed = match JsonValue::parse(text) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                error_response("?", None, "invalid", &format!("bad request JSON: {e:?}")),
+                false,
+            )
+        }
+    };
+    let id = parsed
+        .get("id")
+        .and_then(|v| v.as_str())
+        .map(str::to_string);
+    let verb = parsed.get("verb").and_then(|v| v.as_str()).unwrap_or("");
+    match verb {
+        "health" => (simple_ok("health", id.as_deref()), false),
+        "ready" => {
+            let mut s = String::from("{\"verb\":\"ready\",\"status\":\"ok\",\"ready\":");
+            s.push_str(if gateway.is_draining() {
+                "false"
+            } else {
+                "true"
+            });
+            push_id(&mut s, id.as_deref());
+            s.push('}');
+            (s, false)
+        }
+        "stats" => (stats_response(gateway, id.as_deref()), false),
+        "shutdown" => {
+            // Respond first (the flush happens before the flag is
+            // visible to this connection's loop), then drain.
+            gateway.begin_drain();
+            shutdown.store(true, Ordering::SeqCst);
+            (simple_ok("shutdown", id.as_deref()), true)
+        }
+        "optimize" => (
+            optimize_response(gateway, &parsed, id.as_deref(), session, obs),
+            false,
+        ),
+        other => (
+            error_response(
+                "?",
+                id.as_deref(),
+                "invalid",
+                &format!("unknown verb {other:?}"),
+            ),
+            false,
+        ),
+    }
+}
+
+fn simple_ok(verb: &str, id: Option<&str>) -> String {
+    let mut s = format!("{{\"verb\":\"{verb}\",\"status\":\"ok\"");
+    push_id(&mut s, id);
+    s.push('}');
+    s
+}
+
+fn push_id(out: &mut String, id: Option<&str>) {
+    if let Some(id) = id {
+        out.push_str(",\"id\":");
+        write_escaped(out, id);
+    }
+}
+
+fn error_response(verb: &str, id: Option<&str>, error_type: &str, message: &str) -> String {
+    let mut s = format!(
+        "{{\"verb\":\"{verb}\",\"status\":\"error\",\"error_type\":\"{error_type}\",\"message\":"
+    );
+    write_escaped(&mut s, message);
+    push_id(&mut s, id);
+    s.push('}');
+    s
+}
+
+fn stats_response(gateway: &Gateway, id: Option<&str>) -> String {
+    let st = gateway.stats();
+    let mut s = format!(
+        "{{\"verb\":\"stats\",\"status\":\"ok\",\"accepted\":{},\"completed\":{},\"failed\":{},\
+         \"shed\":{},\"breaker_rejected\":{},\"retried\":{},\"breaker_opens\":{},\"in_flight\":{}",
+        st.accepted,
+        st.completed,
+        st.failed,
+        st.shed,
+        st.breaker_rejected,
+        st.retried,
+        st.breaker_opens,
+        st.in_flight
+    );
+    if let Some(cache) = gateway.service().cache() {
+        let cs = cache.stats();
+        s.push_str(&format!(
+            ",\"cache_hits\":{},\"cache_misses\":{},\"cache_bytes\":{}",
+            cs.hits,
+            cs.misses,
+            cache.bytes()
+        ));
+    }
+    push_id(&mut s, id);
+    s.push('}');
+    s
+}
+
+/// Builds and runs one optimize request through the gateway.
+fn optimize_response(
+    gateway: &Gateway,
+    parsed: &JsonValue,
+    id: Option<&str>,
+    session: &mut Option<Session>,
+    obs: &dyn Observer,
+) -> String {
+    let (req, deadline) = match build_request(parsed) {
+        Ok(pair) => pair,
+        Err((error_type, message)) => return error_response("optimize", id, error_type, &message),
+    };
+    match gateway.handle(&req, deadline, session, obs) {
+        Ok(outcome) => {
+            let mut s = String::from("{\"verb\":\"optimize\",\"status\":\"ok\",\"cost\":");
+            write_f64(&mut s, outcome.result.cost);
+            s.push_str(",\"cardinality\":");
+            write_f64(&mut s, outcome.result.cardinality);
+            s.push_str(&format!(
+                ",\"relations\":{},\"algorithm\":\"{}\",\"cache_hit\":{}",
+                outcome.result.tree.num_relations(),
+                algorithm_name(outcome.algorithm),
+                outcome.cache_hit
+            ));
+            if let Some(d) = &outcome.degradation {
+                s.push_str(&format!(",\"degraded\":\"{}\"", d.rung.as_str()));
+            }
+            s.push_str(&format!(
+                ",\"elapsed_us\":{}",
+                outcome.elapsed.as_micros().min(u128::from(u64::MAX))
+            ));
+            push_id(&mut s, id);
+            s.push('}');
+            s
+        }
+        Err(GatewayError::Rejected(r)) => {
+            let mut s = format!(
+                "{{\"verb\":\"optimize\",\"status\":\"rejected\",\"error_type\":\"{}\",\
+                 \"retry_after_ms\":{}",
+                r.kind(),
+                r.retry_after().as_millis().max(1)
+            );
+            push_id(&mut s, id);
+            s.push('}');
+            s
+        }
+        Err(GatewayError::Failed(e)) => error_response(
+            "optimize",
+            id,
+            crate::gateway::error_kind(&e),
+            &e.to_string(),
+        ),
+    }
+}
+
+/// Extracts a [`ServiceRequest`] + lifecycle deadline from the JSON
+/// request, or a typed (`error_type`, message) pair.
+#[allow(clippy::type_complexity)]
+fn build_request(
+    parsed: &JsonValue,
+) -> Result<(ServiceRequest, Option<Duration>), (&'static str, String)> {
+    let query = parsed
+        .get("query")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| ("invalid", "missing \"query\" field".to_string()))?;
+    let spec = parse_query_text(query).map_err(|m| ("parse", m))?;
+    let mut req = ServiceRequest::new(spec);
+    if let Some(t) = parsed.get("tenant").and_then(|v| v.as_str()) {
+        req = req.with_tenant(t);
+    }
+    if let Some(p) = parsed.get("priority").and_then(|v| v.as_str()) {
+        let p = Priority::parse(p).ok_or_else(|| ("invalid", format!("unknown priority {p:?}")))?;
+        req = req.with_priority(p);
+    }
+    if let Some(a) = parsed.get("algorithm").and_then(|v| v.as_str()) {
+        let a =
+            Algorithm::parse(a).ok_or_else(|| ("invalid", format!("unknown algorithm {a:?}")))?;
+        req = req.with_algorithm(a);
+    }
+    if let Some(m) = parsed.get("cost_model").and_then(|v| v.as_str()) {
+        let m = CostModelId::parse(m)
+            .ok_or_else(|| ("invalid", format!("unknown cost model {m:?}")))?;
+        req = req.with_cost_model(m);
+    }
+    let deadline = match parsed.get("deadline_ms").and_then(|v| v.as_u64()) {
+        Some(ms) if ms > MAX_DEADLINE_MS => {
+            return Err((
+                "invalid",
+                format!("oversized deadline: {ms} ms exceeds the {MAX_DEADLINE_MS} ms maximum"),
+            ))
+        }
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => None,
+    };
+    if let Some(ms) = parsed.get("time_budget_ms").and_then(|v| v.as_u64()) {
+        req = req.with_time_budget(Duration::from_millis(ms));
+    }
+    if let Some(c) = parsed.get("cost_budget").and_then(|v| v.as_f64()) {
+        req = req.with_cost_budget(c);
+    }
+    if let Some(b) = parsed.get("memory_budget").and_then(|v| v.as_u64()) {
+        req = req.with_memory_budget(usize::try_from(b).unwrap_or(usize::MAX));
+    }
+    if parsed.get("degrade").and_then(|v| v.as_bool()) == Some(true) {
+        req = req.with_degradation();
+    }
+    Ok((req, deadline))
+}
+
+/// Parses inline query text — conjunctive SQL or the native DSL, the
+/// same content sniffing as the CLI file loader — into a [`QuerySpec`].
+pub fn parse_query_text(text: &str) -> Result<QuerySpec, String> {
+    let looks_like_sql = text
+        .lines()
+        .map(str::trim_start)
+        .find(|l| !l.is_empty() && !l.starts_with("--") && !l.starts_with('#'))
+        .is_some_and(|l| l.len() >= 6 && l[..6].eq_ignore_ascii_case("select"));
+    let parsed = if looks_like_sql {
+        joinopt_query::parse_sql(text).map_err(|e| e.to_string())?
+    } else {
+        joinopt_query::parse(text).map_err(|e| e.to_string())?
+    };
+    let graph = parsed
+        .graph()
+        .ok_or_else(|| "query has hyperedges; serve supports simple graphs only".to_string())?;
+    QuerySpec::capture(graph, &parsed.catalog).map_err(|e| e.to_string())
+}
+
+/// The wire name of a concrete algorithm (the same lower-case ids
+/// [`Algorithm::parse`] accepts).
+pub fn algorithm_name(a: Algorithm) -> &'static str {
+    match a {
+        Algorithm::DpSize => "dpsize",
+        Algorithm::DpSizeNaive => "dpsize-naive",
+        Algorithm::DpSub => "dpsub",
+        Algorithm::DpSubUnfiltered => "dpsub-nofilter",
+        Algorithm::DpSubCrossProducts => "dpsub-cp",
+        Algorithm::DpCcp => "dpccp",
+        Algorithm::DpSizeLeftDeep => "dpsize-leftdeep",
+        Algorithm::Idp => "idp",
+        Algorithm::SimulatedAnnealing => "sa",
+        Algorithm::TopDown => "topdown",
+        Algorithm::Goo => "goo",
+        Algorithm::Auto => "auto",
+    }
+}
+
+/// A scripted client for tests and the `--smoke` self-check: connects,
+/// sends one line, reads one line.
+pub struct LineClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl LineClient {
+    /// Connects to a TCP server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<LineClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        let writer = stream.try_clone()?;
+        Ok(LineClient {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line, returns the parsed response.
+    pub fn call(&mut self, request: &str) -> std::io::Result<JsonValue> {
+        self.writer.write_all(request.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        JsonValue::parse(line.trim()).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response JSON: {e:?} in {line:?}"),
+            )
+        })
+    }
+}
+
+/// Convenience for smoke assertions: a string field of a response.
+fn field_str(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(|f| f.as_str())
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field {key:?} in {v:?}"))
+}
+
+/// Convenience for smoke assertions: a bool field of a response.
+fn field_bool(v: &JsonValue, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(|f| f.as_bool())
+        .ok_or_else(|| format!("missing bool field {key:?} in {v:?}"))
+}
+
+/// A fresh chain query whose relation names embed `tag`, so each tag
+/// fingerprints (and caches) independently.
+fn smoke_chain(tag: u32) -> String {
+    let names: Vec<String> = (0..4).map(|i| format!("s{tag}_{i}")).collect();
+    let mut q = String::new();
+    for (i, n) in names.iter().enumerate() {
+        // Cardinalities vary with the tag: canonicalization ignores
+        // relation names, so identical statistics would make every tag
+        // the same cached query.
+        q.push_str(&format!(
+            "relation {n} {}\n",
+            (100 + 17 * tag as usize) * (i + 1)
+        ));
+    }
+    for w in names.windows(2) {
+        q.push_str(&format!("join {} {} 0.1\n", w[0], w[1]));
+    }
+    q
+}
+
+fn smoke_optimize(tag: u32, extra: &str) -> String {
+    let mut req = String::from("{\"verb\":\"optimize\"");
+    req.push_str(extra);
+    req.push_str(",\"query\":");
+    write_escaped(&mut req, &smoke_chain(tag));
+    req.push('}');
+    req
+}
+
+/// The `joinopt serve --smoke` self-check: starts a real TCP server in
+/// this process, scripts a client through the whole protocol surface —
+/// health/ready, cold + warm optimize, typed `parse`/`invalid`/
+/// `timeout` errors (including an oversized `deadline_ms`), and, in
+/// `--cfg failpoints` builds, an injected worker panic (typed `panic`
+/// error, accept loop survives) and the `serve-cache-poison` proof
+/// (poisoned fingerprints can only *miss*: the full-encoding check
+/// rejects the collision and the recomputed plan costs the same) — then
+/// shuts down and verifies the drain completed and the final
+/// Prometheus flush is non-empty.
+///
+/// Returns the transcript of checks performed, or the first failure.
+pub fn smoke(prom_path: Option<&std::path::Path>) -> Result<Vec<String>, String> {
+    let mut log: Vec<String> = Vec::new();
+    let server = Server::bind(ServerConfig {
+        prom_path: prom_path.map(std::path::Path::to_path_buf),
+        ..ServerConfig::default()
+    })
+    .map_err(|e| format!("bind: {e}"))?;
+    let addr = server
+        .local_addr()
+        .ok_or_else(|| "no local addr".to_string())?;
+    let handle = std::thread::spawn(move || server.run());
+    let mut client = LineClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let mut call = |req: &str| -> Result<JsonValue, String> {
+        client.call(req).map_err(|e| format!("call {req:?}: {e}"))
+    };
+
+    let health = call("{\"verb\":\"health\"}")?;
+    if field_str(&health, "status")? != "ok" {
+        return Err(format!("health not ok: {health:?}"));
+    }
+    log.push("health: ok".into());
+    let ready = call("{\"verb\":\"ready\"}")?;
+    if !field_bool(&ready, "ready")? {
+        return Err(format!("server not ready: {ready:?}"));
+    }
+    log.push("ready: true".into());
+
+    let cold = call(&smoke_optimize(0, ""))?;
+    if field_str(&cold, "status")? != "ok" || field_bool(&cold, "cache_hit")? {
+        return Err(format!("cold optimize wrong: {cold:?}"));
+    }
+    let warm = call(&smoke_optimize(0, ""))?;
+    if !field_bool(&warm, "cache_hit")? {
+        return Err(format!("warm optimize missed the cache: {warm:?}"));
+    }
+    if warm.get("cost").and_then(|c| c.as_f64()) != cold.get("cost").and_then(|c| c.as_f64()) {
+        return Err(format!("warm cost diverged: {cold:?} vs {warm:?}"));
+    }
+    log.push(format!(
+        "optimize: cold miss + warm hit agree (algorithm {})",
+        field_str(&warm, "algorithm")?
+    ));
+
+    let parse_err = call("{\"verb\":\"optimize\",\"query\":\"gibberish\"}")?;
+    if field_str(&parse_err, "error_type")? != "parse" {
+        return Err(format!("parse error not typed: {parse_err:?}"));
+    }
+    log.push("typed rejection: parse".into());
+
+    let oversized = call(&smoke_optimize(0, ",\"deadline_ms\":86400000"))?;
+    if field_str(&oversized, "error_type")? != "invalid"
+        || !field_str(&oversized, "message")?.contains("oversized deadline")
+    {
+        return Err(format!("oversized deadline not rejected: {oversized:?}"));
+    }
+    log.push("typed rejection: invalid (oversized deadline)".into());
+
+    let expired = call(&smoke_optimize(0, ",\"deadline_ms\":0"))?;
+    if field_str(&expired, "error_type")? != "timeout" {
+        return Err(format!("expired deadline not a timeout: {expired:?}"));
+    }
+    log.push("typed rejection: timeout (expired deadline)".into());
+
+    #[cfg(failpoints)]
+    {
+        use joinopt_core::failpoint;
+
+        // One injected worker panic per attempt: the request exhausts
+        // its retries, surfaces as a typed `panic` error, and the
+        // server (catch_unwind isolation) keeps serving.
+        failpoint::configure_times(
+            "serve-worker-panic",
+            joinopt_core::failpoint::FailAction::Panic,
+            16,
+        );
+        let panicked = call(&smoke_optimize(1, ""))?;
+        failpoint::clear("serve-worker-panic");
+        if field_str(&panicked, "error_type")? != "panic" {
+            return Err(format!("injected panic not typed: {panicked:?}"));
+        }
+        let after = call(&smoke_optimize(1, ""))?;
+        if field_str(&after, "status")? != "ok" {
+            return Err(format!("server unhealthy after panic: {after:?}"));
+        }
+        log.push("failpoint serve-worker-panic: typed panic error, server survives".into());
+
+        // Cache-poison proof: while every fingerprint is forced to the
+        // same value, colliding entries can only *miss* — the cache's
+        // full-encoding verification rejects them — never serve a wrong
+        // plan. The repeat recomputes and matches the original cost.
+        failpoint::configure(
+            "serve-cache-poison",
+            joinopt_core::failpoint::FailAction::Error,
+        );
+        let first = call(&smoke_optimize(2, ""))?;
+        let second = call(&smoke_optimize(3, ""))?;
+        let repeat = call(&smoke_optimize(2, ""))?;
+        failpoint::clear("serve-cache-poison");
+        for (name, r) in [("first", &first), ("second", &second), ("repeat", &repeat)] {
+            if field_str(r, "status")? != "ok" {
+                return Err(format!("poisoned {name} failed: {r:?}"));
+            }
+        }
+        if field_bool(&repeat, "cache_hit")? {
+            return Err(format!(
+                "poisoned repeat must miss (encoding verification): {repeat:?}"
+            ));
+        }
+        if repeat.get("cost").and_then(|c| c.as_f64()) != first.get("cost").and_then(|c| c.as_f64())
+        {
+            return Err(format!(
+                "poisoned repeat cost diverged: {first:?} vs {repeat:?}"
+            ));
+        }
+        log.push(
+            "failpoint serve-cache-poison: collisions only miss, recomputed cost identical".into(),
+        );
+    }
+
+    let stats = call("{\"verb\":\"stats\"}")?;
+    let accepted = stats
+        .get("accepted")
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("stats missing accepted: {stats:?}"))?;
+    if accepted == 0 {
+        return Err(format!("stats accepted nothing: {stats:?}"));
+    }
+    log.push(format!("stats: accepted {accepted}"));
+
+    let bye = call("{\"verb\":\"shutdown\"}")?;
+    if field_str(&bye, "status")? != "ok" {
+        return Err(format!("shutdown not acknowledged: {bye:?}"));
+    }
+    let summary = handle
+        .join()
+        .map_err(|_| "server thread panicked".to_string())?
+        .map_err(|e| format!("server run: {e}"))?;
+    if !summary.drained {
+        return Err("drain did not complete".to_string());
+    }
+    if !summary.prometheus.contains("joinopt_serve_accepted_total") {
+        return Err("final Prometheus flush missing serve series".to_string());
+    }
+    if summary.connections < 1 {
+        return Err("no connections recorded".to_string());
+    }
+    log.push(format!(
+        "shutdown: drained cleanly, {} connection(s), Prometheus flush {} bytes",
+        summary.connections,
+        summary.prometheus.len()
+    ));
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHAIN4: &str = "relation a 100\\nrelation b 200\\nrelation c 300\\nrelation d 50\\n\
+                          join a b 0.1\\njoin b c 0.05\\njoin c d 0.2";
+
+    fn chain4_text() -> String {
+        CHAIN4.replace("\\n", "\n")
+    }
+
+    fn start_default() -> (
+        std::thread::JoinHandle<std::io::Result<ServeSummary>>,
+        SocketAddr,
+    ) {
+        let server = Server::bind(ServerConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        (std::thread::spawn(move || server.run()), addr)
+    }
+
+    #[test]
+    fn end_to_end_optimize_health_stats_shutdown() {
+        let (handle, addr) = start_default();
+        let mut client = LineClient::connect(addr).unwrap();
+
+        let health = client.call("{\"verb\":\"health\"}").unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        let ready = client.call("{\"verb\":\"ready\"}").unwrap();
+        assert_eq!(ready.get("ready").unwrap().as_bool(), Some(true));
+
+        let mut req = String::from("{\"verb\":\"optimize\",\"id\":\"q1\",\"query\":");
+        write_escaped(&mut req, &chain4_text());
+        req.push('}');
+        let cold = client.call(&req).unwrap();
+        assert_eq!(cold.get("status").unwrap().as_str(), Some("ok"), "{cold:?}");
+        assert_eq!(cold.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert_eq!(cold.get("relations").unwrap().as_u64(), Some(4));
+        assert_eq!(cold.get("id").unwrap().as_str(), Some("q1"));
+        let warm = client.call(&req).unwrap();
+        assert_eq!(warm.get("cache_hit").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            warm.get("cost").unwrap().as_f64(),
+            cold.get("cost").unwrap().as_f64()
+        );
+
+        let stats = client.call("{\"verb\":\"stats\"}").unwrap();
+        assert_eq!(stats.get("completed").unwrap().as_u64(), Some(2));
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+
+        let bye = client.call("{\"verb\":\"shutdown\"}").unwrap();
+        assert_eq!(bye.get("status").unwrap().as_str(), Some("ok"));
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.drained);
+        assert_eq!(summary.stats.completed, 2);
+        assert_eq!(summary.connections, 1);
+        assert!(summary.prometheus.contains("joinopt_serve_accepted_total"));
+    }
+
+    #[test]
+    fn protocol_rejects_bad_requests_typed() {
+        let (handle, addr) = start_default();
+        let mut client = LineClient::connect(addr).unwrap();
+
+        let bad_json = client.call("this is not json").unwrap();
+        assert_eq!(bad_json.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(
+            bad_json.get("error_type").unwrap().as_str(),
+            Some("invalid")
+        );
+
+        let bad_verb = client.call("{\"verb\":\"frobnicate\"}").unwrap();
+        assert_eq!(
+            bad_verb.get("error_type").unwrap().as_str(),
+            Some("invalid")
+        );
+
+        let no_query = client.call("{\"verb\":\"optimize\"}").unwrap();
+        assert_eq!(
+            no_query.get("error_type").unwrap().as_str(),
+            Some("invalid")
+        );
+
+        let bad_query = client
+            .call("{\"verb\":\"optimize\",\"query\":\"rel rel rel nonsense\"}")
+            .unwrap();
+        assert_eq!(bad_query.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(bad_query.get("error_type").unwrap().as_str(), Some("parse"));
+
+        let mut oversized =
+            String::from("{\"verb\":\"optimize\",\"deadline_ms\":999999999,\"query\":");
+        write_escaped(&mut oversized, &chain4_text());
+        oversized.push('}');
+        let oversized = client.call(&oversized).unwrap();
+        assert_eq!(
+            oversized.get("error_type").unwrap().as_str(),
+            Some("invalid")
+        );
+        assert!(oversized
+            .get("message")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("oversized deadline"));
+
+        // An already-expired deadline is a typed timeout, not a hang.
+        let mut expired = String::from("{\"verb\":\"optimize\",\"deadline_ms\":0,\"query\":");
+        write_escaped(&mut expired, &chain4_text());
+        expired.push('}');
+        let expired = client.call(&expired).unwrap();
+        assert_eq!(expired.get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(expired.get("error_type").unwrap().as_str(), Some("timeout"));
+
+        client.call("{\"verb\":\"shutdown\"}").unwrap();
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.drained);
+        assert_eq!(
+            summary.stats.failed, 1,
+            "only the expired deadline ran and failed"
+        );
+    }
+
+    #[test]
+    fn sql_queries_are_accepted_inline() {
+        let (handle, addr) = start_default();
+        let mut client = LineClient::connect(addr).unwrap();
+        let sql = "SELECT * FROM a, b WHERE a.x = b.x";
+        // The SQL frontend defaults unknown statistics; just assert the
+        // request parses and optimizes.
+        let mut req = String::from("{\"verb\":\"optimize\",\"query\":");
+        write_escaped(&mut req, sql);
+        req.push('}');
+        let resp = client.call(&req).unwrap();
+        assert_eq!(resp.get("status").unwrap().as_str(), Some("ok"), "{resp:?}");
+        assert_eq!(resp.get("relations").unwrap().as_u64(), Some(2));
+        client.call("{\"verb\":\"shutdown\"}").unwrap();
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn unix_socket_round_trip() {
+        let dir = std::env::temp_dir().join(format!("joinopt-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let sock = dir.join("serve.sock");
+        let server = Server::bind(ServerConfig {
+            listen: Listen::Unix(sock.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let shutdown = server.shutdown_handle();
+        let handle = std::thread::spawn(move || server.run());
+        let stream = UnixStream::connect(&sock).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writer.write_all(b"{\"verb\":\"health\"}\n").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\""));
+        drop(writer);
+        drop(reader);
+        shutdown.shutdown();
+        let summary = handle.join().unwrap().unwrap();
+        assert!(summary.drained);
+        assert!(!sock.exists(), "socket file cleaned up");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn parse_query_text_dispatches_and_validates() {
+        assert!(parse_query_text(&chain4_text()).is_ok());
+        assert!(parse_query_text("SELECT * FROM a, b WHERE a.x = b.x").is_ok());
+        assert!(parse_query_text("gibberish").is_err());
+        assert_eq!(algorithm_name(Algorithm::DpCcp), "dpccp");
+    }
+}

@@ -95,7 +95,8 @@ impl CostModelId {
     }
 }
 
-/// Request priority: higher executes earlier within a batch.
+/// Request priority: higher executes earlier within a batch, and the
+/// server's load shedding drops lower priorities first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub enum Priority {
     /// Background work; runs after everything else.
@@ -105,6 +106,28 @@ pub enum Priority {
     Normal,
     /// Latency-sensitive; runs first.
     High,
+}
+
+impl Priority {
+    /// The wire name (`low`, `normal`, `high`) used by the serve
+    /// protocol and the `joinopt_serve_*` metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Low => "low",
+            Priority::Normal => "normal",
+            Priority::High => "high",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s.to_ascii_lowercase().as_str() {
+            "low" => Some(Priority::Low),
+            "normal" => Some(Priority::Normal),
+            "high" => Some(Priority::High),
+            _ => None,
+        }
+    }
 }
 
 /// An owned, queueable optimization request.
@@ -334,16 +357,7 @@ impl OptimizerService {
         .max(1);
 
         let run_one = |session: &mut Option<Session>, req: &ServiceRequest| {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.answer(session, req, obs)
-            }));
-            match outcome {
-                Ok(r) => r,
-                Err(payload) => {
-                    *session = None; // discard the half-mutated session
-                    Err(OptimizeError::Internal(panic_message(payload.as_ref())))
-                }
-            }
+            self.submit_one(req, session, obs)
         };
 
         if workers == 1 {
@@ -389,14 +403,46 @@ impl OptimizerService {
             .collect()
     }
 
+    /// Answers one request outside a batch — the `joinopt serve` path.
+    /// Skips batch admission (the server gateway does its own shedding
+    /// and breaker checks before calling this), shares the plan cache,
+    /// isolates panics exactly like a batch worker, and reuses the
+    /// caller's pooled session across calls.
+    pub fn submit_one(
+        &self,
+        req: &ServiceRequest,
+        session: &mut Option<Session>,
+        obs: &dyn Observer,
+    ) -> Result<ServiceOutcome, OptimizeError> {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.answer(session, req, obs)
+        }));
+        match outcome {
+            Ok(r) => r,
+            Err(payload) => {
+                *session = None; // discard the half-mutated session
+                Err(OptimizeError::Internal(panic_message(payload.as_ref())))
+            }
+        }
+    }
+
     /// Answers one admitted request: cache probe, then (on a miss) a
     /// full optimization, then (when exact) a cache store.
+    ///
+    /// Two service-level failpoint sites live here (cfg-gated, see
+    /// `docs/robustness.md`): `serve-worker-panic` fires before any
+    /// work — its panics are swallowed by the caller's `catch_unwind`
+    /// like a real worker bug — and `serve-cache-poison` replaces the
+    /// canonical fingerprint with a constant, forcing every distinct
+    /// query into one cache slot to prove the full-encoding
+    /// verification turns collisions into misses, never wrong plans.
     fn answer(
         &self,
         session: &mut Option<Session>,
         req: &ServiceRequest,
         obs: &dyn Observer,
     ) -> Result<ServiceOutcome, OptimizeError> {
+        joinopt_core::failpoint::check("serve-worker-panic")?;
         let started = Instant::now();
         let model = req.cost_model.model();
         let model_id = req.cost_model.name();
@@ -411,7 +457,18 @@ impl OptimizerService {
 
         // Probe the cache (fingerprinting is skipped entirely when no
         // cache is configured).
-        let canon = self.cache.as_ref().map(|_| canonicalize(&req.spec));
+        let mut canon = self.cache.as_ref().map(|_| canonicalize(&req.spec));
+        if let Some(c) = canon.as_mut() {
+            if joinopt_core::failpoint::flag("serve-cache-poison") {
+                // Simulate the worst-case fingerprint collision: every
+                // query maps to the same slot. Correctness must now rest
+                // entirely on the cache's word-for-word encoding check.
+                c.fingerprint = crate::Fingerprint {
+                    hi: 0xdead_beef_dead_beef,
+                    lo: 0xfeed_face_feed_face,
+                };
+            }
+        }
         if let (Some(cache), Some(canon)) = (&self.cache, &canon) {
             if let Some(hit) = cache.lookup_observed(
                 canon.fingerprint,

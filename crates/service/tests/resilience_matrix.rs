@@ -1,0 +1,120 @@
+//! The service-level resilience-matrix case: a fault burst opens the
+//! tenant's circuit breaker, the breaker recloses after the cooldown,
+//! and a drain started with requests still in flight completes cleanly.
+//!
+//! Lives in its own integration binary (own process): the burst arms
+//! the process-global `serve-worker-panic` failpoint, which must not
+//! leak into sibling tests running concurrently in the same process.
+//! Only the failpoints build (`RUSTFLAGS="--cfg failpoints"`) can
+//! inject faults, so the whole scenario is gated on that cfg.
+
+#![cfg(failpoints)]
+
+use std::time::Duration;
+
+use joinopt_core::failpoint::{self, FailAction};
+use joinopt_service::{
+    BreakerConfig, BreakerState, Clock, Gateway, GatewayConfig, GatewayError, OptimizerService,
+    QuerySpec, RetryConfig, ServiceConfig, ServiceRequest,
+};
+use joinopt_telemetry::NoopObserver;
+
+fn spec(n: usize, seed: u64) -> QuerySpec {
+    let w = joinopt_cost::workload::family_workload(joinopt_qgraph::GraphKind::Chain, n, seed);
+    QuerySpec::capture(&w.graph, &w.catalog).expect("chain workload is connected")
+}
+
+#[test]
+fn fault_burst_opens_breaker_and_drain_completes() {
+    let gw = Gateway::with_clock(
+        OptimizerService::new(ServiceConfig::default()),
+        GatewayConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 3,
+                cooldown: Duration::from_millis(250),
+                success_threshold: 1,
+            },
+            // No retries: each injected panic is a terminal failure, so
+            // the breaker accounting below is exact.
+            retry: RetryConfig {
+                max_retries: 0,
+                ..RetryConfig::default()
+            },
+            ..GatewayConfig::default()
+        },
+        Clock::manual(),
+    );
+    let mut session = None;
+    let obs = NoopObserver;
+
+    // Healthy baseline for the tenant.
+    let warm = ServiceRequest::new(spec(5, 1)).with_tenant("acme");
+    gw.handle(&warm, None, &mut session, &obs)
+        .expect("baseline request succeeds");
+    assert_eq!(gw.breaker_state("acme"), BreakerState::Closed);
+
+    // Fault burst: three consecutive injected worker panics trip the
+    // breaker at its failure threshold.
+    failpoint::configure_times("serve-worker-panic", FailAction::Panic, 3);
+    for seed in 2..5 {
+        let req = ServiceRequest::new(spec(5, seed)).with_tenant("acme");
+        match gw.handle(&req, None, &mut session, &obs) {
+            Err(GatewayError::Failed(e)) => {
+                assert!(format!("{e}").contains("panic"), "unexpected failure: {e}");
+            }
+            other => panic!("burst request must fail: {other:?}"),
+        }
+    }
+    failpoint::clear("serve-worker-panic");
+    assert_eq!(gw.breaker_state("acme"), BreakerState::Open);
+    assert!(gw.stats().breaker_opens >= 1);
+
+    // While open, the tenant is rejected without reaching a worker —
+    // and other tenants are unaffected (the breaker is per-tenant).
+    let rejected = ServiceRequest::new(spec(5, 6)).with_tenant("acme");
+    assert!(matches!(
+        gw.handle(&rejected, None, &mut session, &obs),
+        Err(GatewayError::Rejected(_))
+    ));
+    let other = ServiceRequest::new(spec(5, 7)).with_tenant("globex");
+    gw.handle(&other, None, &mut session, &obs)
+        .expect("other tenants keep flowing");
+
+    // After the cooldown a probe succeeds and the breaker recloses.
+    gw.clock().advance(Duration::from_millis(300));
+    let probe = ServiceRequest::new(spec(5, 8)).with_tenant("acme");
+    gw.handle(&probe, None, &mut session, &obs)
+        .expect("post-cooldown probe succeeds");
+    assert_eq!(gw.breaker_state("acme"), BreakerState::Closed);
+
+    // Drain with a request still in flight: the drain must wait for it
+    // and then complete cleanly.
+    let gw = std::sync::Arc::new(gw);
+    let bg = {
+        let gw = std::sync::Arc::clone(&gw);
+        std::thread::spawn(move || {
+            let mut session = None;
+            let req = ServiceRequest::new(spec(9, 9)).with_tenant("acme");
+            gw.handle(&req, None, &mut session, &NoopObserver)
+        })
+    };
+    // Give the background request a moment to enter, then drain.
+    for _ in 0..200 {
+        if gw.stats().in_flight > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    gw.begin_drain();
+    let refused = ServiceRequest::new(spec(5, 10)).with_tenant("acme");
+    assert!(matches!(
+        gw.handle(&refused, None, &mut session, &obs),
+        Err(GatewayError::Rejected(_))
+    ));
+    gw.await_drained(Duration::from_secs(10), &obs)
+        .expect("drain completes within the timeout");
+    bg.join()
+        .expect("background thread exits")
+        .expect("in-flight request completes during the drain");
+    assert_eq!(gw.stats().in_flight, 0);
+}

@@ -446,14 +446,20 @@ impl Observer for MetricsCollector {
                 r.degraded_rung = Some(rung);
             }
             // Per-chunk and per-candidate detail is for traces, the
-            // registry and the provenance collector; cache events are
-            // cross-run by nature. The per-run report keeps rollups only.
+            // registry and the provenance collector; cache and serve
+            // events are cross-run by nature. The per-run report keeps
+            // rollups only.
             Event::WorkerChunk { .. }
             | Event::PlanCandidate { .. }
             | Event::SearchPruned { .. }
             | Event::CacheLookup { .. }
             | Event::CacheStore { .. }
-            | Event::CacheEvict { .. } => {}
+            | Event::CacheEvict { .. }
+            | Event::ServeAccepted { .. }
+            | Event::ServeShed { .. }
+            | Event::ServeRetried { .. }
+            | Event::ServeBreakerOpen
+            | Event::ServeDrained { .. } => {}
             Event::LevelSync {
                 level,
                 workers,

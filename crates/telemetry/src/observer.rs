@@ -196,6 +196,38 @@ pub enum Event {
         /// Total bytes resident in the cache after the eviction.
         total_bytes: usize,
     },
+    /// The server gateway admitted a request past shedding and breaker
+    /// checks (service layer, outside any run).
+    ServeAccepted {
+        /// Request priority (`"low"`, `"normal"`, `"high"`).
+        priority: &'static str,
+    },
+    /// The server gateway shed a request at a load watermark before any
+    /// optimizer work happened; the client received a typed rejection
+    /// with a `Retry-After` hint.
+    ServeShed {
+        /// Priority of the shed request.
+        priority: &'static str,
+    },
+    /// The server gateway is retrying a transiently failed request
+    /// after a jittered backoff sleep.
+    ServeRetried {
+        /// 1-based retry attempt (1 = first retry after the initial
+        /// attempt failed).
+        attempt: u32,
+    },
+    /// A per-tenant circuit breaker transitioned to open: subsequent
+    /// requests from that tenant fail fast until the cooldown elapses
+    /// and a half-open probe succeeds.
+    ServeBreakerOpen,
+    /// A graceful drain completed: the server stopped accepting work,
+    /// every in-flight request ran to completion, and final metrics
+    /// were flushed.
+    ServeDrained {
+        /// Requests that were in flight when the drain began and ran to
+        /// completion during it.
+        in_flight: usize,
+    },
     /// The run is complete (successfully or not — emitted on the success
     /// path only, so its absence in a trace indicates an error).
     RunEnd,
@@ -221,6 +253,11 @@ impl Event {
             Event::CacheLookup { .. } => "cache_lookup",
             Event::CacheStore { .. } => "cache_store",
             Event::CacheEvict { .. } => "cache_evict",
+            Event::ServeAccepted { .. } => "serve_accepted",
+            Event::ServeShed { .. } => "serve_shed",
+            Event::ServeRetried { .. } => "serve_retried",
+            Event::ServeBreakerOpen => "serve_breaker_open",
+            Event::ServeDrained { .. } => "serve_drained",
             Event::RunEnd => "run_end",
         }
     }
@@ -229,7 +266,8 @@ impl Event {
     /// `"enumerate"` for the parallel engine's worker events (they are
     /// emitted between that phase's start and end), `"cache"` for the
     /// plan-cache events (emitted by the service layer outside any
-    /// optimizer run), `"run"` for everything else.
+    /// optimizer run), `"serve"` for the server-gateway lifecycle
+    /// events, `"run"` for everything else.
     pub fn phase(&self) -> &'static str {
         match self {
             Event::PhaseStart { phase } | Event::PhaseEnd { phase } => phase,
@@ -240,6 +278,11 @@ impl Event {
             Event::CacheLookup { .. } | Event::CacheStore { .. } | Event::CacheEvict { .. } => {
                 "cache"
             }
+            Event::ServeAccepted { .. }
+            | Event::ServeShed { .. }
+            | Event::ServeRetried { .. }
+            | Event::ServeBreakerOpen
+            | Event::ServeDrained { .. } => "serve",
             _ => "run",
         }
     }
@@ -557,6 +600,20 @@ mod tests {
         };
         assert_eq!(evict.name(), "cache_evict");
         assert_eq!(evict.phase(), "cache");
+        let accepted = Event::ServeAccepted { priority: "normal" };
+        assert_eq!(accepted.name(), "serve_accepted");
+        assert_eq!(accepted.phase(), "serve");
+        let shed = Event::ServeShed { priority: "low" };
+        assert_eq!(shed.name(), "serve_shed");
+        assert_eq!(shed.phase(), "serve");
+        let retried = Event::ServeRetried { attempt: 1 };
+        assert_eq!(retried.name(), "serve_retried");
+        assert_eq!(retried.phase(), "serve");
+        assert_eq!(Event::ServeBreakerOpen.name(), "serve_breaker_open");
+        assert_eq!(Event::ServeBreakerOpen.phase(), "serve");
+        let drained = Event::ServeDrained { in_flight: 2 };
+        assert_eq!(drained.name(), "serve_drained");
+        assert_eq!(drained.phase(), "serve");
         assert_eq!(Event::RunEnd.name(), "run_end");
     }
 

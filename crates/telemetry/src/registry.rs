@@ -696,6 +696,21 @@ impl Observer for RegistryObserver<'_> {
                 reg.inc("joinopt_cache_evictions_total", &[], 1);
                 reg.set_gauge("joinopt_cache_bytes", &[], total_bytes as i64);
             }
+            Event::ServeAccepted { priority } => {
+                reg.inc("joinopt_serve_accepted_total", &[("priority", priority)], 1);
+            }
+            Event::ServeShed { priority } => {
+                reg.inc("joinopt_serve_shed_total", &[("priority", priority)], 1);
+            }
+            Event::ServeRetried { .. } => {
+                reg.inc("joinopt_serve_retried_total", &[], 1);
+            }
+            Event::ServeBreakerOpen => {
+                reg.inc("joinopt_serve_breaker_open_total", &[], 1);
+            }
+            Event::ServeDrained { .. } => {
+                reg.inc("joinopt_serve_drained_total", &[], 1);
+            }
             Event::RunEnd => {
                 let state = self.with_runs(|r| r.remove(&tid));
                 if let Some(s) = state {

@@ -179,6 +179,17 @@ impl<W: Write> TraceWriter<W> {
                     ",\"entry_bytes\":{entry_bytes},\"total_bytes\":{total_bytes}"
                 ));
             }
+            Event::ServeAccepted { priority } | Event::ServeShed { priority } => {
+                s.push_str(",\"priority\":");
+                write_escaped(&mut s, priority);
+            }
+            Event::ServeRetried { attempt } => {
+                s.push_str(&format!(",\"attempt\":{attempt}"));
+            }
+            Event::ServeBreakerOpen => {}
+            Event::ServeDrained { in_flight } => {
+                s.push_str(&format!(",\"in_flight\":{in_flight}"));
+            }
         }
         s.push_str("}\n");
         s
