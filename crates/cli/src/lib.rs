@@ -408,7 +408,7 @@ fn load_query(path: &str) -> Result<ParsedQuery, CliError> {
         .lines()
         .map(str::trim_start)
         .find(|l| !l.is_empty() && !l.starts_with("--"))
-        .is_some_and(|l| l.len() >= 6 && l[..6].eq_ignore_ascii_case("select"));
+        .is_some_and(|l| l.get(..6).is_some_and(|p| p.eq_ignore_ascii_case("select")));
     if looks_like_sql {
         Ok(parse_sql(&text)?)
     } else {

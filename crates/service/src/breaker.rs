@@ -111,7 +111,8 @@ impl CircuitBreaker {
     /// Decides one admission at time `now_ns`. An open breaker whose
     /// cooldown has elapsed transitions to half-open and admits the
     /// caller as the probe; a half-open breaker admits one probe at a
-    /// time. Every `Allow` obligates the caller to report the result.
+    /// time. Every `Allow` obligates the caller to report the result
+    /// via `on_success`, `on_failure` or `on_neutral`.
     pub fn admit(&mut self, now_ns: u64) -> BreakerDecision {
         let cooldown_ns = u64::try_from(self.config.cooldown.as_nanos()).unwrap_or(u64::MAX);
         match self.state {
@@ -175,6 +176,22 @@ impl CircuitBreaker {
             // concurrent failure already opened the breaker; the late
             // success does not shorten the cooldown.
             State::Open { .. } => {}
+        }
+    }
+
+    /// Reports an admitted request that ended with an outcome the
+    /// breaker does not count — e.g. a tripped per-request memory or
+    /// cost budget. Releases the half-open probe slot (the breaker
+    /// stays half-open for the next probe) without touching failure
+    /// or success counts; every `Allow` must be resolved through
+    /// exactly one of `on_success`, `on_failure` or `on_neutral`, or
+    /// a leaked probe slot would reject the tenant forever.
+    pub fn on_neutral(&mut self) {
+        if let State::HalfOpen { successes, .. } = self.state {
+            self.state = State::HalfOpen {
+                successes,
+                probe_in_flight: false,
+            };
         }
     }
 
@@ -298,6 +315,27 @@ mod tests {
         assert_eq!(b.state(), BreakerState::HalfOpen, "one of two successes");
         assert_eq!(b.admit(21 * MS), BreakerDecision::Allow);
         b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn neutral_probe_outcome_releases_the_slot_without_reopening() {
+        let mut b = breaker();
+        for i in 0..3 {
+            b.on_failure(i);
+        }
+        assert_eq!(b.admit(200 * MS), BreakerDecision::Allow);
+        // The probe ends with an uncounted outcome (e.g. a tripped
+        // memory budget): the slot frees, the state stays half-open.
+        b.on_neutral();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // The next admission gets the probe slot — no permanent
+        // lockout — and its success closes the breaker.
+        assert_eq!(b.admit(201 * MS), BreakerDecision::Allow);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        // Neutral while closed or open is a no-op.
+        b.on_neutral();
         assert_eq!(b.state(), BreakerState::Closed);
     }
 

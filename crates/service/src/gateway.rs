@@ -358,29 +358,34 @@ impl Gateway {
             }));
         }
 
-        // Watermark shedding against the pre-admission in-flight count.
-        let in_flight = *lock(&self.in_flight);
+        // Watermark shedding: the comparison and the in-flight
+        // increment happen under a single lock acquisition, so racing
+        // admissions cannot collectively overshoot the watermark.
         let watermark = match req.priority {
             Priority::Low => self.config.shed.low_watermark,
             Priority::Normal => self.config.shed.high_watermark,
             Priority::High => self.config.shed.max_in_flight,
         }
         .min(self.config.shed.max_in_flight);
-        if in_flight >= watermark {
-            self.shed.fetch_add(1, Ordering::Relaxed);
-            if obs.enabled() {
-                obs.on_event(Event::ServeShed {
-                    priority: req.priority.name(),
-                });
+        let _guard = match InFlightGuard::try_enter(self, watermark) {
+            Ok(guard) => guard,
+            Err(in_flight) => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+                if obs.enabled() {
+                    obs.on_event(Event::ServeShed {
+                        priority: req.priority.name(),
+                    });
+                }
+                return Err(GatewayError::Rejected(Rejection::Shed {
+                    priority: req.priority,
+                    in_flight,
+                    retry_after: self.config.shed.retry_after,
+                }));
             }
-            return Err(GatewayError::Rejected(Rejection::Shed {
-                priority: req.priority,
-                in_flight,
-                retry_after: self.config.shed.retry_after,
-            }));
-        }
+        };
 
-        // Per-tenant breaker admission.
+        // Per-tenant breaker admission. A breaker rejection releases
+        // the just-reserved in-flight slot via the guard's drop.
         {
             let mut tenants = lock(&self.tenants);
             let tenant = tenants
@@ -403,7 +408,6 @@ impl Gateway {
                 priority: req.priority.name(),
             });
         }
-        let _guard = InFlightGuard::enter(self);
 
         let mut attempt: u32 = 0;
         loop {
@@ -473,7 +477,9 @@ impl Gateway {
 
     /// Books a terminal failure: feeds the tenant's breaker (emitting
     /// [`Event::ServeBreakerOpen`] on the closed→open edge) and wraps
-    /// the error.
+    /// the error. Failures the breaker does not count still resolve
+    /// the admission as neutral, so a half-open probe slot is never
+    /// leaked (which would lock the tenant out until restart).
     fn finish_failed(
         &self,
         req: &ServiceRequest,
@@ -491,6 +497,8 @@ impl Gateway {
                     obs.on_event(Event::ServeBreakerOpen);
                 }
             }
+        } else if let Some(t) = lock(&self.tenants).get_mut(req.tenant.as_str()) {
+            t.breaker.on_neutral();
         }
         GatewayError::Failed(e)
     }
@@ -510,9 +518,25 @@ struct InFlightGuard<'a> {
 }
 
 impl<'a> InFlightGuard<'a> {
+    /// Unconditionally occupies one in-flight slot (test scaffolding
+    /// for pinning synthetic load; the request path uses `try_enter`).
+    #[cfg(test)]
     fn enter(gateway: &'a Gateway) -> InFlightGuard<'a> {
         *lock(&gateway.in_flight) += 1;
         InFlightGuard { gateway }
+    }
+
+    /// Atomically admits one request against `watermark`: checks and
+    /// increments the in-flight count under one lock acquisition.
+    /// Returns `Err(observed_count)`, leaving the count untouched,
+    /// when the count is already at or above the watermark.
+    fn try_enter(gateway: &'a Gateway, watermark: usize) -> Result<InFlightGuard<'a>, usize> {
+        let mut guard = lock(&gateway.in_flight);
+        if *guard >= watermark {
+            return Err(*guard);
+        }
+        *guard += 1;
+        Ok(InFlightGuard { gateway })
     }
 }
 
@@ -741,6 +765,53 @@ mod tests {
         // Cooldown elapses on the virtual clock; the probe succeeds and
         // the breaker re-closes.
         clock.advance(Duration::from_millis(150));
+        assert!(gw.handle(&req, None, &mut session, &NoopObserver).is_ok());
+        assert_eq!(gw.breaker_state("acme"), BreakerState::Closed);
+    }
+
+    #[test]
+    fn uncounted_probe_failure_frees_the_slot_instead_of_locking_the_tenant_out() {
+        let clock = Clock::manual();
+        let gw = Gateway::with_clock(
+            OptimizerService::new(ServiceConfig::default()),
+            GatewayConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_millis(100),
+                    success_threshold: 1,
+                },
+                ..GatewayConfig::default()
+            },
+            clock.clone(),
+        );
+        let mut session = None;
+        let req = ServiceRequest::new(spec(6, 40)).with_tenant("acme");
+        for _ in 0..2 {
+            assert!(gw
+                .handle(&req, Some(Duration::ZERO), &mut session, &NoopObserver)
+                .is_err());
+        }
+        assert_eq!(gw.breaker_state("acme"), BreakerState::Open);
+        clock.advance(Duration::from_millis(150));
+
+        // The half-open probe fails with an error the breaker does not
+        // count (a tripped memory budget). The probe slot must be
+        // released — a leaked slot would reject the tenant forever.
+        let w = family_workload(GraphKind::Clique, 12, 41);
+        let heavy = QuerySpec::capture(&w.graph, &w.catalog).unwrap();
+        let probe = ServiceRequest::new(heavy)
+            .with_tenant("acme")
+            .with_algorithm(joinopt_core::Algorithm::DpSub)
+            .with_memory_budget(1024);
+        assert!(matches!(
+            gw.handle(&probe, None, &mut session, &NoopObserver),
+            Err(GatewayError::Failed(
+                OptimizeError::MemoryBudgetExceeded { .. }
+            ))
+        ));
+        assert_eq!(gw.breaker_state("acme"), BreakerState::HalfOpen);
+        // The next request takes the freed probe slot; its success
+        // closes the breaker.
         assert!(gw.handle(&req, None, &mut session, &NoopObserver).is_ok());
         assert_eq!(gw.breaker_state("acme"), BreakerState::Closed);
     }

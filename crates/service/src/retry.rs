@@ -88,8 +88,11 @@ impl RetryPolicy {
     pub fn backoff(&mut self, attempt: u32) -> Duration {
         let base_ns = u64::try_from(self.config.base.as_nanos()).unwrap_or(u64::MAX);
         let cap_ns = u64::try_from(self.config.cap.as_nanos()).unwrap_or(u64::MAX);
+        // checked_mul (not checked_shl) so value overflow — not just an
+        // out-of-range shift count — clamps to the cap instead of
+        // silently dropping high bits for second-scale bases.
         let exp_ns = base_ns
-            .checked_shl(attempt.min(32))
+            .checked_mul(1u64 << attempt.min(32))
             .unwrap_or(cap_ns)
             .min(cap_ns);
         let half = exp_ns / 2;
@@ -183,6 +186,27 @@ mod tests {
         let d = p.backoff(63);
         assert!(d <= Duration::from_millis(100));
         assert!(d >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn backoff_with_second_scale_base_clamps_to_cap_instead_of_wrapping() {
+        // base << attempt would overflow u64 here (5s in ns is ~2^32);
+        // overflow must clamp to the cap, not collapse toward zero.
+        let mut p = RetryPolicy::new(
+            RetryConfig {
+                base: Duration::from_secs(5),
+                cap: Duration::from_secs(8),
+                ..RetryConfig::default()
+            },
+            11,
+        );
+        for attempt in [1, 30, 63] {
+            let d = p.backoff(attempt);
+            assert!(
+                d >= Duration::from_secs(4) && d <= Duration::from_secs(8),
+                "attempt {attempt}: {d:?} escaped [cap/2, cap]"
+            );
+        }
     }
 
     #[test]

@@ -276,7 +276,14 @@ impl Server {
                         std::thread::sleep(POLL);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                    Err(e) => return Err(e),
+                    Err(e) => {
+                        // A fatal accept error (e.g. EMFILE) ends the
+                        // listen loop; raise the shutdown flag first so
+                        // connection threads wind down and the scope's
+                        // implicit join cannot hang on a live client.
+                        shutdown.store(true, Ordering::SeqCst);
+                        return Err(e);
+                    }
                 }
             }
             // The accept loop is done; the scope now joins every
@@ -579,7 +586,7 @@ pub fn parse_query_text(text: &str) -> Result<QuerySpec, String> {
         .lines()
         .map(str::trim_start)
         .find(|l| !l.is_empty() && !l.starts_with("--") && !l.starts_with('#'))
-        .is_some_and(|l| l.len() >= 6 && l[..6].eq_ignore_ascii_case("select"));
+        .is_some_and(|l| l.get(..6).is_some_and(|p| p.eq_ignore_ascii_case("select")));
     let parsed = if looks_like_sql {
         joinopt_query::parse_sql(text).map_err(|e| e.to_string())?
     } else {
@@ -1030,6 +1037,10 @@ mod tests {
         assert!(parse_query_text(&chain4_text()).is_ok());
         assert!(parse_query_text("SELECT * FROM a, b WHERE a.x = b.x").is_ok());
         assert!(parse_query_text("gibberish").is_err());
+        // Byte 6 falls inside the two-byte `é`: the SQL sniff must use
+        // a boundary-safe prefix check, not panic on the slice.
+        assert!(parse_query_text("aaaaaé = 1").is_err());
+        assert!(parse_query_text("sélect * from a").is_err());
         assert_eq!(algorithm_name(Algorithm::DpCcp), "dpccp");
     }
 }
