@@ -20,7 +20,10 @@ echo "==> corpus regression replay"
 # corpus regression fail loudly under its own heading.
 cargo test --offline -q --test corpus
 
-echo "==> conformance fuzz smoke (fixed seed)"
+echo "==> conformance fuzz smoke (fixed seed; full exact matrix incl. DPconv)"
+# The differential oracle runs every exact algorithm — DPsize, DPsub
+# (+ variants), DPccp, DPconv, top-down — on each instance, so this
+# smoke is also the DPconv-vs-matrix conformance gate.
 cargo run --offline -q --release -p joinopt-cli --bin joinopt -- \
     fuzz --seed 42 --iters 200 --max-n 10 --minimize
 
@@ -72,6 +75,13 @@ echo "==> injected tie-break inversion is caught and minimized (--cfg failpoints
 # divergent DP decision.
 RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
     cargo test -p joinopt-conformance --lib --test tiebreak --offline -q
+
+echo "==> injected DPconv rank skip is caught and minimized (--cfg failpoints)"
+# Arms dpconv-rank-skip (DPconv drops its balanced top-level splits) and
+# requires the differential oracle to flag the wrong optimal cost and
+# shrink the repro to <= 5 relations.
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo test -p joinopt-conformance --test rank_skip --offline -q
 
 echo "==> determinism matrix (parallel engine, release)"
 cargo test -p joinopt-core --test determinism --release --offline -q

@@ -1,7 +1,8 @@
 //! The performance-baseline subsystem behind `joinopt perf`.
 //!
-//! Runs a pinned workload matrix — chain/star/clique × DPsize, DPccp
-//! and DPsub at each configured thread count — and records, per cell,
+//! Runs a pinned workload matrix — chain/star/clique × DPsize, DPccp,
+//! DPconv and DPsub at each configured thread count — and records, per
+//! cell,
 //! the paper's counters, the DP-table and arena footprint, the optimal
 //! cost's exact bit pattern, the median-of-k wall time and the parallel
 //! engine's worker utilization. The result serializes to
@@ -113,6 +114,10 @@ fn matrix(config: &PerfConfig) -> Vec<(GraphKind, Algorithm, &'static str, usize
     for kind in PERF_FAMILIES {
         cells.push((kind, Algorithm::DpSize, "DPsize", 1));
         cells.push((kind, Algorithm::DpCcp, "DPccp", 1));
+        // DPconv rides the same workloads (the default model is C_out,
+        // the only one it accepts); the clique cell against DPccp's is
+        // the committed crossover evidence for `select_auto`.
+        cells.push((kind, Algorithm::DpConv, "DPconv", 1));
         for &t in &config.threads {
             cells.push((kind, Algorithm::DpSub, "DPsub", t.max(1)));
         }
@@ -469,12 +474,13 @@ mod tests {
     #[test]
     fn matrix_shape_is_family_major() {
         let cells = matrix(&small_config());
-        // 3 families × (DPsize + DPccp + 2 DPsub thread counts).
-        assert_eq!(cells.len(), 12);
+        // 3 families × (DPsize + DPccp + DPconv + 2 DPsub threads).
+        assert_eq!(cells.len(), 15);
         assert_eq!(cells[0].2, "DPsize");
         assert_eq!(cells[1].2, "DPccp");
-        assert_eq!((cells[2].2, cells[2].3), ("DPsub", 1));
-        assert_eq!((cells[3].2, cells[3].3), ("DPsub", 2));
+        assert_eq!(cells[2].2, "DPconv");
+        assert_eq!((cells[3].2, cells[3].3), ("DPsub", 1));
+        assert_eq!((cells[4].2, cells[4].3), ("DPsub", 2));
     }
 
     #[test]
@@ -584,7 +590,7 @@ mod tests {
         let plain = run_matrix(&config).unwrap();
         // The external observer sees every cell run...
         let snap = registry.snapshot();
-        let runs: u64 = ["DPsize", "DPccp", "DPsub"]
+        let runs: u64 = ["DPsize", "DPccp", "DPconv", "DPsub"]
             .iter()
             .filter_map(|alg| snap.counter("joinopt_runs_total", &[("algorithm", alg)]))
             .sum();

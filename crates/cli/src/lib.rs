@@ -25,7 +25,7 @@ use joinopt_bench::perf::{run_matrix_observed, PerfBaseline, PerfConfig};
 use joinopt_core::explain::{compare, Explanation};
 use joinopt_core::formulas::{dpccp_inner, dpsize_inner, dpsub_inner};
 use joinopt_core::greedy::Goo;
-use joinopt_core::{Algorithm, DpCcp, DpHyp, DpSize, DpSub, JoinOrderer};
+use joinopt_core::{Algorithm, DpCcp, DpConv, DpHyp, DpSize, DpSub, JoinOrderer};
 use joinopt_cost::{
     workload, CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin, SortMergeJoin,
 };
@@ -145,8 +145,10 @@ USAGE:
   joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
-ALGORITHMS:  dpsize, dpsub, dpccp, goo, auto (default),
+ALGORITHMS:  dpsize, dpsub, dpccp, dpconv, goo, auto (default),
              dpsize-naive, dpsub-nofilter, dpsub-cp
+             (dpconv is exact for the cout model only and refuses
+             other models with a typed error)
 COST MODELS: cout (default), nlj, hash, smj, min
 FAMILIES:    chain, cycle, star, clique
 PARALLELISM: --threads N runs the DPsub family on N worker threads
@@ -172,7 +174,8 @@ TELEMETRY:   --metrics appends a run report (phase timings, DP-table and
              file into collapsed-stack lines (`stack count`) ready for
              a flamegraph renderer.
 PERF:        perf runs the pinned baseline matrix (chain/star/clique ×
-             DPsize, DPccp, DPsub at --threads LIST, e.g. 1,2,4) and
+             DPsize, DPccp, DPconv, DPsub at --threads LIST, e.g.
+             1,2,4) and
              writes BENCH_joinopt.json (override with --out). --check
              re-runs the matrix pinned in PATH and fails on any counter,
              table-size or cost-bit drift; full mode also gates arena
@@ -723,7 +726,15 @@ fn cmd_compare(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     match q.graph() {
         Some(graph) => {
-            let algorithms: [&dyn JoinOrderer; 4] = [&DpSize, &DpSub, &DpCcp, &Goo];
+            // DPconv only optimizes C_out-shaped models; comparing it
+            // under e.g. `--model hash` would abort the whole table
+            // with its typed refusal, so it joins the line-up only
+            // when the selected model qualifies.
+            let mut algorithms: Vec<&dyn JoinOrderer> = vec![&DpSize, &DpSub, &DpCcp];
+            if model.is_cout_shaped() {
+                algorithms.push(&DpConv);
+            }
+            algorithms.push(&Goo);
             for alg in algorithms {
                 let start = Instant::now();
                 let result = telemetry
@@ -1479,7 +1490,7 @@ fn cmd_counters(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         let mut reports: Vec<RunReport> = Vec::new();
         for n in 2..=max_n {
             let w = workload::family_workload(kind, n as usize, 2006);
-            let algorithms: [&dyn JoinOrderer; 3] = [&DpSize, &DpSub, &DpCcp];
+            let algorithms: [&dyn JoinOrderer; 4] = [&DpSize, &DpSub, &DpCcp, &DpConv];
             for alg in algorithms {
                 telemetry.observe(|obs| alg.optimize_observed(&w.graph, &w.catalog, &Cout, obs))?;
                 reports.extend(telemetry.report());

@@ -727,8 +727,8 @@ fn counters_trace_json_covers_all_runs() {
                 == Some("run_start")
         })
         .count();
-    // 3 algorithms × sizes 2..=4.
-    assert_eq!(starts, 9, "{text}");
+    // 4 algorithms (DPsize, DPsub, DPccp, DPconv) × sizes 2..=4.
+    assert_eq!(starts, 12, "{text}");
 }
 
 /// Dense clique whose exact DP table outgrows a small memory budget
@@ -977,7 +977,8 @@ fn perf_writes_baseline_and_check_passes_against_itself() {
     ]);
     assert!(out.contains("chain"), "{out}");
     assert!(out.contains("DPsub"), "{out}");
-    assert!(out.contains("wrote 12 cells"), "{out}");
+    // 3 families × (DPsize + DPccp + DPconv + 2 DPsub thread counts).
+    assert!(out.contains("wrote 15 cells"), "{out}");
     let text = std::fs::read_to_string(&*baseline_path).expect("baseline written");
     assert!(text.contains("\"schema\": \"joinopt-perf-v1\""), "{text}");
 
@@ -988,7 +989,7 @@ fn perf_writes_baseline_and_check_passes_against_itself() {
         "--counters-only",
     ]);
     assert!(
-        check.contains("perf check passed (counters-only): 12 cells"),
+        check.contains("perf check passed (counters-only): 15 cells"),
         "{check}"
     );
 }

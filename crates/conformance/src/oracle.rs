@@ -3,8 +3,8 @@
 //!
 //! Comparison policy (what "agree" means, and why):
 //!
-//! * **Across algorithm families** (DPsize vs DPsub vs DPccp vs
-//!   top-down vs DPhyp vs the exhaustive oracle) the optimal *cost*
+//! * **Across algorithm families** (DPsize vs DPsub vs DPccp vs DPconv
+//!   vs top-down vs DPhyp vs the exhaustive oracle) the optimal *cost*
 //!   must agree within a `1e-9` relative tolerance. The algorithms sum
 //!   the same per-plan terms in different orders, so the last few bits
 //!   may legitimately differ; anything beyond rounding noise is a bug.
@@ -81,14 +81,19 @@ fn shape(t: &JoinTree) -> String {
 
 /// The exact cross-product-free algorithms the oracle differentials,
 /// with their report names.
-const EXACT: [(Algorithm, &str); 6] = [
+const EXACT: [(Algorithm, &str); 7] = [
     (Algorithm::DpSize, "DPsize"),
     (Algorithm::DpSizeNaive, "DPsize-naive"),
     (Algorithm::DpSub, "DPsub"),
     (Algorithm::DpSubUnfiltered, "DPsub-nofilter"),
     (Algorithm::DpCcp, "DPccp"),
+    (Algorithm::DpConv, "DPconv"),
     (Algorithm::TopDown, "top-down"),
 ];
+
+/// Largest instance the `O(2^n · n²)` ranked-subset-convolution counter
+/// cross-check runs on (the transform allocates `(n+1) · 2^n` words).
+pub const RANKED_CHECK_MAX_N: usize = 16;
 
 /// Runs the full differential matrix on one instance.
 ///
@@ -512,6 +517,32 @@ fn check_counters(inst: &Instance, results: &[(&str, DpResult)]) -> Result<(), D
             "DPccp" => expect(label, "inner", inner, ccps.into())?,
             _ => {}
         }
+    }
+
+    // An algorithm-independent re-derivation of #ccp through DPconv's
+    // own algebra: convolve the connectivity indicator with itself via
+    // the exact O(2^n · n²) ranked zeta/Möbius transform. For each
+    // connected S, h[S] counts the ordered pairs of disjoint non-empty
+    // connected sets covering S — each of which has a cross edge
+    // (otherwise S would be disconnected), i.e. exactly the ordered
+    // csg-cmp-pairs. Every enumeration algorithm above and the ranked
+    // transform must therefore land on the same total.
+    if g.num_relations() <= RANKED_CHECK_MAX_N {
+        let size = 1usize << g.num_relations();
+        let indicator: Vec<i64> = (0..size)
+            .map(|s| {
+                let set = RelSet::from_bits(s as u64);
+                i64::from(!set.is_empty() && g.is_connected_set(set))
+            })
+            .collect();
+        let h = joinopt_core::transform::ranked_subset_convolution(&indicator, &indicator);
+        let ordered: i64 = (0..size).filter(|&s| indicator[s] == 1).map(|s| h[s]).sum();
+        expect(
+            "ranked transform",
+            "ordered ccp total",
+            ordered as u128,
+            (2 * ccps).into(),
+        )?;
     }
 
     // The four paper families additionally have closed forms in n.

@@ -61,6 +61,29 @@ pub enum OptimizeError {
     /// The run was cancelled through its
     /// [`CancelFlag`](crate::CancelFlag).
     Cancelled,
+    /// The requested algorithm cannot optimize under the requested cost
+    /// model. Produced by enumerators whose correctness depends on a
+    /// structural property of the model — DPconv requires a
+    /// `C_out`-shaped cost (a function of the relation set alone) and
+    /// refuses anything else instead of silently returning a plan that
+    /// is optimal for the wrong objective.
+    UnsupportedCostModel {
+        /// The refusing algorithm.
+        algorithm: &'static str,
+        /// The requested cost model's name.
+        model: &'static str,
+    },
+    /// The query exceeds the algorithm's hard size cap (direct-addressed
+    /// `2^n` tables). Pick an algorithm without dense tables (DPccp,
+    /// IDP, GOO) for larger queries.
+    TooManyRelations {
+        /// The refusing algorithm.
+        algorithm: &'static str,
+        /// Relations in the query.
+        relations: usize,
+        /// The algorithm's cap.
+        max: usize,
+    },
     /// A service batch was rejected at admission: accepting the request
     /// would overflow the service's queue capacity. Only produced by the
     /// `joinopt-service` admission layer, never by the algorithms.
@@ -117,6 +140,23 @@ impl fmt::Display for OptimizeError {
                 )
             }
             OptimizeError::Cancelled => write!(f, "optimization was cancelled"),
+            OptimizeError::UnsupportedCostModel { algorithm, model } => {
+                write!(
+                    f,
+                    "{algorithm} cannot optimize under the {model} cost model \
+                     (requires a C_out-shaped cost)"
+                )
+            }
+            OptimizeError::TooManyRelations {
+                algorithm,
+                relations,
+                max,
+            } => {
+                write!(
+                    f,
+                    "{algorithm} is capped at {max} relations, query has {relations}"
+                )
+            }
             OptimizeError::QueueFull { queued, capacity } => {
                 write!(
                     f,
@@ -153,6 +193,8 @@ impl std::error::Error for OptimizeError {
             | OptimizeError::CostBudgetExceeded { .. }
             | OptimizeError::MemoryBudgetExceeded { .. }
             | OptimizeError::Cancelled
+            | OptimizeError::UnsupportedCostModel { .. }
+            | OptimizeError::TooManyRelations { .. }
             | OptimizeError::QueueFull { .. }
             | OptimizeError::TenantLimitExceeded { .. }
             | OptimizeError::Internal(_) => None,
@@ -246,6 +288,26 @@ mod tests {
         let i = OptimizeError::Internal("worker panicked".into());
         assert!(i.to_string().contains("worker panicked"));
         assert!(i.source().is_none());
+    }
+
+    #[test]
+    fn capability_errors_display_context() {
+        let u = OptimizeError::UnsupportedCostModel {
+            algorithm: "DPconv",
+            model: "HashJoin",
+        };
+        assert!(u.to_string().contains("DPconv"));
+        assert!(u.to_string().contains("HashJoin"));
+        assert!(u.to_string().contains("C_out"));
+        assert!(u.source().is_none());
+        let t = OptimizeError::TooManyRelations {
+            algorithm: "DPconv",
+            relations: 30,
+            max: 22,
+        };
+        assert!(t.to_string().contains("30"));
+        assert!(t.to_string().contains("22"));
+        assert!(t.source().is_none());
     }
 
     #[test]

@@ -19,6 +19,10 @@
 //! | `engine-tiebreak-invert`| behavioral [`flag`]: the parallel engine's |
 //! |                         | cost tie-break keeps the *last* candidate  |
 //! |                         | instead of the first (conformance harness) |
+//! | `dpconv-rank-skip`      | behavioral [`flag`]: DPconv drops the      |
+//! |                         | balanced convolution layer of its final    |
+//! |                         | rank (`n ≥ 4`) — a silent wrong-cost bug   |
+//! |                         | the differential oracle must catch         |
 //!
 //! The registry is a global mutex; tests that arm sites must serialize
 //! themselves (the resilience suite shares one test lock). A panicking

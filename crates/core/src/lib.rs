@@ -33,7 +33,11 @@
 //!   ladder (exact → IDP → greedy) that turns budget trips into
 //!   cheaper plans instead of errors ([`BudgetAction::Degrade`]);
 //! * [`exhaustive`] — an independent top-down oracle used by the test
-//!   suite, and [`greedy`] — a GOO baseline for plan-quality context.
+//!   suite, and [`greedy`] — a GOO baseline for plan-quality context;
+//! * [`DpConv`] — the subset-convolution formulation of the DP over the
+//!   popcount-ranked lattice (Stoian & Kipf, arXiv 2409.08013) for
+//!   `C_out`-shaped cost models, backed by the fast zeta/Möbius
+//!   [`transform`] module.
 //!
 //! # Example
 //!
@@ -58,6 +62,7 @@ mod cancel;
 mod counters;
 mod degrade;
 mod dpccp;
+mod dpconv;
 mod dphyp;
 mod dpsize;
 mod dpsub;
@@ -77,12 +82,14 @@ mod request;
 mod result;
 pub mod table;
 mod topdown;
+pub mod transform;
 
 pub use annealing::SimulatedAnnealing;
 pub use cancel::{CancelFlag, CancellationToken};
 pub use counters::Counters;
 pub use degrade::{BudgetAction, DegradationInfo, DegradationRung, TripKind};
 pub use dpccp::DpCcp;
+pub use dpconv::DpConv;
 pub use dphyp::DpHyp;
 pub use dpsize::{DpSize, DpSizeNaive};
 pub use dpsub::{DpSub, DpSubCrossProducts, DpSubUnfiltered};

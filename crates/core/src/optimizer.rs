@@ -6,6 +6,7 @@ use joinopt_telemetry::{NoopObserver, Observer};
 
 use crate::annealing::SimulatedAnnealing;
 use crate::dpccp::DpCcp;
+use crate::dpconv::DpConv;
 use crate::dpsize::{DpSize, DpSizeNaive};
 use crate::dpsub::{DpSub, DpSubCrossProducts, DpSubUnfiltered};
 use crate::error::OptimizeError;
@@ -30,6 +31,9 @@ pub enum Algorithm {
     DpSubCrossProducts,
     /// csg-cmp-pair driven DP (the paper's new algorithm).
     DpCcp,
+    /// Subset-convolution DP over the popcount-ranked lattice (DPconv);
+    /// exact, but only for `C_out`-shaped cost models.
+    DpConv,
     /// Size-driven DP restricted to left-deep trees (Selinger space).
     DpSizeLeftDeep,
     /// Iterative DP (IDP-1, Kossmann & Stocker): near-optimal plans for
@@ -48,19 +52,36 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All concrete (non-`Auto`) algorithms.
-    pub const CONCRETE: [Algorithm; 11] = [
+    pub const CONCRETE: [Algorithm; 12] = [
         Algorithm::DpSize,
         Algorithm::DpSizeNaive,
         Algorithm::DpSub,
         Algorithm::DpSubUnfiltered,
         Algorithm::DpSubCrossProducts,
         Algorithm::DpCcp,
+        Algorithm::DpConv,
         Algorithm::TopDown,
         Algorithm::DpSizeLeftDeep,
         Algorithm::Idp,
         Algorithm::SimulatedAnnealing,
         Algorithm::Goo,
     ];
+
+    /// Smallest query size at which `Auto` prefers [`DpConv`] over the
+    /// DPsub/DPccp pair on dense `C_out` queries.
+    ///
+    /// Measured on the `joinopt perf` clique matrix: DPconv and DPsub
+    /// relax the same `Θ(3ⁿ)` candidate space on a clique, but DPconv's
+    /// per-*set* cardinality term and witness-only table make its inner
+    /// loop three array reads and one compare, with no hash-table or
+    /// per-split estimator work — it wins at *every* measured clique
+    /// size (2–4× from n = 4 up), so this floor is not a performance
+    /// crossover. Below it every exact algorithm finishes in tens of
+    /// microseconds and `Auto` keeps the longest-validated DPsub; from
+    /// 12 relations the absolute gap turns material (milliseconds) and
+    /// the lighter loop is worth the engine switch (see
+    /// `docs/ALGORITHMS.md` §7 for the measured data).
+    pub const DPCONV_MIN_RELATIONS: usize = 12;
 
     /// Resolves `Auto` for a given graph, assuming this machine's
     /// [`std::thread::available_parallelism`].
@@ -112,6 +133,32 @@ impl Algorithm {
         Algorithm::DpCcp
     }
 
+    /// Resolves `Auto` for a given graph, thread count *and* cost model
+    /// — the resolution the request layer uses.
+    ///
+    /// Extends [`Algorithm::select_auto_with_parallelism`] with the one
+    /// choice that depends on the cost model: on dense graphs of
+    /// [`Algorithm::DPCONV_MIN_RELATIONS`] or more relations where the
+    /// model is `C_out`-shaped ([`CostModel::is_cout_shaped`]), the
+    /// subset-convolution engine [`DpConv`] replaces the DPsub/DPccp
+    /// pair. The guard on the model is load-bearing: DPconv refuses
+    /// non-`C_out` models with a typed error, so `Auto` must never route
+    /// a `HashJoin`-costed query to it.
+    pub fn select_auto_with_model(
+        g: &QueryGraph,
+        threads: usize,
+        model: &dyn CostModel,
+    ) -> Algorithm {
+        let picked = Algorithm::select_auto_with_parallelism(g, threads);
+        if picked == Algorithm::DpSub
+            && g.num_relations() >= Algorithm::DPCONV_MIN_RELATIONS
+            && model.is_cout_shaped()
+        {
+            return Algorithm::DpConv;
+        }
+        picked
+    }
+
     /// The underlying [`JoinOrderer`] (after `Auto` resolution).
     pub fn orderer(self, g: &QueryGraph) -> &'static dyn JoinOrderer {
         match self {
@@ -121,6 +168,7 @@ impl Algorithm {
             Algorithm::DpSubUnfiltered => &DpSubUnfiltered,
             Algorithm::DpSubCrossProducts => &DpSubCrossProducts,
             Algorithm::DpCcp => &DpCcp,
+            Algorithm::DpConv => &DpConv,
             Algorithm::DpSizeLeftDeep => &DpSizeLeftDeep,
             Algorithm::Idp => {
                 const DEFAULT_IDP: Idp = Idp::with_block_size(10);
@@ -154,6 +202,7 @@ impl Algorithm {
             "dpsub-nofilter" => Some(Algorithm::DpSubUnfiltered),
             "dpsub-cp" => Some(Algorithm::DpSubCrossProducts),
             "dpccp" => Some(Algorithm::DpCcp),
+            "dpconv" => Some(Algorithm::DpConv),
             "dpsize-leftdeep" => Some(Algorithm::DpSizeLeftDeep),
             "idp" => Some(Algorithm::Idp),
             "simulatedannealing" | "sa" => Some(Algorithm::SimulatedAnnealing),
@@ -481,6 +530,40 @@ mod tests {
         }
         // Empty batches are fine.
         assert!(opt.optimize_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn auto_routes_dense_cout_queries_to_dpconv_but_guards_the_model() {
+        let big = generators::clique(Algorithm::DPCONV_MIN_RELATIONS).unwrap();
+        // C_out-shaped model on a crossover-sized clique: DPconv.
+        assert_eq!(
+            Algorithm::select_auto_with_model(&big, 1, &Cout),
+            Algorithm::DpConv
+        );
+        // The model guard: DPconv would refuse HashJoin with a typed
+        // error, so Auto must fall back to DPsub on the same graph.
+        assert_eq!(
+            Algorithm::select_auto_with_model(&big, 1, &HashJoin),
+            Algorithm::DpSub
+        );
+        // Below the measured crossover the DPsub choice stands even for
+        // C_out, and sparse graphs stay with DPccp at any size.
+        let small = generators::clique(Algorithm::DPCONV_MIN_RELATIONS - 1).unwrap();
+        assert_eq!(
+            Algorithm::select_auto_with_model(&small, 1, &Cout),
+            Algorithm::DpSub
+        );
+        let sparse = generators::chain(Algorithm::DPCONV_MIN_RELATIONS + 2).unwrap();
+        assert_eq!(
+            Algorithm::select_auto_with_model(&sparse, 1, &Cout),
+            Algorithm::DpCcp
+        );
+        // Past the dense-table cap nothing dense-table-backed is viable.
+        let huge = generators::clique(crate::parallel::MAX_ENGINE_RELATIONS + 1).unwrap();
+        assert_eq!(
+            Algorithm::select_auto_with_model(&huge, 1, &Cout),
+            Algorithm::DpCcp
+        );
     }
 
     #[test]

@@ -213,6 +213,9 @@ pub struct Session {
     level_sets: Vec<u64>,
     /// Scratch: per-worker output buffers.
     outputs: Vec<Vec<NewEntry>>,
+    /// Pooled dense state for DPconv runs (connectivity bitmap,
+    /// cardinality/cost tables, witness array, rank lists).
+    dpconv: crate::dpconv::DpConvScratch,
     /// Number of optimization runs served.
     runs: u64,
 }
@@ -235,6 +238,13 @@ impl Session {
             + self.present.capacity() * std::mem::size_of::<u64>()
             + self.plans.capacity() * std::mem::size_of::<PlanId>()
             + self.arena.bytes()
+            + self.dpconv.bytes()
+    }
+
+    /// The pooled DPconv scratch, counting the hand-out as a served run.
+    pub(crate) fn dpconv_scratch(&mut self) -> &mut crate::dpconv::DpConvScratch {
+        self.runs += 1;
+        &mut self.dpconv
     }
 
     /// Readies the pooled buffers for a run over `n` relations: grows

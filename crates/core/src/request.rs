@@ -205,7 +205,7 @@ impl<'a> OptimizeRequest<'a> {
             self.threads
         };
         let algorithm = match self.algorithm {
-            Algorithm::Auto => Algorithm::select_auto_with_parallelism(self.graph, threads),
+            Algorithm::Auto => Algorithm::select_auto_with_model(self.graph, threads, self.model),
             concrete => concrete,
         };
         let variant = match algorithm {
@@ -229,6 +229,17 @@ impl<'a> OptimizeRequest<'a> {
                 &ctl,
             )
             .map(|r| (r, threads)),
+            // DPconv pools its dense tables and rank lists in the
+            // session, like the level-synchronous engine pools its own.
+            None if algorithm == Algorithm::DpConv => crate::dpconv::run_pooled(
+                self.graph,
+                self.catalog,
+                self.model,
+                self.observer,
+                &ctl,
+                session.dpconv_scratch(),
+            )
+            .map(|r| (r, 1)),
             None => algorithm
                 .orderer(self.graph)
                 .optimize_controlled(self.graph, self.catalog, self.model, self.observer, &ctl)
@@ -395,6 +406,68 @@ mod tests {
     use crate::{DpCcp, DpSub};
     use joinopt_cost::{workload, HashJoin};
     use joinopt_qgraph::GraphKind;
+
+    #[test]
+    fn dpconv_pools_sessions_and_matches_direct_runs() {
+        use crate::result::JoinOrderer as _;
+        let mut session = Session::new();
+        for seed in 0..3 {
+            let w = workload::family_workload(GraphKind::Clique, 9, seed);
+            let outcome = OptimizeRequest::new(&w.graph, &w.catalog)
+                .with_algorithm(Algorithm::DpConv)
+                .run_in(&mut session)
+                .unwrap();
+            let direct = crate::DpConv
+                .optimize(&w.graph, &w.catalog, &joinopt_cost::Cout)
+                .unwrap();
+            assert_eq!(outcome.result.cost.to_bits(), direct.cost.to_bits());
+            assert_eq!(outcome.result.tree, direct.tree);
+            assert_eq!(outcome.result.counters, direct.counters);
+        }
+        assert_eq!(session.runs(), 3, "pooled DPconv runs are served runs");
+        assert!(session.pooled_bytes() > 0, "scratch stays pooled");
+    }
+
+    #[test]
+    fn dpconv_model_refusal_bypasses_the_degradation_ladder() {
+        // The pinned cost-model contract at the request level: an
+        // incompatible model is a typed refusal even when the caller
+        // opted into degraded plans — the ladder is for budget trips,
+        // not for optimizing the wrong objective with a heuristic.
+        let w = workload::family_workload(GraphKind::Clique, 6, 1);
+        let err = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpConv)
+            .with_cost_model(&HashJoin)
+            .on_budget_exceeded(BudgetAction::Degrade)
+            .run()
+            .expect_err("typed refusal, not a degraded heuristic plan");
+        assert!(
+            matches!(err, OptimizeError::UnsupportedCostModel { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn auto_resolution_is_model_aware() {
+        // A crossover-sized C_out clique resolves Auto to DPconv; the
+        // same query under HashJoin must not (DPconv would refuse it).
+        let w = workload::family_workload(GraphKind::Clique, Algorithm::DPCONV_MIN_RELATIONS, 0);
+        let cout = OptimizeRequest::new(&w.graph, &w.catalog).run().unwrap();
+        assert_eq!(cout.algorithm, Algorithm::DpConv);
+        let hash = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_cost_model(&HashJoin)
+            .run()
+            .unwrap();
+        assert_ne!(hash.algorithm, Algorithm::DpConv);
+        // And the two exact engines agree with each other where both
+        // apply: the Auto hand-off cannot change the optimum.
+        let pinned = OptimizeRequest::new(&w.graph, &w.catalog)
+            .with_algorithm(Algorithm::DpCcp)
+            .run()
+            .unwrap();
+        let tol = 1e-9 * pinned.result.cost.abs().max(1.0);
+        assert!((cout.result.cost - pinned.result.cost).abs() <= tol);
+    }
 
     #[test]
     fn defaults_resolve_auto_and_succeed() {

@@ -47,6 +47,20 @@ pub trait CostModel: Send + Sync {
     fn is_symmetric(&self) -> bool {
         false
     }
+
+    /// Whether the model is `C_out`-shaped: the cost of a join is the
+    /// output cardinality plus the children's costs, and therefore a
+    /// function of the relation *set* alone. This is the structural
+    /// property that lets the join-ordering DP collapse to subset
+    /// convolution over the ranked lattice (DPconv): the per-set term
+    /// `|S|` can be added once per set instead of once per split.
+    /// Models whose cost depends on the operand decomposition (input
+    /// cardinalities, build/probe roles, sort costs) must leave this
+    /// `false`; enumerators that rely on it refuse such models with a
+    /// typed error rather than silently optimizing the wrong function.
+    fn is_cout_shaped(&self) -> bool {
+        false
+    }
 }
 
 /// Boxed models are models: lets call sites that select a model at
@@ -64,6 +78,10 @@ impl<M: CostModel + ?Sized> CostModel for Box<M> {
 
     fn is_symmetric(&self) -> bool {
         (**self).is_symmetric()
+    }
+
+    fn is_cout_shaped(&self) -> bool {
+        (**self).is_cout_shaped()
     }
 }
 
@@ -84,6 +102,10 @@ impl CostModel for Cout {
     }
 
     fn is_symmetric(&self) -> bool {
+        true
+    }
+
+    fn is_cout_shaped(&self) -> bool {
         true
     }
 }
@@ -197,6 +219,25 @@ mod tests {
         assert_eq!(c, 350.0);
         assert!(Cout.is_symmetric());
         assert_eq!(Cout.name(), "Cout");
+    }
+
+    #[test]
+    fn only_cout_is_cout_shaped() {
+        assert!(Cout.is_cout_shaped());
+        let physical: [&dyn CostModel; 4] =
+            [&NestedLoopJoin, &HashJoin, &SortMergeJoin, &MinOverPhysical];
+        for m in physical {
+            assert!(
+                !m.is_cout_shaped(),
+                "{} depends on operand cardinalities, not the set alone",
+                m.name()
+            );
+        }
+        // The boxed forwarder preserves the flag.
+        let boxed: Box<dyn CostModel> = Box::new(Cout);
+        assert!(boxed.is_cout_shaped());
+        let boxed_hash: Box<dyn CostModel> = Box::new(HashJoin);
+        assert!(!boxed_hash.is_cout_shaped());
     }
 
     #[test]

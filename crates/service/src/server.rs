@@ -608,6 +608,7 @@ pub fn algorithm_name(a: Algorithm) -> &'static str {
         Algorithm::DpSubUnfiltered => "dpsub-nofilter",
         Algorithm::DpSubCrossProducts => "dpsub-cp",
         Algorithm::DpCcp => "dpccp",
+        Algorithm::DpConv => "dpconv",
         Algorithm::DpSizeLeftDeep => "dpsize-leftdeep",
         Algorithm::Idp => "idp",
         Algorithm::SimulatedAnnealing => "sa",

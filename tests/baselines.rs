@@ -55,7 +55,8 @@ fn facade_dispatches_every_algorithm() {
             | Algorithm::DpSub
             | Algorithm::DpSubUnfiltered
             | Algorithm::TopDown
-            | Algorithm::DpCcp => {
+            | Algorithm::DpCcp
+            | Algorithm::DpConv => {
                 assert!(
                     (r.cost - optimal).abs() <= 1e-9 * optimal,
                     "{alg:?}: {} vs {}",
