@@ -59,7 +59,22 @@ RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
     serve --smoke --prom /tmp/joinopt-serve-smoke.prom
 grep -q joinopt_serve_accepted_total /tmp/joinopt-serve-smoke.prom \
     || { echo "serve smoke flush missing serve counters"; exit 1; }
+grep -q joinopt_serve_stage_ /tmp/joinopt-serve-smoke.prom \
+    || { echo "serve smoke flush missing windowed stage metrics"; exit 1; }
 rm -f /tmp/joinopt-serve-smoke.prom
+
+echo "==> span-timeline golden: traced requests under a manual clock (--cfg failpoints)"
+# Replays three requests (cold, warm, retry-after-injected-panic) through
+# the traced dispatch path on a manual clock and diffs the resulting
+# span-timeline JSON byte-for-byte against the committed golden. The
+# retry leg arms failpoints, so this gate only exists in the failpoints
+# build. Re-generate with the same command after an intended change.
+RUSTFLAGS="--cfg failpoints" CARGO_TARGET_DIR=target/failpoints \
+    cargo run --offline -q -p joinopt-cli --bin joinopt -- \
+    serve --span-timeline /tmp/joinopt-serve-span.json
+diff -u tests/goldens/serve-span-timeline.json /tmp/joinopt-serve-span.json \
+    || { echo "span-timeline drifted from the committed golden"; exit 1; }
+rm -f /tmp/joinopt-serve-span.json
 
 echo "==> chaos gate: seeded fault burst, zero wrong plans (--cfg failpoints)"
 # Warmup / panic burst / recovery against the hardened gateway; gates on

@@ -34,24 +34,27 @@ use std::time::{Duration, Instant};
 use joinopt_cost::workload::family_workload;
 use joinopt_qgraph::GraphKind;
 use joinopt_relset::XorShift64;
-use joinopt_service::gateway::error_kind;
 use joinopt_service::{
     BreakerConfig, BreakerState, CacheConfig, Gateway, GatewayConfig, GatewayStats,
     OptimizerService, Priority, QuerySpec, ServiceConfig, ServiceRequest, ShedConfig,
 };
 use joinopt_telemetry::json::{write_escaped, write_f64, JsonValue};
-use joinopt_telemetry::Histogram;
+use joinopt_telemetry::{Histogram, RequestTrace};
 
 /// The families the load mix draws from (the paper's structural
 /// extremes, same as the perf matrix).
 pub const LOAD_FAMILIES: [GraphKind; 3] = [GraphKind::Chain, GraphKind::Star, GraphKind::Clique];
 
 /// Report schema identifier.
-pub const SCHEMA: &str = "joinopt-load-v2";
+pub const SCHEMA: &str = "joinopt-load-v3";
 
-/// The previous schema, still accepted by [`LoadReport::parse`] (v1
-/// reports predate the per-type error breakdown, which reads as
-/// all-zero).
+/// The previous schema, still accepted by [`LoadReport::parse`] (v2
+/// reports predate the per-stage latency breakdown, which reads as
+/// empty).
+pub const SCHEMA_V2: &str = "joinopt-load-v2";
+
+/// The oldest accepted schema (predates both the per-type error
+/// breakdown and the stage latencies; both read as empty).
 pub const SCHEMA_V1: &str = "joinopt-load-v1";
 
 /// Configuration of one load run.
@@ -107,7 +110,7 @@ pub struct ErrorBreakdown {
 impl ErrorBreakdown {
     /// Books one error under its reporting label (a
     /// [`Rejection::kind`](joinopt_service::Rejection::kind) or
-    /// [`error_kind`] string).
+    /// [`error_kind`](joinopt_service::gateway::error_kind) string).
     pub fn record(&mut self, kind: &str) {
         match kind {
             "timeout" => self.timeout += 1,
@@ -157,6 +160,21 @@ impl ErrorBreakdown {
     }
 }
 
+/// Latency quantiles of one request-lifecycle stage across a run —
+/// the load report's slice of the serve path's stage spans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Stage name (`shed-check`, `breaker`, `cache-lookup`, `optimize`,
+    /// `retry-backoff`).
+    pub stage: String,
+    /// Samples recorded for the stage.
+    pub count: u64,
+    /// Median stage latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile stage latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
 /// Results of one load run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoadReport {
@@ -180,6 +198,9 @@ pub struct LoadReport {
     pub p50_ns: u64,
     /// 99th-percentile per-request latency, nanoseconds.
     pub p99_ns: u64,
+    /// Per-stage latency breakdown of the gateway lifecycle, sorted by
+    /// stage name (empty when parsed from a pre-v3 report).
+    pub stages: Vec<StageLatency>,
 }
 
 /// Builds the seeded request mix for `config`: fresh queries cycle
@@ -219,13 +240,21 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
 /// the stream reports to `obs` (e.g. a
 /// [`RegistryObserver`](joinopt_telemetry::RegistryObserver), so the
 /// `joinopt_cache_*` series cover the whole run).
+///
+/// Since v3 the stream runs through the server's [`Gateway`] (one
+/// driver thread per `config.threads`, watermarks opened wide enough
+/// that nothing sheds), each request under a [`RequestTrace`] — so the
+/// report carries the same per-stage latency breakdown the serve path's
+/// `metrics` verb exposes. At one driver, requests still execute in
+/// arrival order and every repeat is a guaranteed cache hit, exactly as
+/// before.
 pub fn run_load_observed(
     config: &LoadConfig,
     obs: &(dyn joinopt_telemetry::Observer + Sync),
 ) -> LoadReport {
     let stream = build_stream(config);
     let service = OptimizerService::new(ServiceConfig {
-        worker_threads: config.threads.max(1),
+        worker_threads: 1,
         queue_capacity: stream.len().max(1),
         tenant_limit: stream.len().max(1),
         cache: Some(CacheConfig {
@@ -233,24 +262,103 @@ pub fn run_load_observed(
             ..CacheConfig::default()
         }),
     });
+    // Watermarks above the driver count: the load harness measures the
+    // optimizer, so the gateway must never shed its own stream.
+    let drivers = config.threads.max(1);
+    let gateway = Gateway::new(
+        service,
+        GatewayConfig {
+            shed: ShedConfig {
+                low_watermark: drivers + stream.len(),
+                high_watermark: drivers + stream.len(),
+                max_in_flight: drivers + stream.len(),
+                ..ShedConfig::default()
+            },
+            seed: config.seed,
+            ..GatewayConfig::default()
+        },
+    );
+
+    type DriverOutcome = Result<(bool, u64), &'static str>;
+    let next = AtomicUsize::new(0);
+    let outcomes: Mutex<Vec<DriverOutcome>> = Mutex::new(Vec::with_capacity(stream.len()));
+    let stage_hists: Mutex<std::collections::BTreeMap<&'static str, Histogram>> =
+        Mutex::new(std::collections::BTreeMap::new());
     let start = Instant::now();
-    let results = service.submit_batch_observed(&stream, obs);
+    std::thread::scope(|scope| {
+        for _ in 0..drivers {
+            scope.spawn(|| {
+                let mut session = None;
+                let mut local: std::collections::BTreeMap<&'static str, Histogram> =
+                    std::collections::BTreeMap::new();
+                let mut local_outcomes = Vec::new();
+                let clock = gateway.clock();
+                loop {
+                    let k = next.fetch_add(1, Ordering::SeqCst);
+                    let Some(req) = stream.get(k) else { break };
+                    let mut trace =
+                        RequestTrace::new(String::new(), &req.tenant, "optimize", clock.now_ns());
+                    let r = gateway.handle_traced(req, None, &mut session, obs, Some(&mut trace));
+                    trace.finish(if r.is_ok() { "ok" } else { "error" }, clock.now_ns());
+                    for span in trace.spans() {
+                        local
+                            .entry(span.stage)
+                            .or_default()
+                            .record(span.duration_ns());
+                    }
+                    local_outcomes.push(match r {
+                        Ok(o) => Ok((
+                            o.cache_hit,
+                            u64::try_from(o.elapsed.as_nanos()).unwrap_or(u64::MAX),
+                        )),
+                        Err(e) => Err(e.kind()),
+                    });
+                }
+                let mut shared = stage_hists
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                for (stage, hist) in local {
+                    shared.entry(stage).or_default().merge(&hist);
+                }
+                drop(shared);
+                outcomes
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .extend(local_outcomes);
+            });
+        }
+    });
     let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let outcomes = outcomes
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let stage_hists = stage_hists
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
 
     let mut latencies = Histogram::default();
     let mut completed = 0usize;
     let mut errors_by_type = ErrorBreakdown::default();
     let mut hits = 0usize;
-    for r in &results {
+    for r in &outcomes {
         match r {
-            Ok(outcome) => {
+            Ok((cache_hit, elapsed_ns)) => {
                 completed += 1;
-                hits += usize::from(outcome.cache_hit);
-                latencies.record(u64::try_from(outcome.elapsed.as_nanos()).unwrap_or(u64::MAX));
+                hits += usize::from(*cache_hit);
+                latencies.record(*elapsed_ns);
             }
-            Err(e) => errors_by_type.record(error_kind(e)),
+            Err(kind) => errors_by_type.record(kind),
         }
     }
+    let stages = stage_hists
+        .into_iter()
+        .map(|(stage, hist)| StageLatency {
+            stage: stage.to_string(),
+            count: hist.count(),
+            p50_ns: hist.quantile(0.5),
+            p99_ns: hist.quantile(0.99),
+        })
+        .collect();
     LoadReport {
         config: config.clone(),
         completed,
@@ -270,6 +378,7 @@ pub fn run_load_observed(
         },
         p50_ns: latencies.quantile(0.5),
         p99_ns: latencies.quantile(0.99),
+        stages,
     }
 }
 
@@ -298,7 +407,19 @@ impl LoadReport {
             self.p99_ns
         ));
         write_f64(&mut s, self.rps);
-        s.push_str("\n}\n");
+        s.push_str(",\n  \"stages\": [");
+        for (i, st) in self.stages.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str("{\"stage\": ");
+            write_escaped(&mut s, &st.stage);
+            s.push_str(&format!(
+                ", \"count\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}",
+                st.count, st.p50_ns, st.p99_ns
+            ));
+        }
+        s.push_str("]\n}\n");
         s
     }
 
@@ -329,21 +450,35 @@ impl LoadReport {
         ]);
         let mut out = t.render();
         out.push_str(&render_breakdown(&self.errors_by_type));
+        if !self.stages.is_empty() {
+            let mut st = crate::Table::new(vec!["stage", "count", "p50", "p99"]);
+            for s in &self.stages {
+                st.row(vec![
+                    s.stage.clone(),
+                    s.count.to_string(),
+                    crate::format_seconds(s.p50_ns as f64 / 1e9),
+                    crate::format_seconds(s.p99_ns as f64 / 1e9),
+                ]);
+            }
+            out.push_str(&st.render());
+        }
         out
     }
 
     /// Reads a report back from its [`LoadReport::to_json`] form.
-    /// Accepts the current [`SCHEMA`] and the older [`SCHEMA_V1`]
-    /// (which predates `errors_by_type`; the breakdown reads as zero).
+    /// Accepts the current [`SCHEMA`] plus the older [`SCHEMA_V2`]
+    /// (predates `stages`, which reads as empty) and [`SCHEMA_V1`]
+    /// (additionally predates `errors_by_type`, which reads as zero).
     pub fn parse(text: &str) -> Result<LoadReport, String> {
         let v = JsonValue::parse(text).map_err(|e| format!("bad load report JSON: {e:?}"))?;
         let schema = v
             .get("schema")
             .and_then(|s| s.as_str())
             .ok_or("load report missing schema")?;
-        if schema != SCHEMA && schema != SCHEMA_V1 {
+        if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
             return Err(format!(
-                "unknown load report schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+                "unknown load report schema {schema:?} \
+                 (expected {SCHEMA:?}, {SCHEMA_V2:?} or {SCHEMA_V1:?})"
             ));
         }
         let uint = |obj: Option<&JsonValue>, k: &str| -> Result<u64, String> {
@@ -365,6 +500,23 @@ impl LoadReport {
             max_n: uint(cfg, "max_n")? as usize,
             cache_bytes: uint(cfg, "cache_bytes")? as usize,
         };
+        let stages = v
+            .get("stages")
+            .and_then(JsonValue::as_array)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|e| {
+                        Some(StageLatency {
+                            stage: e.get("stage")?.as_str()?.to_string(),
+                            count: e.get("count")?.as_u64()?,
+                            p50_ns: e.get("p50_ns")?.as_u64()?,
+                            p99_ns: e.get("p99_ns")?.as_u64()?,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         let top = Some(&v);
         Ok(LoadReport {
             config,
@@ -377,6 +529,7 @@ impl LoadReport {
             rps: float(top, "rps")?,
             p50_ns: uint(top, "p50_ns")?,
             p99_ns: uint(top, "p99_ns")?,
+            stages,
         })
     }
 }
@@ -949,6 +1102,54 @@ mod tests {
         let report = run_load(&small_config());
         let back = LoadReport::parse(&report.to_json()).unwrap();
         assert_eq!(back, report);
+    }
+
+    #[test]
+    fn report_carries_the_stage_breakdown() {
+        let report = run_load(&small_config());
+        let names: Vec<&str> = report.stages.iter().map(|s| s.stage.as_str()).collect();
+        for stage in ["shed-check", "breaker", "cache-lookup", "optimize"] {
+            assert!(names.contains(&stage), "missing stage {stage}: {names:?}");
+        }
+        assert!(
+            names.windows(2).all(|w| w[0] < w[1]),
+            "stages sorted by name: {names:?}"
+        );
+        let lookup = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "cache-lookup")
+            .unwrap();
+        assert_eq!(lookup.count, 40, "every request probes the cache");
+        let optimize = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "optimize")
+            .unwrap();
+        assert_eq!(
+            optimize.count as usize,
+            40 - report.hits,
+            "only misses pay for an optimize span"
+        );
+        // The stage table reaches both serializations.
+        assert!(report.render().contains("cache-lookup"));
+        let v = JsonValue::parse(&report.to_json()).unwrap();
+        let stages = v.get("stages").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(stages.len(), report.stages.len());
+    }
+
+    #[test]
+    fn v2_reports_parse_with_empty_stages() {
+        let v2 = r#"{
+  "schema": "joinopt-load-v2",
+  "config": {"requests": 10, "threads": 1, "seed": 7, "max_n": 6, "cache_bytes": 1024, "repeat_rate": 0.5},
+  "completed": 10, "errors": 0, "hits": 4, "hit_rate": 0.4,
+  "errors_by_type": {"timeout": 0, "memory": 0, "shed": 0, "panic": 0, "breaker_open": 0, "other": 0},
+  "wall_ns": 1000, "p50_ns": 10, "p99_ns": 20, "rps": 100.0
+}"#;
+        let report = LoadReport::parse(v2).unwrap();
+        assert_eq!(report.completed, 10);
+        assert!(report.stages.is_empty());
     }
 
     #[test]

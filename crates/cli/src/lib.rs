@@ -32,10 +32,13 @@ use joinopt_cost::{
 use joinopt_qgraph::formulas::{ccp_distinct, csg_count};
 use joinopt_qgraph::GraphKind;
 use joinopt_query::{parse, parse_sql, write as write_query, ParsedQuery};
-use joinopt_service::server::{smoke, Listen, Server, ServerConfig};
+use joinopt_service::server::{
+    smoke, span_timeline_demo, LineClient, Listen, Server, ServerConfig,
+};
 use joinopt_service::{
     CacheConfig, CostModelId, OptimizerService, QuerySpec, ServiceConfig, ServiceRequest,
 };
+use joinopt_telemetry::json::JsonValue;
 use joinopt_telemetry::{
     collapse_trace, Fanout, MetricsCollector, MetricsRegistry, NoopObserver, Observer,
     RegistryObserver, RunReport, SyncFanout, TraceWriter,
@@ -140,8 +143,9 @@ USAGE:
                    [--burst-faults N] [--recheck N] [--json PATH]
                    [--prom PATH]
   joinopt serve    [--addr HOST:PORT | --unix PATH] [--prom PATH]
-                   [--drain-timeout-ms N]
-  joinopt serve    --smoke [--prom PATH]
+                   [--drain-timeout-ms N] [--no-trace]
+  joinopt serve    --smoke [--prom PATH] [--span-timeline PATH]
+  joinopt top      [--addr HOST:PORT] [--interval-ms N] [--once]
   joinopt flame    <trace.jsonl> [--out PATH]
   joinopt help
 
@@ -206,12 +210,13 @@ LOAD:        load replays a seeded mixed chain/star/clique request
              stream through the optimizer service (joinopt-service):
              each request repeats an earlier query with probability
              --repeat-rate, exercising the plan cache's warm path. It
-             reports throughput, p50/p99 latency, the cache hit rate
-             and a per-type error breakdown, writes the
-             joinopt-load-v2 JSON report with --json (v1 reports still
-             parse), and with --min-hit-rate fails unless the run was
-             error-free and the hit rate met the floor (the CI smoke
-             gate). --chaos replays the stream through the server
+             reports throughput, p50/p99 latency, the cache hit rate,
+             a per-type error breakdown and the per-stage latency
+             breakdown of the gateway lifecycle (shed-check, breaker,
+             cache-lookup, optimize), writes the joinopt-load-v3 JSON
+             report with --json (v2/v1 reports still parse), and with
+             --min-hit-rate fails unless the run was error-free and the
+             hit rate met the floor (the CI smoke gate). --chaos replays the stream through the server
              gateway with a seeded worker-panic burst mid-run (needs a
              --cfg failpoints build): warmup must be clean, the burst
              must open the per-tenant circuit breaker, recovery must
@@ -223,16 +228,28 @@ SERVE:       serve runs the optimizer as a long-lived server speaking
              newline-delimited JSON over TCP (--addr, default
              127.0.0.1:4006) or a unix socket (--unix). Verbs: health,
              ready, stats, optimize (inline DSL/SQL query text with
-             optional tenant/priority/algorithm/cost_model/deadline_ms
-             fields) and shutdown (graceful drain; --prom then writes
-             the final Prometheus snapshot, --drain-timeout-ms bounds
-             the wait). Requests pass watermark load shedding,
-             per-tenant circuit breakers, deadline propagation and
-             jittered retries; refusals and failures come back typed
-             with Retry-After hints. --smoke runs the self-check: a
-             scripted client drives the protocol (plus injected faults
-             in failpoints builds) and fails on any deviation. See
-             docs/service.md.
+             optional tenant/priority/algorithm/cost_model/deadline_ms/
+             trace_id fields), metrics (windowed per-tenant/verb/stage
+             p50/p99/rate snapshot, JSON or Prometheus), trace (one
+             request's span timeline by trace_id), slow (the worst-K
+             slowest requests) and shutdown (graceful drain; --prom
+             then writes the final Prometheus snapshot,
+             --drain-timeout-ms bounds the wait). Every response echoes
+             the client's id and the request's trace_id (client-
+             supplied or server-minted). Requests pass watermark load
+             shedding, per-tenant circuit breakers, deadline
+             propagation and jittered retries; refusals and failures
+             come back typed with Retry-After hints. --no-trace turns
+             request tracing off entirely: zero extra clock reads,
+             bit-identical plans, and the introspection verbs answer
+             from empty stores. --smoke runs the
+             self-check: a scripted client drives the protocol (plus
+             injected faults in failpoints builds) and fails on any
+             deviation; --span-timeline writes the deterministic
+             manual-clock span-timeline document (the CI golden). `top`
+             polls a running server's metrics verb and renders the live
+             windowed latency table (--once prints one snapshot and
+             exits). See docs/service.md.
 
 Query files are either the native DSL:
   relation <name> <cardinality>
@@ -265,6 +282,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "perf" => cmd_perf(&args[1..], out),
         "load" => cmd_load(&args[1..], out),
         "serve" => cmd_serve(&args[1..], out),
+        "top" => cmd_top(&args[1..], out),
         "flame" => cmd_flame(&args[1..], out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
@@ -293,7 +311,7 @@ fn parse_family(name: &str) -> Result<GraphKind, CliError> {
 type SplitArgs<'a> = (Vec<&'a str>, Vec<(&'a str, &'a str)>);
 
 /// Options that are boolean flags (no value argument).
-const FLAG_OPTIONS: [&str; 8] = [
+const FLAG_OPTIONS: [&str; 10] = [
     "metrics",
     "batch",
     "degrade",
@@ -302,6 +320,8 @@ const FLAG_OPTIONS: [&str; 8] = [
     "cache",
     "chaos",
     "smoke",
+    "once",
+    "no-trace",
 ];
 
 /// Splits `args` into positionals and `--key value` options.
@@ -1338,9 +1358,12 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
     };
     let mut run_smoke = false;
     let mut listen_set = false;
+    let mut span_timeline: Option<&str> = None;
     for (key, value) in options {
         match key {
             "smoke" => run_smoke = true,
+            "span-timeline" => span_timeline = Some(value),
+            "no-trace" => config.trace.enabled = false,
             "addr" => {
                 if listen_set {
                     return Err(CliError::Usage("--addr and --unix are exclusive".into()));
@@ -1363,6 +1386,17 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
                 config.drain_timeout = std::time::Duration::from_millis(ms);
             }
             other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+
+    // The deterministic span-timeline document (manual clock, seeded
+    // minter): written before the smoke so CI can golden-diff it even
+    // when the smoke itself is skipped.
+    if let Some(path) = span_timeline {
+        std::fs::write(path, span_timeline_demo())?;
+        writeln!(out, "wrote span timeline to {path}")?;
+        if !run_smoke {
+            return Ok(());
         }
     }
 
@@ -1404,6 +1438,107 @@ fn cmd_serve(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         summary.drained
     )?;
     Ok(())
+}
+
+/// `joinopt top`: poll a running server's `metrics` verb and render the
+/// live windowed per-(tenant, verb, stage) latency table. `--once`
+/// renders a single snapshot and exits (the testable/CI mode); without
+/// it the screen refreshes every `--interval-ms`.
+fn cmd_top(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (positional, options) = split_options(args)?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage(format!(
+            "top takes options only, got `{}`",
+            positional.join(" ")
+        )));
+    }
+    let mut addr = "127.0.0.1:4006".to_string();
+    let mut interval = std::time::Duration::from_millis(2000);
+    let mut once = false;
+    for (key, value) in options {
+        match key {
+            "addr" => addr = value.to_string(),
+            "interval-ms" => {
+                let ms = value
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms >= 1)
+                    .ok_or_else(|| CliError::Usage(format!("invalid interval `{value}`")))?;
+                interval = std::time::Duration::from_millis(ms);
+            }
+            "once" => once = true,
+            other => return Err(CliError::Usage(format!("unknown option --{other}"))),
+        }
+    }
+    let sock: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| CliError::Usage(format!("invalid address `{addr}`")))?;
+    let mut client = LineClient::connect(sock).map_err(CliError::Io)?;
+    loop {
+        let resp = client
+            .call("{\"verb\":\"metrics\"}")
+            .map_err(CliError::Io)?;
+        if resp.get("status").and_then(|v| v.as_str()) != Some("ok") {
+            return Err(CliError::Data(format!("metrics verb failed: {resp:?}")));
+        }
+        if !once {
+            // Clear + home, so the refresh reads like `top`.
+            write!(out, "\x1b[2J\x1b[H")?;
+        }
+        write!(out, "{}", render_top(&resp, &addr))?;
+        out.flush()?;
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Renders one `metrics` response as the `joinopt top` table.
+fn render_top(resp: &JsonValue, addr: &str) -> String {
+    let tracing = resp
+        .get("tracing")
+        .and_then(|v| v.as_bool())
+        .unwrap_or(false);
+    let window = resp.get("window");
+    let window_s = window
+        .and_then(|w| w.get("window_ns"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0) as f64
+        / 1e9;
+    let mut out = format!("joinopt top — {addr} (window {window_s:.0}s, tracing {tracing})\n\n");
+    let entries = window
+        .and_then(|w| w.get("stages"))
+        .and_then(JsonValue::as_array)
+        .unwrap_or(&[]);
+    if entries.is_empty() {
+        out.push_str("no requests in the current window\n");
+        return out;
+    }
+    let mut t = joinopt_bench::Table::new(vec![
+        "tenant", "verb", "stage", "count", "rate/s", "p50", "p99", "max",
+    ]);
+    for e in entries {
+        let s = |k: &str| e.get(k).and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let n = |k: &str| e.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        t.row(vec![
+            s("tenant"),
+            s("verb"),
+            s("stage"),
+            n("count").to_string(),
+            format!(
+                "{:.1}",
+                e.get("rate_per_sec")
+                    .and_then(|v| v.as_f64())
+                    .unwrap_or(0.0)
+            ),
+            joinopt_bench::format_seconds(n("p50_ns") as f64 / 1e9),
+            joinopt_bench::format_seconds(n("p99_ns") as f64 / 1e9),
+            joinopt_bench::format_seconds(n("max_ns") as f64 / 1e9),
+        ]);
+    }
+    out.push_str(&t.render());
+    out
 }
 
 /// `joinopt flame`: fold a `--trace-json` file into collapsed-stack

@@ -485,12 +485,24 @@ fn load_reports_hits_and_gates_on_hit_rate() {
         .expect("parseable report");
     assert_eq!(
         report.get("schema").and_then(|s| s.as_str()),
-        Some("joinopt-load-v2")
+        Some("joinopt-load-v3")
     );
     assert_eq!(report.get("errors").and_then(|e| e.as_u64()), Some(0));
     let breakdown = report.get("errors_by_type").expect("v2 error breakdown");
     assert_eq!(breakdown.get("timeout").and_then(|v| v.as_u64()), Some(0));
     assert!(report.get("hits").and_then(|h| h.as_u64()).unwrap() > 0);
+    // The v3 stage breakdown rides along and reaches the rendered table.
+    let stages = report
+        .get("stages")
+        .and_then(|s| s.as_array())
+        .expect("v3 stage breakdown");
+    assert!(
+        stages
+            .iter()
+            .any(|s| s.get("stage").and_then(|v| v.as_str()) == Some("cache-lookup")),
+        "stage breakdown missing cache-lookup: {stages:?}"
+    );
+    assert!(out.contains("cache-lookup"), "{out}");
 }
 
 #[test]
@@ -1345,4 +1357,65 @@ fn serve_rejects_bad_options() {
         matches!(&err, CliError::Usage(m) if m.contains("loopback")),
         "{err}"
     );
+}
+
+#[test]
+fn serve_span_timeline_is_byte_deterministic() {
+    use joinopt_telemetry::json::JsonValue;
+
+    let path = tempfile::Builder::new()
+        .suffix(".json")
+        .tempfile()
+        .expect("create timeline file")
+        .into_temp_path();
+    let out = run_ok(&["serve", "--span-timeline", path.to_str().unwrap()]);
+    assert!(out.contains("wrote span timeline"), "{out}");
+    let first = std::fs::read_to_string(&*path).expect("timeline written");
+    run_ok(&["serve", "--span-timeline", path.to_str().unwrap()]);
+    let second = std::fs::read_to_string(&*path).expect("timeline rewritten");
+    assert_eq!(first, second, "span timeline must be run-to-run identical");
+    let doc = JsonValue::parse(&first).expect("timeline is valid JSON");
+    assert_eq!(
+        doc.get("schema").and_then(|s| s.as_str()),
+        Some("joinopt-span-timeline-v1")
+    );
+}
+
+#[test]
+fn top_once_renders_the_windowed_latency_table() {
+    use joinopt_service::server::LineClient;
+    use joinopt_service::{Server, ServerConfig};
+
+    let server = Server::bind(ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr().expect("tcp addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    // Put one traced optimize through so the window has stage series.
+    let mut client = LineClient::connect(addr).expect("connect");
+    let resp = client
+        .call("{\"verb\":\"optimize\",\"query\":\"relation a 10\\nrelation b 20\\njoin a b 0.1\"}")
+        .expect("optimize");
+    assert_eq!(resp.get("status").and_then(|v| v.as_str()), Some("ok"));
+
+    let out = run_ok(&["top", "--once", "--addr", &addr.to_string()]);
+    assert!(out.contains("joinopt top"), "{out}");
+    for needle in ["tenant", "stage", "optimize", "p99", "total"] {
+        assert!(out.contains(needle), "top output missing {needle}: {out}");
+    }
+
+    client.call("{\"verb\":\"shutdown\"}").expect("shutdown");
+    handle.join().unwrap().expect("server run");
+
+    assert!(matches!(
+        run_err(&["top", "positional"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["top", "--interval-ms", "soon"]),
+        CliError::Usage(_)
+    ));
+    assert!(matches!(
+        run_err(&["top", "--addr", "not-an-addr"]),
+        CliError::Usage(_)
+    ));
 }

@@ -17,6 +17,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Process-global count of [`Clock::now_ns`] calls, for the
+/// zero-overhead pinning tests.
+static CLOCK_READS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times any [`Clock`] in this process has been read — the
+/// serve-path analog of `joinopt_core`'s `engine_clock_reads()`. The
+/// tracing layer's contract is that, with tracing disabled, a gateway
+/// request performs *exactly* the same clock reads as before tracing
+/// existed; the pinned test in `tests/trace_overhead.rs` asserts the
+/// delta. Like its engine counterpart, the counter is monotonic and
+/// shared, so observing tests must run in their own test binary.
+pub fn clock_reads() -> u64 {
+    CLOCK_READS.load(Ordering::Relaxed)
+}
+
 /// A monotonic clock: either the real one or a manually advanced
 /// virtual one. Cheap to clone; clones share the time source.
 #[derive(Debug, Clone)]
@@ -66,6 +81,7 @@ impl Clock {
 
     /// Nanoseconds since the clock's epoch.
     pub fn now_ns(&self) -> u64 {
+        CLOCK_READS.fetch_add(1, Ordering::Relaxed);
         match &self.inner {
             Inner::System { epoch } => {
                 u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)

@@ -40,7 +40,7 @@ use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 use joinopt_core::{OptimizeError, Session};
-use joinopt_telemetry::{Event, Observer};
+use joinopt_telemetry::{Event, Observer, RequestTrace};
 
 use crate::breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 use crate::clock::Clock;
@@ -344,7 +344,29 @@ impl Gateway {
         session: &mut Option<Session>,
         obs: &dyn Observer,
     ) -> Result<ServiceOutcome, GatewayError> {
+        self.handle_traced(req, deadline, session, obs, None)
+    }
+
+    /// [`Gateway::handle`] with an optional flight recorder: when
+    /// `trace` is `Some`, each lifecycle stage (shed-check, breaker,
+    /// per-attempt cache-lookup/optimize, retry backoffs) lands as a
+    /// [`RequestTrace`] span and rejections/failures stamp their kind
+    /// on the trace. When `trace` is `None` this path performs exactly
+    /// the clock reads of the untraced lifecycle — every span timestamp
+    /// below is gated on the trace — which the pinned test in
+    /// `tests/trace_overhead.rs` holds it to via [`crate::clock_reads`].
+    pub fn handle_traced(
+        &self,
+        req: &ServiceRequest,
+        deadline: Option<Duration>,
+        session: &mut Option<Session>,
+        obs: &dyn Observer,
+        mut trace: Option<&mut RequestTrace>,
+    ) -> Result<ServiceOutcome, GatewayError> {
         let admitted_ns = self.clock.now_ns();
+        if let Some(tr) = trace.as_mut() {
+            tr.begin("shed-check", admitted_ns);
+        }
 
         if self.is_draining() {
             self.shed.fetch_add(1, Ordering::Relaxed);
@@ -352,6 +374,10 @@ impl Gateway {
                 obs.on_event(Event::ServeShed {
                     priority: req.priority.name(),
                 });
+            }
+            if let Some(tr) = trace.as_mut() {
+                tr.close_open(self.clock.now_ns());
+                tr.error_kind = Some("draining");
             }
             return Err(GatewayError::Rejected(Rejection::Draining {
                 retry_after: self.config.shed.retry_after,
@@ -376,6 +402,10 @@ impl Gateway {
                         priority: req.priority.name(),
                     });
                 }
+                if let Some(tr) = trace.as_mut() {
+                    tr.close_open(self.clock.now_ns());
+                    tr.error_kind = Some("shed");
+                }
                 return Err(GatewayError::Rejected(Rejection::Shed {
                     priority: req.priority,
                     in_flight,
@@ -383,6 +413,12 @@ impl Gateway {
                 }));
             }
         };
+
+        if let Some(tr) = trace.as_mut() {
+            let t = self.clock.now_ns();
+            tr.end(t);
+            tr.begin("breaker", t);
+        }
 
         // Per-tenant breaker admission. A breaker rejection releases
         // the just-reserved in-flight slot via the guard's drop.
@@ -396,10 +432,17 @@ impl Gateway {
             {
                 drop(tenants);
                 self.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+                if let Some(tr) = trace.as_mut() {
+                    tr.close_open(self.clock.now_ns());
+                    tr.error_kind = Some("breaker-open");
+                }
                 return Err(GatewayError::Rejected(Rejection::BreakerOpen {
                     retry_after,
                 }));
             }
+        }
+        if let Some(tr) = trace.as_mut() {
+            tr.end(self.clock.now_ns());
         }
 
         self.accepted.fetch_add(1, Ordering::Relaxed);
@@ -424,6 +467,10 @@ impl Gateway {
             if let Some(d) = deadline {
                 let elapsed = Duration::from_nanos(self.clock.now_ns().saturating_sub(admitted_ns));
                 let Some(remaining) = d.checked_sub(elapsed).filter(|r| !r.is_zero()) else {
+                    if let Some(tr) = trace.as_mut() {
+                        tr.close_open(self.clock.now_ns());
+                        tr.error_kind = Some("timeout");
+                    }
                     return Err(self.finish_failed(
                         req,
                         OptimizeError::TimeBudgetExceeded { budget: d },
@@ -436,7 +483,13 @@ impl Gateway {
                 });
             }
 
-            match self.service.submit_one(&effective, session, obs) {
+            let tracer = trace
+                .as_mut()
+                .map(|tr| (&self.clock, attempt, &mut **tr) as crate::service::AttemptTracer<'_>);
+            match self
+                .service
+                .submit_one_traced(&effective, session, obs, tracer)
+            {
                 Ok(outcome) => {
                     self.completed.fetch_add(1, Ordering::Relaxed);
                     let mut tenants = lock(&self.tenants);
@@ -452,10 +505,26 @@ impl Gateway {
                     if obs.enabled() {
                         obs.on_event(Event::ServeRetried { attempt });
                     }
+                    // A panicking attempt unwound past its span closes;
+                    // close them here and time the backoff sleep itself.
+                    if let Some(tr) = trace.as_mut() {
+                        let t = self.clock.now_ns();
+                        tr.close_open(t);
+                        tr.begin_attempt("retry-backoff", attempt, t);
+                    }
                     let delay = lock(&self.policy).backoff(attempt - 1);
                     self.clock.sleep(delay);
+                    if let Some(tr) = trace.as_mut() {
+                        tr.end(self.clock.now_ns());
+                    }
                 }
-                Err(e) => return Err(self.finish_failed(req, e, obs)),
+                Err(e) => {
+                    if let Some(tr) = trace.as_mut() {
+                        tr.close_open(self.clock.now_ns());
+                        tr.error_kind = Some(error_kind(&e));
+                    }
+                    return Err(self.finish_failed(req, e, obs));
+                }
             }
         }
     }

@@ -52,14 +52,15 @@ pub mod spec;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerState, CircuitBreaker};
 pub use cache::{CacheConfig, CacheStats, CachedPlan, PlanCache};
-pub use clock::Clock;
+pub use clock::{clock_reads, Clock};
 pub use fingerprint::{canonicalize, fingerprints_computed, CanonicalForm, Fingerprint};
 pub use gateway::{
     error_kind, Gateway, GatewayConfig, GatewayError, GatewayStats, Rejection, ShedConfig,
 };
 pub use retry::{RetryBudget, RetryConfig, RetryPolicy};
-pub use server::{ServeSummary, Server, ServerConfig};
+pub use server::{ServeSummary, Server, ServerConfig, TraceConfig};
 pub use service::{
-    CostModelId, OptimizerService, Priority, ServiceConfig, ServiceOutcome, ServiceRequest,
+    AttemptTracer, CostModelId, OptimizerService, Priority, ServiceConfig, ServiceOutcome,
+    ServiceRequest,
 };
 pub use spec::{CatalogSpec, QuerySpec};

@@ -16,7 +16,10 @@
 //! | `health`   | —                                                     | `status: ok` (liveness) |
 //! | `ready`    | —                                                     | `ready: true` unless draining |
 //! | `stats`    | —                                                     | gateway + cache counters |
-//! | `optimize` | `query` (DSL/SQL text), `id?`, `tenant?`, `priority?`, `algorithm?`, `cost_model?`, `deadline_ms?`, `time_budget_ms?`, `cost_budget?`, `memory_budget?`, `degrade?` | plan summary, or a typed rejection/error |
+//! | `optimize` | `query` (DSL/SQL text), `id?`, `trace_id?`, `tenant?`, `priority?`, `algorithm?`, `cost_model?`, `deadline_ms?`, `time_budget_ms?`, `cost_budget?`, `memory_budget?`, `degrade?` | plan summary, or a typed rejection/error |
+//! | `metrics`  | `format?` (`"json"` default, `"prometheus"`)          | windowed per-(tenant, verb, stage) p50/p99/rate snapshot |
+//! | `trace`    | `trace_id`                                            | the retained [`RequestTrace`] for that id, or `not-found` |
+//! | `slow`     | —                                                     | the worst-K slowest retained traces, worst first |
 //! | `shutdown` | —                                                     | `status: ok`, then graceful drain |
 //!
 //! Responses carry `status`: `"ok"`, `"rejected"` (gateway refusal
@@ -25,6 +28,20 @@
 //! `memory`, `panic`, `parse`, `invalid`, …} with a message).
 //! `deadline_ms` above [`MAX_DEADLINE_MS`] is rejected as `invalid`
 //! before any work happens.
+//!
+//! ## Correlation ids
+//!
+//! Every response echoes the client's `id` when one was parseable —
+//! including rejections, unknown verbs, and lines that failed JSON
+//! parsing outright (a best-effort salvage scan recovers `id`/
+//! `trace_id` from malformed lines). Optimize requests additionally
+//! carry a `trace_id`: accepted verbatim from the client or minted from
+//! a seeded per-server counter, echoed in the response, and usable with
+//! the `trace` verb to fetch the request's full stage-span timeline
+//! (accept → shed-check → breaker → cache-lookup/optimize per attempt →
+//! retry-backoff → respond). Tracing is on by default and tunable via
+//! [`TraceConfig`]; disabling it restores the untraced fast path with
+//! zero extra clock reads (pinned by `tests/trace_overhead.rs`).
 //!
 //! ## Shutdown
 //!
@@ -49,8 +66,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use joinopt_core::{Algorithm, Session};
-use joinopt_telemetry::json::{write_escaped, write_f64, JsonValue};
-use joinopt_telemetry::{MetricsRegistry, Observer, RegistryObserver};
+use joinopt_telemetry::json::{write_escaped, JsonObject, JsonValue};
+use joinopt_telemetry::{
+    MetricsRegistry, Observer, RegistryObserver, RequestTrace, TraceIdMinter, TraceLog,
+    WindowConfig, WindowedMetrics,
+};
 
 use crate::gateway::{Gateway, GatewayConfig, GatewayError, GatewayStats};
 use crate::service::{CostModelId, OptimizerService, Priority, ServiceConfig, ServiceRequest};
@@ -74,6 +94,39 @@ pub enum Listen {
     Unix(PathBuf),
 }
 
+/// Request-tracing and windowed-metrics tuning for the serve path.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Master switch. Off, the request path performs zero extra clock
+    /// reads and produces bit-identical plans (pinned in
+    /// `tests/trace_overhead.rs`); the `metrics`/`trace`/`slow` verbs
+    /// then answer from empty stores.
+    pub enabled: bool,
+    /// Sizing of the rolling per-(tenant, verb, stage) latency windows
+    /// behind the `metrics` verb and `joinopt top`.
+    pub window: WindowConfig,
+    /// How many finished traces the `trace` verb can look up by id.
+    pub recent_capacity: usize,
+    /// Worst-K bound of the `slow` verb's slowest-request ring.
+    pub slow_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    /// Tracing on, a 60-second window of one-second buckets, 256 recent
+    /// traces, worst 16 slow requests.
+    fn default() -> Self {
+        TraceConfig {
+            enabled: true,
+            window: WindowConfig {
+                bucket_width_ns: 1_000_000_000,
+                buckets: 60,
+            },
+            recent_capacity: 256,
+            slow_capacity: 16,
+        }
+    }
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -83,6 +136,8 @@ pub struct ServerConfig {
     pub service: ServiceConfig,
     /// Gateway hardening (shedding, retries, breaker).
     pub gateway: GatewayConfig,
+    /// Request tracing and windowed metrics.
+    pub trace: TraceConfig,
     /// How long the final drain may wait for in-flight requests.
     pub drain_timeout: Duration,
     /// When set, the final metrics snapshot is written here in
@@ -96,9 +151,72 @@ impl Default for ServerConfig {
             listen: Listen::Tcp("127.0.0.1:0".into()),
             service: ServiceConfig::default(),
             gateway: GatewayConfig::default(),
+            trace: TraceConfig::default(),
             drain_timeout: Duration::from_secs(30),
             prom_path: None,
         }
+    }
+}
+
+/// The server's shared observability state: the trace-id minter, the
+/// rolling windows and the bounded trace log, all behind locks so every
+/// connection thread can feed them.
+struct ServeTelemetry {
+    enabled: bool,
+    minter: TraceIdMinter,
+    windows: std::sync::Mutex<WindowedMetrics>,
+    traces: std::sync::Mutex<TraceLog>,
+}
+
+impl ServeTelemetry {
+    fn new(config: &TraceConfig, seed: u64) -> ServeTelemetry {
+        ServeTelemetry {
+            enabled: config.enabled,
+            minter: TraceIdMinter::new(seed),
+            windows: std::sync::Mutex::new(WindowedMetrics::new(config.window)),
+            traces: std::sync::Mutex::new(TraceLog::new(
+                config.recent_capacity,
+                config.slow_capacity,
+            )),
+        }
+    }
+
+    fn lock_windows(&self) -> std::sync::MutexGuard<'_, WindowedMetrics> {
+        self.windows
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn lock_traces(&self) -> std::sync::MutexGuard<'_, TraceLog> {
+        self.traces
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Files a finished trace: every stage span (plus a synthetic
+    /// `total`) lands in the rolling windows, the trace itself in the
+    /// recent/slow log.
+    fn record(&self, trace: RequestTrace) {
+        {
+            let mut windows = self.lock_windows();
+            for span in trace.spans() {
+                windows.record(
+                    &trace.tenant,
+                    trace.verb,
+                    span.stage,
+                    span.end_ns,
+                    span.duration_ns(),
+                );
+            }
+            windows.record(
+                &trace.tenant,
+                trace.verb,
+                "total",
+                trace.finished_ns,
+                trace.total_ns(),
+            );
+        }
+        self.lock_traces().record(trace);
     }
 }
 
@@ -189,6 +307,7 @@ pub struct Server {
     listener: Listener,
     local_addr: Option<SocketAddr>,
     gateway: Gateway,
+    telemetry: ServeTelemetry,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -212,11 +331,13 @@ impl Server {
             OptimizerService::new(config.service.clone()),
             config.gateway.clone(),
         );
+        let telemetry = ServeTelemetry::new(&config.trace, config.gateway.seed);
         Ok(Server {
             config,
             listener,
             local_addr,
             gateway,
+            telemetry,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -240,6 +361,7 @@ impl Server {
         let registry = MetricsRegistry::new();
         let obs = RegistryObserver::new(&registry);
         let gateway = &self.gateway;
+        let telemetry = &self.telemetry;
         let shutdown = &self.shutdown;
         let mut connections = 0u64;
         let mut accept_faults = 0u64;
@@ -266,7 +388,7 @@ impl Server {
                         connections += 1;
                         let obs = &obs;
                         scope.spawn(move || {
-                            let _ = serve_connection(gateway, shutdown, stream, obs);
+                            let _ = serve_connection(gateway, telemetry, shutdown, stream, obs);
                         });
                     }
                     Err(e)
@@ -297,7 +419,13 @@ impl Server {
             gateway.begin_drain();
         }
         let drained = gateway.await_drained(self.config.drain_timeout, &obs);
-        let prometheus = registry.snapshot().to_prometheus();
+        let mut prometheus = registry.snapshot().to_prometheus();
+        if telemetry.enabled {
+            // The final flush carries the windowed per-stage series too,
+            // so a scrape of the shutdown snapshot sees recent latency.
+            let now = gateway.clock().now_ns();
+            prometheus.push_str(&telemetry.lock_windows().snapshot(now).to_prometheus());
+        }
         if let Some(path) = &self.config.prom_path {
             std::fs::write(path, &prometheus)?;
         }
@@ -318,6 +446,7 @@ impl Server {
 /// One connection's read → dispatch → respond loop.
 fn serve_connection(
     gateway: &Gateway,
+    telemetry: &ServeTelemetry,
     shutdown: &AtomicBool,
     stream: Stream,
     obs: &dyn Observer,
@@ -341,7 +470,8 @@ fn serve_connection(
                 if text.is_empty() {
                     continue;
                 }
-                let (response, is_shutdown) = dispatch(gateway, shutdown, &text, &mut session, obs);
+                let (response, is_shutdown) =
+                    dispatch(gateway, telemetry, shutdown, &text, &mut session, obs);
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
@@ -358,10 +488,26 @@ fn serve_connection(
     }
 }
 
+/// The correlation fields every response echoes back: the client's
+/// request `id` (when one was parseable) and the request's `trace_id`
+/// (client-supplied or server-minted).
+#[derive(Debug, Clone, Copy, Default)]
+struct Echo<'a> {
+    id: Option<&'a str>,
+    trace_id: Option<&'a str>,
+}
+
+impl Echo<'_> {
+    fn apply(self, o: JsonObject) -> JsonObject {
+        o.opt_str("id", self.id).opt_str("trace_id", self.trace_id)
+    }
+}
+
 /// Parses one request line and produces the response line. The second
 /// component is `true` when the verb was `shutdown`.
 fn dispatch(
     gateway: &Gateway,
+    telemetry: &ServeTelemetry,
     shutdown: &AtomicBool,
     text: &str,
     session: &mut Option<Session>,
@@ -370,159 +516,310 @@ fn dispatch(
     let parsed = match JsonValue::parse(text) {
         Ok(v) => v,
         Err(e) => {
+            // The line is not JSON, but correlation ids are often still
+            // recognizable in it; salvage them so even this error path
+            // echoes `id`/`trace_id`.
+            let id = salvage_str_field(text, "id");
+            let trace_id = salvage_str_field(text, "trace_id");
+            let echo = Echo {
+                id: id.as_deref(),
+                trace_id: trace_id.as_deref(),
+            };
             return (
-                error_response("?", None, "invalid", &format!("bad request JSON: {e:?}")),
+                error_response("?", echo, "invalid", &format!("bad request JSON: {e:?}")),
                 false,
-            )
+            );
         }
     };
     let id = parsed
         .get("id")
         .and_then(|v| v.as_str())
         .map(str::to_string);
+    let client_trace = parsed
+        .get("trace_id")
+        .and_then(|v| v.as_str())
+        .map(str::to_string);
+    let echo = Echo {
+        id: id.as_deref(),
+        trace_id: client_trace.as_deref(),
+    };
     let verb = parsed.get("verb").and_then(|v| v.as_str()).unwrap_or("");
     match verb {
-        "health" => (simple_ok("health", id.as_deref()), false),
-        "ready" => {
-            let mut s = String::from("{\"verb\":\"ready\",\"status\":\"ok\",\"ready\":");
-            s.push_str(if gateway.is_draining() {
-                "false"
-            } else {
-                "true"
-            });
-            push_id(&mut s, id.as_deref());
-            s.push('}');
-            (s, false)
-        }
-        "stats" => (stats_response(gateway, id.as_deref()), false),
+        "health" => (simple_ok("health", echo), false),
+        "ready" => (
+            JsonObject::new()
+                .str("verb", "ready")
+                .str("status", "ok")
+                .bool("ready", !gateway.is_draining())
+                .finish_with(echo),
+            false,
+        ),
+        "stats" => (stats_response(gateway, echo), false),
+        "metrics" => (metrics_response(gateway, telemetry, &parsed, echo), false),
+        "trace" => (trace_response(telemetry, &parsed, echo), false),
+        "slow" => (slow_response(telemetry, echo), false),
         "shutdown" => {
             // Respond first (the flush happens before the flag is
             // visible to this connection's loop), then drain.
             gateway.begin_drain();
             shutdown.store(true, Ordering::SeqCst);
-            (simple_ok("shutdown", id.as_deref()), true)
+            (simple_ok("shutdown", echo), true)
         }
         "optimize" => (
-            optimize_response(gateway, &parsed, id.as_deref(), session, obs),
-            false,
-        ),
-        other => (
-            error_response(
-                "?",
+            optimize_response(
+                gateway,
+                telemetry,
+                &parsed,
                 id.as_deref(),
-                "invalid",
-                &format!("unknown verb {other:?}"),
+                client_trace,
+                session,
+                obs,
             ),
             false,
         ),
+        other => (
+            error_response("?", echo, "invalid", &format!("unknown verb {other:?}")),
+            false,
+        ),
     }
 }
 
-fn simple_ok(verb: &str, id: Option<&str>) -> String {
-    let mut s = format!("{{\"verb\":\"{verb}\",\"status\":\"ok\"");
-    push_id(&mut s, id);
-    s.push('}');
-    s
+/// Best-effort extraction of a string field from a line that failed
+/// JSON parsing: finds `"key"`, expects `:` and a JSON string, and
+/// decodes it with the real parser (escapes included). `None` when the
+/// field is absent or hopeless.
+fn salvage_str_field(text: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let start = text.find(&needle)? + needle.len();
+    let rest = text[start..].trim_start().strip_prefix(':')?.trim_start();
+    let bytes = rest.as_bytes();
+    if bytes.first() != Some(&b'"') {
+        return None;
+    }
+    let mut i = 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                return JsonValue::parse(&rest[..=i])
+                    .ok()
+                    .and_then(|v| v.as_str().map(str::to_string));
+            }
+            _ => i += 1,
+        }
+    }
+    None
 }
 
-fn push_id(out: &mut String, id: Option<&str>) {
-    if let Some(id) = id {
-        out.push_str(",\"id\":");
-        write_escaped(out, id);
+trait FinishWith {
+    fn finish_with(self, echo: Echo<'_>) -> String;
+}
+
+impl FinishWith for JsonObject {
+    /// Appends the echoed correlation fields and closes the object —
+    /// the one funnel every response line leaves through, so no path
+    /// can forget to echo `id`.
+    fn finish_with(self, echo: Echo<'_>) -> String {
+        echo.apply(self).finish()
     }
 }
 
-fn error_response(verb: &str, id: Option<&str>, error_type: &str, message: &str) -> String {
-    let mut s = format!(
-        "{{\"verb\":\"{verb}\",\"status\":\"error\",\"error_type\":\"{error_type}\",\"message\":"
-    );
-    write_escaped(&mut s, message);
-    push_id(&mut s, id);
-    s.push('}');
-    s
+fn simple_ok(verb: &str, echo: Echo<'_>) -> String {
+    JsonObject::new()
+        .str("verb", verb)
+        .str("status", "ok")
+        .finish_with(echo)
 }
 
-fn stats_response(gateway: &Gateway, id: Option<&str>) -> String {
+fn error_response(verb: &str, echo: Echo<'_>, error_type: &str, message: &str) -> String {
+    JsonObject::new()
+        .str("verb", verb)
+        .str("status", "error")
+        .str("error_type", error_type)
+        .str("message", message)
+        .finish_with(echo)
+}
+
+fn stats_response(gateway: &Gateway, echo: Echo<'_>) -> String {
     let st = gateway.stats();
-    let mut s = format!(
-        "{{\"verb\":\"stats\",\"status\":\"ok\",\"accepted\":{},\"completed\":{},\"failed\":{},\
-         \"shed\":{},\"breaker_rejected\":{},\"retried\":{},\"breaker_opens\":{},\"in_flight\":{}",
-        st.accepted,
-        st.completed,
-        st.failed,
-        st.shed,
-        st.breaker_rejected,
-        st.retried,
-        st.breaker_opens,
-        st.in_flight
-    );
+    let mut o = JsonObject::new()
+        .str("verb", "stats")
+        .str("status", "ok")
+        .u64("accepted", st.accepted)
+        .u64("completed", st.completed)
+        .u64("failed", st.failed)
+        .u64("shed", st.shed)
+        .u64("breaker_rejected", st.breaker_rejected)
+        .u64("retried", st.retried)
+        .u64("breaker_opens", st.breaker_opens)
+        .u64("in_flight", st.in_flight as u64);
     if let Some(cache) = gateway.service().cache() {
         let cs = cache.stats();
-        s.push_str(&format!(
-            ",\"cache_hits\":{},\"cache_misses\":{},\"cache_bytes\":{}",
-            cs.hits,
-            cs.misses,
-            cache.bytes()
-        ));
+        o = o
+            .u64("cache_hits", cs.hits)
+            .u64("cache_misses", cs.misses)
+            .u64("cache_bytes", cache.bytes() as u64);
     }
-    push_id(&mut s, id);
-    s.push('}');
-    s
+    o.finish_with(echo)
 }
 
-/// Builds and runs one optimize request through the gateway.
+/// The `metrics` verb: the windowed per-(tenant, verb, stage) snapshot,
+/// as JSON (default) or Prometheus text (`"format": "prometheus"`).
+fn metrics_response(
+    gateway: &Gateway,
+    telemetry: &ServeTelemetry,
+    parsed: &JsonValue,
+    echo: Echo<'_>,
+) -> String {
+    let now = if telemetry.enabled {
+        gateway.clock().now_ns()
+    } else {
+        0
+    };
+    let snap = telemetry.lock_windows().snapshot(now);
+    let o = JsonObject::new()
+        .str("verb", "metrics")
+        .str("status", "ok")
+        .bool("tracing", telemetry.enabled);
+    match parsed.get("format").and_then(|v| v.as_str()) {
+        Some("prometheus") => o.str("prometheus", &snap.to_prometheus()).finish_with(echo),
+        _ => o.raw("window", &snap.to_json()).finish_with(echo),
+    }
+}
+
+/// The `trace` verb: looks one finished request up by `trace_id`.
+fn trace_response(telemetry: &ServeTelemetry, parsed: &JsonValue, echo: Echo<'_>) -> String {
+    let Some(wanted) = parsed.get("trace_id").and_then(|v| v.as_str()) else {
+        return error_response("trace", echo, "invalid", "missing \"trace_id\" field");
+    };
+    match telemetry.lock_traces().find(wanted) {
+        Some(trace) => JsonObject::new()
+            .str("verb", "trace")
+            .str("status", "ok")
+            .raw("trace", &trace.to_json())
+            .finish_with(echo),
+        None => error_response(
+            "trace",
+            echo,
+            "not-found",
+            &format!("no retained trace with id {wanted:?}"),
+        ),
+    }
+}
+
+/// The `slow` verb: the worst-K slowest requests, worst first.
+fn slow_response(telemetry: &ServeTelemetry, echo: Echo<'_>) -> String {
+    let traces = telemetry.lock_traces();
+    let mut slowest = String::from("[");
+    for (i, t) in traces.slowest().iter().enumerate() {
+        if i > 0 {
+            slowest.push(',');
+        }
+        slowest.push_str(&t.to_json());
+    }
+    slowest.push(']');
+    JsonObject::new()
+        .str("verb", "slow")
+        .str("status", "ok")
+        .u64("count", traces.slowest().len() as u64)
+        .raw("slowest", &slowest)
+        .finish_with(echo)
+}
+
+/// Builds and runs one optimize request through the gateway, recording
+/// a [`RequestTrace`] (accept → lifecycle stages → respond) when
+/// tracing is enabled.
 fn optimize_response(
     gateway: &Gateway,
+    telemetry: &ServeTelemetry,
     parsed: &JsonValue,
     id: Option<&str>,
+    client_trace: Option<String>,
     session: &mut Option<Session>,
     obs: &dyn Observer,
 ) -> String {
+    // Accept the client's trace_id or mint one; with tracing disabled
+    // nothing is minted and only a client-supplied id is echoed.
+    let trace_id = match client_trace {
+        Some(t) => Some(t),
+        None if telemetry.enabled => Some(telemetry.minter.mint()),
+        None => None,
+    };
+    let echo = Echo {
+        id,
+        trace_id: trace_id.as_deref(),
+    };
+
+    let accept_start = telemetry.enabled.then(|| gateway.clock().now_ns());
     let (req, deadline) = match build_request(parsed) {
         Ok(pair) => pair,
-        Err((error_type, message)) => return error_response("optimize", id, error_type, &message),
+        Err((error_type, message)) => {
+            return error_response("optimize", echo, error_type, &message)
+        }
     };
-    match gateway.handle(&req, deadline, session, obs) {
+    let mut trace = match (accept_start, &trace_id) {
+        (Some(t0), Some(tid)) => {
+            let mut tr = RequestTrace::new(tid.clone(), &req.tenant, "optimize", t0);
+            tr.span("accept", t0, gateway.clock().now_ns());
+            Some(tr)
+        }
+        _ => None,
+    };
+
+    let result = gateway.handle_traced(&req, deadline, session, obs, trace.as_mut());
+    let respond_start = trace.as_ref().map(|_| gateway.clock().now_ns());
+
+    let (status, response) = match result {
         Ok(outcome) => {
-            let mut s = String::from("{\"verb\":\"optimize\",\"status\":\"ok\",\"cost\":");
-            write_f64(&mut s, outcome.result.cost);
-            s.push_str(",\"cardinality\":");
-            write_f64(&mut s, outcome.result.cardinality);
-            s.push_str(&format!(
-                ",\"relations\":{},\"algorithm\":\"{}\",\"cache_hit\":{}",
-                outcome.result.tree.num_relations(),
-                algorithm_name(outcome.algorithm),
-                outcome.cache_hit
-            ));
-            if let Some(d) = &outcome.degradation {
-                s.push_str(&format!(",\"degraded\":\"{}\"", d.rung.as_str()));
+            if let Some(tr) = trace.as_mut() {
+                tr.algorithm = Some(algorithm_name(outcome.algorithm));
+                tr.cache_hit = Some(outcome.cache_hit);
+                tr.degraded = outcome.degradation.as_ref().map(|d| d.rung.as_str());
             }
-            s.push_str(&format!(
-                ",\"elapsed_us\":{}",
-                outcome.elapsed.as_micros().min(u128::from(u64::MAX))
-            ));
-            push_id(&mut s, id);
-            s.push('}');
-            s
+            let mut o = JsonObject::new()
+                .str("verb", "optimize")
+                .str("status", "ok")
+                .f64("cost", outcome.result.cost)
+                .f64("cardinality", outcome.result.cardinality)
+                .u64("relations", outcome.result.tree.num_relations() as u64)
+                .str("algorithm", algorithm_name(outcome.algorithm))
+                .bool("cache_hit", outcome.cache_hit);
+            if let Some(d) = &outcome.degradation {
+                o = o.str("degraded", d.rung.as_str());
+            }
+            let elapsed_us = outcome.elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+            ("ok", o.u64("elapsed_us", elapsed_us).finish_with(echo))
         }
-        Err(GatewayError::Rejected(r)) => {
-            let mut s = format!(
-                "{{\"verb\":\"optimize\",\"status\":\"rejected\",\"error_type\":\"{}\",\
-                 \"retry_after_ms\":{}",
-                r.kind(),
-                r.retry_after().as_millis().max(1)
-            );
-            push_id(&mut s, id);
-            s.push('}');
-            s
-        }
-        Err(GatewayError::Failed(e)) => error_response(
-            "optimize",
-            id,
-            crate::gateway::error_kind(&e),
-            &e.to_string(),
+        Err(GatewayError::Rejected(r)) => (
+            "rejected",
+            JsonObject::new()
+                .str("verb", "optimize")
+                .str("status", "rejected")
+                .str("error_type", r.kind())
+                .u64(
+                    "retry_after_ms",
+                    r.retry_after().as_millis().max(1).min(u128::from(u64::MAX)) as u64,
+                )
+                .finish_with(echo),
         ),
+        Err(GatewayError::Failed(e)) => (
+            "error",
+            error_response(
+                "optimize",
+                echo,
+                crate::gateway::error_kind(&e),
+                &e.to_string(),
+            ),
+        ),
+    };
+
+    if let (Some(mut tr), Some(t_resp)) = (trace, respond_start) {
+        let now = gateway.clock().now_ns();
+        tr.span("respond", t_resp, now);
+        tr.finish(status, now);
+        telemetry.record(tr);
     }
+    response
 }
 
 /// Extracts a [`ServiceRequest`] + lifecycle deadline from the JSON
@@ -838,6 +1135,38 @@ pub fn smoke(prom_path: Option<&std::path::Path>) -> Result<Vec<String>, String>
     }
     log.push(format!("stats: accepted {accepted}"));
 
+    // Tracing surface: a client-supplied trace_id is echoed, its full
+    // span timeline is retrievable, the windowed metrics carry stage
+    // series, and the slow list is populated.
+    let traced = call(&smoke_optimize(0, ",\"trace_id\":\"smoke-trace-1\""))?;
+    if field_str(&traced, "trace_id")? != "smoke-trace-1" {
+        return Err(format!("client trace_id not echoed: {traced:?}"));
+    }
+    let fetched = call("{\"verb\":\"trace\",\"trace_id\":\"smoke-trace-1\"}")?;
+    if field_str(&fetched, "status")? != "ok" || fetched.get("trace").is_none() {
+        return Err(format!("trace verb did not return the trace: {fetched:?}"));
+    }
+    let metrics = call("{\"verb\":\"metrics\"}")?;
+    let window = metrics
+        .get("window")
+        .ok_or_else(|| format!("metrics missing window: {metrics:?}"))?;
+    let stage_count = window
+        .get("stages")
+        .and_then(|s| s.as_array().map(<[JsonValue]>::len))
+        .unwrap_or(0);
+    if stage_count == 0 {
+        return Err(format!(
+            "windowed metrics have no stage series: {metrics:?}"
+        ));
+    }
+    let slow = call("{\"verb\":\"slow\"}")?;
+    if slow.get("count").and_then(|v| v.as_u64()).unwrap_or(0) == 0 {
+        return Err(format!("slow list empty after traffic: {slow:?}"));
+    }
+    log.push(format!(
+        "tracing: trace_id echoed + fetched, {stage_count} windowed stage series, slow list live"
+    ));
+
     let bye = call("{\"verb\":\"shutdown\"}")?;
     if field_str(&bye, "status")? != "ok" {
         return Err(format!("shutdown not acknowledged: {bye:?}"));
@@ -852,6 +1181,9 @@ pub fn smoke(prom_path: Option<&std::path::Path>) -> Result<Vec<String>, String>
     if !summary.prometheus.contains("joinopt_serve_accepted_total") {
         return Err("final Prometheus flush missing serve series".to_string());
     }
+    if !summary.prometheus.contains("joinopt_serve_stage_") {
+        return Err("final Prometheus flush missing windowed stage series".to_string());
+    }
     if summary.connections < 1 {
         return Err("no connections recorded".to_string());
     }
@@ -861,6 +1193,87 @@ pub fn smoke(prom_path: Option<&std::path::Path>) -> Result<Vec<String>, String>
         summary.prometheus.len()
     ));
     Ok(log)
+}
+
+/// Produces the byte-deterministic span-timeline document `ci.sh` diffs
+/// against `tests/goldens/serve-span-timeline.json`.
+///
+/// A manual-clock gateway and a seeded trace-id minter drive
+/// [`dispatch`] directly (no sockets, no threads), so every span
+/// boundary is an exact virtual-clock reading:
+///
+/// 1. a **cold** optimize with a server-minted trace id,
+/// 2. a **warm** repeat (cache hit) with a client-supplied id,
+/// 3. in `--cfg failpoints` builds only — which is what the committed
+///    golden is generated from — a request whose first attempt is an
+///    injected worker panic, exercising the `retry-backoff` span with
+///    the seeded jitter stream while the `serve-slow-request` stall
+///    advances the virtual clock per attempt.
+///
+/// The document ends with the windowed-metrics snapshot aggregated from
+/// those traces, pinning the whole trace → window pipeline in one diff.
+pub fn span_timeline_demo() -> String {
+    let config = ServerConfig::default();
+    let service = OptimizerService::new(config.service.clone());
+    let gateway = Gateway::with_clock(
+        service,
+        config.gateway.clone(),
+        crate::clock::Clock::manual(),
+    );
+    let telemetry = ServeTelemetry::new(&config.trace, 42);
+    let shutdown = AtomicBool::new(false);
+    let obs = joinopt_telemetry::NoopObserver;
+    let mut session: Option<Session> = None;
+    let mut run = |req: &str| {
+        let (response, _) = dispatch(&gateway, &telemetry, &shutdown, req, &mut session, &obs);
+        response
+    };
+
+    // Spread the requests across virtual time so their span timestamps
+    // are visibly distinct in the golden.
+    run(&smoke_optimize(0, ""));
+    gateway.clock().advance(Duration::from_millis(5));
+    run(&smoke_optimize(0, ",\"trace_id\":\"demo-warm\""));
+    gateway.clock().advance(Duration::from_millis(5));
+
+    #[cfg(failpoints)]
+    {
+        use joinopt_core::failpoint;
+        failpoint::configure_times(
+            "serve-worker-panic",
+            joinopt_core::failpoint::FailAction::Panic,
+            1,
+        );
+        failpoint::configure(
+            "serve-slow-request",
+            joinopt_core::failpoint::FailAction::Error,
+        );
+        run(&smoke_optimize(1, ",\"trace_id\":\"demo-retry\""));
+        failpoint::clear("serve-slow-request");
+        failpoint::clear("serve-worker-panic");
+    }
+
+    let mut doc = String::from("{\"schema\":\"joinopt-span-timeline-v1\",\n\"traces\":[\n");
+    let traces = telemetry.lock_traces();
+    let mut ids: Vec<&str> = traces.recent_ids();
+    ids.sort_unstable();
+    for (i, id) in ids.iter().enumerate() {
+        if i > 0 {
+            doc.push_str(",\n");
+        }
+        if let Some(t) = traces.find(id) {
+            doc.push_str(&t.to_json());
+        }
+    }
+    doc.push_str("\n],\n\"window\":");
+    doc.push_str(
+        &telemetry
+            .lock_windows()
+            .snapshot(gateway.clock().now_ns())
+            .to_json(),
+    );
+    doc.push_str("}\n");
+    doc
 }
 
 #[cfg(test)]
@@ -1043,5 +1456,327 @@ mod tests {
         assert!(parse_query_text("aaaaaé = 1").is_err());
         assert!(parse_query_text("sélect * from a").is_err());
         assert_eq!(algorithm_name(Algorithm::DpCcp), "dpccp");
+    }
+
+    /// A socket-less harness: a manual-clock gateway + telemetry pair
+    /// driven straight through [`dispatch`].
+    fn dispatch_harness(trace: TraceConfig) -> (Gateway, ServeTelemetry) {
+        let config = ServerConfig {
+            trace,
+            ..ServerConfig::default()
+        };
+        let service = OptimizerService::new(config.service.clone());
+        let gateway = Gateway::with_clock(
+            service,
+            config.gateway.clone(),
+            crate::clock::Clock::manual(),
+        );
+        let telemetry = ServeTelemetry::new(&config.trace, 7);
+        (gateway, telemetry)
+    }
+
+    fn call_dispatch(gateway: &Gateway, telemetry: &ServeTelemetry, req: &str) -> JsonValue {
+        let shutdown = AtomicBool::new(false);
+        let mut session = None;
+        let (response, _) = dispatch(
+            gateway,
+            telemetry,
+            &shutdown,
+            req,
+            &mut session,
+            &joinopt_telemetry::NoopObserver,
+        );
+        JsonValue::parse(&response).unwrap_or_else(|e| panic!("bad response {response:?}: {e:?}"))
+    }
+
+    fn optimize_req(extra: &str) -> String {
+        let mut req = String::from("{\"verb\":\"optimize\",\"query\":");
+        write_escaped(&mut req, &chain4_text());
+        req.push_str(extra);
+        req.push('}');
+        req
+    }
+
+    #[test]
+    fn every_error_path_echoes_id() {
+        let (gateway, telemetry) = dispatch_harness(TraceConfig::default());
+        let expect_id = |resp: &JsonValue, who: &str| {
+            assert_eq!(
+                resp.get("id").and_then(|v| v.as_str()),
+                Some("req-9"),
+                "{who} lost the id: {resp:?}"
+            );
+        };
+
+        // Unknown verb.
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"frobnicate\",\"id\":\"req-9\"}",
+        );
+        assert_eq!(
+            r.get("error_type").and_then(|v| v.as_str()),
+            Some("invalid")
+        );
+        expect_id(&r, "unknown verb");
+
+        // Missing query.
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"optimize\",\"id\":\"req-9\"}",
+        );
+        assert_eq!(
+            r.get("error_type").and_then(|v| v.as_str()),
+            Some("invalid")
+        );
+        expect_id(&r, "missing query");
+
+        // Oversized deadline.
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            &optimize_req(",\"id\":\"req-9\",\"deadline_ms\":999999999"),
+        );
+        assert_eq!(
+            r.get("error_type").and_then(|v| v.as_str()),
+            Some("invalid")
+        );
+        expect_id(&r, "oversized deadline");
+
+        // Parse failure inside the query text.
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"optimize\",\"id\":\"req-9\",\"query\":\"gibberish\"}",
+        );
+        assert_eq!(r.get("error_type").and_then(|v| v.as_str()), Some("parse"));
+        expect_id(&r, "parse failure");
+
+        // Gateway rejection (draining).
+        gateway.begin_drain();
+        let r = call_dispatch(&gateway, &telemetry, &optimize_req(",\"id\":\"req-9\""));
+        assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("rejected"));
+        assert_eq!(
+            r.get("error_type").and_then(|v| v.as_str()),
+            Some("draining")
+        );
+        expect_id(&r, "draining rejection");
+        assert!(
+            r.get("trace_id").and_then(|v| v.as_str()).is_some(),
+            "rejections still carry a trace_id: {r:?}"
+        );
+    }
+
+    #[test]
+    fn unparseable_lines_salvage_id_and_trace_id() {
+        let (gateway, telemetry) = dispatch_harness(TraceConfig::default());
+        // Truncated JSON — unclosed object — still echoes both ids.
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"optimize\",\"id\":\"sal-1\",\"trace_id\":\"tr-1\",\"query\":\"unterminated",
+        );
+        assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("error"));
+        assert_eq!(
+            r.get("error_type").and_then(|v| v.as_str()),
+            Some("invalid")
+        );
+        assert_eq!(r.get("id").and_then(|v| v.as_str()), Some("sal-1"));
+        assert_eq!(r.get("trace_id").and_then(|v| v.as_str()), Some("tr-1"));
+
+        // Salvage decodes escapes with the real parser.
+        assert_eq!(
+            salvage_str_field("{\"id\": \"a\\\"b\\\\c\", oops", "id").as_deref(),
+            Some("a\"b\\c")
+        );
+        // Absent, non-string, or unterminated fields salvage nothing.
+        assert_eq!(salvage_str_field("{\"other\":\"x\"}", "id"), None);
+        assert_eq!(salvage_str_field("{\"id\": 42}", "id"), None);
+        assert_eq!(salvage_str_field("{\"id\": \"never-closed", "id"), None);
+    }
+
+    #[test]
+    fn trace_ids_are_minted_fetched_and_windowed() {
+        let (gateway, telemetry) = dispatch_harness(TraceConfig::default());
+        let cold = call_dispatch(&gateway, &telemetry, &optimize_req(",\"id\":\"c1\""));
+        assert_eq!(cold.get("status").and_then(|v| v.as_str()), Some("ok"));
+        let minted = cold
+            .get("trace_id")
+            .and_then(|v| v.as_str())
+            .expect("server mints a trace_id")
+            .to_string();
+
+        // The trace verb returns the full span timeline for that id.
+        let fetched = call_dispatch(
+            &gateway,
+            &telemetry,
+            &format!("{{\"verb\":\"trace\",\"trace_id\":\"{minted}\"}}"),
+        );
+        assert_eq!(fetched.get("status").and_then(|v| v.as_str()), Some("ok"));
+        let trace = fetched.get("trace").expect("trace body");
+        assert_eq!(
+            trace.get("trace_id").and_then(|v| v.as_str()),
+            Some(minted.as_str())
+        );
+        let spans = trace
+            .get("spans")
+            .and_then(|s| s.as_array().map(<[JsonValue]>::to_vec))
+            .expect("spans array");
+        let stages: Vec<_> = spans
+            .iter()
+            .filter_map(|s| s.get("stage").and_then(|v| v.as_str()))
+            .collect();
+        for stage in [
+            "accept",
+            "shed-check",
+            "breaker",
+            "cache-lookup",
+            "optimize",
+            "respond",
+        ] {
+            assert!(stages.contains(&stage), "missing stage {stage}: {stages:?}");
+        }
+
+        // A warm repeat records cache-lookup but no optimize span.
+        let warm = call_dispatch(
+            &gateway,
+            &telemetry,
+            &optimize_req(",\"trace_id\":\"warm-1\""),
+        );
+        assert_eq!(warm.get("cache_hit").and_then(|v| v.as_bool()), Some(true));
+        assert_eq!(
+            warm.get("trace_id").and_then(|v| v.as_str()),
+            Some("warm-1")
+        );
+        let warm_trace = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"trace\",\"trace_id\":\"warm-1\"}",
+        );
+        let body = warm_trace.get("trace").expect("trace body");
+        assert_eq!(body.get("cache_hit").and_then(|v| v.as_bool()), Some(true));
+        let warm_stages: Vec<_> = body
+            .get("spans")
+            .and_then(|s| s.as_array().map(<[JsonValue]>::to_vec))
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("stage").and_then(|v| v.as_str()).map(str::to_string))
+            .collect();
+        assert!(warm_stages.iter().any(|s| s == "cache-lookup"));
+        assert!(!warm_stages.iter().any(|s| s == "optimize"));
+
+        // Unknown ids are typed not-found.
+        let missing = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"trace\",\"trace_id\":\"nope\",\"id\":\"t9\"}",
+        );
+        assert_eq!(
+            missing.get("error_type").and_then(|v| v.as_str()),
+            Some("not-found")
+        );
+        assert_eq!(missing.get("id").and_then(|v| v.as_str()), Some("t9"));
+
+        // The windowed metrics carry per-stage series for the traffic.
+        let metrics = call_dispatch(&gateway, &telemetry, "{\"verb\":\"metrics\"}");
+        assert_eq!(metrics.get("tracing").and_then(|v| v.as_bool()), Some(true));
+        let stages = metrics
+            .get("window")
+            .and_then(|w| w.get("stages"))
+            .and_then(|s| s.as_array().map(<[JsonValue]>::to_vec))
+            .expect("windowed stages");
+        assert!(!stages.is_empty());
+        let prom = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"metrics\",\"format\":\"prometheus\"}",
+        );
+        assert!(prom
+            .get("prometheus")
+            .and_then(|v| v.as_str())
+            .unwrap()
+            .contains("joinopt_serve_stage_window_count"));
+
+        // And the slow list knows about the requests.
+        let slow = call_dispatch(&gateway, &telemetry, "{\"verb\":\"slow\"}");
+        assert_eq!(slow.get("count").and_then(|v| v.as_u64()), Some(2));
+    }
+
+    #[test]
+    fn disabled_tracing_mints_nothing_but_echoes_client_ids() {
+        let (gateway, telemetry) = dispatch_harness(TraceConfig {
+            enabled: false,
+            ..TraceConfig::default()
+        });
+        let r = call_dispatch(&gateway, &telemetry, &optimize_req(""));
+        assert_eq!(r.get("status").and_then(|v| v.as_str()), Some("ok"));
+        assert!(
+            r.get("trace_id").is_none(),
+            "disabled tracing must not mint ids: {r:?}"
+        );
+        // A client-supplied trace_id is still echoed (pure string work).
+        let r = call_dispatch(
+            &gateway,
+            &telemetry,
+            &optimize_req(",\"trace_id\":\"cli-1\""),
+        );
+        assert_eq!(r.get("trace_id").and_then(|v| v.as_str()), Some("cli-1"));
+        // But nothing is recorded behind it.
+        let fetched = call_dispatch(
+            &gateway,
+            &telemetry,
+            "{\"verb\":\"trace\",\"trace_id\":\"cli-1\"}",
+        );
+        assert_eq!(
+            fetched.get("error_type").and_then(|v| v.as_str()),
+            Some("not-found")
+        );
+        let metrics = call_dispatch(&gateway, &telemetry, "{\"verb\":\"metrics\"}");
+        assert_eq!(
+            metrics.get("tracing").and_then(|v| v.as_bool()),
+            Some(false)
+        );
+        let stages = metrics
+            .get("window")
+            .and_then(|w| w.get("stages"))
+            .and_then(|s| s.as_array().map(<[JsonValue]>::len));
+        assert_eq!(stages, Some(0));
+    }
+
+    #[test]
+    fn responses_round_trip_hostile_ids() {
+        let (gateway, telemetry) = dispatch_harness(TraceConfig::default());
+        let hostile = "he said \"quote\"\\\n\ttab\u{1}";
+        let mut req = String::from("{\"verb\":\"optimize\",\"id\":");
+        write_escaped(&mut req, hostile);
+        req.push_str(",\"trace_id\":");
+        write_escaped(&mut req, hostile);
+        req.push_str(",\"query\":");
+        write_escaped(&mut req, &chain4_text());
+        req.push('}');
+        // call_dispatch parse-proves the response is valid JSON even
+        // with the hostile id spliced in; the fields round-trip exactly.
+        let r = call_dispatch(&gateway, &telemetry, &req);
+        assert_eq!(r.get("id").and_then(|v| v.as_str()), Some(hostile));
+        assert_eq!(r.get("trace_id").and_then(|v| v.as_str()), Some(hostile));
+    }
+
+    #[test]
+    fn span_timeline_demo_is_byte_deterministic() {
+        let a = span_timeline_demo();
+        let b = span_timeline_demo();
+        assert_eq!(a, b, "span timeline must be run-to-run identical");
+        let doc = JsonValue::parse(&a).expect("timeline is one JSON document");
+        assert_eq!(
+            doc.get("schema").and_then(|v| v.as_str()),
+            Some("joinopt-span-timeline-v1")
+        );
+        let traces = doc
+            .get("traces")
+            .and_then(|t| t.as_array().map(<[JsonValue]>::to_vec))
+            .expect("traces array");
+        assert!(traces.len() >= 2, "cold + warm at minimum");
+        assert!(doc.get("window").and_then(|w| w.get("stages")).is_some());
     }
 }

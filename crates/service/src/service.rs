@@ -35,11 +35,18 @@ use joinopt_core::{
     Algorithm, BudgetAction, DegradationInfo, DpResult, OptimizeError, OptimizeRequest, Session,
 };
 use joinopt_cost::{CostModel, Cout, HashJoin, MinOverPhysical, NestedLoopJoin, SortMergeJoin};
-use joinopt_telemetry::{NoopObserver, Observer};
+use joinopt_telemetry::{NoopObserver, Observer, RequestTrace};
 
 use crate::cache::{CacheConfig, PlanCache};
+use crate::clock::Clock;
 use crate::fingerprint::canonicalize;
 use crate::spec::QuerySpec;
+
+/// The gateway's per-attempt tracing hookup: the clock that stamps
+/// span boundaries, the 0-based retry attempt, and the request's
+/// flight record. Bundled as a tuple so the untraced path stays a
+/// single `None`.
+pub type AttemptTracer<'a> = (&'a Clock, u32, &'a mut RequestTrace);
 
 /// The cost models the service can name — a closed, hashable id so the
 /// cache key stays `Copy` and model identity is never a dangling
@@ -414,8 +421,24 @@ impl OptimizerService {
         session: &mut Option<Session>,
         obs: &dyn Observer,
     ) -> Result<ServiceOutcome, OptimizeError> {
+        self.submit_one_traced(req, session, obs, None)
+    }
+
+    /// [`OptimizerService::submit_one`] with the gateway's flight
+    /// recorder: when `tracer` is `Some`, the cache probe and the
+    /// engine run land as `cache-lookup` / `optimize` spans stamped
+    /// from the gateway's clock and tagged with the retry attempt.
+    /// `None` keeps this path free of clock reads entirely (the
+    /// zero-overhead contract pinned in `tests/trace_overhead.rs`).
+    pub fn submit_one_traced(
+        &self,
+        req: &ServiceRequest,
+        session: &mut Option<Session>,
+        obs: &dyn Observer,
+        tracer: Option<AttemptTracer<'_>>,
+    ) -> Result<ServiceOutcome, OptimizeError> {
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.answer(session, req, obs)
+            self.answer(session, req, obs, tracer)
         }));
         match outcome {
             Ok(r) => r,
@@ -441,6 +464,7 @@ impl OptimizerService {
         session: &mut Option<Session>,
         req: &ServiceRequest,
         obs: &dyn Observer,
+        mut tracer: Option<AttemptTracer<'_>>,
     ) -> Result<ServiceOutcome, OptimizeError> {
         joinopt_core::failpoint::check("serve-worker-panic")?;
         let started = Instant::now();
@@ -456,7 +480,11 @@ impl OptimizerService {
         };
 
         // Probe the cache (fingerprinting is skipped entirely when no
-        // cache is configured).
+        // cache is configured). The canonicalization is billed to the
+        // cache-lookup span: it exists only to produce the cache key.
+        if let Some((clock, attempt, tr)) = tracer.as_mut() {
+            tr.begin_attempt("cache-lookup", *attempt, clock.now_ns());
+        }
         let mut canon = self.cache.as_ref().map(|_| canonicalize(&req.spec));
         if let Some(c) = canon.as_mut() {
             if joinopt_core::failpoint::flag("serve-cache-poison") {
@@ -478,6 +506,9 @@ impl OptimizerService {
                 &canon.order,
                 obs,
             ) {
+                if let Some((clock, _, tr)) = tracer.as_mut() {
+                    tr.end(clock.now_ns());
+                }
                 return Ok(ServiceOutcome {
                     result: DpResult {
                         tree: hit.tree,
@@ -495,6 +526,13 @@ impl OptimizerService {
             }
         }
 
+        // Miss (or no cache): the optimize span covers graph
+        // instantiation, the engine run and the post-run cache store.
+        if let Some((clock, attempt, tr)) = tracer.as_mut() {
+            let t = clock.now_ns();
+            tr.end(t);
+            tr.begin_attempt("optimize", *attempt, t);
+        }
         let (graph, catalog) = req.spec.instantiate()?;
         let mut s = session.take().unwrap_or_default();
         let mut request = OptimizeRequest::new(&graph, &catalog)
@@ -534,6 +572,9 @@ impl OptimizerService {
                     obs,
                 );
             }
+        }
+        if let Some((clock, _, tr)) = tracer.as_mut() {
+            tr.end(clock.now_ns());
         }
         Ok(ServiceOutcome {
             result: outcome.result,

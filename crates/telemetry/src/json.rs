@@ -40,6 +40,102 @@ pub fn write_f64(out: &mut String, x: f64) {
     }
 }
 
+/// A chainable single-object JSON writer: keys land in call order,
+/// commas and escaping are handled, and `finish` yields the closed
+/// document. This replaces hand-concatenated `format!` response
+/// building (where a forgotten comma or an unescaped tenant name is a
+/// protocol bug) with one audited code path.
+///
+/// ```
+/// use joinopt_telemetry::json::JsonObject;
+/// let line = JsonObject::new()
+///     .str("verb", "health")
+///     .str("status", "ok")
+///     .u64("uptime_s", 42)
+///     .finish();
+/// assert_eq!(line, "{\"verb\":\"health\",\"status\":\"ok\",\"uptime_s\":42}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        write_escaped(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        self.key(key);
+        write_escaped(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a string field only when `value` is `Some`.
+    pub fn opt_str(self, key: &str, value: Option<&str>) -> JsonObject {
+        match value {
+            Some(v) => self.str(key, v),
+            None => self,
+        }
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(mut self, key: &str, value: u64) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(&value.to_string());
+        self
+    }
+
+    /// Adds a float field ([`write_f64`] conventions: no `NaN`/`inf`).
+    pub fn f64(mut self, key: &str, value: f64) -> JsonObject {
+        self.key(key);
+        write_f64(&mut self.buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Splices a pre-serialized JSON value (object, array, …) under
+    /// `key`. The caller vouches that `value` is valid JSON.
+    pub fn raw(mut self, key: &str, value: &str) -> JsonObject {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the document.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
@@ -325,6 +421,35 @@ impl<'a> Parser<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn builder_round_trips_hostile_strings() {
+        let tenant = "acme \"west\"\\2\n\tmünchen\u{1}";
+        let message = "line1\r\nline2 with \"quotes\" and \\slashes\\";
+        let doc = JsonObject::new()
+            .str("verb", "optimize")
+            .str("tenant", tenant)
+            .str("message", message)
+            .u64("retry_after_ms", 50)
+            .f64("cost", 1.25)
+            .f64("nan", f64::NAN)
+            .bool("cache_hit", false)
+            .opt_str("id", None)
+            .opt_str("trace_id", Some("t-1"))
+            .raw("spans", "[1,2,3]")
+            .finish();
+        let parsed = JsonValue::parse(&doc).unwrap();
+        assert_eq!(parsed.get("tenant").unwrap().as_str(), Some(tenant));
+        assert_eq!(parsed.get("message").unwrap().as_str(), Some(message));
+        assert_eq!(parsed.get("retry_after_ms").unwrap().as_u64(), Some(50));
+        assert_eq!(parsed.get("cost").unwrap().as_f64(), Some(1.25));
+        assert_eq!(parsed.get("nan").unwrap(), &JsonValue::Null);
+        assert_eq!(parsed.get("cache_hit").unwrap().as_bool(), Some(false));
+        assert!(parsed.get("id").is_none());
+        assert_eq!(parsed.get("trace_id").unwrap().as_str(), Some("t-1"));
+        assert_eq!(parsed.get("spans").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
 
     #[test]
     fn parses_scalars() {

@@ -29,6 +29,15 @@
 //!   log-linear Histogram (p50/p90/p99/max) metrics fed across runs,
 //!   sessions and batches by a [`RegistryObserver`], exported as
 //!   Prometheus text exposition or a JSON [`Snapshot`].
+//! * [`RequestTrace`] / [`TraceLog`] — request-scoped flight recording
+//!   for the serve path: ordered stage spans (shed-check, breaker,
+//!   cache-lookup, per-attempt optimize, …) with the resolved
+//!   algorithm, cache hit and error kind, retained bounded (recent ring
+//!   + worst-K slowest) behind the server's `trace`/`slow` verbs.
+//! * [`WindowedMetrics`] — rolling time-window aggregation: a ring of
+//!   fixed-width [`Histogram`] buckets giving windowed p50/p99 and
+//!   rates per (tenant, verb, stage), deterministic under a manual
+//!   clock (timestamps are caller-supplied, never read here).
 //! * [`collapse_trace`] — folds a JSONL trace into collapsed-stack
 //!   (flamegraph-compatible) lines.
 //! * [`json`] — the dependency-free JSON writer/parser the above use,
@@ -61,7 +70,9 @@ mod metrics;
 mod observer;
 mod provenance;
 mod registry;
+pub mod span;
 mod trace;
+pub mod window;
 
 pub use flame::{collapse_trace, FlameError};
 pub use metrics::{LevelCount, MetricsCollector, PhaseSpan, RunReport, WorkerLevel};
@@ -70,4 +81,6 @@ pub use provenance::{DecisionRecord, ProvenanceCollector, SplitChoice};
 pub use registry::{
     Histogram, MetricValue, MetricsRegistry, RegistryObserver, Snapshot, SnapshotEntry,
 };
+pub use span::{RequestTrace, StageSpan, TraceIdMinter, TraceLog};
 pub use trace::TraceWriter;
+pub use window::{TimeWindow, WindowConfig, WindowEntry, WindowSnapshot, WindowedMetrics};

@@ -113,6 +113,30 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one, bucket by bucket — the
+    /// building block of rolling-window aggregation (merging the live
+    /// ring buckets into one windowed distribution).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst = dst.saturating_add(src);
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// The `q`-quantile (`0 < q <= 1`) as the lower bound of the bucket
     /// holding the `ceil(q·count)`-th smallest sample — deterministic
     /// for deterministic inputs, within the bucket error of the true

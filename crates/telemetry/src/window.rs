@@ -1,0 +1,365 @@
+//! Rolling time-window aggregation: a ring of fixed-width buckets over
+//! the log-linear [`Histogram`], answering "what were p50/p99 and the
+//! request rate *over the last N seconds*" rather than "since the
+//! process started".
+//!
+//! The registry's cumulative histograms never forget; a live `joinopt
+//! top` needs recency. [`TimeWindow`] keeps `buckets` fixed-width
+//! sub-histograms in a ring indexed by `now_ns / bucket_width_ns`;
+//! recording into a slot whose epoch has moved on resets it first, and a
+//! snapshot merges only the slots still inside the window. Nothing here
+//! reads a clock: every call takes `now_ns` from the caller (the service
+//! layer's injectable `Clock`), so the whole aggregator is byte-for-byte
+//! deterministic under a manual clock.
+//!
+//! [`WindowedMetrics`] keys one [`TimeWindow`] per (tenant, verb, stage)
+//! and renders sorted snapshots as JSON or Prometheus text
+//! (`joinopt_serve_stage_*` series).
+
+use std::collections::BTreeMap;
+
+use crate::json::write_escaped;
+use crate::registry::Histogram;
+
+/// Sizing of a rolling window: `buckets` ring slots of
+/// `bucket_width_ns` each; the window covers their product.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowConfig {
+    /// Width of one ring bucket in nanoseconds.
+    pub bucket_width_ns: u64,
+    /// Number of ring buckets; the window spans
+    /// `buckets * bucket_width_ns`.
+    pub buckets: usize,
+}
+
+impl Default for WindowConfig {
+    /// Ten one-second buckets: a ten-second window.
+    fn default() -> Self {
+        WindowConfig {
+            bucket_width_ns: 1_000_000_000,
+            buckets: 10,
+        }
+    }
+}
+
+impl WindowConfig {
+    /// Total window span in nanoseconds.
+    pub fn window_ns(&self) -> u64 {
+        self.bucket_width_ns.saturating_mul(self.buckets as u64)
+    }
+}
+
+/// One ring slot: the histogram of samples recorded during bucket
+/// `epoch` (i.e. while `now_ns / width == epoch`).
+#[derive(Debug, Clone, Default)]
+struct Bucket {
+    epoch: u64,
+    hist: Histogram,
+}
+
+/// A rolling window over one sample stream. All methods take `now_ns`
+/// explicitly; time only moves when the caller says so.
+#[derive(Debug, Clone)]
+pub struct TimeWindow {
+    config: WindowConfig,
+    ring: Vec<Bucket>,
+}
+
+impl TimeWindow {
+    /// An empty window.
+    pub fn new(config: WindowConfig) -> TimeWindow {
+        TimeWindow {
+            config,
+            ring: vec![Bucket::default(); config.buckets.max(1)],
+        }
+    }
+
+    fn epoch(&self, now_ns: u64) -> u64 {
+        now_ns / self.config.bucket_width_ns.max(1)
+    }
+
+    /// Records one sample at `now_ns`. A slot left over from an older
+    /// epoch is reset before the sample lands — this is how buckets
+    /// expire, including all at once when the clock jumps far forward.
+    pub fn record(&mut self, now_ns: u64, value: u64) {
+        let epoch = self.epoch(now_ns);
+        let len = self.ring.len() as u64;
+        let slot = &mut self.ring[(epoch % len) as usize];
+        if slot.epoch != epoch {
+            slot.hist = Histogram::default();
+            slot.epoch = epoch;
+        }
+        slot.hist.record(value);
+    }
+
+    /// Merges the live buckets — epochs within the window ending at
+    /// `now_ns` — into one [`Histogram`]. Buckets the ring has not
+    /// rotated over yet but whose epoch already fell out of the window
+    /// are skipped, so an idle stream decays to empty without writes.
+    pub fn merged(&self, now_ns: u64) -> Histogram {
+        let current = self.epoch(now_ns);
+        let oldest = current.saturating_sub(self.ring.len() as u64 - 1);
+        let mut merged = Histogram::default();
+        for slot in &self.ring {
+            if slot.epoch >= oldest && slot.epoch <= current && slot.hist.count() > 0 {
+                merged.merge(&slot.hist);
+            }
+        }
+        merged
+    }
+}
+
+/// A point-in-time reading of one windowed series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowEntry {
+    /// Tenant label.
+    pub tenant: String,
+    /// Protocol verb label.
+    pub verb: String,
+    /// Lifecycle stage label.
+    pub stage: String,
+    /// Samples inside the window.
+    pub count: u64,
+    /// Samples per second over the full window span.
+    pub rate_per_sec: f64,
+    /// Windowed median, in the histogram's bucket resolution.
+    pub p50_ns: u64,
+    /// Windowed 99th percentile.
+    pub p99_ns: u64,
+    /// Largest sample in the window (exact).
+    pub max_ns: u64,
+}
+
+/// All windowed series at one instant, sorted by (tenant, verb, stage).
+#[derive(Debug, Clone, Default)]
+pub struct WindowSnapshot {
+    /// The window span the entries cover, in nanoseconds.
+    pub window_ns: u64,
+    /// One entry per (tenant, verb, stage) with samples in the window.
+    pub entries: Vec<WindowEntry>,
+}
+
+impl WindowSnapshot {
+    /// Renders the snapshot as one JSON object (deterministic order).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"window_ns\":");
+        s.push_str(&self.window_ns.to_string());
+        s.push_str(",\"stages\":[");
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"tenant\":");
+            write_escaped(&mut s, &e.tenant);
+            s.push_str(",\"verb\":");
+            write_escaped(&mut s, &e.verb);
+            s.push_str(",\"stage\":");
+            write_escaped(&mut s, &e.stage);
+            s.push_str(&format!(
+                ",\"count\":{},\"rate_per_sec\":{:.3},\"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{}}}",
+                e.count, e.rate_per_sec, e.p50_ns, e.p99_ns, e.max_ns
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// Renders the snapshot as Prometheus text exposition: the
+    /// `joinopt_serve_stage_*` windowed series.
+    pub fn to_prometheus(&self) -> String {
+        let mut s = String::new();
+        for (name, pick) in [
+            (
+                "joinopt_serve_stage_window_count",
+                &(|e: &WindowEntry| e.count.to_string()) as &dyn Fn(&WindowEntry) -> String,
+            ),
+            ("joinopt_serve_stage_p50_ns", &|e: &WindowEntry| {
+                e.p50_ns.to_string()
+            }),
+            ("joinopt_serve_stage_p99_ns", &|e: &WindowEntry| {
+                e.p99_ns.to_string()
+            }),
+            ("joinopt_serve_stage_rate_per_sec", &|e: &WindowEntry| {
+                format!("{:.3}", e.rate_per_sec)
+            }),
+        ] {
+            for e in &self.entries {
+                s.push_str(&format!(
+                    "{name}{{tenant=\"{}\",verb=\"{}\",stage=\"{}\"}} {}\n",
+                    e.tenant,
+                    e.verb,
+                    e.stage,
+                    pick(e)
+                ));
+            }
+        }
+        s
+    }
+}
+
+/// Rolling windows keyed by (tenant, verb, stage): the serve path's
+/// per-stage latency series behind the `metrics` verb and `joinopt top`.
+#[derive(Debug)]
+pub struct WindowedMetrics {
+    config: WindowConfig,
+    series: BTreeMap<(String, String, String), TimeWindow>,
+}
+
+impl WindowedMetrics {
+    /// An empty set of windows, all sized by `config`.
+    pub fn new(config: WindowConfig) -> WindowedMetrics {
+        WindowedMetrics {
+            config,
+            series: BTreeMap::new(),
+        }
+    }
+
+    /// The shared window sizing.
+    pub fn config(&self) -> WindowConfig {
+        self.config
+    }
+
+    /// Records one stage duration observed at `now_ns`.
+    pub fn record(&mut self, tenant: &str, verb: &str, stage: &str, now_ns: u64, duration_ns: u64) {
+        let key = (tenant.to_string(), verb.to_string(), stage.to_string());
+        self.series
+            .entry(key)
+            .or_insert_with(|| TimeWindow::new(self.config))
+            .record(now_ns, duration_ns);
+    }
+
+    /// Snapshots every series at `now_ns`, dropping series whose window
+    /// is empty. Entries come out sorted by (tenant, verb, stage).
+    pub fn snapshot(&self, now_ns: u64) -> WindowSnapshot {
+        let window_ns = self.config.window_ns();
+        let mut entries = Vec::new();
+        for ((tenant, verb, stage), window) in &self.series {
+            let merged = window.merged(now_ns);
+            if merged.count() == 0 {
+                continue;
+            }
+            let window_secs = window_ns as f64 / 1e9;
+            entries.push(WindowEntry {
+                tenant: tenant.clone(),
+                verb: verb.clone(),
+                stage: stage.clone(),
+                count: merged.count(),
+                rate_per_sec: if window_secs > 0.0 {
+                    merged.count() as f64 / window_secs
+                } else {
+                    0.0
+                },
+                p50_ns: merged.quantile(0.5),
+                p99_ns: merged.quantile(0.99),
+                max_ns: merged.max(),
+            });
+        }
+        WindowSnapshot { window_ns, entries }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SEC: u64 = 1_000_000_000;
+
+    fn small() -> WindowConfig {
+        WindowConfig {
+            bucket_width_ns: SEC,
+            buckets: 4,
+        }
+    }
+
+    #[test]
+    fn window_counts_only_recent_samples() {
+        let mut w = TimeWindow::new(small());
+        w.record(0, 100);
+        w.record(SEC, 200);
+        assert_eq!(w.merged(SEC).count(), 2);
+        // Four seconds later the epoch-0 sample has left the window.
+        assert_eq!(w.merged(4 * SEC).count(), 1);
+        // Another bucket later everything is gone.
+        assert_eq!(w.merged(5 * SEC).count(), 0);
+    }
+
+    #[test]
+    fn rotation_at_exact_window_edges() {
+        let mut w = TimeWindow::new(small());
+        // A sample on the very last nanosecond of bucket 0 and the very
+        // first of bucket 1 land in different buckets.
+        w.record(SEC - 1, 10);
+        w.record(SEC, 20);
+        assert_eq!(w.merged(SEC).count(), 2);
+        // At exactly now = 4s the window is epochs [1, 4]: the epoch-0
+        // sample is out, the epoch-1 sample is the last one standing.
+        let m = w.merged(4 * SEC);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.max(), 20);
+        // One bucket later (epochs [2, 5]) it expires too.
+        assert_eq!(w.merged(5 * SEC).count(), 0);
+    }
+
+    #[test]
+    fn empty_window_snapshots_cleanly() {
+        let w = TimeWindow::new(small());
+        let m = w.merged(123 * SEC);
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.quantile(0.5), 0);
+        let metrics = WindowedMetrics::new(small());
+        let snap = metrics.snapshot(123 * SEC);
+        assert!(snap.entries.is_empty());
+        assert_eq!(
+            snap.to_json(),
+            format!("{{\"window_ns\":{},\"stages\":[]}}", 4 * SEC)
+        );
+    }
+
+    #[test]
+    fn far_forward_jump_expires_all_buckets_at_once() {
+        let mut w = TimeWindow::new(small());
+        for i in 0..4 {
+            w.record(i * SEC, 50 + i);
+        }
+        assert_eq!(w.merged(3 * SEC).count(), 4);
+        // The clock leaps an hour: every bucket's epoch is stale. No
+        // writes needed — the snapshot skips them all.
+        assert_eq!(w.merged(3600 * SEC).count(), 0);
+        // And the ring is immediately reusable at the new epoch.
+        w.record(3600 * SEC, 77);
+        let m = w.merged(3600 * SEC);
+        assert_eq!((m.count(), m.max()), (1, 77));
+    }
+
+    #[test]
+    fn stale_slot_resets_when_rewritten() {
+        let mut w = TimeWindow::new(small());
+        w.record(0, 100);
+        // Epoch 4 maps onto the same ring slot as epoch 0; the stale
+        // histogram must not leak into the new bucket.
+        w.record(4 * SEC, 7);
+        let m = w.merged(4 * SEC);
+        assert_eq!((m.count(), m.max()), (1, 7));
+    }
+
+    #[test]
+    fn keyed_snapshot_sorts_and_rates() {
+        let mut m = WindowedMetrics::new(small());
+        m.record("tb", "optimize", "optimize", 0, 1000);
+        m.record("ta", "optimize", "breaker", 0, 10);
+        m.record("ta", "optimize", "breaker", SEC / 2, 30);
+        let snap = m.snapshot(SEC / 2);
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].tenant, "ta");
+        assert_eq!(snap.entries[0].count, 2);
+        assert!((snap.entries[0].rate_per_sec - 0.5).abs() < 1e-9);
+        assert_eq!(snap.entries[1].tenant, "tb");
+        let prom = snap.to_prometheus();
+        assert!(prom.contains(
+            "joinopt_serve_stage_window_count{tenant=\"ta\",verb=\"optimize\",stage=\"breaker\"} 2"
+        ));
+        assert!(prom.contains("joinopt_serve_stage_p99_ns{tenant=\"tb\""));
+        let json = snap.to_json();
+        assert!(json.contains("\"stage\":\"breaker\""));
+    }
+}
